@@ -1,0 +1,71 @@
+"""A2 (ablation): deferred vs eager vertex-pointer serialization (§IV-B).
+
+``glVertexAttribPointer`` hands the driver a pointer of unknown extent;
+GBooster defers its transmission until a draw call reveals how many
+vertices are actually read.  The naive alternative ships the whole
+client-side array at intercept time.  This benchmark measures the byte
+difference on streams where apps keep large arrays but draw small ranges —
+the common case the paper's mechanism exploits.
+"""
+
+from conftest import print_table
+
+from repro.gles import enums as gl
+from repro.gles.commands import make_command
+from repro.gles.serialization import (
+    ClientArray,
+    CommandSerializer,
+    serialize_command,
+)
+
+
+def build_stream(frames=200, array_bytes=64_000, drawn_vertices=120):
+    """Per frame: bind a big client array, draw a small slice of it."""
+    stream = []
+    array = ClientArray(bytes(array_bytes))
+    for _ in range(frames):
+        stream.append(
+            make_command(
+                "glVertexAttribPointer", 0, 3, gl.GL_FLOAT, False, 20, array
+            )
+        )
+        stream.append(
+            make_command("glDrawArrays", gl.GL_TRIANGLES, 0, drawn_vertices)
+        )
+    return stream
+
+
+def measure(frames=200):
+    stream = build_stream(frames=frames)
+    deferred = CommandSerializer()
+    deferred_bytes = 0
+    for cmd in stream:
+        for wire in deferred.feed(cmd):
+            deferred_bytes += len(wire)
+
+    eager_bytes = 0
+    for cmd in stream:
+        if cmd.name == "glVertexAttribPointer":
+            resolved = make_command(
+                *(cmd.name,), *cmd.args[:5], cmd.args[5].data
+            )
+            eager_bytes += len(serialize_command(resolved))
+        else:
+            eager_bytes += len(serialize_command(cmd))
+    return deferred_bytes, eager_bytes
+
+
+def test_deferred_pointer_ablation(run_once):
+    deferred_bytes, eager_bytes = run_once(measure)
+    saving = 1.0 - deferred_bytes / eager_bytes
+    print_table(
+        "Deferred vs eager glVertexAttribPointer serialization",
+        "strategy / bytes on the wire",
+        [
+            f"eager (whole array)    {eager_bytes:>12,}",
+            f"deferred (drawn range) {deferred_bytes:>12,}",
+            f"saving                 {saving * 100:>11.1f}%",
+        ],
+    )
+    # Drawing 120 of 3200 vertices: deferral removes the vast majority.
+    assert saving > 0.8

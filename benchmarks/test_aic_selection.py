@@ -1,0 +1,41 @@
+"""P2: §V-B — AIC selection of exogenous attributes.
+
+Paper: of (1) touch frequency, (2) command length, (3) textures per frame,
+(4) command diff, the best approximating model uses attributes 1 and 3.
+"""
+
+from conftest import print_table
+
+from repro.experiments.prediction import (
+    ATTRIBUTE_NAMES,
+    collect_traffic_trace,
+    run_aic_selection,
+)
+
+
+def test_aic_attribute_selection(run_once):
+    def experiment():
+        trace = collect_traffic_trace(duration_ms=240_000.0, seed=5)
+        return run_aic_selection(trace)
+
+    ranking = run_once(experiment)
+    lines = []
+    for subset, score in ranking[:8]:
+        names = ", ".join(ATTRIBUTE_NAMES[i] for i in subset) or "(none: ARMA)"
+        lines.append(f"AIC {score:10.1f}  {{{names}}}")
+    print_table(
+        "AIC attribute selection (paper: touch + textures win)",
+        "", lines,
+    )
+    best_subset, best_score = ranking[0]
+    scores = dict(ranking)
+    # Touch frequency (paper attribute 1) must be in the winning subset,
+    # and exogenous inputs must beat the exogenous-free model.  (The paper
+    # selects {touch, textures}; our AIC at the 500 ms objective finds the
+    # leading touch signal carries the predictive weight on its own —
+    # see EXPERIMENTS.md P2.)
+    assert 0 in best_subset
+    assert best_score < scores[()]
+    # Every top-4 subset contains the touch attribute.
+    for subset, _score in ranking[:4]:
+        assert 0 in subset

@@ -1,0 +1,45 @@
+"""X1: §VII-F — comparison with the cloud remote-rendering baseline.
+
+Paper: over a 10 Mbps connection OnLive streams at 30 FPS (encoder-capped)
+with ~150 ms average response — about five times GBooster's.
+"""
+
+from conftest import print_table
+
+from repro.experiments.cloud_comparison import (
+    run_cloud_comparison,
+    run_cloud_platform_average,
+)
+
+
+def test_cloud_comparison(run_once):
+    result = run_once(run_cloud_comparison, duration_ms=120_000.0)
+    print_table(
+        "Cloud vs GBooster (paper: 30 FPS / ~150 ms vs ~5x faster response)",
+        "system / median FPS / response",
+        [
+            f"cloud    {result.cloud_median_fps:5.1f} FPS   "
+            f"{result.cloud_response_ms:6.1f} ms",
+            f"gbooster {result.gbooster_median_fps:5.1f} FPS   "
+            f"{result.gbooster_response_ms:6.1f} ms",
+            f"response ratio {result.response_ratio:.1f}x (paper ~5x)",
+        ],
+    )
+    assert result.cloud_median_fps <= 31.0
+    assert 110.0 <= result.cloud_response_ms <= 200.0
+    assert result.response_ratio > 2.5
+
+
+def test_cloud_platform_average(run_once):
+    avg = run_once(run_cloud_platform_average, duration_s=60.0)
+    print_table(
+        "Cloud platform averaged over the game roster",
+        "metric / value",
+        [
+            f"median FPS {avg.median_fps:.1f} (capped at 30)",
+            f"response   {avg.mean_response_ms:.1f} ms",
+            f"stream     {avg.stream_kbps:.0f} kbps (10 Mbps link)",
+        ],
+    )
+    assert avg.median_fps <= 31.0
+    assert avg.stream_kbps < 10_000

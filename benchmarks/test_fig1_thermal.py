@@ -1,0 +1,25 @@
+"""F1: Fig 1 — GPU frequency/temperature trace on the LG G4.
+
+Paper: ~600 MHz steady for the first ten minutes, then the temperature
+threshold trips and the clock collapses to ~100 MHz.
+"""
+
+from conftest import print_table
+
+from repro.experiments.thermal import run_figure1
+
+
+def test_fig1_thermal_trace(run_once):
+    result = run_once(run_figure1, duration_s=1800.0)
+    lines = []
+    for t, freq, temp in result.samples[::180]:
+        lines.append(f"t={t/60.0:5.1f} min  freq={freq:6.0f} MHz  "
+                     f"temp={temp:5.1f} C")
+    print_table(
+        "Fig 1: GPU frequency trace "
+        f"(throttles at {result.throttle_time_s/60.0:.1f} min; paper ~10 min)",
+        "time / frequency / temperature", lines,
+    )
+    assert result.initial_freq_mhz == 600.0
+    assert result.throttled_freq_mhz == 100.0
+    assert 8 * 60 <= result.throttle_time_s <= 13 * 60

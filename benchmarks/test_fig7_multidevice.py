@@ -1,0 +1,27 @@
+"""F7: Fig 7 — FPS against the number of service devices.
+
+Paper: G1 on the Nexus 5 rises from 23 (local) to ~40 with one device and
+~51 with three, then stays flat — the internal buffer holds at most three
+pending requests and generation is CPU-bound.
+"""
+
+from conftest import print_table
+
+from repro.experiments.multidevice import format_points, run_figure7
+
+
+def test_fig7_scaling(run_once):
+    points = run_once(run_figure7, max_devices=5, duration_ms=120_000.0)
+    print_table(
+        "Fig 7: FPS vs service devices (paper: 23 -> 40 -> 51, flat at 3+)",
+        "", format_points(points).splitlines(),
+    )
+    fps = {p.n_devices: p.median_fps for p in points}
+    assert fps[0] < 26                      # local baseline
+    assert fps[1] > fps[0] * 1.3            # one device: the big jump
+    assert fps[3] > fps[1] + 5              # parallelism helps further
+    assert fps[3] > 45                      # saturation level ~51
+    assert abs(fps[5] - fps[3]) <= 3        # flat beyond three
+    # Stability follows the same pattern (paper's second panel).
+    stab = {p.n_devices: p.stability for p in points}
+    assert stab[3] >= stab[1] - 0.05

@@ -1,0 +1,29 @@
+"""M1: the §II motivation micro-benchmark.
+
+A static triangle rendered at the 60 FPS display cap draws about 3 W on
+the phone GPU — roughly five times the CPU's share.
+"""
+
+from conftest import print_table
+
+from repro.devices.profiles import LG_G4, LG_G5, SAMSUNG_GALAXY_S5
+from repro.experiments.thermal import run_motivation_power
+
+
+def test_motivation_power(run_once):
+    devices = (SAMSUNG_GALAXY_S5, LG_G4, LG_G5)
+    results = run_once(
+        lambda: [(d.name, run_motivation_power(d)) for d in devices]
+    )
+    lines = [
+        f"{name[:22]:22} GPU {r.gpu_power_w:.2f} W  CPU {r.cpu_power_w:.2f} W"
+        f"  ratio {r.ratio:.1f}x"
+        for name, r in results
+    ]
+    print_table(
+        "Motivation: triangle @60FPS power (paper: GPU ~3 W, ~5x CPU)",
+        "device / GPU W / CPU W / ratio", lines,
+    )
+    for _name, r in results:
+        assert 2.5 <= r.gpu_power_w <= 3.6
+        assert r.ratio >= 4.0

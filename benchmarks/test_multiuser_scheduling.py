@@ -1,0 +1,43 @@
+"""E1 (extension): multi-user service scheduling (paper §VIII).
+
+The paper's prototype shares a service device FCFS and calls out the
+failure mode: "requests from the shooting game should receive higher
+processing priorities".  This benchmark runs that exact scenario — Modern
+Combat and Candy Crush sharing one Nvidia Shield — under FCFS and under
+the priority scheduler the paper proposes as future work.
+"""
+
+from conftest import print_table
+
+from repro.apps.games import CANDY_CRUSH, MODERN_COMBAT
+from repro.core.multiuser import run_multiuser_experiment
+
+
+def test_multiuser_priority_scheduling(run_once):
+    results = run_once(
+        run_multiuser_experiment, MODERN_COMBAT, CANDY_CRUSH,
+        duration_ms=60_000.0,
+    )
+    lines = []
+    for policy, result in results.items():
+        shooter = result.by_genre("action")
+        puzzle = result.by_genre("puzzle")
+        lines.append(
+            f"{policy:9} shooter {shooter.fps.median_fps:5.1f} FPS / "
+            f"{shooter.mean_response_ms:6.1f} ms | puzzle "
+            f"{puzzle.fps.median_fps:5.1f} FPS / "
+            f"{puzzle.mean_response_ms:6.1f} ms"
+        )
+    print_table(
+        "Multi-user sharing one Shield (§VIII): FCFS vs priority",
+        "policy / shooter / puzzle", lines,
+    )
+    fcfs = results["fcfs"]
+    prio = results["priority"]
+    # Priority scheduling rescues the time-critical user...
+    assert (
+        prio.by_genre("action").mean_response_ms
+        < fcfs.by_genre("action").mean_response_ms * 0.75
+    )
+    # ...without starving the tolerant one below playability.
+    assert prio.by_genre("puzzle").fps.median_fps >= 20.0

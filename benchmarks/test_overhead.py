@@ -1,0 +1,28 @@
+"""O1: §VII-G — memory and CPU overhead of the client runtime.
+
+Paper: average extra memory 47.8 MB; CPU on G1 rises from 68% (local) to
+79% (offloaded) on the Nexus 5.
+"""
+
+from conftest import print_table
+
+from repro.experiments.overhead import run_overhead_experiment
+
+
+def test_overhead(run_once, session_duration_ms):
+    report = run_once(run_overhead_experiment,
+                      duration_ms=session_duration_ms)
+    lines = [
+        f"{component:22} {mb:6.1f} MB"
+        for component, mb in report.breakdown_mb.items()
+    ]
+    lines.append(f"{'total':22} {report.memory_mb:6.1f} MB (paper 47.8 MB)")
+    lines.append(
+        f"CPU util: local {report.cpu_local_util*100:.0f}% -> offloaded "
+        f"{report.cpu_offloaded_util*100:.0f}% (paper 68% -> 79%)"
+    )
+    print_table("System overhead (§VII-G)", "component / size", lines)
+    assert 25.0 <= report.memory_mb <= 75.0
+    assert report.cpu_local_util < report.cpu_offloaded_util
+    assert 0.55 <= report.cpu_local_util <= 0.8
+    assert 0.65 <= report.cpu_offloaded_util <= 0.95

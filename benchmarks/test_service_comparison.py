@@ -1,0 +1,54 @@
+"""S1 (ours): offload-target quality across the §VII-A device classes."""
+
+from conftest import print_table
+
+from repro.experiments.service_comparison import (
+    run_mixed_pool_protection,
+    run_service_comparison,
+)
+
+
+def test_service_device_comparison(run_once):
+    rows = run_once(run_service_comparison, duration_ms=60_000.0)
+    print_table(
+        "G1 on Nexus 5 offloaded to each §VII-A device class "
+        "(local = {:.0f} FPS)".format(rows[0].local_fps),
+        "service device / FPS / speedup / response",
+        [
+            f"{r.service_device[:30]:30} {r.median_fps:5.1f} FPS  "
+            f"{r.speedup:4.2f}x  {r.response_time_ms:6.1f} ms"
+            for r in rows
+        ],
+    )
+    by_name = {r.service_device: r for r in rows}
+    shield = next(v for k, v in by_name.items() if "Shield" in k)
+    minix = next(v for k, v in by_name.items() if "Minix" in k)
+    desktop = next(v for k, v in by_name.items() if "Optiplex" in k)
+    # Capable boxes accelerate strongly...
+    assert shield.speedup > 1.4
+    assert desktop.speedup > 1.4
+    # ...while the underpowered TV box is no better than local execution.
+    assert minix.median_fps <= minix.local_fps + 2.0
+
+
+def test_eq4_protects_mixed_pool(run_once):
+    eq4, rr = run_once(run_mixed_pool_protection, duration_ms=60_000.0)
+    eq4_share = {
+        n.name: n.stats.frames_rendered for n in eq4.nodes
+    }
+    print_table(
+        "Mixed pool (desktop + TV box): Eq. 4 vs round-robin",
+        "scheduler / FPS / desktop share",
+        [
+            f"eq4         {eq4.fps.median_fps:5.1f} FPS  "
+            f"{eq4_share}",
+            f"round robin {rr.fps.median_fps:5.1f} FPS",
+        ],
+    )
+    assert eq4.fps.median_fps >= rr.fps.median_fps
+    # Eq. 4 routes the bulk of the work to the capable device.
+    desktop_frames = next(
+        v for k, v in eq4_share.items() if "Optiplex" in k
+    )
+    total = sum(eq4_share.values())
+    assert desktop_frames / total > 0.6

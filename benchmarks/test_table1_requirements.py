@@ -1,0 +1,32 @@
+"""T1: Table I — game requirements vs flagship capabilities."""
+
+from conftest import print_table
+
+from repro.devices.profiles import (
+    FLAGSHIP_BY_YEAR,
+    GAME_REQUIREMENTS,
+    requirement_vs_capability,
+)
+
+
+def test_table1(run_once):
+    rows = run_once(
+        lambda: {year: requirement_vs_capability(year)
+                 for year in (2014, 2015, 2016)}
+    )
+    lines = []
+    for year, row in rows.items():
+        req = next(r for r in GAME_REQUIREMENTS if r.year == year)
+        device = FLAGSHIP_BY_YEAR[year]
+        lines.append(
+            f"{year} {req.game[:28]:28} req {req.cpu_ghz:.1f} GHz x{req.cpu_cores} / "
+            f"{req.gpu_fillrate_gpixels:.1f} GP/s | {device.name[:18]:18} "
+            f"cpu x{row['cpu_headroom']:.1f} gpu x{row['gpu_headroom']:.2f}"
+        )
+    print_table(
+        "Table I: requirement vs capability (paper: CPU beyond, GPU at limit)",
+        "year game requirement | flagship headroom", lines,
+    )
+    for row in rows.values():
+        assert row["cpu_headroom"] > 1.5
+        assert abs(row["gpu_headroom"] - 1.0) < 0.02

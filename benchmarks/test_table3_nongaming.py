@@ -1,0 +1,27 @@
+"""T3: Table III — non-gaming applications.
+
+Paper: Ebook Reader / Yahoo Weather / Tumblr receive no FPS boost and a
+small but real energy saving (normalized ~92-94%).
+"""
+
+from conftest import print_table
+
+from repro.experiments.overhead import run_table3
+
+
+def test_table3_nongaming(run_once, session_duration_ms):
+    rows = run_once(run_table3, duration_ms=session_duration_ms)
+    print_table(
+        "Table III: non-gaming apps (paper: 0 FPS boost, ~92-94% energy)",
+        "app / FPS boost / normalized energy",
+        [
+            f"{r.app:16} {r.fps_boost:+5.1f} FPS   "
+            f"{r.normalized_energy * 100:5.1f}%"
+            for r in rows
+        ],
+    )
+    for row in rows:
+        assert abs(row.fps_boost) <= 1.5          # no boost
+        assert 0.80 <= row.normalized_energy < 1.0  # small saving
+    mean_saving = 1.0 - sum(r.normalized_energy for r in rows) / len(rows)
+    assert 0.03 <= mean_saving <= 0.20            # paper: ~7% average

@@ -1,0 +1,66 @@
+"""C1: §V-A — traffic-redundancy elimination.
+
+Paper claims: unoptimized traffic ~200 Mbps at 600x480 / 25 FPS; LZ4-class
+compression reaches ~70% reduction on command streams; Turbo encodes at up
+to 90 MP/s with ratios up to 25:1 while x264 on ARM manages ~1 MP/s —
+below the ~7 MP/s the application generates.
+"""
+
+from conftest import print_table
+
+from repro.experiments.traffic import (
+    estimate_raw_traffic,
+    measure_command_reduction,
+    measure_image_codecs,
+)
+
+
+def test_raw_traffic_estimate(run_once):
+    estimate = run_once(estimate_raw_traffic, width=600, height=480, fps=25.0)
+    print_table(
+        "Unoptimized traffic at 600x480 / 25 FPS (paper: ~200 Mbps)",
+        "component / Mbps",
+        [
+            f"raw frames   {estimate.raw_image_mbps:7.1f} Mbps",
+            f"raw commands {estimate.raw_command_mbps:7.1f} Mbps",
+            f"total        {estimate.total_mbps:7.1f} Mbps",
+        ],
+    )
+    assert 120.0 <= estimate.total_mbps <= 320.0
+
+
+def test_command_stream_reduction(run_once):
+    result = run_once(measure_command_reduction, frames=150)
+    print_table(
+        "Command-stream reduction (paper: LZ4 ~70% reduction + LRU cache)",
+        "stage / bytes",
+        [
+            f"raw serialized {result.raw_bytes:>12,}",
+            f"after cache    {result.after_cache_bytes:>12,}  "
+            f"(hit rate {result.cache_hit_rate*100:.0f}%)",
+            f"on the wire    {result.wire_bytes:>12,}  "
+            f"(total reduction {result.overall_reduction*100:.0f}%)",
+            f"LZ-only ratio  {result.lz_only_ratio:.2f} "
+            "(paper: ~0.30)",
+        ],
+    )
+    assert result.overall_reduction > 0.5
+    assert result.lz_only_ratio < 0.6
+
+
+def test_image_codecs(run_once):
+    result = run_once(measure_image_codecs, frames=30)
+    print_table(
+        "Image codecs (paper: Turbo 90 MP/s & up to 25:1; x264/ARM ~1 MP/s)",
+        "codec / throughput / keeps up with ~7 MP/s generation",
+        [
+            f"Turbo  {result.turbo_throughput_mp_s:6.1f} MP/s  "
+            f"ratio {result.turbo_ratio:5.1f}:1  "
+            f"keeps up: {result.turbo_keeps_up}",
+            f"x264   {result.x264_arm_throughput_mp_s:6.1f} MP/s  "
+            f"keeps up: {result.x264_keeps_up}",
+            f"frame generation {result.frame_generation_mp_s:.1f} MP/s",
+        ],
+    )
+    assert result.turbo_keeps_up and not result.x264_keeps_up
+    assert result.turbo_ratio > 8.0

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Energy anatomy of an offloaded session (paper §V, §VII-C, Fig 6).
+
+Runs Modern Combat (the most energy-hungry game) on the Nexus 5 under
+four network policies and prints per-component energy, showing where the
+interface-switching optimization earns its keep.
+"""
+
+from repro import GBoosterConfig, run_local_session, run_offload_session
+from repro.apps.games import MODERN_COMBAT
+from repro.devices.profiles import LG_NEXUS_5
+
+POLICIES = ("predictive", "reactive", "always_wifi", "always_bluetooth")
+
+
+def main() -> None:
+    duration_ms = 120_000.0
+    print(f"{MODERN_COMBAT.name} on {LG_NEXUS_5.name}, "
+          f"{duration_ms / 1000:.0f}s sessions\n")
+
+    local = run_local_session(MODERN_COMBAT, LG_NEXUS_5,
+                              duration_ms=duration_ms)
+    print(f"local execution: {local.fps.median_fps:.0f} FPS, "
+          f"{local.energy.mean_power_w:.2f} W "
+          f"(GPU {local.energy.components_j['gpu_j']:.0f} J of "
+          f"{local.energy.total_j:.0f} J)\n")
+
+    header = (
+        f"{'policy':18} {'FPS':>5} {'W':>6} {'norm':>6} {'BT%':>5} "
+        f"{'wifi J':>8} {'bt J':>7} {'overloads':>10}"
+    )
+    print(header)
+    for policy in POLICIES:
+        result = run_offload_session(
+            MODERN_COMBAT, LG_NEXUS_5,
+            config=GBoosterConfig(switching_policy=policy),
+            duration_ms=duration_ms,
+        )
+        comp = result.energy.components_j
+        sw = result.switching
+        print(
+            f"{policy:18} {result.fps.median_fps:5.0f} "
+            f"{result.energy.mean_power_w:6.2f} "
+            f"{result.energy.mean_power_w / local.energy.mean_power_w:6.2f} "
+            f"{(sw.bluetooth_residency if sw else 0) * 100:5.0f} "
+            f"{comp['wifi_j']:8.1f} {comp['bluetooth_j']:7.1f} "
+            f"{sw.overload_epochs if sw else 0:10d}"
+        )
+    print(
+        "\npredictive switching keeps the stream on Bluetooth during calm"
+        "\nscenes and pre-wakes WiFi ahead of forecast surges; disabling it"
+        "\n(always_wifi) is the Fig 6(b) comparison, and always_bluetooth"
+        "\nshows the overload cost of ignoring throughput limits."
+    )
+
+
+if __name__ == "__main__":
+    main()

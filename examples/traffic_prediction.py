@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Traffic forecasting for energy-aware interface switching (paper §V-B).
+
+1. Records an offload session's per-epoch traffic plus the four candidate
+   exogenous attributes (touch frequency, command length, textures per
+   frame, command diff).
+2. Ranks exogenous attribute subsets by AIC — the paper lands on touch
+   frequency + textures.
+3. Scores ARMA against ARMAX on 500 ms-ahead surge prediction, the
+   decision that wakes WiFi before demand exceeds Bluetooth throughput.
+"""
+
+from repro.experiments.prediction import (
+    ATTRIBUTE_NAMES,
+    collect_traffic_trace,
+    compare_arma_armax,
+    run_aic_selection,
+)
+
+
+def main() -> None:
+    print("collecting a 4-minute traffic trace (G1 on Nexus 5)...")
+    trace = collect_traffic_trace(duration_ms=240_000.0, seed=3)
+    surges = sum(1 for v in trace.series_mbps if v > 16.0)
+    print(
+        f"  {len(trace)} epochs of {trace.epoch_ms:.0f} ms; "
+        f"{surges} exceed the 16 Mbps Bluetooth budget "
+        f"({surges / len(trace) * 100:.0f}%)\n"
+    )
+
+    print("AIC ranking of exogenous attribute subsets (best first):")
+    ranking = run_aic_selection(trace)
+    for subset, score in ranking[:6]:
+        names = ", ".join(ATTRIBUTE_NAMES[i] for i in subset) or "none (ARMA)"
+        print(f"  AIC {score:10.1f}   {names}")
+    print()
+
+    for onsets in (False, True):
+        cmp = compare_arma_armax(trace, onsets_only=onsets)
+        label = "onset-only" if onsets else "all epochs"
+        print(f"surge prediction, {label} scoring "
+              f"(horizon {cmp.horizon_epochs} epochs):")
+        print(f"  ARMA  : FP {cmp.arma.fp_rate * 100:5.1f}%   "
+              f"FN {cmp.arma.fn_rate * 100:5.1f}%")
+        print(f"  ARMAX : FP {cmp.armax.fp_rate * 100:5.1f}%   "
+              f"FN {cmp.armax.fn_rate * 100:5.1f}%")
+        print()
+    print("paper (§V-B): ARMA FP 23.7% / FN 35.1%; ARMAX FP 23% / FN 17% —")
+    print("the exogenous inputs buy a large false-negative reduction at a")
+    print("small false-positive cost, the trade the switcher wants.")
+
+
+if __name__ == "__main__":
+    main()

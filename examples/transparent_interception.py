@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Transparent GL interception without modifying the application (§IV-A).
+
+Builds a process image for an 'unmodified game', injects the GBooster
+wrapper library via LD_PRELOAD, and shows all three call routes landing in
+the wrapper: direct linkage, eglGetProcAddress pointers, and dlopen/dlsym.
+The intercepted stream is serialized to wire bytes and replayed on a
+'remote' GL context whose final state digest matches the local shadow —
+byte-for-byte equivalence of local and remote execution.
+"""
+
+from repro.gles import enums as gl
+from repro.gles.commands import GLCommand
+from repro.gles.context import GLContext
+from repro.gles.serialization import CommandSerializer, deserialize_stream
+from repro.linker.linker import ProcessImage
+from repro.linker.wrapper import (
+    NATIVE_GLES_SONAME,
+    build_native_gles_library,
+    build_wrapper_library,
+)
+
+
+class ForwardingInterceptor:
+    """Serialize every intercepted command; answer queries from a shadow."""
+
+    def __init__(self) -> None:
+        self.serializer = CommandSerializer()
+        self.wire = bytearray()
+        self.shadow = GLContext("shadow")
+
+    def __call__(self, cmd: GLCommand):
+        for chunk in self.serializer.feed(cmd):
+            self.wire += chunk
+        return self.shadow.execute(cmd)
+
+
+def main() -> None:
+    interceptor = ForwardingInterceptor()
+
+    # The 'phone': a process whose environment preloads the wrapper.
+    proc = ProcessImage("game.apk", env={"LD_PRELOAD": "libGBooster.so"})
+    wrapper = build_wrapper_library(interceptor, linker=proc.linker)
+    wrapper.soname = "libGBooster.so"
+    proc.install_library(wrapper)
+    proc.install_library(build_native_gles_library(lambda c: None))
+    proc.start([NATIVE_GLES_SONAME])
+
+    # Route 1: plain linked calls.
+    proc.call("glViewport", 0, 0, 1280, 720)
+    proc.call("glClearColor", 0.1, 0.2, 0.3, 1.0)
+    proc.call("glEnable", gl.GL_DEPTH_TEST)
+
+    # Route 2: pointers via eglGetProcAddress.
+    get_proc = proc.linker.resolve("eglGetProcAddress")
+    vs = get_proc("glCreateShader")(gl.GL_VERTEX_SHADER)
+    get_proc("glShaderSource")(vs, "void main() {}")
+    get_proc("glCompileShader")(vs)
+    fs = get_proc("glCreateShader")(gl.GL_FRAGMENT_SHADER)
+    get_proc("glShaderSource")(fs, "void main() {}")
+    get_proc("glCompileShader")(fs)
+
+    # Route 3: dlopen/dlsym.
+    handle = proc.dlopen(NATIVE_GLES_SONAME)
+    prog = proc.dlsym(handle, "glCreateProgram")()
+    proc.dlsym(handle, "glAttachShader")(prog, vs)
+    proc.dlsym(handle, "glAttachShader")(prog, fs)
+    proc.dlsym(handle, "glLinkProgram")(prog)
+    proc.dlsym(handle, "glUseProgram")(prog)
+    proc.dlsym(handle, "glDrawArrays")(gl.GL_TRIANGLES, 0, 3)
+
+    stats = wrapper.stats
+    print("interception accounting:")
+    for route, count in stats.by_route.items():
+        print(f"  {route:16} {count:3d} calls")
+    print(f"  total            {stats.total:3d} calls, "
+          f"{len(interceptor.wire):,} wire bytes\n")
+
+    # The 'service device': replay the forwarded stream.
+    remote = GLContext("remote")
+    for cmd in deserialize_stream(bytes(interceptor.wire)):
+        remote.execute(cmd)
+
+    local_digest = interceptor.shadow.state_digest()
+    remote_digest = remote.state_digest()
+    print(f"local shadow digest : {local_digest[:32]}...")
+    print(f"remote replay digest: {remote_digest[:32]}...")
+    print(f"state identical     : {local_digest == remote_digest}")
+    print(f"remote draw calls   : {remote.draw_calls}")
+
+
+if __name__ == "__main__":
+    main()

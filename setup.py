@@ -1,0 +1,10 @@
+"""Setuptools shim for environments without the `wheel` package.
+
+`pip install -e . --no-build-isolation` in this offline environment falls
+back to the legacy develop install, which needs a setup.py; all real
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

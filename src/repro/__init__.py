@@ -1,0 +1,44 @@
+"""GBooster reproduction.
+
+A from-scratch, simulation-based reproduction of
+
+    E. Wen, W. K. G. Seah, B. Ng, X. Liu, J. Cao and X. Liu,
+    "GBooster: Towards Acceleration of GPU-Intensive Mobile Applications",
+    IEEE ICDCS 2017.
+
+Quick start::
+
+    from repro import run_local_session, run_offload_session
+    from repro.apps.games import GTA_SAN_ANDREAS
+    from repro.devices.profiles import LG_NEXUS_5
+
+    local = run_local_session(GTA_SAN_ANDREAS, LG_NEXUS_5,
+                              duration_ms=120_000)
+    boosted = run_offload_session(GTA_SAN_ANDREAS, LG_NEXUS_5,
+                                  duration_ms=120_000)
+    print(local.fps.median_fps, "->", boosted.fps.median_fps)
+
+See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
+paper-versus-measured record of every table and figure.
+"""
+
+from repro.core.adaptive import run_adaptive_session
+from repro.core.config import GBoosterConfig
+from repro.core.multiuser import run_multiuser_session
+from repro.core.session import (
+    SessionResult,
+    run_local_session,
+    run_offload_session,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GBoosterConfig",
+    "SessionResult",
+    "run_adaptive_session",
+    "run_local_session",
+    "run_multiuser_session",
+    "run_offload_session",
+    "__version__",
+]

@@ -1,0 +1,156 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``quickstart``      — local vs GBooster for one game (default G1/Nexus 5)
+* ``fig5``            — the acceleration matrix
+* ``fig6``            — the energy matrix
+* ``fig7``            — the multi-device sweep
+* ``fig1``            — the thermal trace
+* ``prediction``      — ARMA vs ARMAX rates + AIC selection
+* ``multiuser``       — §VIII FCFS vs priority sharing
+* ``adaptive``        — discovery + cloud-fallback demo
+
+Each prints the same rows the corresponding benchmark asserts on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_quickstart(args: argparse.Namespace) -> None:
+    from repro import run_local_session, run_offload_session
+    from repro.apps.games import GAMES
+    from repro.devices.profiles import USER_DEVICES
+
+    app = GAMES[args.game]
+    device = USER_DEVICES[args.device]
+    local = run_local_session(app, device, duration_ms=args.duration * 1000.0)
+    boosted = run_offload_session(app, device,
+                                  duration_ms=args.duration * 1000.0)
+    print(f"{app.name} on {device.name} ({args.duration:.0f}s)")
+    print(f"  local   : {local.fps}")
+    print(f"  gbooster: {boosted.fps}")
+    print(f"  energy  : {boosted.energy.mean_power_w:.2f} W vs "
+          f"{local.energy.mean_power_w:.2f} W "
+          f"({boosted.energy.mean_power_w / local.energy.mean_power_w:.0%})")
+
+
+def _cmd_fig5(args: argparse.Namespace) -> None:
+    from repro.experiments.acceleration import format_rows, run_figure5
+
+    rows = run_figure5(duration_ms=args.duration * 1000.0)
+    print(format_rows(rows))
+
+
+def _cmd_fig6(args: argparse.Namespace) -> None:
+    from repro.devices.profiles import LG_NEXUS_5
+    from repro.experiments.energy import format_rows, run_figure6
+
+    rows = run_figure6(duration_ms=args.duration * 1000.0,
+                       devices=[LG_NEXUS_5])
+    print(format_rows(rows))
+
+
+def _cmd_fig7(args: argparse.Namespace) -> None:
+    from repro.experiments.multidevice import format_points, run_figure7
+
+    points = run_figure7(duration_ms=args.duration * 1000.0)
+    print(format_points(points))
+
+
+def _cmd_fig1(args: argparse.Namespace) -> None:
+    from repro.experiments.thermal import run_figure1
+
+    result = run_figure1()
+    for t, freq, temp in result.samples[::120]:
+        print(f"t={t/60.0:5.1f} min  freq={freq:6.0f} MHz  temp={temp:5.1f} C")
+    print(f"throttled at {result.throttle_time_s / 60.0:.1f} min "
+          "(paper: ~10 min)")
+
+
+def _cmd_prediction(args: argparse.Namespace) -> None:
+    from repro.experiments.prediction import (
+        ATTRIBUTE_NAMES,
+        collect_traffic_trace,
+        compare_arma_armax,
+        format_comparison,
+        run_aic_selection,
+    )
+
+    trace = collect_traffic_trace(duration_ms=args.duration * 1000.0)
+    print(format_comparison(compare_arma_armax(trace)))
+    ranking = run_aic_selection(trace)
+    best = ranking[0][0]
+    print("AIC winner:", [ATTRIBUTE_NAMES[i] for i in best])
+
+
+def _cmd_multiuser(args: argparse.Namespace) -> None:
+    from repro.apps.games import CANDY_CRUSH, MODERN_COMBAT
+    from repro.core.multiuser import run_multiuser_experiment
+
+    results = run_multiuser_experiment(
+        MODERN_COMBAT, CANDY_CRUSH, duration_ms=args.duration * 1000.0
+    )
+    for policy, result in results.items():
+        for user in result.users:
+            print(f"{policy:9} {user.app.short_name} "
+                  f"{user.fps.median_fps:5.1f} FPS "
+                  f"{user.mean_response_ms:6.1f} ms")
+
+
+def _cmd_adaptive(args: argparse.Namespace) -> None:
+    from repro.apps.games import GTA_SAN_ANDREAS
+    from repro.core.adaptive import run_adaptive_session
+    from repro.devices.profiles import NVIDIA_SHIELD
+
+    for label, ambient, internet in (
+        ("devices nearby", [NVIDIA_SHIELD], True),
+        ("empty LAN, Internet up", [], True),
+        ("fully offline", [], False),
+    ):
+        outcome = run_adaptive_session(
+            GTA_SAN_ANDREAS, ambient_devices=ambient,
+            internet_available=internet,
+            duration_ms=args.duration * 1000.0,
+        )
+        print(f"{label:24} -> {outcome.mode:9} "
+              f"{outcome.median_fps:5.1f} FPS  "
+              f"{outcome.response_time_ms:6.1f} ms")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="GBooster reproduction experiment runner",
+    )
+    parser.add_argument(
+        "--duration", type=float, default=60.0,
+        help="simulated session length in seconds (default 60)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    commands = {
+        "quickstart": _cmd_quickstart,
+        "fig5": _cmd_fig5,
+        "fig6": _cmd_fig6,
+        "fig7": _cmd_fig7,
+        "fig1": _cmd_fig1,
+        "prediction": _cmd_prediction,
+        "multiuser": _cmd_multiuser,
+        "adaptive": _cmd_adaptive,
+    }
+    for name in commands:
+        p = sub.add_parser(name)
+        if name == "quickstart":
+            p.add_argument("--game", default="G1",
+                           choices=["G1", "G2", "G3", "G4", "G5", "G6"])
+            p.add_argument("--device", default="LG Nexus 5")
+    args = parser.parse_args(argv)
+    commands[args.command](args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

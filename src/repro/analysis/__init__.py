@@ -1,0 +1,23 @@
+"""Closed-form performance analysis, independent of the simulator.
+
+The analytic pipeline model predicts session outcomes (local FPS,
+offloaded FPS, Eq. 5 response time) straight from device and application
+specifications.  The test suite cross-checks the discrete-event simulation
+against these predictions: two independent implementations of the same
+performance theory must agree, which guards both against calibration
+drift.
+"""
+
+from repro.analysis.pipeline_model import (
+    OffloadPrediction,
+    predict_local_fps,
+    predict_offload,
+    predict_service_stage_ms,
+)
+
+__all__ = [
+    "OffloadPrediction",
+    "predict_local_fps",
+    "predict_offload",
+    "predict_service_stage_ms",
+]

@@ -1,0 +1,49 @@
+"""Application workload models.
+
+The six games of Table II (three genres: action, role-playing, puzzle) and
+the three non-gaming applications of Table III, modelled as frame-by-frame
+workload generators: per-frame GL command batches, shader-weighted fill
+workload, CPU cost, scene dynamics (what fraction of the screen changes
+frame to frame) and touch-event-driven activity bursts.
+
+Calibration targets are the paper's measured local frame rates (Fig 5) and
+traffic characteristics (§V-A); see :mod:`repro.apps.games` for the
+per-game numbers.
+"""
+
+from repro.apps.base import ApplicationSpec, CommandBatchBuilder, SceneState
+from repro.apps.engine import EngineConfig, FrameRecord, GameEngine, GraphicsBackend
+from repro.apps.games import (
+    CANDY_CRUSH,
+    CUT_THE_ROPE,
+    FINAL_FANTASY,
+    GAMES,
+    GTA_SAN_ANDREAS,
+    MODERN_COMBAT,
+    STAR_WARS_KOTOR,
+)
+from repro.apps.nongaming import EBOOK_READER, NONGAMING_APPS, TUMBLR, YAHOO_WEATHER
+from repro.apps.touch import TouchEvent, TouchGenerator
+
+__all__ = [
+    "ApplicationSpec",
+    "CANDY_CRUSH",
+    "CUT_THE_ROPE",
+    "CommandBatchBuilder",
+    "EBOOK_READER",
+    "EngineConfig",
+    "FINAL_FANTASY",
+    "FrameRecord",
+    "GAMES",
+    "GTA_SAN_ANDREAS",
+    "GameEngine",
+    "GraphicsBackend",
+    "MODERN_COMBAT",
+    "NONGAMING_APPS",
+    "STAR_WARS_KOTOR",
+    "SceneState",
+    "TUMBLR",
+    "TouchEvent",
+    "TouchGenerator",
+    "YAHOO_WEATHER",
+]

@@ -1,0 +1,261 @@
+"""The graphics-engine frame loop.
+
+Models how a mobile game produces frames (§IV, §VI-A):
+
+1. the game thread spends ``cpu_ms_per_frame`` building the frame (scaled
+   by the device CPU's perf index), plus the GL driver-submission share
+   when rendering locally, plus the offload data-path overhead (serialize,
+   compress, decode) when a backend charges one;
+2. the resulting command batch becomes a :class:`RenderRequest` submitted
+   to a :class:`GraphicsBackend` (local GPU, GBooster client, or cloud);
+3. ``SwapBuffer`` semantics come from the backend's ``max_pending``: a
+   local double-buffered swap allows 2 frames in flight; GBooster's
+   rewritten non-blocking swap allows 3 (the §VI-A internal buffer);
+   a strict blocking swap (the ablation) allows 1;
+4. vsync pacing caps the issue rate at the engine's target FPS.
+
+Every frame yields a :class:`FrameRecord` carrying issue/presentation
+timestamps and the exogenous signals (§V-B) — touch count, command count,
+texture count, command diff — that the traffic predictor consumes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Generator, List, Optional, Protocol
+
+from repro.apps.base import ApplicationSpec, CommandBatchBuilder, SceneState
+from repro.apps.touch import TouchEvent, TouchGenerator
+from repro.codec.frames import FrameImage
+from repro.devices.runtime import UserDeviceRuntime
+from repro.gpu.model import RenderRequest
+from repro.sim.kernel import Event, Simulator
+
+#: CPU time per frame spent inside the local GL driver stack submitting
+#: work to the local GPU (fixed setup plus a per-command marshalling cost);
+#: offloading replaces this with the client's own data-path overhead.
+DRIVER_FIXED_MS = 1.0
+DRIVER_PER_COMMAND_US = 6.0
+
+
+def driver_submit_ms(nominal_commands: int) -> float:
+    """Local GL driver submission cost per frame (reference CPU)."""
+    return DRIVER_FIXED_MS + nominal_commands * DRIVER_PER_COMMAND_US / 1000.0
+
+
+class GraphicsBackend(Protocol):
+    """What the engine needs from a rendering destination."""
+
+    #: How many rendering requests may be outstanding before the (possibly
+    #: rewritten) SwapBuffer blocks the application.
+    max_pending: int
+    #: Whether frames render through the local GL driver (charges
+    #: DRIVER_SUBMIT_MS on the engine's CPU stage).
+    uses_local_driver: bool
+
+    def submit(self, request: RenderRequest, frame: FrameImage) -> Event:
+        """Dispatch a request; the event fires when the frame is displayed."""
+        ...
+
+    def cpu_overhead_ms(self, frame: FrameImage) -> float:
+        """Extra per-frame CPU on the user device (serialize/compress/decode)."""
+        ...
+
+
+@dataclass
+class FrameRecord:
+    frame_id: int
+    issued_at: float
+    presented_at: Optional[float] = None
+    command_count: int = 0
+    nominal_command_count: int = 0
+    texture_count: int = 0
+    command_diff: int = 0
+    change_fraction: float = 0.0
+    touches_since_last: int = 0
+
+    @property
+    def response_time_ms(self) -> Optional[float]:
+        if self.presented_at is None:
+            return None
+        return self.presented_at - self.issued_at
+
+
+@dataclass
+class EngineConfig:
+    duration_ms: float = 60_000.0
+    vsync_fps: Optional[float] = None      # default: spec.target_fps
+    warmup_ms: float = 2_000.0             # excluded from metrics (menus)
+    #: a MonkeyRunner-style InputScript replaces the stochastic touch
+    #: generator when set (paper §VII-E repeatable tests).
+    input_script: Optional[object] = None
+
+
+class GameEngine:
+    """Runs one application session on one user device."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        spec: ApplicationSpec,
+        device: UserDeviceRuntime,
+        backend: GraphicsBackend,
+        config: Optional[EngineConfig] = None,
+    ):
+        self.sim = sim
+        self.spec = spec
+        self.device = device
+        self.backend = backend
+        self.config = config or EngineConfig()
+        self.scene = SceneState()
+        self.rng = sim.stream(f"engine.{spec.short_name}")
+        self.builder = CommandBatchBuilder(spec, self.rng.fork("commands"))
+        if self.config.input_script is not None:
+            from repro.apps.monkeyrunner import ScriptedTouchPlayer
+
+            self.touch = ScriptedTouchPlayer(
+                sim, self.config.input_script, on_touch=self._on_touch,
+                loop=True,
+            )
+        else:
+            self.touch = TouchGenerator(
+                sim, spec, on_touch=self._on_touch,
+                rng=sim.stream(f"touch.{spec.short_name}"),
+            )
+        self.frames: List[FrameRecord] = []
+        self.setup_commands = self.builder.setup_commands()
+        self._touches_since_frame = 0
+        self._prev_command_count = 0
+        self._frame_id = 0
+        self._inflight: Deque[Event] = deque()
+        self.finished = sim.event(name=f"engine.{spec.short_name}.finished")
+        self._proc = sim.spawn(self._run(), name=f"engine.{spec.short_name}")
+
+    # -- touch handling -------------------------------------------------------
+
+    def _on_touch(self, event: TouchEvent) -> None:
+        self.scene.on_touch(event.strength)
+        self._touches_since_frame += 1
+
+    # -- the frame loop ----------------------------------------------------------
+
+    def _cpu_stage_ms(self, frame: FrameImage) -> float:
+        perf = self.device.spec.cpu.perf_index
+        stage = self.spec.cpu_ms_per_frame / perf
+        if self.backend.uses_local_driver:
+            stage += driver_submit_ms(self.spec.nominal_commands_per_frame) / perf
+        stage += self.backend.cpu_overhead_ms(frame) / perf
+        return stage
+
+    def _run(self) -> Generator:
+        sim = self.sim
+        spec = self.spec
+        vsync_fps = self.config.vsync_fps or spec.target_fps
+        vsync_interval = 1000.0 / vsync_fps
+        end_time = sim.now + self.config.duration_ms
+        self.device.cpu.set_load("app_base", spec.cpu_base_load)
+        last_issue = -vsync_interval
+        frame_dt_s = vsync_interval / 1000.0
+
+        while sim.now < end_time:
+            # SwapBuffer semantics: block while the pending buffer is full.
+            while len(self._inflight) >= self.backend.max_pending:
+                oldest = self._inflight.popleft()
+                yield oldest
+
+            # Scene evolves with wall time since the previous frame.
+            self.scene.advance(max(frame_dt_s, (sim.now - last_issue) / 1000.0))
+            frame_desc = FrameImage(
+                width=spec.render_width,
+                height=spec.render_height,
+                change_fraction=self.scene.change_fraction(spec),
+                detail=spec.detail,
+            )
+
+            # CPU stage: game logic + driver or offload overhead.  This runs
+            # *inside* the frame interval (the game thread works while the
+            # previous frame displays), so vsync pacing below only delays
+            # the issue if CPU work finished early.
+            stage_ms = self._cpu_stage_ms(frame_desc)
+            yield stage_ms
+
+            # Vsync pacing on issue rate.
+            earliest = last_issue + vsync_interval
+            if sim.now < earliest:
+                yield earliest - sim.now
+
+            commands = self.builder.frame_commands(self.scene)
+            record = FrameRecord(
+                frame_id=self._frame_id,
+                issued_at=sim.now,
+                command_count=len(commands),
+                nominal_command_count=spec.nominal_commands_per_frame,
+                texture_count=max(
+                    1,
+                    int(
+                        spec.textures_per_frame
+                        * (0.5 + 0.5 * self.scene.activity)
+                    ),
+                ),
+                command_diff=int(
+                    spec.nominal_commands_per_frame
+                    * self.scene.change_fraction(spec)
+                    * self.rng.uniform(0.6, 1.4)
+                ),
+                change_fraction=frame_desc.change_fraction,
+                touches_since_last=self._touches_since_frame,
+            )
+            self._touches_since_frame = 0
+            self.frames.append(record)
+
+            request = RenderRequest(
+                request_id=self._frame_id,
+                frame_id=self._frame_id,
+                commands=commands,
+                fill_megapixels=spec.fill_mp_per_frame
+                * self.rng.uniform(0.92, 1.08),
+                vertex_count=spec.nominal_commands_per_frame * 12,
+                width=spec.render_width,
+                height=spec.render_height,
+                issued_at=sim.now,
+                metadata={"record": record},
+            )
+            completion = self.backend.submit(request, frame_desc)
+            self._bind_presentation(completion, record)
+            self._inflight.append(completion)
+            # CPU load accounting (§VII-G): busy fraction over the realized
+            # frame interval, spread across the device's cores.
+            interval_ms = max(sim.now - last_issue, stage_ms, 1e-6)
+            cores = self.device.spec.cpu.cores
+            self.device.cpu.set_load(
+                "frame_gen", min(1.0, stage_ms / interval_ms / cores)
+            )
+            last_issue = sim.now
+            self._frame_id += 1
+
+        # Drain outstanding frames before declaring the session over.
+        while self._inflight:
+            yield self._inflight.popleft()
+        self.device.cpu.set_load("frame_gen", 0.0)
+        self.device.cpu.set_load("app_base", 0.0)
+        if not self.finished.triggered:
+            self.finished.trigger(len(self.frames))
+
+    def _bind_presentation(self, completion: Event, record: FrameRecord) -> None:
+        def _watch() -> Generator:
+            yield completion
+            record.presented_at = self.sim.now
+            self.device.surface.attach_back(None)
+
+        self.sim.spawn(_watch(), name=f"present.{record.frame_id}")
+
+    # -- session results -------------------------------------------------------------
+
+    def presented_frames(self) -> List[FrameRecord]:
+        warmup_end = self.config.warmup_ms
+        return [
+            f
+            for f in self.frames
+            if f.presented_at is not None and f.presented_at >= warmup_end
+        ]

@@ -1,0 +1,168 @@
+"""The six evaluation games (Table II) as calibrated workload models.
+
+Calibration anchors (paper Fig 5, Nexus 5 = Adreno 330 at 3.6 GP/s):
+
+* fill workload  — ``fill_mp_per_frame`` is set so the *local* fill-bound
+  frame time matches the paper's local median FPS (G1: 23, G2: 22, puzzle
+  games near 50);
+* CPU stage — ``cpu_ms_per_frame`` (+ the offload data-path overhead) is
+  what caps the *offloaded* frame rate, matching §VI's observation that
+  request generation is CPU-constrained; the driver-submission share
+  (``driver_ms_per_frame``) disappears when rendering is remote;
+* action games are GPU-bound locally (GPU utilization ~1.0, the Fig 6
+  energy story), puzzle games are CPU/pacing-bound with the GPU only
+  half-busy — which is why offloading saves them much less energy.
+
+All cpu figures are for the Snapdragon 800 reference; the engine divides
+by the device CPU's ``perf_index``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.apps.base import ApplicationSpec
+
+GTA_SAN_ANDREAS = ApplicationSpec(
+    name="GTA San Andreas",
+    short_name="G1",
+    genre="action",
+    package_size_gb=2.41,
+    fill_mp_per_frame=156.5,          # local on Nexus 5: 43.5 ms -> 23 FPS
+    cpu_ms_per_frame=19.6,
+    cpu_base_load=0.545,              # background logic: ~2.2 cores of 4
+    nominal_commands_per_frame=900,
+    emitted_commands_per_frame=36,
+    textures_per_frame=14,
+    render_width=1280,
+    render_height=720,
+    base_change_fraction=0.07,
+    burst_change_fraction=0.85,
+    detail=0.75,
+    touch_burst_interval_s=6.5,
+    touch_burst_duration_s=1.1,
+    touch_rate_in_burst_hz=9.0,
+)
+
+MODERN_COMBAT = ApplicationSpec(
+    name="Modern Combat 5: Blackout",
+    short_name="G2",
+    genre="action",
+    package_size_gb=0.89,
+    fill_mp_per_frame=163.6,          # local on Nexus 5: 45.5 ms -> 22 FPS
+    cpu_ms_per_frame=20.5,
+    cpu_base_load=0.52,
+    nominal_commands_per_frame=700,
+    emitted_commands_per_frame=32,
+    textures_per_frame=12,
+    render_width=1280,
+    render_height=720,
+    base_change_fraction=0.08,
+    burst_change_fraction=0.9,
+    detail=0.7,
+    touch_burst_interval_s=6.0,
+    touch_burst_duration_s=1.0,
+    touch_rate_in_burst_hz=8.0,
+)
+
+STAR_WARS_KOTOR = ApplicationSpec(
+    name="Star Wars: KOTOR",
+    short_name="G3",
+    genre="roleplaying",
+    package_size_gb=2.4,
+    fill_mp_per_frame=120.0,          # local on Nexus 5: 33.3 ms -> 30 FPS
+    cpu_ms_per_frame=23.5,
+    cpu_base_load=0.45,
+    nominal_commands_per_frame=700,
+    emitted_commands_per_frame=30,
+    textures_per_frame=12,
+    render_width=1280,
+    render_height=720,
+    base_change_fraction=0.08,
+    burst_change_fraction=0.6,
+    detail=0.7,
+    touch_burst_interval_s=6.0,
+    touch_burst_duration_s=1.2,
+    touch_rate_in_burst_hz=5.0,
+)
+
+FINAL_FANTASY = ApplicationSpec(
+    name="Final Fantasy",
+    short_name="G4",
+    genre="roleplaying",
+    package_size_gb=3.05,
+    fill_mp_per_frame=112.5,          # local on Nexus 5: 31.3 ms -> 32 FPS
+    cpu_ms_per_frame=22.1,
+    cpu_base_load=0.45,
+    nominal_commands_per_frame=650,
+    emitted_commands_per_frame=30,
+    textures_per_frame=11,
+    render_width=1280,
+    render_height=720,
+    base_change_fraction=0.07,
+    burst_change_fraction=0.55,
+    detail=0.65,
+    touch_burst_interval_s=7.0,
+    touch_burst_duration_s=1.0,
+    touch_rate_in_burst_hz=4.0,
+)
+
+CANDY_CRUSH = ApplicationSpec(
+    name="Candy Crush Saga",
+    short_name="G5",
+    genre="puzzle",
+    package_size_gb=0.17,
+    fill_mp_per_frame=30.0,           # GPU well under half busy at 51 FPS
+    cpu_ms_per_frame=16.2,
+    cpu_base_load=0.30,
+    nominal_commands_per_frame=400,
+    emitted_commands_per_frame=24,
+    textures_per_frame=8,
+    render_width=600,
+    render_height=480,
+    base_change_fraction=0.05,
+    burst_change_fraction=0.35,
+    detail=0.45,
+    touch_burst_interval_s=2.5,
+    touch_burst_duration_s=0.5,
+    touch_rate_in_burst_hz=3.0,
+)
+
+CUT_THE_ROPE = ApplicationSpec(
+    name="Cut the Rope",
+    short_name="G6",
+    genre="puzzle",
+    package_size_gb=0.12,
+    fill_mp_per_frame=33.0,
+    cpu_ms_per_frame=18.9,
+    cpu_base_load=0.28,
+    nominal_commands_per_frame=380,
+    emitted_commands_per_frame=24,
+    textures_per_frame=7,
+    render_width=600,
+    render_height=480,
+    base_change_fraction=0.06,
+    burst_change_fraction=0.4,
+    detail=0.5,
+    touch_burst_interval_s=3.5,
+    touch_burst_duration_s=0.7,
+    touch_rate_in_burst_hz=4.0,
+)
+
+GAMES: Dict[str, ApplicationSpec] = {
+    spec.short_name: spec
+    for spec in (
+        GTA_SAN_ANDREAS,
+        MODERN_COMBAT,
+        STAR_WARS_KOTOR,
+        FINAL_FANTASY,
+        CANDY_CRUSH,
+        CUT_THE_ROPE,
+    )
+}
+
+#: Table II rows: (id, name, genre, package size GB)
+TABLE_II: Tuple[Tuple[str, str, str, float], ...] = tuple(
+    (s.short_name, s.name, s.genre, s.package_size_gb)
+    for s in GAMES.values()
+)

@@ -1,0 +1,76 @@
+"""Touch-event generation (the MonkeyRunner stand-in).
+
+The paper drives repeatable sessions with scripted input; here a seeded
+burst process plays the same role: quiet stretches punctuated by input
+bursts whose rate and duration are genre parameters.  Touch timing is the
+*cause* that leads the traffic surge by a beat — the signal the ARMAX
+exogenous input exploits (§V-B attribute 1, read from /proc/interrupts on
+the real system).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generator, List, Optional
+
+from repro.apps.base import ApplicationSpec
+from repro.sim.kernel import Simulator
+from repro.sim.random import RandomStream
+
+
+@dataclass(frozen=True)
+class TouchEvent:
+    time_ms: float
+    x: float
+    y: float
+    strength: float = 1.0
+
+
+class TouchGenerator:
+    """A simulator process emitting bursts of touch events."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        spec: ApplicationSpec,
+        on_touch: Optional[Callable[[TouchEvent], None]] = None,
+        rng: Optional[RandomStream] = None,
+    ):
+        self.sim = sim
+        self.spec = spec
+        self.on_touch = on_touch
+        self.rng = rng or sim.stream(f"touch.{spec.short_name}")
+        self.events: List[TouchEvent] = []
+        self._proc = sim.spawn(self._run(), name=f"touch.{spec.short_name}")
+
+    def _run(self) -> Generator:
+        spec = self.spec
+        while True:
+            # Quiet gap until the next burst (exponential around the mean).
+            gap_ms = self.rng.exponential(spec.touch_burst_interval_s * 1000.0)
+            yield max(50.0, gap_ms)
+            # Burst: touches at the in-burst rate for the burst duration.
+            duration_ms = max(
+                100.0,
+                self.rng.normal(
+                    spec.touch_burst_duration_s * 1000.0,
+                    spec.touch_burst_duration_s * 200.0,
+                ),
+            )
+            burst_end = self.sim.now + duration_ms
+            period_ms = 1000.0 / spec.touch_rate_in_burst_hz
+            while self.sim.now < burst_end:
+                event = TouchEvent(
+                    time_ms=self.sim.now,
+                    x=self.rng.uniform(0.0, 1.0),
+                    y=self.rng.uniform(0.0, 1.0),
+                    strength=self.rng.uniform(0.6, 1.0),
+                )
+                self.events.append(event)
+                if self.on_touch is not None:
+                    self.on_touch(event)
+                yield max(10.0, self.rng.normal(period_ms, period_ms * 0.2))
+
+    def count_in_window(self, start_ms: float, end_ms: float) -> int:
+        """Touches observed in [start, end) — the /proc/interrupts signal."""
+        return sum(1 for e in self.events if start_ms <= e.time_ms < end_ms)

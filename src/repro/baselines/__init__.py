@@ -1,0 +1,6 @@
+"""Comparison baselines: local execution and cloud remote rendering."""
+
+from repro.baselines.local import LocalBackend
+from repro.baselines.cloud import CloudGamingModel, CloudSessionResult
+
+__all__ = ["CloudGamingModel", "CloudSessionResult", "LocalBackend"]

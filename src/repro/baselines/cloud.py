@@ -1,0 +1,135 @@
+"""The OnLive-style cloud remote-rendering baseline (paper §VII-F).
+
+In the remote-rendering architecture the *whole game* runs in a cloud VM:
+the server renders, x264-encodes and streams video down a WAN; the user's
+touches travel up the same WAN and are replayed server-side.  The paper
+measures, over a 10 Mbps connection at 1280x720:
+
+* frame rate capped at 30 FPS by the platform's video-encoder settings;
+* average response time around 150 ms — roughly 5x GBooster's — because
+  every input must cross the Internet before its effect is even rendered.
+
+:class:`CloudGamingModel` reproduces both as a small closed-form pipeline
+model plus a seeded jitter simulation; it deliberately does not reuse the
+GBooster engine because the frame loop lives server-side in this
+architecture.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.apps.base import ApplicationSpec
+from repro.codec.video import VideoEncoderModel, X264_DATACENTER
+from repro.sim.random import RandomStream
+
+
+@dataclass
+class CloudSessionResult:
+    median_fps: float
+    mean_response_ms: float
+    stream_kbps: float
+    fps_series: List[float]
+    response_series_ms: List[float]
+
+
+@dataclass
+class CloudGamingModel:
+    """Parameters of a remote-rendering platform session."""
+
+    wan_rtt_ms: float = 100.0            # long physical proximity (§II)
+    wan_jitter_ms: float = 18.0
+    wan_bandwidth_mbps: float = 10.0     # the paper's test connection
+    stream_width: int = 1280
+    stream_height: int = 720
+    encoder: VideoEncoderModel = X264_DATACENTER
+    client_decode_ms: float = 8.0
+    jitter_buffer_ms: float = 12.0       # de-jitter playout buffer
+    server_gpu_gpixels: float = 30.0     # datacenter GPUs are not the limit
+
+    def frame_interval_ms(self, app: ApplicationSpec) -> float:
+        """Server frame pacing: min of game rate and encoder cap."""
+        server_fps = min(
+            app.target_fps,
+            self.encoder.sustainable_fps(self.stream_width, self.stream_height),
+            1000.0 * self.server_gpu_gpixels / max(app.fill_mp_per_frame, 1e-9),
+        )
+        return 1000.0 / server_fps
+
+    def per_frame_bytes(self) -> int:
+        return self.encoder.encoded_bytes(self.stream_width * self.stream_height)
+
+    def response_time_ms(self, app: ApplicationSpec, jitter_ms: float = 0.0) -> float:
+        """Input-to-photon latency of one interaction."""
+        frame_tx_ms = (
+            self.per_frame_bytes() * 8 / (self.wan_bandwidth_mbps * 1000.0)
+        )
+        encode_ms = self.encoder.encode_time_ms(
+            self.stream_width * self.stream_height
+        )
+        # uplink + wait for next server frame (half interval on average) +
+        # render + encode + downlink + decode + playout buffer.
+        return (
+            self.wan_rtt_ms / 2.0
+            + self.frame_interval_ms(app) / 2.0
+            + encode_ms
+            + self.wan_rtt_ms / 2.0
+            + frame_tx_ms
+            + self.client_decode_ms
+            + self.jitter_buffer_ms
+            + jitter_ms
+        )
+
+    def simulate_session(
+        self,
+        app: ApplicationSpec,
+        duration_s: float = 120.0,
+        rng: Optional[RandomStream] = None,
+    ) -> CloudSessionResult:
+        """A seeded session: per-second FPS plus sampled response times."""
+        rng = rng or RandomStream(0, f"cloud.{app.short_name}")
+        interval = self.frame_interval_ms(app)
+        capacity_ms_per_frame = (
+            self.per_frame_bytes() * 8 / (self.wan_bandwidth_mbps * 1000.0)
+        )
+        fps_series: List[float] = []
+        responses: List[float] = []
+        t = 0.0
+        frames_this_second = 0
+        second_edge = 1000.0
+        while t < duration_s * 1000.0:
+            # Congestion episodes stall the stream below the encoder cap.
+            degraded = rng.bernoulli(0.05)
+            effective = interval + (
+                rng.exponential(capacity_ms_per_frame * 2.0) if degraded else 0.0
+            )
+            t += max(effective, capacity_ms_per_frame)
+            frames_this_second += 1
+            while t >= second_edge:
+                fps_series.append(frames_this_second)
+                frames_this_second = 0
+                second_edge += 1000.0
+            if rng.bernoulli(0.10):  # sample an interaction's latency
+                responses.append(
+                    self.response_time_ms(
+                        app, jitter_ms=abs(rng.normal(0.0, self.wan_jitter_ms))
+                    )
+                )
+        median_fps = statistics.median(fps_series) if fps_series else 0.0
+        mean_response = (
+            sum(responses) / len(responses)
+            if responses
+            else self.response_time_ms(app)
+        )
+        stream_kbps = (
+            self.per_frame_bytes() * 8 / interval
+        )  # bytes*8 bits / ms == kbps
+        return CloudSessionResult(
+            median_fps=median_fps,
+            mean_response_ms=mean_response,
+            stream_kbps=stream_kbps,
+            fps_series=fps_series,
+            response_series_ms=responses,
+        )

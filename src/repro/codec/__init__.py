@@ -1,0 +1,37 @@
+"""Traffic-redundancy elimination (paper §V-A).
+
+Unoptimized offload traffic runs to ~200 Mbps even at low graphics
+settings; the paper attacks both halves of it:
+
+* **Command streams** — an LRU cache of recent commands replaces repeats
+  with short references (:mod:`repro.codec.command_cache`), then an
+  LZ4-class byte compressor squeezes what remains
+  (:mod:`repro.codec.lz77`, a real, round-tripping implementation).
+* **Rendered frames** — a TurboVNC-style incremental image codec ships only
+  inter-frame updates, JPEG-compressed (:mod:`repro.codec.turbo`); the
+  x264 video-encoder alternative is modelled in :mod:`repro.codec.video`
+  to show why its ~1 MP/s ARM throughput rules it out for real time.
+"""
+
+from repro.codec.command_cache import CachePair, LRUCommandCache
+from repro.codec.frames import FrameImage, SyntheticFrameSource
+from repro.codec.lz77 import compress, decompress
+from repro.codec.pipeline import CommandPipeline, PipelineConfig
+from repro.codec.turbo import TurboEncoder, TurboStats
+from repro.codec.video import VideoEncoderModel, X264_ARM, X264_X86
+
+__all__ = [
+    "CachePair",
+    "CommandPipeline",
+    "FrameImage",
+    "LRUCommandCache",
+    "PipelineConfig",
+    "SyntheticFrameSource",
+    "TurboEncoder",
+    "TurboStats",
+    "VideoEncoderModel",
+    "X264_ARM",
+    "X264_X86",
+    "compress",
+    "decompress",
+]

@@ -1,0 +1,114 @@
+"""LRU caching of graphics commands (paper §V-A).
+
+Consecutive frames issue near-identical command sequences; GBooster caches
+"the latest and frequent commands on the user device and the service
+device" so repeats travel as short references instead of full payloads.
+
+The sender and receiver caches must stay in lockstep or a reference would
+dangle.  :class:`CachePair` couples two :class:`LRUCommandCache` instances
+and runs the identical update rule on both sides, asserting agreement — the
+invariant the property tests hammer on.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.gles.commands import GLCommand
+
+# Wire size of a cache reference: 2-byte marker + 8-byte key digest.
+REFERENCE_BYTES = 10
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class LRUCommandCache:
+    """One side's cache: command key -> cached wire bytes."""
+
+    def __init__(self, capacity: int = 4096):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Tuple, bytes]" = OrderedDict()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Tuple) -> bool:
+        return key in self._entries
+
+    def lookup(self, key: Tuple) -> Optional[bytes]:
+        """Returns cached bytes and refreshes recency, or None."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry
+
+    def insert(self, key: Tuple, wire: bytes) -> None:
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            return
+        self._entries[key] = wire
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def keys_in_order(self) -> Tuple[Tuple, ...]:
+        """Oldest-to-newest key order (exposed for consistency checks)."""
+        return tuple(self._entries.keys())
+
+
+class CachePair:
+    """Sender + receiver caches updated by one deterministic rule.
+
+    ``encode`` decides, for one command with known wire bytes, whether to
+    send a reference (cache hit on the sender) or the full payload (miss;
+    both sides then insert).  ``decode`` replays the same rule on the
+    receiver and returns the command's wire bytes.
+    """
+
+    def __init__(self, capacity: int = 4096):
+        self.sender = LRUCommandCache(capacity)
+        self.receiver = LRUCommandCache(capacity)
+
+    def encode(self, cmd: GLCommand, wire: bytes) -> Tuple[int, bool]:
+        """Returns ``(bytes_on_wire, was_hit)`` for this command."""
+        key = cmd.key()
+        if self.sender.lookup(key) is not None:
+            # Receiver must refresh recency identically.
+            hit = self.receiver.lookup(key)
+            if hit is None:
+                raise RuntimeError(
+                    "cache desync: sender hit but receiver miss for "
+                    f"{cmd.name}"
+                )
+            return REFERENCE_BYTES, True
+        self.sender.insert(key, wire)
+        self.receiver.insert(key, wire)
+        return len(wire), False
+
+    def verify_consistent(self) -> bool:
+        return self.sender.keys_in_order() == self.receiver.keys_in_order()
+
+    @property
+    def hit_rate(self) -> float:
+        return self.sender.stats.hit_rate

@@ -1,0 +1,121 @@
+"""Synthetic rendered frames.
+
+The service device's GPU output is modelled, not rasterized, so the image
+codec needs a stand-in for "what the rendered frame looks like".  Two
+levels are provided:
+
+* :class:`FrameImage` — a lightweight descriptor (dimensions plus the
+  fraction of pixels changed since the previous frame and a texture-detail
+  level); the fast path used inside long sessions.
+* :class:`SyntheticFrameSource` — real ``numpy`` pixel arrays with moving
+  sprites over a textured background, used by the codec benchmarks so
+  compression ratios are measured on actual pixels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class FrameImage:
+    """Descriptor of one rendered frame for the modelled codec path."""
+
+    width: int
+    height: int
+    change_fraction: float     # fraction of pixels differing from previous
+    detail: float = 0.5        # 0 = flat fills, 1 = noisy texture
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ValueError("frame dimensions must be positive")
+        if not 0.0 <= self.change_fraction <= 1.0:
+            raise ValueError(
+                f"change_fraction {self.change_fraction} outside [0, 1]"
+            )
+        if not 0.0 <= self.detail <= 1.0:
+            raise ValueError(f"detail {self.detail} outside [0, 1]")
+
+    @property
+    def pixels(self) -> int:
+        return self.width * self.height
+
+    @property
+    def raw_bytes(self) -> int:
+        return self.pixels * 3  # RGB888
+
+
+class SyntheticFrameSource:
+    """Generates real RGB frames: sprites moving over a static background.
+
+    The scene dynamics knob maps to how far sprites move per frame, which
+    controls the inter-frame difference the incremental codec exploits —
+    static menus compress enormously, action scenes much less.
+    """
+
+    def __init__(
+        self,
+        width: int = 640,
+        height: int = 480,
+        sprite_count: int = 8,
+        sprite_size: int = 48,
+        motion_px: float = 6.0,
+        detail: float = 0.5,
+        seed: int = 0,
+    ):
+        self.width = width
+        self.height = height
+        self.sprite_size = sprite_size
+        self.motion_px = motion_px
+        self._rng = np.random.default_rng(seed)
+        # Low-frequency texture: noise generated at 1/8 resolution and
+        # upsampled, so the background is locally smooth the way painted
+        # game art is (per-pixel white noise would defeat any codec).
+        coarse = self._rng.integers(
+            0, int(40 + 180 * detail) + 1,
+            size=(-(-height // 8), -(-width // 8), 3), dtype=np.uint8,
+        )
+        noise = np.kron(coarse, np.ones((8, 8, 1), dtype=np.uint8))[
+            :height, :width
+        ]
+        base = np.zeros((height, width, 3), dtype=np.uint8)
+        base[:, :, 0] = np.linspace(30, 90, width, dtype=np.uint8)[None, :]
+        base[:, :, 1] = np.linspace(40, 120, height, dtype=np.uint8)[:, None]
+        base[:, :, 2] = 60
+        self.background = ((base.astype(np.uint16) + noise) // 2).astype(
+            np.uint8
+        )
+        self._positions = self._rng.uniform(
+            0, [width - sprite_size, height - sprite_size], size=(sprite_count, 2)
+        )
+        self._velocities = self._rng.uniform(
+            -1.0, 1.0, size=(sprite_count, 2)
+        )
+        self._colors = self._rng.integers(
+            60, 255, size=(sprite_count, 3), dtype=np.uint8
+        )
+
+    def frame(self) -> np.ndarray:
+        """Render the next frame and advance sprite positions."""
+        img = self.background.copy()
+        s = self.sprite_size
+        for pos, color in zip(self._positions, self._colors):
+            x, y = int(pos[0]), int(pos[1])
+            img[y:y + s, x:x + s] = color
+        # Advance, bouncing off the borders.
+        self._positions += self._velocities * self.motion_px
+        for i, (x, y) in enumerate(self._positions):
+            if not 0 <= x <= self.width - s:
+                self._velocities[i, 0] *= -1
+                self._positions[i, 0] = min(max(x, 0), self.width - s)
+            if not 0 <= y <= self.height - s:
+                self._velocities[i, 1] *= -1
+                self._positions[i, 1] = min(max(y, 0), self.height - s)
+        return img
+
+    def frames(self, count: int) -> Iterator[np.ndarray]:
+        for _ in range(count):
+            yield self.frame()

@@ -1,0 +1,222 @@
+"""The "Turbo" incremental image codec (paper §V-A).
+
+Modelled after the TurboVNC encoding method [25]: the encoder splits each
+frame into tiles, transmits only the tiles that changed since the previous
+frame, and JPEG-compresses those.  The paper reports up to 90 MP/s encode
+throughput and compression ratios up to 25:1.
+
+Two implementations share one interface:
+
+* :meth:`TurboEncoder.encode_array` — a real tile-diff + quantize + RLE
+  codec over numpy frames.  Measured, not assumed: ratios come out of real
+  pixel data in the benchmarks.
+* :meth:`TurboEncoder.encode_descriptor` — the fast modelled path for long
+  sessions, driven by a :class:`FrameImage` descriptor and the same
+  tile/quantization parameters, calibrated to agree with the real path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.codec.frames import FrameImage
+
+TILE = 16
+HEADER_BYTES_PER_TILE = 4       # tile index + flags
+FRAME_HEADER_BYTES = 16
+
+# Encode throughput in megapixels per second (paper §V-A figures).
+TURBO_THROUGHPUT_MP_S = 90.0
+
+
+@dataclass
+class TurboStats:
+    frames: int = 0
+    raw_bytes: int = 0
+    encoded_bytes: int = 0
+    tiles_total: int = 0
+    tiles_sent: int = 0
+    encode_time_ms_total: float = 0.0
+
+    @property
+    def compression_ratio(self) -> float:
+        """raw : encoded — the paper quotes up to 25:1."""
+        if self.encoded_bytes == 0:
+            return float("inf")
+        return self.raw_bytes / self.encoded_bytes
+
+
+@dataclass
+class EncodedFrame:
+    size_bytes: int
+    encode_time_ms: float
+    tiles_sent: int
+    keyframe: bool
+
+
+def _quantize_tile(tile: np.ndarray, quality: int) -> bytes:
+    """JPEG-like lossy tile coding.
+
+    Not a spec-compliant JPEG, but a genuine lossy transform whose output
+    size responds to image content the way JPEG's does: 2x2 chroma-style
+    subsampling, coarse quantization, run-length coding of the result, and
+    a raw fallback so pathological tiles never exceed the subsampled size.
+    """
+    step = max(1, 64 - (quality * 56) // 100)  # quality 100 -> step 8
+    h, w = tile.shape[:2]
+    # 2x2 spatial subsampling (pad odd edges by clipping).
+    sub = tile[: h - h % 2: 2, : w - w % 2: 2]
+    if sub.size == 0:
+        sub = tile[:1, :1]
+    q = (sub.astype(np.int16) // step).astype(np.int16)
+    # Channel-planar delta coding: smooth content (gradients, painted art)
+    # becomes long runs of equal small deltas — the DC-prediction trick that
+    # gives DCT codecs their edge on low-frequency content.
+    planes = q.transpose(2, 0, 1).reshape(-1)
+    flat = np.diff(planes, prepend=planes[:1]).astype(np.uint8)
+    candidates = [b"\x00" + flat.tobytes()]  # raw (subsampled) fallback
+
+    # Run-length coding as (count, value) byte pairs.
+    out = bytearray()
+    run_value = int(flat[0])
+    run_len = 1
+    for value in flat[1:]:
+        value = int(value)
+        if value == run_value and run_len < 255:
+            run_len += 1
+        else:
+            out.append(run_len)
+            out.append(run_value)
+            run_value = value
+            run_len = 1
+    out.append(run_len)
+    out.append(run_value)
+    candidates.append(b"\x01" + bytes(out))
+
+    # Fixed-width symbol packing when the delta alphabet is small — the
+    # entropy-coding stage that wins on smooth gradients whose deltas
+    # alternate between a couple of values and defeat plain RLE.
+    alphabet = np.unique(flat)
+    for bits, mode in ((2, 2), (4, 3)):
+        if len(alphabet) <= (1 << bits):
+            lut = {int(v): i for i, v in enumerate(alphabet)}
+            symbols = np.array([lut[int(v)] for v in flat], dtype=np.uint8)
+            packed = np.zeros((len(symbols) * bits + 7) // 8, dtype=np.uint8)
+            for i, s in enumerate(symbols):
+                packed[(i * bits) // 8] |= s << ((i * bits) % 8)
+            header = bytes([mode, len(alphabet)]) + alphabet.tobytes()
+            candidates.append(header + packed.tobytes())
+            break
+    return min(candidates, key=len)
+
+
+class TurboEncoder:
+    """Stateful encoder: remembers the previous frame for differencing."""
+
+    def __init__(
+        self,
+        quality: int = 80,
+        diff_threshold: int = 4,
+        throughput_mp_s: float = TURBO_THROUGHPUT_MP_S,
+    ):
+        if not 1 <= quality <= 100:
+            raise ValueError(f"quality {quality} outside [1, 100]")
+        self.quality = quality
+        self.diff_threshold = diff_threshold
+        self.throughput_mp_s = throughput_mp_s
+        self.stats = TurboStats()
+        self._previous: Optional[np.ndarray] = None
+
+    # -- real path -----------------------------------------------------------
+
+    def encode_array(self, frame: np.ndarray) -> EncodedFrame:
+        """Encode a real RGB frame (HxWx3 uint8)."""
+        if frame.ndim != 3 or frame.shape[2] != 3:
+            raise ValueError(f"expected HxWx3 frame, got {frame.shape}")
+        height, width = frame.shape[:2]
+        keyframe = (
+            self._previous is None or self._previous.shape != frame.shape
+        )
+        tiles_y = -(-height // TILE)
+        tiles_x = -(-width // TILE)
+        total_tiles = tiles_x * tiles_y
+        encoded = FRAME_HEADER_BYTES
+        tiles_sent = 0
+        for ty in range(tiles_y):
+            for tx in range(tiles_x):
+                y0, x0 = ty * TILE, tx * TILE
+                tile = frame[y0:y0 + TILE, x0:x0 + TILE]
+                if not keyframe:
+                    prev = self._previous[y0:y0 + TILE, x0:x0 + TILE]
+                    delta = np.abs(
+                        tile.astype(np.int16) - prev.astype(np.int16)
+                    )
+                    if int(delta.max()) <= self.diff_threshold:
+                        continue  # unchanged tile: not transmitted
+                encoded += HEADER_BYTES_PER_TILE + len(
+                    _quantize_tile(tile, self.quality)
+                )
+                tiles_sent += 1
+        self._previous = frame.copy()
+        raw = width * height * 3
+        encode_ms = self._encode_time_ms(
+            width * height, tiles_sent / max(1, total_tiles)
+        )
+        self._account(raw, encoded, total_tiles, tiles_sent, encode_ms)
+        return EncodedFrame(encoded, encode_ms, tiles_sent, keyframe)
+
+    def _encode_time_ms(self, pixels: int, sent_fraction: float) -> float:
+        """Encode cost: a full-frame diff/copy pass plus JPEG work only on
+        the tiles actually transmitted — the TurboVNC design point.  The
+        diff pass touches every pixel regardless of change, so it carries a
+        substantial fixed share of the budget."""
+        diff_fraction = 0.35
+        effective = pixels * (diff_fraction + (1.0 - diff_fraction) * sent_fraction)
+        return effective / (self.throughput_mp_s * 1000.0)
+
+    # -- modelled path ------------------------------------------------------------
+
+    # Calibration constants for the modelled path, chosen to match the real
+    # path on the synthetic frame corpus (see tests/codec/test_turbo.py):
+    # a changed tile compresses to roughly raw/JPEG_RATIO at the detail
+    # midpoint, scaled by content detail.
+    _BASE_JPEG_RATIO = 16.0
+
+    def encode_descriptor(self, frame: FrameImage, keyframe: bool = False) -> EncodedFrame:
+        """Encode a frame descriptor without touching pixels."""
+        change = 1.0 if keyframe else frame.change_fraction
+        tiles_total = (-(-frame.height // TILE)) * (-(-frame.width // TILE))
+        tiles_sent = max(0, min(tiles_total, round(tiles_total * change)))
+        raw = frame.raw_bytes
+        # JPEG ratio degrades with detail: flat UIs ~25:1, noisy scenes ~6:1.
+        ratio = self._BASE_JPEG_RATIO * (2.1 - 1.6 * frame.detail)
+        tile_raw = TILE * TILE * 3
+        encoded = FRAME_HEADER_BYTES + tiles_sent * (
+            HEADER_BYTES_PER_TILE + int(tile_raw / ratio)
+        )
+        encode_ms = self._encode_time_ms(
+            frame.pixels, tiles_sent / max(1, tiles_total)
+        )
+        self._account(raw, encoded, tiles_total, tiles_sent, encode_ms)
+        return EncodedFrame(encoded, encode_ms, tiles_sent, keyframe)
+
+    def _account(
+        self,
+        raw: int,
+        encoded: int,
+        tiles_total: int,
+        tiles_sent: int,
+        encode_ms: float,
+    ) -> None:
+        self.stats.frames += 1
+        self.stats.raw_bytes += raw
+        self.stats.encoded_bytes += encoded
+        self.stats.tiles_total += tiles_total
+        self.stats.tiles_sent += tiles_sent
+        self.stats.encode_time_ms_total += encode_ms
+
+    def reset(self) -> None:
+        self._previous = None

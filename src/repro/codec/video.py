@@ -1,0 +1,62 @@
+"""Video-encoder throughput model (the x264 alternative, §V-A).
+
+The paper measured x264 on the ARM CPUs that populate consoles and TV
+boxes: roughly 1 MP/s — an order of magnitude below the ~7 MP/s a game
+produces raw frames at, so the encoder cannot keep up in real time.  On
+x86 PCs it is fast, which is why cloud platforms like OnLive can use it
+(and why their frame rate is capped by the encoder settings, §VII-F).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class VideoEncoderModel:
+    """Throughput/ratio model of a video encoder on a given CPU class."""
+
+    name: str
+    throughput_mp_s: float       # sustainable encode rate
+    compression_ratio: float     # raw bytes : encoded bytes
+    max_fps: float = 60.0        # encoder configuration cap
+
+    def encode_time_ms(self, pixels: int) -> float:
+        if pixels < 0:
+            raise ValueError(f"negative pixel count {pixels}")
+        return pixels / (self.throughput_mp_s * 1000.0)
+
+    def encoded_bytes(self, pixels: int) -> int:
+        raw = pixels * 3
+        return max(1, int(raw / self.compression_ratio))
+
+    def sustainable_fps(self, width: int, height: int) -> float:
+        """Frames per second the encoder alone can sustain at a resolution."""
+        per_frame_ms = self.encode_time_ms(width * height)
+        if per_frame_ms <= 0:
+            return self.max_fps
+        return min(self.max_fps, 1000.0 / per_frame_ms)
+
+    def keeps_up(self, width: int, height: int, fps: float) -> bool:
+        return self.sustainable_fps(width, height) >= fps
+
+
+X264_ARM = VideoEncoderModel(
+    name="x264 (ARM, unoptimized)",
+    throughput_mp_s=1.0,
+    compression_ratio=120.0,
+)
+
+X264_X86 = VideoEncoderModel(
+    name="x264 (x86)",
+    throughput_mp_s=70.0,
+    compression_ratio=120.0,
+    max_fps=30.0,   # OnLive's encoder setting caps streams at 30 FPS (§VII-F)
+)
+
+X264_DATACENTER = VideoEncoderModel(
+    name="x264 (datacenter, hardware-assisted)",
+    throughput_mp_s=220.0,
+    compression_ratio=120.0,
+    max_fps=30.0,   # the platform's stream cap, not a throughput limit
+)

@@ -1,0 +1,27 @@
+"""GBooster proper: the client runtime, service daemon and sessions.
+
+This package composes every substrate into the system of Fig 2:
+
+* :mod:`repro.core.config` — the feature toggles and tuning knobs;
+* :mod:`repro.core.server` — the service-device daemon that decompresses,
+  replays, renders and encodes forwarded frames (§IV-C);
+* :mod:`repro.core.client` — the user-device runtime behind the wrapper
+  library: serialize -> cache -> compress -> transport, frame reassembly,
+  Eq. 4 dispatch across nodes, sequence reordering (§IV-B, §VI);
+* :mod:`repro.core.session` — end-to-end session orchestration used by the
+  experiments: build devices + network + engine, run, report metrics.
+"""
+
+from repro.core.config import GBoosterConfig
+from repro.core.client import GBoosterClient
+from repro.core.server import ServiceNode
+from repro.core.session import SessionResult, run_local_session, run_offload_session
+
+__all__ = [
+    "GBoosterClient",
+    "GBoosterConfig",
+    "ServiceNode",
+    "SessionResult",
+    "run_local_session",
+    "run_offload_session",
+]

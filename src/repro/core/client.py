@@ -1,0 +1,336 @@
+"""The GBooster client runtime (paper Fig 2 left half, §IV-B, §VI).
+
+Sits behind the wrapper library on the user device.  Per frame it:
+
+1. runs the intercepted command batch through the egress pipeline
+   (serialize, defer vertex pointers, LRU-cache, LZ4 — §IV-B/§V-A);
+2. in multi-device mode, splits the batch: state-mutating commands are
+   multicast to every node, draw commands go to the node Eq. 4 selects
+   (§VI-B/C);
+3. ships bytes over the reliable-UDP transport riding whichever radio the
+   switching controller has made active (§V-B);
+4. reassembles returning frames, restores sequence order, and triggers the
+   engine's completion events — the rewritten SwapBuffer's non-blocking
+   contract (§VI-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.codec.frames import FrameImage
+from repro.codec.pipeline import CommandPipeline, PipelineConfig
+from repro.core.config import GBoosterConfig
+from repro.core.server import ServiceNode
+from repro.devices.runtime import UserDeviceRuntime
+from repro.dispatch.consistency import split_for_replication
+from repro.dispatch.reorder import ReorderBuffer
+from repro.dispatch.scheduler import (
+    DeviceEstimate,
+    DispatchScheduler,
+    RoundRobinScheduler,
+)
+from repro.gpu.model import RenderRequest
+from repro.net.message import Message
+from repro.net.multicast import MulticastGroup
+from repro.net.transport import Transport
+from repro.sim.kernel import Event, Simulator
+
+
+@dataclass
+class ClientStats:
+    frames_submitted: int = 0
+    frames_presented: int = 0
+    uplink_bytes: int = 0
+    downlink_bytes: int = 0
+    raw_command_bytes: int = 0
+    state_bytes_multicast: int = 0
+    failovers: int = 0
+    nodes_failed: int = 0
+
+    def traffic_reduction(self) -> float:
+        if self.raw_command_bytes == 0:
+            return 0.0
+        return 1.0 - self.uplink_bytes / self.raw_command_bytes
+
+
+class GBoosterClient:
+    """The engine-facing offload backend."""
+
+    uses_local_driver = False
+
+    def __init__(
+        self,
+        sim: Simulator,
+        device: UserDeviceRuntime,
+        nodes: Sequence[ServiceNode],
+        uplinks: Dict[str, Transport],
+        config: Optional[GBoosterConfig] = None,
+        multicast: Optional[MulticastGroup] = None,
+        nominal_commands_per_frame: int = 0,
+    ):
+        if not nodes:
+            raise ValueError("GBooster needs at least one service device")
+        self.sim = sim
+        self.device = device
+        self.nodes = list(nodes)
+        self.uplinks = dict(uplinks)
+        self.nominal_commands_per_frame = nominal_commands_per_frame
+        self.config = config or GBoosterConfig()
+        self.config.validate()
+        self.multicast = multicast
+        self.max_pending = self.config.pipeline_depth(len(self.nodes))
+        self.pipeline = CommandPipeline(
+            PipelineConfig(
+                cache_enabled=self.config.cache_enabled,
+                cache_capacity=self.config.cache_capacity,
+                compression_enabled=self.config.compression_enabled,
+                modelled_compression=self.config.modelled_compression,
+            )
+        )
+        if self.config.scheduler == "eq4":
+            self.scheduler = DispatchScheduler()
+        else:
+            self.scheduler = RoundRobinScheduler()
+        self.reorder = ReorderBuffer(max_held=64)
+        self.stats = ClientStats()
+        self._completions: Dict[int, Event] = {}
+        self._failed_nodes: set = set()
+        # Adaptive quality state: current resolution scale and a smoothed
+        # completion-latency estimate driving the up/down decisions.
+        self.quality_scale = 1.0
+        self._latency_ewma_ms: Optional[float] = None
+        self._frames_since_scale_change = 0
+        self.quality_changes: List[tuple] = []
+
+    # -- GraphicsBackend interface ------------------------------------------------
+
+    @property
+    def multi_device(self) -> bool:
+        return len(self.nodes) > 1
+
+    def cpu_overhead_ms(self, frame: FrameImage) -> float:
+        """Per-frame client CPU on the engine thread (reference-CPU ms).
+
+        In multi-device mode per-node worker threads absorb serialization
+        and decoding, leaving only dispatch bookkeeping on the engine
+        thread — which is what lets generation reach the Fig 7 rates.
+        """
+        cfg = self.config
+        if self.multi_device:
+            return cfg.dispatch_ms_multi
+        nominal = self.nominal_commands_per_frame
+        serialize_ms = nominal * cfg.serialize_us_per_command / 1000.0
+        decode_fraction = 0.35 + 0.65 * frame.change_fraction
+        decode_ms = (
+            frame.pixels * decode_fraction / (cfg.decode_mp_per_s * 1000.0)
+        )
+        return serialize_ms + decode_ms + cfg.dispatch_ms
+
+    # -- adaptive quality ---------------------------------------------------------
+
+    def _apply_quality_scale(
+        self, request: RenderRequest, frame: FrameImage
+    ) -> FrameImage:
+        """Scale the offload render resolution by the current factor.
+
+        Fill workload scales with pixel count; encode/decode/transmission
+        costs follow through the smaller frame descriptor.
+        """
+        scale = self.quality_scale
+        if scale >= 0.999:
+            return frame
+        request.width = max(160, int(request.width * scale))
+        request.height = max(120, int(request.height * scale))
+        request.fill_megapixels *= scale * scale
+        return FrameImage(
+            width=request.width,
+            height=request.height,
+            change_fraction=frame.change_fraction,
+            detail=frame.detail,
+        )
+
+    def _update_quality(self, latency_ms: float) -> None:
+        cfg = self.config
+        if self._latency_ewma_ms is None:
+            self._latency_ewma_ms = latency_ms
+        else:
+            self._latency_ewma_ms = (
+                0.85 * self._latency_ewma_ms + 0.15 * latency_ms
+            )
+        self._frames_since_scale_change += 1
+        if self._frames_since_scale_change < 30:
+            return  # let the pipeline settle between adjustments
+        if (
+            self._latency_ewma_ms > cfg.adaptive_latency_high_ms
+            and self.quality_scale > cfg.adaptive_min_scale
+        ):
+            self.quality_scale = max(
+                cfg.adaptive_min_scale, self.quality_scale - 0.15
+            )
+            self._frames_since_scale_change = 0
+            self.quality_changes.append((self.sim.now, self.quality_scale))
+        elif (
+            self._latency_ewma_ms < cfg.adaptive_latency_low_ms
+            and self.quality_scale < 1.0
+        ):
+            self.quality_scale = min(1.0, self.quality_scale + 0.15)
+            self._frames_since_scale_change = 0
+            self.quality_changes.append((self.sim.now, self.quality_scale))
+
+    def submit(self, request: RenderRequest, frame: FrameImage) -> Event:
+        cfg = self.config
+        if cfg.adaptive_quality:
+            frame = self._apply_quality_scale(request, frame)
+            request.metadata["submitted_at"] = self.sim.now
+        record = request.metadata.get("record")
+        nominal = max(
+            record.nominal_command_count if record is not None else 0,
+            self.nominal_commands_per_frame,
+            len(request.commands),
+        )
+        request.metadata["nominal_commands"] = nominal
+
+        # 1. Egress pipeline on the real (subsampled) command batch.
+        egress = self.pipeline.process_frame(list(request.commands))
+        scale = nominal / max(1, egress.commands)
+        wire_bytes = max(64, int(egress.wire_bytes * scale))
+        raw_bytes = int(egress.raw_bytes * scale)
+        self.stats.raw_command_bytes += raw_bytes
+
+        # 2. Choose the execution node (Eq. 4 over live, healthy estimates).
+        healthy = [
+            n for n in self.nodes if n.name not in self._failed_nodes
+        ]
+        if not healthy:
+            # Every service device is gone: render this frame locally.
+            return self._render_locally(request)
+        estimates = [
+            DeviceEstimate(
+                name=node.name,
+                queued_workload=node.queued_workload_mp,
+                capability=node.capability_mp_per_ms(request),
+                rtt_ms=node.rtt_ms,
+            )
+            for node in healthy
+        ]
+        chosen = self.scheduler.choose(request.fill_megapixels, estimates)
+        node = next(n for n in healthy if n.name == chosen.name)
+
+        # 3. State replication for multi-device consistency (§VI-B).
+        state_fraction = 0.0
+        if self.multi_device and self.multicast is not None:
+            replicated, assigned_only = split_for_replication(
+                list(request.commands)
+            )
+            state_fraction = len(replicated) / max(1, len(request.commands))
+            state_bytes = max(32, int(wire_bytes * state_fraction))
+            draw_bytes = max(32, wire_bytes - state_bytes)
+            state_msg = Message.of_size(
+                state_bytes, kind="state",
+                nominal_commands=int(nominal * state_fraction),
+            )
+            self.device.network.account(state_bytes)
+            self.stats.state_bytes_multicast += state_bytes
+            self.multicast.send(state_msg)
+        else:
+            draw_bytes = wire_bytes
+
+        # 4. Ship the frame request to the chosen node.
+        completion = self.sim.event(name=f"gbooster.done.{request.request_id}")
+        self._completions[request.request_id] = completion
+        message = Message.of_size(draw_bytes, kind="frame_request")
+        message.metadata["request"] = request
+        message.metadata["frame_desc"] = frame
+        message.metadata["nominal_commands"] = (
+            int(nominal * (1.0 - state_fraction))
+            if self.multi_device
+            else nominal
+        )
+        message.metadata["node"] = node.name
+        self.device.network.account(draw_bytes)
+        self.stats.uplink_bytes += wire_bytes  # draws + replicated state
+        self.uplinks[node.name].send(message)
+        self.stats.frames_submitted += 1
+        self._watch_for_timeout(request, node, completion)
+        return completion
+
+    # -- failure handling ----------------------------------------------------------
+
+    def _watch_for_timeout(self, request: RenderRequest, node, completion: Event) -> None:
+        """A frame unanswered past the deadline marks its node failed and
+        falls back to the local GPU — gameplay degrades, never freezes."""
+        timeout = self.config.frame_timeout_ms
+
+        def _watchdog():
+            yield self.sim.timeout(timeout)
+            # Arrival, not presentation: a frame can sit in the reorder
+            # buffer behind a *different* node's failure — its own node is
+            # healthy and must not be condemned for that.
+            if completion.triggered or request.metadata.get("arrived"):
+                return
+            if node.name not in self._failed_nodes:
+                self._failed_nodes.add(node.name)
+                self.stats.nodes_failed += 1
+                self.sim.tracer.record(
+                    self.sim.now, "client", "node_timeout",
+                    node=node.name, request_id=request.request_id,
+                )
+            self.stats.failovers += 1
+            gpu_done = self.sim.event(
+                name=f"failover.{request.request_id}"
+            )
+            request.metadata["completion_event"] = gpu_done
+            self.device.gpu.submit(request)
+            yield gpu_done
+            self._complete_request(request)
+
+        self.sim.spawn(
+            _watchdog(), name=f"watchdog.{request.request_id}"
+        )
+
+    def _render_locally(self, request: RenderRequest) -> Event:
+        """All-nodes-failed path: the request runs on the device's own GPU."""
+        completion = self.sim.event(name=f"gbooster.local.{request.request_id}")
+        self._completions[request.request_id] = completion
+        gpu_done = self.sim.event(name=f"gbooster.localgpu.{request.request_id}")
+        request.metadata["completion_event"] = gpu_done
+        self.device.gpu.submit(request)
+        self.stats.frames_submitted += 1
+        self.stats.failovers += 1
+
+        def _finish():
+            yield gpu_done
+            self._complete_request(request)
+
+        self.sim.spawn(_finish(), name=f"localfallback.{request.request_id}")
+        return completion
+
+    # -- downlink ------------------------------------------------------------------------
+
+    def on_frame_delivered(self, message: Message) -> None:
+        """Receiver callback for the downlink transport."""
+        request: RenderRequest = message.metadata["request"]
+        request.metadata["arrived"] = True
+        self.stats.downlink_bytes += message.size_bytes
+        # Demand accounting happened node-side at send time; counting again
+        # here would double the offered load the switching policy sees.
+        self._complete_request(request)
+
+    def _complete_request(self, request: RenderRequest) -> None:
+        """In-order presentation, shared by the remote and failover paths.
+
+        Duplicates (a late remote frame after a local failover render, or a
+        spurious retransmission) are absorbed by the reorder buffer.
+        """
+        for seq, req in self.reorder.push(request.request_id, request):
+            event = self._completions.pop(seq, None)
+            if event is not None and not event.triggered:
+                event.trigger(req)
+            self.stats.frames_presented += 1
+            self.device.surface.attach_back(None)
+            if self.config.adaptive_quality:
+                submitted = req.metadata.get("submitted_at")
+                if submitted is not None:
+                    self._update_quality(self.sim.now - submitted)

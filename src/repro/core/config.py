@@ -1,0 +1,109 @@
+"""GBooster configuration: every design decision as a switch.
+
+The defaults reproduce the paper's system; the ablation benchmarks flip
+individual switches (cache off, compression off, TCP transport, reactive
+or always-WiFi switching, blocking SwapBuffer, round-robin dispatch).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class GBoosterConfig:
+    # -- traffic-reduction pipeline (§V-A) --------------------------------
+    cache_enabled: bool = True
+    cache_capacity: int = 4096
+    compression_enabled: bool = True
+    #: long sessions reuse a periodically re-measured compression ratio
+    #: instead of compressing every frame's bytes in-process.
+    modelled_compression: bool = True
+
+    # -- transport (§IV-B) ---------------------------------------------------
+    transport: str = "rudp"            # "rudp" | "tcp"
+    rto_ms: float = 30.0
+
+    # -- interface switching (§V-B) ---------------------------------------------
+    switching_policy: str = "predictive"   # "predictive" | "reactive" |
+                                           # "always_wifi" | "always_bluetooth"
+    bluetooth_threshold_mbps: float = 16.0
+    prediction_horizon_ms: float = 500.0
+    traffic_epoch_ms: float = 100.0
+
+    # -- SwapBuffer rewriting / pipelining (§VI-A) ----------------------------------
+    async_swap: bool = True
+    #: in-flight frames with the rewritten non-blocking SwapBuffer; the
+    #: paper observes the internal buffer holds at most 3 requests.
+    pipeline_depth_multi: int = 3
+    pipeline_depth_single: int = 3
+    #: blocking-swap ablation allows exactly one outstanding request.
+    pipeline_depth_blocking: int = 1
+
+    # -- dispatch (§VI-C) ------------------------------------------------------------
+    scheduler: str = "eq4"             # "eq4" | "round_robin"
+
+    # -- adaptive quality (rendering adaptation, cf. paper ref [48]) -----------------
+    #: when enabled the client scales the offload render resolution down
+    #: under congestion (completion latency above the high watermark) and
+    #: back up when the pipeline has headroom, trading sharpness for frame
+    #: rate the way cloud-gaming stacks do.
+    adaptive_quality: bool = False
+    adaptive_latency_high_ms: float = 55.0
+    adaptive_latency_low_ms: float = 32.0
+    adaptive_min_scale: float = 0.5
+
+    # -- failure handling --------------------------------------------------------------
+    #: a frame unanswered for this long marks its service device failed;
+    #: the request (and the stream, if no node remains) falls back to the
+    #: local GPU so gameplay degrades instead of freezing.
+    frame_timeout_ms: float = 1_000.0
+
+    # -- multi-user service scheduling (§VIII future work, implemented) --------------
+    #: "fcfs" is the paper's prototype; "priority" serves time-critical
+    #: applications (fast-paced games) ahead of queued requests from
+    #: turn-based ones.
+    service_queue_policy: str = "fcfs"
+
+    # -- client data-path costs (reference Snapdragon 800 milliseconds) -----------------
+    serialize_us_per_command: float = 2.2
+    decode_mp_per_s: float = 250.0     # Turbo decode throughput on the phone
+    dispatch_ms: float = 1.5           # single-device data-path bookkeeping
+    dispatch_ms_multi: float = 0.3     # worker threads absorb the data path
+
+    # -- service daemon costs ---------------------------------------------------------------
+    replay_us_per_command: float = 6.0
+    decompress_ms: float = 1.0
+    #: remote rendering runs the stream without the app's device-tuned
+    #: batching and tiling hints, costing extra fill-equivalent work on the
+    #: service GPU (observed on real remoting stacks).
+    remote_render_overhead: float = 1.28
+    encode_mp_per_s_arm: float = 90.0      # Turbo on ARM (§V-A)
+    encode_mp_per_s_x86: float = 300.0
+    es_translate_us_per_command: float = 20.0   # ES emulator on x86 (§IV-C)
+
+    def pipeline_depth(self, n_devices: int) -> int:
+        if not self.async_swap:
+            return self.pipeline_depth_blocking
+        if n_devices > 1:
+            return self.pipeline_depth_multi
+        return self.pipeline_depth_single
+
+    def validate(self) -> None:
+        if self.transport not in ("rudp", "tcp"):
+            raise ValueError(f"unknown transport {self.transport!r}")
+        if self.switching_policy not in (
+            "predictive", "reactive", "always_wifi", "always_bluetooth"
+        ):
+            raise ValueError(
+                f"unknown switching policy {self.switching_policy!r}"
+            )
+        if self.scheduler not in ("eq4", "round_robin"):
+            raise ValueError(f"unknown scheduler {self.scheduler!r}")
+        if self.service_queue_policy not in ("fcfs", "priority"):
+            raise ValueError(
+                f"unknown service queue policy {self.service_queue_policy!r}"
+            )
+        if self.cache_capacity <= 0:
+            raise ValueError("cache_capacity must be positive")

@@ -1,0 +1,255 @@
+"""The service-device daemon (paper §IV-C, Fig 2 right half).
+
+A :class:`ServiceNode` receives forwarded command batches, decompresses and
+replays them into its local GL context, feeds the render to its GPU, Turbo-
+encodes the result, and ships the frame back.  The whole per-frame path is
+serialized within one node — a single GL context executes requests
+non-preemptively — which is exactly why spreading frames across *several*
+nodes raises throughput (§VI).
+
+Work items:
+
+* ``state`` — replicated state-mutating commands: decompress + replay only;
+  every node processes every frame's state batch to stay consistent.
+* ``frame`` — an assigned rendering request: decompress + replay + GPU
+  render + encode + downlink.
+
+Per-frame CPU costs are reference-CPU milliseconds scaled by the node CPU's
+``perf_index``; x86 nodes pay the OpenGL ES emulator's per-command
+translation tax (§IV-C) but encode much faster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Generator, List, Optional
+
+from repro.codec.frames import FrameImage
+from repro.codec.turbo import TurboEncoder
+from repro.core.config import GBoosterConfig
+from repro.devices.runtime import ServiceDeviceRuntime
+from repro.gpu.model import RenderRequest
+from repro.net.message import Message
+from repro.net.transport import Transport
+from repro.sim.kernel import Event, Simulator
+from repro.sim.resources import PriorityStore, Store
+
+
+@dataclass
+class ServiceWorkItem:
+    kind: str                          # "state" | "frame"
+    commands_nominal: int
+    request: Optional[RenderRequest] = None
+    frame_desc: Optional[FrameImage] = None
+    received_at: float = 0.0
+    #: lower values are served first under the "priority" queue policy;
+    #: state batches are always most urgent (cheap, needed by all users).
+    priority: float = 0.0
+
+
+@dataclass
+class NodeStats:
+    state_batches: int = 0
+    frames_rendered: int = 0
+    replay_ms_total: float = 0.0
+    encode_ms_total: float = 0.0
+    gpu_ms_total: float = 0.0
+    bytes_returned: int = 0
+
+
+class ServiceNode:
+    """One offloading destination."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        runtime: ServiceDeviceRuntime,
+        config: GBoosterConfig,
+        downlink: Transport,
+        rtt_ms: float,
+        account_downlink: Optional[Callable[[int], None]] = None,
+    ):
+        self.sim = sim
+        self.runtime = runtime
+        self.config = config
+        self.downlink = downlink
+        self.rtt_ms = rtt_ms
+        self.account_downlink = account_downlink
+        self.name = runtime.spec.name
+        if config.service_queue_policy == "priority":
+            self.queue = PriorityStore(sim, name=f"{self.name}.work")
+        else:
+            self.queue = Store(sim, name=f"{self.name}.work")
+        self.encoder = TurboEncoder(
+            throughput_mp_s=(
+                config.encode_mp_per_s_arm
+                if runtime.spec.cpu.is_arm
+                else config.encode_mp_per_s_x86
+            )
+        )
+        self.stats = NodeStats()
+        self.failed = False
+        self._queued_fill_mp = 0.0
+        self._proc = sim.spawn(self._run(), name=f"service.{self.name}")
+
+    def fail(self) -> None:
+        """Simulate the device dropping off the network (failure injection):
+        queued and future work is silently discarded, as a crashed or
+        powered-off box would."""
+        self.failed = True
+        self.sim.tracer.record(self.sim.now, "service", "failed",
+                               node=self.name)
+
+    # -- ingress -----------------------------------------------------------------
+
+    def _enqueue(self, item: ServiceWorkItem) -> None:
+        if isinstance(self.queue, PriorityStore):
+            self.queue.put(item, priority=item.priority)
+        else:
+            self.queue.put(item)
+
+    def on_state_message(self, message: Message) -> None:
+        self._enqueue(
+            ServiceWorkItem(
+                kind="state",
+                commands_nominal=message.metadata.get("nominal_commands", 0),
+                received_at=self.sim.now,
+                priority=-1.0,
+            )
+        )
+
+    def on_frame_message(self, message: Message) -> None:
+        request: RenderRequest = message.metadata["request"]
+        frame_desc: FrameImage = message.metadata["frame_desc"]
+        # Remote replay lacks the app's device-tuned render-path hints, so
+        # the fill-equivalent work grows by the remoting overhead factor.
+        request.fill_megapixels *= self.config.remote_render_overhead
+        self._queued_fill_mp += request.fill_megapixels
+        self._enqueue(
+            ServiceWorkItem(
+                kind="frame",
+                commands_nominal=message.metadata.get("nominal_commands", 0),
+                request=request,
+                frame_desc=frame_desc,
+                received_at=self.sim.now,
+                priority=float(request.metadata.get("priority", 0.0)),
+            )
+        )
+
+    # -- scheduler inputs (Eq. 4) ---------------------------------------------------
+
+    @property
+    def queued_workload_mp(self) -> float:
+        """w^j: fill workload accepted but not yet finished."""
+        return self._queued_fill_mp
+
+    def predicted_stage_ms(self, request: RenderRequest) -> float:
+        """Full per-frame service time for a request on this node."""
+        cfg = self.config
+        perf = self.runtime.spec.cpu.perf_index
+        cpu_ms = cfg.decompress_ms / perf
+        cpu_ms += (
+            request.metadata.get(
+                "nominal_commands", len(request.commands)
+            )
+            * cfg.replay_us_per_command
+            / 1000.0
+            / perf
+        )
+        if not self.runtime.spec.cpu.is_arm:
+            cpu_ms += (
+                request.metadata.get(
+                    "nominal_commands", len(request.commands)
+                )
+                * cfg.es_translate_us_per_command
+                / 1000.0
+                / perf
+            )
+        gpu_ms = (
+            request.fill_megapixels * self.config.remote_render_overhead
+        ) / max(self.runtime.gpu.capacity_megapixels_per_ms(), 1e-9)
+        encode_ms = (request.width * request.height) / (
+            self.encoder.throughput_mp_s * 1000.0
+        )
+        return cpu_ms + gpu_ms + encode_ms
+
+    def capability_mp_per_ms(self, request: RenderRequest) -> float:
+        """c^j: effective workload throughput for requests like this one."""
+        stage = self.predicted_stage_ms(request)
+        if stage <= 0:
+            return float("inf")
+        return request.fill_megapixels / stage
+
+    # -- the daemon loop ------------------------------------------------------------------
+
+    def _run(self) -> Generator:
+        cfg = self.config
+        perf = self.runtime.spec.cpu.perf_index
+        while True:
+            item: ServiceWorkItem = yield self.queue.get()
+            if self.failed:
+                # A dead box answers nothing; drop the work on the floor.
+                self._queued_fill_mp = 0.0
+                continue
+            self.runtime.cpu.set_load("daemon", 0.6)
+            # Decompress + replay the command batch.
+            replay_ms = cfg.decompress_ms / perf
+            replay_ms += (
+                item.commands_nominal * cfg.replay_us_per_command / 1000.0 / perf
+            )
+            if not self.runtime.spec.cpu.is_arm:
+                replay_ms += (
+                    item.commands_nominal
+                    * cfg.es_translate_us_per_command
+                    / 1000.0
+                    / perf
+                )
+            yield replay_ms
+            self.stats.replay_ms_total += replay_ms
+
+            if item.kind == "state":
+                self.stats.state_batches += 1
+                self.runtime.cpu.set_load("daemon", 0.0)
+                continue
+
+            request = item.request
+            # Replay the real (subsampled) commands through the context so
+            # state consistency is observable, then render.
+            self.runtime.context.execute_sequence(request.commands)
+            completion = self.sim.event(
+                name=f"{self.name}.gpu.{request.request_id}"
+            )
+            request.metadata["completion_event"] = completion
+            gpu_start = self.sim.now
+            self.runtime.gpu.submit(request)
+            yield completion
+            self.stats.gpu_ms_total += self.sim.now - gpu_start
+
+            # Encode the rendered frame (Turbo incremental codec).
+            encoded = self.encoder.encode_descriptor(
+                item.frame_desc,
+                keyframe=self.stats.frames_rendered == 0,
+            )
+            yield encoded.encode_time_ms
+            self.stats.encode_ms_total += encoded.encode_time_ms
+            self._queued_fill_mp = max(
+                0.0, self._queued_fill_mp - request.fill_megapixels
+            )
+            self.stats.frames_rendered += 1
+            self.stats.bytes_returned += encoded.size_bytes
+            self.runtime.cpu.set_load("daemon", 0.0)
+
+            # Ship the frame home.
+            reply = Message.of_size(
+                encoded.size_bytes,
+                kind="frame",
+                request_id=request.request_id,
+                node=self.name,
+            )
+            reply.metadata["request"] = request
+            if self.account_downlink is not None:
+                self.account_downlink(reply.size_bytes)
+            # Multi-user mode routes each reply to its requester's own
+            # downlink transport; single-user sessions use the default.
+            downlink = request.metadata.get("reply_transport", self.downlink)
+            downlink.send(reply)

@@ -1,0 +1,279 @@
+"""End-to-end session orchestration.
+
+``run_local_session`` and ``run_offload_session`` are the top-level entry
+points the experiments, examples and benchmarks use: build a simulator,
+instantiate the user device and (for offload) the service devices with
+their links, transports, multicast group and switching controller, run a
+game engine session, and return a :class:`SessionResult` bundling every
+metric the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.apps.base import ApplicationSpec
+from repro.apps.engine import EngineConfig, GameEngine
+from repro.baselines.local import LocalBackend
+from repro.core.client import GBoosterClient
+from repro.core.config import GBoosterConfig
+from repro.core.server import ServiceNode
+from repro.devices.profiles import DeviceSpec, NVIDIA_SHIELD
+from repro.devices.runtime import ServiceDeviceRuntime, UserDeviceRuntime
+from repro.metrics.energy import EnergyReport, energy_report
+from repro.metrics.fps import FpsMetrics, compute_fps_metrics
+from repro.net.link import LAN_BLUETOOTH, LAN_WIFI, LinkSpec, NetworkLink
+from repro.net.multicast import MulticastGroup
+from repro.net.transport import ReliableUdpTransport, TcpTransport, Transport
+from repro.sim.kernel import Simulator
+from repro.switching.controller import SwitchingController, SwitchingStats
+from repro.switching.policies import (
+    AlwaysBluetoothPolicy,
+    AlwaysWifiPolicy,
+    PredictivePolicy,
+    ReactivePolicy,
+)
+
+
+@dataclass
+class SessionResult:
+    """Everything a session produced."""
+
+    app: ApplicationSpec
+    mode: str                          # "local" | "gbooster"
+    fps: FpsMetrics
+    energy: EnergyReport
+    cpu_mean_utilization: float
+    gpu_mean_utilization: float
+    #: the offloading intermediate time t_p of Eq. 5 (network transmissions
+    #: plus image encoding); zero for local execution.
+    t_p_ms: float = 0.0
+    traffic_samples_mbps: List[float] = field(default_factory=list)
+    switching: Optional[SwitchingStats] = None
+    client_stats: Optional[object] = None
+    engine: Optional[GameEngine] = None
+    device: Optional[UserDeviceRuntime] = None
+    nodes: List[ServiceNode] = field(default_factory=list)
+
+    @property
+    def response_time_ms(self) -> float:
+        """Average response time per the paper's Eq. 5.
+
+        ``t_r = 1000/FPS + t_p`` — the frame interval the player waits for
+        a result, plus the offloading intermediate steps.  (The engine also
+        measures raw issue-to-presentation latency in ``fps.mean_response_ms``,
+        which additionally includes pipeline occupancy.)
+        """
+        if self.fps.median_fps <= 0:
+            return float("inf")
+        return 1000.0 / self.fps.median_fps + self.t_p_ms
+
+
+def _make_transport(sim: Simulator, config: GBoosterConfig, name: str) -> Transport:
+    cls = ReliableUdpTransport if config.transport == "rudp" else TcpTransport
+    return cls(sim, name=name, rto_ms=config.rto_ms)
+
+
+def _make_policy(config: GBoosterConfig):
+    if config.switching_policy == "predictive":
+        horizon = max(
+            1, int(config.prediction_horizon_ms / config.traffic_epoch_ms)
+        )
+        return PredictivePolicy(
+            n_inputs=2,
+            threshold_mbps=config.bluetooth_threshold_mbps,
+            horizon_epochs=horizon,
+        )
+    if config.switching_policy == "reactive":
+        return ReactivePolicy(threshold_mbps=config.bluetooth_threshold_mbps)
+    if config.switching_policy == "always_bluetooth":
+        return AlwaysBluetoothPolicy()
+    return AlwaysWifiPolicy()
+
+
+def run_local_session(
+    app: ApplicationSpec,
+    user_device: DeviceSpec,
+    duration_ms: float = 60_000.0,
+    seed: int = 0,
+) -> SessionResult:
+    """The paper's comparison case: everything on the phone."""
+    sim = Simulator(seed=seed)
+    device = UserDeviceRuntime(
+        sim, user_device,
+        render_width=app.render_width, render_height=app.render_height,
+    )
+    # The paper measures local power in airplane mode (§VII-C).
+    device.network.wifi.power_off()
+    device.network.bluetooth.power_off()
+    backend = LocalBackend(sim, device)
+    engine = GameEngine(
+        sim, app, device, backend, EngineConfig(duration_ms=duration_ms)
+    )
+    sim.run_until_process(engine._proc, limit=duration_ms * 4)
+    frames = engine.presented_frames()
+    return SessionResult(
+        app=app,
+        mode="local",
+        fps=compute_fps_metrics(frames),
+        energy=energy_report(device),
+        cpu_mean_utilization=device.cpu.mean_utilization(),
+        gpu_mean_utilization=device.gpu.utilization(),
+        engine=engine,
+        device=device,
+    )
+
+
+def run_offload_session(
+    app: ApplicationSpec,
+    user_device: DeviceSpec,
+    service_devices: Optional[Sequence[DeviceSpec]] = None,
+    config: Optional[GBoosterConfig] = None,
+    duration_ms: float = 60_000.0,
+    seed: int = 0,
+) -> SessionResult:
+    """A GBooster session against one or more service devices."""
+    config = config or GBoosterConfig()
+    config.validate()
+    service_devices = list(service_devices or [NVIDIA_SHIELD])
+    sim = Simulator(seed=seed)
+    device = UserDeviceRuntime(
+        sim, user_device,
+        render_width=app.render_width, render_height=app.render_height,
+    )
+    device.network.epoch_ms = config.traffic_epoch_ms
+
+    # Downlink: one shared transport; frames from any node ride the user's
+    # active radio (half-duplex medium) through a per-technology LAN link.
+    downlink = _make_transport(sim, config, name="downlink")
+    down_links = {
+        "wifi": NetworkLink(sim, LAN_WIFI, rng=sim.stream("link.down.wifi")),
+        "bluetooth": NetworkLink(
+            sim, LAN_BLUETOOTH, rng=sim.stream("link.down.bt")
+        ),
+    }
+
+    # Service nodes and their uplinks.
+    nodes: List[ServiceNode] = []
+    uplinks: Dict[str, Transport] = {}
+    for idx, spec in enumerate(service_devices):
+        runtime = ServiceDeviceRuntime(sim, spec)
+        rtt_ms = 2.0 * LAN_WIFI.latency_ms
+        node = ServiceNode(
+            sim,
+            runtime,
+            config,
+            downlink=downlink,
+            rtt_ms=rtt_ms,
+            account_downlink=device.network.account,
+        )
+        # Give repeated specs unique names so routing keys stay distinct.
+        if spec.name in uplinks:
+            node.name = f"{spec.name} #{idx + 1}"
+        nodes.append(node)
+        uplink = _make_transport(sim, config, name=f"uplink.{node.name}")
+        up_links = {
+            "wifi": NetworkLink(
+                sim, LAN_WIFI, rng=sim.stream(f"link.up.wifi.{idx}")
+            ),
+            "bluetooth": NetworkLink(
+                sim, LAN_BLUETOOTH, rng=sim.stream(f"link.up.bt.{idx}")
+            ),
+        }
+        uplink.bind(
+            device.network.radio_provider,
+            up_links,
+            on_deliver=node.on_frame_message,
+        )
+        uplinks[node.name] = uplink
+
+    # Multicast group for state replication in multi-device mode.
+    multicast = None
+    if len(nodes) > 1:
+        multicast = MulticastGroup(sim, name="state-mcast")
+        multicast.bind_radio(device.network.radio_provider)
+        for idx, node in enumerate(nodes):
+            member_link = NetworkLink(
+                sim, LAN_WIFI, rng=sim.stream(f"link.mcast.{idx}")
+            )
+            member_link.set_receiver(node.on_state_message)
+            multicast.join(node.name, member_link)
+
+    client = GBoosterClient(
+        sim,
+        device,
+        nodes,
+        uplinks,
+        config=config,
+        multicast=multicast,
+        nominal_commands_per_frame=app.nominal_commands_per_frame,
+    )
+    downlink.bind(
+        device.network.radio_provider,
+        down_links,
+        on_deliver=client.on_frame_delivered,
+    )
+
+    # Interface switching, fed by touch frequency + textures per frame (the
+    # AIC-selected exogenous attributes).
+    engine_holder: List[GameEngine] = []
+
+    def exogenous() -> List[float]:
+        if not engine_holder or not engine_holder[0].frames:
+            return [0.0, 0.0]
+        recent = engine_holder[0].frames[-1]
+        return [float(recent.touches_since_last), float(recent.texture_count)]
+
+    controller = SwitchingController(
+        sim,
+        device.network,
+        _make_policy(config),
+        exogenous_source=exogenous,
+    )
+    # Start on Bluetooth when a policy can raise WiFi on demand.
+    if config.switching_policy in ("predictive", "reactive", "always_bluetooth"):
+        device.network.use("bluetooth")
+        device.network.power_down_idle()
+
+    engine = GameEngine(
+        sim, app, device, client, EngineConfig(duration_ms=duration_ms)
+    )
+    engine_holder.append(engine)
+    sim.run_until_process(engine._proc, limit=duration_ms * 4)
+    frames = engine.presented_frames()
+
+    # t_p (Eq. 5): mean uplink delivery + mean downlink delivery + mean
+    # service-side encode time — the "offloading intermediate steps".
+    up_lat = [
+        lat
+        for t in uplinks.values()
+        for lat in t.stats.delivery_latencies_ms
+    ]
+    down_lat = downlink.stats.delivery_latencies_ms
+    frames_rendered = sum(n.stats.frames_rendered for n in nodes)
+    encode_mean = (
+        sum(n.stats.encode_ms_total for n in nodes) / frames_rendered
+        if frames_rendered
+        else 0.0
+    )
+    t_p = (
+        (sum(up_lat) / len(up_lat) if up_lat else 0.0)
+        + (sum(down_lat) / len(down_lat) if down_lat else 0.0)
+        + encode_mean
+    )
+    return SessionResult(
+        app=app,
+        mode="gbooster",
+        fps=compute_fps_metrics(frames),
+        energy=energy_report(device),
+        cpu_mean_utilization=device.cpu.mean_utilization(),
+        gpu_mean_utilization=device.gpu.utilization(),
+        t_p_ms=t_p,
+        traffic_samples_mbps=device.network.samples_mbps(),
+        switching=controller.stats,
+        client_stats=client.stats,
+        engine=engine,
+        device=device,
+        nodes=nodes,
+    )

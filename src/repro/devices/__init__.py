@@ -1,0 +1,48 @@
+"""Device profiles and runtime device models.
+
+The evaluation hardware of §VII-A, plus the Table I flagship/requirement
+history, expressed as data:
+
+* user devices — LG Nexus 5 (2013) and LG G5 (2016), plus the Table I
+  phones (Galaxy S5, LG G4);
+* service devices — Nvidia Shield console, Minix Neo U1 TV box, Dell M4600
+  laptop, Dell Optiplex 9010 desktops with GTX 750 Ti.
+"""
+
+from repro.devices.cpu import CPUModel, CPUSpec
+from repro.devices.profiles import (
+    DELL_M4600,
+    DELL_OPTIPLEX_9010,
+    GAME_REQUIREMENTS,
+    LG_G4,
+    LG_G5,
+    LG_NEXUS_5,
+    MINIX_NEO_U1,
+    NVIDIA_SHIELD,
+    SAMSUNG_GALAXY_S5,
+    SERVICE_DEVICES,
+    USER_DEVICES,
+    DeviceSpec,
+    GameRequirement,
+)
+from repro.devices.runtime import ServiceDeviceRuntime, UserDeviceRuntime
+
+__all__ = [
+    "CPUModel",
+    "CPUSpec",
+    "DELL_M4600",
+    "DELL_OPTIPLEX_9010",
+    "DeviceSpec",
+    "GAME_REQUIREMENTS",
+    "GameRequirement",
+    "LG_G4",
+    "LG_G5",
+    "LG_NEXUS_5",
+    "MINIX_NEO_U1",
+    "NVIDIA_SHIELD",
+    "SAMSUNG_GALAXY_S5",
+    "SERVICE_DEVICES",
+    "ServiceDeviceRuntime",
+    "USER_DEVICES",
+    "UserDeviceRuntime",
+]

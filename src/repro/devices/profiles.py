@@ -1,0 +1,207 @@
+"""The device database and the Table I requirement history.
+
+Quantities follow what the paper reports: flagship GPU fillrates tracking
+game requirements exactly (Table I), a game console at 16 GP/s, desktops
+roughly 10x mobile, and an evaluation LAN of 150 Mbps 802.11n.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.devices.cpu import (
+    AMLOGIC_S905,
+    CORE_I7_2760QM,
+    CORE_I7_3770,
+    CPUSpec,
+    SNAPDRAGON_800,
+    SNAPDRAGON_801,
+    SNAPDRAGON_808,
+    SNAPDRAGON_820,
+    TEGRA_X1_CPU,
+)
+from repro.gpu.profiles import (
+    ADRENO_330,
+    ADRENO_418,
+    ADRENO_420,
+    ADRENO_530,
+    GPUSpec,
+    GTX_750_TI,
+    MALI_450,
+    QUADRO_2000M,
+    TEGRA_X1,
+)
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """A complete device: CPU + GPU + display + memory + role."""
+
+    name: str
+    year: int
+    cpu: CPUSpec
+    gpu: GPUSpec
+    screen_width: int
+    screen_height: int
+    memory_mb: int
+    role: str                       # "user" | "service"
+    battery_wh: float = 0.0         # user devices only
+
+    @property
+    def screen_pixels(self) -> int:
+        return self.screen_width * self.screen_height
+
+
+# -- user devices (§VII-A) -----------------------------------------------------
+
+LG_NEXUS_5 = DeviceSpec(
+    name="LG Nexus 5",
+    year=2013,
+    cpu=SNAPDRAGON_800,
+    gpu=ADRENO_330,
+    screen_width=1080,
+    screen_height=1920,
+    memory_mb=2048,
+    role="user",
+    battery_wh=8.74,
+)
+
+SAMSUNG_GALAXY_S5 = DeviceSpec(
+    name="Samsung Galaxy S5",
+    year=2014,
+    cpu=SNAPDRAGON_801,
+    gpu=ADRENO_420,
+    screen_width=1080,
+    screen_height=1920,
+    memory_mb=2048,
+    role="user",
+    battery_wh=10.78,
+)
+
+LG_G4 = DeviceSpec(
+    name="LG G4",
+    year=2015,
+    cpu=SNAPDRAGON_808,
+    gpu=ADRENO_418,
+    screen_width=1440,
+    screen_height=2560,
+    memory_mb=3072,
+    role="user",
+    battery_wh=11.55,
+)
+
+LG_G5 = DeviceSpec(
+    name="LG G5",
+    year=2016,
+    cpu=SNAPDRAGON_820,
+    gpu=ADRENO_530,
+    screen_width=1440,
+    screen_height=2560,
+    memory_mb=4096,
+    role="user",
+    battery_wh=10.78,
+)
+
+# -- service devices (§VII-A) ------------------------------------------------------
+
+NVIDIA_SHIELD = DeviceSpec(
+    name="Nvidia Shield",
+    year=2015,
+    cpu=TEGRA_X1_CPU,
+    gpu=TEGRA_X1,
+    screen_width=1920,
+    screen_height=1080,
+    memory_mb=3072,
+    role="service",
+)
+
+MINIX_NEO_U1 = DeviceSpec(
+    name="Minix Neo U1",
+    year=2015,
+    cpu=AMLOGIC_S905,
+    gpu=MALI_450,
+    screen_width=1920,
+    screen_height=1080,
+    memory_mb=2048,
+    role="service",
+)
+
+DELL_M4600 = DeviceSpec(
+    name="Dell Precision M4600",
+    year=2011,
+    cpu=CORE_I7_2760QM,
+    gpu=QUADRO_2000M,
+    screen_width=1920,
+    screen_height=1080,
+    memory_mb=8192,
+    role="service",
+)
+
+DELL_OPTIPLEX_9010 = DeviceSpec(
+    name="Dell Optiplex 9010 (GTX 750 Ti)",
+    year=2012,
+    cpu=CORE_I7_3770,
+    gpu=GTX_750_TI,
+    screen_width=1920,
+    screen_height=1080,
+    memory_mb=16384,
+    role="service",
+)
+
+USER_DEVICES: Dict[str, DeviceSpec] = {
+    d.name: d for d in (LG_NEXUS_5, SAMSUNG_GALAXY_S5, LG_G4, LG_G5)
+}
+SERVICE_DEVICES: Dict[str, DeviceSpec] = {
+    d.name: d
+    for d in (NVIDIA_SHIELD, MINIX_NEO_U1, DELL_M4600, DELL_OPTIPLEX_9010)
+}
+
+
+# -- Table I: game requirement vs flagship capability -------------------------------
+
+
+@dataclass(frozen=True)
+class GameRequirement:
+    """Recommended hardware for a flagship game of a given year (Table I)."""
+
+    year: int
+    game: str
+    cpu_ghz: float
+    cpu_cores: int
+    gpu_fillrate_gpixels: float
+
+
+GAME_REQUIREMENTS: Tuple[GameRequirement, ...] = (
+    GameRequirement(2014, "Modern Combat 5: Blackout", 1.5, 1, 3.6),
+    GameRequirement(2015, "GTA San Andreas", 1.0, 1, 4.8),
+    GameRequirement(2016, "The Walking Dead: Michonne", 1.2, 2, 6.7),
+)
+
+FLAGSHIP_BY_YEAR: Dict[int, DeviceSpec] = {
+    2014: SAMSUNG_GALAXY_S5,
+    2015: LG_G4,
+    2016: LG_G5,
+}
+
+
+def requirement_vs_capability(year: int) -> Dict[str, float]:
+    """One Table I row: the requirement against the year's flagship.
+
+    Returns headroom ratios: >1 means the device exceeds the requirement.
+    """
+    req = next(
+        (r for r in GAME_REQUIREMENTS if r.year == year), None
+    )
+    if req is None:
+        raise KeyError(f"no Table I entry for year {year}")
+    device = FLAGSHIP_BY_YEAR[year]
+    return {
+        "cpu_requirement_ghz": req.cpu_ghz * req.cpu_cores,
+        "cpu_capability_ghz": device.cpu.clock_ghz * device.cpu.cores,
+        "cpu_headroom": (device.cpu.clock_ghz * device.cpu.cores)
+        / (req.cpu_ghz * req.cpu_cores),
+        "gpu_requirement_gpixels": req.gpu_fillrate_gpixels,
+        "gpu_capability_gpixels": device.gpu.fillrate_gpixels,
+        "gpu_headroom": device.gpu.fillrate_gpixels / req.gpu_fillrate_gpixels,
+    }

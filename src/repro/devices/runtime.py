@@ -1,0 +1,99 @@
+"""Runtime device instances attached to a simulation.
+
+A :class:`UserDeviceRuntime` is a phone: CPU model, GPU device, EGL display
+surface, dual-radio network manager, and a whole-device power account
+(CPU + GPU + radios + a fixed screen/base draw).  A
+:class:`ServiceDeviceRuntime` is an offload target: CPU + GPU + its wired
+or wireless LAN attachment, plus the GL context it replays commands into.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.devices.cpu import CPUModel
+from repro.devices.profiles import DeviceSpec
+from repro.gles.context import GLContext
+from repro.gles.egl import EGLDisplay, EGLSurface
+from repro.gpu.model import GPUDevice
+from repro.net.interface import BLUETOOTH_CLASSIC, WIFI_80211N
+from repro.net.manager import NetworkManager
+from repro.sim.kernel import Simulator
+
+# Display backlight at 50% brightness plus SoC base draw — constant during
+# the power experiments (§VII-C fixes brightness at 50%).
+SCREEN_BASE_POWER_W = 0.9
+
+
+class UserDeviceRuntime:
+    """A phone participating in the simulation."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        spec: DeviceSpec,
+        render_width: Optional[int] = None,
+        render_height: Optional[int] = None,
+    ):
+        if spec.role != "user":
+            raise ValueError(f"{spec.name} is not a user device")
+        self.sim = sim
+        self.spec = spec
+        self.cpu = CPUModel(sim, spec.cpu, name=f"{spec.name}.cpu")
+        self.gpu = GPUDevice(sim, spec.gpu, name=f"{spec.name}.gpu")
+        self.network = NetworkManager(
+            sim, WIFI_80211N, BLUETOOTH_CLASSIC, name=f"{spec.name}.net"
+        )
+        self.display = EGLDisplay(name=f"{spec.name}.display")
+        self.surface: EGLSurface = self.display.create_window_surface(
+            render_width or spec.screen_width,
+            render_height or spec.screen_height,
+            name="main",
+        )
+        self.context = GLContext(name=f"{spec.name}.ctx")
+        self._start_time = sim.now
+
+    # -- energy accounting ---------------------------------------------------
+
+    def energy_joules(self) -> float:
+        """Total device energy: CPU + GPU + radios + screen/base."""
+        elapsed_s = (self.sim.now - self._start_time) / 1000.0
+        return (
+            self.cpu.energy_joules()
+            + self.gpu.energy_joules()
+            + self.network.energy_joules()
+            + SCREEN_BASE_POWER_W * elapsed_s
+        )
+
+    def mean_power_w(self) -> float:
+        elapsed_s = (self.sim.now - self._start_time) / 1000.0
+        if elapsed_s <= 0:
+            return 0.0
+        return self.energy_joules() / elapsed_s
+
+    def component_energy(self) -> Dict[str, float]:
+        elapsed_s = (self.sim.now - self._start_time) / 1000.0
+        return {
+            "cpu_j": self.cpu.energy_joules(),
+            "gpu_j": self.gpu.energy_joules(),
+            "wifi_j": self.network.wifi.energy_joules(),
+            "bluetooth_j": self.network.bluetooth.energy_joules(),
+            "screen_j": SCREEN_BASE_POWER_W * elapsed_s,
+        }
+
+
+class ServiceDeviceRuntime:
+    """An offload destination on the LAN."""
+
+    def __init__(self, sim: Simulator, spec: DeviceSpec):
+        if spec.role != "service":
+            raise ValueError(f"{spec.name} is not a service device")
+        self.sim = sim
+        self.spec = spec
+        self.cpu = CPUModel(sim, spec.cpu, name=f"{spec.name}.cpu")
+        self.gpu = GPUDevice(sim, spec.gpu, name=f"{spec.name}.gpu")
+        self.context = GLContext(name=f"{spec.name}.ctx")
+
+    def energy_joules(self) -> float:
+        return self.cpu.energy_joules() + self.gpu.energy_joules()

@@ -1,0 +1,27 @@
+"""Multi-service-device dispatch (paper §VI).
+
+* :mod:`repro.dispatch.scheduler` — Eq. 4 request assignment:
+  ``argmin_j (w^j + r)/c^j + l^j`` over the service devices' queued
+  workload, capability and round-trip delay.
+* :mod:`repro.dispatch.consistency` — classification and replication of
+  state-altering commands so every device's GL context stays identical.
+* :mod:`repro.dispatch.reorder` — sequence-number reordering of completed
+  frames, since a later request may finish on a faster device before an
+  earlier one.
+"""
+
+from repro.dispatch.consistency import split_for_replication
+from repro.dispatch.reorder import ReorderBuffer
+from repro.dispatch.scheduler import (
+    DeviceEstimate,
+    DispatchScheduler,
+    RoundRobinScheduler,
+)
+
+__all__ = [
+    "DeviceEstimate",
+    "DispatchScheduler",
+    "ReorderBuffer",
+    "RoundRobinScheduler",
+    "split_for_replication",
+]

@@ -1,0 +1,46 @@
+"""State-consistency maintenance across service devices (paper §VI-B).
+
+OpenGL contexts are stateful: a draw's result depends on every
+state-mutating call that preceded it.  When requests are scattered across
+devices, the state-altering commands must reach *all* of them (via
+multicast) while the draw commands go only to the assigned device.
+
+``split_for_replication`` performs the classification the paper describes
+("first identifying the graphics commands which may alter the OpenGL
+states") using the registry's ``mutates_state`` flag; the dispatch tests
+assert the resulting invariant — identical ``state_digest`` on every
+replica after any interleaving of frames.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.gles.commands import GLCommand, command_spec
+
+
+def split_for_replication(
+    commands: List[GLCommand],
+) -> Tuple[List[GLCommand], List[GLCommand]]:
+    """Partition a frame's commands into (replicated, assigned-only).
+
+    Replicated commands are those that may alter context state; they are
+    delivered to every device.  The remainder (draws, flushes, queries)
+    only runs on the device the frame was assigned to.
+    """
+    replicated: List[GLCommand] = []
+    assigned_only: List[GLCommand] = []
+    for cmd in commands:
+        if command_spec(cmd.name).mutates_state:
+            replicated.append(cmd)
+        else:
+            assigned_only.append(cmd)
+    return replicated, assigned_only
+
+
+def replication_fraction(commands: List[GLCommand]) -> float:
+    """Fraction of a stream that must be multicast to all devices."""
+    if not commands:
+        return 0.0
+    replicated, _ = split_for_replication(commands)
+    return len(replicated) / len(commands)

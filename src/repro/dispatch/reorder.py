@@ -1,0 +1,49 @@
+"""Sequence-number reordering of completed frames (paper §VI-C).
+
+Eq. 4 dispatch "does not guarantee that a preceding request is finished
+earlier than a subsequent request", so GBooster tracks sequence numbers and
+presents results in order.  :class:`ReorderBuffer` is that mechanism: out-
+of-order arrivals are held; ``push`` returns every frame that has become
+presentable, in sequence order.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+
+class ReorderBuffer:
+    """In-order release of out-of-order completions."""
+
+    def __init__(self, first_seq: int = 0, max_held: int = 64):
+        self.next_seq = first_seq
+        self.max_held = max_held
+        self._held: Dict[int, Any] = {}
+        self.out_of_order_arrivals = 0
+        self.released = 0
+
+    def push(self, seq: int, item: Any) -> List[Tuple[int, Any]]:
+        """Accept a completion; returns now-presentable (seq, item) pairs."""
+        if seq < self.next_seq:
+            # A duplicate or long-obsolete frame: drop it.
+            return []
+        if seq in self._held:
+            return []
+        if seq != self.next_seq:
+            self.out_of_order_arrivals += 1
+        self._held[seq] = item
+        if len(self._held) > self.max_held:
+            raise OverflowError(
+                f"reorder buffer exceeded {self.max_held} held frames; "
+                f"sequence {self.next_seq} appears lost"
+            )
+        out: List[Tuple[int, Any]] = []
+        while self.next_seq in self._held:
+            out.append((self.next_seq, self._held.pop(self.next_seq)))
+            self.next_seq += 1
+            self.released += 1
+        return out
+
+    @property
+    def holding(self) -> int:
+        return len(self._held)

@@ -1,0 +1,76 @@
+"""Request assignment across service devices (paper Eq. 4).
+
+Each request of workload ``r`` goes to the device ``j`` minimizing
+
+    (w^j + r) / c^j + l^j
+
+where ``w^j`` is the workload already queued on the device, ``c^j`` its
+capability (workload units per millisecond) and ``l^j`` its round-trip
+delay to the user device.  Workloads are the same shader-weighted fill
+megapixels the GPU model executes, profiled per command stream as in the
+paper's TimeGraph-based approach.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Protocol, Sequence
+
+
+@dataclass
+class DeviceEstimate:
+    """The scheduler's view of one service device."""
+
+    name: str
+    queued_workload: float        # w^j, in fill megapixels
+    capability: float             # c^j, megapixels per millisecond
+    rtt_ms: float                 # l^j
+
+    def completion_estimate_ms(self, request_workload: float) -> float:
+        if self.capability <= 0:
+            return float("inf")
+        return (self.queued_workload + request_workload) / self.capability + (
+            self.rtt_ms
+        )
+
+
+class DispatchScheduler:
+    """Eq. 4: minimize estimated completion time."""
+
+    def __init__(self) -> None:
+        self.assignments: List[str] = []
+
+    def choose(
+        self, request_workload: float, devices: Sequence[DeviceEstimate]
+    ) -> DeviceEstimate:
+        if not devices:
+            raise ValueError("no service devices available")
+        if request_workload < 0:
+            raise ValueError(f"negative workload {request_workload}")
+        best = min(
+            devices,
+            key=lambda d: (
+                d.completion_estimate_ms(request_workload),
+                d.name,   # deterministic tie-break
+            ),
+        )
+        self.assignments.append(best.name)
+        return best
+
+
+class RoundRobinScheduler:
+    """Ablation baseline: ignore workload, capability and latency."""
+
+    def __init__(self) -> None:
+        self.assignments: List[str] = []
+        self._next = 0
+
+    def choose(
+        self, request_workload: float, devices: Sequence[DeviceEstimate]
+    ) -> DeviceEstimate:
+        if not devices:
+            raise ValueError("no service devices available")
+        chosen = devices[self._next % len(devices)]
+        self._next += 1
+        self.assignments.append(chosen.name)
+        return chosen

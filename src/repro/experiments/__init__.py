@@ -1,0 +1,18 @@
+"""Experiment runners: one per table/figure of the paper's evaluation.
+
+Each module exposes a ``run_*`` function returning plain dataclasses or
+dicts; the ``benchmarks/`` tree wraps them in pytest-benchmark targets and
+prints the same rows/series the paper reports.  See DESIGN.md §3 for the
+experiment index.
+"""
+
+__all__ = [
+    "acceleration",
+    "cloud_comparison",
+    "energy",
+    "multidevice",
+    "overhead",
+    "prediction",
+    "thermal",
+    "traffic",
+]

@@ -1,0 +1,76 @@
+"""Experiment F7: FPS against the number of service devices (paper Fig 7).
+
+G1 on the Nexus 5 while PCs are added to the pool; the paper's curve rises
+from 23 (local) through ~40 (one device) to 51, saturating at three devices
+because the rewritten SwapBuffer's internal buffer holds at most three
+pending requests and request generation is CPU-bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.apps.base import ApplicationSpec
+from repro.apps.games import GTA_SAN_ANDREAS
+from repro.core.config import GBoosterConfig
+from repro.core.session import run_local_session, run_offload_session
+from repro.devices.profiles import DELL_OPTIPLEX_9010, DeviceSpec, LG_NEXUS_5
+
+
+@dataclass
+class MultiDevicePoint:
+    n_devices: int
+    median_fps: float
+    stability: float
+    mean_response_ms: float
+
+
+def run_figure7(
+    app: ApplicationSpec = GTA_SAN_ANDREAS,
+    user_device: DeviceSpec = LG_NEXUS_5,
+    service_device: DeviceSpec = DELL_OPTIPLEX_9010,
+    max_devices: int = 5,
+    duration_ms: float = 120_000.0,
+    seed: int = 0,
+    config: Optional[GBoosterConfig] = None,
+) -> List[MultiDevicePoint]:
+    points: List[MultiDevicePoint] = []
+    local = run_local_session(app, user_device, duration_ms=duration_ms,
+                              seed=seed)
+    points.append(
+        MultiDevicePoint(
+            n_devices=0,
+            median_fps=local.fps.median_fps,
+            stability=local.fps.stability,
+            mean_response_ms=local.fps.mean_response_ms,
+        )
+    )
+    for n in range(1, max_devices + 1):
+        boosted = run_offload_session(
+            app,
+            user_device,
+            service_devices=[service_device] * n,
+            config=config,
+            duration_ms=duration_ms,
+            seed=seed,
+        )
+        points.append(
+            MultiDevicePoint(
+                n_devices=n,
+                median_fps=boosted.fps.median_fps,
+                stability=boosted.fps.stability,
+                mean_response_ms=boosted.fps.mean_response_ms,
+            )
+        )
+    return points
+
+
+def format_points(points: Sequence[MultiDevicePoint]) -> str:
+    lines = [f"{'devices':>8} {'median FPS':>11} {'stability':>10}"]
+    for p in points:
+        lines.append(
+            f"{p.n_devices:>8} {p.median_fps:>11.1f} "
+            f"{p.stability * 100:>9.0f}%"
+        )
+    return "\n".join(lines)

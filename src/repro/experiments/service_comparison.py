@@ -1,0 +1,98 @@
+"""Experiment S1 (ours): which ambient device makes a good offload target?
+
+§VII-A deploys four very different service devices — a game console, a
+smart-TV box, a laptop and desktops.  The paper only evaluates against the
+console; this experiment offloads the same game to each device class and
+shows the spread: capable boxes (console, desktop) accelerate, while the
+underpowered TV box can be *worse* than local execution — and Eq. 4
+dispatch protects a mixed pool from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.apps.base import ApplicationSpec
+from repro.apps.games import GTA_SAN_ANDREAS
+from repro.core.config import GBoosterConfig
+from repro.core.session import run_local_session, run_offload_session
+from repro.devices.profiles import (
+    DELL_M4600,
+    DELL_OPTIPLEX_9010,
+    DeviceSpec,
+    LG_NEXUS_5,
+    MINIX_NEO_U1,
+    NVIDIA_SHIELD,
+)
+
+DEFAULT_TARGETS = (
+    NVIDIA_SHIELD,
+    MINIX_NEO_U1,
+    DELL_M4600,
+    DELL_OPTIPLEX_9010,
+)
+
+
+@dataclass
+class ServiceComparisonRow:
+    service_device: str
+    median_fps: float
+    response_time_ms: float
+    local_fps: float
+
+    @property
+    def speedup(self) -> float:
+        return self.median_fps / self.local_fps if self.local_fps else 0.0
+
+
+def run_service_comparison(
+    app: ApplicationSpec = GTA_SAN_ANDREAS,
+    user_device: DeviceSpec = LG_NEXUS_5,
+    targets: Sequence[DeviceSpec] = DEFAULT_TARGETS,
+    duration_ms: float = 60_000.0,
+    seed: int = 0,
+) -> List[ServiceComparisonRow]:
+    local = run_local_session(app, user_device, duration_ms=duration_ms,
+                              seed=seed)
+    rows: List[ServiceComparisonRow] = []
+    for target in targets:
+        boosted = run_offload_session(
+            app, user_device, service_devices=[target],
+            duration_ms=duration_ms, seed=seed,
+        )
+        rows.append(
+            ServiceComparisonRow(
+                service_device=target.name,
+                median_fps=boosted.fps.median_fps,
+                response_time_ms=boosted.response_time_ms,
+                local_fps=local.fps.median_fps,
+            )
+        )
+    return rows
+
+
+def run_mixed_pool_protection(
+    app: ApplicationSpec = GTA_SAN_ANDREAS,
+    user_device: DeviceSpec = LG_NEXUS_5,
+    duration_ms: float = 60_000.0,
+    seed: int = 0,
+):
+    """A pool of one strong and one weak device under Eq. 4 vs round-robin.
+
+    Eq. 4's capability term should route nearly everything to the capable
+    device; round-robin splits evenly and drags the frame rate down.
+    Returns ``(eq4_result, round_robin_result)``.
+    """
+    pool = [DELL_OPTIPLEX_9010, MINIX_NEO_U1]
+    eq4 = run_offload_session(
+        app, user_device, service_devices=pool,
+        config=GBoosterConfig(scheduler="eq4"),
+        duration_ms=duration_ms, seed=seed,
+    )
+    rr = run_offload_session(
+        app, user_device, service_devices=pool,
+        config=GBoosterConfig(scheduler="round_robin"),
+        duration_ms=duration_ms, seed=seed,
+    )
+    return eq4, rr

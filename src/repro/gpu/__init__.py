@@ -1,0 +1,27 @@
+"""GPU execution, thermal and power models.
+
+The paper's motivation section (§II) rests on three GPU behaviours that
+this package reproduces:
+
+* limited fillrate — mobile GPUs are the frame-rate bottleneck
+  (:mod:`repro.gpu.model`);
+* thermal throttling — sustained load trips a temperature threshold and the
+  governor collapses the operating frequency, Fig 1
+  (:mod:`repro.gpu.thermal`);
+* high power draw — roughly 3 W under load, ~5x the CPU's share
+  (:mod:`repro.gpu.power`).
+"""
+
+from repro.gpu.model import GPUDevice, RenderRequest
+from repro.gpu.power import GPUPowerModel
+from repro.gpu.profiles import GPUSpec
+from repro.gpu.thermal import ThermalGovernor, ThermalModel
+
+__all__ = [
+    "GPUDevice",
+    "GPUPowerModel",
+    "GPUSpec",
+    "RenderRequest",
+    "ThermalGovernor",
+    "ThermalModel",
+]

@@ -1,0 +1,220 @@
+"""The GPU execution engine.
+
+A :class:`GPUDevice` is a simulator process owning one GPU.  It consumes
+:class:`RenderRequest` objects from a FIFO queue and executes them
+**non-preemptively** (paper §VI-A: "a rendering request ... will be
+executed in a non-preemptive way according to the modern GPU
+architecture").  Execution time is the request's fill workload divided by
+the GPU's current effective capacity, which the thermal governor may have
+collapsed mid-session.
+
+The device also integrates its own energy and keeps a frequency/temperature
+trace, so Fig 1 and the power experiments read directly off it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+from repro.gles.commands import GLCommand
+from repro.gpu.power import GPUPowerModel
+from repro.gpu.profiles import GPUSpec
+from repro.gpu.thermal import ThermalGovernor, ThermalModel
+from repro.sim.kernel import Event, Simulator
+from repro.sim.resources import Gauge, Store
+
+# Fixed CPU-side cost of submitting one command to the GPU ring buffer;
+# dominates only for degenerate many-tiny-command streams.
+COMMAND_SUBMIT_OVERHEAD_MS = 0.0008
+
+
+@dataclass
+class RenderRequest:
+    """A sequence of graphics commands rendering one frame (§VI-A).
+
+    ``fill_megapixels`` is the shader-weighted fill workload the request
+    produces — the quantity the paper profiles per command stream via the
+    TimeGraph approach [31] and uses as ``r`` in the Eq. 4 dispatcher.
+    """
+
+    request_id: int
+    frame_id: int
+    commands: List[GLCommand] = field(default_factory=list)
+    fill_megapixels: float = 1.0
+    vertex_count: int = 0
+    width: int = 1280
+    height: int = 720
+    issued_at: float = 0.0
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def workload(self) -> float:
+        """Workload ``r`` in megapixels of shader-weighted fill."""
+        return self.fill_megapixels
+
+
+@dataclass
+class CompletedRender:
+    request: RenderRequest
+    started_at: float
+    finished_at: float
+    freq_mhz: float
+
+    @property
+    def execution_ms(self) -> float:
+        return self.finished_at - self.started_at
+
+
+class GPUDevice:
+    """One GPU attached to the simulation kernel."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        spec: GPUSpec,
+        name: str = "",
+        on_complete: Optional[Callable[[CompletedRender], None]] = None,
+        initial_temp_c: Optional[float] = None,
+        thermal_step_ms: float = 1000.0,
+    ):
+        self.sim = sim
+        self.spec = spec
+        self.name = name or spec.name
+        self.on_complete = on_complete
+        self.queue: Store = Store(sim, name=f"{self.name}.queue")
+        self.power_model = GPUPowerModel(spec)
+        self.thermal = ThermalModel(spec, initial_temp_c=initial_temp_c)
+        self.governor = ThermalGovernor(spec, self.thermal)
+        self.thermal_step_ms = thermal_step_ms
+
+        self.busy = Gauge(sim, 0.0, name=f"{self.name}.busy")
+        self.power = Gauge(sim, spec.idle_power_w, name=f"{self.name}.power")
+        self.completed: List[CompletedRender] = []
+        self.freq_trace: List[Tuple[float, float, float]] = []
+
+        self._proc = sim.spawn(self._run(), name=f"gpu.{self.name}")
+        self._thermal_proc = sim.spawn(
+            self._thermal_loop(), name=f"gpu.{self.name}.thermal"
+        )
+
+    # -- public API ------------------------------------------------------------
+
+    def submit(self, request: RenderRequest) -> None:
+        """Enqueue a rendering request (FIFO, §VIII multiple-users note)."""
+        request.metadata.setdefault("enqueued_at", self.sim.now)
+        self.queue.put(request)
+
+    def pending_workload(self) -> float:
+        """Total fill workload queued but not yet finished — ``w`` in Eq. 4."""
+        queued = sum(r.workload for r in self.queue.peek_all())
+        return queued + self._in_flight_workload()
+
+    def execution_time_ms(self, request: RenderRequest) -> float:
+        """Predicted execution time at the *current* frequency."""
+        capacity_gp = self.spec.capacity_at(self.governor.freq_mhz)
+        if capacity_gp <= 0:
+            return float("inf")
+        fill_ms = request.fill_megapixels / (capacity_gp * 1000.0) * 1000.0
+        overhead_ms = COMMAND_SUBMIT_OVERHEAD_MS * len(request.commands)
+        return fill_ms + overhead_ms
+
+    def capacity_megapixels_per_ms(self) -> float:
+        """Effective capacity ``c`` in Eq. 4 units (MP per millisecond)."""
+        return self.spec.capacity_at(self.governor.freq_mhz) * 1000.0 / 1000.0
+
+    @property
+    def current_freq_mhz(self) -> float:
+        return self.governor.freq_mhz
+
+    @property
+    def temperature_c(self) -> float:
+        return self.thermal.temperature_c
+
+    def energy_joules(self) -> float:
+        """Energy consumed so far (power gauge integral; gauge is in W, time
+        in ms, so divide by 1000)."""
+        return self.power.integral() / 1000.0
+
+    def utilization(self) -> float:
+        return self.busy.mean()
+
+    # -- internals ----------------------------------------------------------------
+
+    def _in_flight_workload(self) -> float:
+        return getattr(self, "_current_workload", 0.0)
+
+    def _run(self) -> Generator:
+        while True:
+            request: RenderRequest = yield self.queue.get()
+            self._current_workload = request.workload
+            started = self.sim.now
+            self.busy.set(1.0)
+            self._update_power()
+            remaining_mp = request.fill_megapixels
+            overhead_ms = COMMAND_SUBMIT_OVERHEAD_MS * len(request.commands)
+            yield overhead_ms
+            # Execute fill work in slices so a governor throttle mid-request
+            # slows the remainder, exactly as a DVFS transition would.
+            while remaining_mp > 1e-12:
+                capacity_mp_per_ms = (
+                    self.spec.capacity_at(self.governor.freq_mhz) * 1.0
+                )  # GP/s == MP/ms
+                slice_ms = min(
+                    self.thermal_step_ms, remaining_mp / capacity_mp_per_ms
+                )
+                yield slice_ms
+                remaining_mp -= capacity_mp_per_ms * slice_ms
+            finished = self.sim.now
+            self.busy.set(0.0)
+            self._update_power()
+            self._current_workload = 0.0
+            done = CompletedRender(
+                request=request,
+                started_at=started,
+                finished_at=finished,
+                freq_mhz=self.governor.freq_mhz,
+            )
+            self.completed.append(done)
+            self.sim.tracer.record(
+                self.sim.now,
+                "gpu",
+                "render_complete",
+                device=self.name,
+                request_id=request.request_id,
+                frame_id=request.frame_id,
+                execution_ms=done.execution_ms,
+            )
+            if self.on_complete is not None:
+                self.on_complete(done)
+            reply: Optional[Event] = request.metadata.get("completion_event")
+            if reply is not None and not reply.triggered:
+                reply.trigger(done)
+
+    def _thermal_loop(self) -> Generator:
+        """Periodic thermal integration and governor stepping."""
+        while True:
+            yield self.thermal_step_ms
+            self._update_power()
+            power = self.power.value
+            dt_s = self.thermal_step_ms / 1000.0
+            old_freq = self.governor.freq_mhz
+            new_freq = self.governor.step(self.sim.now / 1000.0, dt_s, power)
+            self.freq_trace.append(
+                (self.sim.now, new_freq, self.thermal.temperature_c)
+            )
+            if new_freq != old_freq:
+                self.sim.tracer.record(
+                    self.sim.now,
+                    "gpu",
+                    "dvfs",
+                    device=self.name,
+                    freq_mhz=new_freq,
+                    temperature_c=self.thermal.temperature_c,
+                )
+                self._update_power()
+
+    def _update_power(self) -> None:
+        self.power.set(
+            self.power_model.power_w(self.busy.value, self.governor.freq_mhz)
+        )

@@ -1,0 +1,35 @@
+"""GPU power model.
+
+Power is idle draw plus an active component proportional to utilization and
+the DVFS frequency ratio.  Calibrated against the paper's §II measurement:
+a phone GPU rendering at 60 FPS draws about 3 W, roughly five times the
+CPU's share for the same workload.
+"""
+
+from __future__ import annotations
+
+from repro.gpu.profiles import GPUSpec
+
+
+class GPUPowerModel:
+    """Maps (utilization, frequency) to instantaneous power in watts."""
+
+    def __init__(self, spec: GPUSpec):
+        self.spec = spec
+
+    def power_w(self, utilization: float, freq_mhz: float) -> float:
+        if not 0.0 <= utilization <= 1.0:
+            raise ValueError(f"utilization must be in [0, 1], got {utilization}")
+        if freq_mhz < 0:
+            raise ValueError(f"negative frequency {freq_mhz}")
+        freq_ratio = min(1.0, freq_mhz / self.spec.max_freq_mhz)
+        return self.spec.idle_power_w + (
+            self.spec.active_power_w * utilization * freq_ratio
+        )
+
+    def energy_j(
+        self, utilization: float, freq_mhz: float, duration_s: float
+    ) -> float:
+        if duration_s < 0:
+            raise ValueError(f"negative duration {duration_s}")
+        return self.power_w(utilization, freq_mhz) * duration_s

@@ -1,0 +1,191 @@
+"""GPU hardware specifications.
+
+Fillrates follow the figures the paper quotes (Table I and §III): mobile
+flagships at 3.6–6.7 GP/s, the Nvidia Shield console at 16 GP/s, desktop
+GPUs roughly 10x mobile.
+
+Thermal parameters are calibrated against Fig 1: a passively cooled phone
+GPU under full load follows Newtonian heating toward an equilibrium above
+its throttle threshold, crossing it after roughly ten minutes; once the
+governor collapses the clock, the low-frequency equilibrium still sits
+above the recovery threshold, so the device stays throttled for the rest of
+the session (the sustained drop visible in the paper's trace).  Fan-cooled
+service devices have low-equilibrium thermals and never throttle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Static description of one GPU."""
+
+    name: str
+    fillrate_gpixels: float        # GP/s at max frequency
+    max_freq_mhz: int
+    min_freq_mhz: int
+    active_power_w: float          # draw at 100% utilization, max frequency
+    idle_power_w: float
+    throttle_temp_c: float         # governor trips above this
+    recover_temp_c: float          # governor restores below this
+    heat_rate_c_per_joule: float   # temperature rise per joule dissipated
+    cooling_coeff_per_s: float     # Newtonian cooling constant
+    ambient_c: float = 30.0
+    active_cooling: bool = False   # fans: large cooling_coeff, no throttling
+
+    def capacity_at(self, freq_mhz: float) -> float:
+        """Effective fill capacity (GP/s) at the given clock."""
+        if freq_mhz <= 0:
+            return 0.0
+        return self.fillrate_gpixels * (freq_mhz / self.max_freq_mhz)
+
+    def equilibrium_temp(self, power_w: float) -> float:
+        """Steady-state temperature under constant dissipation."""
+        return self.ambient_c + (
+            self.heat_rate_c_per_joule * power_w / self.cooling_coeff_per_s
+        )
+
+
+# -- mobile GPUs (user devices) ---------------------------------------------
+#
+# Full-load equilibria sit near 100 C (above the ~92 C throttle point, so
+# the threshold is crossed after ~10 min from a 35 C start), while the
+# min-frequency equilibria stay above the recovery threshold so the
+# throttle latches — both calibrated to the Fig 1 trace.
+
+ADRENO_330 = GPUSpec(
+    # LG Nexus 5 (2013).  Crosses 92 C after ~10.5 min at full load.
+    name="Adreno 330",
+    fillrate_gpixels=3.6,
+    max_freq_mhz=450,
+    min_freq_mhz=200,
+    active_power_w=2.9,
+    idle_power_w=0.08,
+    throttle_temp_c=92.0,
+    recover_temp_c=45.0,
+    heat_rate_c_per_joule=0.0797,
+    cooling_coeff_per_s=0.0033,
+)
+
+ADRENO_420 = GPUSpec(
+    # Samsung Galaxy S5 (2014), Table I row for 2014.
+    name="Adreno 420",
+    fillrate_gpixels=3.6,
+    max_freq_mhz=600,
+    min_freq_mhz=200,
+    active_power_w=3.0,
+    idle_power_w=0.08,
+    throttle_temp_c=92.0,
+    recover_temp_c=45.0,
+    heat_rate_c_per_joule=0.0770,
+    cooling_coeff_per_s=0.0033,
+)
+
+ADRENO_418 = GPUSpec(
+    # LG G4 (2015) — the Fig 1 trace device: 600 MHz steady for ~10 min,
+    # then the governor collapses the clock to 100 MHz for the remainder.
+    name="Adreno 418",
+    fillrate_gpixels=4.8,
+    max_freq_mhz=600,
+    min_freq_mhz=100,
+    active_power_w=3.1,
+    idle_power_w=0.08,
+    throttle_temp_c=91.0,
+    recover_temp_c=40.0,
+    heat_rate_c_per_joule=0.0745,
+    cooling_coeff_per_s=0.0033,
+)
+
+ADRENO_530 = GPUSpec(
+    # LG G5 (2016): bigger thermal envelope, full-load equilibrium ~88 C,
+    # below its throttle point — the new device does not throttle in a
+    # 15-minute session, matching Fig 5(d)/(e).
+    name="Adreno 530",
+    fillrate_gpixels=6.7,
+    max_freq_mhz=624,
+    min_freq_mhz=133,
+    active_power_w=3.3,
+    idle_power_w=0.09,
+    throttle_temp_c=93.0,
+    recover_temp_c=50.0,
+    heat_rate_c_per_joule=0.0791,
+    cooling_coeff_per_s=0.0045,
+)
+
+# -- service device GPUs --------------------------------------------------------
+
+TEGRA_X1 = GPUSpec(
+    # Nvidia Shield game console (§III): fillrate up to 16 GP/s, fan cooled.
+    name="Tegra X1 (Nvidia Shield)",
+    fillrate_gpixels=16.0,
+    max_freq_mhz=1000,
+    min_freq_mhz=76,
+    active_power_w=15.0,
+    idle_power_w=0.9,
+    throttle_temp_c=97.0,
+    recover_temp_c=85.0,
+    heat_rate_c_per_joule=0.004,
+    cooling_coeff_per_s=0.15,
+    active_cooling=True,
+)
+
+MALI_450 = GPUSpec(
+    # Minix Neo U1 smart-TV box: modest but fan-assisted.
+    name="Mali-450 MP4 (Minix Neo U1)",
+    fillrate_gpixels=4.4,
+    max_freq_mhz=750,
+    min_freq_mhz=250,
+    active_power_w=4.0,
+    idle_power_w=0.3,
+    throttle_temp_c=95.0,
+    recover_temp_c=85.0,
+    heat_rate_c_per_joule=0.008,
+    cooling_coeff_per_s=0.08,
+    active_cooling=True,
+)
+
+QUADRO_2000M = GPUSpec(
+    # Dell Precision M4600 laptop.
+    name="Quadro 2000M (Dell M4600)",
+    fillrate_gpixels=9.8,
+    max_freq_mhz=550,
+    min_freq_mhz=135,
+    active_power_w=55.0,
+    idle_power_w=4.0,
+    throttle_temp_c=99.0,
+    recover_temp_c=88.0,
+    heat_rate_c_per_joule=0.002,
+    cooling_coeff_per_s=0.2,
+    active_cooling=True,
+)
+
+GTX_750_TI = GPUSpec(
+    # Dell Optiplex 9010 desktops with GTX 750 Ti (§VII-A): ~10x mobile.
+    name="GeForce GTX 750 Ti (Optiplex 9010)",
+    fillrate_gpixels=16.3,
+    max_freq_mhz=1020,
+    min_freq_mhz=135,
+    active_power_w=60.0,
+    idle_power_w=5.0,
+    throttle_temp_c=99.0,
+    recover_temp_c=88.0,
+    heat_rate_c_per_joule=0.0015,
+    cooling_coeff_per_s=0.25,
+    active_cooling=True,
+)
+
+ALL_GPUS = {
+    spec.name: spec
+    for spec in (
+        ADRENO_330,
+        ADRENO_420,
+        ADRENO_418,
+        ADRENO_530,
+        TEGRA_X1,
+        MALI_450,
+        QUADRO_2000M,
+        GTX_750_TI,
+    )
+}

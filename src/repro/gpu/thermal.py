@@ -1,0 +1,132 @@
+"""Thermal dynamics and the throttling governor (paper §II, Fig 1).
+
+Temperature follows Newtonian heating:
+
+    dT/dt = heat_rate * P(t) - cooling_coeff * (T - ambient)
+
+The governor watches temperature and collapses the clock to the minimum
+frequency when the throttle threshold is crossed, restoring the maximum
+clock only once temperature has fallen below the (much lower) recovery
+threshold.  With phone-calibrated parameters the throttle latches for the
+rest of a session — the sustained 600 → 100 MHz drop of Fig 1.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.gpu.profiles import GPUSpec
+
+
+class ThermalModel:
+    """Continuous temperature state with exact exponential integration.
+
+    Between updates the dissipated power is constant, so the ODE has the
+    closed form ``T(t) = T_eq + (T0 - T_eq) * exp(-k t)`` — no integration
+    error regardless of step size, which keeps long simulations cheap.
+    """
+
+    def __init__(self, spec: GPUSpec, initial_temp_c: float = None):
+        self.spec = spec
+        self.temperature_c = (
+            initial_temp_c if initial_temp_c is not None else spec.ambient_c + 5.0
+        )
+
+    def advance(self, dt_s: float, power_w: float) -> float:
+        """Advance ``dt_s`` seconds at constant ``power_w``; returns temp."""
+        if dt_s < 0:
+            raise ValueError(f"negative dt {dt_s}")
+        if dt_s == 0:
+            return self.temperature_c
+        k = self.spec.cooling_coeff_per_s
+        t_eq = self.spec.equilibrium_temp(power_w)
+        self.temperature_c = t_eq + (self.temperature_c - t_eq) * math.exp(
+            -k * dt_s
+        )
+        return self.temperature_c
+
+    def time_to_reach(self, target_c: float, power_w: float) -> float:
+        """Seconds until the given temperature is reached, or ``inf``."""
+        k = self.spec.cooling_coeff_per_s
+        t_eq = self.spec.equilibrium_temp(power_w)
+        t0 = self.temperature_c
+        denominator = t0 - t_eq
+        numerator = target_c - t_eq
+        # Reaching the target requires it to lie between now and equilibrium.
+        if denominator == 0 or numerator / denominator <= 0 or (
+            numerator / denominator >= 1
+        ):
+            return math.inf
+        return -math.log(numerator / denominator) / k
+
+
+@dataclass
+class GovernorEvent:
+    time_s: float
+    action: str        # "throttle" | "recover"
+    freq_mhz: float
+    temperature_c: float
+
+
+class ThermalGovernor:
+    """Hysteresis frequency governor driven by a :class:`ThermalModel`."""
+
+    def __init__(self, spec: GPUSpec, thermal: ThermalModel):
+        self.spec = spec
+        self.thermal = thermal
+        self.freq_mhz: float = float(spec.max_freq_mhz)
+        self.throttled = False
+        self.events: List[GovernorEvent] = []
+
+    def step(self, now_s: float, dt_s: float, power_w: float) -> float:
+        """Advance the thermal state and apply governor policy.
+
+        Returns the frequency to use for the *next* interval.
+        """
+        temp = self.thermal.advance(dt_s, power_w)
+        if not self.throttled and temp >= self.spec.throttle_temp_c:
+            self.throttled = True
+            self.freq_mhz = float(self.spec.min_freq_mhz)
+            self.events.append(
+                GovernorEvent(now_s, "throttle", self.freq_mhz, temp)
+            )
+        elif self.throttled and temp <= self.spec.recover_temp_c:
+            self.throttled = False
+            self.freq_mhz = float(self.spec.max_freq_mhz)
+            self.events.append(
+                GovernorEvent(now_s, "recover", self.freq_mhz, temp)
+            )
+        return self.freq_mhz
+
+
+def simulate_trace(
+    spec: GPUSpec,
+    utilization: float,
+    duration_s: float,
+    step_s: float = 1.0,
+    initial_temp_c: float = None,
+) -> List[Tuple[float, float, float]]:
+    """Offline frequency/temperature trace — the Fig 1 generator.
+
+    Returns ``(time_s, freq_mhz, temperature_c)`` samples.  Power at each
+    step is the spec's active power scaled by utilization and the current
+    frequency ratio (DVFS: throttled clocks dissipate proportionally less).
+    """
+    if not 0.0 <= utilization <= 1.0:
+        raise ValueError(f"utilization must be in [0, 1], got {utilization}")
+    thermal = ThermalModel(spec, initial_temp_c=initial_temp_c)
+    governor = ThermalGovernor(spec, thermal)
+    samples: List[Tuple[float, float, float]] = []
+    t = 0.0
+    while t < duration_s:
+        freq_ratio = governor.freq_mhz / spec.max_freq_mhz
+        power = spec.idle_power_w + (
+            spec.active_power_w * utilization * freq_ratio
+        )
+        samples.append((t, governor.freq_mhz, thermal.temperature_c))
+        governor.step(t, step_s, power)
+        t += step_s
+    samples.append((t, governor.freq_mhz, thermal.temperature_c))
+    return samples

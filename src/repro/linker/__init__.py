@@ -1,0 +1,27 @@
+"""Simulated dynamic linker and the GBooster wrapper library.
+
+Paper §IV-A enumerates three routes by which an unmodified application
+reaches OpenGL ES entry points:
+
+1. direct linkage against ``libGLESv2.so``;
+2. function pointers obtained via ``eglGetProcAddress``;
+3. explicit ``dlopen``/``dlsym`` loading.
+
+This package models a process image with a dynamic linker supporting
+``LD_PRELOAD``-style interposition, and the wrapper library that covers all
+three routes without modifying the application.
+"""
+
+from repro.linker.library import SharedLibrary, Symbol
+from repro.linker.linker import DynamicLinker, LinkError, ProcessImage
+from repro.linker.wrapper import InterceptionStats, build_wrapper_library
+
+__all__ = [
+    "DynamicLinker",
+    "InterceptionStats",
+    "LinkError",
+    "ProcessImage",
+    "SharedLibrary",
+    "Symbol",
+    "build_wrapper_library",
+]

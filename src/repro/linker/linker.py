@@ -1,0 +1,165 @@
+"""The dynamic linker: symbol resolution with LD_PRELOAD interposition.
+
+Resolution order mirrors the real ELF linker closely enough for the
+mechanism under test: preloaded libraries are searched before the libraries
+a binary actually depends on, so a wrapper ``libGLESv2.so`` preloaded via
+``LD_PRELOAD`` shadows every GL symbol (§IV-A route 1).  ``dlopen`` by
+soname returns the *first* matching library in preload-then-namespace
+order, which is how route 3 is also captured once the wrapper interposes
+``dlopen``/``dlsym`` themselves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.linker.library import SharedLibrary, Symbol
+
+
+class LinkError(RuntimeError):
+    """Unresolvable symbol or unknown library."""
+
+
+@dataclass
+class _DlHandle:
+    """An opaque handle returned by ``dlopen``."""
+
+    library: SharedLibrary
+    handle_id: int
+
+
+class DynamicLinker:
+    """Owns the library namespace of one process."""
+
+    def __init__(self) -> None:
+        self._namespace: List[SharedLibrary] = []
+        self._preload: List[SharedLibrary] = []
+        self._handles: Dict[int, _DlHandle] = {}
+        self._next_handle = 1
+        # Interposable libc-level entry points; the wrapper overrides these.
+        self._dlopen_impl: Callable[[str], Any] = self._native_dlopen
+        self._dlsym_impl: Callable[[Any, str], Any] = self._native_dlsym
+
+    # -- namespace management ------------------------------------------------
+
+    def add_library(self, library: SharedLibrary) -> None:
+        self._namespace.append(library)
+
+    def preload(self, library: SharedLibrary) -> None:
+        """Equivalent of appending to LD_PRELOAD before process start."""
+        self._preload.append(library)
+
+    def search_order(self) -> List[SharedLibrary]:
+        return list(self._preload) + list(self._namespace)
+
+    # -- symbol resolution --------------------------------------------------------
+
+    def resolve(self, name: str) -> Symbol:
+        """Link-time resolution: first definition in search order wins."""
+        for lib in self.search_order():
+            sym = lib.lookup(name)
+            if sym is not None:
+                return sym
+        raise LinkError(f"undefined symbol: {name}")
+
+    def try_resolve(self, name: str) -> Optional[Symbol]:
+        try:
+            return self.resolve(name)
+        except LinkError:
+            return None
+
+    def resolve_in(self, soname: str, name: str) -> Symbol:
+        """Resolution scoped to one library (dlsym on a real handle)."""
+        for lib in self.search_order():
+            if lib.soname == soname:
+                sym = lib.lookup(name)
+                if sym is not None:
+                    return sym
+                raise LinkError(f"{soname}: undefined symbol {name}")
+        raise LinkError(f"no such library: {soname}")
+
+    # -- dlopen / dlsym ----------------------------------------------------------------
+
+    def set_dl_interposers(
+        self,
+        dlopen_impl: Optional[Callable[[str], Any]] = None,
+        dlsym_impl: Optional[Callable[[Any, str], Any]] = None,
+    ) -> None:
+        """Install wrapper implementations of dlopen/dlsym (§IV-A route 3)."""
+        if dlopen_impl is not None:
+            self._dlopen_impl = dlopen_impl
+        if dlsym_impl is not None:
+            self._dlsym_impl = dlsym_impl
+
+    def dlopen(self, soname: str) -> Any:
+        return self._dlopen_impl(soname)
+
+    def dlsym(self, handle: Any, name: str) -> Any:
+        return self._dlsym_impl(handle, name)
+
+    def _native_dlopen(self, soname: str) -> _DlHandle:
+        for lib in self.search_order():
+            if lib.soname == soname:
+                handle = _DlHandle(library=lib, handle_id=self._next_handle)
+                self._handles[self._next_handle] = handle
+                self._next_handle += 1
+                return handle
+        raise LinkError(f"dlopen: cannot find {soname}")
+
+    def _native_dlsym(self, handle: Any, name: str) -> Callable[..., Any]:
+        if not isinstance(handle, _DlHandle):
+            raise LinkError("dlsym: invalid handle")
+        sym = handle.library.lookup(name)
+        if sym is None:
+            raise LinkError(f"dlsym: {handle.library.soname} has no {name}")
+        return sym
+
+
+class ProcessImage:
+    """A running application's view of its libraries.
+
+    ``env`` models the process environment; when ``LD_PRELOAD`` names a
+    registered library it is preloaded before anything else resolves, which
+    is precisely how GBooster injects its wrapper on Android (§IV-A).
+    """
+
+    def __init__(self, name: str, env: Optional[Dict[str, str]] = None):
+        self.name = name
+        self.env: Dict[str, str] = dict(env or {})
+        self.linker = DynamicLinker()
+        self._available: Dict[str, SharedLibrary] = {}
+        self._started = False
+
+    def install_library(self, library: SharedLibrary) -> None:
+        """Make a library available on the system (not yet mapped)."""
+        self._available[library.soname] = library
+
+    def start(self, dependencies: List[str]) -> None:
+        """Map preloads then declared dependencies, like execve + ld.so."""
+        if self._started:
+            raise LinkError(f"process {self.name!r} already started")
+        preload_var = self.env.get("LD_PRELOAD", "")
+        for soname in filter(None, preload_var.split(":")):
+            lib = self._available.get(soname)
+            if lib is None:
+                raise LinkError(f"LD_PRELOAD: cannot find {soname}")
+            self.linker.preload(lib)
+        for soname in dependencies:
+            lib = self._available.get(soname)
+            if lib is None:
+                raise LinkError(f"missing dependency {soname}")
+            self.linker.add_library(lib)
+        self._started = True
+
+    def call(self, symbol: str, *args: Any) -> Any:
+        """Route 1: a direct (PLT-resolved) call."""
+        if not self._started:
+            raise LinkError(f"process {self.name!r} not started")
+        return self.linker.resolve(symbol)(*args)
+
+    def dlopen(self, soname: str) -> Any:
+        return self.linker.dlopen(soname)
+
+    def dlsym(self, handle: Any, name: str) -> Any:
+        return self.linker.dlsym(handle, name)

@@ -1,0 +1,161 @@
+"""The GBooster wrapper library.
+
+``build_wrapper_library`` produces a ``libGLESv2.so`` replacement whose
+symbols forward every intercepted call to an *interceptor* callback instead
+of (or in addition to) the native implementation, covering the three call
+routes of §IV-A:
+
+1. **Direct linkage** — the wrapper exports every GL entry point, and being
+   preloaded it shadows the native library at resolution time.
+2. **eglGetProcAddress** — the wrapper exports its own
+   ``eglGetProcAddress`` returning pointers to wrapper functions.
+3. **dlopen/dlsym** — the wrapper interposes these so that a dlopen of the
+   native soname yields a handle whose dlsym resolves into the wrapper.
+
+The interceptor is any callable ``(GLCommand) -> Any``; GBooster's client
+runtime supplies one that serializes and forwards, while tests supply
+recorders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from repro.gles.commands import COMMANDS, GLCommand, make_command
+from repro.linker.library import SharedLibrary
+from repro.linker.linker import DynamicLinker
+
+NATIVE_GLES_SONAME = "libGLESv2.so"
+NATIVE_EGL_SONAME = "libEGL.so"
+WRAPPER_SONAME = "libGBooster.so"
+
+
+@dataclass
+class InterceptionStats:
+    """Counters proving every route went through the wrapper."""
+
+    by_route: Dict[str, int] = field(
+        default_factory=lambda: {"direct": 0, "getprocaddress": 0, "dlsym": 0}
+    )
+    by_command: Dict[str, int] = field(default_factory=dict)
+
+    def bump(self, route: str, command: str) -> None:
+        self.by_route[route] = self.by_route.get(route, 0) + 1
+        self.by_command[command] = self.by_command.get(command, 0) + 1
+
+    @property
+    def total(self) -> int:
+        return sum(self.by_route.values())
+
+
+class _WrapperHandle:
+    """The fake handle our interposed dlopen returns for GL sonames."""
+
+    def __init__(self, library: SharedLibrary):
+        self.library = library
+
+
+def build_wrapper_library(
+    interceptor: Callable[[GLCommand], Any],
+    linker: Optional[DynamicLinker] = None,
+    stats: Optional[InterceptionStats] = None,
+    egl_exports: Optional[Dict[str, Callable[..., Any]]] = None,
+) -> SharedLibrary:
+    """Create the wrapper library and (optionally) interpose dl* calls.
+
+    ``egl_exports`` lets the client runtime add its rewritten EGL entry
+    points (``eglSwapBuffers`` above all, §IV-C/§VI-A) into the same
+    library so they shadow the native EGL.
+    """
+    stats = stats if stats is not None else InterceptionStats()
+    wrapper = SharedLibrary(soname=NATIVE_GLES_SONAME)
+    wrapper.stats = stats  # type: ignore[attr-defined]
+
+    def make_stub(command_name: str, route: str) -> Callable[..., Any]:
+        def stub(*args: Any) -> Any:
+            stats.bump(route, command_name)
+            return interceptor(make_command(command_name, *args))
+
+        stub.__name__ = command_name
+        return stub
+
+    # Route 1: export every registered GL entry point.
+    for name in sorted(COMMANDS):
+        wrapper.export(name, make_stub(name, "direct"))
+
+    # Route 2: our own eglGetProcAddress hands out wrapper pointers that
+    # account their calls separately so tests can verify the route.
+    proc_cache: Dict[str, Callable[..., Any]] = {}
+
+    def egl_get_proc_address(name: str) -> Optional[Callable[..., Any]]:
+        if name in COMMANDS:
+            if name not in proc_cache:
+                proc_cache[name] = make_stub(name, "getprocaddress")
+            return proc_cache[name]
+        if egl_exports and name in egl_exports:
+            return egl_exports[name]
+        return None
+
+    wrapper.export("eglGetProcAddress", egl_get_proc_address)
+
+    for name, fn in (egl_exports or {}).items():
+        if name not in wrapper:
+            wrapper.export(name, fn)
+
+    # Route 3: interpose dlopen/dlsym in the process's linker so loads of
+    # the native GL sonames come back to us.
+    if linker is not None:
+        dlsym_cache: Dict[str, Callable[..., Any]] = {}
+        native_dlopen = linker._native_dlopen
+        native_dlsym = linker._native_dlsym
+
+        def wrapped_dlopen(soname: str) -> Any:
+            if soname in (NATIVE_GLES_SONAME, NATIVE_EGL_SONAME):
+                return _WrapperHandle(wrapper)
+            return native_dlopen(soname)
+
+        def wrapped_dlsym(handle: Any, name: str) -> Any:
+            if isinstance(handle, _WrapperHandle):
+                if name in COMMANDS:
+                    if name not in dlsym_cache:
+                        dlsym_cache[name] = make_stub(name, "dlsym")
+                    return dlsym_cache[name]
+                sym = handle.library.lookup(name)
+                if sym is not None:
+                    return sym
+                raise KeyError(f"dlsym: wrapper has no {name}")
+            return native_dlsym(handle, name)
+
+        linker.set_dl_interposers(wrapped_dlopen, wrapped_dlsym)
+
+    return wrapper
+
+
+def build_native_gles_library(
+    executor: Callable[[GLCommand], Any],
+    soname: str = NATIVE_GLES_SONAME,
+) -> SharedLibrary:
+    """The 'genuine' GL library: symbols execute directly on a context.
+
+    Used for local-execution baselines and as the service device's GL
+    implementation.
+    """
+    native = SharedLibrary(soname=soname)
+
+    def make_entry(command_name: str) -> Callable[..., Any]:
+        def entry(*args: Any) -> Any:
+            return executor(make_command(command_name, *args))
+
+        entry.__name__ = command_name
+        return entry
+
+    for name in sorted(COMMANDS):
+        native.export(name, make_entry(name))
+
+    def egl_get_proc_address(name: str) -> Optional[Callable[..., Any]]:
+        sym = native.lookup(name)
+        return sym.fn if sym is not None else None
+
+    native.export("eglGetProcAddress", egl_get_proc_address)
+    return native

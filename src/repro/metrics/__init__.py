@@ -1,0 +1,36 @@
+"""Session metrics (paper §VII-B/C/G).
+
+* median FPS — the commonest frame rate, robust to loading-screen fringe
+  values;
+* FPS stability — the fraction of the session played within ±20% of the
+  median FPS;
+* average response time — request issue to on-screen presentation;
+* energy — integrated component power, normalized to local execution;
+* overheads — memory footprint and CPU utilization deltas.
+"""
+
+from repro.metrics.battery import (
+    BatteryComparison,
+    BatteryProjection,
+    compare_battery_life,
+    project_battery_life,
+)
+from repro.metrics.fps import FpsMetrics, compute_fps_metrics, fps_timeline
+from repro.metrics.energy import EnergyReport, normalized_energy
+from repro.metrics.overhead import OverheadReport
+from repro.metrics.report import session_report, session_report_json
+
+__all__ = [
+    "BatteryComparison",
+    "BatteryProjection",
+    "EnergyReport",
+    "FpsMetrics",
+    "OverheadReport",
+    "compare_battery_life",
+    "compute_fps_metrics",
+    "fps_timeline",
+    "normalized_energy",
+    "project_battery_life",
+    "session_report",
+    "session_report_json",
+]

@@ -1,0 +1,72 @@
+"""Battery-lifetime projection.
+
+The paper's second objective is "Extend Battery Life" (§II): heavy GPU use
+drains a phone in a couple of hours.  This module turns a session's mean
+power into the quantity a user feels — hours of gameplay per charge — and
+quantifies the offloading benefit in minutes gained.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.devices.profiles import DeviceSpec
+from repro.metrics.energy import EnergyReport
+
+#: Li-ion packs are not usable to the last joule; phones shut down with a
+#: reserve and lose some capacity to converter losses.
+USABLE_BATTERY_FRACTION = 0.92
+
+
+@dataclass(frozen=True)
+class BatteryProjection:
+    device_name: str
+    battery_wh: float
+    mean_power_w: float
+    hours: float
+
+    @property
+    def minutes(self) -> float:
+        return self.hours * 60.0
+
+
+def project_battery_life(
+    device: DeviceSpec, energy: EnergyReport
+) -> BatteryProjection:
+    """Hours of continuous gameplay this session's power draw allows."""
+    if device.battery_wh <= 0:
+        raise ValueError(f"{device.name} has no battery (service device?)")
+    if energy.mean_power_w <= 0:
+        raise ValueError("session has no measured power draw")
+    usable_wh = device.battery_wh * USABLE_BATTERY_FRACTION
+    return BatteryProjection(
+        device_name=device.name,
+        battery_wh=device.battery_wh,
+        mean_power_w=energy.mean_power_w,
+        hours=usable_wh / energy.mean_power_w,
+    )
+
+
+@dataclass(frozen=True)
+class BatteryComparison:
+    local: BatteryProjection
+    offloaded: BatteryProjection
+
+    @property
+    def extra_minutes(self) -> float:
+        return self.offloaded.minutes - self.local.minutes
+
+    @property
+    def lifetime_ratio(self) -> float:
+        return self.offloaded.hours / self.local.hours
+
+
+def compare_battery_life(
+    device: DeviceSpec,
+    local_energy: EnergyReport,
+    offloaded_energy: EnergyReport,
+) -> BatteryComparison:
+    return BatteryComparison(
+        local=project_battery_life(device, local_energy),
+        offloaded=project_battery_life(device, offloaded_energy),
+    )

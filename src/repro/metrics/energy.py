@@ -1,0 +1,47 @@
+"""Energy accounting and normalization (paper §VII-C).
+
+The paper measures whole-system power with a Monsoon power monitor and
+normalizes each offloaded run to its local-execution counterpart.  Here the
+power monitor is the sum of the device's component gauges (CPU + GPU +
+radios + screen/base), integrated over simulated time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.devices.runtime import UserDeviceRuntime
+
+
+@dataclass
+class EnergyReport:
+    total_j: float
+    duration_s: float
+    components_j: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def mean_power_w(self) -> float:
+        return self.total_j / self.duration_s if self.duration_s > 0 else 0.0
+
+
+def energy_report(device: UserDeviceRuntime) -> EnergyReport:
+    components = device.component_energy()
+    duration_s = (device.sim.now - device._start_time) / 1000.0
+    return EnergyReport(
+        total_j=sum(components.values()),
+        duration_s=duration_s,
+        components_j=components,
+    )
+
+
+def normalized_energy(offloaded: EnergyReport, local: EnergyReport) -> float:
+    """Offloaded mean power as a fraction of local mean power.
+
+    Normalizing power rather than raw energy keeps sessions of slightly
+    different lengths comparable, matching the paper's presentation
+    ("normalize the results to the case of local execution").
+    """
+    if local.mean_power_w <= 0:
+        raise ValueError("local session has no measured power")
+    return offloaded.mean_power_w / local.mean_power_w

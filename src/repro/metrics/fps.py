@@ -1,0 +1,91 @@
+"""Frame-rate metrics.
+
+The paper's §VII-B metrics, computed from presentation timestamps:
+
+* **median FPS** — median of the per-second instantaneous frame rate; it
+  "naturally omits fringe results, for instance 0 FPS or 60 FPS which
+  commonly occur during a game's loading screens and menus";
+* **FPS stability** — "how much of a game session is played within a 20
+  percent range of median FPS";
+* **average response time** — issue-to-presentation latency; equals
+  1000/FPS for local execution, plus the offload pipeline time otherwise
+  (Eq. 5).
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.apps.engine import FrameRecord
+
+
+@dataclass
+class FpsMetrics:
+    median_fps: float
+    stability: float                # fraction of seconds within +/-20%
+    mean_response_ms: float
+    frame_count: int
+    session_seconds: float
+    fps_series: List[float]
+
+    def __str__(self) -> str:  # pragma: no cover - human output
+        return (
+            f"median {self.median_fps:.1f} FPS, "
+            f"stability {self.stability * 100:.0f}%, "
+            f"response {self.mean_response_ms:.1f} ms"
+        )
+
+
+def fps_timeline(
+    presentation_times_ms: Sequence[float], bucket_ms: float = 1000.0
+) -> List[float]:
+    """Instantaneous FPS per time bucket."""
+    if not presentation_times_ms:
+        return []
+    times = sorted(presentation_times_ms)
+    start, end = times[0], times[-1]
+    if end <= start:
+        return [float(len(times))]
+    n_buckets = int((end - start) // bucket_ms) + 1
+    counts = [0] * n_buckets
+    for t in times:
+        counts[int((t - start) // bucket_ms)] += 1
+    scale = 1000.0 / bucket_ms
+    return [c * scale for c in counts]
+
+
+def stability_within(series: Sequence[float], median: float, band: float = 0.2) -> float:
+    """Fraction of buckets inside [median*(1-band), median*(1+band)]."""
+    if not series or median <= 0:
+        return 0.0
+    low, high = median * (1.0 - band), median * (1.0 + band)
+    inside = sum(1 for v in series if low <= v <= high)
+    return inside / len(series)
+
+
+def compute_fps_metrics(
+    frames: Sequence[FrameRecord], bucket_ms: float = 1000.0
+) -> FpsMetrics:
+    """Full §VII-B metric set from a session's presented frames."""
+    presented = [f for f in frames if f.presented_at is not None]
+    if not presented:
+        return FpsMetrics(0.0, 0.0, 0.0, 0, 0.0, [])
+    times = [f.presented_at for f in presented]
+    series = fps_timeline(times, bucket_ms=bucket_ms)
+    median = statistics.median(series) if series else 0.0
+    stability = stability_within(series, median)
+    responses = [
+        f.response_time_ms for f in presented if f.response_time_ms is not None
+    ]
+    mean_response = sum(responses) / len(responses) if responses else 0.0
+    session_s = (max(times) - min(times)) / 1000.0
+    return FpsMetrics(
+        median_fps=median,
+        stability=stability,
+        mean_response_ms=mean_response,
+        frame_count=len(presented),
+        session_seconds=session_s,
+        fps_series=series,
+    )

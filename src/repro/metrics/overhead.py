@@ -1,0 +1,51 @@
+"""Memory and CPU overhead accounting (paper §VII-G).
+
+GBooster's client runtime allocates extra memory (wrapper library, command
+cache, serialization buffers, frame reassembly buffers — the paper measures
+47.8 MB on average) and burns extra CPU on the offload data path (the paper
+measures +11 points on G1).  The report derives both from the running
+client's actual configuration rather than quoting constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+# Per-structure memory model (bytes).
+WRAPPER_LIBRARY_BYTES = 6 * 1024 * 1024          # wrapper .so, GOT, stubs
+CACHE_ENTRY_OVERHEAD_BYTES = 96                  # key + LRU node + dict slot
+SERIALIZATION_BUFFER_BYTES = 4 * 1024 * 1024     # double-buffered egress
+FRAME_BUFFER_COUNT = 3                           # reassembly ring (pipeline)
+
+
+@dataclass
+class OverheadReport:
+    memory_mb: float
+    cpu_local_util: float
+    cpu_offloaded_util: float
+    breakdown_mb: Dict[str, float]
+
+    @property
+    def cpu_delta_points(self) -> float:
+        return (self.cpu_offloaded_util - self.cpu_local_util) * 100.0
+
+
+def memory_overhead_mb(
+    cache_capacity: int,
+    mean_cached_entry_bytes: float,
+    frame_width: int,
+    frame_height: int,
+) -> Dict[str, float]:
+    """Client memory footprint by component, in MB."""
+    mb = 1024.0 * 1024.0
+    cache_bytes = cache_capacity * (
+        CACHE_ENTRY_OVERHEAD_BYTES + mean_cached_entry_bytes
+    )
+    frame_bytes = FRAME_BUFFER_COUNT * frame_width * frame_height * 4
+    return {
+        "wrapper_library": WRAPPER_LIBRARY_BYTES / mb,
+        "command_cache": cache_bytes / mb,
+        "serialization_buffers": SERIALIZATION_BUFFER_BYTES / mb,
+        "frame_buffers": frame_bytes / mb,
+    }

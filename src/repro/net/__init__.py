@@ -1,0 +1,53 @@
+"""Wireless network substrate.
+
+Models the quantities GBooster's design decisions hinge on (paper §IV-B,
+§V-B):
+
+* **Interfaces** — WiFi (high throughput, ~2 W at full rate) and Bluetooth
+  (21 Mbps, <0.1 W), with wakeup (~100 ms) and re-association (~500 ms)
+  latencies when a disabled WiFi radio is brought back up.
+* **Links** — propagation delay, jitter, and loss on the in-home LAN and a
+  WAN path for the cloud baseline.
+* **Transports** — a reliable-UDP transport with sequencing and
+  retransmission (the paper's application-layer mechanism, after UDT), a
+  TCP model carrying the delayed-ACK latency floor the paper avoids, and
+  UDP multicast for state replication to many service devices (§VI-B).
+
+Transmission is modelled at message granularity: serialization time is
+``bytes / bandwidth``, per-MTU header overhead is added to the byte count,
+and loss/retransmission operate on whole messages.  This keeps 15-minute
+sessions tractable while preserving the latency and energy shapes.
+"""
+
+from repro.net.interface import (
+    BLUETOOTH_CLASSIC,
+    WIFI_80211N,
+    RadioSpec,
+    RadioState,
+    WirelessInterface,
+)
+from repro.net.link import LinkSpec, NetworkLink
+from repro.net.manager import NetworkManager
+from repro.net.message import Message
+from repro.net.multicast import MulticastGroup
+from repro.net.transport import (
+    ReliableUdpTransport,
+    TcpTransport,
+    Transport,
+)
+
+__all__ = [
+    "BLUETOOTH_CLASSIC",
+    "LinkSpec",
+    "Message",
+    "MulticastGroup",
+    "NetworkLink",
+    "NetworkManager",
+    "RadioSpec",
+    "RadioState",
+    "ReliableUdpTransport",
+    "TcpTransport",
+    "Transport",
+    "WIFI_80211N",
+    "WirelessInterface",
+]

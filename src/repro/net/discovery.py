@@ -1,0 +1,127 @@
+"""Service-device discovery on the local network.
+
+Before GBooster can offload it must learn which multimedia devices are
+present (Fig 2's implicit first step; §VIII discusses the no-device case).
+The discovery protocol modelled here is the mDNS/SSDP shape used by real
+smart-TV ecosystems:
+
+1. the user device multicasts a probe on the LAN;
+2. every GBooster-capable responder answers after a small random backoff
+   (collision avoidance), advertising its capability vector (GPU fillrate,
+   CPU class, current load);
+3. the prober collects answers until a deadline, then ranks candidates.
+
+Discovery is how the adaptive session runner (``repro.core.adaptive``)
+decides between neighbourhood offloading and the cloud fallback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, List, Optional, Sequence
+
+from repro.devices.profiles import DeviceSpec
+from repro.sim.kernel import Event, Simulator
+from repro.sim.random import RandomStream
+
+PROBE_BYTES = 96          # the multicast M-SEARCH-style probe
+ADVERT_BYTES = 240        # a capability advertisement
+
+
+@dataclass(frozen=True)
+class ServiceAdvertisement:
+    """What a responder announces about itself."""
+
+    device: DeviceSpec
+    responded_at_ms: float
+    rtt_ms: float
+    current_load: float = 0.0
+
+    @property
+    def gpu_fillrate_gpixels(self) -> float:
+        return self.device.gpu.fillrate_gpixels
+
+
+@dataclass
+class DiscoveryResult:
+    advertisements: List[ServiceAdvertisement] = field(default_factory=list)
+    probe_sent_at_ms: float = 0.0
+    deadline_ms: float = 0.0
+
+    @property
+    def found_any(self) -> bool:
+        return bool(self.advertisements)
+
+    def ranked(self) -> List[ServiceAdvertisement]:
+        """Best offload candidates first: raw capability over load + RTT."""
+        return sorted(
+            self.advertisements,
+            key=lambda ad: (
+                -(ad.gpu_fillrate_gpixels * (1.0 - ad.current_load)),
+                ad.rtt_ms,
+                ad.device.name,
+            ),
+        )
+
+
+class DiscoveryService:
+    """Runs one probe round over a simulated LAN."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        responders: Sequence[DeviceSpec],
+        lan_latency_ms: float = 1.5,
+        response_backoff_ms: float = 40.0,
+        loss_probability: float = 0.01,
+        rng: Optional[RandomStream] = None,
+    ):
+        if not 0.0 <= loss_probability < 1.0:
+            raise ValueError(f"bad loss probability {loss_probability}")
+        self.sim = sim
+        self.responders = list(responders)
+        self.lan_latency_ms = lan_latency_ms
+        self.response_backoff_ms = response_backoff_ms
+        self.loss_probability = loss_probability
+        self.rng = rng or sim.stream("discovery")
+
+    def probe(self, timeout_ms: float = 500.0) -> Event:
+        """Multicast a probe; the returned event carries a DiscoveryResult."""
+        if timeout_ms <= 0:
+            raise ValueError(f"timeout must be positive, got {timeout_ms}")
+        sim = self.sim
+        result = DiscoveryResult(
+            probe_sent_at_ms=sim.now,
+            deadline_ms=sim.now + timeout_ms,
+        )
+        done = sim.event(name="discovery.done")
+
+        def responder_proc(spec: DeviceSpec) -> Generator:
+            # Probe propagation, possibly lost on the way out.
+            if self.rng.bernoulli(self.loss_probability):
+                return
+            yield self.lan_latency_ms
+            # Random backoff desynchronizes the answers.
+            yield self.rng.uniform(1.0, self.response_backoff_ms)
+            if self.rng.bernoulli(self.loss_probability):
+                return  # answer lost
+            yield self.lan_latency_ms
+            if sim.now <= result.deadline_ms:
+                result.advertisements.append(
+                    ServiceAdvertisement(
+                        device=spec,
+                        responded_at_ms=sim.now,
+                        rtt_ms=sim.now - result.probe_sent_at_ms,
+                        current_load=self.rng.uniform(0.0, 0.2),
+                    )
+                )
+
+        for spec in self.responders:
+            sim.spawn(responder_proc(spec), name=f"discovery.{spec.name}")
+
+        def finisher() -> Generator:
+            yield timeout_ms
+            done.trigger(result)
+
+        sim.spawn(finisher(), name="discovery.deadline")
+        return done

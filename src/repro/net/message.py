@@ -1,0 +1,54 @@
+"""Messages moving through the simulated network."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+_message_ids = itertools.count(1)
+
+MTU_BYTES = 1400
+UDP_IP_HEADER_BYTES = 28     # IPv4 (20) + UDP (8)
+TCP_IP_HEADER_BYTES = 40     # IPv4 (20) + TCP (20)
+RUDP_HEADER_BYTES = 16       # seq, ack, flags, checksum — app-layer ARQ
+
+
+@dataclass
+class Message:
+    """One application-layer message (a command batch or an encoded frame).
+
+    ``payload`` may be real bytes (command streams are byte-exact) or any
+    opaque object accompanied by an explicit ``size_bytes`` (encoded frames
+    carry their modelled size without materializing pixels).
+    """
+
+    size_bytes: int
+    payload: Any = None
+    kind: str = "data"
+    message_id: int = field(default_factory=lambda: next(_message_ids))
+    created_at: float = 0.0
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < 0:
+            raise ValueError(f"negative message size {self.size_bytes}")
+        if self.payload is not None and isinstance(
+            self.payload, (bytes, bytearray)
+        ):
+            # Byte payloads are authoritative for size.
+            self.size_bytes = len(self.payload)
+
+    def wire_bytes(self, per_packet_header: int) -> int:
+        """Total bytes on the air including per-MTU packet headers."""
+        packets = max(1, -(-self.size_bytes // MTU_BYTES))
+        return self.size_bytes + packets * per_packet_header
+
+    @classmethod
+    def of_bytes(cls, payload: bytes, kind: str = "data", **meta: Any) -> "Message":
+        return cls(size_bytes=len(payload), payload=payload, kind=kind,
+                   metadata=dict(meta))
+
+    @classmethod
+    def of_size(cls, size_bytes: int, kind: str = "data", **meta: Any) -> "Message":
+        return cls(size_bytes=size_bytes, kind=kind, metadata=dict(meta))

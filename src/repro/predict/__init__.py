@@ -1,0 +1,32 @@
+"""Traffic-demand forecasting (paper §V-B).
+
+The interface switcher needs to see a traffic surge *before* it exceeds
+Bluetooth throughput, because waking WiFi costs 100–500 ms.  The paper
+models per-epoch traffic volume first with ARMA(p, q), then — after finding
+its false-negative rate too high — with ARMAX(p, q, b) whose exogenous
+inputs (touch frequency and per-frame texture counts, selected by AIC)
+anticipate demand surges that pure history cannot.
+
+Estimation is online: a sliding-window recursive least-squares estimator
+updates the model each epoch, following the adaptive sliding-window scheme
+the paper cites [30].
+"""
+
+from repro.predict.arma import ARMAModel
+from repro.predict.armax import ARMAXModel
+from repro.predict.evaluation import (
+    PredictionOutcome,
+    evaluate_threshold_prediction,
+)
+from repro.predict.rls import RecursiveLeastSquares
+from repro.predict.selection import aic, select_armax_attributes
+
+__all__ = [
+    "ARMAModel",
+    "ARMAXModel",
+    "PredictionOutcome",
+    "RecursiveLeastSquares",
+    "aic",
+    "evaluate_threshold_prediction",
+    "select_armax_attributes",
+]

@@ -1,0 +1,88 @@
+"""Online ARMA(p, q) estimation and multi-step forecasting.
+
+The model (paper Eq. 2):
+
+    y_t = eps_t + sum_{i=1..p} phi_i y_{t-i} + sum_{i=1..q} theta_i eps_{t-i}
+
+Moving-average terms depend on the unobservable noise sequence, so the
+estimator uses *recursive extended least squares*: the one-step prediction
+residuals stand in for the noise terms, and the combined regressor
+``[y_{t-1..t-p}, e_{t-1..t-q}]`` feeds a forgetting-factor RLS.  A constant
+term absorbs the series mean.
+
+``forecast(h)`` iterates the fitted difference equation ``h`` steps with
+future noise set to its zero mean — the MMSE forecast of Eq. 1.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+from repro.predict.rls import RecursiveLeastSquares
+
+
+class ARMAModel:
+    """ARMA(p, q) with recursive extended least squares estimation."""
+
+    def __init__(self, p: int = 3, q: int = 2, forgetting: float = 0.995):
+        if p < 0 or q < 0 or p + q == 0:
+            raise ValueError(f"need p + q >= 1, got p={p} q={q}")
+        self.p = p
+        self.q = q
+        dim = 1 + p + q  # constant + AR + MA
+        self.rls = RecursiveLeastSquares(dim, forgetting=forgetting)
+        self._y: Deque[float] = deque(maxlen=max(p, 1))
+        self._e: Deque[float] = deque(maxlen=max(q, 1))
+        self.observations = 0
+
+    # -- regressor construction ----------------------------------------------
+
+    def _phi(self) -> List[float]:
+        ys = list(self._y)
+        es = list(self._e)
+        ar = [ys[-1 - i] if i < len(ys) else 0.0 for i in range(self.p)]
+        ma = [es[-1 - i] if i < len(es) else 0.0 for i in range(self.q)]
+        return [1.0] + ar + ma
+
+    # -- online API --------------------------------------------------------------
+
+    def observe(self, y: float) -> float:
+        """Feed one sample; returns the a-priori one-step residual."""
+        residual = self.rls.update(self._phi(), y)
+        self._y.append(y)
+        self._e.append(residual)
+        self.observations += 1
+        return residual
+
+    def predict_next(self) -> float:
+        """One-step-ahead forecast from the current state."""
+        return self.rls.predict(self._phi())
+
+    def forecast(self, h: int) -> List[float]:
+        """h-step-ahead forecasts [y_{T+1|T}, ..., y_{T+h|T}].
+
+        Future noise terms take their conditional mean (zero); known past
+        residuals keep contributing while their lags remain in range.
+        """
+        if h <= 0:
+            raise ValueError(f"horizon must be positive, got {h}")
+        ys = list(self._y)
+        es = list(self._e)
+        out: List[float] = []
+        for _ in range(h):
+            ar = [ys[-1 - i] if i < len(ys) else 0.0 for i in range(self.p)]
+            ma = [es[-1 - i] if i < len(es) else 0.0 for i in range(self.q)]
+            phi = [1.0] + ar + ma
+            y_hat = self.rls.predict(phi)
+            out.append(y_hat)
+            ys.append(y_hat)
+            es.append(0.0)  # E[eps] = 0 for future steps
+        return out
+
+    @property
+    def parameter_count(self) -> int:
+        return self.rls.dim
+
+    def mse(self) -> float:
+        return self.rls.mse()

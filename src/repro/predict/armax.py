@@ -1,0 +1,111 @@
+"""Online ARMAX(p, q, b) estimation and forecasting.
+
+Extends ARMA with b lags of each exogenous input (paper Eq. 3):
+
+    X_t = eps_t + sum phi_i X_{t-i} + sum theta_i eps_{t-i}
+              + sum_{i=1..b} eta_i d_{t-i}
+
+The exogenous inputs let the model react to causes the history cannot see
+yet — a burst of touch events precedes the traffic surge it provokes, so a
+touch-frequency regressor pulls the forecast up *before* the surge lands.
+That is exactly the mechanism by which the paper halves the false-negative
+rate versus plain ARMA.
+
+Forecasting beyond one step holds exogenous inputs at their latest values
+(the controller cannot know future touches), which still front-runs the
+surge whenever the cause leads the effect by at least one epoch.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional, Sequence
+
+from repro.predict.rls import RecursiveLeastSquares
+
+
+class ARMAXModel:
+    """ARMAX(p, q, b) over ``n_inputs`` exogenous series."""
+
+    def __init__(
+        self,
+        p: int = 3,
+        q: int = 2,
+        b: int = 2,
+        n_inputs: int = 1,
+        forgetting: float = 0.995,
+    ):
+        if p < 0 or q < 0 or b < 0 or p + q + b == 0:
+            raise ValueError(f"need p + q + b >= 1, got {p}/{q}/{b}")
+        if n_inputs < 0 or (b > 0 and n_inputs == 0):
+            raise ValueError("b > 0 requires at least one exogenous input")
+        self.p = p
+        self.q = q
+        self.b = b
+        self.n_inputs = n_inputs
+        dim = 1 + p + q + b * n_inputs
+        self.rls = RecursiveLeastSquares(dim, forgetting=forgetting)
+        self._y: Deque[float] = deque(maxlen=max(p, 1))
+        self._e: Deque[float] = deque(maxlen=max(q, 1))
+        self._d: Deque[List[float]] = deque(maxlen=max(b, 1))
+        self.observations = 0
+
+    def _phi(
+        self,
+        ys: Sequence[float],
+        es: Sequence[float],
+        ds: Sequence[Sequence[float]],
+    ) -> List[float]:
+        ar = [ys[-1 - i] if i < len(ys) else 0.0 for i in range(self.p)]
+        ma = [es[-1 - i] if i < len(es) else 0.0 for i in range(self.q)]
+        exo: List[float] = []
+        for i in range(self.b):
+            if i < len(ds):
+                exo.extend(ds[-1 - i])
+            else:
+                exo.extend([0.0] * self.n_inputs)
+        return [1.0] + ar + ma + exo
+
+    def observe(self, y: float, inputs: Sequence[float]) -> float:
+        """Feed one sample plus its contemporaneous exogenous inputs."""
+        inputs = list(inputs)
+        if len(inputs) != self.n_inputs:
+            raise ValueError(
+                f"expected {self.n_inputs} exogenous inputs, got {len(inputs)}"
+            )
+        phi = self._phi(list(self._y), list(self._e), list(self._d))
+        residual = self.rls.update(phi, y)
+        self._y.append(y)
+        self._e.append(residual)
+        self._d.append(inputs)
+        self.observations += 1
+        return residual
+
+    def predict_next(self) -> float:
+        phi = self._phi(list(self._y), list(self._e), list(self._d))
+        return self.rls.predict(phi)
+
+    def forecast(self, h: int) -> List[float]:
+        """h-step forecast holding exogenous inputs at their latest values."""
+        if h <= 0:
+            raise ValueError(f"horizon must be positive, got {h}")
+        ys = list(self._y)
+        es = list(self._e)
+        ds = list(self._d)
+        latest = ds[-1] if ds else [0.0] * self.n_inputs
+        out: List[float] = []
+        for _ in range(h):
+            phi = self._phi(ys, es, ds)
+            y_hat = self.rls.predict(phi)
+            out.append(y_hat)
+            ys.append(y_hat)
+            es.append(0.0)
+            ds.append(list(latest))
+        return out
+
+    @property
+    def parameter_count(self) -> int:
+        return self.rls.dim
+
+    def mse(self) -> float:
+        return self.rls.mse()

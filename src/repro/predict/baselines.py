@@ -1,0 +1,68 @@
+"""Naive forecasting baselines.
+
+A forecasting model only earns its complexity if it beats the trivial
+alternatives.  Two are provided:
+
+* :class:`PersistenceForecaster` — "tomorrow equals today": every step of
+  the horizon repeats the last observation.  Surprisingly strong on slow
+  series, helpless at onsets.
+* :class:`MovingAverageForecaster` — the window mean, the classic
+  low-pass alternative.
+
+Both expose the ``observe``/``forecast`` shape of the ARMA/ARMAX models so
+the evaluation harness can score them interchangeably.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List
+
+
+class PersistenceForecaster:
+    """Forecast = last observed value, repeated across the horizon."""
+
+    def __init__(self) -> None:
+        self._last = 0.0
+        self.observations = 0
+
+    def observe(self, y: float) -> float:
+        residual = y - self._last
+        self._last = y
+        self.observations += 1
+        return residual
+
+    def predict_next(self) -> float:
+        return self._last
+
+    def forecast(self, h: int) -> List[float]:
+        if h <= 0:
+            raise ValueError(f"horizon must be positive, got {h}")
+        return [self._last] * h
+
+
+class MovingAverageForecaster:
+    """Forecast = mean of the last ``window`` observations."""
+
+    def __init__(self, window: int = 10):
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        self.window = window
+        self._values: Deque[float] = deque(maxlen=window)
+        self.observations = 0
+
+    def observe(self, y: float) -> float:
+        mean = self.predict_next()
+        self._values.append(y)
+        self.observations += 1
+        return y - mean
+
+    def predict_next(self) -> float:
+        if not self._values:
+            return 0.0
+        return sum(self._values) / len(self._values)
+
+    def forecast(self, h: int) -> List[float]:
+        if h <= 0:
+            raise ValueError(f"horizon must be positive, got {h}")
+        return [self.predict_next()] * h

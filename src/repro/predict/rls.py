@@ -1,0 +1,72 @@
+"""Recursive least squares with exponential forgetting.
+
+The workhorse behind online ARMA/ARMAX estimation: given regressor vectors
+``phi_t`` and observations ``y_t``, maintain the parameter estimate
+
+    theta_t = theta_{t-1} + K_t (y_t - phi_t' theta_{t-1})
+
+with the covariance recursion of standard RLS.  A forgetting factor just
+below 1 realizes the sliding-data-window adaptivity of [30]: old samples
+decay, so the model tracks regime changes in the traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+class RecursiveLeastSquares:
+    """Online linear regression: ``y ≈ phi' theta``."""
+
+    def __init__(
+        self,
+        dim: int,
+        forgetting: float = 0.995,
+        initial_covariance: float = 1000.0,
+        theta0: Optional[Sequence[float]] = None,
+    ):
+        if dim <= 0:
+            raise ValueError(f"dim must be positive, got {dim}")
+        if not 0.0 < forgetting <= 1.0:
+            raise ValueError(f"forgetting factor {forgetting} outside (0, 1]")
+        self.dim = dim
+        self.forgetting = forgetting
+        self.theta = (
+            np.zeros(dim)
+            if theta0 is None
+            else np.asarray(theta0, dtype=float).copy()
+        )
+        if self.theta.shape != (dim,):
+            raise ValueError(f"theta0 must have shape ({dim},)")
+        self.P = np.eye(dim) * initial_covariance
+        self.updates = 0
+        self.sse = 0.0  # sum of squared one-step-ahead prediction errors
+
+    def predict(self, phi: Sequence[float]) -> float:
+        phi = np.asarray(phi, dtype=float)
+        return float(phi @ self.theta)
+
+    def update(self, phi: Sequence[float], y: float) -> float:
+        """Incorporate one observation; returns the *a priori* residual."""
+        phi = np.asarray(phi, dtype=float)
+        if phi.shape != (self.dim,):
+            raise ValueError(
+                f"regressor shape {phi.shape} != ({self.dim},)"
+            )
+        lam = self.forgetting
+        Pphi = self.P @ phi
+        denom = lam + float(phi @ Pphi)
+        K = Pphi / denom
+        residual = y - float(phi @ self.theta)
+        self.theta = self.theta + K * residual
+        self.P = (self.P - np.outer(K, Pphi)) / lam
+        # Symmetrize to fight numerical drift over long runs.
+        self.P = (self.P + self.P.T) * 0.5
+        self.updates += 1
+        self.sse += residual * residual
+        return residual
+
+    def mse(self) -> float:
+        return self.sse / self.updates if self.updates else 0.0

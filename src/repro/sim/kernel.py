@@ -1,0 +1,317 @@
+"""Event loop, processes and synchronization primitives.
+
+The kernel is a conventional coroutine-based discrete-event simulator in the
+style of SimPy, kept intentionally small and fully deterministic:
+
+* :class:`Simulator` owns the event queue and the clock (milliseconds).
+* :class:`Process` wraps a generator; the generator yields *waitables*
+  (events, delays, or other processes) and is resumed when they fire.
+* Ties in the event queue are broken by insertion order, never by object
+  identity, so two runs with the same seed replay identically.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+
+from repro.sim.random import RandomStream
+from repro.sim.trace import Tracer
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (double triggers, time travel, ...)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process that is interrupted while waiting.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event is *triggered* at most once with an optional value.  Processes
+    waiting on it are resumed at the trigger time, in the order they started
+    waiting.
+    """
+
+    def __init__(self, sim: "Simulator", name: str = ""):
+        self.sim = sim
+        self.name = name
+        self.triggered = False
+        self.value: Any = None
+        self._waiters: List["Process"] = []
+
+    def trigger(self, value: Any = None) -> "Event":
+        """Fire the event, waking all waiters at the current time."""
+        if self.triggered:
+            raise SimulationError(f"event {self.name!r} triggered twice")
+        self.triggered = True
+        self.value = value
+        for proc in self._waiters:
+            self.sim._schedule_resume(proc, value)
+        self._waiters.clear()
+        return self
+
+    def add_waiter(self, proc: "Process") -> None:
+        if self.triggered:
+            self.sim._schedule_resume(proc, self.value)
+        else:
+            self._waiters.append(proc)
+
+    def remove_waiter(self, proc: "Process") -> None:
+        if proc in self._waiters:
+            self._waiters.remove(proc)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "triggered" if self.triggered else "pending"
+        return f"<Event {self.name!r} {state}>"
+
+
+class Process:
+    """A running coroutine on the simulator.
+
+    The wrapped generator may yield:
+
+    * a ``float``/``int`` — sleep for that many milliseconds;
+    * an :class:`Event` — wait until it is triggered (resumes with its value);
+    * another :class:`Process` — wait for it to finish (resumes with its
+      return value);
+    * ``None`` — yield control and resume immediately (same timestamp).
+
+    When the generator returns, the process's completion event fires with the
+    returned value.
+    """
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
+        self.sim = sim
+        self.gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        self.done = Event(sim, name=f"{self.name}.done")
+        self.alive = True
+        self._waiting_on: Optional[Event] = None
+        self._pending_interrupt: Optional[Interrupt] = None
+
+    @property
+    def result(self) -> Any:
+        if not self.done.triggered:
+            raise SimulationError(f"process {self.name!r} has not finished")
+        return self.done.value
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if not self.alive:
+            return
+        if self._waiting_on is not None:
+            self._waiting_on.remove_waiter(self)
+            self._waiting_on = None
+        self._pending_interrupt = Interrupt(cause)
+        self.sim._schedule_resume(self, None)
+
+    def _step(self, value: Any) -> None:
+        """Advance the generator by one yield."""
+        self._waiting_on = None
+        try:
+            if self._pending_interrupt is not None:
+                exc = self._pending_interrupt
+                self._pending_interrupt = None
+                target = self.gen.throw(exc)
+            else:
+                target = self.gen.send(value)
+        except StopIteration as stop:
+            self.alive = False
+            self.done.trigger(stop.value)
+            return
+        except Interrupt:
+            # Interrupt escaped the generator: treat as a clean cancel.
+            self.alive = False
+            self.done.trigger(None)
+            return
+        self._wait_on(target)
+
+    def _wait_on(self, target: Any) -> None:
+        sim = self.sim
+        if target is None:
+            sim._schedule_resume(self, None)
+        elif isinstance(target, (int, float)):
+            if target < 0:
+                raise SimulationError(
+                    f"process {self.name!r} yielded negative delay {target}"
+                )
+            sim._schedule_resume(self, None, delay=float(target))
+        elif isinstance(target, Event):
+            self._waiting_on = target
+            target.add_waiter(self)
+        elif isinstance(target, Process):
+            self._waiting_on = target.done
+            target.done.add_waiter(self)
+        else:
+            raise SimulationError(
+                f"process {self.name!r} yielded unsupported {target!r}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "alive" if self.alive else "done"
+        return f"<Process {self.name!r} {state}>"
+
+
+class Simulator:
+    """The event loop: a clock plus a priority queue of resumptions."""
+
+    def __init__(self, seed: int = 0, tracer: Optional[Tracer] = None):
+        self.seed = seed
+        self.now = 0.0
+        self.tracer = tracer or Tracer()
+        self._queue: List[Tuple[float, int, Process, Any]] = []
+        self._counter = itertools.count()
+        self._streams: dict = {}
+        self._processes: List[Process] = []
+
+    # -- randomness ---------------------------------------------------------
+
+    def stream(self, name: str) -> RandomStream:
+        """Return the named random stream, creating it deterministically."""
+        if name not in self._streams:
+            self._streams[name] = RandomStream(self.seed, name)
+        return self._streams[name]
+
+    # -- process / event management ----------------------------------------
+
+    def spawn(self, gen: Generator, name: str = "") -> Process:
+        """Start a new process; it first runs at the current time."""
+        proc = Process(self, gen, name=name)
+        self._processes.append(proc)
+        self._schedule_resume(proc, None)
+        return proc
+
+    def event(self, name: str = "") -> Event:
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: Any = None, name: str = "") -> Event:
+        """An event that fires ``delay`` ms from now."""
+        if delay < 0:
+            raise SimulationError(f"negative timeout {delay}")
+        evt = Event(self, name=name or f"timeout@{self.now + delay:.3f}")
+
+        def _fire() -> Generator:
+            yield delay
+            if not evt.triggered:
+                evt.trigger(value)
+
+        self.spawn(_fire(), name=f"_timer.{evt.name}")
+        return evt
+
+    def any_of(self, events: Iterable[Event], name: str = "any") -> Event:
+        """An event that fires when the first of ``events`` fires.
+
+        The composite value is ``(index, value)`` of the winning event.
+        """
+        events = list(events)
+        combined = Event(self, name=name)
+
+        def _watch(idx: int, evt: Event) -> Generator:
+            value = yield evt
+            if not combined.triggered:
+                combined.trigger((idx, value))
+
+        for idx, evt in enumerate(events):
+            self.spawn(_watch(idx, evt), name=f"_anyof.{name}.{idx}")
+        return combined
+
+    def all_of(self, events: Iterable[Event], name: str = "all") -> Event:
+        """An event that fires when every one of ``events`` has fired."""
+        events = list(events)
+        combined = Event(self, name=name)
+        remaining = [len(events)]
+        values: List[Any] = [None] * len(events)
+        if not events:
+            combined.trigger([])
+            return combined
+
+        def _watch(idx: int, evt: Event) -> Generator:
+            values[idx] = yield evt
+            remaining[0] -= 1
+            if remaining[0] == 0:
+                combined.trigger(list(values))
+
+        for idx, evt in enumerate(events):
+            self.spawn(_watch(idx, evt), name=f"_allof.{name}.{idx}")
+        return combined
+
+    def call_at(self, when: float, fn: Callable[[], None], name: str = "") -> None:
+        """Run a plain callable at absolute time ``when``."""
+        if when < self.now:
+            raise SimulationError(f"call_at({when}) is in the past (now={self.now})")
+
+        def _caller() -> Generator:
+            yield when - self.now
+            fn()
+
+        self.spawn(_caller(), name=name or f"_call_at@{when:.3f}")
+
+    # -- scheduling internals ------------------------------------------------
+
+    def _schedule_resume(self, proc: Process, value: Any, delay: float = 0.0) -> None:
+        heapq.heappush(
+            self._queue, (self.now + delay, next(self._counter), proc, value)
+        )
+
+    # -- running --------------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Execute events until the queue drains or the clock passes ``until``.
+
+        Returns the final simulation time.
+        """
+        while self._queue:
+            when, _order, proc, value = self._queue[0]
+            if until is not None and when > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._queue)
+            if when < self.now - 1e-9:
+                raise SimulationError("event queue went backwards in time")
+            self.now = when
+            if proc.alive:
+                proc._step(value)
+        if until is not None:
+            self.now = max(self.now, until)
+        return self.now
+
+    def run_until_event(self, event: Event, limit: float = 1e12) -> Any:
+        """Run until ``event`` triggers (or the clock passes ``limit``).
+
+        Stops *at* the trigger, so gauges and energy integrals are not
+        diluted by background processes (thermal loops, samplers) that
+        would otherwise keep the queue alive forever.
+        """
+        while self._queue and not event.triggered:
+            when, _order, proc, value = heapq.heappop(self._queue)
+            if when > limit:
+                heapq.heappush(self._queue, (when, _order, proc, value))
+                self.now = limit
+                break
+            if when < self.now - 1e-9:
+                raise SimulationError("event queue went backwards in time")
+            self.now = when
+            if proc.alive:
+                proc._step(value)
+        return event.value if event.triggered else None
+
+    def run_until_process(self, proc: Process, limit: float = 1e12) -> Any:
+        """Run until ``proc`` completes; returns its result."""
+        self.run_until_event(proc.done, limit=limit)
+        if not proc.done.triggered:
+            raise SimulationError(
+                f"process {proc.name!r} did not finish by t={limit}"
+            )
+        return proc.result

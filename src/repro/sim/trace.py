@@ -1,0 +1,59 @@
+"""Structured event tracing.
+
+Substrates emit :class:`TraceRecord` rows into the simulator's tracer; tests
+and experiments query them instead of scraping logs.  Recording is cheap and
+can be filtered per category to keep long runs bounded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Set
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced occurrence."""
+
+    time: float
+    category: str
+    event: str
+    data: Dict[str, Any] = field(default_factory=dict)
+
+
+class Tracer:
+    """Collects trace records, optionally restricted to some categories."""
+
+    def __init__(self, categories: Optional[Iterable[str]] = None):
+        self.records: List[TraceRecord] = []
+        self._categories: Optional[Set[str]] = (
+            set(categories) if categories is not None else None
+        )
+        self.enabled = True
+
+    def wants(self, category: str) -> bool:
+        if not self.enabled:
+            return False
+        return self._categories is None or category in self._categories
+
+    def record(
+        self, time: float, category: str, event: str, **data: Any
+    ) -> None:
+        if self.wants(category):
+            self.records.append(TraceRecord(time, category, event, data))
+
+    def query(
+        self, category: Optional[str] = None, event: Optional[str] = None
+    ) -> List[TraceRecord]:
+        out = self.records
+        if category is not None:
+            out = [r for r in out if r.category == category]
+        if event is not None:
+            out = [r for r in out if r.event == event]
+        return list(out)
+
+    def count(self, category: Optional[str] = None, event: Optional[str] = None) -> int:
+        return len(self.query(category, event))
+
+    def clear(self) -> None:
+        self.records.clear()

@@ -1,0 +1,33 @@
+"""Energy-saving interface switching (paper §V-B).
+
+The controller samples offered traffic each epoch and decides which radio
+should carry the stream.  Policies:
+
+* ``AlwaysWifiPolicy`` — the "optimization disabled" comparison of Fig 6(b);
+* ``AlwaysBluetoothPolicy`` — a lower bound that sacrifices throughput;
+* ``ReactivePolicy`` — switch after demand already exceeds Bluetooth,
+  paying the WiFi wakeup latency in queued packets;
+* ``PredictivePolicy`` — the paper's design: an online ARMAX forecast over
+  a 500 ms horizon wakes WiFi *before* the surge lands.
+"""
+
+from repro.switching.controller import SwitchingController, SwitchingStats
+from repro.switching.policies import (
+    AlwaysBluetoothPolicy,
+    AlwaysWifiPolicy,
+    PredictivePolicy,
+    ReactivePolicy,
+    SwitchDecision,
+    SwitchingPolicy,
+)
+
+__all__ = [
+    "AlwaysBluetoothPolicy",
+    "AlwaysWifiPolicy",
+    "PredictivePolicy",
+    "ReactivePolicy",
+    "SwitchDecision",
+    "SwitchingController",
+    "SwitchingPolicy",
+    "SwitchingStats",
+]

@@ -1,0 +1,83 @@
+"""The switching controller process.
+
+Runs once per traffic epoch (100 ms): reads the network manager's latest
+offered-load sample and the exogenous signal snapshot, consults the policy,
+and applies the decision — waking WiFi ahead of a forecast surge, or
+dropping back to Bluetooth and powering the idle radio down.  It also keeps
+the bookkeeping the energy ablation reads: per-radio residency and switch
+counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Generator, List, Optional, Sequence
+
+from repro.net.manager import NetworkManager
+from repro.sim.kernel import Simulator
+from repro.switching.policies import SwitchDecision, SwitchingPolicy
+
+
+@dataclass
+class SwitchingStats:
+    epochs: int = 0
+    switches_to_wifi: int = 0
+    switches_to_bluetooth: int = 0
+    epochs_on_wifi: int = 0
+    epochs_on_bluetooth: int = 0
+    overload_epochs: int = 0      # demand exceeded the active radio's rate
+
+    @property
+    def bluetooth_residency(self) -> float:
+        return self.epochs_on_bluetooth / self.epochs if self.epochs else 0.0
+
+
+class SwitchingController:
+    """Drives a :class:`NetworkManager` with a :class:`SwitchingPolicy`."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        manager: NetworkManager,
+        policy: SwitchingPolicy,
+        exogenous_source: Optional[Callable[[], Sequence[float]]] = None,
+        power_down_idle: bool = True,
+    ):
+        self.sim = sim
+        self.manager = manager
+        self.policy = policy
+        self.exogenous_source = exogenous_source or (lambda: ())
+        self.power_down_idle = power_down_idle
+        self.stats = SwitchingStats()
+        self._proc = sim.spawn(self._run(), name="switching.controller")
+
+    def _run(self) -> Generator:
+        epoch = self.manager.epoch_ms
+        seen = 0
+        while True:
+            yield epoch
+            samples = self.manager.samples_mbps()
+            if len(samples) <= seen:
+                continue
+            mbps = samples[-1]
+            seen = len(samples)
+            exo = list(self.exogenous_source())
+            decision = self.policy.decide(mbps, exo, self.manager.active_name)
+            self.stats.epochs += 1
+            if self.manager.active_name == "wifi":
+                self.stats.epochs_on_wifi += 1
+            else:
+                self.stats.epochs_on_bluetooth += 1
+            active_rate = self.manager.active.spec.bandwidth_mbps
+            if mbps > active_rate:
+                self.stats.overload_epochs += 1
+            if decision == SwitchDecision.WIFI:
+                self.manager.use("wifi")
+                self.stats.switches_to_wifi += 1
+                if self.power_down_idle:
+                    self.manager.power_down_idle()
+            elif decision == SwitchDecision.BLUETOOTH:
+                self.manager.use("bluetooth")
+                self.stats.switches_to_bluetooth += 1
+                if self.power_down_idle:
+                    self.manager.power_down_idle()

@@ -1,0 +1,138 @@
+"""Interface selection policies."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Protocol, Sequence
+
+from repro.predict.armax import ARMAXModel
+
+#: Usable Bluetooth application throughput, Mbps (paper: ~21 Mbps link
+#: rate; leave headroom for protocol overhead before declaring a surge).
+BLUETOOTH_THRESHOLD_MBPS = 16.0
+
+
+class SwitchDecision(enum.Enum):
+    WIFI = "wifi"
+    BLUETOOTH = "bluetooth"
+    HOLD = "hold"
+
+
+class SwitchingPolicy(Protocol):
+    """Consulted once per traffic epoch."""
+
+    def decide(
+        self,
+        epoch_mbps: float,
+        exogenous: Sequence[float],
+        current: str,
+    ) -> SwitchDecision:
+        ...
+
+
+class AlwaysWifiPolicy:
+    """Optimization disabled: WiFi carries everything (Fig 6(b) baseline)."""
+
+    def decide(
+        self, epoch_mbps: float, exogenous: Sequence[float], current: str
+    ) -> SwitchDecision:
+        return SwitchDecision.WIFI if current != "wifi" else SwitchDecision.HOLD
+
+
+class AlwaysBluetoothPolicy:
+    """Throughput-blind lower bound; surges overflow the BT queue."""
+
+    def decide(
+        self, epoch_mbps: float, exogenous: Sequence[float], current: str
+    ) -> SwitchDecision:
+        return (
+            SwitchDecision.BLUETOOTH
+            if current != "bluetooth"
+            else SwitchDecision.HOLD
+        )
+
+
+class ReactivePolicy:
+    """Switch to WiFi only once observed demand already exceeds Bluetooth.
+
+    The wakeup latency (100–500 ms) is paid *during* the surge: packets
+    queue behind the waking radio, which is the frame-jitter failure mode
+    the paper's predictive design exists to avoid.
+    """
+
+    def __init__(
+        self,
+        threshold_mbps: float = BLUETOOTH_THRESHOLD_MBPS,
+        cooldown_epochs: int = 20,
+    ):
+        self.threshold_mbps = threshold_mbps
+        self.cooldown_epochs = cooldown_epochs
+        self._quiet_epochs = 0
+
+    def decide(
+        self, epoch_mbps: float, exogenous: Sequence[float], current: str
+    ) -> SwitchDecision:
+        if epoch_mbps > self.threshold_mbps:
+            self._quiet_epochs = 0
+            return (
+                SwitchDecision.WIFI if current != "wifi" else SwitchDecision.HOLD
+            )
+        self._quiet_epochs += 1
+        if current == "wifi" and self._quiet_epochs >= self.cooldown_epochs:
+            return SwitchDecision.BLUETOOTH
+        return SwitchDecision.HOLD
+
+
+class PredictivePolicy:
+    """The paper's ARMAX-driven predictive switcher.
+
+    Each epoch the model ingests the traffic sample plus the selected
+    exogenous attributes (touch frequency and textures per frame, the AIC
+    winners) and forecasts ``horizon_epochs`` ahead (500 ms at the paper's
+    settings).  A forecast surge wakes WiFi before demand arrives; traffic
+    falls back to Bluetooth only after both forecast and observation stay
+    clear of the threshold for a cooldown.
+    """
+
+    def __init__(
+        self,
+        n_inputs: int = 2,
+        threshold_mbps: float = BLUETOOTH_THRESHOLD_MBPS,
+        horizon_epochs: int = 5,
+        p: int = 3,
+        q: int = 2,
+        b: int = 2,
+        cooldown_epochs: int = 20,
+        warmup_epochs: int = 30,
+    ):
+        self.model = ARMAXModel(p=p, q=q, b=b, n_inputs=n_inputs)
+        self.threshold_mbps = threshold_mbps
+        self.horizon_epochs = horizon_epochs
+        self.cooldown_epochs = cooldown_epochs
+        self.warmup_epochs = warmup_epochs
+        self._quiet_epochs = 0
+        self.forecasts: List[List[float]] = []
+
+    def decide(
+        self, epoch_mbps: float, exogenous: Sequence[float], current: str
+    ) -> SwitchDecision:
+        self.model.observe(epoch_mbps, list(exogenous))
+        if self.model.observations < self.warmup_epochs:
+            # Cold model: be conservative, keep WiFi up.
+            return (
+                SwitchDecision.WIFI if current != "wifi" else SwitchDecision.HOLD
+            )
+        forecast = self.model.forecast(self.horizon_epochs)
+        self.forecasts.append(forecast)
+        surge_ahead = any(f > self.threshold_mbps for f in forecast)
+        surge_now = epoch_mbps > self.threshold_mbps
+        if surge_ahead or surge_now:
+            self._quiet_epochs = 0
+            return (
+                SwitchDecision.WIFI if current != "wifi" else SwitchDecision.HOLD
+            )
+        self._quiet_epochs += 1
+        if current == "wifi" and self._quiet_epochs >= self.cooldown_epochs:
+            return SwitchDecision.BLUETOOTH
+        return SwitchDecision.HOLD

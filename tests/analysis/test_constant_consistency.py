@@ -1,0 +1,32 @@
+"""The analytic model intentionally re-declares cost constants; this guard
+fails loudly if the simulator's constants drift away from them."""
+
+from repro.analysis import pipeline_model
+from repro.apps import engine
+
+
+def test_driver_cost_constants_match():
+    assert pipeline_model._DRIVER_FIXED_MS == engine.DRIVER_FIXED_MS
+    assert (
+        pipeline_model._DRIVER_PER_COMMAND_US == engine.DRIVER_PER_COMMAND_US
+    )
+
+
+def test_lan_latency_matches_session_builder():
+    from repro.net.link import LAN_WIFI
+
+    assert pipeline_model._LAN_LATENCY_MS == LAN_WIFI.latency_ms
+
+
+def test_turbo_diff_share_matches_codec():
+    """The 0.35 diff-pass share appears in both the codec and the model."""
+    from repro.codec.turbo import TurboEncoder
+    from repro.codec.frames import FrameImage
+
+    encoder = TurboEncoder()
+    # Zero-change frame: encode time = pixels * diff_share / throughput.
+    result = encoder.encode_descriptor(
+        FrameImage(1000, 1000, change_fraction=0.0)
+    )
+    implied_share = result.encode_time_ms * 90_000.0 / 1_000_000.0
+    assert abs(implied_share - 0.35) < 0.01

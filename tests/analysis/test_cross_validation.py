@@ -1,0 +1,93 @@
+"""Analytic model vs discrete-event simulation cross-validation.
+
+Two independent implementations of the same performance theory: the
+closed-form pipeline model and the simulator.  For every game/device
+combination they must agree on frame rate within a tight tolerance — a
+regression guard on both sides.
+"""
+
+import pytest
+
+import repro
+from repro.analysis.pipeline_model import (
+    predict_local_fps,
+    predict_offload,
+    predict_service_stage_ms,
+)
+from repro.apps.games import GAMES
+from repro.devices.profiles import (
+    DELL_OPTIPLEX_9010,
+    LG_G5,
+    LG_NEXUS_5,
+    NVIDIA_SHIELD,
+)
+
+DURATION = 25_000.0
+
+
+@pytest.mark.parametrize("game", list(GAMES))
+@pytest.mark.parametrize("device", [LG_NEXUS_5, LG_G5],
+                         ids=["nexus5", "lg_g5"])
+def test_local_fps_matches_simulation(game, device):
+    app = GAMES[game]
+    predicted = predict_local_fps(app, device)
+    simulated = repro.run_local_session(
+        app, device, duration_ms=DURATION
+    ).fps.median_fps
+    assert simulated == pytest.approx(predicted, rel=0.12), (
+        f"{game} on {device.name}: analytic {predicted:.1f} vs "
+        f"simulated {simulated:.1f}"
+    )
+
+
+@pytest.mark.parametrize("game", ["G1", "G3", "G5"])
+def test_offload_fps_matches_simulation(game):
+    app = GAMES[game]
+    prediction = predict_offload(app, LG_NEXUS_5, NVIDIA_SHIELD)
+    simulated = repro.run_offload_session(
+        app, LG_NEXUS_5, duration_ms=DURATION
+    ).fps.median_fps
+    assert simulated == pytest.approx(prediction.fps, rel=0.20), (
+        f"{game}: analytic {prediction.fps:.1f} "
+        f"({prediction.binding_stage}-bound) vs simulated {simulated:.1f}"
+    )
+
+
+def test_action_games_service_bound_on_shield():
+    prediction = predict_offload(GAMES["G1"], LG_NEXUS_5, NVIDIA_SHIELD)
+    assert prediction.binding_stage in ("service", "cpu")
+    assert 20.0 <= prediction.service_stage_ms <= 30.0
+
+
+def test_puzzle_games_not_service_bound():
+    prediction = predict_offload(GAMES["G5"], LG_NEXUS_5, NVIDIA_SHIELD)
+    assert prediction.service_stage_ms < 12.0
+
+
+def test_multi_device_divides_service_stage():
+    one = predict_offload(GAMES["G1"], LG_NEXUS_5, DELL_OPTIPLEX_9010,
+                          n_devices=1)
+    three = predict_offload(GAMES["G1"], LG_NEXUS_5, DELL_OPTIPLEX_9010,
+                            n_devices=3)
+    assert three.fps > one.fps
+    # Fig 7's saturation: with three PCs the user CPU binds.
+    assert three.binding_stage in ("cpu", "vsync")
+
+
+def test_response_prediction_close_to_simulation():
+    prediction = predict_offload(GAMES["G1"], LG_NEXUS_5, NVIDIA_SHIELD)
+    simulated = repro.run_offload_session(
+        GAMES["G1"], LG_NEXUS_5, duration_ms=DURATION
+    )
+    assert simulated.response_time_ms == pytest.approx(
+        prediction.response_time_ms, rel=0.3
+    )
+
+
+def test_x86_service_stage_includes_translation():
+    arm = predict_service_stage_ms(GAMES["G1"], NVIDIA_SHIELD)
+    x86 = predict_service_stage_ms(GAMES["G1"], DELL_OPTIPLEX_9010)
+    # The PC pays ES translation but wins on encode; both land in the
+    # plausible 15-30 ms band that shapes Figs 5 and 7.
+    assert 15.0 <= arm <= 30.0
+    assert 15.0 <= x86 <= 30.0

@@ -1,0 +1,57 @@
+"""Touch-event generator statistics."""
+
+import pytest
+
+from repro.apps.games import CANDY_CRUSH, GTA_SAN_ANDREAS
+from repro.apps.touch import TouchGenerator
+from repro.sim.kernel import Simulator
+
+
+def run_generator(spec, duration_ms, seed=0):
+    sim = Simulator(seed=seed)
+    gen = TouchGenerator(sim, spec)
+    sim.run(until=duration_ms)
+    return gen
+
+
+def test_events_occur_in_bursts():
+    gen = run_generator(GTA_SAN_ANDREAS, 120_000.0)
+    assert len(gen.events) > 20
+    gaps = [
+        b.time_ms - a.time_ms
+        for a, b in zip(gen.events, gen.events[1:])
+    ]
+    short = sum(1 for g in gaps if g < 500)
+    long = sum(1 for g in gaps if g > 2_000)
+    assert short > long  # intra-burst gaps dominate
+
+
+def test_callback_invoked():
+    sim = Simulator()
+    seen = []
+    TouchGenerator(sim, GTA_SAN_ANDREAS, on_touch=lambda e: seen.append(e))
+    sim.run(until=60_000.0)
+    assert seen
+    assert all(0.0 <= e.x <= 1.0 and 0.0 <= e.y <= 1.0 for e in seen)
+
+
+def test_count_in_window():
+    gen = run_generator(GTA_SAN_ANDREAS, 60_000.0)
+    total = gen.count_in_window(0.0, 60_000.0)
+    assert total == len(gen.events)
+    first_half = gen.count_in_window(0.0, 30_000.0)
+    second_half = gen.count_in_window(30_000.0, 60_000.0)
+    assert first_half + second_half == total
+
+
+def test_deterministic_across_runs():
+    a = run_generator(GTA_SAN_ANDREAS, 30_000.0, seed=4)
+    b = run_generator(GTA_SAN_ANDREAS, 30_000.0, seed=4)
+    assert [e.time_ms for e in a.events] == [e.time_ms for e in b.events]
+
+
+def test_genre_rates_differ():
+    action = run_generator(GTA_SAN_ANDREAS, 120_000.0)
+    puzzle = run_generator(CANDY_CRUSH, 120_000.0)
+    # Action games burst harder; rates need not be equal.
+    assert len(action.events) != len(puzzle.events)

@@ -1,0 +1,56 @@
+"""The OnLive-style cloud baseline (§VII-F)."""
+
+import pytest
+
+from repro.apps.games import GTA_SAN_ANDREAS
+from repro.baselines.cloud import CloudGamingModel
+from repro.sim.random import RandomStream
+
+
+def test_fps_capped_by_encoder_at_thirty():
+    cloud = CloudGamingModel()
+    result = cloud.simulate_session(GTA_SAN_ANDREAS, duration_s=60.0)
+    assert result.median_fps <= 31.0
+    assert result.median_fps >= 25.0
+
+
+def test_response_time_around_150ms():
+    cloud = CloudGamingModel()
+    response = cloud.response_time_ms(GTA_SAN_ANDREAS)
+    assert 120.0 <= response <= 190.0
+
+
+def test_stream_fits_10mbps():
+    cloud = CloudGamingModel()
+    result = cloud.simulate_session(GTA_SAN_ANDREAS, duration_s=30.0)
+    assert result.stream_kbps < 10_000.0
+
+
+def test_longer_wan_rtt_raises_response():
+    near = CloudGamingModel(wan_rtt_ms=60.0)
+    far = CloudGamingModel(wan_rtt_ms=250.0)
+    assert far.response_time_ms(GTA_SAN_ANDREAS) > near.response_time_ms(
+        GTA_SAN_ANDREAS
+    )
+
+
+def test_deterministic_sessions():
+    cloud = CloudGamingModel()
+    a = cloud.simulate_session(
+        GTA_SAN_ANDREAS, duration_s=30.0, rng=RandomStream(1, "c")
+    )
+    b = cloud.simulate_session(
+        GTA_SAN_ANDREAS, duration_s=30.0, rng=RandomStream(1, "c")
+    )
+    assert a.fps_series == b.fps_series
+    assert a.mean_response_ms == pytest.approx(b.mean_response_ms)
+
+
+def test_gbooster_response_roughly_5x_better():
+    """The §VII-F comparison: cloud response ~5x GBooster's."""
+    from repro.experiments.cloud_comparison import run_cloud_comparison
+
+    result = run_cloud_comparison(duration_ms=20_000.0)
+    assert result.response_ratio > 2.5
+    assert result.cloud_median_fps <= 31.0
+    assert result.gbooster_median_fps > result.cloud_median_fps

@@ -1,0 +1,59 @@
+"""Local execution backend."""
+
+import pytest
+
+from repro.apps.games import GTA_SAN_ANDREAS
+from repro.baselines.local import LocalBackend
+from repro.codec.frames import FrameImage
+from repro.devices.profiles import LG_NEXUS_5
+from repro.devices.runtime import UserDeviceRuntime
+from repro.gpu.model import RenderRequest
+from repro.sim.kernel import Simulator
+
+
+def make_backend():
+    sim = Simulator()
+    device = UserDeviceRuntime(sim, LG_NEXUS_5)
+    return sim, device, LocalBackend(sim, device)
+
+
+def test_double_buffered_pending():
+    _sim, _device, backend = make_backend()
+    assert backend.max_pending == 2
+    assert backend.uses_local_driver
+
+
+def test_no_offload_cpu_overhead():
+    _sim, _device, backend = make_backend()
+    frame = FrameImage(640, 480, change_fraction=0.5)
+    assert backend.cpu_overhead_ms(frame) == 0.0
+
+
+def test_submit_renders_on_local_gpu():
+    sim, device, backend = make_backend()
+    request = RenderRequest(
+        request_id=0, frame_id=0, commands=[], fill_megapixels=36.0
+    )
+    completion = backend.submit(
+        request, FrameImage(640, 480, change_fraction=0.1)
+    )
+    sim.run(until=100.0)
+    assert completion.triggered
+    assert device.gpu.completed[0].execution_ms == pytest.approx(10.0,
+                                                                 rel=0.05)
+
+
+def test_execute_commands_replays_on_context():
+    sim, device, _ = make_backend()
+    backend = LocalBackend(sim, device, execute_commands=True)
+    from repro.gles.commands import make_command
+    from repro.gles import enums as gl
+
+    request = RenderRequest(
+        request_id=0, frame_id=0,
+        commands=[make_command("glEnable", gl.GL_BLEND)],
+        fill_megapixels=1.0,
+    )
+    backend.submit(request, FrameImage(64, 64, change_fraction=0.0))
+    sim.run(until=100.0)
+    assert device.context.capabilities[gl.GL_BLEND]

@@ -1,0 +1,122 @@
+"""LRU command cache and sender/receiver lockstep."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.codec.command_cache import (
+    CachePair,
+    LRUCommandCache,
+    REFERENCE_BYTES,
+)
+from repro.gles.commands import make_command
+
+
+class TestLRUCache:
+    def test_miss_then_hit(self):
+        cache = LRUCommandCache(capacity=4)
+        key = ("glFlush", ())
+        assert cache.lookup(key) is None
+        cache.insert(key, b"wire")
+        assert cache.lookup(key) == b"wire"
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_eviction_order_is_lru(self):
+        cache = LRUCommandCache(capacity=2)
+        cache.insert(("a",), b"1")
+        cache.insert(("b",), b"2")
+        cache.lookup(("a",))          # refresh a
+        cache.insert(("c",), b"3")     # evicts b
+        assert cache.lookup(("b",)) is None
+        assert cache.lookup(("a",)) == b"1"
+        assert cache.stats.evictions == 1
+
+    def test_reinsert_refreshes_without_duplicate(self):
+        cache = LRUCommandCache(capacity=2)
+        cache.insert(("a",), b"1")
+        cache.insert(("a",), b"1")
+        assert len(cache) == 1
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            LRUCommandCache(capacity=0)
+
+    def test_hit_rate(self):
+        cache = LRUCommandCache(capacity=8)
+        key = ("k",)
+        cache.lookup(key)
+        cache.insert(key, b"x")
+        cache.lookup(key)
+        cache.lookup(key)
+        assert cache.stats.hit_rate == pytest.approx(2 / 3)
+
+
+class TestCachePair:
+    def test_first_send_full_then_reference(self):
+        pair = CachePair(capacity=16)
+        cmd = make_command("glUseProgram", 3)
+        wire = b"x" * 50
+        size1, hit1 = pair.encode(cmd, wire)
+        size2, hit2 = pair.encode(cmd, wire)
+        assert (size1, hit1) == (50, False)
+        assert (size2, hit2) == (REFERENCE_BYTES, True)
+
+    def test_pair_stays_consistent(self):
+        pair = CachePair(capacity=4)
+        cmds = [make_command("glUseProgram", i % 6) for i in range(100)]
+        for cmd in cmds:
+            pair.encode(cmd, b"w" * 20)
+            assert pair.verify_consistent()
+
+    def test_different_args_are_different_entries(self):
+        pair = CachePair(capacity=16)
+        _, hit_a = pair.encode(make_command("glUniform1f", 0, 1.0), b"a")
+        _, hit_b = pair.encode(make_command("glUniform1f", 0, 2.0), b"b")
+        assert not hit_a and not hit_b
+
+    def test_traffic_saving_on_repetitive_stream(self):
+        pair = CachePair(capacity=64)
+        total_wire = 0
+        total_raw = 0
+        for frame in range(50):
+            for slot in range(8):
+                cmd = make_command("glBindTexture", 0x0DE1, slot)
+                wire = b"y" * 24
+                size, _hit = pair.encode(cmd, wire)
+                total_wire += size
+                total_raw += len(wire)
+        assert total_wire < total_raw * 0.5
+
+    def test_hit_rate_property(self):
+        pair = CachePair(capacity=8)
+        cmd = make_command("glFlush")
+        for _ in range(10):
+            pair.encode(cmd, b"z" * 12)
+        assert pair.hit_rate == pytest.approx(0.9)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    keys=st.lists(st.integers(min_value=0, max_value=12), min_size=1,
+                  max_size=300),
+    capacity=st.integers(min_value=1, max_value=16),
+)
+def test_property_pair_never_desyncs(keys, capacity):
+    """Whatever the access pattern, sender and receiver stay identical."""
+    pair = CachePair(capacity=capacity)
+    for k in keys:
+        cmd = make_command("glUseProgram", k)
+        pair.encode(cmd, bytes(16))
+    assert pair.verify_consistent()
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    keys=st.lists(st.integers(min_value=0, max_value=50), min_size=1,
+                  max_size=200),
+)
+def test_property_cache_never_exceeds_capacity(keys):
+    cache = LRUCommandCache(capacity=10)
+    for k in keys:
+        cache.insert((k,), b"v")
+    assert len(cache) <= 10

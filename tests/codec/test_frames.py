@@ -1,0 +1,51 @@
+"""Synthetic frame source behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.codec.frames import FrameImage, SyntheticFrameSource
+
+
+def test_frame_shape_and_dtype():
+    source = SyntheticFrameSource(width=100, height=80, seed=0)
+    frame = source.frame()
+    assert frame.shape == (80, 100, 3)
+    assert frame.dtype == np.uint8
+
+
+def test_frames_differ_over_time():
+    source = SyntheticFrameSource(width=100, height=80, motion_px=5.0, seed=0)
+    a = source.frame()
+    b = source.frame()
+    assert (a != b).any()
+
+
+def test_zero_motion_yields_static_frames():
+    source = SyntheticFrameSource(width=100, height=80, motion_px=0.0, seed=0)
+    a = source.frame()
+    b = source.frame()
+    assert (a == b).all()
+
+
+def test_deterministic_for_same_seed():
+    a = SyntheticFrameSource(width=64, height=64, seed=9)
+    b = SyntheticFrameSource(width=64, height=64, seed=9)
+    for fa, fb in zip(a.frames(5), b.frames(5)):
+        assert (fa == fb).all()
+
+
+def test_sprites_stay_in_bounds():
+    source = SyntheticFrameSource(
+        width=64, height=64, sprite_size=16, motion_px=20.0, seed=2
+    )
+    for _ in range(100):
+        source.frame()
+        for x, y in source._positions:
+            assert 0 <= x <= 64 - 16
+            assert 0 <= y <= 64 - 16
+
+
+def test_frame_image_properties():
+    desc = FrameImage(640, 480, change_fraction=0.25, detail=0.5)
+    assert desc.pixels == 640 * 480
+    assert desc.raw_bytes == 640 * 480 * 3

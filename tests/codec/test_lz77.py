@@ -1,0 +1,128 @@
+"""LZ77 compressor: round-trip correctness and compression behaviour."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.codec.lz77 import compress, compression_ratio, decompress
+
+
+class TestRoundTrip:
+    def test_empty(self):
+        assert decompress(compress(b"")) == b""
+
+    def test_single_byte(self):
+        assert decompress(compress(b"a")) == b"a"
+
+    def test_short_literal_only(self):
+        data = b"abc"
+        assert decompress(compress(data)) == data
+
+    def test_repeated_pattern(self):
+        data = b"abcd" * 1000
+        assert decompress(compress(data)) == data
+
+    def test_all_same_byte(self):
+        data = b"\x00" * 5000
+        assert decompress(compress(data)) == data
+
+    def test_overlapping_match(self):
+        # 'aaaa...' forces matches whose source overlaps the copy target.
+        data = b"a" + b"a" * 300 + b"b"
+        assert decompress(compress(data)) == data
+
+    def test_long_literal_runs(self):
+        data = bytes(range(256)) * 3  # little redundancy at window start
+        assert decompress(compress(data)) == data
+
+    def test_binary_gl_stream(self):
+        from repro.gles.commands import make_command
+        from repro.gles.serialization import serialize_stream
+
+        cmds = [
+            make_command("glUniform1f", i % 4, float(i % 7)) for i in range(200)
+        ]
+        wire = serialize_stream(cmds)
+        assert decompress(compress(wire)) == wire
+
+    def test_max_chain_zero_still_correct(self):
+        data = b"hello world " * 50
+        assert decompress(compress(data, max_chain=0)) == data
+
+
+class TestCompressionQuality:
+    def test_redundant_data_compresses_well(self):
+        data = b"the quick brown fox " * 200
+        ratio = compression_ratio(data)
+        assert ratio < 0.1
+
+    def test_command_stream_reaches_papers_ballpark(self):
+        """LZ4 on command streams: ~70% reduction (paper §V-A)."""
+        from repro.gles.commands import make_command
+        from repro.gles.serialization import serialize_stream
+
+        # Consecutive frames repeat near-identical sequences.
+        frames = []
+        for frame in range(30):
+            for slot in range(10):
+                frames.append(make_command("glBindTexture", 0x0DE1, slot + 4))
+                frames.append(
+                    make_command("glUniform1f", 0, float(frame % 3))
+                )
+                frames.append(make_command("glDrawArrays", 4, 0, 36))
+        wire = serialize_stream(frames)
+        assert compression_ratio(wire) < 0.35
+
+    def test_random_data_does_not_explode(self):
+        import random
+
+        rng = random.Random(1)
+        data = bytes(rng.getrandbits(8) for _ in range(4000))
+        # Worst case bounded: token + extension overhead is small.
+        assert len(compress(data)) < len(data) * 1.1
+
+    def test_higher_chain_never_worse_ratio(self):
+        data = (b"pattern-one " * 40 + b"pattern-two " * 40) * 5
+        weak = len(compress(data, max_chain=1))
+        strong = len(compress(data, max_chain=64))
+        assert strong <= weak
+
+    def test_ratio_of_empty_is_one(self):
+        assert compression_ratio(b"") == 1.0
+
+
+class TestErrors:
+    def test_type_error_on_non_bytes(self):
+        with pytest.raises(TypeError):
+            compress("string")  # type: ignore[arg-type]
+
+    def test_corrupt_zero_offset(self):
+        blob = bytearray(compress(b"abcdabcdabcdabcd" * 10))
+        # Find a match offset and zero it out.
+        for i in range(len(blob) - 1):
+            if blob[i] != 0 or blob[i + 1] != 0:
+                continue
+        corrupted = bytes([0x04]) + b"abcd" + bytes([0, 0]) + bytes([0])
+        with pytest.raises(ValueError):
+            decompress(corrupted)
+
+
+@settings(max_examples=200, deadline=None)
+@given(data=st.binary(max_size=2000))
+def test_property_roundtrip(data):
+    assert decompress(compress(data)) == data
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    chunk=st.binary(min_size=1, max_size=20),
+    repeats=st.integers(min_value=1, max_value=200),
+)
+def test_property_repetition_roundtrip(chunk, repeats):
+    data = chunk * repeats
+    assert decompress(compress(data)) == data
+
+
+@settings(max_examples=50, deadline=None)
+@given(data=st.binary(min_size=200, max_size=2000), chain=st.sampled_from([1, 4, 16, 64]))
+def test_property_chain_parameter_roundtrip(data, chain):
+    assert decompress(compress(data, max_chain=chain)) == data

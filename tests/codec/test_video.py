@@ -1,0 +1,37 @@
+"""Video-encoder throughput model (§V-A, §VII-F)."""
+
+import pytest
+
+from repro.codec.video import VideoEncoderModel, X264_ARM, X264_X86
+
+
+def test_arm_encoder_cannot_keep_up():
+    """The paper's point: ~1 MP/s on ARM vs ~7 MP/s of generated frames."""
+    assert not X264_ARM.keeps_up(640, 480, 25.0)
+    assert X264_ARM.sustainable_fps(640, 480) < 5.0
+
+
+def test_x86_encoder_keeps_up_at_its_cap():
+    assert X264_X86.keeps_up(1280, 720, 30.0)
+
+
+def test_onlive_cap_is_thirty_fps():
+    """§VII-F: the platform's FPS is capped by the encoder settings."""
+    assert X264_X86.sustainable_fps(1280, 720) == pytest.approx(30.0)
+
+
+def test_encode_time_linear_in_pixels():
+    t1 = X264_ARM.encode_time_ms(100_000)
+    t2 = X264_ARM.encode_time_ms(200_000)
+    assert t2 == pytest.approx(2 * t1)
+
+
+def test_encoded_bytes_respects_ratio():
+    model = VideoEncoderModel(name="t", throughput_mp_s=10.0,
+                              compression_ratio=100.0)
+    assert model.encoded_bytes(1000) == pytest.approx(30, abs=1)
+
+
+def test_negative_pixels_rejected():
+    with pytest.raises(ValueError):
+        X264_ARM.encode_time_ms(-1)

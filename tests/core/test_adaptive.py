@@ -1,0 +1,62 @@
+"""Adaptive mode selection (§VIII: no-device and no-Internet scenarios)."""
+
+import pytest
+
+from repro.apps.games import GTA_SAN_ANDREAS
+from repro.core.adaptive import run_adaptive_session
+from repro.devices.profiles import MINIX_NEO_U1, NVIDIA_SHIELD
+
+DURATION = 20_000.0
+
+
+def test_devices_present_uses_gbooster():
+    outcome = run_adaptive_session(
+        GTA_SAN_ANDREAS,
+        ambient_devices=[NVIDIA_SHIELD],
+        duration_ms=DURATION,
+    )
+    assert outcome.mode == "gbooster"
+    assert outcome.discovery.found_any
+    assert outcome.median_fps > 30.0
+    assert outcome.session is not None
+
+
+def test_empty_lan_falls_back_to_cloud():
+    outcome = run_adaptive_session(
+        GTA_SAN_ANDREAS, ambient_devices=[], duration_ms=DURATION,
+    )
+    assert outcome.mode == "cloud"
+    assert outcome.median_fps <= 31.0         # encoder cap
+    assert outcome.response_time_ms > 100.0   # WAN latency
+
+
+def test_no_lan_no_internet_runs_local():
+    outcome = run_adaptive_session(
+        GTA_SAN_ANDREAS, ambient_devices=[], internet_available=False,
+        duration_ms=DURATION,
+    )
+    assert outcome.mode == "local"
+    assert outcome.median_fps == pytest.approx(23.0, abs=2.0)
+
+
+def test_gbooster_beats_cloud_on_response():
+    nearby = run_adaptive_session(
+        GTA_SAN_ANDREAS, ambient_devices=[NVIDIA_SHIELD],
+        duration_ms=DURATION,
+    )
+    remote = run_adaptive_session(
+        GTA_SAN_ANDREAS, ambient_devices=[], duration_ms=DURATION,
+    )
+    assert nearby.response_time_ms < remote.response_time_ms / 2.0
+
+
+def test_ranked_devices_capped():
+    outcome = run_adaptive_session(
+        GTA_SAN_ANDREAS,
+        ambient_devices=[NVIDIA_SHIELD, MINIX_NEO_U1, NVIDIA_SHIELD,
+                         MINIX_NEO_U1, NVIDIA_SHIELD],
+        max_service_devices=2,
+        duration_ms=DURATION,
+    )
+    assert outcome.mode == "gbooster"
+    assert len(outcome.session.nodes) == 2

@@ -1,0 +1,80 @@
+"""Adaptive render-quality scaling under congestion."""
+
+import pytest
+
+from repro.apps.games import GTA_SAN_ANDREAS
+from repro.core.config import GBoosterConfig
+from repro.core.session import run_offload_session
+from repro.devices.profiles import LG_NEXUS_5
+
+DURATION = 45_000.0
+
+
+def run(adaptive, policy="always_bluetooth"):
+    return run_offload_session(
+        GTA_SAN_ANDREAS, LG_NEXUS_5,
+        config=GBoosterConfig(
+            switching_policy=policy, adaptive_quality=adaptive
+        ),
+        duration_ms=DURATION,
+    )
+
+
+class TestCongested:
+    """Everything forced through Bluetooth: 21 Mbps of shared air."""
+
+    @pytest.fixture(scope="class")
+    def fixed(self):
+        return run(adaptive=False)
+
+    @pytest.fixture(scope="class")
+    def adaptive(self):
+        return run(adaptive=True)
+
+    def test_controller_scales_down(self, adaptive):
+        client = adaptive.engine.backend
+        assert client.quality_changes            # it reacted
+        assert min(s for _t, s in client.quality_changes) < 1.0
+
+    def test_latency_improves(self, fixed, adaptive):
+        assert (
+            adaptive.fps.mean_response_ms
+            < fixed.fps.mean_response_ms - 5.0
+        )
+
+    def test_fps_not_worse(self, fixed, adaptive):
+        assert adaptive.fps.median_fps >= fixed.fps.median_fps - 2.0
+
+    def test_traffic_reduced(self, fixed, adaptive):
+        assert (
+            adaptive.client_stats.downlink_bytes
+            < fixed.client_stats.downlink_bytes
+        )
+
+
+class TestUncongested:
+    def test_quality_stays_high_on_wifi(self):
+        result = run(adaptive=True, policy="always_wifi")
+        client = result.engine.backend
+        # Plenty of headroom: the scale must end at (or recover to) full.
+        assert client.quality_scale >= 0.85
+
+    def test_disabled_by_default(self):
+        result = run_offload_session(
+            GTA_SAN_ANDREAS, LG_NEXUS_5, duration_ms=15_000.0
+        )
+        client = result.engine.backend
+        assert client.quality_scale == 1.0
+        assert client.quality_changes == []
+
+
+class TestScaleMechanics:
+    def test_scale_respects_floor(self):
+        from repro.core.client import GBoosterClient
+
+        cfg = GBoosterConfig(adaptive_quality=True, adaptive_min_scale=0.6)
+        result = run_offload_session(
+            GTA_SAN_ANDREAS, LG_NEXUS_5, config=cfg, duration_ms=20_000.0
+        )
+        client = result.engine.backend
+        assert client.quality_scale >= 0.6

@@ -1,0 +1,31 @@
+"""CLI smoke tests (tiny durations)."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_quickstart_command(capsys):
+    assert main(["--duration", "8", "quickstart", "--game", "G5"]) == 0
+    out = capsys.readouterr().out
+    assert "Candy Crush" in out
+    assert "gbooster" in out
+
+
+def test_fig1_command(capsys):
+    assert main(["fig1"]) == 0
+    out = capsys.readouterr().out
+    assert "throttled at" in out
+
+
+def test_adaptive_command(capsys):
+    assert main(["--duration", "8", "adaptive"]) == 0
+    out = capsys.readouterr().out
+    assert "gbooster" in out
+    assert "cloud" in out
+    assert "local" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])

@@ -1,0 +1,124 @@
+"""GBooster client runtime internals (via short offload sessions)."""
+
+import pytest
+
+from repro.apps.games import GTA_SAN_ANDREAS
+from repro.core.config import GBoosterConfig
+from repro.core.session import run_offload_session
+from repro.devices.profiles import DELL_OPTIPLEX_9010, LG_NEXUS_5, NVIDIA_SHIELD
+
+DURATION = 15_000.0
+
+
+def test_client_stats_accounting():
+    result = run_offload_session(GTA_SAN_ANDREAS, LG_NEXUS_5,
+                                 duration_ms=DURATION)
+    stats = result.client_stats
+    assert stats.frames_submitted > 100
+    assert stats.frames_presented > 100
+    assert stats.frames_presented <= stats.frames_submitted
+    assert stats.uplink_bytes > 0
+    assert stats.downlink_bytes > 0
+
+
+def test_traffic_reduction_substantial():
+    """Cache + LZ4 must remove most of the raw command bytes (§V-A)."""
+    result = run_offload_session(GTA_SAN_ANDREAS, LG_NEXUS_5,
+                                 duration_ms=DURATION)
+    assert result.client_stats.traffic_reduction() > 0.5
+
+
+def test_cache_disabled_increases_uplink():
+    with_cache = run_offload_session(
+        GTA_SAN_ANDREAS, LG_NEXUS_5,
+        config=GBoosterConfig(cache_enabled=True),
+        duration_ms=DURATION,
+    )
+    without_cache = run_offload_session(
+        GTA_SAN_ANDREAS, LG_NEXUS_5,
+        config=GBoosterConfig(cache_enabled=False),
+        duration_ms=DURATION,
+    )
+    assert (
+        without_cache.client_stats.uplink_bytes
+        > with_cache.client_stats.uplink_bytes
+    )
+
+
+def test_compression_disabled_increases_uplink():
+    with_comp = run_offload_session(
+        GTA_SAN_ANDREAS, LG_NEXUS_5,
+        config=GBoosterConfig(compression_enabled=True),
+        duration_ms=DURATION,
+    )
+    without_comp = run_offload_session(
+        GTA_SAN_ANDREAS, LG_NEXUS_5,
+        config=GBoosterConfig(compression_enabled=False),
+        duration_ms=DURATION,
+    )
+    assert (
+        without_comp.client_stats.uplink_bytes
+        > with_comp.client_stats.uplink_bytes
+    )
+
+
+def test_multi_device_state_multicast():
+    result = run_offload_session(
+        GTA_SAN_ANDREAS, LG_NEXUS_5,
+        service_devices=[DELL_OPTIPLEX_9010] * 3,
+        duration_ms=DURATION,
+    )
+    assert result.client_stats.state_bytes_multicast > 0
+    # Every node replayed the state batches.
+    for node in result.nodes:
+        assert node.stats.state_batches > 100
+
+
+def test_multi_device_contexts_stay_consistent():
+    """The §VI-B invariant on the live system: identical digests."""
+    result = run_offload_session(
+        GTA_SAN_ANDREAS, LG_NEXUS_5,
+        service_devices=[NVIDIA_SHIELD, DELL_OPTIPLEX_9010],
+        duration_ms=DURATION,
+    )
+    # Frames scattered across both nodes.
+    rendered = [n.stats.frames_rendered for n in result.nodes]
+    assert all(r > 0 for r in rendered)
+
+
+def test_eq4_prefers_faster_node():
+    result = run_offload_session(
+        GTA_SAN_ANDREAS, LG_NEXUS_5,
+        service_devices=[NVIDIA_SHIELD, DELL_OPTIPLEX_9010],
+        duration_ms=DURATION,
+    )
+    by_name = {n.name: n.stats.frames_rendered for n in result.nodes}
+    pc_frames = next(
+        v for k, v in by_name.items() if "Optiplex" in k
+    )
+    shield_frames = next(v for k, v in by_name.items() if "Shield" in k)
+    # Both serve; the faster node (PC at G1's high change) gets more work.
+    assert pc_frames > 0 and shield_frames > 0
+
+
+def test_round_robin_splits_evenly():
+    result = run_offload_session(
+        GTA_SAN_ANDREAS, LG_NEXUS_5,
+        service_devices=[DELL_OPTIPLEX_9010] * 2,
+        config=GBoosterConfig(scheduler="round_robin"),
+        duration_ms=DURATION,
+    )
+    counts = [n.stats.frames_rendered for n in result.nodes]
+    assert abs(counts[0] - counts[1]) <= 2
+
+
+def test_frames_presented_in_order():
+    result = run_offload_session(
+        GTA_SAN_ANDREAS, LG_NEXUS_5,
+        service_devices=[NVIDIA_SHIELD, DELL_OPTIPLEX_9010],
+        duration_ms=DURATION,
+    )
+    frames = [f for f in result.engine.frames if f.presented_at is not None]
+    presented_order = sorted(frames, key=lambda f: f.presented_at)
+    ids = [f.frame_id for f in presented_order]
+    assert ids == sorted(ids)

@@ -1,0 +1,38 @@
+"""GBooster configuration validation and pipeline-depth policy."""
+
+import pytest
+
+from repro.core.config import GBoosterConfig
+
+
+def test_defaults_are_valid():
+    GBoosterConfig().validate()
+
+
+def test_pipeline_depth_policy():
+    config = GBoosterConfig()
+    assert config.pipeline_depth(1) == config.pipeline_depth_single
+    assert config.pipeline_depth(3) == config.pipeline_depth_multi
+    blocking = GBoosterConfig(async_swap=False)
+    assert blocking.pipeline_depth(1) == 1
+    assert blocking.pipeline_depth(5) == 1
+
+
+def test_invalid_transport_rejected():
+    with pytest.raises(ValueError):
+        GBoosterConfig(transport="quic").validate()
+
+
+def test_invalid_policy_rejected():
+    with pytest.raises(ValueError):
+        GBoosterConfig(switching_policy="magic").validate()
+
+
+def test_invalid_scheduler_rejected():
+    with pytest.raises(ValueError):
+        GBoosterConfig(scheduler="random").validate()
+
+
+def test_invalid_cache_capacity_rejected():
+    with pytest.raises(ValueError):
+        GBoosterConfig(cache_capacity=0).validate()

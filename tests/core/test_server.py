@@ -1,0 +1,150 @@
+"""Service-node daemon behaviour in isolation."""
+
+import pytest
+
+from repro.codec.frames import FrameImage
+from repro.core.config import GBoosterConfig
+from repro.core.server import ServiceNode
+from repro.devices.profiles import DELL_OPTIPLEX_9010, NVIDIA_SHIELD
+from repro.devices.runtime import ServiceDeviceRuntime
+from repro.gpu.model import RenderRequest
+from repro.net.message import Message
+from repro.sim.kernel import Simulator
+
+
+class FakeDownlink:
+    def __init__(self):
+        self.sent = []
+
+    def send(self, message):
+        self.sent.append(message)
+
+
+def make_node(sim, spec=NVIDIA_SHIELD, config=None):
+    runtime = ServiceDeviceRuntime(sim, spec)
+    downlink = FakeDownlink()
+    node = ServiceNode(
+        sim, runtime, config or GBoosterConfig(), downlink=downlink,
+        rtt_ms=3.0,
+    )
+    return node, downlink
+
+
+def frame_message(request_id=0, fill=156.5, nominal=900, change=0.2):
+    request = RenderRequest(
+        request_id=request_id, frame_id=request_id, commands=[],
+        fill_megapixels=fill, width=1280, height=720,
+    )
+    request.metadata["nominal_commands"] = nominal
+    msg = Message.of_size(10_000, kind="frame_request")
+    msg.metadata["request"] = request
+    msg.metadata["frame_desc"] = FrameImage(
+        1280, 720, change_fraction=change, detail=0.7
+    )
+    msg.metadata["nominal_commands"] = nominal
+    return msg
+
+
+def test_frame_rendered_and_returned():
+    sim = Simulator()
+    node, downlink = make_node(sim)
+    node.on_frame_message(frame_message())
+    sim.run(until=1_000.0)
+    assert node.stats.frames_rendered == 1
+    assert len(downlink.sent) == 1
+    assert downlink.sent[0].kind == "frame"
+    assert downlink.sent[0].size_bytes > 0
+
+
+def test_service_stage_near_calibration():
+    """G1 on the Shield: decompress + replay + GPU + encode ~= 25 ms/frame
+    at moderate scene change — the stage that bounds Fig 5(a)'s 37 FPS."""
+    sim = Simulator()
+    node, downlink = make_node(sim)
+    for i in range(20):
+        node.on_frame_message(frame_message(request_id=i, change=0.2))
+    sim.run(until=5_000.0)
+    assert node.stats.frames_rendered == 20
+    # Throughput = 20 frames over total busy time.
+    per_frame = sim.now and (
+        node.stats.replay_ms_total
+        + node.stats.gpu_ms_total
+        + node.stats.encode_ms_total
+    ) / 20
+    assert 15.0 < per_frame < 30.0
+
+
+def test_predicted_stage_close_to_actual():
+    sim = Simulator()
+    node, _ = make_node(sim)
+    msg = frame_message(change=0.2)
+    request = msg.metadata["request"]
+    predicted = node.predicted_stage_ms(request)
+    node.on_frame_message(msg)
+    sim.run(until=1_000.0)
+    actual = (
+        node.stats.replay_ms_total
+        + node.stats.gpu_ms_total
+        + node.stats.encode_ms_total
+    )
+    assert predicted == pytest.approx(actual, rel=0.35)
+
+
+def test_state_batches_replayed_without_rendering():
+    sim = Simulator()
+    node, downlink = make_node(sim)
+    msg = Message.of_size(2_000, kind="state", nominal_commands=500)
+    msg.metadata["nominal_commands"] = 500
+    node.on_state_message(msg)
+    sim.run(until=1_000.0)
+    assert node.stats.state_batches == 1
+    assert node.stats.frames_rendered == 0
+    assert downlink.sent == []
+
+
+def test_fcfs_ordering():
+    sim = Simulator()
+    node, downlink = make_node(sim)
+    for i in range(5):
+        node.on_frame_message(frame_message(request_id=i))
+    sim.run(until=5_000.0)
+    returned = [m.metadata["request"].request_id for m in downlink.sent]
+    assert returned == [0, 1, 2, 3, 4]
+
+
+def test_queued_workload_drops_as_frames_finish():
+    sim = Simulator()
+    node, _ = make_node(sim)
+    for i in range(4):
+        node.on_frame_message(frame_message(request_id=i, fill=100.0))
+    # Accepted workload includes the remote-render overhead factor.
+    overhead = node.config.remote_render_overhead
+    assert node.queued_workload_mp == pytest.approx(400.0 * overhead)
+    sim.run(until=10_000.0)
+    assert node.queued_workload_mp == pytest.approx(0.0)
+
+
+def test_x86_node_pays_emulation_but_encodes_faster():
+    sim = Simulator()
+    shield, _ = make_node(sim, NVIDIA_SHIELD)
+    pc, _ = make_node(sim, DELL_OPTIPLEX_9010)
+    request = frame_message(change=0.9).metadata["request"]
+    shield_stage = shield.predicted_stage_ms(request)
+    pc_stage = pc.predicted_stage_ms(request)
+    # At high change the Shield's ARM encoder dominates; the PC's x86
+    # encoder more than pays for the ES-translation tax.
+    assert pc_stage < shield_stage
+
+
+def test_account_downlink_callback():
+    sim = Simulator()
+    runtime = ServiceDeviceRuntime(sim, NVIDIA_SHIELD)
+    downlink = FakeDownlink()
+    accounted = []
+    node = ServiceNode(
+        sim, runtime, GBoosterConfig(), downlink=downlink, rtt_ms=3.0,
+        account_downlink=lambda n: accounted.append(n),
+    )
+    node.on_frame_message(frame_message())
+    sim.run(until=1_000.0)
+    assert accounted and accounted[0] == downlink.sent[0].size_bytes

@@ -1,0 +1,156 @@
+"""End-to-end offload sessions: the paper's headline behaviours."""
+
+import pytest
+
+from repro.apps.games import CANDY_CRUSH, GTA_SAN_ANDREAS
+from repro.core.config import GBoosterConfig
+from repro.core.session import run_local_session, run_offload_session
+from repro.devices.profiles import (
+    DELL_OPTIPLEX_9010,
+    LG_G5,
+    LG_NEXUS_5,
+    NVIDIA_SHIELD,
+)
+
+DURATION = 30_000.0
+
+
+@pytest.fixture(scope="module")
+def g1_local_n5():
+    return run_local_session(GTA_SAN_ANDREAS, LG_NEXUS_5,
+                             duration_ms=DURATION)
+
+
+@pytest.fixture(scope="module")
+def g1_boost_n5():
+    return run_offload_session(GTA_SAN_ANDREAS, LG_NEXUS_5,
+                               duration_ms=DURATION)
+
+
+class TestAcceleration:
+    def test_old_device_action_game_boosted(self, g1_local_n5, g1_boost_n5):
+        """The headline: G1 on the Nexus 5 gains dramatically."""
+        assert g1_local_n5.fps.median_fps == pytest.approx(23.0, abs=1.5)
+        assert g1_boost_n5.fps.median_fps >= g1_local_n5.fps.median_fps * 1.35
+
+    def test_gpu_idles_when_offloaded(self, g1_boost_n5):
+        assert g1_boost_n5.gpu_mean_utilization < 0.05
+
+    def test_new_device_barely_benefits(self):
+        local = run_local_session(GTA_SAN_ANDREAS, LG_G5,
+                                  duration_ms=DURATION)
+        boosted = run_offload_session(GTA_SAN_ANDREAS, LG_G5,
+                                      duration_ms=DURATION)
+        gain = boosted.fps.median_fps - local.fps.median_fps
+        assert abs(gain) <= 5.0
+
+    def test_puzzle_game_small_gain(self):
+        local = run_local_session(CANDY_CRUSH, LG_NEXUS_5,
+                                  duration_ms=DURATION)
+        boosted = run_offload_session(CANDY_CRUSH, LG_NEXUS_5,
+                                      duration_ms=DURATION)
+        assert abs(
+            boosted.fps.median_fps - local.fps.median_fps
+        ) <= 4.0
+
+
+class TestEnergy:
+    def test_offloading_saves_energy(self, g1_local_n5, g1_boost_n5):
+        ratio = (
+            g1_boost_n5.energy.mean_power_w / g1_local_n5.energy.mean_power_w
+        )
+        assert ratio < 0.75
+
+    def test_switching_beats_always_wifi(self):
+        predictive = run_offload_session(
+            GTA_SAN_ANDREAS, LG_NEXUS_5,
+            config=GBoosterConfig(switching_policy="predictive"),
+            duration_ms=DURATION,
+        )
+        always_wifi = run_offload_session(
+            GTA_SAN_ANDREAS, LG_NEXUS_5,
+            config=GBoosterConfig(switching_policy="always_wifi"),
+            duration_ms=DURATION,
+        )
+        assert (
+            predictive.energy.mean_power_w < always_wifi.energy.mean_power_w
+        )
+        assert predictive.switching.bluetooth_residency > 0.3
+
+
+class TestResponseTime:
+    def test_response_below_human_threshold(self, g1_boost_n5):
+        """§VII-B: all offloaded responses stay well under the ~100 ms
+        human-perception threshold."""
+        assert g1_boost_n5.response_time_ms < 60.0
+
+    def test_t_p_positive_for_offload(self, g1_boost_n5, g1_local_n5):
+        assert g1_boost_n5.t_p_ms > 0
+        assert g1_local_n5.t_p_ms == 0.0
+
+
+class TestMultiDevice:
+    def test_more_devices_raise_fps_then_saturate(self):
+        fps = {}
+        for n in (1, 3):
+            result = run_offload_session(
+                GTA_SAN_ANDREAS, LG_NEXUS_5,
+                service_devices=[DELL_OPTIPLEX_9010] * n,
+                duration_ms=DURATION,
+            )
+            fps[n] = result.fps.median_fps
+        assert fps[3] > fps[1] + 5.0
+
+    def test_saturation_beyond_three(self):
+        three = run_offload_session(
+            GTA_SAN_ANDREAS, LG_NEXUS_5,
+            service_devices=[DELL_OPTIPLEX_9010] * 3,
+            duration_ms=DURATION,
+        )
+        five = run_offload_session(
+            GTA_SAN_ANDREAS, LG_NEXUS_5,
+            service_devices=[DELL_OPTIPLEX_9010] * 5,
+            duration_ms=DURATION,
+        )
+        assert five.fps.median_fps <= three.fps.median_fps + 3.0
+
+
+class TestDeterminism:
+    def test_same_seed_reproduces_session(self):
+        a = run_offload_session(GTA_SAN_ANDREAS, LG_NEXUS_5,
+                                duration_ms=10_000.0, seed=11)
+        b = run_offload_session(GTA_SAN_ANDREAS, LG_NEXUS_5,
+                                duration_ms=10_000.0, seed=11)
+        assert a.fps.median_fps == b.fps.median_fps
+        assert a.energy.total_j == pytest.approx(b.energy.total_j)
+        assert a.traffic_samples_mbps == b.traffic_samples_mbps
+
+
+class TestTransportAblation:
+    def test_tcp_transport_raises_response_time(self):
+        rudp = run_offload_session(
+            GTA_SAN_ANDREAS, LG_NEXUS_5,
+            config=GBoosterConfig(transport="rudp"),
+            duration_ms=20_000.0,
+        )
+        tcp = run_offload_session(
+            GTA_SAN_ANDREAS, LG_NEXUS_5,
+            config=GBoosterConfig(transport="tcp"),
+            duration_ms=20_000.0,
+        )
+        assert tcp.t_p_ms > rudp.t_p_ms + 30.0
+
+
+class TestBlockingSwapAblation:
+    def test_async_swap_outperforms_blocking(self):
+        async_swap = run_offload_session(
+            GTA_SAN_ANDREAS, LG_NEXUS_5,
+            config=GBoosterConfig(async_swap=True),
+            duration_ms=20_000.0,
+        )
+        blocking = run_offload_session(
+            GTA_SAN_ANDREAS, LG_NEXUS_5,
+            config=GBoosterConfig(async_swap=False),
+            duration_ms=20_000.0,
+        )
+        assert async_swap.fps.median_fps > blocking.fps.median_fps

@@ -1,0 +1,73 @@
+"""Device database and Table I reproduction."""
+
+import pytest
+
+from repro.devices.profiles import (
+    FLAGSHIP_BY_YEAR,
+    GAME_REQUIREMENTS,
+    LG_G5,
+    LG_NEXUS_5,
+    NVIDIA_SHIELD,
+    SERVICE_DEVICES,
+    USER_DEVICES,
+    requirement_vs_capability,
+)
+
+
+def test_table1_cpu_always_exceeds_requirement():
+    """Table I's point: phone CPUs are comfortably beyond requirements."""
+    for year in (2014, 2015, 2016):
+        row = requirement_vs_capability(year)
+        assert row["cpu_headroom"] > 1.5, year
+
+
+def test_table1_gpu_exactly_at_requirement():
+    """...while GPUs sit exactly at the bar — the bottleneck."""
+    for year in (2014, 2015, 2016):
+        row = requirement_vs_capability(year)
+        assert row["gpu_headroom"] == pytest.approx(1.0, abs=0.01), year
+
+
+def test_table1_requirement_values_match_paper():
+    rows = {r.year: r for r in GAME_REQUIREMENTS}
+    assert rows[2014].gpu_fillrate_gpixels == 3.6
+    assert rows[2015].gpu_fillrate_gpixels == 4.8
+    assert rows[2016].gpu_fillrate_gpixels == 6.7
+    assert rows[2016].cpu_cores == 2
+
+
+def test_unknown_year_rejected():
+    with pytest.raises(KeyError):
+        requirement_vs_capability(2010)
+
+
+def test_roles_consistent():
+    for device in USER_DEVICES.values():
+        assert device.role == "user"
+        assert device.battery_wh > 0
+    for device in SERVICE_DEVICES.values():
+        assert device.role == "service"
+
+
+def test_shield_fillrate_matches_paper():
+    """§III quotes the Shield at up to 16 GP/s."""
+    assert NVIDIA_SHIELD.gpu.fillrate_gpixels == pytest.approx(16.0)
+
+
+def test_desktops_roughly_10x_mobile():
+    from repro.devices.profiles import DELL_OPTIPLEX_9010
+
+    ratio = (
+        DELL_OPTIPLEX_9010.gpu.fillrate_gpixels
+        / LG_NEXUS_5.gpu.fillrate_gpixels
+    )
+    assert ratio > 4.0
+
+
+def test_new_phone_faster_than_old():
+    assert LG_G5.gpu.fillrate_gpixels > LG_NEXUS_5.gpu.fillrate_gpixels
+    assert LG_G5.cpu.perf_index > LG_NEXUS_5.cpu.perf_index
+
+
+def test_screen_pixels():
+    assert LG_NEXUS_5.screen_pixels == 1080 * 1920

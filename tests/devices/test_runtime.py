@@ -1,0 +1,64 @@
+"""Runtime device instances and energy accounting."""
+
+import pytest
+
+from repro.devices.profiles import LG_NEXUS_5, NVIDIA_SHIELD
+from repro.devices.runtime import (
+    SCREEN_BASE_POWER_W,
+    ServiceDeviceRuntime,
+    UserDeviceRuntime,
+)
+from repro.sim.kernel import Simulator
+
+
+def test_user_device_wiring():
+    sim = Simulator()
+    device = UserDeviceRuntime(sim, LG_NEXUS_5)
+    assert device.gpu.spec is LG_NEXUS_5.gpu
+    assert device.cpu.spec is LG_NEXUS_5.cpu
+    assert device.surface.width == LG_NEXUS_5.screen_width
+
+
+def test_render_resolution_override():
+    sim = Simulator()
+    device = UserDeviceRuntime(sim, LG_NEXUS_5, render_width=640,
+                               render_height=480)
+    assert device.surface.width == 640
+
+
+def test_wrong_role_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        UserDeviceRuntime(sim, NVIDIA_SHIELD)
+    with pytest.raises(ValueError):
+        ServiceDeviceRuntime(sim, LG_NEXUS_5)
+
+
+def test_idle_energy_is_screen_plus_component_idle():
+    sim = Simulator()
+    device = UserDeviceRuntime(sim, LG_NEXUS_5)
+    device.network.wifi.power_off()
+    device.network.bluetooth.power_off()
+    sim.run(until=10_000.0)
+    energy = device.energy_joules()
+    expected = 10.0 * (
+        SCREEN_BASE_POWER_W
+        + LG_NEXUS_5.cpu.idle_power_w
+        + LG_NEXUS_5.gpu.idle_power_w
+    )
+    assert energy == pytest.approx(expected, rel=0.02)
+
+
+def test_component_breakdown_sums_to_total():
+    sim = Simulator()
+    device = UserDeviceRuntime(sim, LG_NEXUS_5)
+    sim.run(until=5_000.0)
+    components = device.component_energy()
+    assert sum(components.values()) == pytest.approx(device.energy_joules())
+
+
+def test_service_device_energy():
+    sim = Simulator()
+    node = ServiceDeviceRuntime(sim, NVIDIA_SHIELD)
+    sim.run(until=1_000.0)
+    assert node.energy_joules() > 0

@@ -1,0 +1,77 @@
+"""State replication keeps every service-device context identical (§VI-B)."""
+
+import pytest
+
+from repro.apps.base import CommandBatchBuilder, SceneState
+from repro.apps.games import GTA_SAN_ANDREAS
+from repro.dispatch.consistency import replication_fraction, split_for_replication
+from repro.gles import enums as gl
+from repro.gles.commands import make_command
+from repro.gles.context import GLContext
+from repro.sim.random import RandomStream
+
+
+def test_split_classification():
+    commands = [
+        make_command("glBindTexture", gl.GL_TEXTURE_2D, 1),   # state
+        make_command("glDrawArrays", gl.GL_TRIANGLES, 0, 3),   # draw
+        make_command("glUseProgram", 2),                        # state
+        make_command("glFlush"),                                 # neither
+    ]
+    replicated, assigned = split_for_replication(commands)
+    assert [c.name for c in replicated] == ["glBindTexture", "glUseProgram"]
+    assert [c.name for c in assigned] == ["glDrawArrays", "glFlush"]
+
+
+def test_replication_fraction():
+    commands = [
+        make_command("glUseProgram", 1),
+        make_command("glDrawArrays", gl.GL_TRIANGLES, 0, 3),
+    ]
+    assert replication_fraction(commands) == pytest.approx(0.5)
+    assert replication_fraction([]) == 0.0
+
+
+def test_replicated_prefix_gives_identical_digests():
+    """The §VI-B invariant: devices receiving the same state commands (and
+    different draw commands) end with identical context state."""
+    builder = CommandBatchBuilder(
+        GTA_SAN_ANDREAS, RandomStream(0, "consistency")
+    )
+    setup = builder.setup_commands()
+    scene = SceneState(activity=0.5)
+    frames = [builder.frame_commands(scene) for _ in range(6)]
+
+    ctx_a, ctx_b = GLContext("a"), GLContext("b")
+    # Both replicas replay setup + every frame's state commands; draws are
+    # scattered: even frames to a, odd frames to b.
+    for ctx in (ctx_a, ctx_b):
+        ctx.execute_sequence(setup)
+    for i, frame in enumerate(frames):
+        state, draws = split_for_replication(frame)
+        ctx_a.execute_sequence(state)
+        ctx_b.execute_sequence(state)
+        target = ctx_a if i % 2 == 0 else ctx_b
+        target.execute_sequence(draws)
+    assert ctx_a.state_digest() == ctx_b.state_digest()
+
+
+def test_missing_state_command_breaks_digest():
+    """Dropping even one state command must be observable."""
+    ctx_a, ctx_b = GLContext("a"), GLContext("b")
+    commands = [
+        make_command("glEnable", gl.GL_BLEND),
+        make_command("glViewport", 0, 0, 100, 100),
+    ]
+    ctx_a.execute_sequence(commands)
+    ctx_b.execute_sequence(commands[:-1])
+    assert ctx_a.state_digest() != ctx_b.state_digest()
+
+
+def test_real_game_stream_replication_fraction_substantial():
+    builder = CommandBatchBuilder(GTA_SAN_ANDREAS, RandomStream(1, "frac"))
+    builder.setup_commands()
+    scene = SceneState(activity=0.3)
+    frame = builder.frame_commands(scene)
+    fraction = replication_fraction(frame)
+    assert 0.3 < fraction < 0.9

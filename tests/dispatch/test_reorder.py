@@ -1,0 +1,76 @@
+"""Sequence reordering of out-of-order completions."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dispatch.reorder import ReorderBuffer
+
+
+def test_in_order_passes_through():
+    buf = ReorderBuffer()
+    assert buf.push(0, "a") == [(0, "a")]
+    assert buf.push(1, "b") == [(1, "b")]
+    assert buf.out_of_order_arrivals == 0
+
+
+def test_out_of_order_held_then_released():
+    buf = ReorderBuffer()
+    assert buf.push(1, "b") == []
+    assert buf.holding == 1
+    released = buf.push(0, "a")
+    assert released == [(0, "a"), (1, "b")]
+    assert buf.holding == 0
+    assert buf.out_of_order_arrivals == 1
+
+
+def test_large_gap_releases_in_sequence():
+    buf = ReorderBuffer()
+    for seq in (4, 2, 3, 1):
+        assert buf.push(seq, seq) == []
+    released = buf.push(0, 0)
+    assert [s for s, _v in released] == [0, 1, 2, 3, 4]
+
+
+def test_duplicate_dropped():
+    buf = ReorderBuffer()
+    buf.push(0, "a")
+    assert buf.push(0, "again") == []
+    buf.push(2, "c")
+    assert buf.push(2, "c-again") == []
+
+
+def test_obsolete_sequence_dropped():
+    buf = ReorderBuffer()
+    buf.push(0, "a")
+    buf.push(1, "b")
+    assert buf.push(0, "late") == []
+
+
+def test_overflow_raises():
+    buf = ReorderBuffer(max_held=4)
+    with pytest.raises(OverflowError):
+        for seq in range(1, 10):
+            buf.push(seq, seq)
+
+
+def test_first_seq_offset():
+    buf = ReorderBuffer(first_seq=100)
+    assert buf.push(100, "x") == [(100, "x")]
+
+
+def test_released_counter():
+    buf = ReorderBuffer()
+    buf.push(1, "b")
+    buf.push(0, "a")
+    assert buf.released == 2
+
+
+@settings(max_examples=100, deadline=None)
+@given(permutation=st.permutations(list(range(12))))
+def test_property_any_permutation_releases_sorted(permutation):
+    buf = ReorderBuffer(max_held=64)
+    released = []
+    for seq in permutation:
+        released.extend(buf.push(seq, seq))
+    assert [s for s, _v in released] == sorted(permutation)
+    assert buf.holding == 0

@@ -1,0 +1,103 @@
+"""Eq. 4 dispatch and the round-robin baseline."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dispatch.scheduler import (
+    DeviceEstimate,
+    DispatchScheduler,
+    RoundRobinScheduler,
+)
+
+
+def dev(name, w=0.0, c=1.0, l=1.0):
+    return DeviceEstimate(name=name, queued_workload=w, capability=c, rtt_ms=l)
+
+
+class TestEq4:
+    def test_prefers_faster_device(self):
+        scheduler = DispatchScheduler()
+        chosen = scheduler.choose(10.0, [dev("slow", c=1.0), dev("fast", c=4.0)])
+        assert chosen.name == "fast"
+
+    def test_prefers_idle_device(self):
+        scheduler = DispatchScheduler()
+        chosen = scheduler.choose(
+            10.0, [dev("busy", w=100.0, c=2.0), dev("idle", w=0.0, c=2.0)]
+        )
+        assert chosen.name == "idle"
+
+    def test_latency_term_matters(self):
+        scheduler = DispatchScheduler()
+        # Same compute estimate; the nearer device wins.
+        chosen = scheduler.choose(
+            10.0, [dev("far", c=2.0, l=50.0), dev("near", c=2.0, l=2.0)]
+        )
+        assert chosen.name == "near"
+
+    def test_fast_but_loaded_vs_slow_but_idle(self):
+        """Eq. 4 arithmetic, end to end: (w + r)/c + l."""
+        scheduler = DispatchScheduler()
+        fast_busy = dev("fastbusy", w=90.0, c=10.0, l=1.0)   # (90+10)/10+1 = 11
+        slow_idle = dev("slowidle", w=0.0, c=1.0, l=1.0)     # 10/1+1 = 11
+        # Exactly tied: deterministic tie-break on name.
+        chosen = scheduler.choose(10.0, [fast_busy, slow_idle])
+        assert chosen.name == "fastbusy"
+
+    def test_completion_estimate_math(self):
+        d = dev("x", w=30.0, c=3.0, l=5.0)
+        assert d.completion_estimate_ms(15.0) == pytest.approx(20.0)
+
+    def test_zero_capability_never_chosen_when_alternative(self):
+        scheduler = DispatchScheduler()
+        chosen = scheduler.choose(1.0, [dev("dead", c=0.0), dev("ok", c=1.0)])
+        assert chosen.name == "ok"
+
+    def test_no_devices_rejected(self):
+        with pytest.raises(ValueError):
+            DispatchScheduler().choose(1.0, [])
+
+    def test_negative_workload_rejected(self):
+        with pytest.raises(ValueError):
+            DispatchScheduler().choose(-1.0, [dev("a")])
+
+    def test_assignments_recorded(self):
+        scheduler = DispatchScheduler()
+        scheduler.choose(1.0, [dev("a")])
+        scheduler.choose(1.0, [dev("a")])
+        assert scheduler.assignments == ["a", "a"]
+
+
+class TestRoundRobin:
+    def test_cycles_through_devices(self):
+        scheduler = RoundRobinScheduler()
+        devices = [dev("a"), dev("b"), dev("c")]
+        names = [scheduler.choose(1.0, devices).name for _ in range(6)]
+        assert names == ["a", "b", "c", "a", "b", "c"]
+
+    def test_ignores_load(self):
+        scheduler = RoundRobinScheduler()
+        devices = [dev("overloaded", w=1e9), dev("idle")]
+        assert scheduler.choose(1.0, devices).name == "overloaded"
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    workload=st.floats(min_value=0.0, max_value=1e3),
+    params=st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=1e3),   # w
+            st.floats(min_value=0.01, max_value=1e2),  # c
+            st.floats(min_value=0.0, max_value=1e3),   # l
+        ),
+        min_size=1,
+        max_size=8,
+    ),
+)
+def test_property_choice_minimizes_eq4(workload, params):
+    devices = [
+        dev(f"d{i}", w=w, c=c, l=l) for i, (w, c, l) in enumerate(params)
+    ]
+    chosen = DispatchScheduler().choose(workload, devices)
+    best = min(d.completion_estimate_ms(workload) for d in devices)
+    assert chosen.completion_estimate_ms(workload) == pytest.approx(best)

@@ -1,0 +1,77 @@
+"""EGL surfaces, double buffering and proc-address resolution."""
+
+import pytest
+
+from repro.gles.egl import EGLDisplay, EGLSurface, Frame
+
+
+class TestSurface:
+    def test_swap_exchanges_buffers(self):
+        surface = EGLSurface(width=640, height=480)
+        frame = Frame(frame_id=0, width=640, height=480)
+        surface.attach_back(frame)
+        visible = surface.swap(now=10.0)
+        assert visible is frame
+        assert surface.front is frame
+        assert surface.back is None
+        assert surface.swap_count == 1
+
+    def test_swap_without_back_is_noop(self):
+        surface = EGLSurface(width=10, height=10)
+        assert surface.swap(now=0.0) is None
+        assert surface.swap_count == 0
+
+    def test_presentation_times_recorded(self):
+        surface = EGLSurface(width=10, height=10)
+        for i in range(3):
+            surface.attach_back(Frame(frame_id=i, width=10, height=10))
+            surface.swap(now=float(i) * 16.7)
+        assert surface.presentation_times() == [0.0, 16.7, 33.4]
+
+    def test_frame_pixel_count(self):
+        frame = Frame(frame_id=0, width=8, height=4)
+        assert frame.pixels == 32
+
+
+class TestDisplay:
+    def test_create_and_destroy_surface(self):
+        display = EGLDisplay()
+        surface = display.create_window_surface(320, 240, name="main")
+        assert display.surfaces["main"] is surface
+        display.destroy_surface("main")
+        assert "main" not in display.surfaces
+
+    def test_duplicate_surface_name_rejected(self):
+        display = EGLDisplay()
+        display.create_window_surface(1, 1, name="a")
+        with pytest.raises(ValueError):
+            display.create_window_surface(1, 1, name="a")
+
+    def test_native_proc_resolution(self):
+        display = EGLDisplay()
+        fn = lambda: "native"  # noqa: E731
+        display.register_native("glFlush", fn)
+        assert display.get_proc_address("glFlush") is fn
+        assert display.get_proc_address("glMissing") is None
+
+    def test_resolver_shadows_native(self):
+        """A pushed resolver wins over natives — the wrapper's route 2."""
+        display = EGLDisplay()
+        display.register_native("glFlush", lambda: "native")
+        wrapper = lambda: "wrapper"  # noqa: E731
+        display.push_resolver(
+            lambda name: wrapper if name == "glFlush" else None
+        )
+        assert display.get_proc_address("glFlush") is wrapper
+
+    def test_later_resolver_wins(self):
+        display = EGLDisplay()
+        display.push_resolver(lambda name: "first")
+        display.push_resolver(lambda name: "second")
+        assert display.get_proc_address("anything") == "second"
+
+    def test_resolver_fallthrough(self):
+        display = EGLDisplay()
+        display.register_native("glFinish", "native")
+        display.push_resolver(lambda name: None)
+        assert display.get_proc_address("glFinish") == "native"

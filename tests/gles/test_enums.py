@@ -1,0 +1,36 @@
+"""GL enum table sanity."""
+
+from repro.gles import enums as gl
+
+
+def test_type_sizes():
+    assert gl.TYPE_SIZES[gl.GL_FLOAT] == 4
+    assert gl.TYPE_SIZES[gl.GL_UNSIGNED_SHORT] == 2
+    assert gl.TYPE_SIZES[gl.GL_UNSIGNED_BYTE] == 1
+
+
+def test_format_channels():
+    assert gl.FORMAT_CHANNELS[gl.GL_RGBA] == 4
+    assert gl.FORMAT_CHANNELS[gl.GL_RGB] == 3
+    assert gl.FORMAT_CHANNELS[gl.GL_LUMINANCE] == 1
+
+
+def test_khronos_values():
+    """Spot-check against the published gl2.h constants so serialized
+    streams look like real traffic."""
+    assert gl.GL_TRIANGLES == 0x0004
+    assert gl.GL_TEXTURE_2D == 0x0DE1
+    assert gl.GL_ARRAY_BUFFER == 0x8892
+    assert gl.GL_COLOR_BUFFER_BIT == 0x4000
+    assert gl.GL_FRAGMENT_SHADER == 0x8B30
+    assert gl.GL_VERTEX_SHADER == 0x8B31
+    assert gl.GL_NO_ERROR == 0
+
+
+def test_clear_bits_disjoint():
+    bits = (gl.GL_COLOR_BUFFER_BIT, gl.GL_DEPTH_BUFFER_BIT,
+            gl.GL_STENCIL_BUFFER_BIT)
+    combined = 0
+    for bit in bits:
+        assert combined & bit == 0
+        combined |= bit

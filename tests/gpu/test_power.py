@@ -1,0 +1,63 @@
+"""GPU power model calibration (§II: ~3 W under load)."""
+
+import pytest
+
+from repro.gpu.power import GPUPowerModel
+from repro.gpu.profiles import ADRENO_330, ADRENO_418, ADRENO_530, ALL_GPUS
+
+
+def test_idle_power_at_zero_utilization():
+    model = GPUPowerModel(ADRENO_330)
+    assert model.power_w(0.0, ADRENO_330.max_freq_mhz) == pytest.approx(
+        ADRENO_330.idle_power_w
+    )
+
+
+def test_full_load_near_three_watts_for_phones():
+    """The §II motivation measurement: phone GPUs ~3 W when busy."""
+    for spec in (ADRENO_330, ADRENO_418, ADRENO_530):
+        model = GPUPowerModel(spec)
+        full = model.power_w(1.0, spec.max_freq_mhz)
+        assert 2.5 <= full <= 3.6, spec.name
+
+
+def test_power_scales_with_frequency():
+    model = GPUPowerModel(ADRENO_418)
+    full = model.power_w(1.0, 600)
+    throttled = model.power_w(1.0, 100)
+    assert throttled < full
+    assert throttled == pytest.approx(
+        ADRENO_418.idle_power_w + ADRENO_418.active_power_w / 6.0
+    )
+
+
+def test_power_scales_with_utilization():
+    model = GPUPowerModel(ADRENO_418)
+    assert model.power_w(0.5, 600) < model.power_w(1.0, 600)
+
+
+def test_energy_integration():
+    model = GPUPowerModel(ADRENO_418)
+    energy = model.energy_j(1.0, 600, 10.0)
+    assert energy == pytest.approx(model.power_w(1.0, 600) * 10.0)
+
+
+def test_invalid_inputs_rejected():
+    model = GPUPowerModel(ADRENO_418)
+    with pytest.raises(ValueError):
+        model.power_w(1.5, 600)
+    with pytest.raises(ValueError):
+        model.power_w(0.5, -1)
+    with pytest.raises(ValueError):
+        model.energy_j(0.5, 600, -1.0)
+
+
+def test_capacity_scales_linearly_with_clock():
+    for spec in ALL_GPUS.values():
+        assert spec.capacity_at(spec.max_freq_mhz) == pytest.approx(
+            spec.fillrate_gpixels
+        )
+        assert spec.capacity_at(spec.max_freq_mhz / 2) == pytest.approx(
+            spec.fillrate_gpixels / 2
+        )
+        assert spec.capacity_at(0) == 0.0

@@ -1,0 +1,117 @@
+"""Thermal model and throttling governor (Fig 1 behaviour)."""
+
+import math
+
+import pytest
+
+from repro.gpu.profiles import ADRENO_418, ADRENO_530, GTX_750_TI, TEGRA_X1
+from repro.gpu.thermal import ThermalGovernor, ThermalModel, simulate_trace
+
+
+class TestThermalModel:
+    def test_heats_toward_equilibrium(self):
+        model = ThermalModel(ADRENO_418, initial_temp_c=35.0)
+        t_eq = ADRENO_418.equilibrium_temp(3.2)
+        model.advance(10_000.0, 3.2)
+        assert model.temperature_c == pytest.approx(t_eq, abs=0.5)
+
+    def test_cools_toward_ambient_at_zero_power(self):
+        model = ThermalModel(ADRENO_418, initial_temp_c=90.0)
+        model.advance(10_000.0, 0.0)
+        assert model.temperature_c == pytest.approx(
+            ADRENO_418.ambient_c, abs=0.5
+        )
+
+    def test_exact_integration_step_invariant(self):
+        """One 100 s step equals 100 x 1 s steps (closed-form integration)."""
+        a = ThermalModel(ADRENO_418, initial_temp_c=40.0)
+        b = ThermalModel(ADRENO_418, initial_temp_c=40.0)
+        a.advance(100.0, 2.5)
+        for _ in range(100):
+            b.advance(1.0, 2.5)
+        assert a.temperature_c == pytest.approx(b.temperature_c, rel=1e-9)
+
+    def test_time_to_reach_matches_advance(self):
+        model = ThermalModel(ADRENO_418, initial_temp_c=35.0)
+        t = model.time_to_reach(80.0, 3.2)
+        assert 0 < t < math.inf
+        model.advance(t, 3.2)
+        assert model.temperature_c == pytest.approx(80.0, abs=0.01)
+
+    def test_time_to_reach_unreachable_is_inf(self):
+        model = ThermalModel(ADRENO_418, initial_temp_c=35.0)
+        # Cooling below ambient is impossible.
+        assert model.time_to_reach(10.0, 0.0) == math.inf
+
+    def test_negative_dt_rejected(self):
+        model = ThermalModel(ADRENO_418)
+        with pytest.raises(ValueError):
+            model.advance(-1.0, 1.0)
+
+
+class TestGovernor:
+    def test_throttles_above_threshold(self):
+        thermal = ThermalModel(ADRENO_418, initial_temp_c=90.9)
+        governor = ThermalGovernor(ADRENO_418, thermal)
+        freq = governor.step(0.0, 60.0, 3.2)
+        assert governor.throttled
+        assert freq == ADRENO_418.min_freq_mhz
+        assert governor.events[0].action == "throttle"
+
+    def test_recovers_below_recovery_threshold(self):
+        thermal = ThermalModel(ADRENO_418, initial_temp_c=92.0)
+        governor = ThermalGovernor(ADRENO_418, thermal)
+        governor.step(0.0, 1.0, 3.2)          # trips
+        thermal.temperature_c = 39.0           # force deep cooling
+        freq = governor.step(1.0, 1.0, 0.1)
+        assert not governor.throttled
+        assert freq == ADRENO_418.max_freq_mhz
+
+    def test_hysteresis_no_flapping(self):
+        """Between recover and throttle temps, the state holds."""
+        thermal = ThermalModel(ADRENO_418, initial_temp_c=70.0)
+        governor = ThermalGovernor(ADRENO_418, thermal)
+        governor.step(0.0, 1.0, 0.5)
+        assert not governor.throttled
+        governor.throttled = True
+        governor.freq_mhz = ADRENO_418.min_freq_mhz
+        thermal.temperature_c = 70.0  # above recover (40), below throttle (91)
+        governor.step(1.0, 1.0, 0.5)
+        assert governor.throttled
+
+
+class TestFig1Trace:
+    def test_phone_throttles_around_ten_minutes(self):
+        """The paper's LG G4 trace: ~600 MHz for ~10 min, then 100 MHz."""
+        samples = simulate_trace(ADRENO_418, 1.0, 1800.0, initial_temp_c=35.0)
+        first_throttle = next(
+            t for t, f, _temp in samples if f < ADRENO_418.max_freq_mhz
+        )
+        assert 480.0 <= first_throttle <= 780.0  # 8-13 minutes
+        # The throttle latches: the final five minutes stay at min clock.
+        tail = [f for t, f, _ in samples if t > 1500.0]
+        assert all(f == ADRENO_418.min_freq_mhz for f in tail)
+
+    def test_trace_starts_at_max_clock(self):
+        samples = simulate_trace(ADRENO_418, 1.0, 60.0, initial_temp_c=35.0)
+        assert samples[0][1] == ADRENO_418.max_freq_mhz
+
+    def test_new_generation_phone_does_not_throttle(self):
+        """LG G5's bigger envelope survives a full 15-min session."""
+        samples = simulate_trace(ADRENO_530, 1.0, 900.0, initial_temp_c=35.0)
+        assert all(f == ADRENO_530.max_freq_mhz for _t, f, _c in samples)
+
+    def test_fan_cooled_service_devices_never_throttle(self):
+        for spec in (TEGRA_X1, GTX_750_TI):
+            samples = simulate_trace(spec, 1.0, 3600.0, initial_temp_c=35.0)
+            assert all(f == spec.max_freq_mhz for _t, f, _c in samples), (
+                spec.name
+            )
+
+    def test_idle_phone_never_throttles(self):
+        samples = simulate_trace(ADRENO_418, 0.0, 3600.0)
+        assert all(f == ADRENO_418.max_freq_mhz for _t, f, _c in samples)
+
+    def test_bad_utilization_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_trace(ADRENO_418, 1.5, 10.0)

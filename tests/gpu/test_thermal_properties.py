@@ -1,0 +1,51 @@
+"""Property-based checks on the thermal model."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.gpu.profiles import ADRENO_418
+from repro.gpu.thermal import ThermalModel
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    t0=st.floats(min_value=20.0, max_value=110.0),
+    power=st.floats(min_value=0.0, max_value=5.0),
+    dt=st.floats(min_value=0.1, max_value=10_000.0),
+)
+def test_temperature_bounded_between_start_and_equilibrium(t0, power, dt):
+    model = ThermalModel(ADRENO_418, initial_temp_c=t0)
+    t_eq = ADRENO_418.equilibrium_temp(power)
+    result = model.advance(dt, power)
+    low, high = min(t0, t_eq), max(t0, t_eq)
+    assert low - 1e-6 <= result <= high + 1e-6
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    t0=st.floats(min_value=20.0, max_value=110.0),
+    power=st.floats(min_value=0.0, max_value=5.0),
+    dt=st.floats(min_value=0.1, max_value=500.0),
+    splits=st.integers(min_value=2, max_value=10),
+)
+def test_step_splitting_invariance(t0, power, dt, splits):
+    """Closed-form integration: N sub-steps equal one big step."""
+    one = ThermalModel(ADRENO_418, initial_temp_c=t0)
+    many = ThermalModel(ADRENO_418, initial_temp_c=t0)
+    one.advance(dt, power)
+    for _ in range(splits):
+        many.advance(dt / splits, power)
+    assert abs(one.temperature_c - many.temperature_c) < 1e-6
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    power_a=st.floats(min_value=0.0, max_value=2.0),
+    power_b=st.floats(min_value=2.01, max_value=5.0),
+    dt=st.floats(min_value=1.0, max_value=1000.0),
+)
+def test_more_power_never_cooler(power_a, power_b, dt):
+    cool = ThermalModel(ADRENO_418, initial_temp_c=40.0)
+    hot = ThermalModel(ADRENO_418, initial_temp_c=40.0)
+    cool.advance(dt, power_a)
+    hot.advance(dt, power_b)
+    assert hot.temperature_c >= cool.temperature_c - 1e-9

@@ -1,0 +1,133 @@
+"""Failure injection: service devices dying mid-session.
+
+A real living room is messy — someone powers off the console mid-game.
+The client's frame watchdog must detect the silent node, fail pending
+frames over to the local GPU, and keep the session alive (degraded, never
+frozen).
+"""
+
+import pytest
+
+from repro.apps.games import GTA_SAN_ANDREAS
+from repro.core.config import GBoosterConfig
+from repro.core.session import run_offload_session
+from repro.devices.profiles import DELL_OPTIPLEX_9010, LG_NEXUS_5, NVIDIA_SHIELD
+from repro.metrics.fps import fps_timeline
+
+
+def run_with_failure(
+    service_devices,
+    fail_at_ms,
+    fail_index=0,
+    duration_ms=40_000.0,
+    timeout_ms=600.0,
+):
+    """Run an offload session and kill one node mid-way.
+
+    The node failure is scheduled through the session's own simulator via
+    a pre-session hook: we build the session, then schedule the failure on
+    the first node before running — which requires reaching into the
+    internals, so instead we use the config timeout plus a monkeypatched
+    runner.  Simplest robust approach: run the session with a wrapper that
+    registers a call_at on the engine's simulator.
+    """
+    import repro.core.session as session_mod
+
+    original_engine_cls = session_mod.GameEngine
+    captured = {}
+
+    class CapturingEngine(original_engine_cls):
+        def __init__(self, sim, app, device, backend, config=None):
+            super().__init__(sim, app, device, backend, config)
+            captured["sim"] = sim
+            captured["backend"] = backend
+            # Schedule the failure once the simulator exists.
+            nodes = backend.nodes
+            sim.call_at(
+                fail_at_ms, lambda: nodes[fail_index].fail(),
+                name="inject.node_failure",
+            )
+
+    session_mod.GameEngine = CapturingEngine
+    try:
+        result = run_offload_session(
+            GTA_SAN_ANDREAS, LG_NEXUS_5,
+            service_devices=service_devices,
+            config=GBoosterConfig(frame_timeout_ms=timeout_ms),
+            duration_ms=duration_ms,
+        )
+    finally:
+        session_mod.GameEngine = original_engine_cls
+    return result
+
+
+def test_single_node_failure_falls_back_to_local():
+    result = run_with_failure([NVIDIA_SHIELD], fail_at_ms=15_000.0)
+    stats = result.client_stats
+    assert stats.nodes_failed == 1
+    assert stats.failovers > 10
+    # The session survives the whole duration.
+    assert result.fps.frame_count > 300
+    presented = [
+        f.presented_at
+        for f in result.engine.frames
+        if f.presented_at is not None
+    ]
+    assert max(presented) > 35_000.0
+
+
+def test_fps_degrades_to_local_rate_after_failure():
+    result = run_with_failure([NVIDIA_SHIELD], fail_at_ms=20_000.0,
+                              duration_ms=45_000.0)
+    times = [
+        f.presented_at
+        for f in result.engine.frames
+        if f.presented_at is not None
+    ]
+    series = fps_timeline(times)
+    before = series[5:15]           # boosted phase
+    after = series[30:42]           # post-failure local phase
+    assert sum(before) / len(before) > 32.0
+    assert sum(after) / len(after) < 30.0   # back near the 23 FPS local rate
+
+
+def test_no_frame_is_lost_forever():
+    """Every issued frame is eventually presented (remote or failover)."""
+    result = run_with_failure([NVIDIA_SHIELD], fail_at_ms=10_000.0,
+                              duration_ms=30_000.0)
+    unpresented = [
+        f for f in result.engine.frames if f.presented_at is None
+    ]
+    assert len(unpresented) == 0
+
+
+def test_surviving_node_takes_over_in_multi_device_pool():
+    result = run_with_failure(
+        [NVIDIA_SHIELD, DELL_OPTIPLEX_9010], fail_at_ms=15_000.0,
+        fail_index=0, duration_ms=40_000.0,
+    )
+    stats = result.client_stats
+    assert stats.nodes_failed == 1
+    # The PC keeps rendering: FPS stays well above local.
+    times = [
+        f.presented_at
+        for f in result.engine.frames
+        if f.presented_at is not None and f.presented_at > 25_000.0
+    ]
+    series = fps_timeline(times)
+    assert sum(series) / len(series) > 30.0
+    survivor = next(
+        n for n in result.nodes if "Optiplex" in n.name
+    )
+    assert survivor.stats.frames_rendered > 100
+
+
+def test_healthy_session_has_no_failovers():
+    from repro.core.session import run_offload_session
+
+    result = run_offload_session(
+        GTA_SAN_ANDREAS, LG_NEXUS_5, duration_ms=20_000.0,
+        config=GBoosterConfig(frame_timeout_ms=1_000.0),
+    )
+    assert result.client_stats.failovers == 0
+    assert result.client_stats.nodes_failed == 0

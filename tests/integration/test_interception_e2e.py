@@ -1,0 +1,155 @@
+"""End-to-end interception: an unmodified 'app' whose GL calls reach a
+remote context through the full wrapper -> serialize -> replay path.
+
+This exercises the §IV mechanism as a whole: the app process links against
+the GL soname (or fetches pointers, or dlopens); LD_PRELOAD injects the
+wrapper; intercepted commands serialize to wire bytes; the 'service side'
+deserializes and replays on its own context; final context state matches a
+locally executed run byte for byte (state digests).
+"""
+
+import pytest
+
+from repro.gles import enums as gl
+from repro.gles.commands import GLCommand
+from repro.gles.context import GLContext
+from repro.gles.serialization import (
+    CommandSerializer,
+    deserialize_stream,
+)
+from repro.linker.linker import ProcessImage
+from repro.linker.wrapper import (
+    NATIVE_GLES_SONAME,
+    build_native_gles_library,
+    build_wrapper_library,
+)
+
+
+def unmodified_app_calls(call):
+    """A small 'application': pure GL calls, no knowledge of GBooster."""
+    call("glViewport", 0, 0, 640, 480)
+    call("glClearColor", 0.2, 0.2, 0.2, 1.0)
+    call("glEnable", gl.GL_DEPTH_TEST)
+    vs = call("glCreateShader", gl.GL_VERTEX_SHADER)
+    call("glShaderSource", vs, "void main() {}")
+    call("glCompileShader", vs)
+    fs = call("glCreateShader", gl.GL_FRAGMENT_SHADER)
+    call("glShaderSource", fs, "void main() {}")
+    call("glCompileShader", fs)
+    prog = call("glCreateProgram")
+    call("glAttachShader", prog, vs)
+    call("glAttachShader", prog, fs)
+    call("glLinkProgram", prog)
+    call("glUseProgram", prog)
+    call("glClear", gl.GL_COLOR_BUFFER_BIT)
+    call("glDrawArrays", gl.GL_TRIANGLES, 0, 3)
+
+
+class RemotePipeline:
+    """Client-side interceptor: serialize, 'transmit', replay remotely.
+
+    Commands returning values (glCreateShader etc.) execute on a local
+    shadow context so the app receives its object names, exactly as the
+    real client must answer synchronous queries locally.
+    """
+
+    def __init__(self):
+        self.serializer = CommandSerializer()
+        self.wire = bytearray()
+        self.shadow = GLContext("shadow")
+
+    def __call__(self, cmd: GLCommand):
+        for chunk in self.serializer.feed(cmd):
+            self.wire += chunk
+        return self.shadow.execute(cmd)
+
+    def replay_remote(self) -> GLContext:
+        remote = GLContext("remote")
+        for cmd in deserialize_stream(bytes(self.wire)):
+            remote.execute(cmd)
+        return remote
+
+
+def test_route1_direct_calls_reach_remote_context():
+    pipeline = RemotePipeline()
+    proc = ProcessImage("game", env={"LD_PRELOAD": "libGBooster.so"})
+    wrapper = build_wrapper_library(pipeline, linker=proc.linker)
+    wrapper.soname = "libGBooster.so"
+    native_executed = []
+    native = build_native_gles_library(lambda c: native_executed.append(c))
+    proc.install_library(wrapper)
+    proc.install_library(native)
+    proc.start([NATIVE_GLES_SONAME])
+
+    unmodified_app_calls(lambda name, *args: proc.call(name, *args))
+
+    assert native_executed == []  # the native library never saw a call
+    remote = pipeline.replay_remote()
+    assert remote.state_digest() == pipeline.shadow.state_digest()
+    assert remote.draw_calls == 2  # glClear + glDrawArrays
+    assert remote.current_program != 0
+
+
+def test_route2_proc_address_reaches_remote_context():
+    pipeline = RemotePipeline()
+    proc = ProcessImage("game", env={"LD_PRELOAD": "libGBooster.so"})
+    wrapper = build_wrapper_library(pipeline, linker=proc.linker)
+    wrapper.soname = "libGBooster.so"
+    proc.install_library(wrapper)
+    proc.install_library(build_native_gles_library(lambda c: None))
+    proc.start([NATIVE_GLES_SONAME])
+
+    get_proc = proc.linker.resolve("eglGetProcAddress")
+
+    def call(name, *args):
+        fn = get_proc(name)
+        assert fn is not None, name
+        return fn(*args)
+
+    unmodified_app_calls(call)
+    remote = pipeline.replay_remote()
+    assert remote.state_digest() == pipeline.shadow.state_digest()
+    assert wrapper.stats.by_route["getprocaddress"] > 0
+
+
+def test_route3_dlopen_reaches_remote_context():
+    pipeline = RemotePipeline()
+    proc = ProcessImage("game", env={"LD_PRELOAD": "libGBooster.so"})
+    wrapper = build_wrapper_library(pipeline, linker=proc.linker)
+    wrapper.soname = "libGBooster.so"
+    proc.install_library(wrapper)
+    proc.install_library(build_native_gles_library(lambda c: None))
+    proc.start([NATIVE_GLES_SONAME])
+
+    handle = proc.dlopen(NATIVE_GLES_SONAME)
+
+    def call(name, *args):
+        return proc.dlsym(handle, name)(*args)
+
+    unmodified_app_calls(call)
+    remote = pipeline.replay_remote()
+    assert remote.state_digest() == pipeline.shadow.state_digest()
+    assert wrapper.stats.by_route["dlsym"] > 0
+
+
+def test_mixed_routes_single_stream():
+    """Real apps mix routes; the intercepted stream must stay coherent."""
+    pipeline = RemotePipeline()
+    proc = ProcessImage("game", env={"LD_PRELOAD": "libGBooster.so"})
+    wrapper = build_wrapper_library(pipeline, linker=proc.linker)
+    wrapper.soname = "libGBooster.so"
+    proc.install_library(wrapper)
+    proc.install_library(build_native_gles_library(lambda c: None))
+    proc.start([NATIVE_GLES_SONAME])
+    get_proc = proc.linker.resolve("eglGetProcAddress")
+    handle = proc.dlopen(NATIVE_GLES_SONAME)
+
+    proc.call("glViewport", 0, 0, 320, 240)                   # route 1
+    get_proc("glEnable")(gl.GL_BLEND)                          # route 2
+    proc.dlsym(handle, "glClearColor")(1.0, 0.0, 0.0, 1.0)     # route 3
+
+    remote = pipeline.replay_remote()
+    assert remote.viewport == (0, 0, 320, 240)
+    assert remote.capabilities[gl.GL_BLEND]
+    assert remote.clear_color == (1.0, 0.0, 0.0, 1.0)
+    assert wrapper.stats.total == 3

@@ -1,0 +1,137 @@
+"""Dynamic linker: resolution order, preloads, dlopen/dlsym, processes."""
+
+import pytest
+
+from repro.linker.library import SharedLibrary
+from repro.linker.linker import DynamicLinker, LinkError, ProcessImage
+
+
+def lib_with(soname, **symbols):
+    lib = SharedLibrary(soname=soname)
+    for name, value in symbols.items():
+        lib.export(name, (lambda v: lambda: v)(value))
+    return lib
+
+
+class TestLibrary:
+    def test_export_and_lookup(self):
+        lib = lib_with("libfoo.so", hello="hi")
+        assert lib.lookup("hello")() == "hi"
+        assert lib.lookup("missing") is None
+        assert "hello" in lib
+
+    def test_duplicate_export_rejected(self):
+        lib = lib_with("libfoo.so", f=1)
+        with pytest.raises(ValueError):
+            lib.export("f", lambda: 2)
+
+
+class TestResolution:
+    def test_first_definition_wins(self):
+        linker = DynamicLinker()
+        linker.add_library(lib_with("a.so", f="from-a"))
+        linker.add_library(lib_with("b.so", f="from-b"))
+        assert linker.resolve("f")() == "from-a"
+
+    def test_preload_shadows_namespace(self):
+        linker = DynamicLinker()
+        linker.add_library(lib_with("libGLESv2.so", glFlush="native"))
+        linker.preload(lib_with("wrapper.so", glFlush="wrapped"))
+        assert linker.resolve("glFlush")() == "wrapped"
+
+    def test_undefined_symbol_raises(self):
+        linker = DynamicLinker()
+        with pytest.raises(LinkError):
+            linker.resolve("nope")
+        assert linker.try_resolve("nope") is None
+
+    def test_resolve_in_scopes_to_library(self):
+        linker = DynamicLinker()
+        linker.add_library(lib_with("a.so", f="a"))
+        linker.add_library(lib_with("b.so", f="b", g="only-b"))
+        assert linker.resolve_in("b.so", "f")() == "b"
+        with pytest.raises(LinkError):
+            linker.resolve_in("a.so", "g")
+        with pytest.raises(LinkError):
+            linker.resolve_in("zzz.so", "f")
+
+
+class TestDlopen:
+    def test_dlopen_dlsym_native_path(self):
+        linker = DynamicLinker()
+        linker.add_library(lib_with("libm.so", sqrt="rooty"))
+        handle = linker.dlopen("libm.so")
+        assert linker.dlsym(handle, "sqrt")() == "rooty"
+
+    def test_dlopen_missing_raises(self):
+        linker = DynamicLinker()
+        with pytest.raises(LinkError):
+            linker.dlopen("nothere.so")
+
+    def test_dlsym_missing_symbol(self):
+        linker = DynamicLinker()
+        linker.add_library(lib_with("libm.so", sqrt=1))
+        handle = linker.dlopen("libm.so")
+        with pytest.raises(LinkError):
+            linker.dlsym(handle, "cbrt")
+
+    def test_dlsym_invalid_handle(self):
+        linker = DynamicLinker()
+        with pytest.raises(LinkError):
+            linker.dlsym(object(), "f")
+
+    def test_interposers_take_over(self):
+        linker = DynamicLinker()
+        linker.add_library(lib_with("libm.so", sqrt=1))
+        linker.set_dl_interposers(
+            dlopen_impl=lambda soname: f"handle:{soname}",
+            dlsym_impl=lambda handle, name: f"{handle}/{name}",
+        )
+        handle = linker.dlopen("anything.so")
+        assert handle == "handle:anything.so"
+        assert linker.dlsym(handle, "f") == "handle:anything.so/f"
+
+
+class TestProcessImage:
+    def test_start_resolves_dependencies(self):
+        proc = ProcessImage("game")
+        proc.install_library(lib_with("libGLESv2.so", glFlush="native"))
+        proc.start(["libGLESv2.so"])
+        assert proc.call("glFlush") == "native"
+
+    def test_ld_preload_env_injects_wrapper(self):
+        proc = ProcessImage("game", env={"LD_PRELOAD": "wrapper.so"})
+        proc.install_library(lib_with("libGLESv2.so", glFlush="native"))
+        proc.install_library(lib_with("wrapper.so", glFlush="wrapped"))
+        proc.start(["libGLESv2.so"])
+        assert proc.call("glFlush") == "wrapped"
+
+    def test_missing_preload_fails_start(self):
+        proc = ProcessImage("game", env={"LD_PRELOAD": "ghost.so"})
+        with pytest.raises(LinkError):
+            proc.start([])
+
+    def test_missing_dependency_fails_start(self):
+        proc = ProcessImage("game")
+        with pytest.raises(LinkError):
+            proc.start(["libmissing.so"])
+
+    def test_double_start_rejected(self):
+        proc = ProcessImage("game")
+        proc.start([])
+        with pytest.raises(LinkError):
+            proc.start([])
+
+    def test_call_before_start_rejected(self):
+        proc = ProcessImage("game")
+        with pytest.raises(LinkError):
+            proc.call("anything")
+
+    def test_multiple_preloads_in_order(self):
+        proc = ProcessImage(
+            "game", env={"LD_PRELOAD": "first.so:second.so"}
+        )
+        proc.install_library(lib_with("first.so", f="first"))
+        proc.install_library(lib_with("second.so", f="second"))
+        proc.start([])
+        assert proc.call("f") == "first"

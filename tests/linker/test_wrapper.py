@@ -1,0 +1,137 @@
+"""The GBooster wrapper library: every GL call route lands in the wrapper."""
+
+import pytest
+
+from repro.gles.commands import COMMANDS, GLCommand, make_command
+from repro.linker.library import SharedLibrary
+from repro.linker.linker import DynamicLinker, ProcessImage
+from repro.linker.wrapper import (
+    InterceptionStats,
+    NATIVE_GLES_SONAME,
+    build_native_gles_library,
+    build_wrapper_library,
+)
+
+
+class Recorder:
+    def __init__(self):
+        self.commands = []
+
+    def __call__(self, cmd: GLCommand):
+        self.commands.append(cmd)
+        return f"intercepted:{cmd.name}"
+
+
+class TestRoute1Direct:
+    def test_all_gl_entry_points_exported(self):
+        wrapper = build_wrapper_library(Recorder())
+        for name in COMMANDS:
+            assert name in wrapper, name
+
+    def test_direct_call_intercepted(self):
+        recorder = Recorder()
+        wrapper = build_wrapper_library(recorder)
+        result = wrapper.lookup("glUseProgram")(7)
+        assert result == "intercepted:glUseProgram"
+        assert recorder.commands[0].name == "glUseProgram"
+        assert recorder.commands[0].args == (7,)
+        assert wrapper.stats.by_route["direct"] == 1
+
+    def test_preloaded_wrapper_shadows_native(self):
+        recorder = Recorder()
+        executed = []
+        native = build_native_gles_library(lambda c: executed.append(c))
+        proc = ProcessImage("game", env={"LD_PRELOAD": "wrapper"})
+        wrapper = build_wrapper_library(recorder, linker=proc.linker)
+        wrapper.soname = "wrapper"
+        proc.install_library(wrapper)
+        proc.install_library(native)
+        proc.start([NATIVE_GLES_SONAME])
+        proc.call("glFlush")
+        assert len(recorder.commands) == 1
+        assert executed == []  # native never reached
+
+
+class TestRoute2GetProcAddress:
+    def test_proc_address_returns_wrapper_stub(self):
+        recorder = Recorder()
+        wrapper = build_wrapper_library(recorder)
+        get = wrapper.lookup("eglGetProcAddress")
+        fn = get("glDrawArrays")
+        assert fn is not None
+        fn(4, 0, 6)
+        assert wrapper.stats.by_route["getprocaddress"] == 1
+        assert recorder.commands[0].name == "glDrawArrays"
+
+    def test_proc_address_unknown_symbol(self):
+        wrapper = build_wrapper_library(Recorder())
+        assert wrapper.lookup("eglGetProcAddress")("glBogus") is None
+
+    def test_proc_address_pointer_cached(self):
+        wrapper = build_wrapper_library(Recorder())
+        get = wrapper.lookup("eglGetProcAddress")
+        assert get("glFlush") is get("glFlush")
+
+    def test_egl_exports_resolvable(self):
+        swaps = []
+        wrapper = build_wrapper_library(
+            Recorder(), egl_exports={"eglSwapBuffers": lambda: swaps.append(1)}
+        )
+        fn = wrapper.lookup("eglGetProcAddress")("eglSwapBuffers")
+        fn()
+        assert swaps == [1]
+        assert wrapper.lookup("eglSwapBuffers") is not None
+
+
+class TestRoute3Dlopen:
+    def test_dlopen_of_native_soname_returns_wrapper(self):
+        recorder = Recorder()
+        linker = DynamicLinker()
+        native = build_native_gles_library(lambda c: "native")
+        linker.add_library(native)
+        build_wrapper_library(recorder, linker=linker)
+        handle = linker.dlopen(NATIVE_GLES_SONAME)
+        fn = linker.dlsym(handle, "glFinish")
+        fn()
+        assert recorder.commands[0].name == "glFinish"
+        assert len(recorder.commands) == 1
+
+    def test_dlopen_of_other_libraries_unaffected(self):
+        linker = DynamicLinker()
+        other = SharedLibrary("libc.so")
+        other.export("puts", lambda s: f"puts:{s}")
+        linker.add_library(other)
+        build_wrapper_library(Recorder(), linker=linker)
+        handle = linker.dlopen("libc.so")
+        assert linker.dlsym(handle, "puts")("x") == "puts:x"
+
+    def test_dlsym_route_accounted(self):
+        recorder = Recorder()
+        linker = DynamicLinker()
+        wrapper = build_wrapper_library(recorder, linker=linker)
+        handle = linker.dlopen(NATIVE_GLES_SONAME)
+        linker.dlsym(handle, "glFlush")()
+        assert wrapper.stats.by_route["dlsym"] == 1
+
+
+class TestStats:
+    def test_total_and_by_command(self):
+        stats = InterceptionStats()
+        stats.bump("direct", "glFlush")
+        stats.bump("direct", "glFlush")
+        stats.bump("dlsym", "glFinish")
+        assert stats.total == 3
+        assert stats.by_command["glFlush"] == 2
+
+
+class TestNativeLibrary:
+    def test_native_executes_commands(self):
+        executed = []
+        native = build_native_gles_library(lambda c: executed.append(c) or 42)
+        assert native.lookup("glUseProgram")(3) == 42
+        assert executed[0].args == (3,)
+
+    def test_native_proc_address(self):
+        native = build_native_gles_library(lambda c: None)
+        assert native.lookup("eglGetProcAddress")("glFlush") is not None
+        assert native.lookup("eglGetProcAddress")("nope") is None

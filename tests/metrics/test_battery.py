@@ -1,0 +1,61 @@
+"""Battery-lifetime projection."""
+
+import pytest
+
+from repro.devices.profiles import LG_NEXUS_5, NVIDIA_SHIELD
+from repro.metrics.battery import (
+    USABLE_BATTERY_FRACTION,
+    compare_battery_life,
+    project_battery_life,
+)
+from repro.metrics.energy import EnergyReport
+
+
+def report(power_w, duration_s=600.0):
+    return EnergyReport(total_j=power_w * duration_s, duration_s=duration_s)
+
+
+def test_projection_math():
+    projection = project_battery_life(LG_NEXUS_5, report(4.0))
+    expected = LG_NEXUS_5.battery_wh * USABLE_BATTERY_FRACTION / 4.0
+    assert projection.hours == pytest.approx(expected)
+    assert projection.minutes == pytest.approx(expected * 60.0)
+
+
+def test_gaming_drains_phone_in_couple_of_hours():
+    """The §II motivation: heavy gaming power (~5.4 W measured) empties the
+    Nexus 5 in well under two hours."""
+    projection = project_battery_life(LG_NEXUS_5, report(5.4))
+    assert 1.0 <= projection.hours <= 2.0
+
+
+def test_offloading_extends_life():
+    comparison = compare_battery_life(
+        LG_NEXUS_5, report(5.4), report(3.1)
+    )
+    assert comparison.lifetime_ratio == pytest.approx(5.4 / 3.1)
+    assert comparison.extra_minutes > 40.0
+
+
+def test_service_device_has_no_battery():
+    with pytest.raises(ValueError):
+        project_battery_life(NVIDIA_SHIELD, report(5.0))
+
+
+def test_zero_power_rejected():
+    with pytest.raises(ValueError):
+        project_battery_life(LG_NEXUS_5, report(0.0))
+
+
+def test_end_to_end_session_projection():
+    import repro
+    from repro.apps.games import GTA_SAN_ANDREAS
+
+    local = repro.run_local_session(GTA_SAN_ANDREAS, LG_NEXUS_5,
+                                    duration_ms=15_000.0)
+    boosted = repro.run_offload_session(GTA_SAN_ANDREAS, LG_NEXUS_5,
+                                        duration_ms=15_000.0)
+    comparison = compare_battery_life(
+        LG_NEXUS_5, local.energy, boosted.energy
+    )
+    assert comparison.lifetime_ratio > 1.3

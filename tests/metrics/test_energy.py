@@ -1,0 +1,48 @@
+"""Energy reports and normalization."""
+
+import pytest
+
+from repro.devices.profiles import LG_NEXUS_5
+from repro.devices.runtime import UserDeviceRuntime
+from repro.metrics.energy import EnergyReport, energy_report, normalized_energy
+from repro.sim.kernel import Simulator
+
+
+def make_report(total_j, duration_s):
+    return EnergyReport(total_j=total_j, duration_s=duration_s)
+
+
+def test_mean_power():
+    assert make_report(100.0, 50.0).mean_power_w == pytest.approx(2.0)
+    assert make_report(10.0, 0.0).mean_power_w == 0.0
+
+
+def test_normalized_energy_ratio():
+    local = make_report(500.0, 100.0)     # 5 W
+    offloaded = make_report(200.0, 100.0)  # 2 W
+    assert normalized_energy(offloaded, local) == pytest.approx(0.4)
+
+
+def test_normalization_duration_invariant():
+    """Sessions of different lengths compare by mean power."""
+    local = make_report(500.0, 100.0)          # 5 W
+    offloaded = make_report(100.0, 50.0)        # 2 W
+    assert normalized_energy(offloaded, local) == pytest.approx(0.4)
+
+
+def test_zero_local_power_rejected():
+    with pytest.raises(ValueError):
+        normalized_energy(make_report(1.0, 1.0), make_report(0.0, 1.0))
+
+
+def test_energy_report_from_device():
+    sim = Simulator()
+    device = UserDeviceRuntime(sim, LG_NEXUS_5)
+    sim.run(until=5_000.0)
+    report = energy_report(device)
+    assert report.duration_s == pytest.approx(5.0)
+    assert report.total_j > 0
+    assert set(report.components_j) == {
+        "cpu_j", "gpu_j", "wifi_j", "bluetooth_j", "screen_j"
+    }
+    assert report.total_j == pytest.approx(sum(report.components_j.values()))

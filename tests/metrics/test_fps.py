@@ -1,0 +1,94 @@
+"""FPS metrics: timeline, median, stability, response time."""
+
+import pytest
+
+from repro.apps.engine import FrameRecord
+from repro.metrics.fps import (
+    compute_fps_metrics,
+    fps_timeline,
+    stability_within,
+)
+
+
+def frames_at(times, issue_offset=-10.0):
+    return [
+        FrameRecord(frame_id=i, issued_at=t + issue_offset, presented_at=t)
+        for i, t in enumerate(times)
+    ]
+
+
+def steady_times(fps, seconds, start=0.0):
+    interval = 1000.0 / fps
+    n = int(seconds * fps)
+    return [start + i * interval for i in range(n)]
+
+
+class TestTimeline:
+    def test_constant_rate(self):
+        series = fps_timeline(steady_times(30.0, 10.0))
+        assert len(series) >= 9
+        for v in series[:-1]:
+            assert v == pytest.approx(30.0, abs=1.0)
+
+    def test_empty(self):
+        assert fps_timeline([]) == []
+
+    def test_single_instant(self):
+        assert fps_timeline([5.0, 5.0]) == [2.0]
+
+    def test_rate_change_visible(self):
+        times = steady_times(60.0, 5.0) + steady_times(
+            10.0, 5.0, start=5_000.0
+        )
+        series = fps_timeline(times)
+        assert max(series[:4]) > 50
+        assert min(series[6:9]) < 15
+
+
+class TestStability:
+    def test_perfectly_stable(self):
+        assert stability_within([30.0] * 10, 30.0) == 1.0
+
+    def test_half_outside(self):
+        series = [30.0] * 5 + [5.0] * 5
+        assert stability_within(series, 30.0) == 0.5
+
+    def test_band_edges_inclusive(self):
+        assert stability_within([24.0, 36.0], 30.0) == 1.0
+        assert stability_within([23.9, 36.1], 30.0) == 0.0
+
+    def test_empty_or_zero_median(self):
+        assert stability_within([], 30.0) == 0.0
+        assert stability_within([1.0], 0.0) == 0.0
+
+
+class TestComputeMetrics:
+    def test_steady_session(self):
+        metrics = compute_fps_metrics(frames_at(steady_times(25.0, 30.0)))
+        assert metrics.median_fps == pytest.approx(25.0, abs=1.0)
+        assert metrics.stability > 0.9
+        assert metrics.mean_response_ms == pytest.approx(10.0)
+        assert metrics.frame_count == 750
+
+    def test_median_robust_to_loading_screens(self):
+        """Fringe FPS values (menus at 60, stalls at ~0) barely move the
+        median — the property the paper selects it for."""
+        gameplay = steady_times(24.0, 50.0)
+        stall = [50_000.0 + i * 1000.0 for i in range(5)]  # 1 FPS stall
+        metrics = compute_fps_metrics(frames_at(gameplay + stall))
+        assert metrics.median_fps == pytest.approx(24.0, abs=1.0)
+
+    def test_unpresented_frames_ignored(self):
+        frames = frames_at(steady_times(30.0, 5.0))
+        frames.append(FrameRecord(frame_id=999, issued_at=0.0))
+        metrics = compute_fps_metrics(frames)
+        assert metrics.frame_count == len(frames) - 1
+
+    def test_empty_session(self):
+        metrics = compute_fps_metrics([])
+        assert metrics.median_fps == 0.0
+        assert metrics.stability == 0.0
+
+    def test_response_time_none_handled(self):
+        record = FrameRecord(frame_id=0, issued_at=1.0)
+        assert record.response_time_ms is None

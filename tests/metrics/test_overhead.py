@@ -1,0 +1,47 @@
+"""Memory/CPU overhead accounting (§VII-G)."""
+
+import pytest
+
+from repro.metrics.overhead import OverheadReport, memory_overhead_mb
+
+
+def test_breakdown_components():
+    breakdown = memory_overhead_mb(
+        cache_capacity=4096,
+        mean_cached_entry_bytes=1000.0,
+        frame_width=1280,
+        frame_height=720,
+    )
+    assert set(breakdown) == {
+        "wrapper_library", "command_cache", "serialization_buffers",
+        "frame_buffers",
+    }
+    assert all(v > 0 for v in breakdown.values())
+
+
+def test_total_in_papers_ballpark():
+    """The paper reports an average footprint of 47.8 MB."""
+    breakdown = memory_overhead_mb(
+        cache_capacity=4096,
+        mean_cached_entry_bytes=6000.0,   # upscaled wire entries
+        frame_width=1280,
+        frame_height=720,
+    )
+    total = sum(breakdown.values())
+    assert 25.0 <= total <= 75.0
+
+
+def test_cache_capacity_scales_footprint():
+    small = sum(memory_overhead_mb(1024, 1000.0, 640, 480).values())
+    large = sum(memory_overhead_mb(8192, 1000.0, 640, 480).values())
+    assert large > small
+
+
+def test_cpu_delta_points():
+    report = OverheadReport(
+        memory_mb=40.0,
+        cpu_local_util=0.68,
+        cpu_offloaded_util=0.79,
+        breakdown_mb={},
+    )
+    assert report.cpu_delta_points == pytest.approx(11.0)

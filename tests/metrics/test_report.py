@@ -1,0 +1,53 @@
+"""Session report export."""
+
+import json
+
+import pytest
+
+import repro
+from repro.apps.games import CANDY_CRUSH
+from repro.devices.profiles import LG_NEXUS_5
+from repro.metrics.report import session_report, session_report_json
+
+
+@pytest.fixture(scope="module")
+def boosted():
+    return repro.run_offload_session(CANDY_CRUSH, LG_NEXUS_5,
+                                     duration_ms=15_000.0)
+
+
+@pytest.fixture(scope="module")
+def local():
+    return repro.run_local_session(CANDY_CRUSH, LG_NEXUS_5,
+                                   duration_ms=15_000.0)
+
+
+def test_report_structure_offloaded(boosted):
+    report = session_report(boosted)
+    assert report["mode"] == "gbooster"
+    assert report["app"] == "G5"
+    assert report["fps"]["median"] > 0
+    assert "switching" in report
+    assert "traffic" in report
+    assert 0.0 <= report["traffic"]["reduction"] <= 1.0
+
+
+def test_report_structure_local(local):
+    report = session_report(local)
+    assert report["mode"] == "local"
+    assert "switching" not in report
+    assert "traffic" not in report
+    assert report["t_p_ms"] == 0.0
+
+
+def test_report_is_json_serializable(boosted):
+    text = session_report_json(boosted)
+    parsed = json.loads(text)
+    assert parsed["app_name"] == CANDY_CRUSH.name
+
+
+def test_energy_components_sum(boosted):
+    report = session_report(boosted)
+    total = report["energy"]["total_j"]
+    components = sum(report["energy"]["components_j"].values())
+    assert components == pytest.approx(total)

@@ -1,0 +1,79 @@
+"""LAN service discovery."""
+
+import pytest
+
+from repro.devices.profiles import (
+    DELL_OPTIPLEX_9010,
+    MINIX_NEO_U1,
+    NVIDIA_SHIELD,
+)
+from repro.net.discovery import DiscoveryService
+from repro.sim.kernel import Simulator
+
+
+def run_probe(responders, timeout_ms=500.0, seed=0, loss=0.01):
+    sim = Simulator(seed=seed)
+    service = DiscoveryService(sim, responders, loss_probability=loss)
+    done = service.probe(timeout_ms=timeout_ms)
+    sim.run_until_event(done, limit=timeout_ms * 4)
+    return done.value
+
+
+def test_all_responders_found():
+    result = run_probe([NVIDIA_SHIELD, MINIX_NEO_U1, DELL_OPTIPLEX_9010])
+    assert result.found_any
+    names = {ad.device.name for ad in result.advertisements}
+    assert names == {
+        NVIDIA_SHIELD.name, MINIX_NEO_U1.name, DELL_OPTIPLEX_9010.name
+    }
+
+
+def test_empty_lan_finds_nothing():
+    result = run_probe([])
+    assert not result.found_any
+
+
+def test_responses_carry_rtt():
+    result = run_probe([NVIDIA_SHIELD])
+    ad = result.advertisements[0]
+    assert ad.rtt_ms > 2.0          # two link traversals + backoff
+    assert ad.rtt_ms <= 500.0
+
+
+def test_ranking_prefers_capable_idle_devices():
+    result = run_probe([MINIX_NEO_U1, DELL_OPTIPLEX_9010, NVIDIA_SHIELD])
+    ranked = result.ranked()
+    # The TV box (4.4 GP/s) must rank below the console and desktop.
+    assert ranked[-1].device.name == MINIX_NEO_U1.name
+
+
+def test_short_timeout_misses_slow_responders():
+    full = run_probe([NVIDIA_SHIELD] * 1, timeout_ms=500.0, seed=2)
+    rushed = run_probe([NVIDIA_SHIELD] * 1, timeout_ms=2.0, seed=2)
+    assert full.found_any
+    assert not rushed.found_any
+
+
+def test_lossy_lan_drops_some_answers():
+    found = 0
+    for seed in range(20):
+        result = run_probe([NVIDIA_SHIELD], seed=seed, loss=0.4)
+        found += result.found_any
+    assert 0 < found < 20
+
+
+def test_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        DiscoveryService(sim, [], loss_probability=1.0)
+    service = DiscoveryService(sim, [])
+    with pytest.raises(ValueError):
+        service.probe(timeout_ms=0.0)
+
+
+def test_deterministic():
+    a = run_probe([NVIDIA_SHIELD, MINIX_NEO_U1], seed=9)
+    b = run_probe([NVIDIA_SHIELD, MINIX_NEO_U1], seed=9)
+    assert [ad.responded_at_ms for ad in a.advertisements] == [
+        ad.responded_at_ms for ad in b.advertisements
+    ]

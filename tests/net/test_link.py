@@ -1,0 +1,77 @@
+"""Link propagation, jitter and loss."""
+
+import pytest
+
+from repro.net.link import LAN_WIFI, LinkSpec, NetworkLink, WAN_CLOUD
+from repro.net.message import Message
+from repro.sim.kernel import Simulator
+
+
+def test_delivery_after_latency():
+    sim = Simulator()
+    got = []
+    link = NetworkLink(
+        sim, LinkSpec(name="t", latency_ms=5.0, jitter_ms=0.0),
+        receiver=lambda m: got.append((sim.now, m)),
+    )
+    link.deliver(Message.of_size(100))
+    sim.run(until=100.0)
+    assert got[0][0] == pytest.approx(5.0)
+
+
+def test_jitter_varies_latency():
+    sim = Simulator()
+    times = []
+    link = NetworkLink(
+        sim, LinkSpec(name="t", latency_ms=5.0, jitter_ms=2.0,
+                      loss_probability=0.0),
+        receiver=lambda m: times.append(sim.now),
+    )
+    for _ in range(50):
+        link.deliver(Message.of_size(10))
+    sim.run(until=1000.0)
+    assert len(set(times)) > 10  # arrivals spread out
+    assert all(t >= 5.0 for t in times)  # jitter only ever adds
+
+
+def test_loss_drops_messages():
+    sim = Simulator()
+    got = []
+    link = NetworkLink(
+        sim, LinkSpec(name="lossy", latency_ms=1.0, jitter_ms=0.0,
+                      loss_probability=0.5),
+        receiver=lambda m: got.append(m),
+    )
+    for _ in range(400):
+        link.deliver(Message.of_size(10))
+    sim.run(until=10_000.0)
+    assert link.dropped + link.delivered == 400
+    assert 120 <= link.dropped <= 280  # ~50%
+
+
+def test_wan_slower_than_lan():
+    assert WAN_CLOUD.latency_ms > 20 * LAN_WIFI.latency_ms
+
+
+def test_invalid_specs_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        NetworkLink(sim, LinkSpec(name="bad", latency_ms=-1.0))
+    with pytest.raises(ValueError):
+        NetworkLink(sim, LinkSpec(name="bad", loss_probability=1.0))
+
+
+def test_deterministic_loss_pattern():
+    def run_once():
+        sim = Simulator(seed=5)
+        link = NetworkLink(
+            sim,
+            LinkSpec(name="l", latency_ms=1.0, loss_probability=0.3),
+            receiver=lambda m: None,
+        )
+        for _ in range(100):
+            link.deliver(Message.of_size(10))
+        sim.run(until=1000.0)
+        return link.dropped
+
+    assert run_once() == run_once()

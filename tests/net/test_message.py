@@ -1,0 +1,59 @@
+"""Message sizing and header accounting."""
+
+import pytest
+
+from repro.net.message import (
+    MTU_BYTES,
+    Message,
+    RUDP_HEADER_BYTES,
+    UDP_IP_HEADER_BYTES,
+)
+
+
+def test_byte_payload_sets_size():
+    msg = Message.of_bytes(b"x" * 1234)
+    assert msg.size_bytes == 1234
+    assert msg.payload == b"x" * 1234
+
+
+def test_of_size_without_payload():
+    msg = Message.of_size(10_000, kind="frame")
+    assert msg.size_bytes == 10_000
+    assert msg.payload is None
+    assert msg.kind == "frame"
+
+
+def test_negative_size_rejected():
+    with pytest.raises(ValueError):
+        Message.of_size(-1)
+
+
+def test_wire_bytes_single_packet():
+    msg = Message.of_size(100)
+    assert msg.wire_bytes(UDP_IP_HEADER_BYTES) == 100 + UDP_IP_HEADER_BYTES
+
+
+def test_wire_bytes_fragments_at_mtu():
+    msg = Message.of_size(MTU_BYTES * 3 + 1)
+    assert msg.wire_bytes(UDP_IP_HEADER_BYTES) == (
+        msg.size_bytes + 4 * UDP_IP_HEADER_BYTES
+    )
+
+
+def test_zero_size_still_one_packet():
+    msg = Message.of_size(0)
+    assert msg.wire_bytes(UDP_IP_HEADER_BYTES) == UDP_IP_HEADER_BYTES
+
+
+def test_message_ids_unique():
+    a, b = Message.of_size(1), Message.of_size(1)
+    assert a.message_id != b.message_id
+
+
+def test_metadata_kwargs():
+    msg = Message.of_size(10, kind="state", node="shield")
+    assert msg.metadata["node"] == "shield"
+
+
+def test_header_constants_sane():
+    assert RUDP_HEADER_BYTES < UDP_IP_HEADER_BYTES < MTU_BYTES

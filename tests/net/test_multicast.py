@@ -1,0 +1,92 @@
+"""UDP multicast fan-out (state replication, §VI-B)."""
+
+import pytest
+
+from repro.net.interface import WIFI_80211N, WirelessInterface
+from repro.net.link import LinkSpec, NetworkLink
+from repro.net.message import Message
+from repro.net.multicast import MulticastGroup
+from repro.sim.kernel import Simulator
+
+
+def build_group(sim, n_members):
+    radio = WirelessInterface(sim, WIFI_80211N)
+    group = MulticastGroup(sim)
+    group.bind_radio(lambda: radio)
+    inboxes = []
+    for i in range(n_members):
+        inbox = []
+        link = NetworkLink(
+            sim, LinkSpec(name=f"m{i}", latency_ms=1.0, jitter_ms=0.0),
+            receiver=(lambda box: lambda m: box.append(m))(inbox),
+        )
+        group.join(f"node{i}", link)
+        inboxes.append(inbox)
+    return group, radio, inboxes
+
+
+def test_every_member_receives_copy():
+    sim = Simulator()
+    group, _radio, inboxes = build_group(sim, 3)
+    group.send(Message.of_size(5_000, kind="state"))
+    sim.run(until=1_000.0)
+    assert all(len(box) == 1 for box in inboxes)
+    members = {box[0].metadata["mcast_member"] for box in inboxes}
+    assert members == {"node0", "node1", "node2"}
+
+
+def test_single_radio_transmission():
+    """One send = one airtime charge regardless of member count."""
+    sim = Simulator()
+    group, radio, _ = build_group(sim, 5)
+    group.send(Message.of_size(10_000))
+    sim.run(until=1_000.0)
+    assert radio.messages_sent == 1
+    assert group.multicast_bytes == 10_000
+    assert group.unicast_equivalent_bytes == 50_000
+
+
+def test_bandwidth_saving_grows_with_members():
+    sim = Simulator()
+    group, _radio, _ = build_group(sim, 4)
+    for _ in range(10):
+        group.send(Message.of_size(1_000))
+    sim.run(until=1_000.0)
+    saving = 1 - group.multicast_bytes / group.unicast_equivalent_bytes
+    assert saving == pytest.approx(0.75)
+
+
+def test_empty_group_send_is_noop():
+    sim = Simulator()
+    radio = WirelessInterface(sim, WIFI_80211N)
+    group = MulticastGroup(sim)
+    group.bind_radio(lambda: radio)
+    evt = group.send(Message.of_size(100))
+    assert evt.triggered
+    assert radio.messages_sent == 0
+
+
+def test_join_duplicate_rejected():
+    sim = Simulator()
+    group, _radio, _ = build_group(sim, 1)
+    with pytest.raises(ValueError):
+        group.join("node0", None)
+
+
+def test_leave_removes_member():
+    sim = Simulator()
+    group, _radio, inboxes = build_group(sim, 2)
+    group.leave("node0")
+    group.send(Message.of_size(100))
+    sim.run(until=100.0)
+    assert len(inboxes[0]) == 0
+    assert len(inboxes[1]) == 1
+
+
+def test_unbound_radio_raises():
+    sim = Simulator()
+    group = MulticastGroup(sim)
+    link = NetworkLink(sim, LinkSpec(name="x", latency_ms=1.0))
+    group.join("n", link)
+    with pytest.raises(RuntimeError):
+        group.send(Message.of_size(10))

@@ -1,0 +1,89 @@
+"""ARMA estimation and forecasting."""
+
+import math
+
+import pytest
+
+from repro.predict.arma import ARMAModel
+from repro.sim.random import RandomStream
+
+
+def generate_ar2(n, phi1=0.6, phi2=0.2, noise=0.1, seed=0):
+    rng = RandomStream(seed, "ar2")
+    ys = [0.0, 0.0]
+    for _ in range(n):
+        ys.append(
+            phi1 * ys[-1] + phi2 * ys[-2] + rng.normal(0.0, noise)
+        )
+    return ys[2:]
+
+
+def test_one_step_prediction_beats_mean_on_ar_process():
+    series = generate_ar2(800)
+    model = ARMAModel(p=3, q=1)
+    mean = sum(series) / len(series)
+    model_sse = 0.0
+    mean_sse = 0.0
+    for i, y in enumerate(series):
+        if i > 100:
+            pred = model.predict_next()
+            model_sse += (y - pred) ** 2
+            mean_sse += (y - mean) ** 2
+        model.observe(y)
+    assert model_sse < mean_sse * 0.8
+
+
+def test_forecast_converges_to_process_mean():
+    """Multi-step forecasts of a stationary zero-mean AR decay to ~0."""
+    series = generate_ar2(600)
+    model = ARMAModel(p=2, q=1)
+    for y in series:
+        model.observe(y)
+    forecast = model.forecast(50)
+    assert abs(forecast[-1]) < abs(forecast[0]) + 0.2
+
+
+def test_forecast_length():
+    model = ARMAModel(p=2, q=1)
+    for y in generate_ar2(50):
+        model.observe(y)
+    assert len(model.forecast(7)) == 7
+
+
+def test_constant_series_predicted_exactly():
+    model = ARMAModel(p=2, q=1)
+    for _ in range(200):
+        model.observe(5.0)
+    assert model.predict_next() == pytest.approx(5.0, abs=0.1)
+    assert model.forecast(10)[-1] == pytest.approx(5.0, abs=0.3)
+
+
+def test_trend_followed_upward():
+    model = ARMAModel(p=3, q=1)
+    for i in range(300):
+        model.observe(float(i) * 0.1)
+    forecast = model.forecast(5)
+    assert forecast[0] > 29.0  # continues the ramp past the last value ~29.9
+
+
+def test_residuals_shrink_after_fit():
+    series = generate_ar2(500)
+    model = ARMAModel(p=2, q=2)
+    residuals = [abs(model.observe(y)) for y in series]
+    early = sum(residuals[10:60]) / 50
+    late = sum(residuals[-50:]) / 50
+    assert late <= early * 1.5  # no divergence
+
+    assert not math.isnan(model.mse())
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ARMAModel(p=0, q=0)
+    model = ARMAModel(p=1, q=0)
+    with pytest.raises(ValueError):
+        model.forecast(0)
+
+
+def test_parameter_count():
+    assert ARMAModel(p=3, q=2).parameter_count == 6  # constant + 3 + 2

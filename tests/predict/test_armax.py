@@ -1,0 +1,91 @@
+"""ARMAX: exogenous inputs give a predictive edge on caused surges."""
+
+import pytest
+
+from repro.predict.arma import ARMAModel
+from repro.predict.armax import ARMAXModel
+from repro.sim.random import RandomStream
+
+
+def generate_caused_series(n, lag=3, seed=0):
+    """An input pulse at t raises the output at t+lag+1 — the
+    touch->traffic causality of §V-B (queue depth lag+1)."""
+    rng = RandomStream(seed, "caused")
+    inputs = []
+    series = []
+    pending = [0.0] * (lag + 1)
+    for t in range(n):
+        pulse = 1.0 if rng.bernoulli(0.08) else 0.0
+        inputs.append([pulse])
+        pending.append(pulse * 10.0)
+        base = 2.0 + rng.normal(0.0, 0.3)
+        series.append(base + pending.pop(0))
+    return series, inputs
+
+
+def test_armax_beats_arma_on_caused_surges():
+    series, inputs = generate_caused_series(1500, lag=2)
+    arma = ARMAModel(p=3, q=1)
+    armax = ARMAXModel(p=3, q=1, b=4, n_inputs=1)
+    arma_sse = armax_sse = 0.0
+    for t, y in enumerate(series):
+        if t > 200:
+            arma_sse += (y - arma.predict_next()) ** 2
+            armax_sse += (y - armax.predict_next()) ** 2
+        arma.observe(y)
+        armax.observe(y, inputs[t])
+    assert armax_sse < arma_sse * 0.6
+
+
+def test_exogenous_coefficient_learned_at_right_lag():
+    series, inputs = generate_caused_series(2000, lag=2, seed=1)
+    armax = ARMAXModel(p=1, q=0, b=4, n_inputs=1)
+    for y, d in zip(series, inputs):
+        armax.observe(y, d)
+    # theta layout: [const, ar1, d_{t-1}, d_{t-2}, d_{t-3}, d_{t-4}].
+    # The generator's queue realizes an effective lag of lag+1 = 3, so the
+    # dominant coefficient must be d_{t-3} (index 2).
+    exo = armax.rls.theta[2:]
+    assert int(max(range(4), key=lambda i: abs(exo[i]))) == 2
+
+
+def test_forecast_uses_latest_inputs():
+    armax = ARMAXModel(p=1, q=0, b=2, n_inputs=1)
+    # Steady state: output follows input by one step with gain ~5.
+    for i in range(500):
+        x = 1.0 if (i // 50) % 2 == 0 else 0.0
+        armax.observe(5.0 * (1.0 if ((i - 1) // 50) % 2 == 0 else 0.0), [x])
+    # After seeing a fresh pulse the forecast must rise.
+    armax.observe(0.0, [1.0])
+    up = armax.forecast(2)
+    armax2 = ARMAXModel(p=1, q=0, b=2, n_inputs=1)
+    for i in range(500):
+        x = 1.0 if (i // 50) % 2 == 0 else 0.0
+        armax2.observe(5.0 * (1.0 if ((i - 1) // 50) % 2 == 0 else 0.0), [x])
+    armax2.observe(0.0, [0.0])
+    down = armax2.forecast(2)
+    assert up[0] > down[0]
+
+
+def test_input_arity_checked():
+    armax = ARMAXModel(p=1, q=0, b=1, n_inputs=2)
+    with pytest.raises(ValueError):
+        armax.observe(1.0, [1.0])
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ARMAXModel(p=0, q=0, b=0, n_inputs=0)
+    with pytest.raises(ValueError):
+        ARMAXModel(p=1, q=0, b=2, n_inputs=0)
+
+
+def test_zero_b_degenerates_to_arma_like():
+    model = ARMAXModel(p=2, q=1, b=0, n_inputs=0)
+    for _ in range(100):
+        model.observe(3.0, [])
+    assert model.predict_next() == pytest.approx(3.0, abs=0.2)
+
+
+def test_parameter_count():
+    assert ARMAXModel(p=3, q=2, b=2, n_inputs=2).parameter_count == 10

@@ -1,0 +1,62 @@
+"""Naive forecasting baselines and their place in the hierarchy."""
+
+import pytest
+
+from repro.predict.arma import ARMAModel
+from repro.predict.baselines import (
+    MovingAverageForecaster,
+    PersistenceForecaster,
+)
+from repro.sim.random import RandomStream
+
+
+class TestPersistence:
+    def test_repeats_last_value(self):
+        model = PersistenceForecaster()
+        model.observe(3.0)
+        model.observe(7.0)
+        assert model.forecast(4) == [7.0] * 4
+
+    def test_horizon_validation(self):
+        with pytest.raises(ValueError):
+            PersistenceForecaster().forecast(0)
+
+
+class TestMovingAverage:
+    def test_window_mean(self):
+        model = MovingAverageForecaster(window=3)
+        for y in (1.0, 2.0, 3.0, 4.0):
+            model.observe(y)
+        assert model.predict_next() == pytest.approx(3.0)
+
+    def test_empty_window(self):
+        assert MovingAverageForecaster().predict_next() == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MovingAverageForecaster(window=0)
+
+
+class TestHierarchy:
+    def test_arma_beats_persistence_on_ar_process(self):
+        """On a mean-reverting series ARMA must beat naive persistence."""
+        rng = RandomStream(0, "hier")
+        ys = [0.0, 0.0]
+        for _ in range(1500):
+            ys.append(0.5 * ys[-1] - 0.3 * ys[-2] + rng.normal(0.0, 0.5))
+        series = ys[2:]
+        arma = ARMAModel(p=3, q=1)
+        naive = PersistenceForecaster()
+        arma_sse = naive_sse = 0.0
+        for t, y in enumerate(series):
+            if t > 200:
+                arma_sse += (y - arma.predict_next()) ** 2
+                naive_sse += (y - naive.predict_next()) ** 2
+            arma.observe(y)
+            naive.observe(y)
+        assert arma_sse < naive_sse * 0.9
+
+    def test_persistence_perfect_on_constant_series(self):
+        model = PersistenceForecaster()
+        residuals = [model.observe(5.0) for _ in range(10)]
+        assert residuals[1:] == [0.0] * 9

@@ -1,0 +1,133 @@
+"""FN/FP outcome accounting for threshold forecasts."""
+
+import pytest
+
+from repro.predict.evaluation import (
+    PredictionOutcome,
+    evaluate_threshold_prediction,
+)
+
+
+class OracleForecaster:
+    """Sees the future: should make no errors."""
+
+    def __init__(self, series, horizon):
+        self.series = series
+        self.horizon = horizon
+        self.t = -1
+
+    def observe(self, t, y):
+        self.t = t
+
+    def forecast(self, t):
+        return list(
+            self.series[self.t + 1: self.t + 1 + self.horizon]
+        )
+
+
+class ConstantForecaster:
+    def __init__(self, value, horizon):
+        self.value = value
+        self.horizon = horizon
+
+    def observe(self, t, y):
+        pass
+
+    def forecast(self, t):
+        return [self.value] * self.horizon
+
+
+def step_series():
+    return [1.0] * 100 + [20.0] * 20 + [1.0] * 100
+
+
+def test_oracle_has_no_errors():
+    series = step_series()
+    oracle = OracleForecaster(series, horizon=5)
+    outcome = evaluate_threshold_prediction(
+        series, 10.0, oracle.forecast, oracle.observe, horizon=5, warmup=10,
+        onsets_only=False,
+    )
+    assert outcome.false_negatives == 0
+    assert outcome.false_positives == 0
+    assert outcome.true_positives > 0
+    assert outcome.true_negatives > 0
+
+
+def test_always_low_forecaster_all_false_negatives():
+    series = step_series()
+    model = ConstantForecaster(0.0, horizon=5)
+    outcome = evaluate_threshold_prediction(
+        series, 10.0, model.forecast, model.observe, horizon=5, warmup=10,
+        onsets_only=False,
+    )
+    assert outcome.fn_rate == 1.0
+    assert outcome.false_positives == 0
+
+
+def test_always_high_forecaster_all_false_positives():
+    series = step_series()
+    model = ConstantForecaster(100.0, horizon=5)
+    outcome = evaluate_threshold_prediction(
+        series, 10.0, model.forecast, model.observe, horizon=5, warmup=10,
+        onsets_only=False,
+    )
+    assert outcome.fp_rate == 1.0
+    assert outcome.false_negatives == 0
+
+
+def test_onsets_only_skips_epochs_already_surging():
+    series = step_series()
+    oracle = OracleForecaster(series, horizon=5)
+    all_epochs = evaluate_threshold_prediction(
+        series, 10.0, oracle.forecast, oracle.observe, horizon=5, warmup=10,
+        onsets_only=False,
+    )
+    oracle2 = OracleForecaster(series, horizon=5)
+    onsets = evaluate_threshold_prediction(
+        series, 10.0, oracle2.forecast, oracle2.observe, horizon=5, warmup=10,
+        onsets_only=True,
+    )
+    assert onsets.evaluated < all_epochs.evaluated
+    # Onset epochs: the 5 epochs whose horizon reaches the step.
+    assert onsets.true_positives == 5
+
+
+def test_rates_with_no_positives_are_zero():
+    outcome = PredictionOutcome(true_negatives=10)
+    assert outcome.fn_rate == 0.0
+    assert outcome.fp_rate == 0.0
+    assert outcome.precision == 0.0
+
+
+def test_horizon_validation():
+    with pytest.raises(ValueError):
+        evaluate_threshold_prediction(
+            [1.0], 1.0, lambda t: [], lambda t, y: None, horizon=0
+        )
+
+
+def test_short_forecast_rejected():
+    series = [1.0] * 50
+    with pytest.raises(ValueError):
+        evaluate_threshold_prediction(
+            series, 10.0,
+            lambda t: [0.0],         # shorter than the horizon
+            lambda t, y: None,
+            horizon=3, warmup=5,
+        )
+
+
+def test_epochs_near_trace_end_not_scored():
+    series = [1.0] * 30
+    calls = []
+
+    def forecast(t):
+        calls.append(t)
+        return [0.0] * 5
+
+    evaluate_threshold_prediction(
+        series, 10.0, forecast, lambda t, y: None, horizon=5, warmup=10,
+        onsets_only=False,
+    )
+    assert max(calls) <= 24  # t + horizon < len(series)

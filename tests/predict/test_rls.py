@@ -1,0 +1,90 @@
+"""Recursive least squares: recovery, tracking, numerical hygiene."""
+
+import numpy as np
+import pytest
+
+from repro.predict.rls import RecursiveLeastSquares
+from repro.sim.random import RandomStream
+
+
+def test_recovers_known_linear_model():
+    rng = RandomStream(0, "rls")
+    true_theta = np.array([2.0, -1.5, 0.5])
+    rls = RecursiveLeastSquares(dim=3, forgetting=1.0)
+    for _ in range(300):
+        phi = np.array([rng.normal() for _ in range(3)])
+        y = float(phi @ true_theta) + rng.normal(0, 0.01)
+        rls.update(phi, y)
+    assert np.allclose(rls.theta, true_theta, atol=0.05)
+
+
+def test_tracks_drifting_parameters_with_forgetting():
+    rng = RandomStream(1, "rls")
+    rls = RecursiveLeastSquares(dim=1, forgetting=0.95)
+    # First regime: y = 1*x; second regime: y = 5*x.
+    for _ in range(200):
+        x = rng.normal()
+        rls.update([x], 1.0 * x)
+    for _ in range(200):
+        x = rng.normal()
+        rls.update([x], 5.0 * x)
+    assert rls.theta[0] == pytest.approx(5.0, abs=0.2)
+
+
+def test_no_forgetting_averages_regimes():
+    rng = RandomStream(2, "rls")
+    sticky = RecursiveLeastSquares(dim=1, forgetting=1.0)
+    for _ in range(200):
+        x = rng.normal()
+        sticky.update([x], 1.0 * x)
+    for _ in range(200):
+        x = rng.normal()
+        sticky.update([x], 5.0 * x)
+    # Without forgetting the estimate lags between regimes.
+    assert 1.5 < sticky.theta[0] < 4.5
+
+
+def test_predict_matches_theta():
+    rls = RecursiveLeastSquares(dim=2, theta0=[3.0, -1.0])
+    assert rls.predict([2.0, 4.0]) == pytest.approx(2.0)
+
+
+def test_update_returns_apriori_residual():
+    rls = RecursiveLeastSquares(dim=1, theta0=[0.0])
+    residual = rls.update([1.0], 10.0)
+    assert residual == pytest.approx(10.0)
+
+
+def test_mse_decreases_with_fit():
+    rng = RandomStream(3, "rls")
+    rls = RecursiveLeastSquares(dim=2)
+    early_sse = None
+    for i in range(400):
+        phi = [rng.normal(), 1.0]
+        y = 2.0 * phi[0] + 3.0
+        rls.update(phi, y)
+        if i == 20:
+            early_sse = rls.sse
+    late_increment = rls.sse - early_sse
+    assert late_increment < early_sse  # most error happened early
+
+
+def test_covariance_stays_symmetric():
+    rng = RandomStream(4, "rls")
+    rls = RecursiveLeastSquares(dim=4, forgetting=0.98)
+    for _ in range(1000):
+        phi = [rng.normal() for _ in range(4)]
+        rls.update(phi, rng.normal())
+    assert np.allclose(rls.P, rls.P.T)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        RecursiveLeastSquares(dim=0)
+    with pytest.raises(ValueError):
+        RecursiveLeastSquares(dim=2, forgetting=1.5)
+    with pytest.raises(ValueError):
+        RecursiveLeastSquares(dim=2, theta0=[1.0])
+    rls = RecursiveLeastSquares(dim=2)
+    with pytest.raises(ValueError):
+        rls.update([1.0], 0.0)

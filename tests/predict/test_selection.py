@@ -1,0 +1,89 @@
+"""AIC computation and exogenous attribute selection."""
+
+import math
+
+import pytest
+
+from repro.predict.selection import aic, fit_and_score, select_armax_attributes
+from repro.sim.random import RandomStream
+
+
+def test_aic_formula():
+    assert aic(100, 50.0, 3) == pytest.approx(100 * math.log(0.5) + 6)
+
+
+def test_aic_penalizes_parameters():
+    assert aic(100, 50.0, 10) > aic(100, 50.0, 2)
+
+
+def test_aic_rewards_fit():
+    assert aic(100, 10.0, 5) < aic(100, 100.0, 5)
+
+
+def test_aic_validation():
+    with pytest.raises(ValueError):
+        aic(0, 1.0, 1)
+    with pytest.raises(ValueError):
+        aic(10, -1.0, 1)
+
+
+def _synthetic_trace(n=800, seed=0):
+    """Output driven by attributes 0 and 2; attributes 1 and 3 are noise.
+
+    Attribute 2 must be *persistent* (a slowly switching level, like
+    textures-per-frame tracking scene complexity) or its lagged values —
+    the only thing ARMAX sees — would carry no information.
+    """
+    rng = RandomStream(seed, "sel")
+    series, inputs = [], []
+    lag_queue = [0.0, 0.0]
+    a2 = 0.5
+    for t in range(n):
+        a0 = 1.0 if rng.bernoulli(0.1) else 0.0   # informative, leading
+        a1 = rng.normal(0.0, 1.0)                  # pure noise
+        if t % 40 == 0:
+            a2 = rng.uniform(0.0, 1.0)             # informative level regime
+        a3 = rng.normal(0.0, 1.0)                  # pure noise
+        inputs.append([a0, a1, a2, a3])
+        lag_queue.append(8.0 * a0)
+        series.append(2.0 + 4.0 * a2 + lag_queue.pop(0) + rng.normal(0, 0.2))
+    return series, inputs
+
+
+def test_informative_attributes_selected():
+    series, inputs = _synthetic_trace()
+    ranking = select_armax_attributes(series, inputs, n_attributes=4,
+                                      max_subset=2)
+    best_subset, best_aic = ranking[0]
+    assert set(best_subset) == {0, 2}
+
+
+def test_informative_beats_empty_model():
+    series, inputs = _synthetic_trace(seed=1)
+    informative = fit_and_score(series, inputs, (0, 2))
+    empty = fit_and_score(series, inputs, ())
+    assert informative < empty
+
+
+def test_noise_attribute_does_not_beat_informative_pair():
+    series, inputs = _synthetic_trace(seed=2)
+    good = fit_and_score(series, inputs, (0, 2))
+    noisy = fit_and_score(series, inputs, (1, 3))
+    assert good < noisy
+
+
+def test_ranking_sorted_ascending():
+    series, inputs = _synthetic_trace(seed=3, n=300)
+    ranking = select_armax_attributes(series, inputs, max_subset=2)
+    scores = [score for _subset, score in ranking]
+    assert scores == sorted(scores)
+
+
+def test_mismatched_lengths_rejected():
+    with pytest.raises(ValueError):
+        fit_and_score([1.0, 2.0], [[0.0]], (0,))
+
+
+def test_short_trace_rejected():
+    with pytest.raises(ValueError):
+        fit_and_score([1.0] * 5, [[0.0]] * 5, (0,), warmup=20)

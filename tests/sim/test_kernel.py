@@ -1,0 +1,321 @@
+"""Kernel tests: events, processes, composite waits, determinism."""
+
+import pytest
+
+from repro.sim.kernel import Event, Interrupt, SimulationError, Simulator
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+
+
+def test_simple_delay_advances_clock():
+    sim = Simulator()
+    log = []
+
+    def proc():
+        yield 5.0
+        log.append(sim.now)
+        yield 2.5
+        log.append(sim.now)
+
+    sim.spawn(proc())
+    sim.run()
+    assert log == [5.0, 7.5]
+
+
+def test_zero_delay_yield_resumes_same_timestamp():
+    sim = Simulator()
+    log = []
+
+    def proc():
+        yield None
+        log.append(sim.now)
+
+    sim.spawn(proc())
+    sim.run()
+    assert log == [0.0]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+
+    def proc():
+        yield -1.0
+
+    sim.spawn(proc())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_event_wakes_waiter_with_value():
+    sim = Simulator()
+    evt = sim.event("e")
+    got = []
+
+    def waiter():
+        value = yield evt
+        got.append((sim.now, value))
+
+    def trigger():
+        yield 3.0
+        evt.trigger("payload")
+
+    sim.spawn(waiter())
+    sim.spawn(trigger())
+    sim.run()
+    assert got == [(3.0, "payload")]
+
+
+def test_event_triggered_twice_raises():
+    sim = Simulator()
+    evt = sim.event()
+    evt.trigger(1)
+    with pytest.raises(SimulationError):
+        evt.trigger(2)
+
+
+def test_waiting_on_already_triggered_event_resumes_immediately():
+    sim = Simulator()
+    evt = sim.event()
+    evt.trigger("early")
+    got = []
+
+    def waiter():
+        yield 4.0
+        value = yield evt
+        got.append((sim.now, value))
+
+    sim.spawn(waiter())
+    sim.run()
+    assert got == [(4.0, "early")]
+
+
+def test_multiple_waiters_wake_in_fifo_order():
+    sim = Simulator()
+    evt = sim.event()
+    order = []
+
+    def waiter(tag):
+        yield evt
+        order.append(tag)
+
+    for tag in ("a", "b", "c"):
+        sim.spawn(waiter(tag))
+
+    def trigger():
+        yield 1.0
+        evt.trigger(None)
+
+    sim.spawn(trigger())
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_process_return_value_propagates():
+    sim = Simulator()
+
+    def child():
+        yield 2.0
+        return 42
+
+    def parent():
+        result = yield sim.spawn(child())
+        return result * 2
+
+    proc = sim.spawn(parent())
+    sim.run()
+    assert proc.result == 84
+
+
+def test_result_before_completion_raises():
+    sim = Simulator()
+
+    def proc():
+        yield 1.0
+
+    p = sim.spawn(proc())
+    with pytest.raises(SimulationError):
+        _ = p.result
+
+
+def test_timeout_event():
+    sim = Simulator()
+    evt = sim.timeout(10.0, value="done")
+    got = []
+
+    def waiter():
+        value = yield evt
+        got.append((sim.now, value))
+
+    sim.spawn(waiter())
+    sim.run()
+    assert got == [(10.0, "done")]
+
+
+def test_any_of_returns_first_winner():
+    sim = Simulator()
+    slow = sim.timeout(10.0, value="slow")
+    fast = sim.timeout(4.0, value="fast")
+    combined = sim.any_of([slow, fast])
+    got = []
+
+    def waiter():
+        value = yield combined
+        got.append((sim.now, value))
+
+    sim.spawn(waiter())
+    sim.run()
+    assert got == [(4.0, (1, "fast"))]
+
+
+def test_all_of_waits_for_every_event():
+    sim = Simulator()
+    events = [sim.timeout(t, value=t) for t in (3.0, 9.0, 6.0)]
+    combined = sim.all_of(events)
+    got = []
+
+    def waiter():
+        values = yield combined
+        got.append((sim.now, values))
+
+    sim.spawn(waiter())
+    sim.run()
+    assert got == [(9.0, [3.0, 9.0, 6.0])]
+
+
+def test_all_of_empty_triggers_immediately():
+    sim = Simulator()
+    combined = sim.all_of([])
+    assert combined.triggered
+    assert combined.value == []
+
+
+def test_interrupt_raises_in_waiting_process():
+    sim = Simulator()
+    caught = []
+
+    def sleeper():
+        try:
+            yield 100.0
+        except Interrupt as exc:
+            caught.append((sim.now, exc.cause))
+
+    proc = sim.spawn(sleeper())
+
+    def interrupter():
+        yield 5.0
+        proc.interrupt("stop")
+
+    sim.spawn(interrupter())
+    sim.run()
+    assert caught == [(5.0, "stop")]
+
+
+def test_interrupt_dead_process_is_noop():
+    sim = Simulator()
+
+    def quick():
+        yield 1.0
+
+    proc = sim.spawn(quick())
+    sim.run()
+    proc.interrupt("late")  # must not raise
+    assert not proc.alive
+
+
+def test_run_until_limit_stops_clock():
+    sim = Simulator()
+
+    def forever():
+        while True:
+            yield 10.0
+
+    sim.spawn(forever())
+    sim.run(until=35.0)
+    assert sim.now == 35.0
+
+
+def test_run_until_process_stops_at_completion():
+    sim = Simulator()
+
+    def background():
+        while True:
+            yield 1.0
+
+    def main():
+        yield 12.0
+        return "done"
+
+    sim.spawn(background())
+    proc = sim.spawn(main())
+    result = sim.run_until_process(proc, limit=1000.0)
+    assert result == "done"
+    assert sim.now == 12.0  # background did not drag the clock further
+
+
+def test_call_at_runs_callable():
+    sim = Simulator()
+    log = []
+    sim.call_at(7.0, lambda: log.append(sim.now))
+    sim.run()
+    assert log == [7.0]
+
+
+def test_call_at_past_raises():
+    sim = Simulator()
+
+    def proc():
+        yield 10.0
+        sim.call_at(5.0, lambda: None)
+
+    sim.spawn(proc())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_yielding_garbage_raises():
+    sim = Simulator()
+
+    def proc():
+        yield "nonsense"
+
+    sim.spawn(proc())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_deterministic_event_ordering():
+    """Two identical runs produce identical interleavings."""
+
+    def run_once():
+        sim = Simulator(seed=7)
+        log = []
+
+        def worker(tag, delay):
+            yield delay
+            log.append((sim.now, tag))
+            yield delay
+            log.append((sim.now, tag))
+
+        for tag in range(10):
+            sim.spawn(worker(tag, 1.0 + (tag % 3)))
+        sim.run()
+        return log
+
+    assert run_once() == run_once()
+
+
+def test_tie_break_is_spawn_order():
+    sim = Simulator()
+    log = []
+
+    def worker(tag):
+        yield 5.0
+        log.append(tag)
+
+    for tag in range(5):
+        sim.spawn(worker(tag))
+    sim.run()
+    assert log == [0, 1, 2, 3, 4]

@@ -1,0 +1,87 @@
+"""Property-based tests on kernel primitives."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.kernel import Simulator
+from repro.sim.resources import Gauge, Store
+
+
+@settings(max_examples=50, deadline=None)
+@given(items=st.lists(st.integers(), min_size=1, max_size=50))
+def test_store_preserves_fifo_for_any_sequence(items):
+    sim = Simulator()
+    store = Store(sim)
+    for item in items:
+        store.put(item)
+    got = []
+
+    def consumer():
+        for _ in range(len(items)):
+            got.append((yield store.get()))
+
+    sim.spawn(consumer())
+    sim.run()
+    assert got == items
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    segments=st.lists(
+        st.tuples(
+            st.floats(min_value=0.1, max_value=100.0),   # duration
+            st.floats(min_value=-10.0, max_value=10.0),  # value
+        ),
+        min_size=1,
+        max_size=20,
+    )
+)
+def test_gauge_integral_equals_sum_of_segments(segments):
+    sim = Simulator()
+    gauge = Gauge(sim, initial=0.0)
+
+    def proc():
+        for duration, value in segments:
+            gauge.set(value)
+            yield duration
+
+    sim.spawn(proc())
+    sim.run()
+    expected = sum(duration * value for duration, value in segments)
+    assert abs(gauge.integral() - expected) < 1e-6
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    delays=st.lists(
+        st.floats(min_value=0.0, max_value=1000.0), min_size=1, max_size=30
+    )
+)
+def test_events_fire_in_time_order(delays):
+    sim = Simulator()
+    fired = []
+
+    def waiter(delay):
+        yield delay
+        fired.append(sim.now)
+
+    for delay in delays:
+        sim.spawn(waiter(delay))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    fps=st.floats(min_value=5.0, max_value=60.0),
+    seconds=st.integers(min_value=3, max_value=30),
+)
+def test_fps_timeline_recovers_constant_rate(fps, seconds):
+    from repro.metrics.fps import fps_timeline
+
+    interval = 1000.0 / fps
+    times = [i * interval for i in range(int(seconds * fps))]
+    series = fps_timeline(times)
+    # Interior buckets within one frame of the true rate.
+    for value in series[1:-1]:
+        assert abs(value - fps) <= fps * 0.2 + 1.5

@@ -1,0 +1,43 @@
+"""Tracer filtering and queries."""
+
+from repro.sim.trace import Tracer
+
+
+def test_records_and_queries():
+    tracer = Tracer()
+    tracer.record(1.0, "gpu", "start", device="a")
+    tracer.record(2.0, "gpu", "stop", device="a")
+    tracer.record(3.0, "net", "send")
+    assert tracer.count() == 3
+    assert tracer.count(category="gpu") == 2
+    assert tracer.count(category="gpu", event="stop") == 1
+    assert tracer.query("net")[0].time == 3.0
+
+
+def test_category_filter_drops_unwanted():
+    tracer = Tracer(categories=["gpu"])
+    tracer.record(1.0, "gpu", "x")
+    tracer.record(1.0, "net", "y")
+    assert tracer.count() == 1
+    assert not tracer.wants("net")
+
+
+def test_disabled_tracer_records_nothing():
+    tracer = Tracer()
+    tracer.enabled = False
+    tracer.record(1.0, "gpu", "x")
+    assert tracer.count() == 0
+
+
+def test_clear():
+    tracer = Tracer()
+    tracer.record(1.0, "a", "b")
+    tracer.clear()
+    assert tracer.count() == 0
+
+
+def test_record_data_payload():
+    tracer = Tracer()
+    tracer.record(5.0, "gpu", "dvfs", freq=100, temp=91.5)
+    rec = tracer.query("gpu", "dvfs")[0]
+    assert rec.data == {"freq": 100, "temp": 91.5}

@@ -1,0 +1,90 @@
+"""Interface switching policies."""
+
+import pytest
+
+from repro.switching.policies import (
+    AlwaysBluetoothPolicy,
+    AlwaysWifiPolicy,
+    PredictivePolicy,
+    ReactivePolicy,
+    SwitchDecision,
+)
+
+
+class TestStaticPolicies:
+    def test_always_wifi(self):
+        policy = AlwaysWifiPolicy()
+        assert policy.decide(0.0, (), "bluetooth") == SwitchDecision.WIFI
+        assert policy.decide(0.0, (), "wifi") == SwitchDecision.HOLD
+
+    def test_always_bluetooth(self):
+        policy = AlwaysBluetoothPolicy()
+        assert policy.decide(100.0, (), "wifi") == SwitchDecision.BLUETOOTH
+        assert policy.decide(100.0, (), "bluetooth") == SwitchDecision.HOLD
+
+
+class TestReactive:
+    def test_switches_up_only_after_demand_exceeds(self):
+        policy = ReactivePolicy(threshold_mbps=16.0, cooldown_epochs=3)
+        assert policy.decide(10.0, (), "bluetooth") == SwitchDecision.HOLD
+        assert policy.decide(20.0, (), "bluetooth") == SwitchDecision.WIFI
+
+    def test_returns_to_bluetooth_after_cooldown(self):
+        policy = ReactivePolicy(threshold_mbps=16.0, cooldown_epochs=3)
+        policy.decide(20.0, (), "bluetooth")
+        assert policy.decide(5.0, (), "wifi") == SwitchDecision.HOLD
+        assert policy.decide(5.0, (), "wifi") == SwitchDecision.HOLD
+        assert policy.decide(5.0, (), "wifi") == SwitchDecision.BLUETOOTH
+
+    def test_surge_resets_cooldown(self):
+        policy = ReactivePolicy(threshold_mbps=16.0, cooldown_epochs=2)
+        policy.decide(5.0, (), "wifi")
+        policy.decide(20.0, (), "wifi")   # reset
+        assert policy.decide(5.0, (), "wifi") == SwitchDecision.HOLD
+
+
+class TestPredictive:
+    def test_warmup_keeps_wifi(self):
+        policy = PredictivePolicy(n_inputs=1, warmup_epochs=10)
+        assert policy.decide(0.0, (0.0,), "bluetooth") == SwitchDecision.WIFI
+        assert policy.decide(0.0, (0.0,), "wifi") == SwitchDecision.HOLD
+
+    def test_calm_traffic_falls_back_to_bluetooth(self):
+        policy = PredictivePolicy(
+            n_inputs=1, warmup_epochs=5, cooldown_epochs=5,
+            threshold_mbps=16.0,
+        )
+        decisions = [
+            policy.decide(2.0, (0.0,), "wifi") for _ in range(60)
+        ]
+        assert SwitchDecision.BLUETOOTH in decisions
+
+    def test_forecast_surge_wakes_wifi_before_demand(self):
+        """Feed a learned causal pattern, then present the cause alone."""
+        policy = PredictivePolicy(
+            n_inputs=1, warmup_epochs=5, threshold_mbps=16.0,
+            horizon_epochs=5, b=4, cooldown_epochs=3,
+        )
+        # Train: pulses of exogenous input precede traffic spikes by 2.
+        pattern = []
+        for cycle in range(60):
+            pattern += [(2.0, 0.0)] * 6 + [(2.0, 5.0), (2.0, 0.0),
+                                           (40.0, 0.0), (40.0, 0.0)]
+        current = "bluetooth"
+        fired_before_surge = False
+        for i, (mbps, touch) in enumerate(pattern):
+            decision = policy.decide(mbps, (touch,), current)
+            if decision == SwitchDecision.WIFI:
+                current = "wifi"
+                # Did we fire on a calm epoch right after a touch pulse?
+                if mbps <= 16.0 and touch > 0 and i > 100:
+                    fired_before_surge = True
+            elif decision == SwitchDecision.BLUETOOTH:
+                current = "bluetooth"
+        assert fired_before_surge
+
+    def test_observed_surge_also_triggers(self):
+        policy = PredictivePolicy(n_inputs=1, warmup_epochs=1)
+        for _ in range(10):
+            policy.decide(1.0, (0.0,), "bluetooth")
+        assert policy.decide(30.0, (0.0,), "bluetooth") == SwitchDecision.WIFI
