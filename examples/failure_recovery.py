@@ -1,17 +1,21 @@
 #!/usr/bin/env python3
 """Surviving a service-device crash mid-game.
 
-Someone trips over the console's power cord ten seconds into the session.
-The client's frame watchdog notices the silence, marks the node failed,
-renders the stranded frames on the local GPU, and the game continues at
-the local rate — degraded, never frozen.
+Someone trips over the console's power cord fifteen seconds into the
+session.  The client's frame watchdog notices the silence, marks the node
+failed, renders the stranded frames on the local GPU, and the game
+continues at the local rate — degraded, never frozen.
+
+The crash is scripted with a :class:`FaultSchedule` on the session config;
+no internals are patched.  Try adding ``rejoin_at_ms=25_000.0`` to the
+``crash`` call to watch the boosted rate come back.
 """
 
-import repro.core.session as session_mod
 from repro.apps.games import GTA_SAN_ANDREAS
 from repro.core.config import GBoosterConfig
 from repro.core.session import run_offload_session
 from repro.devices.profiles import LG_NEXUS_5, NVIDIA_SHIELD
+from repro.faults import FaultSchedule
 from repro.metrics.fps import fps_timeline
 
 FAIL_AT_MS = 15_000.0
@@ -19,27 +23,16 @@ DURATION_MS = 35_000.0
 
 
 def main() -> None:
-    # Arrange the failure injection: kill node 0 mid-session.
-    original_engine = session_mod.GameEngine
-
-    class SabotagedEngine(original_engine):
-        def __init__(self, sim, app, device, backend, config=None):
-            super().__init__(sim, app, device, backend, config)
-            sim.call_at(
-                FAIL_AT_MS, lambda: backend.nodes[0].fail(),
-                name="power-cord-incident",
-            )
-
-    session_mod.GameEngine = SabotagedEngine
-    try:
-        result = run_offload_session(
-            GTA_SAN_ANDREAS, LG_NEXUS_5,
-            service_devices=[NVIDIA_SHIELD],
-            config=GBoosterConfig(frame_timeout_ms=600.0),
-            duration_ms=DURATION_MS,
-        )
-    finally:
-        session_mod.GameEngine = original_engine
+    config = GBoosterConfig(
+        frame_timeout_ms=600.0,
+        faults=FaultSchedule().crash(at_ms=FAIL_AT_MS),
+    )
+    result = run_offload_session(
+        GTA_SAN_ANDREAS, LG_NEXUS_5,
+        service_devices=[NVIDIA_SHIELD],
+        config=config,
+        duration_ms=DURATION_MS,
+    )
 
     stats = result.client_stats
     print(f"{GTA_SAN_ANDREAS.name} on {LG_NEXUS_5.name}, Shield dies at "

@@ -30,10 +30,12 @@ from repro.core.session import (
     run_local_session,
     run_offload_session,
 )
+from repro.faults import FaultSchedule
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "FaultSchedule",
     "GBoosterConfig",
     "SessionResult",
     "run_adaptive_session",

@@ -10,6 +10,7 @@ Commands:
 * ``prediction``      — ARMA vs ARMAX rates + AIC selection
 * ``multiuser``       — §VIII FCFS vs priority sharing
 * ``adaptive``        — discovery + cloud-fallback demo
+* ``chaos``           — fault-injection sweep (loss bursts, outages, crashes)
 
 Each prints the same rows the corresponding benchmark asserts on.
 """
@@ -121,6 +122,20 @@ def _cmd_adaptive(args: argparse.Namespace) -> None:
               f"{outcome.response_time_ms:6.1f} ms")
 
 
+def _cmd_chaos(args: argparse.Namespace) -> None:
+    from repro.experiments.chaos import format_points, run_chaos_sweep
+
+    points = run_chaos_sweep(
+        loss_levels=args.loss,
+        outage_levels_ms=[s * 1000.0 for s in args.outage],
+        crash=not args.no_crash,
+        duration_ms=args.duration * 1000.0,
+    )
+    print(format_points(points))
+    if any(not p.survived for p in points):
+        raise SystemExit("chaos sweep lost frames — robustness regression")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -140,6 +155,7 @@ def main(argv=None) -> int:
         "prediction": _cmd_prediction,
         "multiuser": _cmd_multiuser,
         "adaptive": _cmd_adaptive,
+        "chaos": _cmd_chaos,
     }
     for name in commands:
         p = sub.add_parser(name)
@@ -147,6 +163,15 @@ def main(argv=None) -> int:
             p.add_argument("--game", default="G1",
                            choices=["G1", "G2", "G3", "G4", "G5", "G6"])
             p.add_argument("--device", default="LG Nexus 5")
+        if name == "chaos":
+            p.add_argument("--loss", type=float, nargs="+",
+                           default=[0.0, 0.3],
+                           help="loss-burst probabilities to sweep")
+            p.add_argument("--outage", type=float, nargs="+",
+                           default=[0.0, 2.0],
+                           help="hard-outage durations (seconds) to sweep")
+            p.add_argument("--no-crash", action="store_true",
+                           help="skip the mid-session node crash")
     args = parser.parse_args(argv)
     commands[args.command](args)
     return 0

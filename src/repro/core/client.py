@@ -97,6 +97,10 @@ class GBoosterClient:
         self.stats = ClientStats()
         self._completions: Dict[int, Event] = {}
         self._failed_nodes: set = set()
+        #: in-flight remote requests by id, so a node failure can re-dispatch
+        #: every request stranded on it instead of letting each one ride out
+        #: its own watchdog timeout; pruned at presentation.
+        self._outstanding: Dict[int, RenderRequest] = {}
         # Adaptive quality state: current resolution scale and a smoothed
         # completion-latency estimate driving the up/down decisions.
         self.quality_scale = 1.0
@@ -249,6 +253,9 @@ class GBoosterClient:
             else nominal
         )
         message.metadata["node"] = node.name
+        request.metadata["node"] = node.name
+        request.metadata["wire_message"] = message
+        self._outstanding[request.request_id] = request
         self.device.network.account(draw_bytes)
         self.stats.uplink_bytes += wire_bytes  # draws + replicated state
         self.uplinks[node.name].send(message)
@@ -258,37 +265,115 @@ class GBoosterClient:
 
     # -- failure handling ----------------------------------------------------------
 
+    def mark_failed(self, node_name: str, cause: str = "injected") -> None:
+        """Exclude a node from dispatch and rescue the work stranded on it.
+
+        Called by the frame watchdog when a node goes silent; also the
+        public entry point for anything that learns of a failure out of
+        band (discovery, fault injection with an oracle).
+        """
+        if node_name in self._failed_nodes or not any(
+            n.name == node_name for n in self.nodes
+        ):
+            return
+        self._failed_nodes.add(node_name)
+        self.stats.nodes_failed += 1
+        self.sim.tracer.record(
+            self.sim.now, "client", "node_failed",
+            node=node_name, cause=cause,
+        )
+        stranded = [
+            r for r in self._outstanding.values()
+            if r.metadata.get("node") == node_name
+            and not r.metadata.get("arrived")
+        ]
+        for request in stranded:
+            self._redispatch(request)
+
+    def mark_recovered(self, node_name: str) -> None:
+        """Re-admit a rejoined node to dispatch."""
+        if node_name in self._failed_nodes:
+            self._failed_nodes.discard(node_name)
+            self.sim.tracer.record(
+                self.sim.now, "client", "node_recovered", node=node_name
+            )
+
     def _watch_for_timeout(self, request: RenderRequest, node, completion: Event) -> None:
-        """A frame unanswered past the deadline marks its node failed and
-        falls back to the local GPU — gameplay degrades, never freezes."""
+        """A frame unanswered past the deadline marks its node failed; its
+        stranded work re-dispatches to a surviving node, or the local GPU
+        when none remains — gameplay degrades, never freezes."""
         timeout = self.config.frame_timeout_ms
 
         def _watchdog():
-            yield self.sim.timeout(timeout)
+            yield timeout
             # Arrival, not presentation: a frame can sit in the reorder
             # buffer behind a *different* node's failure — its own node is
             # healthy and must not be condemned for that.
             if completion.triggered or request.metadata.get("arrived"):
                 return
-            if node.name not in self._failed_nodes:
-                self._failed_nodes.add(node.name)
-                self.stats.nodes_failed += 1
-                self.sim.tracer.record(
-                    self.sim.now, "client", "node_timeout",
-                    node=node.name, request_id=request.request_id,
-                )
-            self.stats.failovers += 1
-            gpu_done = self.sim.event(
-                name=f"failover.{request.request_id}"
-            )
-            request.metadata["completion_event"] = gpu_done
-            self.device.gpu.submit(request)
-            yield gpu_done
-            self._complete_request(request)
+            if request.metadata.get("node") != node.name:
+                return  # already re-dispatched; the new assignment owns it
+            self.mark_failed(node.name, cause="frame_timeout")
+            if (
+                request.metadata.get("node") == node.name
+                and not completion.triggered
+                and not request.metadata.get("arrived")
+            ):
+                # The node was already marked failed, so mark_failed did not
+                # sweep this request up — rescue it directly.
+                self._redispatch(request)
 
         self.sim.spawn(
             _watchdog(), name=f"watchdog.{request.request_id}"
         )
+
+    def _redispatch(self, request: RenderRequest) -> None:
+        """Move a stranded in-flight request off its failed node."""
+        self.stats.failovers += 1
+        healthy = [
+            n for n in self.nodes if n.name not in self._failed_nodes
+        ]
+        message: Optional[Message] = request.metadata.get("wire_message")
+        if not healthy or message is None:
+            request.metadata["node"] = None
+            self._local_failover(request)
+            return
+        estimates = [
+            DeviceEstimate(
+                name=n.name,
+                queued_workload=n.queued_workload_mp,
+                capability=n.capability_mp_per_ms(request),
+                rtt_ms=n.rtt_ms,
+            )
+            for n in healthy
+        ]
+        chosen = self.scheduler.choose(request.fill_megapixels, estimates)
+        node = next(n for n in healthy if n.name == chosen.name)
+        request.metadata["node"] = node.name
+        message.metadata["node"] = node.name
+        self.sim.tracer.record(
+            self.sim.now, "client", "redispatch",
+            node=node.name, request_id=request.request_id,
+        )
+        # The re-sent bytes are offered load like any other transmission.
+        self.device.network.account(message.size_bytes)
+        self.stats.uplink_bytes += message.size_bytes
+        self.uplinks[node.name].send(message)
+        completion = self._completions.get(request.request_id)
+        if completion is not None:
+            self._watch_for_timeout(request, node, completion)
+
+    def _local_failover(self, request: RenderRequest) -> None:
+        """Render a stranded request on the device's own GPU."""
+        gpu_done = self.sim.event(name=f"failover.{request.request_id}")
+        request.metadata["completion_event"] = gpu_done
+        self.device.gpu.submit(request)
+
+        def _finish():
+            yield gpu_done
+            self._complete_request(request)
+
+        self.sim.spawn(_finish(), name=f"failover.{request.request_id}")
 
     def _render_locally(self, request: RenderRequest) -> Event:
         """All-nodes-failed path: the request runs on the device's own GPU."""
@@ -325,6 +410,7 @@ class GBoosterClient:
         spurious retransmission) are absorbed by the reorder buffer.
         """
         for seq, req in self.reorder.push(request.request_id, request):
+            self._outstanding.pop(seq, None)
             event = self._completions.pop(seq, None)
             if event is not None and not event.triggered:
                 event.trigger(req)

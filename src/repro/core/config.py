@@ -10,6 +10,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.faults.schedule import FaultSchedule
+
 
 @dataclass
 class GBoosterConfig:
@@ -56,9 +58,13 @@ class GBoosterConfig:
 
     # -- failure handling --------------------------------------------------------------
     #: a frame unanswered for this long marks its service device failed;
-    #: the request (and the stream, if no node remains) falls back to the
-    #: local GPU so gameplay degrades instead of freezing.
+    #: the request re-dispatches to a surviving node (or the local GPU when
+    #: none remains) so gameplay degrades instead of freezing.
     frame_timeout_ms: float = 1_000.0
+    #: declarative fault scenario (node crashes, link outages, loss bursts,
+    #: radio degradation) armed on the session's simulator by the runner —
+    #: see :mod:`repro.faults`.
+    faults: Optional[FaultSchedule] = None
 
     # -- multi-user service scheduling (§VIII future work, implemented) --------------
     #: "fcfs" is the paper's prototype; "priority" serves time-critical
@@ -107,3 +113,5 @@ class GBoosterConfig:
             )
         if self.cache_capacity <= 0:
             raise ValueError("cache_capacity must be positive")
+        if self.faults is not None:
+            self.faults.validate()

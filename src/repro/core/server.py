@@ -95,9 +95,22 @@ class ServiceNode:
     def fail(self) -> None:
         """Simulate the device dropping off the network (failure injection):
         queued and future work is silently discarded, as a crashed or
-        powered-off box would."""
+        powered-off box would.  A frame mid-render at crash time never
+        ships its reply either — a dead box answers nothing."""
         self.failed = True
+        self._queued_fill_mp = 0.0
+        self.runtime.halt()
         self.sim.tracer.record(self.sim.now, "service", "failed",
+                               node=self.name)
+
+    def rejoin(self) -> None:
+        """The device comes back (power restored, daemon restarted): it
+        starts clean — empty queue, no memory of pre-crash work — and
+        serves whatever arrives next."""
+        if not self.failed:
+            return
+        self.failed = False
+        self.sim.tracer.record(self.sim.now, "service", "rejoined",
                                node=self.name)
 
     # -- ingress -----------------------------------------------------------------
@@ -123,7 +136,12 @@ class ServiceNode:
         frame_desc: FrameImage = message.metadata["frame_desc"]
         # Remote replay lacks the app's device-tuned render-path hints, so
         # the fill-equivalent work grows by the remoting overhead factor.
-        request.fill_megapixels *= self.config.remote_render_overhead
+        # Derived from the base fill each arrival, so a request re-dispatched
+        # to a second node after a failure is not inflated twice.
+        base_fill = request.metadata.setdefault(
+            "base_fill_megapixels", request.fill_megapixels
+        )
+        request.fill_megapixels = base_fill * self.config.remote_render_overhead
         self._queued_fill_mp += request.fill_megapixels
         self._enqueue(
             ServiceWorkItem(
@@ -238,6 +256,10 @@ class ServiceNode:
             self.stats.frames_rendered += 1
             self.stats.bytes_returned += encoded.size_bytes
             self.runtime.cpu.set_load("daemon", 0.0)
+            if self.failed:
+                # Crashed while this frame was in flight through the
+                # replay/render/encode path: the reply is never sent.
+                continue
 
             # Ship the frame home.
             reply = Message.of_size(

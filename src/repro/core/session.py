@@ -21,6 +21,7 @@ from repro.core.config import GBoosterConfig
 from repro.core.server import ServiceNode
 from repro.devices.profiles import DeviceSpec, NVIDIA_SHIELD
 from repro.devices.runtime import ServiceDeviceRuntime, UserDeviceRuntime
+from repro.faults.injector import FaultInjector
 from repro.metrics.energy import EnergyReport, energy_report
 from repro.metrics.fps import FpsMetrics, compute_fps_metrics
 from repro.net.link import LAN_BLUETOOTH, LAN_WIFI, LinkSpec, NetworkLink
@@ -55,6 +56,9 @@ class SessionResult:
     engine: Optional[GameEngine] = None
     device: Optional[UserDeviceRuntime] = None
     nodes: List[ServiceNode] = field(default_factory=list)
+    #: the armed fault injector (with its applied-fault log) when the
+    #: config carried a :class:`~repro.faults.schedule.FaultSchedule`.
+    faults: Optional[FaultInjector] = None
 
     @property
     def response_time_ms(self) -> float:
@@ -157,6 +161,7 @@ def run_offload_session(
     # Service nodes and their uplinks.
     nodes: List[ServiceNode] = []
     uplinks: Dict[str, Transport] = {}
+    uplink_links: List[NetworkLink] = []   # node-bound links, for fault injection
     for idx, spec in enumerate(service_devices):
         runtime = ServiceDeviceRuntime(sim, spec)
         rtt_ms = 2.0 * LAN_WIFI.latency_ms
@@ -187,6 +192,7 @@ def run_offload_session(
             on_deliver=node.on_frame_message,
         )
         uplinks[node.name] = uplink
+        uplink_links.extend(up_links.values())
 
     # Multicast group for state replication in multi-device mode.
     multicast = None
@@ -199,6 +205,7 @@ def run_offload_session(
             )
             member_link.set_receiver(node.on_state_message)
             multicast.join(node.name, member_link)
+            uplink_links.append(member_link)
 
     client = GBoosterClient(
         sim,
@@ -214,6 +221,20 @@ def run_offload_session(
         down_links,
         on_deliver=client.on_frame_delivered,
     )
+
+    # Arm the declarative fault scenario, if the config carries one.
+    injector: Optional[FaultInjector] = None
+    if config.faults:
+        injector = FaultInjector(
+            sim,
+            config.faults,
+            nodes=nodes,
+            client=client,
+            uplink_links=uplink_links,
+            downlink_links=list(down_links.values()),
+            network=device.network,
+        )
+        injector.arm()
 
     # Interface switching, fed by touch frequency + textures per frame (the
     # AIC-selected exogenous attributes).
@@ -276,4 +297,5 @@ def run_offload_session(
         engine=engine,
         device=device,
         nodes=nodes,
+        faults=injector,
     )

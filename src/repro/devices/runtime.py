@@ -95,5 +95,14 @@ class ServiceDeviceRuntime:
         self.gpu = GPUDevice(sim, spec.gpu, name=f"{spec.name}.gpu")
         self.context = GLContext(name=f"{spec.name}.ctx")
 
+    def halt(self) -> None:
+        """Crash/power-loss hook: a dead box draws no daemon CPU load.
+
+        (The GPU model finishes jobs already submitted; the daemon above
+        drops their results, which matches a box losing its network before
+        its power supply drains.)
+        """
+        self.cpu.set_load("daemon", 0.0)
+
     def energy_joules(self) -> float:
         return self.cpu.energy_joules() + self.gpu.energy_joules()

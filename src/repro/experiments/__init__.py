@@ -8,6 +8,7 @@ experiment index.
 
 __all__ = [
     "acceleration",
+    "chaos",
     "cloud_comparison",
     "energy",
     "multidevice",

@@ -1,0 +1,34 @@
+"""Scenario-driven fault injection (crashes, outages, loss, RF trouble).
+
+Attach a :class:`FaultSchedule` to :class:`~repro.core.config.GBoosterConfig`
+and the session runner arms it automatically::
+
+    from repro.faults import FaultSchedule
+
+    config = GBoosterConfig(
+        faults=FaultSchedule().crash(at_ms=15_000.0),
+        frame_timeout_ms=600.0,
+    )
+    result = run_offload_session(app, phone, config=config)
+"""
+
+from repro.faults.injector import FaultInjector, InjectedFault
+from repro.faults.schedule import (
+    FaultEvent,
+    FaultSchedule,
+    LinkOutage,
+    LossBurst,
+    NodeCrash,
+    RadioDegradation,
+)
+
+__all__ = [
+    "FaultEvent",
+    "FaultInjector",
+    "FaultSchedule",
+    "InjectedFault",
+    "LinkOutage",
+    "LossBurst",
+    "NodeCrash",
+    "RadioDegradation",
+]

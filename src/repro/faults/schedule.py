@@ -1,0 +1,207 @@
+"""Declarative fault scenarios.
+
+A :class:`FaultSchedule` is a list of timed fault events attached to
+:class:`~repro.core.config.GBoosterConfig`.  The session runner hands it to
+a :class:`~repro.faults.injector.FaultInjector`, which arms each event on
+the session's own simulator — no more monkey-patching engine classes to
+kill a node mid-game.
+
+Four fault families cover the failure modes the paper's design must
+survive (§IV-B reliable-UDP ARQ, §V multi-device load balancing):
+
+* :class:`NodeCrash` — a service device drops off the network, optionally
+  rejoining later (power cord tripped over, daemon restarted).
+* :class:`LinkOutage` — a hard window in which every message on the
+  affected links is lost (AP reboot, doorway shadowing).
+* :class:`LossBurst` — a window of elevated random loss the reliable
+  transport has to retransmit through (interference burst).
+* :class:`RadioDegradation` — a window of reduced radio bandwidth
+  (distance, a microwave oven, a congested channel).
+
+Example::
+
+    schedule = (
+        FaultSchedule()
+        .crash(at_ms=15_000.0)                       # node 0 dies at 15 s
+        .loss_burst(at_ms=5_000.0, duration_ms=3_000.0,
+                    loss_probability=0.3)
+    )
+    config = GBoosterConfig(faults=schedule, frame_timeout_ms=600.0)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Union
+
+#: link-direction selector shared by the windowed link faults
+_DIRECTIONS = ("uplink", "downlink", "both")
+#: radio selector for degradation windows
+_RADIOS = ("wifi", "bluetooth", "all")
+
+
+@dataclass(frozen=True)
+class NodeCrash:
+    """Service device ``node`` (pool index) crashes at ``at_ms``.
+
+    The crash is *silent*: the client is not told, exactly as when someone
+    trips over a power cord — its frame watchdog has to notice the node has
+    gone quiet.  With ``rejoin_at_ms`` set, the device comes back later and
+    is re-announced to the client (rejoining is loud: discovery sees it).
+    """
+
+    at_ms: float
+    node: int = 0
+    rejoin_at_ms: Optional[float] = None
+
+    def validate(self) -> None:
+        if self.at_ms < 0:
+            raise ValueError(f"crash at negative time {self.at_ms}")
+        if self.node < 0:
+            raise ValueError(f"negative node index {self.node}")
+        if self.rejoin_at_ms is not None and self.rejoin_at_ms <= self.at_ms:
+            raise ValueError(
+                f"rejoin at {self.rejoin_at_ms} not after crash at {self.at_ms}"
+            )
+
+
+@dataclass(frozen=True)
+class LinkOutage:
+    """Every message on the affected links is dropped for the window."""
+
+    at_ms: float
+    duration_ms: float
+    direction: str = "both"            # "uplink" | "downlink" | "both"
+
+    def validate(self) -> None:
+        _validate_window(self.at_ms, self.duration_ms, "outage")
+        if self.direction not in _DIRECTIONS:
+            raise ValueError(f"unknown direction {self.direction!r}")
+
+
+@dataclass(frozen=True)
+class LossBurst:
+    """Elevated random loss, composed on top of each link's base loss."""
+
+    at_ms: float
+    duration_ms: float
+    loss_probability: float = 0.3
+    direction: str = "both"
+
+    def validate(self) -> None:
+        _validate_window(self.at_ms, self.duration_ms, "loss burst")
+        if self.direction not in _DIRECTIONS:
+            raise ValueError(f"unknown direction {self.direction!r}")
+        if not 0.0 < self.loss_probability <= 1.0:
+            raise ValueError(
+                f"loss probability {self.loss_probability} outside (0, 1]"
+            )
+
+
+@dataclass(frozen=True)
+class RadioDegradation:
+    """The user device's radio runs at a fraction of its bandwidth."""
+
+    at_ms: float
+    duration_ms: float
+    bandwidth_factor: float = 0.25
+    radio: str = "all"                 # "wifi" | "bluetooth" | "all"
+
+    def validate(self) -> None:
+        _validate_window(self.at_ms, self.duration_ms, "degradation")
+        if self.radio not in _RADIOS:
+            raise ValueError(f"unknown radio {self.radio!r}")
+        if not 0.0 < self.bandwidth_factor <= 1.0:
+            raise ValueError(
+                f"bandwidth factor {self.bandwidth_factor} outside (0, 1]"
+            )
+
+
+FaultEvent = Union[NodeCrash, LinkOutage, LossBurst, RadioDegradation]
+
+
+def _validate_window(at_ms: float, duration_ms: float, what: str) -> None:
+    if at_ms < 0:
+        raise ValueError(f"{what} at negative time {at_ms}")
+    if duration_ms <= 0:
+        raise ValueError(f"{what} with non-positive duration {duration_ms}")
+
+
+@dataclass
+class FaultSchedule:
+    """An ordered collection of fault events for one session.
+
+    The builder methods chain, so a scenario reads as a sentence::
+
+        FaultSchedule().crash(at_ms=15_000).outage(at_ms=20_000,
+                                                   duration_ms=2_000)
+    """
+
+    events: List[FaultEvent] = field(default_factory=list)
+
+    # -- builders -----------------------------------------------------------
+
+    def add(self, event: FaultEvent) -> "FaultSchedule":
+        self.events.append(event)
+        return self
+
+    def crash(
+        self,
+        at_ms: float,
+        node: int = 0,
+        rejoin_at_ms: Optional[float] = None,
+    ) -> "FaultSchedule":
+        return self.add(NodeCrash(at_ms=at_ms, node=node,
+                                  rejoin_at_ms=rejoin_at_ms))
+
+    def outage(
+        self, at_ms: float, duration_ms: float, direction: str = "both"
+    ) -> "FaultSchedule":
+        return self.add(LinkOutage(at_ms=at_ms, duration_ms=duration_ms,
+                                   direction=direction))
+
+    def loss_burst(
+        self,
+        at_ms: float,
+        duration_ms: float,
+        loss_probability: float = 0.3,
+        direction: str = "both",
+    ) -> "FaultSchedule":
+        return self.add(LossBurst(at_ms=at_ms, duration_ms=duration_ms,
+                                  loss_probability=loss_probability,
+                                  direction=direction))
+
+    def degrade_radio(
+        self,
+        at_ms: float,
+        duration_ms: float,
+        bandwidth_factor: float = 0.25,
+        radio: str = "all",
+    ) -> "FaultSchedule":
+        return self.add(RadioDegradation(at_ms=at_ms, duration_ms=duration_ms,
+                                         bandwidth_factor=bandwidth_factor,
+                                         radio=radio))
+
+    # -- introspection ------------------------------------------------------
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    def validate(self, n_nodes: Optional[int] = None) -> None:
+        for event in self.events:
+            event.validate()
+            if (
+                n_nodes is not None
+                and isinstance(event, NodeCrash)
+                and event.node >= n_nodes
+            ):
+                raise ValueError(
+                    f"crash targets node {event.node} but the pool has "
+                    f"{n_nodes} device(s)"
+                )

@@ -132,12 +132,45 @@ class WirelessInterface:
         self.messages_sent = 0
         self.wake_count = 0
         self.tx_log: List[Tuple[float, int]] = []  # (time, wire_bytes)
+        #: multiplicative bandwidth factors applied by fault injection
+        #: (RF degradation: interference, distance, a microwave oven);
+        #: each ``degrade`` is undone by one ``restore`` of the same factor.
+        self._degradations: List[float] = []
         sim.spawn(self._drain(), name=f"radio.{self.name}")
 
     # -- link attachment ----------------------------------------------------
 
     def attach_link(self, link) -> None:
         self.link = link
+
+    # -- fault injection ------------------------------------------------------
+
+    def degrade(self, bandwidth_factor: float) -> None:
+        """Scale effective bandwidth down by ``bandwidth_factor`` (0, 1]."""
+        if not 0.0 < bandwidth_factor <= 1.0:
+            raise ValueError(
+                f"{self.name}: bandwidth factor {bandwidth_factor} "
+                "outside (0, 1]"
+            )
+        self._degradations.append(bandwidth_factor)
+        self.sim.tracer.record(
+            self.sim.now, "radio", "degrade",
+            radio=self.name, factor=bandwidth_factor,
+        )
+
+    def restore(self, bandwidth_factor: float) -> None:
+        self._degradations.remove(bandwidth_factor)
+        self.sim.tracer.record(
+            self.sim.now, "radio", "restore",
+            radio=self.name, factor=bandwidth_factor,
+        )
+
+    @property
+    def bandwidth_scale(self) -> float:
+        scale = 1.0
+        for factor in self._degradations:
+            scale *= factor
+        return scale
 
     # -- power management -----------------------------------------------------
 
@@ -227,7 +260,7 @@ class WirelessInterface:
             while not self.is_on:
                 yield self._usable
             wire = message.wire_bytes(self.spec.per_packet_header_bytes)
-            tx_ms = self.spec.tx_time_ms(wire)
+            tx_ms = self.spec.tx_time_ms(wire) / self.bandwidth_scale
             if self.medium is not None:
                 # Contend for the shared channel (CSMA): wait for clear air.
                 yield self.medium.acquire()

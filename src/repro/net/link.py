@@ -62,13 +62,40 @@ class NetworkLink:
         self.delivered = 0
         self.dropped = 0
         self.delivery_log: List[Tuple[float, int]] = []
+        #: transient loss factors stacked on top of the spec's base loss by
+        #: fault injection (a 1.0 entry is a hard outage).  Windows may
+        #: overlap; each ``add_impairment`` is undone by one
+        #: ``remove_impairment`` with the same probability.
+        self._impairments: List[float] = []
 
     def set_receiver(self, receiver: Callable[[Message], None]) -> None:
         self.receiver = receiver
 
+    # -- fault injection --------------------------------------------------------
+
+    def add_impairment(self, loss_probability: float) -> None:
+        """Layer a transient loss source onto the link (fault injection)."""
+        if not 0.0 <= loss_probability <= 1.0:
+            raise ValueError(
+                f"{self.spec.name}: impairment {loss_probability} "
+                "outside [0, 1]"
+            )
+        self._impairments.append(loss_probability)
+
+    def remove_impairment(self, loss_probability: float) -> None:
+        self._impairments.remove(loss_probability)
+
+    @property
+    def effective_loss(self) -> float:
+        """Base loss composed with every active impairment window."""
+        pass_probability = 1.0 - self.spec.loss_probability
+        for loss in self._impairments:
+            pass_probability *= 1.0 - loss
+        return 1.0 - pass_probability
+
     def deliver(self, message: Message, via=None) -> None:
         """Accept a message from a radio and schedule its arrival."""
-        if self.rng.bernoulli(self.spec.loss_probability):
+        if self.rng.bernoulli(self.effective_loss):
             self.dropped += 1
             self.sim.tracer.record(
                 self.sim.now, "link", "drop",

@@ -29,6 +29,11 @@ class Message:
     message_id: int = field(default_factory=lambda: next(_message_ids))
     created_at: float = 0.0
     metadata: Dict[str, Any] = field(default_factory=dict)
+    #: app-layer reliability framing (e.g. the RUDP ARQ header) charged by
+    #: the transport.  Kept separate from ``size_bytes`` so re-sending the
+    #: same message — failover re-dispatch, retransmission — never
+    #: compounds header overhead into the payload size.
+    transport_overhead_bytes: int = 0
 
     def __post_init__(self) -> None:
         if self.size_bytes < 0:
@@ -39,10 +44,15 @@ class Message:
             # Byte payloads are authoritative for size.
             self.size_bytes = len(self.payload)
 
+    @property
+    def framed_bytes(self) -> int:
+        """Payload plus transport framing (what the radio serializes)."""
+        return self.size_bytes + self.transport_overhead_bytes
+
     def wire_bytes(self, per_packet_header: int) -> int:
         """Total bytes on the air including per-MTU packet headers."""
-        packets = max(1, -(-self.size_bytes // MTU_BYTES))
-        return self.size_bytes + packets * per_packet_header
+        packets = max(1, -(-self.framed_bytes // MTU_BYTES))
+        return self.framed_bytes + packets * per_packet_header
 
     @classmethod
     def of_bytes(cls, payload: bytes, kind: str = "data", **meta: Any) -> "Message":

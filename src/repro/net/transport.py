@@ -24,7 +24,7 @@ from repro.net.message import (
     TCP_IP_HEADER_BYTES,
     UDP_IP_HEADER_BYTES,
 )
-from repro.sim.kernel import Event, Simulator
+from repro.sim.kernel import Event, Process, Simulator
 
 
 @dataclass
@@ -73,7 +73,15 @@ class Transport:
         self._next_seq = 0
         self._expected_seq = 0
         self._reorder: Dict[int, Message] = {}
-        self._acked: Dict[int, bool] = {}
+        #: sequence numbers sent but not yet received; unlike the old
+        #: ever-growing acked-history dict this stays bounded by the loss
+        #: window — delivered sequence numbers are pruned on arrival.
+        self._unacked: set = set()
+        #: live retransmission-timer process per unacked sequence number,
+        #: killed the moment the ACK arrives so no RTO process outlives
+        #: delivery (they used to keep ``Simulator.run()`` alive for the
+        #: whole exponential-backoff window).
+        self._rto_timers: Dict[int, Process] = {}
 
     # -- wiring -----------------------------------------------------------------
 
@@ -106,12 +114,14 @@ class Transport:
         self._next_seq += 1
         message.metadata["seq"] = seq
         message.metadata["transport_send_at"] = self.sim.now
-        message.size_bytes += self._header_overhead()
+        # Assignment, not accumulation: the same Message object may be
+        # re-sent (failover re-dispatch) without compounding the header.
+        message.transport_overhead_bytes = self._header_overhead()
         delivered = self.sim.event(name=f"{self.name}.delivered.{seq}")
         message.metadata["delivered_event"] = delivered
-        self._acked[seq] = False
+        self._unacked.add(seq)
         self.stats.messages_sent += 1
-        self.stats.bytes_offered += message.size_bytes
+        self.stats.bytes_offered += message.framed_bytes
         self._transmit(message, attempt=0)
         return delivered
 
@@ -128,21 +138,24 @@ class Transport:
         if link is None and len(self._link_for_radio) == 1:
             link = next(iter(self._link_for_radio.values()))
         radio.send(message, link=link)
-        self.sim.spawn(
+        seq = message.metadata["seq"]
+        self._rto_timers[seq] = self.sim.spawn(
             self._retransmit_timer(message, attempt),
-            name=f"{self.name}.rto.{message.metadata['seq']}.{attempt}",
+            name=f"{self.name}.rto.{seq}.{attempt}",
         )
 
     def _retransmit_timer(self, message: Message, attempt: int) -> Generator:
         yield self.rto_ms * (2 ** min(attempt, 6))
         seq = message.metadata["seq"]
-        if self._acked.get(seq, True):
+        if seq not in self._unacked:
+            self._rto_timers.pop(seq, None)
             return
         if attempt + 1 > self.max_retries:
             self.sim.tracer.record(
                 self.sim.now, "transport", "give_up",
                 transport=self.name, seq=seq,
             )
+            self._rto_timers.pop(seq, None)
             return
         self.stats.retransmissions += 1
         self.sim.tracer.record(
@@ -155,6 +168,7 @@ class Transport:
             kind=message.kind,
             created_at=message.created_at,
             metadata=dict(message.metadata),
+            transport_overhead_bytes=message.transport_overhead_bytes,
         )
         self._transmit(clone, attempt=attempt + 1)
 
@@ -162,9 +176,14 @@ class Transport:
 
     def _on_link_receive(self, message: Message) -> None:
         seq = message.metadata.get("seq")
-        if seq is None or self._acked.get(seq, False):
+        if seq is None or seq < self._expected_seq or seq in self._reorder:
             return  # duplicate from a spurious retransmission
-        self._acked[seq] = True
+        self._unacked.discard(seq)
+        # The ACK tears the retransmission timer down immediately — no RTO
+        # process survives past delivery to inflate queue lifetime.
+        timer = self._rto_timers.pop(seq, None)
+        if timer is not None:
+            timer.kill()
         self._reorder[seq] = message
         if self.protocol_delay_ms > 0:
             self.sim.spawn(
@@ -193,7 +212,7 @@ class Transport:
     # -- introspection -------------------------------------------------------------------------
 
     def in_flight(self) -> int:
-        return sum(1 for acked in self._acked.values() if not acked)
+        return len(self._unacked)
 
 
 class ReliableUdpTransport(Transport):

@@ -117,6 +117,27 @@ class Process:
         self._pending_interrupt = Interrupt(cause)
         self.sim._schedule_resume(self, None)
 
+    def kill(self) -> None:
+        """Tear the process down immediately, without running it again.
+
+        Unlike :meth:`interrupt`, no resumption is scheduled: the process is
+        detached from whatever it was waiting on, its generator is closed,
+        and any stale entry it still has in the event queue is skipped by
+        the run loop *without advancing the clock*.  This is the primitive
+        behind cancellable timers — an ACKed retransmission timeout must not
+        keep ``Simulator.run()`` alive until its expiry.
+        """
+        if not self.alive:
+            return
+        if self._waiting_on is not None:
+            self._waiting_on.remove_waiter(self)
+            self._waiting_on = None
+        self.alive = False
+        self._pending_interrupt = None
+        self.gen.close()
+        if not self.done.triggered:
+            self.done.trigger(None)
+
     def _step(self, value: Any) -> None:
         """Advance the generator by one yield."""
         self._waiting_on = None
@@ -190,6 +211,10 @@ class Simulator:
         """Start a new process; it first runs at the current time."""
         proc = Process(self, gen, name=name)
         self._processes.append(proc)
+        # Long sessions spawn one short-lived process per message/timer;
+        # keep the registry from growing without bound.
+        if len(self._processes) > 8192:
+            self._processes = [p for p in self._processes if p.alive]
         self._schedule_resume(proc, None)
         return proc
 
@@ -214,17 +239,23 @@ class Simulator:
         """An event that fires when the first of ``events`` fires.
 
         The composite value is ``(index, value)`` of the winning event.
+        Once a winner fires, the losing watcher processes are killed so they
+        do not sit forever in the waiter lists of events that never trigger.
         """
         events = list(events)
         combined = Event(self, name=name)
+        watchers: List[Process] = []
 
         def _watch(idx: int, evt: Event) -> Generator:
             value = yield evt
             if not combined.triggered:
                 combined.trigger((idx, value))
+                for loser in watchers:
+                    if loser is not watchers[idx]:
+                        loser.kill()
 
         for idx, evt in enumerate(events):
-            self.spawn(_watch(idx, evt), name=f"_anyof.{name}.{idx}")
+            watchers.append(self.spawn(_watch(idx, evt), name=f"_anyof.{name}.{idx}"))
         return combined
 
     def all_of(self, events: Iterable[Event], name: str = "all") -> Event:
@@ -274,6 +305,11 @@ class Simulator:
         """
         while self._queue:
             when, _order, proc, value = self._queue[0]
+            if not proc.alive:
+                # Stale resumption of a killed process (e.g. a cancelled
+                # retransmission timer): discard without touching the clock.
+                heapq.heappop(self._queue)
+                continue
             if until is not None and when > until:
                 self.now = until
                 return self.now
@@ -281,8 +317,7 @@ class Simulator:
             if when < self.now - 1e-9:
                 raise SimulationError("event queue went backwards in time")
             self.now = when
-            if proc.alive:
-                proc._step(value)
+            proc._step(value)
         if until is not None:
             self.now = max(self.now, until)
         return self.now
@@ -296,6 +331,8 @@ class Simulator:
         """
         while self._queue and not event.triggered:
             when, _order, proc, value = heapq.heappop(self._queue)
+            if not proc.alive:
+                continue
             if when > limit:
                 heapq.heappush(self._queue, (when, _order, proc, value))
                 self.now = limit
@@ -303,8 +340,7 @@ class Simulator:
             if when < self.now - 1e-9:
                 raise SimulationError("event queue went backwards in time")
             self.now = when
-            if proc.alive:
-                proc._step(value)
+            proc._step(value)
         return event.value if event.triggered else None
 
     def run_until_process(self, proc: Process, limit: float = 1e12) -> Any:

@@ -78,3 +78,28 @@ def test_acceleration_cell_snippet():
     row = run_acceleration_cell(MY_GAME, MY_PHONE, duration_ms=15_000.0)
     assert row.boosted_fps > 0
     assert row.local_fps > 0
+
+
+def test_fault_scenario_snippet():
+    from repro import FaultSchedule, GBoosterConfig, run_offload_session
+    from repro.apps.games import GTA_SAN_ANDREAS
+
+    schedule = (
+        FaultSchedule()
+        .loss_burst(at_ms=5_000, duration_ms=3_000, loss_probability=0.3)
+        .crash(at_ms=15_000, rejoin_at_ms=25_000)
+        .degrade_radio(at_ms=30_000, duration_ms=5_000,
+                       bandwidth_factor=0.25)
+    )
+    result = run_offload_session(
+        GTA_SAN_ANDREAS, LG_NEXUS_5,
+        service_devices=[NVIDIA_SHIELD],
+        config=GBoosterConfig(frame_timeout_ms=600.0, faults=schedule),
+        duration_ms=40_000,
+    )
+    kinds = [e.kind for e in result.faults.applied()]
+    assert kinds == ["loss_burst", "loss_burst", "crash", "rejoin",
+                     "degradation", "degradation"]
+    # At least the injected crash; the 0.25x radio window may trip the
+    # watchdog a second time.
+    assert result.client_stats.nodes_failed >= 1

@@ -1,0 +1,75 @@
+"""FaultSchedule: builder API and validation."""
+
+import pytest
+
+from repro.faults import (
+    FaultSchedule,
+    LinkOutage,
+    LossBurst,
+    NodeCrash,
+    RadioDegradation,
+)
+
+
+def test_builder_chains_and_orders():
+    schedule = (
+        FaultSchedule()
+        .crash(at_ms=15_000.0)
+        .outage(at_ms=20_000.0, duration_ms=2_000.0, direction="uplink")
+        .loss_burst(at_ms=5_000.0, duration_ms=1_000.0, loss_probability=0.4)
+        .degrade_radio(at_ms=8_000.0, duration_ms=4_000.0,
+                       bandwidth_factor=0.5, radio="wifi")
+    )
+    assert len(schedule) == 4
+    kinds = [type(e) for e in schedule]
+    assert kinds == [NodeCrash, LinkOutage, LossBurst, RadioDegradation]
+    schedule.validate(n_nodes=1)
+
+
+def test_empty_schedule_is_falsy():
+    assert not FaultSchedule()
+    assert FaultSchedule().crash(at_ms=1.0)
+
+
+def test_crash_validation():
+    with pytest.raises(ValueError):
+        NodeCrash(at_ms=-1.0).validate()
+    with pytest.raises(ValueError):
+        NodeCrash(at_ms=10.0, rejoin_at_ms=5.0).validate()
+    with pytest.raises(ValueError):
+        NodeCrash(at_ms=10.0, node=-1).validate()
+    NodeCrash(at_ms=10.0, rejoin_at_ms=20.0).validate()
+
+
+def test_crash_node_index_checked_against_pool():
+    schedule = FaultSchedule().crash(at_ms=10.0, node=3)
+    schedule.validate()                     # no pool size: index unchecked
+    with pytest.raises(ValueError):
+        schedule.validate(n_nodes=2)
+    schedule.validate(n_nodes=4)
+
+
+def test_window_validation():
+    with pytest.raises(ValueError):
+        LinkOutage(at_ms=1.0, duration_ms=0.0).validate()
+    with pytest.raises(ValueError):
+        LinkOutage(at_ms=1.0, duration_ms=5.0, direction="sideways").validate()
+    with pytest.raises(ValueError):
+        LossBurst(at_ms=1.0, duration_ms=5.0, loss_probability=0.0).validate()
+    with pytest.raises(ValueError):
+        LossBurst(at_ms=1.0, duration_ms=5.0, loss_probability=1.5).validate()
+    with pytest.raises(ValueError):
+        RadioDegradation(at_ms=1.0, duration_ms=5.0,
+                         bandwidth_factor=0.0).validate()
+    with pytest.raises(ValueError):
+        RadioDegradation(at_ms=1.0, duration_ms=5.0, radio="lte").validate()
+
+
+def test_config_validates_schedule():
+    from repro.core.config import GBoosterConfig
+
+    config = GBoosterConfig(
+        faults=FaultSchedule().add(LinkOutage(at_ms=1.0, duration_ms=-1.0))
+    )
+    with pytest.raises(ValueError):
+        config.validate()

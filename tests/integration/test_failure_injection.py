@@ -3,7 +3,8 @@
 A real living room is messy — someone powers off the console mid-game.
 The client's frame watchdog must detect the silent node, fail pending
 frames over to the local GPU, and keep the session alive (degraded, never
-frozen).
+frozen).  Faults are scripted through :class:`FaultSchedule` on the
+session config — the public API — rather than by patching internals.
 """
 
 import pytest
@@ -12,6 +13,7 @@ from repro.apps.games import GTA_SAN_ANDREAS
 from repro.core.config import GBoosterConfig
 from repro.core.session import run_offload_session
 from repro.devices.profiles import DELL_OPTIPLEX_9010, LG_NEXUS_5, NVIDIA_SHIELD
+from repro.faults import FaultSchedule
 from repro.metrics.fps import fps_timeline
 
 
@@ -22,43 +24,17 @@ def run_with_failure(
     duration_ms=40_000.0,
     timeout_ms=600.0,
 ):
-    """Run an offload session and kill one node mid-way.
-
-    The node failure is scheduled through the session's own simulator via
-    a pre-session hook: we build the session, then schedule the failure on
-    the first node before running — which requires reaching into the
-    internals, so instead we use the config timeout plus a monkeypatched
-    runner.  Simplest robust approach: run the session with a wrapper that
-    registers a call_at on the engine's simulator.
-    """
-    import repro.core.session as session_mod
-
-    original_engine_cls = session_mod.GameEngine
-    captured = {}
-
-    class CapturingEngine(original_engine_cls):
-        def __init__(self, sim, app, device, backend, config=None):
-            super().__init__(sim, app, device, backend, config)
-            captured["sim"] = sim
-            captured["backend"] = backend
-            # Schedule the failure once the simulator exists.
-            nodes = backend.nodes
-            sim.call_at(
-                fail_at_ms, lambda: nodes[fail_index].fail(),
-                name="inject.node_failure",
-            )
-
-    session_mod.GameEngine = CapturingEngine
-    try:
-        result = run_offload_session(
-            GTA_SAN_ANDREAS, LG_NEXUS_5,
-            service_devices=service_devices,
-            config=GBoosterConfig(frame_timeout_ms=timeout_ms),
-            duration_ms=duration_ms,
-        )
-    finally:
-        session_mod.GameEngine = original_engine_cls
-    return result
+    """Run an offload session with one node crashing mid-way."""
+    config = GBoosterConfig(
+        frame_timeout_ms=timeout_ms,
+        faults=FaultSchedule().crash(at_ms=fail_at_ms, node=fail_index),
+    )
+    return run_offload_session(
+        GTA_SAN_ANDREAS, LG_NEXUS_5,
+        service_devices=service_devices,
+        config=config,
+        duration_ms=duration_ms,
+    )
 
 
 def test_single_node_failure_falls_back_to_local():
@@ -123,11 +99,62 @@ def test_surviving_node_takes_over_in_multi_device_pool():
 
 
 def test_healthy_session_has_no_failovers():
-    from repro.core.session import run_offload_session
-
     result = run_offload_session(
         GTA_SAN_ANDREAS, LG_NEXUS_5, duration_ms=20_000.0,
         config=GBoosterConfig(frame_timeout_ms=1_000.0),
     )
     assert result.client_stats.failovers == 0
     assert result.client_stats.nodes_failed == 0
+
+
+def test_acceptance_scenario_crash_plus_lossy_link():
+    """The ISSUE acceptance scenario: a node crash at t=15 s layered with a
+    lossy-link burst, scripted purely through the public config API."""
+    schedule = (
+        FaultSchedule()
+        .loss_burst(at_ms=5_000.0, duration_ms=4_000.0, loss_probability=0.3)
+        .crash(at_ms=15_000.0)
+    )
+    result = run_offload_session(
+        GTA_SAN_ANDREAS, LG_NEXUS_5,
+        service_devices=[NVIDIA_SHIELD],
+        config=GBoosterConfig(frame_timeout_ms=600.0, faults=schedule),
+        duration_ms=35_000.0,
+    )
+    assert result.client_stats.nodes_failed == 1
+    assert result.client_stats.failovers > 0
+    # The burst forced the reliable transport to retransmit.
+    assert result.engine.sim.tracer.count("transport", "retransmit") > 0
+    # Both faults show up in the injector's applied log.
+    kinds = {e.kind for e in result.faults.applied()}
+    assert kinds == {"loss_burst", "crash"}
+    # No frame is lost despite both faults.
+    assert all(f.presented_at is not None for f in result.engine.frames)
+    # After the crash, the dead node owes the client nothing: the queue
+    # drained and no retransmission timer survived the session.
+    sim = result.engine.sim
+    assert not any(
+        p.alive and ".rto." in p.name for p in sim._processes
+    )
+
+
+def test_rejoin_restores_boosted_rate():
+    """A crashed node that rejoins is picked up again by the scheduler."""
+    schedule = FaultSchedule().crash(at_ms=10_000.0, rejoin_at_ms=20_000.0)
+    result = run_offload_session(
+        GTA_SAN_ANDREAS, LG_NEXUS_5,
+        service_devices=[NVIDIA_SHIELD],
+        config=GBoosterConfig(frame_timeout_ms=600.0, faults=schedule),
+        duration_ms=40_000.0,
+    )
+    times = [
+        f.presented_at
+        for f in result.engine.frames
+        if f.presented_at is not None
+    ]
+    series = fps_timeline(times)
+    local_phase = series[12:19]     # crashed: local GPU rate
+    restored = series[25:38]        # rejoined: boosted again
+    assert sum(local_phase) / len(local_phase) < 30.0
+    assert sum(restored) / len(restored) > 32.0
+    assert [e.kind for e in result.faults.applied()] == ["crash", "rejoin"]

@@ -102,6 +102,71 @@ def test_bytes_accounting_includes_arq_header():
     assert transport.stats.bytes_offered > 1000
 
 
+def test_rto_timer_cancelled_on_ack():
+    """ACKed messages tear their RTO processes down: the queue drains at
+    delivery time, not after the exponential-backoff window."""
+    sim = Simulator()
+    transport, _radio, delivered = build(sim, rto_ms=30.0)
+    transport.send(Message.of_size(1000, kind="x"))
+    sim.run()  # no `until`: terminates only when the queue truly drains
+    assert len(delivered) == 1
+    # Delivery takes ~1 ms link latency + tx time; far below the 30 ms RTO.
+    assert sim.now < 30.0
+    assert transport._rto_timers == {}
+    assert not any(
+        p.alive and ".rto." in p.name for p in sim._processes
+    )
+
+
+def test_queue_drains_after_last_delivery_under_loss():
+    """Even with retransmissions, no timer survives the final ACK."""
+    sim = Simulator(seed=3)
+    transport, _radio, delivered = build(sim, loss=0.3, rto_ms=20.0)
+    for _ in range(30):
+        transport.send(Message.of_size(500))
+    sim.run()  # would previously idle out the full backoff window
+    assert len(delivered) == 30
+    assert transport.in_flight() == 0
+    assert transport._rto_timers == {}
+    assert not any(
+        p.alive and ".rto." in p.name for p in sim._processes
+    )
+
+
+def test_resend_does_not_compound_header_overhead():
+    """Re-sending the same Message (failover re-dispatch) must not keep
+    growing it by the ARQ header."""
+    from repro.net.message import RUDP_HEADER_BYTES
+
+    sim = Simulator()
+    transport, _radio, _delivered = build(sim)
+    other, _radio2, _delivered2 = build(sim)
+    msg = Message.of_size(1000)
+    transport.send(msg)
+    assert msg.size_bytes == 1000
+    assert msg.transport_overhead_bytes == RUDP_HEADER_BYTES
+    sim.run(until=100.0)
+    other.send(msg)  # e.g. re-dispatched to another node's uplink
+    sim.run(until=200.0)
+    assert msg.size_bytes == 1000
+    assert msg.transport_overhead_bytes == RUDP_HEADER_BYTES
+    assert msg.framed_bytes == 1000 + RUDP_HEADER_BYTES
+
+
+def test_transport_state_stays_bounded():
+    """Delivered sequence numbers are pruned; history does not accumulate."""
+    sim = Simulator(seed=5)
+    transport, _radio, delivered = build(sim, loss=0.2, rto_ms=20.0)
+    for _ in range(200):
+        transport.send(Message.of_size(400))
+    sim.run()
+    assert len(delivered) == 200
+    assert transport.in_flight() == 0
+    assert len(transport._unacked) == 0
+    assert len(transport._reorder) == 0
+    assert len(transport._rto_timers) == 0
+
+
 def test_route_change_mid_stream():
     """The radio provider is consulted per message (switching support)."""
     sim = Simulator()

@@ -225,6 +225,78 @@ def test_interrupt_dead_process_is_noop():
     assert not proc.alive
 
 
+def test_kill_waiting_process_detaches_from_event():
+    sim = Simulator()
+    evt = sim.event("never")
+    resumed = []
+
+    def waiter():
+        yield evt
+        resumed.append(sim.now)
+
+    proc = sim.spawn(waiter())
+
+    def killer():
+        yield 5.0
+        proc.kill()
+
+    sim.spawn(killer())
+    sim.run()
+    assert not proc.alive
+    assert proc.done.triggered
+    assert evt._waiters == []
+    assert resumed == []
+
+
+def test_killed_timer_does_not_advance_clock():
+    """A cancelled delay leaves a stale heap entry that must be skipped
+    WITHOUT dragging the clock to its expiry time."""
+    sim = Simulator()
+
+    def timer():
+        yield 1_000.0
+
+    proc = sim.spawn(timer())
+
+    def killer():
+        yield 5.0
+        proc.kill()
+
+    sim.spawn(killer())
+    end = sim.run()
+    assert end == 5.0
+    assert sim.now == 5.0
+
+
+def test_kill_is_idempotent_and_safe_when_done():
+    sim = Simulator()
+
+    def quick():
+        yield 1.0
+
+    proc = sim.spawn(quick())
+    sim.run()
+    proc.kill()  # already finished: must be a no-op
+    proc.kill()
+    assert not proc.alive
+
+
+def test_any_of_cleans_up_loser_watchers():
+    """The losing watchers must not wait forever on events that never fire."""
+    sim = Simulator()
+    never = sim.event("never")
+    fast = sim.timeout(4.0, value="fast")
+    combined = sim.any_of([never, fast])
+    sim.run()
+    assert combined.triggered
+    assert combined.value == (1, "fast")
+    # The watcher parked on the never-firing event has been torn down.
+    assert never._waiters == []
+    assert not any(
+        p.alive and p.name.startswith("_anyof.") for p in sim._processes
+    )
+
+
 def test_run_until_limit_stops_clock():
     sim = Simulator()
 
