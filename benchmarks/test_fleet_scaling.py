@@ -1,0 +1,67 @@
+"""Fleet scaling: N concurrent sessions over a shared device pool.
+
+The acceptance bar for the fleet control plane: 64+ concurrent sessions
+on an 8-device pool, a mid-run crash migrated with zero frame loss, and
+the action tier kept ahead of the tolerant tier under overload.
+"""
+
+from conftest import print_table
+
+from repro.experiments.fleet import format_points, run_fleet_sweep
+
+SESSION_COUNTS = (16, 32, 64, 96)
+
+
+def test_fleet_scaling(run_once):
+    points = run_once(
+        run_fleet_sweep,
+        session_counts=SESSION_COUNTS,
+        n_devices=8,
+        duration_ms=10_000.0,
+        seed=0,
+    )
+    header, *rows = format_points(points).splitlines()
+    print_table(
+        "Fleet scaling (8 devices, crash at 40%, rejoin at 80%)",
+        header, rows,
+    )
+
+    by_n = {p.sessions_requested: p for p in points}
+
+    # Nothing is ever lost, at any scale, despite the injected crash.
+    assert all(p.zero_loss for p in points)
+    assert all(p.crash_migrations >= 1 for p in points)
+
+    # The headline scale point: 64 sessions genuinely concurrent.
+    p64 = by_n[64]
+    assert p64.peak_concurrency >= 64
+    assert p64.admitted == 64
+
+    # QoS holds under overload: the action tier answers faster than the
+    # tolerant tier once the pool saturates.
+    for n in (64, 96):
+        tiers = by_n[n].tier_response_ms
+        assert tiers["action"] < tiers["tolerant"], (
+            f"{n} sessions: action {tiers['action']:.1f} ms not ahead of "
+            f"tolerant {tiers['tolerant']:.1f} ms"
+        )
+
+    # Admission pushes back, rather than melting down, past capacity.
+    p96 = by_n[96]
+    assert p96.admitted < 96
+    assert p96.queued + p96.rejected == 96 - p96.admitted
+
+    # More sessions -> more pressure on the interactive tier.
+    assert by_n[64].tier_response_ms["action"] >= (
+        by_n[16].tier_response_ms["action"]
+    )
+
+
+def test_fleet_is_deterministic(run_once):
+    first = run_once(
+        run_fleet_sweep, session_counts=(24,), n_devices=8,
+        duration_ms=6_000.0, seed=11,
+    )
+    again = run_fleet_sweep(session_counts=(24,), n_devices=8,
+                            duration_ms=6_000.0, seed=11)
+    assert first[0].digest == again[0].digest

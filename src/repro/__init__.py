@@ -31,11 +31,14 @@ from repro.core.session import (
     run_offload_session,
 )
 from repro.faults import FaultSchedule
+from repro.fleet import FleetConfig, FleetController
 
 __version__ = "1.0.0"
 
 __all__ = [
     "FaultSchedule",
+    "FleetConfig",
+    "FleetController",
     "GBoosterConfig",
     "SessionResult",
     "run_adaptive_session",

@@ -11,6 +11,7 @@ Commands:
 * ``multiuser``       — §VIII FCFS vs priority sharing
 * ``adaptive``        — discovery + cloud-fallback demo
 * ``chaos``           — fault-injection sweep (loss bursts, outages, crashes)
+* ``fleet``           — fleet-scaling sweep (sessions over a device pool)
 
 Each prints the same rows the corresponding benchmark asserts on.
 """
@@ -136,6 +137,59 @@ def _cmd_chaos(args: argparse.Namespace) -> None:
         raise SystemExit("chaos sweep lost frames — robustness regression")
 
 
+def _cmd_fleet(args: argparse.Namespace) -> None:
+    from repro.experiments.fleet import (
+        format_points,
+        run_fleet_point,
+        run_fleet_sweep,
+    )
+
+    if args.smoke:
+        # CI gate: one 64-session point on 8 devices, run twice.  Asserts
+        # the subsystem's headline invariants rather than printing a table.
+        point, _report = run_fleet_point(
+            n_sessions=64, n_devices=8, duration_ms=10_000.0,
+            seed=args.seed, crash=not args.no_crash,
+        )
+        again, _ = run_fleet_point(
+            n_sessions=64, n_devices=8, duration_ms=10_000.0,
+            seed=args.seed, crash=not args.no_crash,
+        )
+        print(format_points([point]))
+        if point.digest != again.digest:
+            raise SystemExit("fleet smoke: same seed, different report")
+        if point.peak_concurrency < 64:
+            raise SystemExit(
+                f"fleet smoke: only {point.peak_concurrency} concurrent "
+                "sessions (need 64)"
+            )
+        if not point.zero_loss:
+            raise SystemExit(
+                f"fleet smoke: {point.frames_lost} frames lost"
+            )
+        if not args.no_crash and point.crash_migrations < 1:
+            raise SystemExit("fleet smoke: crash caused no migrations")
+        action = point.tier_response_ms.get("action", 0.0)
+        tolerant = point.tier_response_ms.get("tolerant", 0.0)
+        if action >= tolerant:
+            raise SystemExit(
+                f"fleet smoke: action tier ({action:.1f} ms) not faster "
+                f"than tolerant tier ({tolerant:.1f} ms)"
+            )
+        print("fleet smoke: ok")
+        return
+    points = run_fleet_sweep(
+        session_counts=args.sessions,
+        n_devices=args.devices,
+        duration_ms=args.duration * 1000.0,
+        seed=args.seed,
+        crash=not args.no_crash,
+    )
+    print(format_points(points))
+    if any(not p.zero_loss for p in points):
+        raise SystemExit("fleet sweep lost frames — migration regression")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -156,6 +210,7 @@ def main(argv=None) -> int:
         "multiuser": _cmd_multiuser,
         "adaptive": _cmd_adaptive,
         "chaos": _cmd_chaos,
+        "fleet": _cmd_fleet,
     }
     for name in commands:
         p = sub.add_parser(name)
@@ -172,6 +227,18 @@ def main(argv=None) -> int:
                            help="hard-outage durations (seconds) to sweep")
             p.add_argument("--no-crash", action="store_true",
                            help="skip the mid-session node crash")
+        if name == "fleet":
+            p.add_argument("--sessions", type=int, nargs="+",
+                           default=[16, 32, 64, 96],
+                           help="session counts to sweep")
+            p.add_argument("--devices", type=int, default=8,
+                           help="service devices in the pool")
+            p.add_argument("--seed", type=int, default=0)
+            p.add_argument("--no-crash", action="store_true",
+                           help="skip the mid-run device crash")
+            p.add_argument("--smoke", action="store_true",
+                           help="CI gate: assert fleet invariants on one "
+                                "64-session point")
     args = parser.parse_args(argv)
     commands[args.command](args)
     return 0

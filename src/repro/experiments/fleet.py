@@ -1,0 +1,187 @@
+"""Experiment R2: fleet scaling — many sessions over a shared pool.
+
+Not a paper figure: §VIII stops at two users on one console.  This sweep
+pushes the same machinery to fleet scale: N concurrent sessions (mixed
+Table II genres) over a pool of service devices, with a mid-run device
+crash and later rejoin injected through ``repro.faults``.  Reported per
+sweep point: admission outcomes, per-tier mean response time, migrations
+taken, and the zero-frame-loss invariant.
+
+Everything is deterministic under a fixed seed — two runs of the same
+point produce byte-identical reports (asserted via the report digest).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.apps.base import ApplicationSpec
+from repro.apps.games import GAMES
+from repro.devices.profiles import SERVICE_DEVICES, DeviceSpec
+from repro.faults import FaultSchedule
+from repro.fleet import FleetConfig, FleetController, SessionRequest
+from repro.sim.kernel import Simulator
+
+#: fraction of the session window at which the injected crash lands / heals
+CRASH_AT_FRACTION = 0.4
+REJOIN_AT_FRACTION = 0.8
+
+
+def make_fleet_pool(n_devices: int) -> List[DeviceSpec]:
+    """A pool of ``n_devices`` drawn round-robin from the Table II lineup.
+
+    Names are made unique (``"Nvidia Shield #3"``) so registry, placer
+    and metrics can key on them.
+    """
+    if n_devices < 1:
+        raise ValueError(f"need at least one device, got {n_devices}")
+    bases = list(SERVICE_DEVICES.values())
+    return [
+        replace(bases[i % len(bases)], name=f"{bases[i % len(bases)].name} #{i}")
+        for i in range(n_devices)
+    ]
+
+
+def default_fault_schedule(duration_ms: float, node: int = 0) -> FaultSchedule:
+    """Crash one pool device mid-run; power it back near the end."""
+    return FaultSchedule().crash(
+        at_ms=duration_ms * CRASH_AT_FRACTION,
+        node=node,
+        rejoin_at_ms=duration_ms * REJOIN_AT_FRACTION,
+    )
+
+
+@dataclass
+class FleetPoint:
+    """Outcome of one fleet sweep point."""
+
+    sessions_requested: int
+    devices: int
+    seed: int
+    crash: bool
+    admitted: int
+    queued: int
+    rejected: int
+    finished: int
+    peak_concurrency: int
+    migrations: int
+    crash_migrations: int
+    frames: int
+    frames_lost: int
+    frames_redispatched: int
+    mean_wait_ms: float
+    tier_response_ms: Dict[str, float] = field(default_factory=dict)
+    digest: str = ""
+
+    @property
+    def zero_loss(self) -> bool:
+        return self.frames_lost == 0
+
+
+def run_fleet_point(
+    n_sessions: int = 64,
+    n_devices: int = 8,
+    duration_ms: float = 10_000.0,
+    seed: int = 0,
+    crash: bool = True,
+    config: Optional[FleetConfig] = None,
+    apps: Optional[Sequence[ApplicationSpec]] = None,
+    arrival_spread_ms: float = 1_000.0,
+) -> Tuple[FleetPoint, Dict]:
+    """One fleet run; returns the sweep point and the full fleet report."""
+    if n_sessions < 1:
+        raise ValueError(f"need at least one session, got {n_sessions}")
+    pool = make_fleet_pool(n_devices)
+    if config is None:
+        config = FleetConfig()
+    if crash:
+        config = replace(
+            config, faults=default_fault_schedule(duration_ms)
+        )
+    apps = list(apps or GAMES.values())
+    sim = Simulator(seed=seed)
+    controller = FleetController(sim, pool, config)
+    controller.set_session_duration(duration_ms)
+    sim.run_until_event(controller.bootstrapped, limit=60_000.0)
+
+    # The launch wave: session i arrives i * gap after bootstrap, cycling
+    # through the Table II apps so every QoS tier is represented.
+    gap_ms = arrival_spread_ms / n_sessions
+
+    def arrivals():
+        for i in range(n_sessions):
+            request = SessionRequest(
+                session_id=f"s{i:03d}",
+                app=apps[i % len(apps)],
+                arrival_ms=sim.now,
+            )
+            controller.submit(request)
+            yield gap_ms
+
+    sim.spawn(arrivals(), name="fleet.arrivals")
+    # Queued sessions start only as earlier ones finish, so the horizon
+    # covers two full session lengths plus the launch wave and detection
+    # slack.
+    sim.run(until=sim.now + arrival_spread_ms + 2.0 * duration_ms + 5_000.0)
+
+    report = controller.report()
+    tiers = report["tiers"]
+    point = FleetPoint(
+        sessions_requested=n_sessions,
+        devices=n_devices,
+        seed=seed,
+        crash=crash,
+        admitted=report["admission"]["admitted"],
+        queued=report["admission"]["queued"],
+        rejected=report["admission"]["rejected"],
+        finished=report["sessions"]["finished"],
+        peak_concurrency=report["sessions"]["peak_concurrency"],
+        migrations=report["migrations"]["total"],
+        crash_migrations=report["migrations"]["crash"],
+        frames=sum(t["frames"] for t in tiers.values()),
+        frames_lost=sum(t["frames_lost"] for t in tiers.values()),
+        frames_redispatched=report["migrations"]["frames_redispatched"],
+        mean_wait_ms=report["admission"]["mean_wait_ms"],
+        tier_response_ms={
+            tier: t["mean_response_ms"] for tier, t in tiers.items()
+        },
+        digest=report["digest"],
+    )
+    return point, report
+
+
+def run_fleet_sweep(
+    session_counts: Sequence[int] = (16, 32, 64, 96),
+    n_devices: int = 8,
+    duration_ms: float = 10_000.0,
+    seed: int = 0,
+    crash: bool = True,
+) -> List[FleetPoint]:
+    """Sweep session count over a fixed pool."""
+    return [
+        run_fleet_point(
+            n_sessions=n, n_devices=n_devices, duration_ms=duration_ms,
+            seed=seed, crash=crash,
+        )[0]
+        for n in session_counts
+    ]
+
+
+def format_points(points: Sequence[FleetPoint]) -> str:
+    header = (
+        f"{'sessions':>8} {'devices':>7} {'admit':>5} {'queue':>5} "
+        f"{'reject':>6} {'peak':>4} {'migr':>4} {'lost':>4} "
+        f"{'action ms':>9} {'standard ms':>11} {'tolerant ms':>11}"
+    )
+    lines = [header]
+    for p in points:
+        lines.append(
+            f"{p.sessions_requested:8d} {p.devices:7d} {p.admitted:5d} "
+            f"{p.queued:5d} {p.rejected:6d} {p.peak_concurrency:4d} "
+            f"{p.migrations:4d} {p.frames_lost:4d} "
+            f"{p.tier_response_ms.get('action', 0.0):9.1f} "
+            f"{p.tier_response_ms.get('standard', 0.0):11.1f} "
+            f"{p.tier_response_ms.get('tolerant', 0.0):11.1f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,102 @@
+"""Fleet control-plane configuration.
+
+Every serving-layer policy knob in one dataclass, mirroring the style of
+:class:`~repro.core.config.GBoosterConfig`.  The per-frame cost constants
+repeat that config's service-daemon calibration so a fleet node's service
+time agrees with what a :class:`~repro.core.server.ServiceNode` would
+charge for the same frame.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.faults.schedule import FaultSchedule
+
+
+@dataclass
+class FleetConfig:
+    # -- registry / liveness -------------------------------------------------
+    #: how often a registered device reports its queued workload
+    heartbeat_interval_ms: float = 250.0
+    #: a device silent for this long is declared lost (3 missed beats)
+    heartbeat_timeout_ms: float = 750.0
+    #: discovery probe deadline per bootstrap round
+    discovery_timeout_ms: float = 500.0
+    #: bootstrap probe rounds before serving starts with whatever answered
+    discovery_rounds: int = 3
+
+    # -- control loop --------------------------------------------------------
+    #: period of the placement/rebalancing sweep
+    control_interval_ms: float = 500.0
+
+    # -- admission -----------------------------------------------------------
+    #: admitted aggregate demand may exceed aggregate capacity by this
+    #: factor (sessions self-throttle through their bounded pipelines, so
+    #: moderate oversubscription trades tail latency for throughput,
+    #: exactly like an airline selling more seats than the cabin holds)
+    admission_oversubscription: float = 3.0
+    #: sessions waiting for capacity beyond this are rejected outright
+    max_wait_queue: int = 32
+
+    # -- placement / rebalancing --------------------------------------------
+    #: max-min committed-utilization gap that triggers a migration
+    rebalance_threshold: float = 0.35
+    #: migrations per control sweep (bounded to avoid thrash)
+    max_moves_per_cycle: int = 2
+    #: a session migrated more recently than this is left alone
+    migration_cooldown_ms: float = 2_000.0
+
+    # -- session serving model ----------------------------------------------
+    #: per-session frame issue rate the fleet guarantees capacity against
+    serve_rate_hz: float = 30.0
+    #: in-flight frames per session (the rewritten SwapBuffer's bound)
+    pipeline_depth: int = 3
+
+    # -- per-frame service costs (mirror GBoosterConfig) ---------------------
+    replay_us_per_command: float = 6.0
+    decompress_ms: float = 1.0
+    remote_render_overhead: float = 1.28
+    encode_mp_per_s_arm: float = 90.0
+    encode_mp_per_s_x86: float = 300.0
+    es_translate_us_per_command: float = 20.0
+
+    # -- live migration ------------------------------------------------------
+    #: GL context snapshot replayed on the target node when a session
+    #: migrates, as a multiple of the app's nominal per-frame commands
+    #: (textures, buffers, programs — a bounded working set)
+    migration_state_factor: float = 1.5
+
+    # -- fault injection -----------------------------------------------------
+    #: declarative crash/rejoin scenario against the device pool; only
+    #: :class:`~repro.faults.schedule.NodeCrash` events apply at fleet
+    #: level (link faults act on a single user's radios, which the fleet
+    #: abstraction does not model)
+    faults: Optional[FaultSchedule] = None
+
+    def validate(self) -> None:
+        if self.heartbeat_interval_ms <= 0:
+            raise ValueError("heartbeat_interval_ms must be positive")
+        if self.heartbeat_timeout_ms < 2 * self.heartbeat_interval_ms:
+            raise ValueError(
+                "heartbeat_timeout_ms must cover at least two intervals"
+            )
+        if self.discovery_rounds < 1:
+            raise ValueError("discovery_rounds must be at least 1")
+        if self.control_interval_ms <= 0:
+            raise ValueError("control_interval_ms must be positive")
+        if self.admission_oversubscription <= 0:
+            raise ValueError("admission_oversubscription must be positive")
+        if self.max_wait_queue < 0:
+            raise ValueError("max_wait_queue must be non-negative")
+        if not 0.0 < self.rebalance_threshold:
+            raise ValueError("rebalance_threshold must be positive")
+        if self.serve_rate_hz <= 0:
+            raise ValueError("serve_rate_hz must be positive")
+        if self.pipeline_depth < 1:
+            raise ValueError("pipeline_depth must be at least 1")
+        if self.migration_state_factor < 0:
+            raise ValueError("migration_state_factor must be non-negative")
+        if self.faults is not None:
+            self.faults.validate()

@@ -1,0 +1,245 @@
+"""The fleet's serving abstraction: one device executing session frames.
+
+A :class:`FleetNode` is the control-plane view of a service daemon: a
+priority work queue and a non-preemptive serving loop charging the same
+per-frame costs a :class:`~repro.core.server.ServiceNode` charges
+(decompress + replay + GPU fill + Turbo encode), without the per-command
+GL replay — at fleet scale the currency is *capacity*, not individual GL
+state transitions.  Tiers map straight onto the queue priority: an
+action-tier frame always overtakes queued tolerant-tier frames.
+
+Failure semantics mirror the single-user daemon: a crashed box answers
+nothing.  Work submitted to (or queued on) a dead node accumulates as
+*stranded* tasks; the controller collects them with :meth:`strand_all`
+when the registry's heartbeat monitor declares the device lost, and
+re-dispatches them on the sessions' new homes — the client's re-dispatch
+path lifted from per-request to per-session granularity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Generator, List, Optional
+
+from repro.devices.profiles import DeviceSpec
+from repro.fleet.config import FleetConfig
+from repro.sim.kernel import Simulator
+from repro.sim.resources import PriorityStore
+
+#: queue priority of a migration state-replay batch: ahead of every frame
+STATE_PRIORITY = -1.0
+
+
+@dataclass
+class FrameTask:
+    """One unit of session work on a node ("frame" or migration "state")."""
+
+    session_id: str
+    seq: int
+    fill_megapixels: float
+    commands_nominal: int
+    width: int
+    height: int
+    priority: float
+    issued_at_ms: float
+    kind: str = "frame"                 # "frame" | "state"
+    completed: bool = False
+    completed_at_ms: Optional[float] = None
+    #: the node currently responsible for answering this task; a stale
+    #: server (crashed mid-render, then rejoined) must not complete a task
+    #: that has been re-dispatched elsewhere.
+    assigned_node: Optional[str] = None
+    redispatches: int = 0
+
+    @property
+    def response_ms(self) -> float:
+        if self.completed_at_ms is None:
+            return float("inf")
+        return self.completed_at_ms - self.issued_at_ms
+
+
+@dataclass
+class FleetNodeStats:
+    frames_served: int = 0
+    state_replays: int = 0
+    busy_ms: float = 0.0
+    stranded_tasks: int = 0
+
+
+class FleetNode:
+    """One service device as seen by the fleet controller."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        spec: DeviceSpec,
+        config: FleetConfig,
+        on_complete: Optional[Callable[[FrameTask], None]] = None,
+    ):
+        self.sim = sim
+        self.spec = spec
+        self.config = config
+        self.name = spec.name
+        self.on_complete = on_complete
+        self.queue = PriorityStore(sim, name=f"fleet.{self.name}.work")
+        self.failed = False
+        self.stats = FleetNodeStats()
+        #: tasks that arrived while the box was dead, awaiting rescue
+        self.stranded: List[FrameTask] = []
+        self._current: Optional[FrameTask] = None
+        self._queued_fill_mp = 0.0
+        self._proc = sim.spawn(self._run(), name=f"fleet.node.{self.name}")
+
+    # -- capacity model ------------------------------------------------------
+
+    @property
+    def capacity_mp_per_ms(self) -> float:
+        """Effective serving throughput in fill megapixels per ms.
+
+        GPU fillrate discounted by the remote-rendering overhead — the
+        same inflation a ServiceNode applies to each request's workload.
+        """
+        return (
+            self.spec.gpu.fillrate_gpixels / self.config.remote_render_overhead
+        )
+
+    @property
+    def queued_workload_mp(self) -> float:
+        """w^j for Eq. 4 and the heartbeat payload: accepted, unfinished."""
+        return self._queued_fill_mp
+
+    @property
+    def load_fraction(self) -> float:
+        """Queued workload as a fraction of one second of capacity."""
+        horizon_mp = self.capacity_mp_per_ms * 1000.0
+        if horizon_mp <= 0:
+            return 1.0
+        return max(0.0, min(1.0, self._queued_fill_mp / horizon_mp))
+
+    def service_time_ms(self, task: FrameTask) -> float:
+        cfg = self.config
+        perf = self.spec.cpu.perf_index
+        cpu_ms = cfg.decompress_ms / perf
+        cpu_ms += task.commands_nominal * cfg.replay_us_per_command / 1000.0 / perf
+        if not self.spec.cpu.is_arm:
+            cpu_ms += (
+                task.commands_nominal
+                * cfg.es_translate_us_per_command / 1000.0 / perf
+            )
+        if task.kind == "state":
+            return cpu_ms  # replay only: nothing rendered, nothing encoded
+        gpu_ms = (
+            task.fill_megapixels * cfg.remote_render_overhead
+            / max(self.spec.gpu.fillrate_gpixels, 1e-9)
+        )
+        encode_mp_per_s = (
+            cfg.encode_mp_per_s_arm if self.spec.cpu.is_arm
+            else cfg.encode_mp_per_s_x86
+        )
+        encode_ms = (task.width * task.height) / (encode_mp_per_s * 1000.0)
+        return cpu_ms + gpu_ms + encode_ms
+
+    # -- ingress -------------------------------------------------------------
+
+    def submit(self, task: FrameTask) -> None:
+        task.assigned_node = self.name
+        if task.kind == "frame":
+            self._queued_fill_mp += task.fill_megapixels
+        if self.failed:
+            # Sent to a dead box: it answers nothing.  The task waits for
+            # the heartbeat monitor to notice and the controller to rescue.
+            self.stranded.append(task)
+            return
+        self.queue.put(task, priority=task.priority)
+
+    # -- failure -------------------------------------------------------------
+
+    def fail(self) -> None:
+        """The device drops off the network (crash injection)."""
+        if self.failed:
+            return
+        self.failed = True
+        self.sim.tracer.record(self.sim.now, "fleet", "node_failed",
+                               node=self.name)
+
+    def rejoin(self) -> None:
+        """Power restored: the daemon starts clean and serves new work."""
+        if not self.failed:
+            return
+        self.failed = False
+        # A glitch shorter than the heartbeat timeout is never detected,
+        # so nobody rescues the stranded work — serve it ourselves.
+        for task in self.stranded:
+            if not task.completed and task.assigned_node == self.name:
+                self.queue.put(task, priority=task.priority)
+        self.stranded.clear()
+        self.sim.tracer.record(self.sim.now, "fleet", "node_rejoined",
+                               node=self.name)
+
+    def strand_all(self) -> List[FrameTask]:
+        """Collect every task this node will never answer, for re-dispatch.
+
+        Queued work, work that arrived after the crash, and the frame on
+        the GPU at crash time (a dead box never ships its reply).  The
+        queued-workload gauge resets — this node no longer owes anything.
+        """
+        out = [t for t in self.queue.drain() if not t.completed]
+        out.extend(t for t in self.stranded if not t.completed)
+        self.stranded.clear()
+        if self._current is not None and not self._current.completed:
+            out.append(self._current)
+        self.stats.stranded_tasks += len(out)
+        self._queued_fill_mp = 0.0
+        return out
+
+    # -- heartbeat -----------------------------------------------------------
+
+    def heartbeat_payload(self) -> Optional[float]:
+        """The queued workload carried by a heartbeat; None when silent."""
+        if self.failed:
+            return None
+        return self.queued_workload_mp
+
+    # -- the serving loop ----------------------------------------------------
+
+    def _run(self) -> Generator:
+        while True:
+            task: FrameTask = yield self.queue.get()
+            if self.failed:
+                # Handed over just as the box died.
+                self.stranded.append(task)
+                continue
+            self._current = task
+            busy = self.service_time_ms(task)
+            yield busy
+            self._current = None
+            served_here = (
+                not self.failed
+                and not task.completed
+                and task.assigned_node == self.name
+            )
+            if not served_here:
+                if (
+                    self.failed
+                    and not task.completed
+                    and task.assigned_node == self.name
+                ):
+                    # Crashed mid-render and still responsible: the frame
+                    # must survive until the monitor notices and the
+                    # controller rescues it (zero-loss invariant).
+                    self.stranded.append(task)
+                # Otherwise the task migrated and was (or will be)
+                # answered by its new home.
+                continue
+            self.stats.busy_ms += busy
+            task.completed = True
+            task.completed_at_ms = self.sim.now
+            if task.kind == "state":
+                self.stats.state_replays += 1
+            else:
+                self.stats.frames_served += 1
+                self._queued_fill_mp = max(
+                    0.0, self._queued_fill_mp - task.fill_megapixels
+                )
+            if self.on_complete is not None:
+                self.on_complete(task)

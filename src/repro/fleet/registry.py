@@ -1,0 +1,134 @@
+"""The fleet's device registry: membership, heartbeats, liveness.
+
+Discovery (``repro.net.discovery``) answers *what exists on the LAN*;
+the registry answers *what is alive right now and how busy it is*.  Each
+registered device runs a heartbeat loop reporting its real queued
+workload (the same ``w^j`` the Eq. 4 scheduler consumes) on a fixed
+period.  A monitor process watches the report times: a device silent for
+``heartbeat_timeout_ms`` is declared **down** and the registry fires its
+``on_lost`` hook — there is no failure oracle; crashes are observed the
+only way a distributed system can observe them, by missed heartbeats.
+A device that starts answering again is marked **up** and ``on_join``
+fires, letting the controller drain its admission queue onto the
+recovered capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Generator, List, Optional, Tuple
+
+from repro.devices.profiles import DeviceSpec
+from repro.fleet.config import FleetConfig
+from repro.sim.kernel import Simulator
+
+#: answers (queued_workload_mp, active_sessions) — or None when the
+#: device is silent (crashed, unplugged, off the network)
+HeartbeatProbe = Callable[[], Optional[Tuple[float, int]]]
+
+
+@dataclass
+class Heartbeat:
+    """One liveness report from a service device."""
+
+    time_ms: float
+    queued_workload_mp: float
+    active_sessions: int
+
+
+@dataclass
+class RegisteredDevice:
+    """Registry-side record of one pool member."""
+
+    spec: DeviceSpec
+    rtt_ms: float
+    probe: HeartbeatProbe
+    state: str = "up"                      # "up" | "down"
+    last_heartbeat: Optional[Heartbeat] = None
+    joins: int = 0
+    losses: int = 0
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def queued_workload_mp(self) -> float:
+        if self.last_heartbeat is None:
+            return 0.0
+        return self.last_heartbeat.queued_workload_mp
+
+
+class DeviceRegistry:
+    """Tracks pool membership and liveness through heartbeats."""
+
+    def __init__(self, sim: Simulator, config: FleetConfig):
+        self.sim = sim
+        self.config = config
+        self.devices: Dict[str, RegisteredDevice] = {}
+        #: fired with the RegisteredDevice on membership transitions
+        self.on_lost: Optional[Callable[[RegisteredDevice], None]] = None
+        self.on_join: Optional[Callable[[RegisteredDevice], None]] = None
+        self._monitor = sim.spawn(self._monitor_loop(), name="fleet.monitor")
+
+    # -- membership ----------------------------------------------------------
+
+    def register(
+        self, spec: DeviceSpec, rtt_ms: float, probe: HeartbeatProbe
+    ) -> RegisteredDevice:
+        if spec.name in self.devices:
+            return self.devices[spec.name]
+        dev = RegisteredDevice(spec=spec, rtt_ms=rtt_ms, probe=probe)
+        dev.joins = 1
+        # Seed the record so a device is not declared dead before its
+        # first scheduled beat.
+        dev.last_heartbeat = Heartbeat(self.sim.now, 0.0, 0)
+        self.devices[spec.name] = dev
+        self.sim.spawn(
+            self._heartbeat_loop(dev), name=f"fleet.hb.{spec.name}"
+        )
+        self.sim.tracer.record(
+            self.sim.now, "fleet", "device_registered", device=spec.name
+        )
+        if self.on_join is not None:
+            self.on_join(dev)
+        return dev
+
+    def up_devices(self) -> List[RegisteredDevice]:
+        return [d for d in self.devices.values() if d.state == "up"]
+
+    # -- liveness ------------------------------------------------------------
+
+    def _heartbeat_loop(self, dev: RegisteredDevice) -> Generator:
+        while True:
+            yield self.config.heartbeat_interval_ms
+            answer = dev.probe()
+            if answer is None:
+                continue  # silence; the monitor draws the conclusion
+            workload, sessions = answer
+            dev.last_heartbeat = Heartbeat(self.sim.now, workload, sessions)
+            if dev.state == "down":
+                dev.state = "up"
+                dev.joins += 1
+                self.sim.tracer.record(
+                    self.sim.now, "fleet", "device_up", device=dev.name
+                )
+                if self.on_join is not None:
+                    self.on_join(dev)
+
+    def _monitor_loop(self) -> Generator:
+        interval = self.config.heartbeat_interval_ms
+        timeout = self.config.heartbeat_timeout_ms
+        while True:
+            yield interval
+            for dev in self.devices.values():
+                if dev.state != "up" or dev.last_heartbeat is None:
+                    continue
+                if self.sim.now - dev.last_heartbeat.time_ms >= timeout:
+                    dev.state = "down"
+                    dev.losses += 1
+                    self.sim.tracer.record(
+                        self.sim.now, "fleet", "device_down", device=dev.name
+                    )
+                    if self.on_lost is not None:
+                        self.on_lost(dev)

@@ -1,0 +1,157 @@
+"""Fleet sessions: one user's ongoing game, placed on a pool device.
+
+A :class:`FleetSession` issues frames at the app's serve rate through a
+bounded pipeline (at most ``pipeline_depth`` frames outstanding — the
+same back-pressure the rewritten non-blocking SwapBuffer gives a single
+client), records per-frame response times, and survives migration: the
+controller can re-point it at a new node mid-flight and the next issued
+frame lands there.
+
+QoS tiers derive from :data:`repro.core.multiuser.GENRE_PRIORITY`:
+action games are tier "action" (priority 0, overtakes every queue),
+role-playing "standard" (1), puzzle and non-game apps "tolerant" (2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional
+
+from repro.apps.base import ApplicationSpec
+from repro.core.multiuser import app_priority
+from repro.fleet.config import FleetConfig
+from repro.fleet.node import FleetNode, FrameTask
+from repro.sim.kernel import Event, Simulator
+
+#: GENRE_PRIORITY value -> human-readable QoS tier name
+TIER_NAMES = {0.0: "action", 1.0: "standard", 2.0: "tolerant"}
+
+
+def tier_name(priority: float) -> str:
+    return TIER_NAMES.get(priority, "standard")
+
+
+@dataclass(frozen=True)
+class SessionRequest:
+    """What a would-be player asks the fleet for."""
+
+    session_id: str
+    app: ApplicationSpec
+    arrival_ms: float
+
+    @property
+    def priority(self) -> float:
+        return app_priority(self.app)
+
+    @property
+    def tier(self) -> str:
+        return tier_name(self.priority)
+
+    def demand_mp_per_ms(self, serve_rate_hz: float) -> float:
+        """Steady-state fill demand this session adds to its node."""
+        return self.app.fill_mp_per_frame * serve_rate_hz / 1000.0
+
+
+class FleetSession:
+    """An admitted session streaming frames to its assigned node."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        request: SessionRequest,
+        config: FleetConfig,
+        duration_ms: float,
+    ):
+        self.sim = sim
+        self.request = request
+        self.config = config
+        self.duration_ms = duration_ms
+        self.session_id = request.session_id
+        self.app = request.app
+        self.priority = request.priority
+        self.tier = request.tier
+        self.node: Optional[FleetNode] = None
+        self.started_at_ms: Optional[float] = None
+        self.migrations = 0
+        self.last_migration_ms = -float("inf")
+        self.response_times_ms: List[float] = []
+        self.frames_issued = 0
+        self.frames_lost = 0          # invariant: stays 0 under migration
+        self.outstanding: Dict[int, FrameTask] = {}
+        self.finished: Event = sim.event(name=f"fleet.{self.session_id}.done")
+        self._gate: Optional[Event] = None
+        self._seq = 0
+
+    # -- placement -----------------------------------------------------------
+
+    @property
+    def demand_mp_per_ms(self) -> float:
+        return self.request.demand_mp_per_ms(self.config.serve_rate_hz)
+
+    def set_node(self, node: FleetNode) -> None:
+        self.node = node
+
+    def start(self, node: FleetNode) -> None:
+        self.node = node
+        self.started_at_ms = self.sim.now
+        self.sim.spawn(self._run(), name=f"fleet.session.{self.session_id}")
+
+    # -- frame completion (called by whichever node served the frame) --------
+
+    def on_frame_complete(self, task: FrameTask) -> None:
+        self.outstanding.pop(task.seq, None)
+        self.response_times_ms.append(task.response_ms)
+        if self._gate is not None and not self._gate.triggered:
+            self._gate.trigger(None)
+
+    # -- migration -----------------------------------------------------------
+
+    def take_over(self, task: FrameTask, node: FleetNode) -> None:
+        """Re-dispatch one stranded frame on the session's (new) node."""
+        task.redispatches += 1
+        node.submit(task)
+
+    # -- the issue loop ------------------------------------------------------
+
+    def _run(self) -> Generator:
+        period_ms = 1000.0 / self.config.serve_rate_hz
+        end = self.sim.now + self.duration_ms
+        while self.sim.now < end:
+            while len(self.outstanding) >= self.config.pipeline_depth:
+                self._gate = self.sim.event(
+                    name=f"fleet.{self.session_id}.gate"
+                )
+                yield self._gate
+                self._gate = None
+            task = FrameTask(
+                session_id=self.session_id,
+                seq=self._seq,
+                fill_megapixels=self.app.fill_mp_per_frame,
+                commands_nominal=self.app.nominal_commands_per_frame,
+                width=self.app.render_width,
+                height=self.app.render_height,
+                priority=self.priority,
+                issued_at_ms=self.sim.now,
+            )
+            self._seq += 1
+            self.frames_issued += 1
+            self.outstanding[task.seq] = task
+            assert self.node is not None
+            self.node.submit(task)
+            yield period_ms
+        # Drain: wait until every outstanding frame has been answered
+        # (possibly by a different node than the one it was issued to).
+        while self.outstanding:
+            self._gate = self.sim.event(name=f"fleet.{self.session_id}.drain")
+            yield self._gate
+            self._gate = None
+        self.frames_lost = self.frames_issued - len(self.response_times_ms)
+        self.finished.trigger(self)
+
+    # -- metrics -------------------------------------------------------------
+
+    @property
+    def mean_response_ms(self) -> float:
+        if not self.response_times_ms:
+            return 0.0
+        return sum(self.response_times_ms) / len(self.response_times_ms)

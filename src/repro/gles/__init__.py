@@ -14,6 +14,9 @@ models exactly that boundary:
   transmission of §IV-B.
 * :mod:`repro.gles.egl` — the EGL layer: surfaces, double buffering,
   ``eglSwapBuffers`` and ``eglGetProcAddress``.
+* :mod:`repro.gles.trace_file` — apitrace-style capture/replay containers
+  (:class:`TraceFileRecord` rows; distinct from the simulator's
+  :class:`repro.sim.trace.TraceRecord` event rows).
 """
 
 from repro.gles.commands import (
@@ -34,6 +37,13 @@ from repro.gles.serialization import (
     deserialize_command,
     serialize_command,
 )
+from repro.gles.trace_file import (
+    TraceError,
+    TraceFileRecord,
+    TraceReader,
+    TraceWriter,
+    TracingInterceptor,
+)
 
 __all__ = [
     "COMMANDS",
@@ -48,6 +58,11 @@ __all__ = [
     "ParamSpec",
     "ParamType",
     "SerializationError",
+    "TraceError",
+    "TraceFileRecord",
+    "TraceReader",
+    "TraceWriter",
+    "TracingInterceptor",
     "command_spec",
     "deserialize_command",
     "make_command",

@@ -40,7 +40,14 @@ class TraceError(ValueError):
 
 
 @dataclass(frozen=True)
-class TraceRecord:
+class TraceFileRecord:
+    """One timestamped command inside a trace container.
+
+    (Named distinctly from :class:`repro.sim.trace.TraceRecord` — the
+    simulator's structured-event row — so the two never shadow each other
+    in modules that touch both tracing facilities.)
+    """
+
     timestamp_ms: float
     command: GLCommand
 
@@ -100,7 +107,7 @@ class TraceReader:
     def load(cls, path: Union[str, Path]) -> "TraceReader":
         return cls(Path(path).read_bytes())
 
-    def __iter__(self) -> Iterator[TraceRecord]:
+    def __iter__(self) -> Iterator[TraceFileRecord]:
         off = _HEADER.size
         data = self._data
         for _ in range(self.count):
@@ -117,7 +124,7 @@ class TraceReader:
             if end != off + length:
                 raise TraceError("record length mismatch")
             off = end
-            yield TraceRecord(timestamp_ms=timestamp, command=command)
+            yield TraceFileRecord(timestamp_ms=timestamp, command=command)
 
     def commands(self) -> List[GLCommand]:
         return [record.command for record in self]

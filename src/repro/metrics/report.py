@@ -1,11 +1,16 @@
-"""Machine-readable session reports.
+"""Machine-readable session and fleet reports.
 
 ``session_report`` flattens a :class:`SessionResult` into plain JSON-able
 data for dashboards, regression tracking, or archiving benchmark runs.
+``fleet_report`` does the same for a fleet run: it accepts a
+:class:`~repro.fleet.controller.FleetController` (or its raw ``report()``
+dict) and returns the aggregate with a content digest suitable for
+same-seed identity checks.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 from typing import Any, Dict
 
@@ -54,3 +59,21 @@ def session_report(result) -> Dict[str, Any]:
 
 def session_report_json(result, indent: int = 2) -> str:
     return json.dumps(session_report(result), indent=indent, sort_keys=True)
+
+
+def fleet_report(fleet) -> Dict[str, Any]:
+    """A JSON-serializable summary of one fleet run.
+
+    Accepts a ``FleetController`` or the dict its ``report()`` returns.
+    The ``digest`` field hashes every other field (sorted-key JSON), so
+    two runs with the same seed must produce identical digests.
+    """
+    report = dict(fleet) if isinstance(fleet, dict) else fleet.report()
+    report.pop("digest", None)
+    blob = json.dumps(report, sort_keys=True).encode()
+    report["digest"] = hashlib.sha256(blob).hexdigest()
+    return report
+
+
+def fleet_report_json(fleet, indent: int = 2) -> str:
+    return json.dumps(fleet_report(fleet), indent=indent, sort_keys=True)

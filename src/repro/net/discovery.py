@@ -9,16 +9,23 @@ smart-TV ecosystems:
 2. every GBooster-capable responder answers after a small random backoff
    (collision avoidance), advertising its capability vector (GPU fillrate,
    CPU class, current load);
-3. the prober collects answers until a deadline, then ranks candidates.
+3. the prober collects answers until every responder has been accounted
+   for — answered or lost — or until a deadline, whichever comes first,
+   then ranks candidates.
 
 Discovery is how the adaptive session runner (``repro.core.adaptive``)
-decides between neighbourhood offloading and the cloud fallback.
+decides between neighbourhood offloading and the cloud fallback, and how
+the fleet control plane (``repro.fleet``) populates its device registry.
+By default a responder advertises a small placeholder load; pass
+``load_probe`` to have each advertisement carry the responder's *actual*
+queued workload at answer time (the fleet registry wires this to its
+service daemons).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Generator, List, Optional, Sequence
+from typing import Callable, Generator, List, Optional, Sequence
 
 from repro.devices.profiles import DeviceSpec
 from repro.sim.kernel import Event, Simulator
@@ -26,6 +33,9 @@ from repro.sim.random import RandomStream
 
 PROBE_BYTES = 96          # the multicast M-SEARCH-style probe
 ADVERT_BYTES = 240        # a capability advertisement
+
+#: answers a responder's current load in [0, 1] when discovery asks
+LoadProbe = Callable[[DeviceSpec], float]
 
 
 @dataclass(frozen=True)
@@ -47,10 +57,20 @@ class DiscoveryResult:
     advertisements: List[ServiceAdvertisement] = field(default_factory=list)
     probe_sent_at_ms: float = 0.0
     deadline_ms: float = 0.0
+    #: when the round actually finished; earlier than the deadline when
+    #: every responder answered (or was lost) before the timeout.
+    completed_at_ms: Optional[float] = None
 
     @property
     def found_any(self) -> bool:
         return bool(self.advertisements)
+
+    @property
+    def completed_early(self) -> bool:
+        return (
+            self.completed_at_ms is not None
+            and self.completed_at_ms < self.deadline_ms
+        )
 
     def ranked(self) -> List[ServiceAdvertisement]:
         """Best offload candidates first: raw capability over load + RTT."""
@@ -75,6 +95,7 @@ class DiscoveryService:
         response_backoff_ms: float = 40.0,
         loss_probability: float = 0.01,
         rng: Optional[RandomStream] = None,
+        load_probe: Optional[LoadProbe] = None,
     ):
         if not 0.0 <= loss_probability < 1.0:
             raise ValueError(f"bad loss probability {loss_probability}")
@@ -84,9 +105,25 @@ class DiscoveryService:
         self.response_backoff_ms = response_backoff_ms
         self.loss_probability = loss_probability
         self.rng = rng or sim.stream("discovery")
+        self.load_probe = load_probe
+
+    def _advertised_load(self, spec: DeviceSpec) -> float:
+        if self.load_probe is not None:
+            return max(0.0, min(1.0, float(self.load_probe(spec))))
+        # No probe wired up: a freshly discovered box reports the light
+        # background load of an idle living-room device.
+        return self.rng.uniform(0.0, 0.2)
 
     def probe(self, timeout_ms: float = 500.0) -> Event:
-        """Multicast a probe; the returned event carries a DiscoveryResult."""
+        """Multicast a probe; the returned event carries a DiscoveryResult.
+
+        The round ends at ``timeout_ms``, or earlier once every responder
+        has been accounted for — an answer recorded, or its probe/answer
+        lost on the LAN.  (A real prober cannot see losses, but it *can*
+        stop as soon as the expected population has answered; the early
+        exit on losses keeps the simulation from charging dead air to
+        scenarios the prober would re-probe anyway.)
+        """
         if timeout_ms <= 0:
             raise ValueError(f"timeout must be positive, got {timeout_ms}")
         sim = self.sim
@@ -95,15 +132,28 @@ class DiscoveryService:
             deadline_ms=sim.now + timeout_ms,
         )
         done = sim.event(name="discovery.done")
+        remaining = [len(self.responders)]
+
+        def finish() -> None:
+            if not done.triggered:
+                result.completed_at_ms = sim.now
+                done.trigger(result)
+
+        def account() -> None:
+            remaining[0] -= 1
+            if remaining[0] == 0:
+                finish()
 
         def responder_proc(spec: DeviceSpec) -> Generator:
             # Probe propagation, possibly lost on the way out.
             if self.rng.bernoulli(self.loss_probability):
+                account()
                 return
             yield self.lan_latency_ms
             # Random backoff desynchronizes the answers.
             yield self.rng.uniform(1.0, self.response_backoff_ms)
             if self.rng.bernoulli(self.loss_probability):
+                account()
                 return  # answer lost
             yield self.lan_latency_ms
             if sim.now <= result.deadline_ms:
@@ -112,16 +162,21 @@ class DiscoveryService:
                         device=spec,
                         responded_at_ms=sim.now,
                         rtt_ms=sim.now - result.probe_sent_at_ms,
-                        current_load=self.rng.uniform(0.0, 0.2),
+                        current_load=self._advertised_load(spec),
                     )
                 )
+            account()
 
         for spec in self.responders:
             sim.spawn(responder_proc(spec), name=f"discovery.{spec.name}")
 
         def finisher() -> Generator:
             yield timeout_ms
-            done.trigger(result)
+            finish()
 
-        sim.spawn(finisher(), name="discovery.deadline")
+        if not self.responders:
+            # An empty LAN has nothing to wait for.
+            finish()
+        else:
+            sim.spawn(finisher(), name="discovery.deadline")
         return done

@@ -86,6 +86,18 @@ class Store:
     def peek_all(self) -> List[Any]:
         return list(self.items)
 
+    def drain(self) -> List[Any]:
+        """Remove and return every queued item (FIFO order).
+
+        Blocked putters are admitted as space frees, exactly as if the
+        drained items had been consumed one by one.
+        """
+        out: List[Any] = []
+        while self.items:
+            out.append(self.items.popleft())
+            self._admit_putter()
+        return out
+
     def _admit_putter(self) -> None:
         if self._putters and not self.full:
             evt, item = self._putters.popleft()
@@ -134,6 +146,12 @@ class PriorityStore:
 
     def peek_all(self) -> List[Any]:
         return [item for _p, _s, item in sorted(self._heap)]
+
+    def drain(self) -> List[Any]:
+        """Remove and return every queued item, most urgent first."""
+        out = [item for _p, _s, item in sorted(self._heap)]
+        self._heap.clear()
+        return out
 
 
 class Resource:

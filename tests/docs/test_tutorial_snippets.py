@@ -103,3 +103,26 @@ def test_fault_scenario_snippet():
     # At least the injected crash; the 0.25x radio window may trip the
     # watchdog a second time.
     assert result.client_stats.nodes_failed >= 1
+
+
+def test_fleet_walkthrough_snippet():
+    """Tutorial §6: registry -> admission -> migration."""
+    from repro.apps.games import MODERN_COMBAT
+    from repro.experiments.fleet import make_fleet_pool
+    from repro.fleet import FleetConfig, FleetController, SessionRequest
+    from repro.sim.kernel import Simulator
+
+    sim = Simulator(seed=0)
+    controller = FleetController(sim, make_fleet_pool(8), FleetConfig())
+    controller.set_session_duration(10_000.0)
+    sim.run_until_event(controller.bootstrapped)
+
+    outcome = controller.submit(SessionRequest(
+        session_id="alice", app=MODERN_COMBAT, arrival_ms=sim.now))
+    assert outcome in ("admit", "queue", "reject")
+
+    sim.run(until=30_000.0)
+    report = controller.report()
+    assert report["migrations"]["total"] >= 0
+    assert report["sessions"]["finished"] == 1
+    assert report["tiers"]["action"]["frames_lost"] == 0

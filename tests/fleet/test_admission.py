@@ -1,0 +1,94 @@
+"""Admission control: accept, queue, reject; tier-ordered draining."""
+
+from repro.apps.games import CANDY_CRUSH, MODERN_COMBAT, STAR_WARS_KOTOR
+from repro.fleet import AdmissionController, FleetConfig, SessionRequest
+from repro.sim.kernel import Simulator
+
+
+def make_admission(**overrides):
+    sim = Simulator(seed=0)
+    return sim, AdmissionController(sim, FleetConfig(**overrides))
+
+
+def request(i, app=MODERN_COMBAT, arrival=0.0):
+    return SessionRequest(session_id=f"s{i:03d}", app=app, arrival_ms=arrival)
+
+
+def demand(app, config=None):
+    config = config or FleetConfig()
+    return app.fill_mp_per_frame * config.serve_rate_hz / 1000.0
+
+
+class TestDecide:
+    def test_admits_within_budget(self):
+        sim, adm = make_admission(admission_oversubscription=1.0)
+        req = request(0)
+        assert adm.decide(req, committed_mp_per_ms=0.0,
+                          capacity_mp_per_ms=100.0) == "admit"
+        assert adm.stats.admitted == 1
+        assert adm.stats.by_tier["action"]["admitted"] == 1
+
+    def test_queues_when_over_budget(self):
+        sim, adm = make_admission(admission_oversubscription=1.0)
+        cap = demand(MODERN_COMBAT) * 1.5
+        assert adm.decide(request(0), 0.0, cap) == "admit"
+        assert adm.decide(request(1), demand(MODERN_COMBAT), cap) == "queue"
+        assert len(adm) == 1
+
+    def test_rejects_when_queue_is_full(self):
+        sim, adm = make_admission(admission_oversubscription=1.0,
+                                  max_wait_queue=2)
+        for i in range(2):
+            assert adm.decide(request(i), 1e9, 100.0) == "queue"
+        assert adm.decide(request(2), 1e9, 100.0) == "reject"
+        assert adm.stats.rejected == 1
+
+    def test_zero_capacity_never_admits(self):
+        sim, adm = make_admission()
+        assert adm.decide(request(0), 0.0, 0.0) == "queue"
+
+    def test_session_bigger_than_the_pool_is_rejected_outright(self):
+        sim, adm = make_admission(admission_oversubscription=1.0)
+        tiny_pool = demand(MODERN_COMBAT) / 2.0
+        assert adm.decide(request(0), 0.0, tiny_pool) == "reject"
+        assert len(adm) == 0    # never parked at the head of the queue
+
+    def test_oversubscription_stretches_the_budget(self):
+        sim, tight = make_admission(admission_oversubscription=1.0)
+        sim2, loose = make_admission(admission_oversubscription=3.0)
+        cap = demand(MODERN_COMBAT)        # room for exactly one session
+        committed = demand(MODERN_COMBAT)  # ...already taken
+        assert tight.decide(request(0), committed, cap) == "queue"
+        assert loose.decide(request(0), committed, cap) == "admit"
+
+
+class TestDrain:
+    def test_pop_eligible_respects_priority_then_fifo(self):
+        sim, adm = make_admission(admission_oversubscription=1.0)
+        adm.decide(request(0, CANDY_CRUSH), 1e9, 100.0)       # tolerant
+        adm.decide(request(1, MODERN_COMBAT), 1e9, 100.0)     # action
+        adm.decide(request(2, STAR_WARS_KOTOR), 1e9, 100.0)   # standard
+        adm.decide(request(3, MODERN_COMBAT), 1e9, 100.0)     # action
+        out = adm.pop_eligible(committed_mp_per_ms=0.0,
+                               capacity_mp_per_ms=1e9)
+        assert [r.session_id for r in out] == ["s001", "s003", "s002", "s000"]
+        assert len(adm) == 0
+
+    def test_head_of_line_blocks_smaller_sessions(self):
+        """Strict priority: a big action session at the head gates the
+        tolerant sessions behind it, however small they are."""
+        sim, adm = make_admission(admission_oversubscription=1.0)
+        adm.decide(request(0, MODERN_COMBAT), 1e9, 100.0)     # big, urgent
+        adm.decide(request(1, CANDY_CRUSH), 1e9, 100.0)       # small, tolerant
+        cap = demand(CANDY_CRUSH) * 2.0     # fits only the small one
+        out = adm.pop_eligible(committed_mp_per_ms=0.0, capacity_mp_per_ms=cap)
+        assert out == []
+        assert len(adm) == 2
+
+    def test_wait_time_recorded_on_drain(self):
+        sim, adm = make_admission(admission_oversubscription=1.0)
+        adm.decide(request(0, arrival=0.0), 1e9, 100.0)
+        sim.run(until=250.0)
+        out = adm.pop_eligible(0.0, 1e9)
+        assert len(out) == 1
+        assert adm.mean_wait_ms == 250.0

@@ -1,0 +1,142 @@
+"""Fleet node: serving, priorities, crash stranding."""
+
+import pytest
+
+from repro.devices.profiles import DELL_M4600, NVIDIA_SHIELD
+from repro.fleet import FleetConfig, FleetNode, FrameTask, STATE_PRIORITY
+from repro.sim.kernel import Simulator
+
+
+def make_node(spec=NVIDIA_SHIELD, **overrides):
+    sim = Simulator(seed=0)
+    done = []
+    node = FleetNode(sim, spec, FleetConfig(**overrides),
+                     on_complete=done.append)
+    return sim, node, done
+
+
+def frame(seq, priority=0.0, fill=50.0, session="s0"):
+    return FrameTask(
+        session_id=session, seq=seq, fill_megapixels=fill,
+        commands_nominal=1000, width=1280, height=720,
+        priority=priority, issued_at_ms=0.0,
+    )
+
+
+class TestServing:
+    def test_serves_a_frame_and_reports_completion(self):
+        sim, node, done = make_node()
+        task = frame(0)
+        node.submit(task)
+        sim.run(until=1_000.0)
+        assert task.completed
+        assert done == [task]
+        assert node.stats.frames_served == 1
+        assert node.queued_workload_mp == 0.0
+
+    def test_service_time_scales_with_fill(self):
+        sim, node, _ = make_node()
+        light = node.service_time_ms(frame(0, fill=10.0))
+        heavy = node.service_time_ms(frame(1, fill=100.0))
+        assert heavy > light
+
+    def test_x86_charges_es_translation(self):
+        _, shield, _ = make_node(NVIDIA_SHIELD)
+        _, desktop, _ = make_node(DELL_M4600)
+        task = frame(0, fill=0.0)
+        task.kind = "state"       # CPU-only path: no render, no encode
+        # Same command count; only the x86 box pays the GL-to-ES shim.
+        arm_cpu = shield.service_time_ms(task)
+        x86_cpu = desktop.service_time_ms(task)
+        cfg = FleetConfig()
+        expected_extra = (
+            task.commands_nominal * cfg.es_translate_us_per_command
+            / 1000.0 / DELL_M4600.cpu.perf_index
+        )
+        base_ratio = shield.spec.cpu.perf_index / DELL_M4600.cpu.perf_index
+        assert x86_cpu == pytest.approx(arm_cpu * base_ratio + expected_extra)
+
+    def test_priority_order_action_overtakes_tolerant(self):
+        sim, node, done = make_node()
+        node.submit(frame(0, priority=2.0))
+        sim.run(until=0.5)            # s0 is on the GPU
+        # Queue behind it while it renders.
+        node.submit(frame(1, priority=2.0, session="tolerant"))
+        node.submit(frame(2, priority=0.0, session="action"))
+        sim.run(until=5_000.0)
+        assert [t.session_id for t in done] == ["s0", "action", "tolerant"]
+
+    def test_state_replay_overtakes_everything(self):
+        sim, node, done = make_node()
+        node.submit(frame(0, priority=0.0))
+        sim.run(until=0.5)            # s0 is on the GPU
+        node.submit(frame(1, priority=0.0, session="later"))
+        state = frame(2, priority=STATE_PRIORITY, session="migrant")
+        state.kind = "state"
+        node.submit(state)
+        sim.run(until=5_000.0)
+        assert [t.session_id for t in done] == ["s0", "migrant", "later"]
+        assert state.completed            # served ahead of 'later'
+        assert state.completed_at_ms < done[-1].completed_at_ms
+        assert node.stats.state_replays == 1
+
+
+class TestCrash:
+    def test_submissions_to_a_dead_node_are_stranded(self):
+        sim, node, done = make_node()
+        node.fail()
+        task = frame(0)
+        node.submit(task)
+        sim.run(until=2_000.0)
+        assert not task.completed
+        assert node.strand_all() == [task]
+
+    def test_strand_all_collects_queue_and_current(self):
+        sim, node, _ = make_node()
+        first, second = frame(0), frame(1)
+        node.submit(first)
+        node.submit(second)
+        sim.run(until=0.5)            # first is on the GPU, second queued
+        node.fail()
+        stranded = node.strand_all()
+        assert set(t.seq for t in stranded) == {0, 1}
+        assert node.queued_workload_mp == 0.0
+
+    def test_mid_render_frame_survives_until_detection(self):
+        """The crash drops the in-flight frame into the stranded list even
+        when its service period elapses before anyone calls strand_all."""
+        sim, node, done = make_node()
+        task = frame(0)
+        node.submit(task)
+        sim.run(until=0.5)
+        node.fail()
+        sim.run(until=5_000.0)        # busy period long over
+        assert not task.completed
+        assert done == []
+        assert node.strand_all() == [task]
+
+    def test_short_glitch_requeues_stranded_work_locally(self):
+        sim, node, done = make_node()
+        node.fail()
+        task = frame(0)
+        node.submit(task)
+        sim.run(until=100.0)
+        node.rejoin()
+        sim.run(until=5_000.0)
+        assert task.completed
+        assert done == [task]
+
+    def test_migrated_task_is_not_double_served(self):
+        sim, node, done = make_node()
+        task = frame(0)
+        node.submit(task)
+        sim.run(until=0.5)
+        node.fail()
+        # Controller rescues and re-homes the task elsewhere.
+        stranded = node.strand_all()
+        assert stranded == [task]
+        task.assigned_node = "elsewhere"
+        node.rejoin()
+        sim.run(until=5_000.0)
+        assert not task.completed     # this node never finished it
+        assert done == []

@@ -7,6 +7,7 @@ from repro.gles.commands import make_command
 from repro.gles.context import GLContext
 from repro.gles.trace_file import (
     TraceError,
+    TraceFileRecord,
     TraceReader,
     TraceWriter,
     TracingInterceptor,
@@ -29,10 +30,21 @@ class TestRoundTrip:
             writer.record(cmd, timestamp_ms=float(i * 16))
         reader = TraceReader(writer.to_bytes())
         records = list(reader)
+        assert all(isinstance(r, TraceFileRecord) for r in records)
         assert [r.command.name for r in records] == [
             c.name for c in sample_commands()
         ]
         assert [r.timestamp_ms for r in records] == [0.0, 16.0, 32.0, 48.0]
+
+    def test_record_class_does_not_shadow_sim_trace_record(self):
+        """The two tracing facilities must keep distinct class names."""
+        from repro.sim.trace import TraceRecord as SimTraceRecord
+
+        assert TraceFileRecord.__name__ != SimTraceRecord.__name__
+        assert not hasattr(
+            __import__("repro.gles.trace_file", fromlist=["x"]),
+            "TraceRecord",
+        )
 
     def test_empty_trace(self):
         reader = TraceReader(TraceWriter().to_bytes())

@@ -1,4 +1,4 @@
-"""Session report export."""
+"""Session and fleet report export."""
 
 import json
 
@@ -7,7 +7,12 @@ import pytest
 import repro
 from repro.apps.games import CANDY_CRUSH
 from repro.devices.profiles import LG_NEXUS_5
-from repro.metrics.report import session_report, session_report_json
+from repro.metrics.report import (
+    fleet_report,
+    fleet_report_json,
+    session_report,
+    session_report_json,
+)
 
 
 @pytest.fixture(scope="module")
@@ -51,3 +56,80 @@ def test_energy_components_sum(boosted):
     total = report["energy"]["total_j"]
     components = sum(report["energy"]["components_j"].values())
     assert components == pytest.approx(total)
+
+
+def test_json_round_trip_preserves_report(boosted):
+    """dumps -> loads reproduces the report dict exactly."""
+    report = session_report(boosted)
+    assert json.loads(session_report_json(boosted)) == report
+
+
+def test_switching_section_matches_result(boosted):
+    report = session_report(boosted)
+    sw = boosted.switching
+    assert report["switching"] == {
+        "bluetooth_residency": sw.bluetooth_residency,
+        "switches_to_wifi": sw.switches_to_wifi,
+        "switches_to_bluetooth": sw.switches_to_bluetooth,
+        "overload_epochs": sw.overload_epochs,
+    }
+
+
+def test_traffic_section_matches_client_stats(boosted):
+    report = session_report(boosted)
+    stats = boosted.client_stats
+    assert report["traffic"]["uplink_bytes"] == stats.uplink_bytes
+    assert report["traffic"]["downlink_bytes"] == stats.downlink_bytes
+    assert report["traffic"]["raw_command_bytes"] == stats.raw_command_bytes
+    assert report["traffic"]["reduction"] == pytest.approx(
+        stats.traffic_reduction()
+    )
+
+
+class TestFleetReport:
+    def _raw(self):
+        return {
+            "pool_devices": 2,
+            "tiers": {"action": {"frames": 10, "frames_lost": 0}},
+        }
+
+    def test_accepts_raw_dict_and_adds_digest(self):
+        report = fleet_report(self._raw())
+        assert report["pool_devices"] == 2
+        assert len(report["digest"]) == 64
+
+    def test_digest_is_content_stable(self):
+        assert (
+            fleet_report(self._raw())["digest"]
+            == fleet_report(self._raw())["digest"]
+        )
+        changed = self._raw()
+        changed["tiers"]["action"]["frames_lost"] = 1
+        assert fleet_report(changed)["digest"] != (
+            fleet_report(self._raw())["digest"]
+        )
+
+    def test_digest_ignores_stale_digest_field(self):
+        stale = dict(self._raw(), digest="bogus")
+        assert fleet_report(stale)["digest"] == (
+            fleet_report(self._raw())["digest"]
+        )
+
+    def test_accepts_controller_duck_type(self):
+        class FakeController:
+            def report(self):
+                return {"pool_devices": 1}
+
+        report = fleet_report(FakeController())
+        assert report["pool_devices"] == 1
+        assert json.loads(fleet_report_json(FakeController())) == report
+
+    def test_matches_fleet_controller_digest(self):
+        """The controller's own digest uses the same recipe."""
+        from repro.experiments.fleet import run_fleet_point
+
+        point, raw = run_fleet_point(
+            n_sessions=4, n_devices=2, duration_ms=1_500.0, seed=3,
+            crash=False,
+        )
+        assert fleet_report(raw)["digest"] == raw["digest"] == point.digest

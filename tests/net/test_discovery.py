@@ -77,3 +77,82 @@ def test_deterministic():
     assert [ad.responded_at_ms for ad in a.advertisements] == [
         ad.responded_at_ms for ad in b.advertisements
     ]
+
+
+def test_round_completes_early_when_all_answer():
+    sim = Simulator(seed=0)
+    service = DiscoveryService(
+        sim, [NVIDIA_SHIELD, MINIX_NEO_U1], loss_probability=0.0
+    )
+    done = service.probe(timeout_ms=500.0)
+    sim.run_until_event(done, limit=2_000.0)
+    result = done.value
+    assert len(result.advertisements) == 2
+    assert result.completed_early
+    # Answers arrive within latency + max backoff + latency, far under 500.
+    assert result.completed_at_ms < 100.0
+    assert sim.now == result.completed_at_ms
+
+
+def test_round_completes_early_when_answers_are_lost():
+    # Every probe/answer is lost with p ~ 1; the round must still end as
+    # soon as the last responder is accounted for, not at the deadline.
+    sim = Simulator(seed=3)
+    service = DiscoveryService(sim, [NVIDIA_SHIELD], loss_probability=0.99)
+    done = service.probe(timeout_ms=500.0)
+    sim.run_until_event(done, limit=2_000.0)
+    result = done.value
+    if not result.found_any:
+        assert result.completed_at_ms < 500.0
+
+
+def test_empty_lan_completes_immediately():
+    sim = Simulator(seed=0)
+    service = DiscoveryService(sim, [])
+    done = service.probe(timeout_ms=500.0)
+    sim.run_until_event(done, limit=2_000.0)
+    assert done.value.completed_at_ms == 0.0
+    assert not done.value.found_any
+
+
+def test_load_probe_supplies_real_load():
+    loads = {NVIDIA_SHIELD.name: 0.7, MINIX_NEO_U1.name: 0.05}
+    sim = Simulator(seed=0)
+    service = DiscoveryService(
+        sim,
+        [NVIDIA_SHIELD, MINIX_NEO_U1],
+        loss_probability=0.0,
+        load_probe=lambda spec: loads[spec.name],
+    )
+    done = service.probe(timeout_ms=500.0)
+    sim.run_until_event(done, limit=2_000.0)
+    by_name = {ad.device.name: ad for ad in done.value.advertisements}
+    assert by_name[NVIDIA_SHIELD.name].current_load == 0.7
+    assert by_name[MINIX_NEO_U1.name].current_load == 0.05
+
+
+def test_load_probe_values_are_clamped():
+    sim = Simulator(seed=0)
+    service = DiscoveryService(
+        sim, [NVIDIA_SHIELD], loss_probability=0.0,
+        load_probe=lambda spec: 3.5,
+    )
+    done = service.probe(timeout_ms=500.0)
+    sim.run_until_event(done, limit=2_000.0)
+    assert done.value.advertisements[0].current_load == 1.0
+
+
+def test_loaded_devices_rank_below_idle_ones():
+    # Same hardware, different advertised load: the idle box must win.
+    pool = [NVIDIA_SHIELD, MINIX_NEO_U1]
+    sim = Simulator(seed=0)
+    service = DiscoveryService(
+        sim, pool, loss_probability=0.0,
+        load_probe=lambda spec: 0.95 if spec.name == NVIDIA_SHIELD.name
+        else 0.0,
+    )
+    done = service.probe(timeout_ms=500.0)
+    sim.run_until_event(done, limit=2_000.0)
+    ranked = done.value.ranked()
+    # 16 GP/s at 95% load is effectively 0.8; the idle 4.4 GP/s box wins.
+    assert ranked[0].device.name == MINIX_NEO_U1.name
