@@ -12,6 +12,9 @@ Commands:
 * ``adaptive``        — discovery + cloud-fallback demo
 * ``chaos``           — fault-injection sweep (loss bursts, outages, crashes)
 * ``fleet``           — fleet-scaling sweep (sessions over a device pool)
+* ``profile``         — pipeline-stage percentiles + hot-path wall-clock
+                        benches; writes BENCH_PIPELINE.json and a Chrome
+                        trace (BENCH_TRACE.json)
 
 Each prints the same rows the corresponding benchmark asserts on.
 """
@@ -190,6 +193,38 @@ def _cmd_fleet(args: argparse.Namespace) -> None:
         raise SystemExit("fleet sweep lost frames — migration regression")
 
 
+def _cmd_profile(args: argparse.Namespace) -> None:
+    from repro.experiments.profiling import (
+        format_bench,
+        run_profile,
+        validate_bench,
+        write_bench,
+    )
+
+    bench = run_profile(
+        seed=args.seed, smoke=args.smoke, trace_path=args.trace_out,
+    )
+    problems = validate_bench(bench)
+    write_bench(args.out, bench)
+    print(format_bench(bench))
+    print(f"wrote {args.out} and {args.trace_out}")
+    if problems:
+        raise SystemExit(
+            "profile: benchmark schema drift:\n  " + "\n  ".join(problems)
+        )
+    if args.smoke:
+        # CI gate: same seed must reproduce the simulated-time section.
+        again = run_profile(
+            seed=args.seed, smoke=True, trace_path=args.trace_out,
+        )
+        if (
+            again["deterministic"]["digest"]
+            != bench["deterministic"]["digest"]
+        ):
+            raise SystemExit("profile smoke: same seed, different digest")
+        print("profile smoke: ok")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -211,6 +246,7 @@ def main(argv=None) -> int:
         "adaptive": _cmd_adaptive,
         "chaos": _cmd_chaos,
         "fleet": _cmd_fleet,
+        "profile": _cmd_profile,
     }
     for name in commands:
         p = sub.add_parser(name)
@@ -239,6 +275,15 @@ def main(argv=None) -> int:
             p.add_argument("--smoke", action="store_true",
                            help="CI gate: assert fleet invariants on one "
                                 "64-session point")
+        if name == "profile":
+            p.add_argument("--seed", type=int, default=0)
+            p.add_argument("--out", default="BENCH_PIPELINE.json",
+                           help="benchmark artifact path")
+            p.add_argument("--trace-out", default="BENCH_TRACE.json",
+                           help="Chrome trace-event export path")
+            p.add_argument("--smoke", action="store_true",
+                           help="CI gate: short run + schema validation "
+                                "+ same-seed digest check")
     args = parser.parse_args(argv)
     commands[args.command](args)
     return 0

@@ -30,6 +30,7 @@ from repro.apps.touch import TouchEvent, TouchGenerator
 from repro.codec.frames import FrameImage
 from repro.devices.runtime import UserDeviceRuntime
 from repro.gpu.model import RenderRequest
+from repro.obs.spans import OpenSpan
 from repro.sim.kernel import Event, Simulator
 
 #: CPU time per frame spent inside the local GL driver stack submitting
@@ -177,8 +178,16 @@ class GameEngine:
             # *inside* the frame interval (the game thread works while the
             # previous frame displays), so vsync pacing below only delays
             # the issue if CPU work finished early.
+            root_span = sim.spans.begin(
+                "frame", "frame", track="engine", frame_id=self._frame_id,
+            )
+            intercept_span = sim.spans.begin(
+                "app", "intercept", track="engine",
+                frame_id=self._frame_id, parent=root_span,
+            )
             stage_ms = self._cpu_stage_ms(frame_desc)
             yield stage_ms
+            intercept_span.end()
 
             # Vsync pacing on issue rate.
             earliest = last_issue + vsync_interval
@@ -219,10 +228,10 @@ class GameEngine:
                 width=spec.render_width,
                 height=spec.render_height,
                 issued_at=sim.now,
-                metadata={"record": record},
+                metadata={"record": record, "frame_span": root_span},
             )
             completion = self.backend.submit(request, frame_desc)
-            self._bind_presentation(completion, record)
+            self._bind_presentation(completion, record, root_span)
             self._inflight.append(completion)
             # CPU load accounting (§VII-G): busy fraction over the realized
             # frame interval, spread across the device's cores.
@@ -242,11 +251,18 @@ class GameEngine:
         if not self.finished.triggered:
             self.finished.trigger(len(self.frames))
 
-    def _bind_presentation(self, completion: Event, record: FrameRecord) -> None:
+    def _bind_presentation(
+        self,
+        completion: Event,
+        record: FrameRecord,
+        root_span: Optional["OpenSpan"] = None,
+    ) -> None:
         def _watch() -> Generator:
             yield completion
             record.presented_at = self.sim.now
             self.device.surface.attach_back(None)
+            if root_span is not None:
+                root_span.end(response_ms=record.response_time_ms)
 
         self.sim.spawn(_watch(), name=f"present.{record.frame_id}")
 

@@ -65,6 +65,11 @@ class LRUCommandCache:
 
     def insert(self, key: Tuple, wire: bytes) -> None:
         if key in self._entries:
+            # Refresh both recency AND the stored bytes: a re-inserted key
+            # may carry different wire bytes (e.g. after the sender evicted
+            # and re-encoded), and serving stale bytes on a later hit would
+            # desync the receiver's replay.
+            self._entries[key] = wire
             self._entries.move_to_end(key)
             return
         self._entries[key] = wire

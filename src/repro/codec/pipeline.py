@@ -11,12 +11,25 @@ disable stages independently.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
+
+import hashlib
 
 from repro.codec.command_cache import CachePair
 from repro.codec.lz77 import compress
 from repro.gles.commands import GLCommand
 from repro.gles.serialization import CommandSerializer
+from repro.obs.spans import OpenSpan, SpanRecorder
+
+
+def _key_digest(key: Tuple) -> bytes:
+    """Stable 8-byte digest of a cache key for the wire reference.
+
+    ``hash()`` is randomized per process (PYTHONHASHSEED), which made the
+    reference bytes — and every downstream compressed size — differ
+    between runs of the same seed.
+    """
+    return hashlib.blake2b(repr(key).encode(), digest_size=8).digest()
 
 
 @dataclass
@@ -32,6 +45,9 @@ class PipelineConfig:
     # ratio is re-measured on real bytes to track the stream's drift.
     modelled_compression: bool = False
     measure_every: int = 64
+    #: modelled per-command serialization cost, used to size the "encode"
+    #: span (the simulator charges this inside the engine's CPU stage)
+    serialize_us_per_command: float = 2.2
 
 
 @dataclass
@@ -49,8 +65,15 @@ class FrameEgress:
 class CommandPipeline:
     """Stateful egress pipeline for one offload session."""
 
-    def __init__(self, config: Optional[PipelineConfig] = None):
+    def __init__(
+        self,
+        config: Optional[PipelineConfig] = None,
+        spans: Optional[SpanRecorder] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ):
         self.config = config or PipelineConfig()
+        self.spans = spans
+        self.clock = clock
         self.serializer = CommandSerializer()
         self.cache = CachePair(self.config.cache_capacity)
         self._measured_ratio = 0.30     # refreshed by real measurements
@@ -61,7 +84,12 @@ class CommandPipeline:
         self.total_wire = 0
         self.frames = 0
 
-    def process_frame(self, commands: List[GLCommand]) -> FrameEgress:
+    def process_frame(
+        self,
+        commands: List[GLCommand],
+        frame_id: Optional[int] = None,
+        parent: Optional[OpenSpan] = None,
+    ) -> FrameEgress:
         """Run one frame's command batch through the pipeline."""
         wires: List[bytes] = []
         originals: List[GLCommand] = []
@@ -80,9 +108,7 @@ class CommandPipeline:
                 after_cache += size
                 if hit:
                     cache_hits += 1
-                    batch += b"\xCA\xFE" + cmd.key().__hash__().to_bytes(
-                        8, "little", signed=True
-                    )
+                    batch += b"\xCA\xFE" + _key_digest(cmd.key())
                 else:
                     batch += wire
         else:
@@ -133,6 +159,22 @@ class CommandPipeline:
         self.total_after_cache += after_cache
         self.total_wire += wire_bytes
         self.frames += 1
+        if self.spans is not None:
+            # The engine's CPU stage already charged this serialization
+            # cost in sim time; the span backdates over that interval so
+            # the breakdown attributes it to the encode stage.
+            now = self.clock() if self.clock is not None else 0.0
+            cost_ms = (
+                len(wires) * self.config.serialize_us_per_command / 1000.0
+            )
+            self.spans.add(
+                "codec", "encode", now - cost_ms, now,
+                track="client", frame_id=frame_id,
+                parent=parent.qualified_name if parent is not None else None,
+                depth=parent.depth + 1 if parent is not None else 0,
+                raw_bytes=raw_bytes, wire_bytes=wire_bytes,
+                cache_hits=cache_hits,
+            )
         return FrameEgress(
             raw_bytes=raw_bytes,
             after_cache_bytes=after_cache,

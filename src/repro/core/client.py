@@ -87,12 +87,15 @@ class GBoosterClient:
                 cache_capacity=self.config.cache_capacity,
                 compression_enabled=self.config.compression_enabled,
                 modelled_compression=self.config.modelled_compression,
-            )
+                serialize_us_per_command=self.config.serialize_us_per_command,
+            ),
+            spans=sim.spans,
+            clock=lambda: sim.now,
         )
         if self.config.scheduler == "eq4":
-            self.scheduler = DispatchScheduler()
+            self.scheduler = DispatchScheduler(on_assign=self._on_assign)
         else:
-            self.scheduler = RoundRobinScheduler()
+            self.scheduler = RoundRobinScheduler(on_assign=self._on_assign)
         self.reorder = ReorderBuffer(max_held=64)
         self.stats = ClientStats()
         self._completions: Dict[int, Event] = {}
@@ -107,6 +110,14 @@ class GBoosterClient:
         self._latency_ewma_ms: Optional[float] = None
         self._frames_since_scale_change = 0
         self.quality_changes: List[tuple] = []
+
+    def _on_assign(self, workload: float, chosen) -> None:
+        """Scheduler observer: dispatch marks + per-node assignment counts."""
+        self.sim.spans.mark(
+            "dispatch", "assign", track="client",
+            node=chosen.name, workload_mp=round(workload, 4),
+        )
+        self.sim.metrics.counter(f"dispatch.assignments.{chosen.name}").inc()
 
     # -- GraphicsBackend interface ------------------------------------------------
 
@@ -197,11 +208,21 @@ class GBoosterClient:
         request.metadata["nominal_commands"] = nominal
 
         # 1. Egress pipeline on the real (subsampled) command batch.
-        egress = self.pipeline.process_frame(list(request.commands))
+        egress = self.pipeline.process_frame(
+            list(request.commands),
+            frame_id=request.frame_id,
+            parent=request.metadata.get("frame_span"),
+        )
         scale = nominal / max(1, egress.commands)
         wire_bytes = max(64, int(egress.wire_bytes * scale))
         raw_bytes = int(egress.raw_bytes * scale)
         self.stats.raw_command_bytes += raw_bytes
+        metrics = self.sim.metrics
+        metrics.counter("cache.hits").inc(egress.cache_hits)
+        metrics.counter("cache.misses").inc(
+            max(0, egress.commands - egress.cache_hits)
+        )
+        metrics.gauge("cache.hit_rate").set(self.pipeline.cache.hit_rate)
 
         # 2. Choose the execution node (Eq. 4 over live, healthy estimates).
         healthy = [
@@ -398,6 +419,7 @@ class GBoosterClient:
         """Receiver callback for the downlink transport."""
         request: RenderRequest = message.metadata["request"]
         request.metadata["arrived"] = True
+        request.metadata["arrived_at"] = self.sim.now
         self.stats.downlink_bytes += message.size_bytes
         # Demand accounting happened node-side at send time; counting again
         # here would double the offered load the switching policy sees.
@@ -416,6 +438,19 @@ class GBoosterClient:
                 event.trigger(req)
             self.stats.frames_presented += 1
             self.device.surface.attach_back(None)
+            # "present": downlink arrival -> in-order release; zero for
+            # frames already in order, the reorder-buffer wait otherwise.
+            arrived = req.metadata.get("arrived_at", self.sim.now)
+            root = req.metadata.get("frame_span")
+            self.sim.spans.add(
+                "client", "present", arrived, self.sim.now,
+                track="client", frame_id=req.frame_id,
+                parent=root.qualified_name if root is not None else None,
+                depth=root.depth + 1 if root is not None else 0,
+            )
+            self.sim.metrics.histogram("client.frame_response_ms").observe(
+                self.sim.now - req.issued_at
+            )
             if self.config.adaptive_quality:
                 submitted = req.metadata.get("submitted_at")
                 if submitted is not None:

@@ -209,6 +209,7 @@ class ServiceNode:
                 # A dead box answers nothing; drop the work on the floor.
                 self._queued_fill_mp = 0.0
                 continue
+            dequeued_at = self.sim.now
             self.runtime.cpu.set_load("daemon", 0.6)
             # Decompress + replay the command batch.
             replay_ms = cfg.decompress_ms / perf
@@ -242,14 +243,31 @@ class ServiceNode:
             self.runtime.gpu.submit(request)
             yield completion
             self.stats.gpu_ms_total += self.sim.now - gpu_start
+            root = request.metadata.get("frame_span")
+            parent_name = root.qualified_name if root is not None else None
+            parent_depth = root.depth + 1 if root is not None else 0
+            # "execute" covers decompress + replay + GPU render on this node.
+            self.sim.spans.add(
+                "server", "execute", dequeued_at, self.sim.now,
+                track=self.name, frame_id=request.frame_id,
+                parent=parent_name, depth=parent_depth,
+                queue_wait_ms=dequeued_at - item.received_at,
+            )
 
             # Encode the rendered frame (Turbo incremental codec).
+            encode_start = self.sim.now
             encoded = self.encoder.encode_descriptor(
                 item.frame_desc,
                 keyframe=self.stats.frames_rendered == 0,
             )
             yield encoded.encode_time_ms
             self.stats.encode_ms_total += encoded.encode_time_ms
+            self.sim.spans.add(
+                "server", "video_encode", encode_start, self.sim.now,
+                track=self.name, frame_id=request.frame_id,
+                parent=parent_name, depth=parent_depth,
+                bytes=encoded.size_bytes,
+            )
             self._queued_fill_mp = max(
                 0.0, self._queued_fill_mp - request.fill_megapixels
             )

@@ -34,11 +34,17 @@ class DeviceEstimate:
         )
 
 
+#: observer invoked on every assignment with (request_workload, chosen);
+#: the client uses it to emit dispatch marks and per-node counters
+AssignObserver = Callable[[float, DeviceEstimate], None]
+
+
 class DispatchScheduler:
     """Eq. 4: minimize estimated completion time."""
 
-    def __init__(self) -> None:
+    def __init__(self, on_assign: Optional[AssignObserver] = None) -> None:
         self.assignments: List[str] = []
+        self.on_assign = on_assign
 
     def choose(
         self, request_workload: float, devices: Sequence[DeviceEstimate]
@@ -55,14 +61,17 @@ class DispatchScheduler:
             ),
         )
         self.assignments.append(best.name)
+        if self.on_assign is not None:
+            self.on_assign(request_workload, best)
         return best
 
 
 class RoundRobinScheduler:
     """Ablation baseline: ignore workload, capability and latency."""
 
-    def __init__(self) -> None:
+    def __init__(self, on_assign: Optional[AssignObserver] = None) -> None:
         self.assignments: List[str] = []
+        self.on_assign = on_assign
         self._next = 0
 
     def choose(
@@ -73,4 +82,6 @@ class RoundRobinScheduler:
         chosen = devices[self._next % len(devices)]
         self._next += 1
         self.assignments.append(chosen.name)
+        if self.on_assign is not None:
+            self.on_assign(request_workload, chosen)
         return chosen

@@ -88,8 +88,13 @@ def run_fleet_point(
     config: Optional[FleetConfig] = None,
     apps: Optional[Sequence[ApplicationSpec]] = None,
     arrival_spread_ms: float = 1_000.0,
+    sim: Optional[Simulator] = None,
 ) -> Tuple[FleetPoint, Dict]:
-    """One fleet run; returns the sweep point and the full fleet report."""
+    """One fleet run; returns the sweep point and the full fleet report.
+
+    Pass a pre-built ``sim`` to keep hold of the kernel afterwards — the
+    profiling harness reads ``sim.spans`` / ``sim.metrics`` off it.
+    """
     if n_sessions < 1:
         raise ValueError(f"need at least one session, got {n_sessions}")
     pool = make_fleet_pool(n_devices)
@@ -100,7 +105,8 @@ def run_fleet_point(
             config, faults=default_fault_schedule(duration_ms)
         )
     apps = list(apps or GAMES.values())
-    sim = Simulator(seed=seed)
+    if sim is None:
+        sim = Simulator(seed=seed)
     controller = FleetController(sim, pool, config)
     controller.set_session_duration(duration_ms)
     sim.run_until_event(controller.bootstrapped, limit=60_000.0)

@@ -150,6 +150,10 @@ class FleetController:
             self.sim.now, "fleet", "bootstrap_complete",
             registered=len(self.registry.devices),
         )
+        self.sim.spans.mark(
+            "fleet.state", "bootstrap_complete", track="fleet",
+            registered=len(self.registry.devices),
+        )
         self.bootstrapped.trigger(len(self.registry.devices))
 
     def _make_probe(self, node: FleetNode):
@@ -173,6 +177,11 @@ class FleetController:
             request,
             committed_mp_per_ms=self.total_committed_mp_per_ms,
             capacity_mp_per_ms=self.up_capacity_mp_per_ms,
+        )
+        self.sim.metrics.counter(f"fleet.admission.{outcome}").inc()
+        self.sim.spans.mark(
+            "fleet.admission", outcome, track="fleet",
+            session=request.session_id, tier=request.tier,
         )
         if outcome == "admit":
             self._start_session(request)
@@ -198,6 +207,10 @@ class FleetController:
             + session.demand_mp_per_ms
         )
         self.peak_concurrency = max(self.peak_concurrency, len(self.active))
+        self.sim.spans.mark(
+            "fleet.placement", "place", track="fleet",
+            session=session.session_id, node=node.name, tier=session.tier,
+        )
         session.start(node)
         self.sim.spawn(
             self._watch_session(session),
@@ -331,6 +344,11 @@ class FleetController:
             self.crash_migrations += 1
         else:
             self.rebalance_migrations += 1
+        self.sim.metrics.counter(f"fleet.migrations.{reason}").inc()
+        self.sim.spans.mark(
+            "fleet.migration", reason, track="fleet",
+            session=session.session_id, source=old, target=target.name,
+        )
         self.sim.tracer.record(
             self.sim.now, "fleet", "session_migrated",
             session=session.session_id, source=old, target=target.name,

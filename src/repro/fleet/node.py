@@ -45,6 +45,9 @@ class FrameTask:
     kind: str = "frame"                 # "frame" | "state"
     completed: bool = False
     completed_at_ms: Optional[float] = None
+    #: when the task last entered a node's queue (re-set on re-dispatch),
+    #: so the serving loop can report true per-node queue wait
+    enqueued_at_ms: Optional[float] = None
     #: the node currently responsible for answering this task; a stale
     #: server (crashed mid-render, then rejoined) must not complete a task
     #: that has been re-dispatched elsewhere.
@@ -143,6 +146,7 @@ class FleetNode:
 
     def submit(self, task: FrameTask) -> None:
         task.assigned_node = self.name
+        task.enqueued_at_ms = self.sim.now
         if task.kind == "frame":
             self._queued_fill_mp += task.fill_megapixels
         if self.failed:
@@ -159,6 +163,7 @@ class FleetNode:
         if self.failed:
             return
         self.failed = True
+        self.sim.spans.mark("fleet.state", "node_failed", track=self.name)
         self.sim.tracer.record(self.sim.now, "fleet", "node_failed",
                                node=self.name)
 
@@ -173,6 +178,7 @@ class FleetNode:
             if not task.completed and task.assigned_node == self.name:
                 self.queue.put(task, priority=task.priority)
         self.stranded.clear()
+        self.sim.spans.mark("fleet.state", "node_rejoined", track=self.name)
         self.sim.tracer.record(self.sim.now, "fleet", "node_rejoined",
                                node=self.name)
 
@@ -210,6 +216,14 @@ class FleetNode:
                 self.stranded.append(task)
                 continue
             self._current = task
+            dequeued_at = self.sim.now
+            if task.enqueued_at_ms is not None:
+                self.sim.spans.add(
+                    "fleet.queue", "queue_wait",
+                    task.enqueued_at_ms, dequeued_at,
+                    track=self.name, frame_id=task.seq,
+                    session=task.session_id,
+                )
             busy = self.service_time_ms(task)
             yield busy
             self._current = None
@@ -234,6 +248,13 @@ class FleetNode:
             self.stats.busy_ms += busy
             task.completed = True
             task.completed_at_ms = self.sim.now
+            self.sim.spans.add(
+                "fleet.execute",
+                "execute" if task.kind == "frame" else "state_replay",
+                dequeued_at, self.sim.now,
+                track=self.name, frame_id=task.seq,
+                session=task.session_id,
+            )
             if task.kind == "state":
                 self.stats.state_replays += 1
             else:

@@ -61,12 +61,17 @@ def build_wrapper_library(
     linker: Optional[DynamicLinker] = None,
     stats: Optional[InterceptionStats] = None,
     egl_exports: Optional[Dict[str, Callable[..., Any]]] = None,
+    spans: Optional[Any] = None,
 ) -> SharedLibrary:
     """Create the wrapper library and (optionally) interpose dl* calls.
 
     ``egl_exports`` lets the client runtime add its rewritten EGL entry
     points (``eglSwapBuffers`` above all, §IV-C/§VI-A) into the same
     library so they shadow the native EGL.
+
+    ``spans`` (a :class:`repro.obs.spans.SpanRecorder`) makes every stub
+    call emit an instant "intercept" mark tagged with its call route —
+    the per-call view the stage-level intercept span summarizes.
     """
     stats = stats if stats is not None else InterceptionStats()
     wrapper = SharedLibrary(soname=NATIVE_GLES_SONAME)
@@ -75,6 +80,11 @@ def build_wrapper_library(
     def make_stub(command_name: str, route: str) -> Callable[..., Any]:
         def stub(*args: Any) -> Any:
             stats.bump(route, command_name)
+            if spans is not None:
+                spans.mark(
+                    "app", "intercept", track="wrapper",
+                    command=command_name, route=route,
+                )
             return interceptor(make_command(command_name, *args))
 
         stub.__name__ = command_name

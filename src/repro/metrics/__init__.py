@@ -19,17 +19,25 @@ from repro.metrics.fps import FpsMetrics, compute_fps_metrics, fps_timeline
 from repro.metrics.energy import EnergyReport, normalized_energy
 from repro.metrics.overhead import OverheadReport
 from repro.metrics.report import session_report, session_report_json
+from repro.metrics.spans import (
+    PIPELINE_STAGES,
+    aggregate_spans,
+    pipeline_breakdown,
+)
 
 __all__ = [
+    "PIPELINE_STAGES",
     "BatteryComparison",
     "BatteryProjection",
     "EnergyReport",
     "FpsMetrics",
     "OverheadReport",
+    "aggregate_spans",
     "compare_battery_life",
     "compute_fps_metrics",
     "fps_timeline",
     "normalized_energy",
+    "pipeline_breakdown",
     "project_battery_life",
     "session_report",
     "session_report_json",

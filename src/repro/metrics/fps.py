@@ -41,18 +41,30 @@ class FpsMetrics:
 def fps_timeline(
     presentation_times_ms: Sequence[float], bucket_ms: float = 1000.0
 ) -> List[float]:
-    """Instantaneous FPS per time bucket."""
+    """Instantaneous FPS per *full* time bucket.
+
+    The trailing partial bucket is dropped: scaling, say, 3 frames in a
+    100 ms remainder as a full 1 s bucket would report 3 FPS and drag the
+    median/stability down.  Sessions shorter than one bucket pro-rate
+    instead, so a 500 ms burst of 30 frames reads as 60 FPS, not 30.
+    """
     if not presentation_times_ms:
         return []
     times = sorted(presentation_times_ms)
     start, end = times[0], times[-1]
     if end <= start:
         return [float(len(times))]
-    n_buckets = int((end - start) // bucket_ms) + 1
-    counts = [0] * n_buckets
-    for t in times:
-        counts[int((t - start) // bucket_ms)] += 1
+    span = end - start
     scale = 1000.0 / bucket_ms
+    n_full = int(span // bucket_ms)
+    if n_full == 0:
+        # Sub-bucket session: pro-rate over the observed span.
+        return [len(times) * 1000.0 / span]
+    counts = [0] * n_full
+    for t in times:
+        idx = int((t - start) // bucket_ms)
+        if idx < n_full:
+            counts[idx] += 1
     return [c * scale for c in counts]
 
 

@@ -1,0 +1,83 @@
+"""Span aggregation: per-stage latency percentiles from recorded spans.
+
+The observability layer (``repro.obs.spans``) records every pipeline
+stage a frame passes through; this module folds those spans into the
+per-stage latency distributions the paper's pipeline breakdown reports —
+p50/p95/p99 per stage, plus counts and totals, in a deterministic
+JSON-able shape shared with ``MetricsRegistry.snapshot()``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.obs.registry import percentile
+from repro.obs.spans import Span, SpanRecorder
+
+#: canonical stage order for the offload pipeline breakdown
+PIPELINE_STAGES = (
+    "intercept",
+    "encode",
+    "transmit",
+    "execute",
+    "video_encode",
+    "return",
+    "present",
+)
+
+
+def _summarize(durations: List[float]) -> Dict[str, float]:
+    ordered = sorted(durations)
+    total = sum(ordered)
+    return {
+        "count": len(ordered),
+        "p50": round(percentile(ordered, 50.0), 4),
+        "p95": round(percentile(ordered, 95.0), 4),
+        "p99": round(percentile(ordered, 99.0), 4),
+        "mean": round(total / len(ordered), 4) if ordered else 0.0,
+        "min": round(ordered[0], 4) if ordered else 0.0,
+        "max": round(ordered[-1], 4) if ordered else 0.0,
+        "total_ms": round(total, 4),
+    }
+
+
+def aggregate_spans(
+    spans: "SpanRecorder | Iterable[Span]",
+    by: str = "name",
+    category: Optional[str] = None,
+) -> Dict[str, Dict[str, float]]:
+    """Fold spans into ``{key: {count, p50, p95, p99, mean, ...}}``.
+
+    ``by`` selects the grouping key: ``"name"`` (pipeline stages),
+    ``"category"`` (subsystems) or ``"qualified_name"``.  Instant marks
+    are excluded — they are occurrences, not latencies; genuine
+    zero-duration stages (e.g. an in-order frame spending no time in the
+    reorder buffer) do count.
+    """
+    if by not in ("name", "category", "qualified_name"):
+        raise ValueError(f"unknown grouping {by!r}")
+    rows = spans.spans if isinstance(spans, SpanRecorder) else spans
+    groups: Dict[str, List[float]] = {}
+    for span in rows:
+        if category is not None and span.category != category:
+            continue
+        if span.instant:
+            continue
+        groups.setdefault(getattr(span, by), []).append(span.duration_ms)
+    return {key: _summarize(groups[key]) for key in sorted(groups)}
+
+
+def pipeline_breakdown(
+    spans: "SpanRecorder | Iterable[Span]",
+) -> Dict[str, Any]:
+    """The paper-shaped breakdown: canonical stages first, extras after.
+
+    Stages with no recorded spans are present with ``count: 0`` so the
+    benchmark schema is stable across configurations.
+    """
+    stats = aggregate_spans(spans, by="name")
+    breakdown: Dict[str, Any] = {}
+    for stage in PIPELINE_STAGES:
+        breakdown[stage] = stats.pop(stage, _summarize([]))
+    breakdown.update(stats)
+    return breakdown

@@ -155,9 +155,11 @@ class Transport:
                 self.sim.now, "transport", "give_up",
                 transport=self.name, seq=seq,
             )
+            self.sim.metrics.counter("transport.give_ups").inc()
             self._rto_timers.pop(seq, None)
             return
         self.stats.retransmissions += 1
+        self.sim.metrics.counter("transport.retransmissions").inc()
         self.sim.tracer.record(
             self.sim.now, "transport", "retransmit",
             transport=self.name, seq=seq, attempt=attempt + 1,
@@ -203,11 +205,37 @@ class Transport:
             self.stats.messages_delivered += 1
             latency = self.sim.now - message.metadata["transport_send_at"]
             self.stats.delivery_latencies_ms.append(latency)
+            self._record_delivery_span(message)
             delivered: Optional[Event] = message.metadata.get("delivered_event")
             if delivered is not None and not delivered.triggered:
                 delivered.trigger(message)
             if self.on_deliver is not None:
                 self.on_deliver(message)
+
+    def _record_delivery_span(self, message: Message) -> None:
+        """One span per in-order delivery: uplink messages are the frame's
+        "transmit" stage, returning encoded frames are its "return" stage."""
+        request = message.metadata.get("request")
+        frame_id = getattr(request, "frame_id", None)
+        parent = None
+        depth = 0
+        if request is not None:
+            root = request.metadata.get("frame_span")
+            if root is not None:
+                parent = root.qualified_name
+                depth = root.depth + 1
+        self.sim.spans.add(
+            "net",
+            "return" if message.kind == "frame" else "transmit",
+            message.metadata["transport_send_at"],
+            self.sim.now,
+            track=self.name,
+            frame_id=frame_id,
+            parent=parent,
+            depth=depth,
+            bytes=message.framed_bytes,
+            kind=message.kind,
+        )
 
     # -- introspection -------------------------------------------------------------------------
 

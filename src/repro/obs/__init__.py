@@ -1,0 +1,48 @@
+"""Observability: bounded tracing, hierarchical spans, metrics, exporters.
+
+``repro.obs`` is the instrumentation layer the rest of the simulator
+reports into:
+
+* :class:`RingTracer` — bounded ring-buffer event tracer with
+  per-category indexes (the default ``sim.tracer``);
+* :class:`SpanRecorder` / :class:`Span` — hierarchical frame-stage spans
+  (``sim.spans``), aggregated by ``repro.metrics.spans`` and exported as
+  Chrome trace-event JSON by :func:`chrome_trace`;
+* :class:`MetricsRegistry` — counters, gauges and histograms
+  (``sim.metrics``) wired into transport retransmissions, switching
+  decisions, cache hit rates and fleet admission/migration outcomes.
+"""
+
+from repro.obs.export import (
+    TRACE_SCHEMA,
+    chrome_trace,
+    trace_categories,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    percentile,
+)
+from repro.obs.ring import RingTracer
+from repro.obs.spans import OpenSpan, Span, SpanRecorder
+
+__all__ = [
+    "TRACE_SCHEMA",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "OpenSpan",
+    "RingTracer",
+    "Span",
+    "SpanRecorder",
+    "chrome_trace",
+    "percentile",
+    "trace_categories",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]

@@ -1,0 +1,168 @@
+"""Chrome trace-event export and schema validation.
+
+``chrome_trace`` renders a :class:`~repro.obs.spans.SpanRecorder`'s spans
+as the Trace Event Format consumed by Perfetto / ``chrome://tracing``:
+completed spans become ``"X"`` (complete) events, zero-duration marks
+become ``"I"`` (instant) events, and every distinct span track gets a
+``thread_name`` metadata record so the viewer labels its rows.
+
+``validate_chrome_trace`` is the schema gate CI runs: any drift in the
+exported shape (missing keys, bad phase codes, negative durations, lost
+categories) comes back as a list of human-readable problems.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.obs.spans import Span, SpanRecorder
+
+#: exported schema identifier, bumped on incompatible changes
+TRACE_SCHEMA = "repro.chrome_trace/1"
+
+#: keys every emitted trace event must carry
+REQUIRED_EVENT_KEYS = ("name", "cat", "ph", "ts", "pid", "tid")
+
+#: phase codes this exporter may legally produce
+ALLOWED_PHASES = {"X", "I", "M"}
+
+
+def _span_events(
+    spans: Iterable[Span], tid_for: Dict[str, int]
+) -> List[Dict[str, Any]]:
+    events = []
+    for span in spans:
+        args: Dict[str, Any] = dict(span.args)
+        if span.frame_id is not None:
+            args["frame_id"] = span.frame_id
+        if span.parent is not None:
+            args["parent"] = span.parent
+        event: Dict[str, Any] = {
+            "name": span.name,
+            "cat": span.category,
+            "ts": round(span.start_ms * 1000.0, 3),   # microseconds
+            "pid": 1,
+            "tid": tid_for[span.track],
+        }
+        if span.instant:
+            event["ph"] = "I"
+            event["s"] = "t"                          # thread-scoped instant
+        else:
+            event["ph"] = "X"
+            event["dur"] = round(span.duration_ms * 1000.0, 3)
+        if args:
+            event["args"] = args
+        events.append(event)
+    return events
+
+
+def chrome_trace(
+    spans: SpanRecorder,
+    metadata: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Render the recorder's spans as a Chrome trace-event JSON object."""
+    tracks = sorted({s.track for s in spans.spans})
+    tid_for = {track: i + 1 for i, track in enumerate(tracks)}
+    events: List[Dict[str, Any]] = [
+        {
+            "name": "thread_name",
+            "cat": "__metadata",
+            "ph": "M",
+            "ts": 0,
+            "pid": 1,
+            "tid": tid,
+            "args": {"name": track},
+        }
+        for track, tid in sorted(tid_for.items(), key=lambda kv: kv[1])
+    ]
+    events.extend(
+        sorted(
+            _span_events(spans.spans, tid_for),
+            key=lambda e: (e["ts"], e["tid"], e["name"]),
+        )
+    )
+    other: Dict[str, Any] = {
+        "schema": TRACE_SCHEMA,
+        "span_count": len(spans),
+        "dropped_spans": spans.dropped,
+    }
+    if metadata:
+        other.update(metadata)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": other,
+    }
+
+
+def trace_categories(trace: Dict[str, Any]) -> List[str]:
+    """Distinct span categories present in a trace (metadata excluded)."""
+    return sorted(
+        {
+            e.get("cat")
+            for e in trace.get("traceEvents", ())
+            if isinstance(e, dict) and e.get("ph") in ("X", "I")
+        }
+        - {None}
+    )
+
+
+def validate_chrome_trace(trace: Any) -> List[str]:
+    """Schema gate: returns a list of problems (empty == valid)."""
+    problems: List[str] = []
+    if not isinstance(trace, dict):
+        return [f"top level must be an object, got {type(trace).__name__}"]
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        problems.append("missing or non-list 'traceEvents'")
+        return problems
+    if trace.get("displayTimeUnit") != "ms":
+        problems.append("'displayTimeUnit' must be 'ms'")
+    other = trace.get("otherData")
+    if not isinstance(other, dict) or other.get("schema") != TRACE_SCHEMA:
+        problems.append(f"'otherData.schema' must be {TRACE_SCHEMA!r}")
+    if not events:
+        problems.append("'traceEvents' is empty")
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"event {i}: not an object")
+            continue
+        missing = [k for k in REQUIRED_EVENT_KEYS if k not in event]
+        if missing:
+            problems.append(f"event {i}: missing keys {missing}")
+            continue
+        ph = event["ph"]
+        if ph not in ALLOWED_PHASES:
+            problems.append(f"event {i}: unknown phase {ph!r}")
+        if not isinstance(event["ts"], (int, float)) or event["ts"] < 0:
+            problems.append(f"event {i}: bad ts {event['ts']!r}")
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"event {i}: 'X' event needs dur >= 0")
+        if "args" in event and not isinstance(event["args"], dict):
+            problems.append(f"event {i}: args must be an object")
+    return problems
+
+
+def write_chrome_trace(
+    path: str,
+    spans: SpanRecorder,
+    metadata: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Export, validate, and write a trace file; returns the trace object.
+
+    Raises ``ValueError`` on schema drift so callers (the CLI smoke gate)
+    fail loudly instead of uploading a broken artifact.
+    """
+    trace = chrome_trace(spans, metadata=metadata)
+    problems = validate_chrome_trace(trace)
+    if problems:
+        raise ValueError(
+            "chrome trace schema drift: " + "; ".join(problems[:5])
+        )
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(trace, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    return trace

@@ -1,0 +1,168 @@
+"""Counters, gauges and histograms for the simulation data path.
+
+A tiny, dependency-free metrics registry in the Prometheus shape:
+
+* :class:`Counter` — monotonically increasing totals (retransmissions,
+  cache hits, admission outcomes);
+* :class:`Gauge` — last-written values (cache hit rate, queue depth);
+* :class:`Histogram` — streaming observations with deterministic
+  percentile queries (frame response times).
+
+Everything is deterministic: a seeded run produces a byte-identical
+``snapshot()`` dict, so registries can participate in same-seed digest
+checks the way the fleet report already does.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+#: histograms keep at most this many raw samples (count/sum keep running)
+DEFAULT_HISTOGRAM_SAMPLES = 65_536
+
+
+def percentile(sorted_values: List[float], q: float) -> float:
+    """Linear-interpolated percentile of an already-sorted list.
+
+    Deterministic and dependency-free (no numpy): the same method as
+    ``statistics.quantiles(..., method='inclusive')``.
+    """
+    if not sorted_values:
+        return 0.0
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile {q} outside [0, 100]")
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    rank = (q / 100.0) * (len(sorted_values) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(sorted_values) - 1)
+    frac = rank - lo
+    return sorted_values[lo] * (1.0 - frac) + sorted_values[hi] * frac
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+
+
+class Gauge:
+    """A last-written value."""
+
+    __slots__ = ("name", "value", "updates")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+        self.updates = 0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+        self.updates += 1
+
+
+class Histogram:
+    """Streaming observations with deterministic percentiles.
+
+    Keeps every sample up to ``max_samples`` (newest dropped beyond that —
+    count and sum keep running, so means stay exact).
+    """
+
+    __slots__ = ("name", "count", "sum", "max_samples", "_samples", "dropped")
+
+    def __init__(self, name: str, max_samples: int = DEFAULT_HISTOGRAM_SAMPLES):
+        self.name = name
+        self.count = 0
+        self.sum = 0.0
+        self.max_samples = max_samples
+        self._samples: List[float] = []
+        self.dropped = 0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        if len(self._samples) < self.max_samples:
+            self._samples.append(float(value))
+        else:
+            self.dropped += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        return percentile(sorted(self._samples), q)
+
+    def summary(self) -> Dict[str, float]:
+        ordered = sorted(self._samples)
+        return {
+            "count": self.count,
+            "mean": round(self.mean, 4),
+            "p50": round(percentile(ordered, 50.0), 4),
+            "p95": round(percentile(ordered, 95.0), 4),
+            "p99": round(percentile(ordered, 99.0), 4),
+            "min": round(ordered[0], 4) if ordered else 0.0,
+            "max": round(ordered[-1], 4) if ordered else 0.0,
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create registry keyed by metric name."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        if name not in self._counters:
+            self._check_free(name, self._counters)
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        if name not in self._gauges:
+            self._check_free(name, self._gauges)
+            self._gauges[name] = Gauge(name)
+        return self._gauges[name]
+
+    def histogram(
+        self, name: str, max_samples: int = DEFAULT_HISTOGRAM_SAMPLES
+    ) -> Histogram:
+        if name not in self._histograms:
+            self._check_free(name, self._histograms)
+            self._histograms[name] = Histogram(name, max_samples=max_samples)
+        return self._histograms[name]
+
+    def _check_free(self, name: str, own: Dict[str, Any]) -> None:
+        for family in (self._counters, self._gauges, self._histograms):
+            if family is not own and name in family:
+                raise ValueError(
+                    f"metric {name!r} already registered with another type"
+                )
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Deterministic JSON-able dump: sorted names, rounded values."""
+        return {
+            "counters": {
+                name: round(c.value, 4)
+                for name, c in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: round(g.value, 4)
+                for name, g in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: h.summary()
+                for name, h in sorted(self._histograms.items())
+            },
+        }

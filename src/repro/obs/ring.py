@@ -1,0 +1,109 @@
+"""Bounded trace recording: a ring buffer with per-category indexes.
+
+:class:`RingTracer` is the drop-in replacement for the original flat-list
+:class:`~repro.sim.trace.Tracer`: same ``record``/``query``/``count``/
+``clear`` API, but
+
+* storage is a ring — once ``capacity`` records are held, each new record
+  evicts the oldest, so a week-long simulated session cannot grow the
+  tracer without bound (the count is exposed as ``dropped``);
+* each category keeps its own index deque, so ``query(category)`` walks
+  only that category's records instead of scanning the whole buffer —
+  the O(n) full scans the flat tracer did on every ``count`` call.
+
+Eviction preserves the index invariant for free: records are appended in
+global time order, so the globally oldest record is also the oldest entry
+of its own category index.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, Iterable, List, Optional, Set
+
+from repro.sim.trace import TraceRecord
+
+#: default ring size: generous for multi-minute sessions, bounded for weeks
+DEFAULT_CAPACITY = 65_536
+
+
+class RingTracer:
+    """Collects trace records into a bounded ring with category indexes."""
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        categories: Optional[Iterable[str]] = None,
+    ):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._buf: Deque[TraceRecord] = deque()
+        self._by_category: Dict[str, Deque[TraceRecord]] = {}
+        self._categories: Optional[Set[str]] = (
+            set(categories) if categories is not None else None
+        )
+        self.enabled = True
+        #: records evicted from the ring since construction / last clear
+        self.dropped = 0
+
+    # -- compatibility with the flat Tracer ---------------------------------
+
+    @property
+    def records(self) -> List[TraceRecord]:
+        """Live records, oldest first (the flat tracer's ``records`` list)."""
+        return list(self._buf)
+
+    def wants(self, category: str) -> bool:
+        if not self.enabled:
+            return False
+        return self._categories is None or category in self._categories
+
+    # -- recording -----------------------------------------------------------
+
+    def record(
+        self, time: float, category: str, event: str, **data: Any
+    ) -> None:
+        if not self.wants(category):
+            return
+        rec = TraceRecord(time, category, event, data)
+        self._buf.append(rec)
+        self._by_category.setdefault(category, deque()).append(rec)
+        if len(self._buf) > self.capacity:
+            old = self._buf.popleft()
+            self.dropped += 1
+            index = self._by_category[old.category]
+            index.popleft()          # global order == per-category order
+            if not index:
+                del self._by_category[old.category]
+
+    # -- queries -------------------------------------------------------------
+
+    def query(
+        self, category: Optional[str] = None, event: Optional[str] = None
+    ) -> List[TraceRecord]:
+        if category is not None:
+            rows: Iterable[TraceRecord] = self._by_category.get(category, ())
+        else:
+            rows = self._buf
+        if event is not None:
+            return [r for r in rows if r.event == event]
+        return list(rows)
+
+    def count(
+        self, category: Optional[str] = None, event: Optional[str] = None
+    ) -> int:
+        if event is None:
+            if category is None:
+                return len(self._buf)
+            return len(self._by_category.get(category, ()))
+        return len(self.query(category, event))
+
+    def categories(self) -> List[str]:
+        """Categories currently present in the ring, sorted."""
+        return sorted(self._by_category)
+
+    def clear(self) -> None:
+        self._buf.clear()
+        self._by_category.clear()
+        self.dropped = 0

@@ -1,0 +1,214 @@
+"""Hierarchical span tracing for the offload pipeline.
+
+A *span* is a named, categorized time interval — one stage of one frame's
+journey through the acceleration pipeline (intercept → encode → transmit →
+execute → video_encode → return → present), one fleet task's queue wait,
+one migration.  Substrates record spans through the simulator's
+:class:`SpanRecorder` (``sim.spans``); the aggregator in
+``repro.metrics.spans`` turns them into per-stage percentiles and the
+exporter in ``repro.obs.export`` renders them as Chrome trace-event JSON
+loadable in Perfetto / ``chrome://tracing``.
+
+Hierarchy is explicit: a stage span opened with ``parent=<handle>`` carries
+its parent's qualified name and ``depth + 1``, so tests can assert nesting
+and trace viewers can group a frame's stages under its root span.
+
+Storage is a bounded ring (newest kept, ``dropped`` counted) so tracing is
+safe to leave on for arbitrarily long sessions.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, List, Optional
+
+#: default span-ring size; a 60 s offload session emits ~15 k spans
+DEFAULT_CAPACITY = 100_000
+
+
+@dataclass
+class Span:
+    """One completed, timed pipeline stage."""
+
+    category: str
+    name: str
+    start_ms: float
+    end_ms: float
+    track: str = "main"          # trace-viewer row (thread) this span renders on
+    frame_id: Optional[int] = None
+    parent: Optional[str] = None  # qualified name of the enclosing span
+    depth: int = 0
+    #: instant occurrences (marks) are points, not latencies — aggregation
+    #: skips them, and the exporter renders them as "I" events
+    instant: bool = False
+    args: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration_ms(self) -> float:
+        return self.end_ms - self.start_ms
+
+    @property
+    def qualified_name(self) -> str:
+        return f"{self.category}.{self.name}"
+
+
+class OpenSpan:
+    """Handle for an in-flight span; ``end()`` seals it into the recorder."""
+
+    __slots__ = (
+        "recorder", "category", "name", "start_ms", "track",
+        "frame_id", "parent", "depth", "args", "closed",
+    )
+
+    def __init__(
+        self,
+        recorder: "SpanRecorder",
+        category: str,
+        name: str,
+        start_ms: float,
+        track: str,
+        frame_id: Optional[int],
+        parent: Optional["OpenSpan"],
+        args: Dict[str, Any],
+    ):
+        self.recorder = recorder
+        self.category = category
+        self.name = name
+        self.start_ms = start_ms
+        self.track = track
+        self.frame_id = frame_id
+        self.parent = parent
+        self.depth = (parent.depth + 1) if parent is not None else 0
+        self.args = args
+        self.closed = False
+
+    @property
+    def qualified_name(self) -> str:
+        return f"{self.category}.{self.name}"
+
+    def end(self, at_ms: Optional[float] = None, **args: Any) -> Optional[Span]:
+        """Close the span at ``at_ms`` (default: the recorder's clock)."""
+        if self.closed:
+            return None
+        self.closed = True
+        merged = dict(self.args)
+        merged.update(args)
+        return self.recorder.add(
+            self.category,
+            self.name,
+            self.start_ms,
+            self.recorder.clock() if at_ms is None else at_ms,
+            track=self.track,
+            frame_id=self.frame_id,
+            parent=self.parent.qualified_name if self.parent else None,
+            depth=self.depth,
+            **merged,
+        )
+
+
+class SpanRecorder:
+    """Bounded store of completed spans, fed by the whole data path."""
+
+    def __init__(
+        self,
+        clock: Optional[Callable[[], float]] = None,
+        capacity: int = DEFAULT_CAPACITY,
+    ):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.clock = clock or (lambda: 0.0)
+        self.capacity = capacity
+        self.spans: Deque[Span] = deque()
+        self.enabled = True
+        #: spans evicted once the ring filled (newest are kept)
+        self.dropped = 0
+        #: instant marks (zero-duration occurrences) ride the same ring
+
+    # -- recording -----------------------------------------------------------
+
+    def add(
+        self,
+        category: str,
+        name: str,
+        start_ms: float,
+        end_ms: float,
+        track: str = "main",
+        frame_id: Optional[int] = None,
+        parent: Optional[str] = None,
+        depth: int = 0,
+        instant: bool = False,
+        **args: Any,
+    ) -> Optional[Span]:
+        """Record a completed span with explicit timestamps."""
+        if not self.enabled:
+            return None
+        if end_ms < start_ms:
+            start_ms = end_ms
+        span = Span(
+            category=category,
+            name=name,
+            start_ms=start_ms,
+            end_ms=end_ms,
+            track=track,
+            frame_id=frame_id,
+            parent=parent,
+            depth=depth,
+            instant=instant,
+            args=args,
+        )
+        self.spans.append(span)
+        if len(self.spans) > self.capacity:
+            self.spans.popleft()
+            self.dropped += 1
+        return span
+
+    def begin(
+        self,
+        category: str,
+        name: str,
+        track: str = "main",
+        frame_id: Optional[int] = None,
+        parent: Optional[OpenSpan] = None,
+        **args: Any,
+    ) -> OpenSpan:
+        """Open a span at the current clock; close it with ``handle.end()``."""
+        return OpenSpan(
+            self, category, name, self.clock(), track, frame_id, parent, args
+        )
+
+    def mark(
+        self,
+        category: str,
+        name: str,
+        track: str = "main",
+        frame_id: Optional[int] = None,
+        **args: Any,
+    ) -> Optional[Span]:
+        """An instant occurrence (zero-duration span) at the current clock."""
+        now = self.clock()
+        return self.add(
+            category, name, now, now, track=track, frame_id=frame_id,
+            instant=True, **args,
+        )
+
+    # -- queries -------------------------------------------------------------
+
+    def by_name(self, name: str) -> List[Span]:
+        return [s for s in self.spans if s.name == name]
+
+    def by_category(self, category: str) -> List[Span]:
+        return [s for s in self.spans if s.category == category]
+
+    def categories(self) -> List[str]:
+        return sorted({s.category for s in self.spans})
+
+    def stage_names(self) -> List[str]:
+        return sorted({s.name for s in self.spans})
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def clear(self) -> None:
+        self.spans.clear()
+        self.dropped = 0

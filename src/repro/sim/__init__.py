@@ -12,6 +12,7 @@ from repro.sim.kernel import (
     Process,
     SimulationError,
     Simulator,
+    TimerEvent,
 )
 from repro.sim.random import RandomStream
 from repro.sim.resources import Gauge, Resource, Store
@@ -27,6 +28,7 @@ __all__ = [
     "SimulationError",
     "Simulator",
     "Store",
+    "TimerEvent",
     "TraceRecord",
     "Tracer",
 ]

@@ -77,6 +77,42 @@ class Event:
         return f"<Event {self.name!r} {state}>"
 
 
+class TimerEvent(Event):
+    """The event :meth:`Simulator.timeout` returns, backed by a timer process.
+
+    Triggering it early (externally, before the delay expires) kills the
+    backing ``_timer`` process, so a satisfied timeout never keeps
+    :meth:`Simulator.run` alive for the rest of its delay — the same leak
+    class the transport's RTO timers had before they became cancellable.
+    ``cancel`` abandons a pending timer outright without triggering it,
+    which is how :meth:`Simulator.any_of` reaps losing timeouts.
+    """
+
+    def __init__(self, sim: "Simulator", name: str = ""):
+        super().__init__(sim, name=name)
+        #: the process sleeping out the delay; killed on early trigger
+        self._timer: Optional["Process"] = None
+        self._firing = False
+
+    @property
+    def timer(self) -> Optional["Process"]:
+        """Handle on the backing timer process (for tests and reapers)."""
+        return self._timer
+
+    def trigger(self, value: Any = None) -> "Event":
+        super().trigger(value)
+        if not self._firing and self._timer is not None:
+            # Externally triggered: the timer is still sleeping out the
+            # delay — reap it so the queue can drain now.
+            self._timer.kill()
+        return self
+
+    def cancel(self) -> None:
+        """Abandon the pending timer without ever triggering the event."""
+        if not self.triggered and self._timer is not None:
+            self._timer.kill()
+
+
 class Process:
     """A running coroutine on the simulator.
 
@@ -189,9 +225,19 @@ class Simulator:
     """The event loop: a clock plus a priority queue of resumptions."""
 
     def __init__(self, seed: int = 0, tracer: Optional[Tracer] = None):
+        # Deferred import: repro.obs sits above repro.sim in the layer
+        # diagram; importing it at module scope would be circular.
+        from repro.obs.registry import MetricsRegistry
+        from repro.obs.ring import RingTracer
+        from repro.obs.spans import SpanRecorder
+
         self.seed = seed
         self.now = 0.0
-        self.tracer = tracer or Tracer()
+        self.tracer = tracer or RingTracer()
+        #: frame/stage span recorder; substrates emit hierarchical spans here
+        self.spans = SpanRecorder(clock=lambda: self.now)
+        #: counters / gauges / histograms registry
+        self.metrics = MetricsRegistry()
         self._queue: List[Tuple[float, int, Process, Any]] = []
         self._counter = itertools.count()
         self._streams: dict = {}
@@ -221,18 +267,25 @@ class Simulator:
     def event(self, name: str = "") -> Event:
         return Event(self, name=name)
 
-    def timeout(self, delay: float, value: Any = None, name: str = "") -> Event:
-        """An event that fires ``delay`` ms from now."""
+    def timeout(self, delay: float, value: Any = None, name: str = "") -> "TimerEvent":
+        """An event that fires ``delay`` ms from now.
+
+        The returned :class:`TimerEvent` is cancellable: triggering it
+        early (externally) or calling ``cancel()`` kills the backing timer
+        process immediately, so :meth:`run` is never held open by a timeout
+        that already served its purpose.
+        """
         if delay < 0:
             raise SimulationError(f"negative timeout {delay}")
-        evt = Event(self, name=name or f"timeout@{self.now + delay:.3f}")
+        evt = TimerEvent(self, name=name or f"timeout@{self.now + delay:.3f}")
 
         def _fire() -> Generator:
             yield delay
             if not evt.triggered:
+                evt._firing = True
                 evt.trigger(value)
 
-        self.spawn(_fire(), name=f"_timer.{evt.name}")
+        evt._timer = self.spawn(_fire(), name=f"_timer.{evt.name}")
         return evt
 
     def any_of(self, events: Iterable[Event], name: str = "any") -> Event:
@@ -240,7 +293,10 @@ class Simulator:
 
         The composite value is ``(index, value)`` of the winning event.
         Once a winner fires, the losing watcher processes are killed so they
-        do not sit forever in the waiter lists of events that never trigger.
+        do not sit forever in the waiter lists of events that never trigger,
+        and losing *timeouts* nobody else is waiting on are reaped too — a
+        race against a 10-second timeout must not keep :meth:`run` alive
+        for 10 seconds after the data arrived.
         """
         events = list(events)
         combined = Event(self, name=name)
@@ -253,6 +309,14 @@ class Simulator:
                 for loser in watchers:
                     if loser is not watchers[idx]:
                         loser.kill()
+                for j, other in enumerate(events):
+                    if (
+                        j != idx
+                        and isinstance(other, TimerEvent)
+                        and not other.triggered
+                        and not other._waiters
+                    ):
+                        other.cancel()
 
         for idx, evt in enumerate(events):
             watchers.append(self.spawn(_watch(idx, evt), name=f"_anyof.{name}.{idx}"))

@@ -71,13 +71,24 @@ class SwitchingController:
             active_rate = self.manager.active.spec.bandwidth_mbps
             if mbps > active_rate:
                 self.stats.overload_epochs += 1
+                self.sim.metrics.counter("switching.overload_epochs").inc()
             if decision == SwitchDecision.WIFI:
                 self.manager.use("wifi")
                 self.stats.switches_to_wifi += 1
+                self.sim.metrics.counter("switching.to_wifi").inc()
+                self.sim.spans.mark(
+                    "switching", "switch", track="radio",
+                    to="wifi", offered_mbps=round(mbps, 3),
+                )
                 if self.power_down_idle:
                     self.manager.power_down_idle()
             elif decision == SwitchDecision.BLUETOOTH:
                 self.manager.use("bluetooth")
                 self.stats.switches_to_bluetooth += 1
+                self.sim.metrics.counter("switching.to_bluetooth").inc()
+                self.sim.spans.mark(
+                    "switching", "switch", track="radio",
+                    to="bluetooth", offered_mbps=round(mbps, 3),
+                )
                 if self.power_down_idle:
                     self.manager.power_down_idle()

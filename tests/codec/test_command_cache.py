@@ -120,3 +120,61 @@ def test_property_cache_never_exceeds_capacity(keys):
     for k in keys:
         cache.insert((k,), b"v")
     assert len(cache) <= 10
+
+
+class TestReinsertRefresh:
+    """Regression tests: ``insert`` on an existing key must refresh the
+    stored bytes, not just recency — serving stale bytes on a later hit
+    desyncs the receiver's replay."""
+
+    def test_reinsert_updates_stored_bytes(self):
+        cache = LRUCommandCache(capacity=4)
+        cache.insert(("k",), b"old")
+        cache.insert(("k",), b"new")
+        assert cache.lookup(("k",)) == b"new"
+
+    def test_reinsert_refreshes_recency(self):
+        cache = LRUCommandCache(capacity=2)
+        cache.insert(("a",), b"1")
+        cache.insert(("b",), b"2")
+        cache.insert(("a",), b"1*")    # re-insert: a becomes newest
+        cache.insert(("c",), b"3")     # should evict b, not a
+        assert ("a",) in cache
+        assert ("b",) not in cache
+
+    def test_pair_replays_latest_bytes_after_reencode(self):
+        """Evict a key, re-encode it with different wire bytes, and check
+        a later hit references the new bytes on both sides."""
+        pair = CachePair(capacity=1)
+        cmd_a = make_command("glUseProgram", 1)
+        cmd_b = make_command("glUseProgram", 2)
+        pair.encode(cmd_a, b"v1" * 8)
+        pair.encode(cmd_b, b"xx" * 8)        # evicts cmd_a on both sides
+        pair.encode(cmd_a, b"v2" * 8)        # re-learned with new bytes
+        assert pair.sender.lookup(cmd_a.key()) == b"v2" * 8
+        assert pair.receiver.lookup(cmd_a.key()) == b"v2" * 8
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=6),     # key
+            st.integers(min_value=0, max_value=3),     # payload version
+        ),
+        min_size=1,
+        max_size=200,
+    ),
+)
+def test_property_lookup_returns_last_inserted_bytes(ops):
+    """Whatever the insert pattern, a hit always serves the newest bytes."""
+    cache = LRUCommandCache(capacity=4)
+    latest = {}
+    for key_id, version in ops:
+        key = ("glUseProgram", key_id)
+        wire = bytes([key_id, version]) * 8
+        cache.insert(key, wire)
+        latest[key] = wire
+    for key, wire in latest.items():
+        if key in cache:
+            assert cache.lookup(key) == wire

@@ -92,3 +92,33 @@ class TestComputeMetrics:
     def test_response_time_none_handled(self):
         record = FrameRecord(frame_id=0, issued_at=1.0)
         assert record.response_time_ms is None
+
+
+class TestPartialBucket:
+    """Regression tests: the trailing partial bucket used to be scaled as
+    a full second, reporting e.g. 7 frames in a 200 ms remainder as 7 FPS
+    and dragging stability down on perfectly steady sessions."""
+
+    def test_trailing_partial_bucket_dropped(self):
+        # 280 frames at ~30 FPS: span 9207 ms = 9 full buckets + 207 ms tail.
+        times = [i * 33.0 for i in range(280)]
+        series = fps_timeline(times)
+        assert len(series) == 9
+        for v in series:
+            assert v == pytest.approx(30.3, abs=1.0)
+
+    def test_steady_stream_with_tail_is_fully_stable(self):
+        times = [i * 33.0 for i in range(280)]
+        series = fps_timeline(times)
+        median = sorted(series)[len(series) // 2]
+        assert stability_within(series, median) == 1.0
+
+    def test_sub_bucket_session_pro_rates(self):
+        # 3 frames spread over 500 ms is 6 FPS, not 3 "per bucket".
+        assert fps_timeline([0.0, 250.0, 500.0]) == [pytest.approx(6.0)]
+
+    def test_exact_multiple_span_keeps_every_bucket(self):
+        # Frames at 0..1999 ms: span 1999 ms -> one full bucket of 60.
+        times = [t for t in range(0, 2000, 100)]
+        series = fps_timeline([float(t) for t in times])
+        assert series == [pytest.approx(10.0)]

@@ -1,0 +1,69 @@
+"""Span aggregator: per-stage percentiles and the pipeline breakdown."""
+
+import pytest
+
+from repro.metrics.spans import (
+    PIPELINE_STAGES,
+    aggregate_spans,
+    pipeline_breakdown,
+)
+from repro.obs.spans import Span, SpanRecorder
+
+
+def recorder_with_stages():
+    rec = SpanRecorder()
+    for i, dur in enumerate((2.0, 4.0, 6.0)):
+        rec.add("app", "intercept", float(i * 20), float(i * 20) + dur,
+                frame_id=i)
+    rec.add("net", "transmit", 5.0, 9.0, frame_id=0)
+    rec.add("client", "present", 50.0, 50.0, frame_id=0)   # in-order: 0 ms
+    rec.mark("dispatch", "assign", node="n0")              # excluded
+    return rec
+
+
+class TestAggregateSpans:
+    def test_groups_by_name_with_percentiles(self):
+        stats = aggregate_spans(recorder_with_stages())
+        intercept = stats["intercept"]
+        assert intercept["count"] == 3
+        assert intercept["p50"] == pytest.approx(4.0)
+        assert intercept["mean"] == pytest.approx(4.0)
+        assert intercept["min"] == 2.0
+        assert intercept["max"] == 6.0
+        assert intercept["total_ms"] == pytest.approx(12.0)
+
+    def test_marks_excluded_zero_duration_stages_counted(self):
+        stats = aggregate_spans(recorder_with_stages())
+        assert "assign" not in stats
+        assert stats["present"]["count"] == 1
+        assert stats["present"]["p99"] == 0.0
+
+    def test_group_by_category_and_filter(self):
+        rec = recorder_with_stages()
+        by_cat = aggregate_spans(rec, by="category")
+        assert by_cat["app"]["count"] == 3
+        only_net = aggregate_spans(rec, category="net")
+        assert list(only_net) == ["transmit"]
+
+    def test_accepts_plain_span_iterable(self):
+        spans = [Span("net", "transmit", 0.0, 3.0)]
+        assert aggregate_spans(spans)["transmit"]["p50"] == 3.0
+
+    def test_unknown_grouping_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_spans(SpanRecorder(), by="track")
+
+
+class TestPipelineBreakdown:
+    def test_canonical_stages_always_present_in_order(self):
+        breakdown = pipeline_breakdown(recorder_with_stages())
+        assert list(breakdown)[: len(PIPELINE_STAGES)] == list(PIPELINE_STAGES)
+        assert breakdown["execute"]["count"] == 0
+        assert breakdown["execute"]["p50"] == 0.0
+
+    def test_extra_stages_follow_canonical_ones(self):
+        rec = recorder_with_stages()
+        rec.add("fleet.queue", "queue_wait", 0.0, 1.5)
+        breakdown = pipeline_breakdown(rec)
+        assert list(breakdown)[-1] == "queue_wait"
+        assert breakdown["queue_wait"]["count"] == 1

@@ -1,0 +1,122 @@
+"""Chrome trace-event export: schema, phases, metadata, round-trip."""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    TRACE_SCHEMA,
+    chrome_trace,
+    trace_categories,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.spans import SpanRecorder
+
+
+def recorder_with_spans():
+    rec = SpanRecorder()
+    rec.add("frame", "frame", 0.0, 20.0, track="engine", frame_id=1)
+    rec.add("app", "intercept", 0.0, 2.0, track="engine", frame_id=1,
+            parent="frame.frame", depth=1)
+    rec.add("net", "transmit", 2.0, 6.0, track="uplink", frame_id=1,
+            parent="frame.frame", depth=1, bytes=512)
+    rec.add("dispatch", "assign", 1.5, 1.5, track="client",
+            instant=True, node="shield")
+    return rec
+
+
+class TestExport:
+    def test_valid_trace_from_recorded_spans(self):
+        trace = chrome_trace(recorder_with_spans())
+        assert validate_chrome_trace(trace) == []
+        assert trace["otherData"]["schema"] == TRACE_SCHEMA
+        assert trace["otherData"]["span_count"] == 4
+        assert trace["displayTimeUnit"] == "ms"
+
+    def test_complete_span_becomes_x_event_in_microseconds(self):
+        trace = chrome_trace(recorder_with_spans())
+        (transmit,) = [
+            e for e in trace["traceEvents"] if e["name"] == "transmit"
+        ]
+        assert transmit["ph"] == "X"
+        assert transmit["ts"] == pytest.approx(2000.0)
+        assert transmit["dur"] == pytest.approx(4000.0)
+        assert transmit["args"]["bytes"] == 512
+        assert transmit["args"]["frame_id"] == 1
+        assert transmit["args"]["parent"] == "frame.frame"
+
+    def test_mark_becomes_instant_event(self):
+        trace = chrome_trace(recorder_with_spans())
+        (assign,) = [
+            e for e in trace["traceEvents"] if e["name"] == "assign"
+        ]
+        assert assign["ph"] == "I"
+        assert assign["s"] == "t"
+        assert "dur" not in assign
+
+    def test_every_track_gets_thread_name_metadata(self):
+        trace = chrome_trace(recorder_with_spans())
+        meta = [e for e in trace["traceEvents"] if e["ph"] == "M"]
+        named = {e["args"]["name"]: e["tid"] for e in meta}
+        assert set(named) == {"engine", "uplink", "client"}
+        # tids are deterministic: alphabetical track order
+        assert named["client"] < named["engine"] < named["uplink"]
+        span_tids = {
+            e["tid"] for e in trace["traceEvents"] if e["ph"] != "M"
+        }
+        assert span_tids == set(named.values())
+
+    def test_categories_ignore_metadata_events(self):
+        trace = chrome_trace(recorder_with_spans())
+        assert trace_categories(trace) == [
+            "app", "dispatch", "frame", "net",
+        ]
+
+    def test_metadata_merged_into_other_data(self):
+        trace = chrome_trace(recorder_with_spans(), metadata={"run": "t1"})
+        assert trace["otherData"]["run"] == "t1"
+
+
+class TestValidation:
+    def test_rejects_non_object(self):
+        assert validate_chrome_trace([]) != []
+
+    def test_rejects_wrong_schema(self):
+        trace = chrome_trace(recorder_with_spans())
+        trace["otherData"]["schema"] = "something/else"
+        assert any("schema" in p for p in validate_chrome_trace(trace))
+
+    def test_rejects_missing_event_keys(self):
+        trace = chrome_trace(recorder_with_spans())
+        del trace["traceEvents"][-1]["ts"]
+        assert any("missing keys" in p for p in validate_chrome_trace(trace))
+
+    def test_rejects_unknown_phase_and_negative_duration(self):
+        trace = chrome_trace(recorder_with_spans())
+        events = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        events[0]["ph"] = "B"
+        events[1]["dur"] = -1.0
+        problems = validate_chrome_trace(trace)
+        assert any("unknown phase" in p for p in problems)
+        assert any("dur" in p for p in problems)
+
+    def test_rejects_empty_trace(self):
+        assert "'traceEvents' is empty" in validate_chrome_trace(
+            chrome_trace(SpanRecorder())
+        )
+
+
+class TestWrite:
+    def test_round_trip_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        written = write_chrome_trace(str(path), recorder_with_spans())
+        loaded = json.loads(path.read_text())
+        assert loaded == written
+        assert validate_chrome_trace(loaded) == []
+
+    def test_write_refuses_invalid_trace(self, tmp_path):
+        path = tmp_path / "trace.json"
+        with pytest.raises(ValueError):
+            write_chrome_trace(str(path), SpanRecorder())
+        assert not path.exists()

@@ -1,0 +1,96 @@
+"""MetricsRegistry: counters, gauges, histograms, deterministic snapshots."""
+
+import pytest
+
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    percentile,
+)
+
+
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert percentile([], 50.0) == 0.0
+
+    def test_single_value(self):
+        assert percentile([7.0], 99.0) == 7.0
+
+    def test_linear_interpolation(self):
+        values = [0.0, 10.0, 20.0, 30.0]
+        assert percentile(values, 50.0) == pytest.approx(15.0)
+        assert percentile(values, 25.0) == pytest.approx(7.5)
+        assert percentile(values, 0.0) == 0.0
+        assert percentile(values, 100.0) == 30.0
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101.0)
+
+
+class TestInstruments:
+    def test_counter_monotonic(self):
+        c = Counter("hits")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+        with pytest.raises(ValueError):
+            c.inc(-1.0)
+
+    def test_gauge_last_write_wins(self):
+        g = Gauge("depth")
+        g.set(3)
+        g.set(1.5)
+        assert g.value == 1.5
+        assert g.updates == 2
+
+    def test_histogram_summary(self):
+        h = Histogram("lat")
+        for v in (10.0, 20.0, 30.0, 40.0):
+            h.observe(v)
+        s = h.summary()
+        assert s["count"] == 4
+        assert s["mean"] == pytest.approx(25.0)
+        assert s["p50"] == pytest.approx(25.0)
+        assert s["min"] == 10.0
+        assert s["max"] == 40.0
+
+    def test_histogram_sample_cap_keeps_exact_mean(self):
+        h = Histogram("lat", max_samples=3)
+        for v in (1.0, 2.0, 3.0, 100.0):
+            h.observe(v)
+        assert h.dropped == 1
+        assert h.count == 4
+        assert h.mean == pytest.approx(26.5)    # sum stays exact
+        assert h.percentile(100.0) == 3.0       # capped raw samples
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instance(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("b") is reg.gauge("b")
+        assert reg.histogram("c") is reg.histogram("c")
+
+    def test_cross_type_name_collision_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError):
+            reg.gauge("x")
+        with pytest.raises(ValueError):
+            reg.histogram("x")
+
+    def test_snapshot_sorted_and_stable(self):
+        reg = MetricsRegistry()
+        reg.counter("z.total").inc(2)
+        reg.counter("a.total").inc()
+        reg.gauge("rate").set(0.5)
+        reg.histogram("lat").observe(12.0)
+        snap = reg.snapshot()
+        assert list(snap["counters"]) == ["a.total", "z.total"]
+        assert snap["counters"]["z.total"] == 2
+        assert snap["gauges"]["rate"] == 0.5
+        assert snap["histograms"]["lat"]["count"] == 1
+        assert snap == reg.snapshot()

@@ -1,0 +1,95 @@
+"""RingTracer: bounded storage, per-category indexes, Tracer compatibility."""
+
+import pytest
+
+from repro.obs.ring import RingTracer
+from repro.sim.kernel import Simulator
+
+
+def fill(tracer, n, category="cat"):
+    for i in range(n):
+        tracer.record(float(i), category, "evt", i=i)
+
+
+class TestRingEviction:
+    def test_under_capacity_keeps_everything(self):
+        t = RingTracer(capacity=10)
+        fill(t, 7)
+        assert t.count() == 7
+        assert t.dropped == 0
+
+    def test_over_capacity_evicts_oldest_first(self):
+        t = RingTracer(capacity=5)
+        fill(t, 8)
+        assert t.count() == 5
+        assert t.dropped == 3
+        # Survivors are the newest, still in insertion order.
+        assert [r.data["i"] for r in t.records] == [3, 4, 5, 6, 7]
+
+    def test_eviction_updates_category_index(self):
+        t = RingTracer(capacity=4)
+        for i in range(4):
+            t.record(float(i), "a" if i % 2 == 0 else "b", "evt", i=i)
+        # Two more "a" records evict i=0 ("a") then i=1 ("b").
+        t.record(4.0, "a", "evt", i=4)
+        t.record(5.0, "a", "evt", i=5)
+        assert [r.data["i"] for r in t.query("a")] == [2, 4, 5]
+        assert [r.data["i"] for r in t.query("b")] == [3]
+
+    def test_category_index_removed_when_emptied(self):
+        t = RingTracer(capacity=2)
+        t.record(0.0, "solo", "evt")
+        t.record(1.0, "other", "evt")
+        t.record(2.0, "other", "evt")   # evicts the only "solo" record
+        assert "solo" not in t.categories()
+        assert t.query("solo") == []
+        assert t.count("solo") == 0
+
+    def test_global_and_category_counts_agree(self):
+        t = RingTracer(capacity=16)
+        for i in range(40):
+            t.record(float(i), f"c{i % 3}", "evt")
+        assert sum(t.count(c) for c in t.categories()) == t.count() == 16
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            RingTracer(capacity=0)
+
+
+class TestTracerCompatibility:
+    def test_query_by_category_and_event(self):
+        t = RingTracer()
+        t.record(0.0, "net", "send", seq=1)
+        t.record(1.0, "net", "recv", seq=1)
+        t.record(2.0, "gpu", "submit")
+        assert len(t.query("net")) == 2
+        assert len(t.query("net", "send")) == 1
+        assert len(t.query(event="send")) == 1
+        assert t.count("gpu") == 1
+
+    def test_category_filter_via_wants(self):
+        t = RingTracer(categories=["net"])
+        assert t.wants("net")
+        assert not t.wants("gpu")
+        t.record(0.0, "gpu", "submit")
+        assert t.count() == 0
+
+    def test_disabled_records_nothing(self):
+        t = RingTracer()
+        t.enabled = False
+        t.record(0.0, "net", "send")
+        assert t.count() == 0
+
+    def test_clear_resets_dropped(self):
+        t = RingTracer(capacity=2)
+        fill(t, 5)
+        t.clear()
+        assert t.count() == 0
+        assert t.dropped == 0
+        assert t.categories() == []
+
+    def test_simulator_defaults_to_ring_tracer(self):
+        sim = Simulator(seed=1)
+        assert isinstance(sim.tracer, RingTracer)
+        sim.tracer.record(sim.now, "boot", "hello")
+        assert sim.tracer.count("boot") == 1

@@ -1,0 +1,125 @@
+"""SpanRecorder: nesting, marks, the bounded ring, and clock wiring."""
+
+import pytest
+
+from repro.obs.spans import Span, SpanRecorder
+from repro.sim.kernel import Simulator
+
+
+def make_recorder():
+    clock = {"now": 0.0}
+    rec = SpanRecorder(clock=lambda: clock["now"])
+    return rec, clock
+
+
+class TestNesting:
+    def test_child_inherits_parent_name_and_depth(self):
+        rec, clock = make_recorder()
+        root = rec.begin("frame", "frame", track="engine", frame_id=7)
+        clock["now"] = 1.0
+        child = rec.begin("app", "intercept", frame_id=7, parent=root)
+        clock["now"] = 3.0
+        sealed = child.end()
+        assert sealed.parent == "frame.frame"
+        assert sealed.depth == 1
+        assert sealed.frame_id == 7
+        assert sealed.duration_ms == pytest.approx(2.0)
+        clock["now"] = 5.0
+        sealed_root = root.end()
+        assert sealed_root.parent is None
+        assert sealed_root.depth == 0
+        assert sealed_root.duration_ms == pytest.approx(5.0)
+
+    def test_grandchild_depth_chains(self):
+        rec, clock = make_recorder()
+        a = rec.begin("frame", "frame")
+        b = rec.begin("app", "intercept", parent=a)
+        c = rec.begin("codec", "encode", parent=b)
+        assert c.end().depth == 2
+        assert c.qualified_name == "codec.encode"
+
+    def test_double_end_records_once(self):
+        rec, clock = make_recorder()
+        handle = rec.begin("app", "intercept")
+        clock["now"] = 2.0
+        first = handle.end()
+        second = handle.end()
+        assert first is not None
+        assert second is None
+        assert len(rec) == 1
+
+    def test_end_merges_args(self):
+        rec, clock = make_recorder()
+        handle = rec.begin("frame", "frame", node="shield")
+        sealed = handle.end(response_ms=12.5)
+        assert sealed.args == {"node": "shield", "response_ms": 12.5}
+
+
+class TestMarksAndAdd:
+    def test_mark_is_instant_at_clock(self):
+        rec, clock = make_recorder()
+        clock["now"] = 4.5
+        mark = rec.mark("dispatch", "assign", track="client", node="n0")
+        assert mark.instant
+        assert mark.start_ms == mark.end_ms == 4.5
+        assert mark.args == {"node": "n0"}
+
+    def test_add_clamps_inverted_interval(self):
+        rec = SpanRecorder()
+        span = rec.add("net", "transmit", 10.0, 7.0)
+        assert span.start_ms == 7.0
+        assert span.duration_ms == 0.0
+        assert not span.instant
+
+    def test_disabled_recorder_drops_spans(self):
+        rec = SpanRecorder()
+        rec.enabled = False
+        assert rec.add("net", "transmit", 0.0, 1.0) is None
+        assert len(rec) == 0
+
+    def test_queries(self):
+        rec = SpanRecorder()
+        rec.add("net", "transmit", 0.0, 1.0)
+        rec.add("net", "return", 2.0, 3.0)
+        rec.add("server", "execute", 1.0, 2.0)
+        assert len(rec.by_category("net")) == 2
+        assert len(rec.by_name("execute")) == 1
+        assert rec.categories() == ["net", "server"]
+        assert rec.stage_names() == ["execute", "return", "transmit"]
+
+
+class TestRing:
+    def test_eviction_keeps_newest_and_counts_dropped(self):
+        rec = SpanRecorder(capacity=3)
+        for i in range(5):
+            rec.add("net", "transmit", float(i), float(i) + 0.5, seq=i)
+        assert len(rec) == 3
+        assert rec.dropped == 2
+        assert [s.args["seq"] for s in rec.spans] == [2, 3, 4]
+
+    def test_clear_resets(self):
+        rec = SpanRecorder(capacity=1)
+        rec.add("a", "x", 0.0, 1.0)
+        rec.add("a", "y", 1.0, 2.0)
+        rec.clear()
+        assert len(rec) == 0
+        assert rec.dropped == 0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            SpanRecorder(capacity=0)
+
+
+def test_simulator_spans_follow_sim_clock():
+    sim = Simulator(seed=0)
+    sealed = []
+
+    def proc():
+        handle = sim.spans.begin("app", "intercept", track="engine")
+        yield sim.timeout(4.0)
+        sealed.append(handle.end())
+
+    sim.spawn(proc(), name="spanner")
+    sim.run()
+    assert sealed[0].start_ms == pytest.approx(0.0)
+    assert sealed[0].duration_ms == pytest.approx(4.0)

@@ -391,3 +391,99 @@ def test_tie_break_is_spawn_order():
         sim.spawn(worker(tag))
     sim.run()
     assert log == [0, 1, 2, 3, 4]
+
+
+class TestCancellableTimeouts:
+    """Regression tests: timeouts must not keep ``run`` alive after they
+    have served their purpose (the transport's old RTO-timer leak class)."""
+
+    def test_externally_triggered_timeout_drains_immediately(self):
+        sim = Simulator()
+        ack = sim.timeout(10_000.0, name="rto")
+
+        def transport():
+            yield 3.0
+            ack.trigger("acked")       # data arrived; RTO is now moot
+
+        def waiter():
+            value = yield ack
+            assert value == "acked"
+
+        sim.spawn(transport())
+        sim.spawn(waiter())
+        end = sim.run()
+        # Pre-fix, the backing _timer slept out the full 10 s delay.
+        assert end == pytest.approx(3.0)
+        assert not ack.timer.alive
+
+    def test_cancel_abandons_pending_timer(self):
+        sim = Simulator()
+        evt = sim.timeout(5_000.0)
+        evt.cancel()
+        end = sim.run()
+        assert end == 0.0
+        assert not evt.triggered
+
+    def test_self_fired_timeout_still_works(self):
+        sim = Simulator()
+        log = []
+
+        def proc():
+            value = yield sim.timeout(7.0, value="tick")
+            log.append((sim.now, value))
+
+        sim.spawn(proc())
+        sim.run()
+        assert log == [(7.0, "tick")]
+
+    def test_any_of_reaps_losing_timeout(self):
+        sim = Simulator()
+        log = []
+
+        def proc():
+            winner = sim.timeout(5.0, value="fast")
+            loser = sim.timeout(60_000.0, value="slow")
+            idx, value = yield sim.any_of([winner, loser])
+            log.append((sim.now, idx, value))
+
+        sim.spawn(proc())
+        end = sim.run()
+        assert log == [(5.0, 0, "fast")]
+        # Pre-fix, the losing timer kept the queue busy for a minute.
+        assert end == pytest.approx(5.0)
+
+    def test_any_of_keeps_timeout_someone_else_awaits(self):
+        sim = Simulator()
+        log = []
+        shared = sim.timeout(50.0, value="shared")
+
+        def racer():
+            yield sim.any_of([sim.timeout(5.0), shared])
+            log.append(("race", sim.now))
+
+        def other():
+            yield shared
+            log.append(("other", sim.now))
+
+        sim.spawn(racer())
+        sim.spawn(other())
+        end = sim.run()
+        assert ("race", 5.0) in log
+        assert ("other", 50.0) in log
+        assert end == pytest.approx(50.0)
+
+    def test_no_residual_timer_processes_after_run(self):
+        sim = Simulator()
+
+        def proc():
+            evt = sim.timeout(30_000.0)
+            sim.call_at(2.0, lambda: evt.trigger())
+            yield evt
+
+        sim.spawn(proc())
+        sim.run()
+        leftovers = [
+            p for p in sim._processes
+            if p.alive and p.name.startswith("_timer")
+        ]
+        assert leftovers == []
