@@ -15,6 +15,9 @@ Commands:
 * ``profile``         — pipeline-stage percentiles + hot-path wall-clock
                         benches; writes BENCH_PIPELINE.json and a Chrome
                         trace (BENCH_TRACE.json)
+* ``fuzz``            — seeded property fuzzing over codecs, caches,
+                        transports, chaos sessions and fleet arrivals;
+                        shrinks failures to minimal reproductions
 
 Each prints the same rows the corresponding benchmark asserts on.
 """
@@ -225,6 +228,26 @@ def _cmd_profile(args: argparse.Namespace) -> None:
         print("profile smoke: ok")
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> None:
+    from repro.check.fuzz import format_summary, run_fuzz
+
+    summary = run_fuzz(
+        smoke=args.smoke, seed=args.seed, rounds=args.rounds,
+        corpus_dir=args.corpus,
+    )
+    print(format_summary(summary))
+    if summary["total_failures"]:
+        raise SystemExit(
+            f"fuzz: {summary['total_failures']} properties falsified"
+        )
+    if args.smoke:
+        # CI gate: the whole suite must be deterministic under the seed.
+        again = run_fuzz(smoke=True, seed=args.seed, rounds=args.rounds)
+        if again["digest"] != summary["digest"]:
+            raise SystemExit("fuzz smoke: same seed, different digest")
+        print("fuzz smoke: ok")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -247,6 +270,7 @@ def main(argv=None) -> int:
         "chaos": _cmd_chaos,
         "fleet": _cmd_fleet,
         "profile": _cmd_profile,
+        "fuzz": _cmd_fuzz,
     }
     for name in commands:
         p = sub.add_parser(name)
@@ -284,6 +308,16 @@ def main(argv=None) -> int:
             p.add_argument("--smoke", action="store_true",
                            help="CI gate: short run + schema validation "
                                 "+ same-seed digest check")
+        if name == "fuzz":
+            p.add_argument("--seed", type=int, default=0)
+            p.add_argument("--rounds", type=int, default=1,
+                           help="case-budget multiplier per property")
+            p.add_argument("--corpus", default=None,
+                           help="directory to write shrunk failing cases "
+                                "into (regression fixtures)")
+            p.add_argument("--smoke", action="store_true",
+                           help="CI gate: reduced case budget + same-seed "
+                                "digest check")
     args = parser.parse_args(argv)
     commands[args.command](args)
     return 0

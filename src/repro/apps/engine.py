@@ -91,6 +91,13 @@ class EngineConfig:
     #: a MonkeyRunner-style InputScript replaces the stochastic touch
     #: generator when set (paper §VII-E repeatable tests).
     input_script: Optional[object] = None
+    #: make frame *content* a pure function of (seed, frame index): the
+    #: scene advances by the fixed vsync dt instead of realized wall time,
+    #: and the stochastic touch generator is replaced by scripted per-frame
+    #: touches.  Two backends that pace frames differently (local swap
+    #: depth 2 vs offload depth 3) then issue identical command streams,
+    #: which is what differential replay compares.
+    deterministic_content: bool = False
 
 
 class GameEngine:
@@ -119,6 +126,14 @@ class GameEngine:
                 sim, self.config.input_script, on_touch=self._on_touch,
                 loop=True,
             )
+        elif self.config.deterministic_content:
+            # Content mode: touches are injected per frame inside the loop
+            # (a pure function of the frame index) instead of by a
+            # time-driven generator process, so two differently-paced runs
+            # see identical input.  The stream name is reserved anyway so
+            # downstream stream creation order matches the stochastic path.
+            self.touch = None
+            self._touch_rng = sim.stream(f"touch.{spec.short_name}")
         else:
             self.touch = TouchGenerator(
                 sim, spec, on_touch=self._on_touch,
@@ -138,6 +153,21 @@ class GameEngine:
     def _on_touch(self, event: TouchEvent) -> None:
         self.scene.on_touch(event.strength)
         self._touches_since_frame += 1
+
+    def _synthetic_touch(self, frame_id: int) -> None:
+        """Deterministic-content input: touches keyed on the frame index.
+
+        Every frame draws the same number of values from the touch stream
+        regardless of outcome, so the stream stays in lockstep between runs
+        that present different subsets of frames.
+        """
+        rng = self._touch_rng
+        u = rng.random()
+        strength = rng.uniform(0.6, 1.0)
+        burst = (frame_id // 45) % 4 == 0
+        if burst and u < 0.5:
+            self.scene.on_touch(strength)
+            self._touches_since_frame += 1
 
     # -- the frame loop ----------------------------------------------------------
 
@@ -165,8 +195,17 @@ class GameEngine:
                 oldest = self._inflight.popleft()
                 yield oldest
 
-            # Scene evolves with wall time since the previous frame.
-            self.scene.advance(max(frame_dt_s, (sim.now - last_issue) / 1000.0))
+            if self.config.deterministic_content:
+                # Content mode: fixed dt and frame-indexed synthetic touches
+                # keep the scene (and thus the command stream) a pure
+                # function of (seed, frame index), independent of pacing.
+                self._synthetic_touch(self._frame_id)
+                self.scene.advance(frame_dt_s)
+            else:
+                # Scene evolves with wall time since the previous frame.
+                self.scene.advance(
+                    max(frame_dt_s, (sim.now - last_issue) / 1000.0)
+                )
             frame_desc = FrameImage(
                 width=spec.render_width,
                 height=spec.render_height,
@@ -195,6 +234,8 @@ class GameEngine:
                 yield earliest - sim.now
 
             commands = self.builder.frame_commands(self.scene)
+            if sim.digests is not None:
+                sim.digests.record_issue(self._frame_id, commands)
             record = FrameRecord(
                 frame_id=self._frame_id,
                 issued_at=sim.now,

@@ -42,6 +42,10 @@ class LocalBackend:
             # Replay through the real context state machine (tests /
             # short sessions; byte-identical to what a service device sees).
             self.context.execute_sequence(request.commands)
+            if self.sim.digests is not None:
+                self.sim.digests.record_execution(
+                    request.frame_id, request.commands, site="local"
+                )
         completion = self.sim.event(name=f"local.done.{request.request_id}")
         request.metadata["completion_event"] = completion
         self.frames_submitted += 1

@@ -1,0 +1,69 @@
+"""repro.check — correctness tooling for the whole pipeline.
+
+Three parts, built for the record-and-replay fidelity argument the paper's
+offloading design rests on (a replayed command stream must be
+indistinguishable from local execution):
+
+* :mod:`repro.check.digest` — per-frame command-stream digests captured at
+  issue time (engine) and at replay time (service node / local backend),
+  so a session can prove the offloaded path executed exactly what the app
+  issued.
+* :mod:`repro.check.invariants` — :class:`InvariantMonitor`, a runtime
+  conservation-law checker hooked into the simulator: frames submitted =
+  presented + in-flight, transport message/byte conservation, timer
+  hygiene, cache lockstep, fleet session ownership.  Armed by
+  ``GBoosterConfig.check`` / ``FleetConfig.check``.
+* :mod:`repro.check.differential` — differential replay: the same seeded
+  session run through the local baseline and the offloaded pipeline (and
+  through two identically-seeded offloaded runs), with a
+  :class:`DivergenceReport` pinpointing the first diverging frame.
+* :mod:`repro.check.fuzz` — a pure-stdlib seeded property harness
+  (``python -m repro fuzz``) that generates randomized GL command streams,
+  fault schedules and fleet arrival patterns, shrinks failures to minimal
+  reproductions and writes them to ``tests/check/corpus/``.
+
+Only the leaf modules (digest, invariants) are imported eagerly; the
+differential/fuzz layers import the session runners and are loaded on
+demand to keep ``repro.core`` free of import cycles.
+"""
+
+from __future__ import annotations
+
+from repro.check.digest import DigestLog, command_digest
+from repro.check.invariants import (
+    InvariantError,
+    InvariantMonitor,
+    Violation,
+)
+
+_LAZY = {
+    "DivergenceReport": "repro.check.differential",
+    "run_differential_replay": "repro.check.differential",
+    "run_local_vs_offload": "repro.check.differential",
+    "run_replay_pair": "repro.check.differential",
+    "FuzzFailure": "repro.check.fuzz",
+    "Property": "repro.check.fuzz",
+    "default_properties": "repro.check.fuzz",
+    "replay_corpus": "repro.check.fuzz",
+    "run_fuzz": "repro.check.fuzz",
+    "run_property": "repro.check.fuzz",
+}
+
+__all__ = [
+    "DigestLog",
+    "command_digest",
+    "InvariantError",
+    "InvariantMonitor",
+    "Violation",
+    *sorted(_LAZY),
+]
+
+
+def __getattr__(name):
+    # Differential/fuzz pull in the session runners; resolving them here
+    # on first touch keeps ``import repro.check`` cycle-free for repro.core.
+    if name in _LAZY:
+        import importlib
+
+        return getattr(importlib.import_module(_LAZY[name]), name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

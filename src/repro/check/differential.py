@@ -1,0 +1,253 @@
+"""Differential replay: prove two runs executed the same frames.
+
+Three comparisons, all built on the per-frame command digests that
+``GBoosterConfig.check`` arms (:mod:`repro.check.digest`):
+
+* :func:`run_replay_pair` — the same seeded offload session twice.
+  Everything must match bit-for-bit: the full digest stream, the metrics
+  snapshot, the presented-frame count.  Any mismatch is nondeterminism in
+  the simulator itself.
+* :func:`run_local_vs_offload` — the local baseline against the offloaded
+  pipeline under ``deterministic_content`` (frame content a pure function
+  of seed and frame index).  The two paths pace frames differently (swap
+  depth 2 vs 3), so the comparison is over the common prefix of issued
+  frames; executed digests must additionally match issued digests on both
+  sides (fidelity).
+* :func:`run_differential_replay` — the sweep the acceptance criteria
+  ask for: both comparisons across several seeds and apps.
+
+A failed comparison yields a :class:`DivergenceReport` whose
+``first_divergence`` pinpoints the earliest diverging frame and attaches
+that frame's span breakdown (intercept/encode/transmit/execute/... from
+``repro.obs``) from both runs, so the diverging *stage* is visible without
+re-running.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.apps.base import ApplicationSpec
+from repro.core.config import GBoosterConfig
+from repro.core.session import (
+    SessionResult,
+    run_local_session,
+    run_offload_session,
+)
+from repro.devices.profiles import DeviceSpec, NVIDIA_SHIELD
+
+#: default comparison length: long enough to exercise cache warmup, scene
+#: cuts and retransmissions, short enough for tier-1
+DEFAULT_DURATION_MS = 2_500.0
+
+
+@dataclass
+class FrameDivergence:
+    """The first frame whose command digests differ between two runs."""
+
+    frame_id: int
+    digest_a: Optional[str]
+    digest_b: Optional[str]
+    #: span breakdown of that frame in each run: name -> duration_ms
+    spans_a: Dict[str, float] = field(default_factory=dict)
+    spans_b: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class DivergenceReport:
+    """Outcome of one differential comparison."""
+
+    kind: str                       # "replay_pair" | "local_vs_offload"
+    app: str
+    seed: int
+    equal: bool
+    frames_compared: int
+    first_divergence: Optional[FrameDivergence] = None
+    #: metric keys whose snapshot values differ (replay_pair only)
+    metric_mismatches: List[str] = field(default_factory=list)
+    #: issued-vs-executed mismatches from either run's DigestLog
+    fidelity_mismatches: List[Dict[str, Any]] = field(default_factory=list)
+    #: invariant violations raised by either run's monitor
+    violations: List[str] = field(default_factory=list)
+
+    def describe(self) -> str:
+        if self.equal:
+            return (
+                f"{self.kind} {self.app} seed={self.seed}: "
+                f"{self.frames_compared} frames identical"
+            )
+        parts = [f"{self.kind} {self.app} seed={self.seed}: DIVERGED"]
+        if self.first_divergence is not None:
+            d = self.first_divergence
+            parts.append(
+                f"first at frame {d.frame_id} "
+                f"({d.digest_a} != {d.digest_b}; "
+                f"spans_a={d.spans_a}, spans_b={d.spans_b})"
+            )
+        if self.metric_mismatches:
+            parts.append(f"metrics: {self.metric_mismatches[:5]}")
+        if self.fidelity_mismatches:
+            parts.append(f"fidelity: {len(self.fidelity_mismatches)} frames")
+        if self.violations:
+            parts.append(f"violations: {self.violations[:3]}")
+        return "; ".join(parts)
+
+
+def _frame_spans(result: SessionResult, frame_id: int) -> Dict[str, float]:
+    """Stage -> duration for one frame, from the session's span recorder."""
+    if result.engine is None:
+        return {}
+    out: Dict[str, float] = {}
+    for span in result.engine.sim.spans.spans:
+        if span.frame_id == frame_id and not span.instant:
+            key = f"{span.category}.{span.name}"
+            out[key] = round(
+                out.get(key, 0.0) + (span.end_ms - span.start_ms), 3
+            )
+    return out
+
+
+def _first_divergence(
+    a: SessionResult, b: SessionResult,
+    stream_a: List[str], stream_b: List[str],
+) -> Optional[FrameDivergence]:
+    n = max(len(stream_a), len(stream_b))
+    for fid in range(n):
+        da = stream_a[fid] if fid < len(stream_a) else None
+        db = stream_b[fid] if fid < len(stream_b) else None
+        if da != db:
+            return FrameDivergence(
+                frame_id=fid,
+                digest_a=da,
+                digest_b=db,
+                spans_a=_frame_spans(a, fid),
+                spans_b=_frame_spans(b, fid),
+            )
+    return None
+
+
+def _collect_problems(report: DivergenceReport, *results: SessionResult) -> None:
+    for result in results:
+        if result.check is None:
+            continue
+        report.fidelity_mismatches.extend(
+            result.check.digests.fidelity_mismatches()
+        )
+        report.violations.extend(str(v) for v in result.check.violations)
+    if report.fidelity_mismatches or report.violations:
+        report.equal = False
+
+
+def run_replay_pair(
+    app: ApplicationSpec,
+    user_device: DeviceSpec,
+    service_devices: Optional[Sequence[DeviceSpec]] = None,
+    config: Optional[GBoosterConfig] = None,
+    duration_ms: float = DEFAULT_DURATION_MS,
+    seed: int = 0,
+) -> DivergenceReport:
+    """Run the same offload session twice; everything must match exactly."""
+    from dataclasses import replace
+
+    base = config or GBoosterConfig()
+    cfg = replace(base, check=True)
+    runs = [
+        run_offload_session(
+            app, user_device, service_devices, config=cfg,
+            duration_ms=duration_ms, seed=seed,
+        )
+        for _ in range(2)
+    ]
+    a, b = runs
+    stream_a = a.check.digests.stream()
+    stream_b = b.check.digests.stream()
+    snap_a = a.engine.sim.metrics.snapshot()
+    snap_b = b.engine.sim.metrics.snapshot()
+    report = DivergenceReport(
+        kind="replay_pair",
+        app=app.short_name,
+        seed=seed,
+        equal=stream_a == stream_b and snap_a == snap_b,
+        frames_compared=min(len(stream_a), len(stream_b)),
+    )
+    if stream_a != stream_b:
+        report.first_divergence = _first_divergence(a, b, stream_a, stream_b)
+    if snap_a != snap_b:
+        keys = set(snap_a) | set(snap_b)
+        report.metric_mismatches = sorted(
+            k for k in keys if snap_a.get(k) != snap_b.get(k)
+        )
+    _collect_problems(report, a, b)
+    return report
+
+
+def run_local_vs_offload(
+    app: ApplicationSpec,
+    user_device: DeviceSpec,
+    service_devices: Optional[Sequence[DeviceSpec]] = None,
+    config: Optional[GBoosterConfig] = None,
+    duration_ms: float = DEFAULT_DURATION_MS,
+    seed: int = 0,
+) -> DivergenceReport:
+    """Local baseline vs offloaded pipeline under deterministic content.
+
+    Asserts the offloaded path *issues and executes* exactly the frames
+    local execution would have rendered — the record-and-replay fidelity
+    claim.  Compared over the common prefix: the two backends pace frames
+    differently, so the slower path issues fewer frames in the same span.
+    """
+    from dataclasses import replace
+
+    base = config or GBoosterConfig()
+    cfg = replace(base, check=True, deterministic_content=True)
+    local = run_local_session(
+        app, user_device, duration_ms=duration_ms, seed=seed, config=cfg
+    )
+    offload = run_offload_session(
+        app, user_device, service_devices, config=cfg,
+        duration_ms=duration_ms, seed=seed,
+    )
+    stream_l = local.check.digests.stream()
+    stream_o = offload.check.digests.stream()
+    n = min(len(stream_l), len(stream_o))
+    report = DivergenceReport(
+        kind="local_vs_offload",
+        app=app.short_name,
+        seed=seed,
+        equal=n > 0 and stream_l[:n] == stream_o[:n],
+        frames_compared=n,
+    )
+    if stream_l[:n] != stream_o[:n]:
+        report.first_divergence = _first_divergence(
+            local, offload, stream_l[:n], stream_o[:n]
+        )
+    _collect_problems(report, local, offload)
+    return report
+
+
+def run_differential_replay(
+    apps: Sequence[ApplicationSpec],
+    user_device: DeviceSpec,
+    seeds: Sequence[int] = (0, 1, 2),
+    service_devices: Optional[Sequence[DeviceSpec]] = None,
+    duration_ms: float = DEFAULT_DURATION_MS,
+) -> List[DivergenceReport]:
+    """The acceptance sweep: both comparisons for every (app, seed)."""
+    service_devices = list(service_devices or [NVIDIA_SHIELD])
+    reports: List[DivergenceReport] = []
+    for app in apps:
+        for seed in seeds:
+            reports.append(
+                run_replay_pair(
+                    app, user_device, service_devices,
+                    duration_ms=duration_ms, seed=seed,
+                )
+            )
+            reports.append(
+                run_local_vs_offload(
+                    app, user_device, service_devices,
+                    duration_ms=duration_ms, seed=seed,
+                )
+            )
+    return reports

@@ -1,0 +1,117 @@
+"""Per-frame command-stream digests: the record-and-replay fidelity check.
+
+The offloading design's core promise is that a replayed command stream is
+indistinguishable from local execution.  To make that testable the engine
+digests every frame's command batch at *issue* time, and each execution
+site (a service node's GL replay, or the local backend when it executes
+commands) digests the batch it actually ran.  A :class:`DigestLog` holds
+both sides keyed by frame id:
+
+* ``issued[frame_id] != executed[frame_id]`` — the pipeline mutated,
+  dropped or misrouted commands between interception and replay;
+* a frame executed with no issue record — phantom work (duplication, a
+  stale retransmission replayed twice);
+* comparing two runs' ``stream()`` — the differential-replay equality
+  check (local vs offloaded, or two identically-seeded offload runs).
+
+Digests are content digests over the commands' stable keys (name plus
+frozen arguments, the same identity the LRU command cache deduplicates
+on), so two command lists digest equal iff a GL replayer would execute
+the same sequence.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+def command_digest(commands: Iterable) -> str:
+    """Stable content digest of one frame's command sequence.
+
+    Keys commands by ``cmd.key()`` (name + frozen args — floats included
+    verbatim, so any numeric drift between runs shows up), falling back to
+    ``repr`` for foreign objects in tests.
+    """
+    h = hashlib.blake2b(digest_size=16)
+    for cmd in commands:
+        key = cmd.key() if hasattr(cmd, "key") else cmd
+        h.update(repr(key).encode("utf-8"))
+        h.update(b"\x00")
+    return h.hexdigest()
+
+
+class DigestLog:
+    """Issue-side and execution-side digests for one session."""
+
+    def __init__(self) -> None:
+        #: frame_id -> digest recorded by the engine at issue time
+        self.issued: Dict[int, str] = {}
+        #: frame_id -> [(site, digest)] recorded at each execution
+        self.executed: Dict[int, List[Tuple[str, str]]] = {}
+
+    # -- recording -----------------------------------------------------------
+
+    def record_issue(self, frame_id: int, commands: Iterable) -> str:
+        digest = command_digest(commands)
+        self.issued[frame_id] = digest
+        return digest
+
+    def record_execution(
+        self, frame_id: int, commands: Iterable, site: str = ""
+    ) -> str:
+        digest = command_digest(commands)
+        self.executed.setdefault(frame_id, []).append((site, digest))
+        return digest
+
+    # -- queries -------------------------------------------------------------
+
+    def stream(self) -> List[str]:
+        """Issue digests in frame order — the replay-comparison sequence."""
+        return [self.issued[fid] for fid in sorted(self.issued)]
+
+    def executed_frames(self) -> List[int]:
+        return sorted(self.executed)
+
+    def fidelity_mismatches(self) -> List[Dict]:
+        """Frames where an execution ran something other than what was issued.
+
+        Each entry names the frame, the execution site, and both digests;
+        phantom executions (no issue record at all) are included with
+        ``issued=None``.
+        """
+        out: List[Dict] = []
+        for frame_id in sorted(self.executed):
+            issued = self.issued.get(frame_id)
+            for site, digest in self.executed[frame_id]:
+                if issued is None or digest != issued:
+                    out.append(
+                        {
+                            "frame_id": frame_id,
+                            "site": site,
+                            "issued": issued,
+                            "executed": digest,
+                        }
+                    )
+        return out
+
+    def duplicate_executions(self) -> List[int]:
+        """Frames replayed more than once at the same site — phantom work.
+
+        A re-dispatch after a node failure legitimately executes a frame on
+        a *second* site, so only same-site repeats count.
+        """
+        out: List[int] = []
+        for frame_id, entries in sorted(self.executed.items()):
+            sites = [site for site, _ in entries]
+            if len(sites) != len(set(sites)):
+                out.append(frame_id)
+        return out
+
+    def summary(self) -> Dict:
+        return {
+            "frames_issued": len(self.issued),
+            "frames_executed": len(self.executed),
+            "fidelity_mismatches": len(self.fidelity_mismatches()),
+            "duplicate_executions": len(self.duplicate_executions()),
+        }

@@ -1,0 +1,661 @@
+"""Seeded property fuzzing with shrinking — ``python -m repro fuzz``.
+
+A pure-stdlib property harness over the simulator's own subsystems.  Each
+:class:`Property` knows how to *generate* a random-but-seeded case (a
+JSON-able dict), *check* it (returning ``None`` on pass or a failure
+message), and propose *shrink candidates* (strictly smaller cases).  The
+runner executes a seeded batch per property, greedily shrinks any failure
+to a minimal reproduction, and can write minimal cases to a corpus
+directory (``tests/check/corpus/``) as regression fixtures.
+
+Properties cover the layers the ISSUE names:
+
+* ``lz77_roundtrip`` / ``delta_roundtrip`` — codec byte-equality over
+  randomized payloads (empty / tiny / repetitive / adversarial);
+* ``cache_lockstep`` — randomized GL command streams through the
+  sender/receiver cache pair;
+* ``transport_delivery`` — randomized message batches over a lossy link,
+  checked against the transport conservation laws;
+* ``session_chaos`` — short offloaded sessions under randomized fault
+  schedules with the invariant monitor armed;
+* ``fleet_arrivals`` — randomized fleet arrival patterns with the fleet
+  invariants armed.
+
+The codec and transport properties take injectable subjects
+(``decompress_fn``, ``transport_cls``) so tests can hand them a
+deliberately broken implementation and watch the harness catch and shrink
+the bug — the acceptance-criteria demonstration.
+
+Everything is deterministic under a fixed seed: the summary carries a
+sha256 digest, and the CLI smoke mode runs the whole suite twice and
+fails on any digest difference.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+
+CASE_SCHEMA = "repro.fuzz_case/1"
+
+#: shrink effort cap per failure: candidates *tried*, not accepted
+MAX_SHRINK_TRIES = 400
+
+
+# ---------------------------------------------------------------------------
+# framework
+
+
+@dataclass
+class FuzzFailure:
+    """One failing case, after shrinking."""
+
+    property: str
+    message: str
+    case: Dict[str, Any]
+    original_case: Dict[str, Any]
+    shrink_steps: int
+
+
+class Property:
+    """One fuzzed law.  Subclasses define generate/check/shrink."""
+
+    name = "property"
+
+    def generate(self, rng: random.Random) -> Dict[str, Any]:
+        raise NotImplementedError
+
+    def check(self, case: Dict[str, Any]) -> Optional[str]:
+        """None when the law holds, else a failure message."""
+        raise NotImplementedError
+
+    def shrink_candidates(
+        self, case: Dict[str, Any]
+    ) -> Iterable[Dict[str, Any]]:
+        return ()
+
+
+def _shrink_hex(case: Dict[str, Any], key: str) -> Iterable[Dict[str, Any]]:
+    """Standard byte-payload shrinks: halves, single-byte drops, zeroing."""
+    data = bytes.fromhex(case[key])
+    n = len(data)
+    if n == 0:
+        return
+    for piece in (data[: n // 2], data[n // 2:], data[1:], data[:-1]):
+        if len(piece) < n:
+            yield {**case, key: piece.hex()}
+    if n <= 16:
+        for i in range(n):
+            yield {**case, key: (data[:i] + data[i + 1:]).hex()}
+        for i in range(n):
+            if data[i] != 0:
+                zeroed = bytearray(data)
+                zeroed[i] = 0
+                yield {**case, key: bytes(zeroed).hex()}
+
+
+def shrink(
+    prop: Property, case: Dict[str, Any], max_tries: int = MAX_SHRINK_TRIES
+) -> tuple:
+    """Greedy shrink: accept any strictly-smaller case that still fails."""
+    current = case
+    steps = 0
+    tries = 0
+    improved = True
+    while improved and tries < max_tries:
+        improved = False
+        for candidate in prop.shrink_candidates(current):
+            tries += 1
+            if tries > max_tries:
+                break
+            if prop.check(candidate) is not None:
+                current = candidate
+                steps += 1
+                improved = True
+                break
+    return current, steps
+
+
+def run_property(
+    prop: Property, seed: int, cases: int, do_shrink: bool = True
+) -> Dict[str, Any]:
+    """Run ``cases`` seeded cases of one property; shrink any failures."""
+    root = int.from_bytes(
+        hashlib.sha256(f"{seed}.{prop.name}".encode()).digest()[:8], "big"
+    )
+    rng = random.Random(root)
+    failures: List[FuzzFailure] = []
+    for _ in range(cases):
+        case = prop.generate(rng)
+        message = prop.check(case)
+        if message is None:
+            continue
+        minimal, steps = (
+            shrink(prop, case) if do_shrink else (case, 0)
+        )
+        failures.append(
+            FuzzFailure(
+                property=prop.name,
+                message=prop.check(minimal) or message,
+                case=minimal,
+                original_case=case,
+                shrink_steps=steps,
+            )
+        )
+    return {"property": prop.name, "cases": cases, "failures": failures}
+
+
+# ---------------------------------------------------------------------------
+# codec properties
+
+
+class Lz77RoundTrip(Property):
+    """decompress(compress(p)) == p for randomized payloads."""
+
+    name = "lz77_roundtrip"
+
+    def __init__(self, decompress_fn: Optional[Callable] = None):
+        from repro.codec.lz77 import decompress
+
+        self.decompress_fn = decompress_fn or decompress
+
+    def generate(self, rng: random.Random) -> Dict[str, Any]:
+        mode = rng.choice(["random", "repetitive", "sparse", "tiny", "empty"])
+        if mode == "empty":
+            payload = b""
+        elif mode == "tiny":
+            payload = bytes(rng.randrange(256) for _ in range(rng.randint(1, 4)))
+        elif mode == "repetitive":
+            motif = bytes(
+                rng.randrange(256) for _ in range(rng.randint(1, 8))
+            )
+            payload = motif * rng.randint(8, 200)
+        elif mode == "sparse":
+            payload = bytearray(rng.randint(32, 1024))
+            for _ in range(rng.randint(1, 12)):
+                payload[rng.randrange(len(payload))] = rng.randrange(256)
+            payload = bytes(payload)
+        else:
+            payload = bytes(
+                rng.randrange(256) for _ in range(rng.randint(8, 1024))
+            )
+        return {"payload": payload.hex()}
+
+    def check(self, case: Dict[str, Any]) -> Optional[str]:
+        from repro.codec.lz77 import compress
+
+        data = bytes.fromhex(case["payload"])
+        try:
+            back = self.decompress_fn(compress(data))
+        except Exception as exc:
+            return f"decompress raised {type(exc).__name__}: {exc}"
+        if back != data:
+            return (
+                f"round-trip mismatch: {len(data)} bytes in, "
+                f"{len(back)} bytes out"
+            )
+        return None
+
+    def shrink_candidates(self, case):
+        return _shrink_hex(case, "payload")
+
+
+class DeltaRoundTrip(Property):
+    """Turbo's lossless delta layer: decode(encode(d), len) == d."""
+
+    name = "delta_roundtrip"
+
+    def generate(self, rng: random.Random) -> Dict[str, Any]:
+        mode = rng.choice(["random", "constant", "small_alphabet", "empty"])
+        if mode == "empty":
+            deltas = b""
+        elif mode == "constant":
+            deltas = bytes([rng.randrange(256)]) * rng.randint(1, 700)
+        elif mode == "small_alphabet":
+            alphabet = [rng.randrange(256) for _ in range(rng.randint(1, 15))]
+            deltas = bytes(
+                rng.choice(alphabet) for _ in range(rng.randint(1, 700))
+            )
+        else:
+            deltas = bytes(
+                rng.randrange(256) for _ in range(rng.randint(1, 700))
+            )
+        return {"deltas": deltas.hex()}
+
+    def check(self, case: Dict[str, Any]) -> Optional[str]:
+        import numpy as np
+
+        from repro.codec.turbo import decode_deltas, encode_deltas
+
+        flat = np.frombuffer(bytes.fromhex(case["deltas"]), dtype=np.uint8)
+        try:
+            back = decode_deltas(encode_deltas(flat), flat.size)
+        except Exception as exc:
+            return f"decode raised {type(exc).__name__}: {exc}"
+        if not np.array_equal(back, flat):
+            return f"delta round-trip mismatch over {flat.size} values"
+        return None
+
+    def shrink_candidates(self, case):
+        return _shrink_hex(case, "deltas")
+
+
+class CacheLockstep(Property):
+    """Randomized GL streams keep sender/receiver caches in lockstep."""
+
+    name = "cache_lockstep"
+
+    def generate(self, rng: random.Random) -> Dict[str, Any]:
+        return {
+            "capacity": rng.randint(2, 32),
+            # each op is a texture name; a narrow id space forces hits,
+            # a wide one forces evictions
+            "ops": [
+                rng.randint(0, rng.choice([4, 16, 64]))
+                for _ in range(rng.randint(1, 120))
+            ],
+        }
+
+    def check(self, case: Dict[str, Any]) -> Optional[str]:
+        from repro.codec.command_cache import CachePair
+        from repro.gles import enums as gl
+        from repro.gles.commands import make_command
+
+        pair = CachePair(case["capacity"])
+        for op in case["ops"]:
+            cmd = make_command("glBindTexture", gl.GL_TEXTURE_2D, int(op))
+            try:
+                pair.encode(cmd, b"x" * (8 + int(op) % 5))
+            except RuntimeError as exc:
+                return f"cache pair desynced: {exc}"
+        if not pair.verify_consistent():
+            return "sender and receiver key order diverged"
+        for side, cache in (("sender", pair.sender),
+                            ("receiver", pair.receiver)):
+            if len(cache) > cache.capacity:
+                return f"{side} cache over capacity"
+            if cache.stats.hits > cache.stats.lookups:
+                return f"{side} hits exceed lookups"
+        if pair.sender.stats.hits != pair.receiver.stats.hits:
+            return "hit counts diverged"
+        return None
+
+    def shrink_candidates(self, case):
+        ops = case["ops"]
+        n = len(ops)
+        for piece in (ops[: n // 2], ops[n // 2:], ops[1:], ops[:-1]):
+            if len(piece) < n:
+                yield {**case, "ops": piece}
+        if n <= 12:
+            for i in range(n):
+                yield {**case, "ops": ops[:i] + ops[i + 1:]}
+
+
+# ---------------------------------------------------------------------------
+# transport property
+
+
+class TransportDelivery(Property):
+    """Lossy-link batches obey the transport conservation laws.
+
+    ``transport_cls`` is injectable so a deliberately broken transport
+    (e.g. one that delivers out of order) is caught and shrunk.
+    """
+
+    name = "transport_delivery"
+
+    def __init__(self, transport_cls=None):
+        self.transport_cls = transport_cls
+
+    def generate(self, rng: random.Random) -> Dict[str, Any]:
+        return {
+            "seed": rng.randint(0, 2**31),
+            "loss": round(rng.uniform(0.0, 0.35), 3),
+            "sizes": [
+                rng.randint(40, 20_000)
+                for _ in range(rng.randint(1, 30))
+            ],
+        }
+
+    def check(self, case: Dict[str, Any]) -> Optional[str]:
+        from repro.net.interface import WIFI_80211N, WirelessInterface
+        from repro.net.link import LinkSpec, NetworkLink
+        from repro.net.message import Message
+        from repro.net.transport import ReliableUdpTransport
+        from repro.sim.kernel import Simulator
+
+        cls = self.transport_cls or ReliableUdpTransport
+        sim = Simulator(seed=case["seed"])
+        radio = WirelessInterface(sim, WIFI_80211N)
+        link = NetworkLink(
+            sim,
+            LinkSpec(name="wifi", latency_ms=1.0, jitter_ms=0.4,
+                     loss_probability=case["loss"]),
+            rng=sim.stream("fuzz.link"),
+        )
+        delivered: List[int] = []
+        transport = cls(sim, name="fuzz", rto_ms=20.0)
+        transport.bind(
+            lambda: radio, {"wifi": link},
+            on_deliver=lambda m: delivered.append(m.metadata["n"]),
+        )
+        for i, size in enumerate(case["sizes"]):
+            msg = Message.of_size(size)
+            msg.metadata["n"] = i
+            transport.send(msg)
+        sim.run(until=120_000.0)
+
+        n = len(case["sizes"])
+        if delivered != list(range(n)):
+            return (
+                f"out-of-order or incomplete delivery: got {delivered[:8]}… "
+                f"({len(delivered)}/{n})"
+            )
+        stats = transport.stats
+        accounted = (
+            stats.messages_delivered
+            + transport.in_flight()
+            + transport.reorder_held()
+        )
+        if stats.messages_sent != accounted:
+            return (
+                f"message conservation broke: sent {stats.messages_sent}, "
+                f"accounted {accounted}"
+            )
+        if stats.messages_delivered != transport._expected_seq:
+            return "delivered count out of lockstep with expected seq"
+        if stats.bytes_delivered > stats.bytes_offered:
+            return "delivered more bytes than offered"
+        return None
+
+    def shrink_candidates(self, case):
+        sizes = case["sizes"]
+        n = len(sizes)
+        for piece in (sizes[: n // 2], sizes[n // 2:], sizes[1:], sizes[:-1]):
+            if len(piece) < n:
+                yield {**case, "sizes": piece}
+        if n <= 8:
+            for i in range(n):
+                yield {**case, "sizes": sizes[:i] + sizes[i + 1:]}
+        if case["loss"] > 0:
+            yield {**case, "loss": 0.0}
+        if any(s > 100 for s in sizes):
+            yield {**case, "sizes": [min(s, 100) for s in sizes]}
+
+
+# ---------------------------------------------------------------------------
+# session / fleet properties
+
+
+class SessionChaos(Property):
+    """Random fault schedules never break the session conservation laws."""
+
+    name = "session_chaos"
+
+    def generate(self, rng: random.Random) -> Dict[str, Any]:
+        return {
+            "seed": rng.randint(0, 2**31),
+            "loss": round(rng.uniform(0.0, 0.4), 3),
+            "outage_ms": rng.choice([0.0, 200.0, 500.0]),
+            "crash": rng.random() < 0.5,
+            "duration_ms": rng.choice([1_500.0, 2_000.0]),
+        }
+
+    def check(self, case: Dict[str, Any]) -> Optional[str]:
+        from repro.apps.games import GTA_SAN_ANDREAS
+        from repro.core.config import GBoosterConfig
+        from repro.core.session import run_offload_session
+        from repro.devices.profiles import LG_NEXUS_5, NVIDIA_SHIELD
+        from repro.experiments.chaos import build_schedule
+
+        config = GBoosterConfig(
+            check=True,
+            frame_timeout_ms=400.0,
+            faults=build_schedule(
+                case["loss"], case["outage_ms"], case["crash"],
+                case["duration_ms"],
+            ),
+        )
+        result = run_offload_session(
+            GTA_SAN_ANDREAS, LG_NEXUS_5, [NVIDIA_SHIELD, NVIDIA_SHIELD],
+            config=config, duration_ms=case["duration_ms"],
+            seed=case["seed"],
+        )
+        if result.check.violations:
+            return f"invariants broke: {result.check.violations[0]}"
+        mismatches = result.check.digests.fidelity_mismatches()
+        if mismatches:
+            return f"execution fidelity broke at frame {mismatches[0]['frame_id']}"
+        lost = sum(
+            1 for f in result.engine.frames if f.presented_at is None
+        )
+        if lost:
+            return f"{lost} frames lost forever"
+        return None
+
+    def shrink_candidates(self, case):
+        if case["crash"]:
+            yield {**case, "crash": False}
+        if case["outage_ms"] > 0:
+            yield {**case, "outage_ms": 0.0}
+        if case["loss"] > 0:
+            yield {**case, "loss": round(case["loss"] / 2, 3)}
+            yield {**case, "loss": 0.0}
+        if case["duration_ms"] > 1_500.0:
+            yield {**case, "duration_ms": 1_500.0}
+
+
+class FleetArrivals(Property):
+    """Random arrival waves never break the fleet conservation laws."""
+
+    name = "fleet_arrivals"
+
+    def generate(self, rng: random.Random) -> Dict[str, Any]:
+        return {
+            "seed": rng.randint(0, 2**31),
+            "n_sessions": rng.randint(3, 14),
+            "n_devices": rng.randint(2, 4),
+            "crash": rng.random() < 0.5,
+            "arrival_spread_ms": rng.choice([100.0, 600.0, 1_500.0]),
+        }
+
+    def check(self, case: Dict[str, Any]) -> Optional[str]:
+        from repro.experiments.fleet import run_fleet_point
+        from repro.fleet import FleetConfig
+
+        point, report = run_fleet_point(
+            n_sessions=case["n_sessions"],
+            n_devices=case["n_devices"],
+            duration_ms=2_000.0,
+            seed=case["seed"],
+            crash=case["crash"],
+            config=FleetConfig(check=True),
+            arrival_spread_ms=case["arrival_spread_ms"],
+        )
+        if point.invariant_violations:
+            return f"{point.invariant_violations} fleet invariants broke"
+        if point.frames_lost:
+            return f"{point.frames_lost} frames lost forever"
+        return None
+
+    def shrink_candidates(self, case):
+        if case["crash"]:
+            yield {**case, "crash": False}
+        if case["n_sessions"] > 1:
+            yield {**case, "n_sessions": max(1, case["n_sessions"] // 2)}
+            yield {**case, "n_sessions": case["n_sessions"] - 1}
+        if case["n_devices"] > 1:
+            yield {**case, "n_devices": case["n_devices"] - 1}
+
+
+# ---------------------------------------------------------------------------
+# corpus
+
+
+def save_case(
+    corpus_dir: Path, failure: FuzzFailure, note: str = ""
+) -> Path:
+    """Write a shrunk failing case as a regression fixture."""
+    corpus_dir = Path(corpus_dir)
+    corpus_dir.mkdir(parents=True, exist_ok=True)
+    body = {
+        "schema": CASE_SCHEMA,
+        "property": failure.property,
+        "case": failure.case,
+        "message": failure.message,
+        "shrink_steps": failure.shrink_steps,
+        "note": note,
+    }
+    blob = json.dumps(body, sort_keys=True, indent=2) + "\n"
+    stem = hashlib.sha256(
+        json.dumps(
+            {"p": failure.property, "c": failure.case}, sort_keys=True
+        ).encode()
+    ).hexdigest()[:12]
+    path = corpus_dir / f"{failure.property}-{stem}.json"
+    path.write_text(blob)
+    return path
+
+
+def load_corpus(corpus_dir: Path) -> List[Dict[str, Any]]:
+    corpus_dir = Path(corpus_dir)
+    if not corpus_dir.is_dir():
+        return []
+    out = []
+    for path in sorted(corpus_dir.glob("*.json")):
+        body = json.loads(path.read_text())
+        if body.get("schema") != CASE_SCHEMA:
+            raise ValueError(f"{path}: unknown schema {body.get('schema')!r}")
+        body["path"] = str(path)
+        out.append(body)
+    return out
+
+
+def default_properties() -> List[Property]:
+    return [
+        Lz77RoundTrip(),
+        DeltaRoundTrip(),
+        CacheLockstep(),
+        TransportDelivery(),
+        SessionChaos(),
+        FleetArrivals(),
+    ]
+
+
+def replay_corpus(
+    corpus_dir: Path, properties: Optional[Sequence[Property]] = None
+) -> List[Dict[str, Any]]:
+    """Re-run every corpus case against the current code.
+
+    Committed corpus cases document once-failing (or notable) inputs; a
+    non-None check result here means a regression resurfaced.  Returns the
+    list of cases that fail *now*.
+    """
+    props = {p.name: p for p in (properties or default_properties())}
+    failing = []
+    for body in load_corpus(corpus_dir):
+        prop = props.get(body["property"])
+        if prop is None:
+            raise ValueError(f"corpus names unknown property {body['property']!r}")
+        message = prop.check(body["case"])
+        if message is not None:
+            failing.append({**body, "message_now": message})
+    return failing
+
+
+# ---------------------------------------------------------------------------
+# the harness entry point
+
+#: cases per property at rounds=1; smoke divides heavy properties down
+FULL_CASES = {
+    "lz77_roundtrip": 120,
+    "delta_roundtrip": 120,
+    "cache_lockstep": 40,
+    "transport_delivery": 16,
+    "session_chaos": 4,
+    "fleet_arrivals": 2,
+}
+SMOKE_CASES = {
+    "lz77_roundtrip": 24,
+    "delta_roundtrip": 24,
+    "cache_lockstep": 12,
+    "transport_delivery": 6,
+    "session_chaos": 2,
+    "fleet_arrivals": 1,
+}
+
+
+def run_fuzz(
+    smoke: bool = False,
+    seed: int = 0,
+    rounds: int = 1,
+    properties: Optional[Sequence[Property]] = None,
+    corpus_dir: Optional[Path] = None,
+) -> Dict[str, Any]:
+    """Run the whole property suite; returns a deterministic summary.
+
+    When ``corpus_dir`` is given, every shrunk failure is saved there as a
+    regression fixture.
+    """
+    props = list(properties or default_properties())
+    budget = SMOKE_CASES if smoke else FULL_CASES
+    results = []
+    total_failures = 0
+    for prop in props:
+        cases = budget.get(prop.name, 8) * max(1, rounds)
+        outcome = run_property(prop, seed=seed, cases=cases)
+        for failure in outcome["failures"]:
+            total_failures += 1
+            if corpus_dir is not None:
+                save_case(Path(corpus_dir), failure)
+        results.append(
+            {
+                "property": prop.name,
+                "cases": outcome["cases"],
+                "failures": [
+                    {
+                        "message": f.message,
+                        "case": f.case,
+                        "shrink_steps": f.shrink_steps,
+                    }
+                    for f in outcome["failures"]
+                ],
+            }
+        )
+    summary = {
+        "schema": "repro.fuzz/1",
+        "seed": seed,
+        "smoke": smoke,
+        "rounds": rounds,
+        "properties": results,
+        "total_cases": sum(r["cases"] for r in results),
+        "total_failures": total_failures,
+    }
+    summary["digest"] = hashlib.sha256(
+        json.dumps(summary, sort_keys=True).encode()
+    ).hexdigest()
+    return summary
+
+
+def format_summary(summary: Dict[str, Any]) -> str:
+    lines = [
+        f"{'property':<20} {'cases':>6} {'failures':>9}",
+    ]
+    for r in summary["properties"]:
+        lines.append(
+            f"{r['property']:<20} {r['cases']:>6} {len(r['failures']):>9}"
+        )
+        for f in r["failures"]:
+            lines.append(f"    FAIL ({f['shrink_steps']} shrinks): "
+                         f"{f['message']}")
+            lines.append(f"         case: {json.dumps(f['case'])[:160]}")
+    lines.append(
+        f"\n{summary['total_cases']} cases, "
+        f"{summary['total_failures']} failures; "
+        f"digest {summary['digest'][:16]}"
+    )
+    return "\n".join(lines)

@@ -57,13 +57,14 @@ class EncodedFrame:
     keyframe: bool
 
 
-def _quantize_tile(tile: np.ndarray, quality: int) -> bytes:
-    """JPEG-like lossy tile coding.
+def _tile_deltas(tile: np.ndarray, quality: int) -> np.ndarray:
+    """The lossy half of tile coding: subsample, quantize, delta-code.
 
-    Not a spec-compliant JPEG, but a genuine lossy transform whose output
-    size responds to image content the way JPEG's does: 2x2 chroma-style
-    subsampling, coarse quantization, run-length coding of the result, and
-    a raw fallback so pathological tiles never exceed the subsampled size.
+    2x2 chroma-style spatial subsampling, coarse quantization, then
+    channel-planar delta coding: smooth content (gradients, painted art)
+    becomes long runs of equal small deltas — the DC-prediction trick that
+    gives DCT codecs their edge on low-frequency content.  The returned
+    uint8 delta stream is what :func:`encode_deltas` compresses losslessly.
     """
     step = max(1, 64 - (quality * 56) // 100)  # quality 100 -> step 8
     h, w = tile.shape[:2]
@@ -72,14 +73,23 @@ def _quantize_tile(tile: np.ndarray, quality: int) -> bytes:
     if sub.size == 0:
         sub = tile[:1, :1]
     q = (sub.astype(np.int16) // step).astype(np.int16)
-    # Channel-planar delta coding: smooth content (gradients, painted art)
-    # becomes long runs of equal small deltas — the DC-prediction trick that
-    # gives DCT codecs their edge on low-frequency content.
     planes = q.transpose(2, 0, 1).reshape(-1)
-    flat = np.diff(planes, prepend=planes[:1]).astype(np.uint8)
-    candidates = [b"\x00" + flat.tobytes()]  # raw (subsampled) fallback
+    return np.diff(planes, prepend=planes[:1]).astype(np.uint8)
 
-    # Run-length coding as (count, value) byte pairs.
+
+def encode_deltas(flat: np.ndarray) -> bytes:
+    """Lossless coding of a uint8 delta stream; smallest candidate wins.
+
+    Mode byte 0: raw.  Mode 1: run-length (count, value) pairs.  Modes
+    2/3: fixed-width 2-/4-bit symbol packing against an alphabet header —
+    the entropy-coding stage that wins on smooth gradients whose deltas
+    alternate between a couple of values and defeat plain RLE.  Every mode
+    is exactly invertible by :func:`decode_deltas`.
+    """
+    if flat.size == 0:
+        return b"\x00"
+    candidates = [b"\x00" + flat.tobytes()]  # raw fallback
+
     out = bytearray()
     run_value = int(flat[0])
     run_len = 1
@@ -96,9 +106,6 @@ def _quantize_tile(tile: np.ndarray, quality: int) -> bytes:
     out.append(run_value)
     candidates.append(b"\x01" + bytes(out))
 
-    # Fixed-width symbol packing when the delta alphabet is small — the
-    # entropy-coding stage that wins on smooth gradients whose deltas
-    # alternate between a couple of values and defeat plain RLE.
     alphabet = np.unique(flat)
     for bits, mode in ((2, 2), (4, 3)):
         if len(alphabet) <= (1 << bits):
@@ -111,6 +118,68 @@ def _quantize_tile(tile: np.ndarray, quality: int) -> bytes:
             candidates.append(header + packed.tobytes())
             break
     return min(candidates, key=len)
+
+
+def decode_deltas(blob: bytes, n_values: int) -> np.ndarray:
+    """Invert :func:`encode_deltas`.
+
+    ``n_values`` (the delta-stream length) must be carried out of band:
+    the bit-packed modes pad to a whole byte, so the blob alone is
+    length-ambiguous by up to three trailing symbols.
+    """
+    if n_values == 0:
+        return np.zeros(0, dtype=np.uint8)
+    if not blob:
+        raise ValueError("empty delta blob")
+    mode = blob[0]
+    if mode == 0:
+        flat = np.frombuffer(blob[1:], dtype=np.uint8)
+        if flat.size != n_values:
+            raise ValueError(
+                f"raw blob holds {flat.size} deltas, expected {n_values}"
+            )
+        return flat.copy()
+    if mode == 1:
+        out = np.empty(n_values, dtype=np.uint8)
+        pos = 0
+        body = blob[1:]
+        if len(body) % 2:
+            raise ValueError("odd RLE body length")
+        for i in range(0, len(body), 2):
+            run_len, run_value = body[i], body[i + 1]
+            if pos + run_len > n_values:
+                raise ValueError("RLE runs overflow the declared length")
+            out[pos:pos + run_len] = run_value
+            pos += run_len
+        if pos != n_values:
+            raise ValueError(f"RLE decoded {pos} deltas, expected {n_values}")
+        return out
+    if mode in (2, 3):
+        bits = 2 if mode == 2 else 4
+        alpha_len = blob[1]
+        alphabet = np.frombuffer(blob[2:2 + alpha_len], dtype=np.uint8)
+        packed = np.frombuffer(blob[2 + alpha_len:], dtype=np.uint8)
+        if (n_values * bits + 7) // 8 > packed.size:
+            raise ValueError("packed body shorter than the declared length")
+        mask = (1 << bits) - 1
+        symbols = np.empty(n_values, dtype=np.uint8)
+        for i in range(n_values):
+            symbols[i] = (packed[(i * bits) // 8] >> ((i * bits) % 8)) & mask
+        if symbols.max(initial=0) >= alpha_len:
+            raise ValueError("packed symbol outside the alphabet")
+        return alphabet[symbols]
+    raise ValueError(f"unknown delta-coding mode {mode}")
+
+
+def _quantize_tile(tile: np.ndarray, quality: int) -> bytes:
+    """JPEG-like lossy tile coding.
+
+    Not a spec-compliant JPEG, but a genuine lossy transform whose output
+    size responds to image content the way JPEG's does: the lossy
+    :func:`_tile_deltas` stage followed by the lossless (round-trippable)
+    :func:`encode_deltas` stage.
+    """
+    return encode_deltas(_tile_deltas(tile, quality))
 
 
 class TurboEncoder:

@@ -66,6 +66,17 @@ class GBoosterConfig:
     #: see :mod:`repro.faults`.
     faults: Optional[FaultSchedule] = None
 
+    # -- correctness checking (repro.check) ---------------------------------------------
+    #: arm the runtime invariant monitor and per-frame command digests on
+    #: the session (differential replay / conservation laws); small constant
+    #: overhead, off by default in experiments.
+    check: bool = False
+    #: make frame content a pure function of (seed, frame index): fixed
+    #: vsync dt and scripted per-frame touches instead of wall-time-coupled
+    #: scene advance.  Required for local-vs-offload digest comparison,
+    #: where the two paths pace frames differently.
+    deterministic_content: bool = False
+
     # -- multi-user service scheduling (§VIII future work, implemented) --------------
     #: "fcfs" is the paper's prototype; "priority" serves time-critical
     #: applications (fast-paced games) ahead of queued requests from

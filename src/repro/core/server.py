@@ -235,6 +235,10 @@ class ServiceNode:
             # Replay the real (subsampled) commands through the context so
             # state consistency is observable, then render.
             self.runtime.context.execute_sequence(request.commands)
+            if self.sim.digests is not None:
+                self.sim.digests.record_execution(
+                    request.frame_id, request.commands, site=self.name
+                )
             completion = self.sim.event(
                 name=f"{self.name}.gpu.{request.request_id}"
             )

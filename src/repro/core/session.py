@@ -16,6 +16,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.apps.base import ApplicationSpec
 from repro.apps.engine import EngineConfig, GameEngine
 from repro.baselines.local import LocalBackend
+from repro.check import DigestLog, InvariantMonitor, Violation
 from repro.core.client import GBoosterClient
 from repro.core.config import GBoosterConfig
 from repro.core.server import ServiceNode
@@ -35,6 +36,22 @@ from repro.switching.policies import (
     PredictivePolicy,
     ReactivePolicy,
 )
+
+
+@dataclass
+class SessionCheck:
+    """Correctness artifacts of a ``check``-armed session (repro.check)."""
+
+    digests: DigestLog
+    monitor: InvariantMonitor
+
+    @property
+    def violations(self) -> List[Violation]:
+        return self.monitor.violations
+
+    @property
+    def ok(self) -> bool:
+        return self.monitor.ok and not self.digests.fidelity_mismatches()
 
 
 @dataclass
@@ -59,6 +76,8 @@ class SessionResult:
     #: the armed fault injector (with its applied-fault log) when the
     #: config carried a :class:`~repro.faults.schedule.FaultSchedule`.
     faults: Optional[FaultInjector] = None
+    #: digests + invariant monitor when ``config.check`` was set.
+    check: Optional[SessionCheck] = None
 
     @property
     def response_time_ms(self) -> float:
@@ -101,9 +120,22 @@ def run_local_session(
     user_device: DeviceSpec,
     duration_ms: float = 60_000.0,
     seed: int = 0,
+    config: Optional[GBoosterConfig] = None,
 ) -> SessionResult:
-    """The paper's comparison case: everything on the phone."""
+    """The paper's comparison case: everything on the phone.
+
+    ``config`` is consulted only for the correctness switches (``check``,
+    ``deterministic_content``) — the local path has no transport/cache
+    pipeline to configure.
+    """
     sim = Simulator(seed=seed)
+    check: Optional[SessionCheck] = None
+    if config is not None and config.check:
+        sim.digests = DigestLog()
+        monitor = InvariantMonitor(sim)
+        monitor.watch_timers()
+        monitor.start()
+        check = SessionCheck(digests=sim.digests, monitor=monitor)
     device = UserDeviceRuntime(
         sim, user_device,
         render_width=app.render_width, render_height=app.render_height,
@@ -111,11 +143,21 @@ def run_local_session(
     # The paper measures local power in airplane mode (§VII-C).
     device.network.wifi.power_off()
     device.network.bluetooth.power_off()
-    backend = LocalBackend(sim, device)
+    backend = LocalBackend(
+        sim, device, execute_commands=check is not None
+    )
     engine = GameEngine(
-        sim, app, device, backend, EngineConfig(duration_ms=duration_ms)
+        sim, app, device, backend,
+        EngineConfig(
+            duration_ms=duration_ms,
+            deterministic_content=bool(
+                config is not None and config.deterministic_content
+            ),
+        ),
     )
     sim.run_until_process(engine._proc, limit=duration_ms * 4)
+    if check is not None:
+        check.monitor.finalize()
     frames = engine.presented_frames()
     return SessionResult(
         app=app,
@@ -126,6 +168,7 @@ def run_local_session(
         gpu_mean_utilization=device.gpu.utilization(),
         engine=engine,
         device=device,
+        check=check,
     )
 
 
@@ -142,6 +185,13 @@ def run_offload_session(
     config.validate()
     service_devices = list(service_devices or [NVIDIA_SHIELD])
     sim = Simulator(seed=seed)
+    check: Optional[SessionCheck] = None
+    monitor: Optional[InvariantMonitor] = None
+    if config.check:
+        sim.digests = DigestLog()
+        monitor = InvariantMonitor(sim)
+        monitor.watch_timers()
+        check = SessionCheck(digests=sim.digests, monitor=monitor)
     device = UserDeviceRuntime(
         sim, user_device,
         render_width=app.render_width, render_height=app.render_height,
@@ -257,11 +307,23 @@ def run_offload_session(
         device.network.use("bluetooth")
         device.network.power_down_idle()
 
+    if monitor is not None:
+        monitor.watch_client(client)
+        monitor.watch_transports([downlink, *uplinks.values()])
+        monitor.watch_pipeline(client.pipeline)
+        monitor.start()
+
     engine = GameEngine(
-        sim, app, device, client, EngineConfig(duration_ms=duration_ms)
+        sim, app, device, client,
+        EngineConfig(
+            duration_ms=duration_ms,
+            deterministic_content=config.deterministic_content,
+        ),
     )
     engine_holder.append(engine)
     sim.run_until_process(engine._proc, limit=duration_ms * 4)
+    if monitor is not None:
+        monitor.finalize()
     frames = engine.presented_frames()
 
     # t_p (Eq. 5): mean uplink delivery + mean downlink delivery + mean
@@ -298,4 +360,5 @@ def run_offload_session(
         device=device,
         nodes=nodes,
         faults=injector,
+        check=check,
     )

@@ -46,6 +46,8 @@ class ChaosPoint:
     failovers: int
     nodes_failed: int
     retransmissions: int
+    #: conservation-law breaks caught by the invariant monitor (``check``)
+    invariant_violations: int = 0
 
     @property
     def survived(self) -> bool:
@@ -84,12 +86,18 @@ def run_chaos_point(
     duration_ms: float = 30_000.0,
     seed: int = 0,
     frame_timeout_ms: float = 600.0,
+    check: bool = False,
 ) -> ChaosPoint:
-    """Run one scenario and fold the session into a :class:`ChaosPoint`."""
+    """Run one scenario and fold the session into a :class:`ChaosPoint`.
+
+    ``check=True`` arms the runtime invariant monitor, so the point also
+    reports whether any conservation law broke under the injected faults.
+    """
     config = GBoosterConfig(
         frame_timeout_ms=frame_timeout_ms,
         faults=build_schedule(loss_probability, outage_ms, crash,
                               duration_ms),
+        check=check,
     )
     result: SessionResult = run_offload_session(
         app, user_device,
@@ -109,6 +117,9 @@ def run_chaos_point(
         failovers=result.client_stats.failovers,
         nodes_failed=result.client_stats.nodes_failed,
         retransmissions=_total_retransmissions(result),
+        invariant_violations=(
+            len(result.check.violations) if result.check is not None else 0
+        ),
     )
 
 

@@ -73,6 +73,8 @@ class FleetPoint:
     mean_wait_ms: float
     tier_response_ms: Dict[str, float] = field(default_factory=dict)
     digest: str = ""
+    #: conservation-law breaks caught when ``config.check`` is armed
+    invariant_violations: int = 0
 
     @property
     def zero_loss(self) -> bool:
@@ -131,6 +133,8 @@ def run_fleet_point(
     # slack.
     sim.run(until=sim.now + arrival_spread_ms + 2.0 * duration_ms + 5_000.0)
 
+    if controller.monitor is not None:
+        controller.monitor.finalize()
     report = controller.report()
     tiers = report["tiers"]
     point = FleetPoint(
@@ -153,6 +157,11 @@ def run_fleet_point(
             tier: t["mean_response_ms"] for tier, t in tiers.items()
         },
         digest=report["digest"],
+        invariant_violations=(
+            len(controller.monitor.violations)
+            if controller.monitor is not None
+            else 0
+        ),
     )
     return point, report
 

@@ -68,6 +68,12 @@ class FleetConfig:
     #: (textures, buffers, programs — a bounded working set)
     migration_state_factor: float = 1.5
 
+    # -- correctness checking (repro.check) ----------------------------------
+    #: arm a runtime :class:`~repro.check.InvariantMonitor` on the
+    #: controller's simulator (session ownership, frame conservation,
+    #: capacity accounting, timer hygiene)
+    check: bool = False
+
     # -- fault injection -----------------------------------------------------
     #: declarative crash/rejoin scenario against the device pool; only
     #: :class:`~repro.faults.schedule.NodeCrash` events apply at fleet

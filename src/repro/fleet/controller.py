@@ -97,6 +97,15 @@ class FleetController:
         sim.spawn(self._control_loop(), name="fleet.control")
         if self.config.faults is not None:
             self._arm_faults(self.config.faults)
+        #: runtime conservation-law checker, armed by ``config.check``
+        self.monitor = None
+        if self.config.check:
+            from repro.check import InvariantMonitor
+
+            self.monitor = InvariantMonitor(sim)
+            self.monitor.watch_fleet(self)
+            self.monitor.watch_timers()
+            self.monitor.start()
 
     # -- capacity ------------------------------------------------------------
 

@@ -33,6 +33,7 @@ class TransportStats:
     messages_delivered: int = 0
     retransmissions: int = 0
     bytes_offered: int = 0
+    bytes_delivered: int = 0
     delivery_latencies_ms: List[float] = field(default_factory=list)
 
     def mean_latency_ms(self) -> float:
@@ -203,6 +204,7 @@ class Transport:
             message = self._reorder.pop(self._expected_seq)
             self._expected_seq += 1
             self.stats.messages_delivered += 1
+            self.stats.bytes_delivered += message.framed_bytes
             latency = self.sim.now - message.metadata["transport_send_at"]
             self.stats.delivery_latencies_ms.append(latency)
             self._record_delivery_span(message)
@@ -241,6 +243,10 @@ class Transport:
 
     def in_flight(self) -> int:
         return len(self._unacked)
+
+    def reorder_held(self) -> int:
+        """Messages received but parked awaiting an earlier sequence number."""
+        return len(self._reorder)
 
 
 class ReliableUdpTransport(Transport):

@@ -238,6 +238,11 @@ class Simulator:
         self.spans = SpanRecorder(clock=lambda: self.now)
         #: counters / gauges / histograms registry
         self.metrics = MetricsRegistry()
+        #: optional repro.check.DigestLog; substrates record per-frame
+        #: command digests here when differential replay is armed
+        self.digests: Optional[Any] = None
+        #: optional repro.check.InvariantMonitor; notified of new timers
+        self.monitor: Optional[Any] = None
         self._queue: List[Tuple[float, int, Process, Any]] = []
         self._counter = itertools.count()
         self._streams: dict = {}
@@ -286,6 +291,8 @@ class Simulator:
                 evt.trigger(value)
 
         evt._timer = self.spawn(_fire(), name=f"_timer.{evt.name}")
+        if self.monitor is not None:
+            self.monitor.note_timer(evt)
         return evt
 
     def any_of(self, events: Iterable[Event], name: str = "any") -> Event:

@@ -1,0 +1,1 @@
+"""repro.check: digests, invariants, differential replay, fuzzing."""

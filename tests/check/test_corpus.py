@@ -1,0 +1,45 @@
+"""Replay the committed fuzz corpus: every pinned case must pass.
+
+The corpus holds shrunk reproductions of once-failing inputs plus
+hand-pinned edge cases (see ``corpus/README.md``).  A failure here means
+a previously-fixed bug has resurfaced.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.check.fuzz import CASE_SCHEMA, load_corpus, replay_corpus
+
+CORPUS = Path(__file__).parent / "corpus"
+
+
+def test_corpus_is_not_empty():
+    assert len(load_corpus(CORPUS)) >= 4
+
+
+def test_every_case_carries_the_schema_and_a_reason():
+    for path in sorted(CORPUS.glob("*.json")):
+        body = json.loads(path.read_text())
+        assert body["schema"] == CASE_SCHEMA, path
+        assert body["property"], path
+        assert body["message"], path
+        assert isinstance(body["case"], dict), path
+
+
+def test_no_committed_case_regresses():
+    failing = replay_corpus(CORPUS)
+    assert failing == [], [
+        f"{f['property']}: {f['message_now']} ({f['path']})" for f in failing
+    ]
+
+
+def test_unknown_property_in_corpus_is_an_error(tmp_path):
+    (tmp_path / "ghost-000000000000.json").write_text(
+        json.dumps({"schema": CASE_SCHEMA, "property": "ghost",
+                    "case": {}, "message": "m", "shrink_steps": 0,
+                    "note": ""})
+    )
+    with pytest.raises(ValueError):
+        replay_corpus(tmp_path)

@@ -1,0 +1,91 @@
+"""Frame digests: stable content hashing and issue/execute bookkeeping."""
+
+from repro.check import DigestLog, command_digest
+from repro.gles.commands import make_command
+
+
+def frame(n_draws=3, tex=4):
+    cmds = [make_command("glBindTexture", 0x0DE1, tex)]
+    for i in range(n_draws):
+        cmds.append(make_command("glDrawArrays", 4, 0, 36 + i))
+    return cmds
+
+
+class TestCommandDigest:
+    def test_same_commands_same_digest(self):
+        assert command_digest(frame()) == command_digest(frame())
+
+    def test_any_argument_change_changes_the_digest(self):
+        assert command_digest(frame(tex=4)) != command_digest(frame(tex=5))
+
+    def test_order_matters(self):
+        cmds = frame()
+        assert command_digest(cmds) != command_digest(list(reversed(cmds)))
+
+    def test_empty_batch_digest_is_stable(self):
+        assert command_digest([]) == command_digest([])
+        assert command_digest([]) != command_digest(frame())
+
+    def test_float_arguments_hash_verbatim(self):
+        a = [make_command("glUniform1f", 0, 0.25)]
+        b = [make_command("glUniform1f", 0, 0.25000001)]
+        assert command_digest(a) != command_digest(b)
+
+    def test_foreign_objects_fall_back_to_repr(self):
+        # Tests may digest plain tuples; no .key() required.
+        assert command_digest([("glFlush",)]) == command_digest([("glFlush",)])
+
+
+class TestDigestLog:
+    def test_faithful_replay_has_no_mismatches(self):
+        log = DigestLog()
+        for fid in range(5):
+            cmds = frame(tex=fid)
+            log.record_issue(fid, cmds)
+            log.record_execution(fid, cmds, site="shield")
+        assert log.fidelity_mismatches() == []
+        assert log.duplicate_executions() == []
+        assert len(log.stream()) == 5
+        assert log.executed_frames() == [0, 1, 2, 3, 4]
+
+    def test_mutated_replay_is_flagged(self):
+        log = DigestLog()
+        log.record_issue(0, frame(tex=1))
+        log.record_execution(0, frame(tex=2), site="shield")
+        (bad,) = log.fidelity_mismatches()
+        assert bad["frame_id"] == 0
+        assert bad["site"] == "shield"
+        assert bad["issued"] != bad["executed"]
+
+    def test_phantom_execution_is_flagged(self):
+        log = DigestLog()
+        log.record_execution(7, frame(), site="shield")
+        (bad,) = log.fidelity_mismatches()
+        assert bad["frame_id"] == 7
+        assert bad["issued"] is None
+
+    def test_failover_to_a_second_site_is_not_a_duplicate(self):
+        log = DigestLog()
+        cmds = frame()
+        log.record_issue(0, cmds)
+        log.record_execution(0, cmds, site="shield")
+        log.record_execution(0, cmds, site="local")
+        assert log.duplicate_executions() == []
+
+    def test_same_site_repeat_is_a_duplicate(self):
+        log = DigestLog()
+        cmds = frame()
+        log.record_issue(0, cmds)
+        log.record_execution(0, cmds, site="shield")
+        log.record_execution(0, cmds, site="shield")
+        assert log.duplicate_executions() == [0]
+
+    def test_summary_counts(self):
+        log = DigestLog()
+        log.record_issue(0, frame())
+        log.record_execution(0, frame(), site="shield")
+        log.record_execution(3, frame(), site="shield")   # phantom
+        summary = log.summary()
+        assert summary["frames_issued"] == 1
+        assert summary["frames_executed"] == 2
+        assert summary["fidelity_mismatches"] == 1

@@ -1,0 +1,159 @@
+"""Seeded fuzzer: clean laws pass, seeded bugs are caught and shrunk.
+
+The deliberate-bug tests are the harness's own acceptance gate: an
+injected defect (a decompressor that drops the last byte, a transport
+that delivers in arrival order) must be falsified by the corresponding
+property AND shrunk to a minimal reproduction — otherwise the fuzzer is
+decorative.
+"""
+
+import json
+
+import pytest
+
+from repro.check.fuzz import (
+    CASE_SCHEMA,
+    CacheLockstep,
+    DeltaRoundTrip,
+    FleetArrivals,
+    Lz77RoundTrip,
+    SessionChaos,
+    TransportDelivery,
+    default_properties,
+    load_corpus,
+    run_fuzz,
+    run_property,
+    save_case,
+)
+from repro.codec.lz77 import decompress
+from repro.net.transport import ReliableUdpTransport
+
+pytestmark = pytest.mark.fuzz
+
+
+class ReorderingTransport(ReliableUdpTransport):
+    """Deliberately broken: delivers in arrival order, not sequence order."""
+
+    def _flush_in_order(self):
+        for seq in sorted(self._reorder):
+            message = self._reorder.pop(seq)
+            self._expected_seq = max(self._expected_seq, seq + 1)
+            self.stats.messages_delivered += 1
+            self.stats.bytes_delivered += message.framed_bytes
+            if self.on_deliver is not None:
+                self.on_deliver(message)
+
+
+def broken_decompress(blob):
+    """Deliberately broken: silently truncates larger payloads."""
+    out = decompress(blob)
+    return out[:-1] if len(out) > 4 else out
+
+
+class TestCleanProperties:
+    @pytest.mark.parametrize(
+        "prop,cases",
+        [
+            (Lz77RoundTrip(), 40),
+            (DeltaRoundTrip(), 40),
+            (CacheLockstep(), 20),
+            (TransportDelivery(), 6),
+            (SessionChaos(), 1),
+            (FleetArrivals(), 1),
+        ],
+        ids=lambda p: p.name if hasattr(p, "name") else str(p),
+    )
+    def test_current_code_satisfies_the_law(self, prop, cases):
+        outcome = run_property(prop, seed=0, cases=cases)
+        assert outcome["failures"] == [], [
+            f.message for f in outcome["failures"]
+        ]
+
+    def test_same_seed_generates_the_same_cases(self):
+        import random
+
+        prop = Lz77RoundTrip()
+        a = [prop.generate(random.Random(7)) for _ in range(10)]
+        b = [prop.generate(random.Random(7)) for _ in range(10)]
+        assert a == b
+
+
+class TestDeliberateBugs:
+    def test_truncating_decompressor_is_caught_and_shrunk(self):
+        prop = Lz77RoundTrip(decompress_fn=broken_decompress)
+        outcome = run_property(prop, seed=0, cases=40)
+        assert outcome["failures"], "injected codec bug went undetected"
+        smallest = min(
+            outcome["failures"], key=lambda f: len(f.case["payload"])
+        )
+        # The bug needs len > 4 to fire; the shrinker must land on (or
+        # near) the 5-byte boundary, not hand back a kilobyte blob.
+        assert len(bytes.fromhex(smallest.case["payload"])) <= 6
+        assert smallest.shrink_steps > 0
+        assert len(smallest.case["payload"]) < len(
+            smallest.original_case["payload"]
+        ) or smallest.case == smallest.original_case
+
+    def test_reordering_transport_is_caught_and_shrunk(self):
+        prop = TransportDelivery(transport_cls=ReorderingTransport)
+        outcome = run_property(prop, seed=0, cases=12)
+        assert outcome["failures"], "injected transport bug went undetected"
+        failure = min(
+            outcome["failures"], key=lambda f: len(f.case["sizes"])
+        )
+        assert "out-of-order" in failure.message
+        # Reordering needs at least two messages; minimal repro is tiny.
+        assert 2 <= len(failure.case["sizes"]) <= 4
+
+    def test_shrunk_case_still_fails(self):
+        prop = Lz77RoundTrip(decompress_fn=broken_decompress)
+        outcome = run_property(prop, seed=0, cases=20)
+        for failure in outcome["failures"]:
+            assert prop.check(failure.case) is not None
+
+
+class TestCorpusRoundTrip:
+    def test_save_then_load(self, tmp_path):
+        prop = Lz77RoundTrip(decompress_fn=broken_decompress)
+        outcome = run_property(prop, seed=0, cases=20)
+        path = save_case(tmp_path, outcome["failures"][0], note="injected")
+        assert path.exists()
+        body = json.loads(path.read_text())
+        assert body["schema"] == CASE_SCHEMA
+        assert body["property"] == "lz77_roundtrip"
+        (loaded,) = load_corpus(tmp_path)
+        assert loaded["case"] == outcome["failures"][0].case
+
+    def test_bad_schema_rejected(self, tmp_path):
+        (tmp_path / "rogue.json").write_text(
+            json.dumps({"schema": "something/9", "case": {}})
+        )
+        with pytest.raises(ValueError):
+            load_corpus(tmp_path)
+
+
+class TestHarness:
+    def test_smoke_suite_is_clean_and_deterministic(self):
+        first = run_fuzz(smoke=True, seed=0)
+        again = run_fuzz(smoke=True, seed=0)
+        assert first["total_failures"] == 0
+        assert first["digest"] == again["digest"]
+        assert first["total_cases"] == sum(
+            r["cases"] for r in first["properties"]
+        )
+
+    def test_every_default_property_gets_a_budget(self):
+        from repro.check.fuzz import FULL_CASES, SMOKE_CASES
+
+        names = {p.name for p in default_properties()}
+        assert names == set(FULL_CASES) == set(SMOKE_CASES)
+
+    def test_failures_land_in_the_corpus_dir(self, tmp_path):
+        summary = run_fuzz(
+            smoke=True, seed=0,
+            properties=[Lz77RoundTrip(decompress_fn=broken_decompress)],
+            corpus_dir=tmp_path,
+        )
+        assert summary["total_failures"] > 0
+        saved = list(tmp_path.glob("lz77_roundtrip-*.json"))
+        assert saved

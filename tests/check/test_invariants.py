@@ -1,0 +1,208 @@
+"""InvariantMonitor: law registration, violation capture, timer hygiene."""
+
+import pytest
+
+from repro.apps.games import GTA_SAN_ANDREAS
+from repro.check import InvariantError, InvariantMonitor
+from repro.core.config import GBoosterConfig
+from repro.core.session import run_offload_session
+from repro.devices.profiles import LG_NEXUS_5, NVIDIA_SHIELD
+from repro.sim.kernel import Simulator
+
+
+def run_idle(sim, until=2_000.0):
+    def idle():
+        yield until
+
+    sim.spawn(idle(), name="idle")
+    sim.run(until=until)
+
+
+class TestRegistration:
+    def test_custom_law_violation_is_captured(self):
+        sim = Simulator(seed=0)
+        monitor = InvariantMonitor(sim, interval_ms=100.0)
+        monitor.register("demo.always_broken",
+                         lambda: ("it broke", {"detail": 42}))
+        monitor.start()
+        run_idle(sim, until=1_000.0)
+        monitor.finalize()
+        assert not monitor.ok
+        (violation,) = monitor.violations
+        assert violation.invariant == "demo.always_broken"
+        assert violation.message == "it broke"
+        assert violation.details == {"detail": 42}
+
+    def test_repeated_violation_folds_into_occurrences(self):
+        sim = Simulator(seed=0)
+        monitor = InvariantMonitor(sim, interval_ms=100.0)
+        monitor.register("demo.always_broken", lambda: ("it broke", {}))
+        monitor.start()
+        run_idle(sim, until=1_000.0)
+        monitor.finalize()
+        # Many sweeps, one deduplicated violation record.
+        (violation,) = monitor.violations
+        assert violation.occurrences > 1
+        assert monitor.checks_run > 1
+
+    def test_healthy_law_never_fires(self):
+        sim = Simulator(seed=0)
+        monitor = InvariantMonitor(sim, interval_ms=100.0)
+        monitor.register("demo.fine", lambda: None)
+        monitor.start()
+        run_idle(sim, until=1_000.0)
+        assert monitor.finalize() == []
+        assert monitor.ok
+        assert monitor.invariant_names == ["demo.fine"]
+
+    def test_crashing_law_becomes_a_violation_not_a_crash(self):
+        sim = Simulator(seed=0)
+        monitor = InvariantMonitor(sim, interval_ms=100.0)
+
+        def bad_check():
+            raise RuntimeError("check itself is buggy")
+
+        monitor.register("demo.crashy", bad_check)
+        monitor.start()
+        run_idle(sim, until=400.0)
+        monitor.finalize()
+        assert not monitor.ok
+        assert "RuntimeError" in monitor.violations[0].message
+
+    def test_strict_mode_raises_at_the_breaking_sweep(self):
+        sim = Simulator(seed=0)
+        monitor = InvariantMonitor(sim, interval_ms=100.0, strict=True)
+        monitor.register("demo.always_broken", lambda: ("it broke", {}))
+        monitor.start()
+        with pytest.raises(InvariantError) as err:
+            run_idle(sim, until=1_000.0)
+        assert err.value.violations[0].invariant == "demo.always_broken"
+
+    def test_violations_increment_the_check_counter(self):
+        sim = Simulator(seed=0)
+        monitor = InvariantMonitor(sim, interval_ms=100.0)
+        monitor.register("demo.always_broken", lambda: ("it broke", {}))
+        monitor.start()
+        run_idle(sim, until=500.0)
+        monitor.finalize()
+        assert sim.metrics.counter("check.violations").value >= 1
+
+
+class TestTimerHygiene:
+    def test_clean_timers_pass(self):
+        sim = Simulator(seed=0)
+        monitor = InvariantMonitor(sim, interval_ms=50.0)
+        monitor.watch_timers()
+        monitor.start()
+
+        def worker():
+            for _ in range(5):
+                yield sim.timeout(10.0)
+
+        sim.spawn(worker(), name="worker")
+        # A bounded horizon: the monitor's own sweep loop keeps the event
+        # queue alive, so an open-ended run() would never drain.
+        sim.run(until=200.0)
+        assert monitor.finalize() == []
+
+    def test_cancelled_timers_pass(self):
+        sim = Simulator(seed=0)
+        monitor = InvariantMonitor(sim, interval_ms=50.0)
+        monitor.watch_timers()
+        monitor.start()
+
+        def worker():
+            evt = sim.timeout(10_000.0)
+            yield 5.0
+            evt.cancel()
+            yield 5.0
+
+        sim.spawn(worker(), name="worker")
+        sim.run(until=200.0)
+        assert monitor.finalize() == []
+
+    def test_leaked_timer_is_detected(self):
+        sim = Simulator(seed=0)
+        monitor = InvariantMonitor(sim, interval_ms=50.0)
+        monitor.watch_timers()
+        monitor.start()
+
+        def leaker():
+            evt = sim.timeout(10_000.0)
+            # Simulate the pre-fix transport bug: the event is marked
+            # satisfied by hand but the backing timer keeps sleeping.
+            evt.triggered = True
+            yield 100.0
+
+        sim.spawn(leaker(), name="leaker")
+        sim.run(until=300.0)
+        monitor.finalize()
+        assert not monitor.ok
+        assert any(
+            v.invariant == "sim.timer_hygiene" for v in monitor.violations
+        )
+
+    def test_watch_timers_installs_the_kernel_hook(self):
+        sim = Simulator(seed=0)
+        monitor = InvariantMonitor(sim)
+        assert sim.monitor is None
+        monitor.watch_timers()
+        assert sim.monitor is monitor
+        monitor.finalize()
+        assert sim.monitor is None
+
+
+class TestSessionIntegration:
+    def test_check_armed_offload_session_has_zero_violations(self):
+        result = run_offload_session(
+            GTA_SAN_ANDREAS, LG_NEXUS_5, [NVIDIA_SHIELD],
+            config=GBoosterConfig(check=True),
+            duration_ms=2_000.0,
+        )
+        assert result.check is not None
+        assert result.check.monitor.violations == []
+        assert result.check.digests.fidelity_mismatches() == []
+        assert result.check.ok
+        # The sweep actually ran and watched the full law packs.
+        names = result.check.monitor.invariant_names
+        assert result.check.monitor.checks_run > 3
+        assert len(names) >= 5
+        for law in (
+            "client.frame_conservation",
+            "transport.message_conservation",
+            "cache.lockstep",
+            "sim.timer_hygiene",
+        ):
+            assert law in names
+
+    def test_chaos_experiment_under_check_is_clean(self):
+        """Faults (loss burst + outage + crash) stress every law pack and
+        must still break none of them."""
+        from repro.experiments.chaos import run_chaos_point
+
+        point = run_chaos_point(
+            loss_probability=0.3, outage_ms=1_000.0, crash=True,
+            duration_ms=6_000.0, check=True,
+        )
+        assert point.invariant_violations == 0
+        assert point.survived
+
+    def test_fleet_experiment_under_check_is_clean(self):
+        from repro.experiments.fleet import run_fleet_point
+        from repro.fleet import FleetConfig
+
+        point, _report = run_fleet_point(
+            n_sessions=8, n_devices=3, duration_ms=2_000.0,
+            config=FleetConfig(check=True),
+        )
+        assert point.invariant_violations == 0
+        assert point.zero_loss
+
+    def test_unchecked_session_pays_nothing(self):
+        result = run_offload_session(
+            GTA_SAN_ANDREAS, LG_NEXUS_5, [NVIDIA_SHIELD],
+            duration_ms=1_000.0,
+        )
+        assert result.check is None
+        assert result.engine.sim.digests is None
+        assert result.engine.sim.monitor is None

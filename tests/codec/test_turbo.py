@@ -4,7 +4,13 @@ import numpy as np
 import pytest
 
 from repro.codec.frames import FrameImage, SyntheticFrameSource
-from repro.codec.turbo import TurboEncoder
+from repro.codec.turbo import (
+    TurboEncoder,
+    _quantize_tile,
+    _tile_deltas,
+    decode_deltas,
+    encode_deltas,
+)
 
 
 class TestRealPath:
@@ -140,6 +146,67 @@ class TestDescriptorPath:
     def test_invalid_quality_rejected(self):
         with pytest.raises(ValueError):
             TurboEncoder(quality=0)
+
+
+class TestDeltaRoundTrip:
+    """The lossless layer under the tile codec: decode(encode(d)) == d."""
+
+    def roundtrip(self, deltas):
+        flat = np.asarray(deltas, dtype=np.uint8)
+        back = decode_deltas(encode_deltas(flat), flat.size)
+        assert np.array_equal(back, flat)
+
+    def test_empty(self):
+        self.roundtrip([])
+
+    def test_single_value(self):
+        self.roundtrip([7])
+
+    def test_constant_run_beyond_rle_limit(self):
+        # 600 equal values cross the 255-per-run RLE ceiling twice.
+        self.roundtrip([42] * 600)
+
+    def test_two_symbol_stream_hits_packed_mode(self):
+        flat = np.array([0, 9] * 200, dtype=np.uint8)
+        blob = encode_deltas(flat)
+        assert blob[0] == 2          # 2-bit packed mode won
+        self.roundtrip(flat)
+
+    def test_odd_length_packed_padding(self):
+        # Packed modes pad to a whole byte; the out-of-band length must
+        # cut the padding off exactly.
+        for n in (1, 3, 5, 7, 9):
+            self.roundtrip(list(range(4)) * 4 + [1] * n)
+
+    def test_seeded_random_streams(self):
+        rng = np.random.default_rng(11)
+        for _ in range(50):
+            n = int(rng.integers(0, 800))
+            self.roundtrip(rng.integers(0, 256, size=n, dtype=np.uint8))
+
+    def test_seeded_small_alphabets(self):
+        rng = np.random.default_rng(12)
+        for alphabet in (2, 4, 15, 16, 17):
+            symbols = rng.integers(0, 256, size=alphabet, dtype=np.uint8)
+            idx = rng.integers(0, alphabet, size=300)
+            self.roundtrip(symbols[idx])
+
+    def test_tile_path_round_trips(self):
+        rng = np.random.default_rng(13)
+        tile = rng.integers(0, 256, size=(16, 16, 3), dtype=np.uint8)
+        deltas = _tile_deltas(tile, quality=80)
+        blob = _quantize_tile(tile, quality=80)
+        assert np.array_equal(decode_deltas(blob, deltas.size), deltas)
+
+    def test_corrupt_blobs_raise(self):
+        flat = np.array([1, 2, 3, 4] * 10, dtype=np.uint8)
+        blob = encode_deltas(flat)
+        with pytest.raises(ValueError):
+            decode_deltas(b"", flat.size)
+        with pytest.raises(ValueError):
+            decode_deltas(blob, flat.size + 1000)
+        with pytest.raises(ValueError):
+            decode_deltas(b"\x09" + blob[1:], flat.size)
 
 
 class TestCalibration:

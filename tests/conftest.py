@@ -1,0 +1,27 @@
+"""Shared fixtures for every test package.
+
+Nearly every suite opens with the same two lines — build a seeded
+:class:`Simulator`, build a config — so those live here once.  The kernel
+defaults to seed 0, the same seed the experiments and CI gates use, which
+keeps any failure reproducible by copying the test body into a REPL.
+"""
+
+import pytest
+
+from repro.sim.kernel import Simulator
+
+
+@pytest.fixture
+def sim():
+    """A fresh deterministic kernel (seed 0) — the default test harness."""
+    return Simulator(seed=0)
+
+
+@pytest.fixture
+def make_sim():
+    """Factory for tests that need a specific seed or a second kernel."""
+
+    def make(seed=0):
+        return Simulator(seed=seed)
+
+    return make

@@ -9,15 +9,13 @@ from repro.core.multiuser import (
     run_multiuser_experiment,
     run_multiuser_session,
 )
-from repro.sim.kernel import Simulator
 from repro.sim.resources import PriorityStore
 
 DURATION = 30_000.0
 
 
 class TestPriorityStore:
-    def test_lowest_priority_value_first(self):
-        sim = Simulator()
+    def test_lowest_priority_value_first(self, sim):
         store = PriorityStore(sim)
         store.put("tolerant", priority=2.0)
         store.put("urgent", priority=0.0)
@@ -33,8 +31,7 @@ class TestPriorityStore:
         sim.run()
         assert got == ["urgent", "mid", "tolerant"]
 
-    def test_fifo_within_priority(self):
-        sim = Simulator()
+    def test_fifo_within_priority(self, sim):
         store = PriorityStore(sim)
         for i in range(4):
             store.put(i, priority=1.0)
@@ -48,8 +45,7 @@ class TestPriorityStore:
         sim.run()
         assert got == [0, 1, 2, 3]
 
-    def test_blocked_getter_woken_by_put(self):
-        sim = Simulator()
+    def test_blocked_getter_woken_by_put(self, sim):
         store = PriorityStore(sim)
         got = []
 
@@ -65,8 +61,7 @@ class TestPriorityStore:
         sim.run()
         assert got == ["late"]
 
-    def test_peek_all_sorted(self):
-        sim = Simulator()
+    def test_peek_all_sorted(self, sim):
         store = PriorityStore(sim)
         store.put("b", priority=1.0)
         store.put("a", priority=0.0)
@@ -79,6 +74,7 @@ class TestAppPriority:
         assert app_priority(MODERN_COMBAT) < app_priority(CANDY_CRUSH)
 
 
+@pytest.mark.slow
 class TestMultiUser:
     @pytest.fixture(scope="class")
     def results(self):
@@ -135,6 +131,7 @@ class TestMultiUser:
             GBoosterConfig(service_queue_policy="lottery").validate()
 
 
+@pytest.mark.slow
 class TestSharedChannel:
     def test_shared_channel_never_beats_independent_radios(self):
         from repro.core.multiuser import run_multiuser_session

@@ -9,7 +9,6 @@ from repro.devices.profiles import DELL_OPTIPLEX_9010, NVIDIA_SHIELD
 from repro.devices.runtime import ServiceDeviceRuntime
 from repro.gpu.model import RenderRequest
 from repro.net.message import Message
-from repro.sim.kernel import Simulator
 
 
 class FakeDownlink:
@@ -45,8 +44,7 @@ def frame_message(request_id=0, fill=156.5, nominal=900, change=0.2):
     return msg
 
 
-def test_frame_rendered_and_returned():
-    sim = Simulator()
+def test_frame_rendered_and_returned(sim):
     node, downlink = make_node(sim)
     node.on_frame_message(frame_message())
     sim.run(until=1_000.0)
@@ -56,10 +54,9 @@ def test_frame_rendered_and_returned():
     assert downlink.sent[0].size_bytes > 0
 
 
-def test_service_stage_near_calibration():
+def test_service_stage_near_calibration(sim):
     """G1 on the Shield: decompress + replay + GPU + encode ~= 25 ms/frame
     at moderate scene change — the stage that bounds Fig 5(a)'s 37 FPS."""
-    sim = Simulator()
     node, downlink = make_node(sim)
     for i in range(20):
         node.on_frame_message(frame_message(request_id=i, change=0.2))
@@ -74,8 +71,7 @@ def test_service_stage_near_calibration():
     assert 15.0 < per_frame < 30.0
 
 
-def test_predicted_stage_close_to_actual():
-    sim = Simulator()
+def test_predicted_stage_close_to_actual(sim):
     node, _ = make_node(sim)
     msg = frame_message(change=0.2)
     request = msg.metadata["request"]
@@ -90,8 +86,7 @@ def test_predicted_stage_close_to_actual():
     assert predicted == pytest.approx(actual, rel=0.35)
 
 
-def test_state_batches_replayed_without_rendering():
-    sim = Simulator()
+def test_state_batches_replayed_without_rendering(sim):
     node, downlink = make_node(sim)
     msg = Message.of_size(2_000, kind="state", nominal_commands=500)
     msg.metadata["nominal_commands"] = 500
@@ -102,8 +97,7 @@ def test_state_batches_replayed_without_rendering():
     assert downlink.sent == []
 
 
-def test_fcfs_ordering():
-    sim = Simulator()
+def test_fcfs_ordering(sim):
     node, downlink = make_node(sim)
     for i in range(5):
         node.on_frame_message(frame_message(request_id=i))
@@ -112,8 +106,7 @@ def test_fcfs_ordering():
     assert returned == [0, 1, 2, 3, 4]
 
 
-def test_queued_workload_drops_as_frames_finish():
-    sim = Simulator()
+def test_queued_workload_drops_as_frames_finish(sim):
     node, _ = make_node(sim)
     for i in range(4):
         node.on_frame_message(frame_message(request_id=i, fill=100.0))
@@ -124,8 +117,7 @@ def test_queued_workload_drops_as_frames_finish():
     assert node.queued_workload_mp == pytest.approx(0.0)
 
 
-def test_x86_node_pays_emulation_but_encodes_faster():
-    sim = Simulator()
+def test_x86_node_pays_emulation_but_encodes_faster(sim):
     shield, _ = make_node(sim, NVIDIA_SHIELD)
     pc, _ = make_node(sim, DELL_OPTIPLEX_9010)
     request = frame_message(change=0.9).metadata["request"]
@@ -136,8 +128,7 @@ def test_x86_node_pays_emulation_but_encodes_faster():
     assert pc_stage < shield_stage
 
 
-def test_account_downlink_callback():
-    sim = Simulator()
+def test_account_downlink_callback(sim):
     runtime = ServiceDeviceRuntime(sim, NVIDIA_SHIELD)
     downlink = FakeDownlink()
     accounted = []

@@ -1,5 +1,7 @@
 """Chaos experiment: short smoke runs of the fault-injection sweep."""
 
+import pytest
+
 from repro.experiments.chaos import (
     build_schedule,
     format_points,
@@ -10,6 +12,7 @@ from repro.experiments.chaos import (
 SHORT = 15_000.0
 
 
+@pytest.mark.slow
 class TestChaosPoint:
     def test_crash_point_survives_with_failovers(self):
         point = run_chaos_point(
@@ -41,6 +44,7 @@ class TestChaosPoint:
         assert point.nodes_failed == 0
 
 
+@pytest.mark.slow
 class TestChaosSweep:
     def test_small_sweep_all_survive(self):
         points = run_chaos_sweep(

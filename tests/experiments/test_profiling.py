@@ -15,6 +15,10 @@ from repro.experiments.profiling import (
 )
 from repro.obs.export import validate_chrome_trace
 
+# Runs the wall-clock micro-benches; numbers are machine-dependent even
+# though the assertions only gate schema and determinism.
+pytestmark = pytest.mark.bench
+
 
 @pytest.fixture(scope="module")
 def smoke_bench(tmp_path_factory):

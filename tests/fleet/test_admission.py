@@ -1,13 +1,7 @@
 """Admission control: accept, queue, reject; tier-ordered draining."""
 
 from repro.apps.games import CANDY_CRUSH, MODERN_COMBAT, STAR_WARS_KOTOR
-from repro.fleet import AdmissionController, FleetConfig, SessionRequest
-from repro.sim.kernel import Simulator
-
-
-def make_admission(**overrides):
-    sim = Simulator(seed=0)
-    return sim, AdmissionController(sim, FleetConfig(**overrides))
+from repro.fleet import FleetConfig, SessionRequest
 
 
 def request(i, app=MODERN_COMBAT, arrival=0.0):
@@ -20,7 +14,7 @@ def demand(app, config=None):
 
 
 class TestDecide:
-    def test_admits_within_budget(self):
+    def test_admits_within_budget(self, make_admission):
         sim, adm = make_admission(admission_oversubscription=1.0)
         req = request(0)
         assert adm.decide(req, committed_mp_per_ms=0.0,
@@ -28,14 +22,14 @@ class TestDecide:
         assert adm.stats.admitted == 1
         assert adm.stats.by_tier["action"]["admitted"] == 1
 
-    def test_queues_when_over_budget(self):
+    def test_queues_when_over_budget(self, make_admission):
         sim, adm = make_admission(admission_oversubscription=1.0)
         cap = demand(MODERN_COMBAT) * 1.5
         assert adm.decide(request(0), 0.0, cap) == "admit"
         assert adm.decide(request(1), demand(MODERN_COMBAT), cap) == "queue"
         assert len(adm) == 1
 
-    def test_rejects_when_queue_is_full(self):
+    def test_rejects_when_queue_is_full(self, make_admission):
         sim, adm = make_admission(admission_oversubscription=1.0,
                                   max_wait_queue=2)
         for i in range(2):
@@ -43,19 +37,19 @@ class TestDecide:
         assert adm.decide(request(2), 1e9, 100.0) == "reject"
         assert adm.stats.rejected == 1
 
-    def test_zero_capacity_never_admits(self):
+    def test_zero_capacity_never_admits(self, make_admission):
         sim, adm = make_admission()
         assert adm.decide(request(0), 0.0, 0.0) == "queue"
 
-    def test_session_bigger_than_the_pool_is_rejected_outright(self):
+    def test_session_bigger_than_the_pool_is_rejected_outright(self, make_admission):
         sim, adm = make_admission(admission_oversubscription=1.0)
         tiny_pool = demand(MODERN_COMBAT) / 2.0
         assert adm.decide(request(0), 0.0, tiny_pool) == "reject"
         assert len(adm) == 0    # never parked at the head of the queue
 
-    def test_oversubscription_stretches_the_budget(self):
+    def test_oversubscription_stretches_the_budget(self, make_admission):
         sim, tight = make_admission(admission_oversubscription=1.0)
-        sim2, loose = make_admission(admission_oversubscription=3.0)
+        _, loose = make_admission(admission_oversubscription=3.0)
         cap = demand(MODERN_COMBAT)        # room for exactly one session
         committed = demand(MODERN_COMBAT)  # ...already taken
         assert tight.decide(request(0), committed, cap) == "queue"
@@ -63,7 +57,7 @@ class TestDecide:
 
 
 class TestDrain:
-    def test_pop_eligible_respects_priority_then_fifo(self):
+    def test_pop_eligible_respects_priority_then_fifo(self, make_admission):
         sim, adm = make_admission(admission_oversubscription=1.0)
         adm.decide(request(0, CANDY_CRUSH), 1e9, 100.0)       # tolerant
         adm.decide(request(1, MODERN_COMBAT), 1e9, 100.0)     # action
@@ -74,7 +68,7 @@ class TestDrain:
         assert [r.session_id for r in out] == ["s001", "s003", "s002", "s000"]
         assert len(adm) == 0
 
-    def test_head_of_line_blocks_smaller_sessions(self):
+    def test_head_of_line_blocks_smaller_sessions(self, make_admission):
         """Strict priority: a big action session at the head gates the
         tolerant sessions behind it, however small they are."""
         sim, adm = make_admission(admission_oversubscription=1.0)
@@ -85,7 +79,7 @@ class TestDrain:
         assert out == []
         assert len(adm) == 2
 
-    def test_wait_time_recorded_on_drain(self):
+    def test_wait_time_recorded_on_drain(self, make_admission):
         sim, adm = make_admission(admission_oversubscription=1.0)
         adm.decide(request(0, arrival=0.0), 1e9, 100.0)
         sim.run(until=250.0)

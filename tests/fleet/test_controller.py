@@ -6,15 +6,6 @@ from repro.apps.games import GAMES
 from repro.faults import FaultSchedule
 from repro.fleet import FleetConfig, FleetController, SessionRequest
 from repro.experiments.fleet import make_fleet_pool
-from repro.sim.kernel import Simulator
-
-
-def boot_controller(n_devices=4, seed=0, config=None):
-    sim = Simulator(seed=seed)
-    controller = FleetController(sim, make_fleet_pool(n_devices),
-                                 config or FleetConfig())
-    sim.run_until_event(controller.bootstrapped, limit=60_000.0)
-    return sim, controller
 
 
 def submit_wave(sim, controller, n, duration_ms=3_000.0):
@@ -30,26 +21,25 @@ def submit_wave(sim, controller, n, duration_ms=3_000.0):
 
 
 class TestBootstrap:
-    def test_discovery_populates_the_registry(self):
+    def test_discovery_populates_the_registry(self, boot_controller):
         sim, controller = boot_controller(n_devices=4)
         assert len(controller.registry.devices) == 4
         assert controller.up_capacity_mp_per_ms > 0
         # RTTs were measured by the probe round, not assumed.
         assert all(r > 0 for r in controller.rtt_ms.values())
 
-    def test_duplicate_pool_names_rejected(self):
-        sim = Simulator(seed=0)
+    def test_duplicate_pool_names_rejected(self, sim):
         pool = make_fleet_pool(2)
         with pytest.raises(ValueError):
             FleetController(sim, [pool[0], pool[0]])
 
-    def test_empty_pool_rejected(self):
+    def test_empty_pool_rejected(self, sim):
         with pytest.raises(ValueError):
-            FleetController(Simulator(seed=0), [])
+            FleetController(sim, [])
 
 
 class TestServing:
-    def test_sessions_complete_with_zero_loss(self):
+    def test_sessions_complete_with_zero_loss(self, boot_controller):
         sim, controller = boot_controller()
         submit_wave(sim, controller, 8)
         sim.run(until=sim.now + 10_000.0)
@@ -59,14 +49,14 @@ class TestServing:
         assert report["sessions"]["peak_concurrency"] == 8
         assert sum(t["frames_lost"] for t in report["tiers"].values()) == 0
 
-    def test_committed_demand_released_at_session_end(self):
+    def test_committed_demand_released_at_session_end(self, boot_controller):
         sim, controller = boot_controller()
         submit_wave(sim, controller, 4)
         assert controller.total_committed_mp_per_ms > 0
         sim.run(until=sim.now + 10_000.0)
         assert controller.total_committed_mp_per_ms == pytest.approx(0.0)
 
-    def test_queued_sessions_start_when_capacity_frees(self):
+    def test_queued_sessions_start_when_capacity_frees(self, boot_controller):
         config = FleetConfig(admission_oversubscription=0.5)
         sim, controller = boot_controller(n_devices=2, config=config)
         outcomes = submit_wave(sim, controller, 6, duration_ms=1_500.0)
@@ -83,7 +73,7 @@ class TestCrashMigration:
                                          rejoin_at_ms=rejoin_at_ms),
         )
 
-    def test_crash_migrates_sessions_with_zero_loss(self):
+    def test_crash_migrates_sessions_with_zero_loss(self, boot_controller):
         sim, controller = boot_controller(
             config=self.crash_config(rejoin_at_ms=4_000.0)
         )
@@ -95,7 +85,7 @@ class TestCrashMigration:
         crashed = controller.pool[0].name
         assert controller.registry.devices[crashed].losses == 1
 
-    def test_migrated_sessions_replay_state_on_target(self):
+    def test_migrated_sessions_replay_state_on_target(self, boot_controller):
         sim, controller = boot_controller(config=self.crash_config())
         submit_wave(sim, controller, 8, duration_ms=5_000.0)
         sim.run(until=sim.now + 15_000.0)
@@ -105,7 +95,7 @@ class TestCrashMigration:
         crashed = controller.pool[0].name
         assert controller.nodes[crashed].stats.state_replays == 0
 
-    def test_rejoined_device_serves_again(self):
+    def test_rejoined_device_serves_again(self, boot_controller):
         sim, controller = boot_controller(
             config=self.crash_config(at_ms=2_000.0, rejoin_at_ms=4_000.0)
         )
@@ -118,21 +108,21 @@ class TestCrashMigration:
         sim.run(until=sim.now + 8_000.0)
         assert controller.nodes[crashed].stats.frames_served > before
 
-    def test_non_crash_faults_rejected_at_fleet_level(self):
+    def test_non_crash_faults_rejected_at_fleet_level(self, sim):
         config = FleetConfig(
             faults=FaultSchedule().outage(at_ms=1_000.0, duration_ms=500.0)
         )
         with pytest.raises(ValueError):
-            FleetController(Simulator(seed=0), make_fleet_pool(2), config)
+            FleetController(sim, make_fleet_pool(2), config)
 
-    def test_crash_on_out_of_range_node_rejected(self):
+    def test_crash_on_out_of_range_node_rejected(self, sim):
         config = FleetConfig(faults=FaultSchedule().crash(at_ms=1.0, node=9))
         with pytest.raises(ValueError):
-            FleetController(Simulator(seed=0), make_fleet_pool(2), config)
+            FleetController(sim, make_fleet_pool(2), config)
 
 
 class TestDeterminism:
-    def run_report(self, seed):
+    def run_report(self, boot_controller, seed):
         config = FleetConfig(
             faults=FaultSchedule().crash(at_ms=2_000.0, node=1,
                                          rejoin_at_ms=4_000.0)
@@ -142,9 +132,11 @@ class TestDeterminism:
         sim.run(until=sim.now + 12_000.0)
         return controller.report()
 
-    def test_same_seed_same_digest(self):
-        assert self.run_report(5)["digest"] == self.run_report(5)["digest"]
+    def test_same_seed_same_digest(self, boot_controller):
+        assert (self.run_report(boot_controller, 5)["digest"]
+                == self.run_report(boot_controller, 5)["digest"])
 
-    def test_different_seed_different_digest(self):
+    def test_different_seed_different_digest(self, boot_controller):
         # Discovery backoffs shift RTTs, so reports must differ.
-        assert self.run_report(5)["digest"] != self.run_report(6)["digest"]
+        assert (self.run_report(boot_controller, 5)["digest"]
+                != self.run_report(boot_controller, 6)["digest"])

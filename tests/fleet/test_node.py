@@ -3,16 +3,7 @@
 import pytest
 
 from repro.devices.profiles import DELL_M4600, NVIDIA_SHIELD
-from repro.fleet import FleetConfig, FleetNode, FrameTask, STATE_PRIORITY
-from repro.sim.kernel import Simulator
-
-
-def make_node(spec=NVIDIA_SHIELD, **overrides):
-    sim = Simulator(seed=0)
-    done = []
-    node = FleetNode(sim, spec, FleetConfig(**overrides),
-                     on_complete=done.append)
-    return sim, node, done
+from repro.fleet import FleetConfig, FrameTask, STATE_PRIORITY
 
 
 def frame(seq, priority=0.0, fill=50.0, session="s0"):
@@ -24,8 +15,8 @@ def frame(seq, priority=0.0, fill=50.0, session="s0"):
 
 
 class TestServing:
-    def test_serves_a_frame_and_reports_completion(self):
-        sim, node, done = make_node()
+    def test_serves_a_frame_and_reports_completion(self, make_fleet_node):
+        sim, node, done = make_fleet_node()
         task = frame(0)
         node.submit(task)
         sim.run(until=1_000.0)
@@ -34,15 +25,15 @@ class TestServing:
         assert node.stats.frames_served == 1
         assert node.queued_workload_mp == 0.0
 
-    def test_service_time_scales_with_fill(self):
-        sim, node, _ = make_node()
+    def test_service_time_scales_with_fill(self, make_fleet_node):
+        sim, node, _ = make_fleet_node()
         light = node.service_time_ms(frame(0, fill=10.0))
         heavy = node.service_time_ms(frame(1, fill=100.0))
         assert heavy > light
 
-    def test_x86_charges_es_translation(self):
-        _, shield, _ = make_node(NVIDIA_SHIELD)
-        _, desktop, _ = make_node(DELL_M4600)
+    def test_x86_charges_es_translation(self, make_fleet_node):
+        _, shield, _ = make_fleet_node(NVIDIA_SHIELD)
+        _, desktop, _ = make_fleet_node(DELL_M4600)
         task = frame(0, fill=0.0)
         task.kind = "state"       # CPU-only path: no render, no encode
         # Same command count; only the x86 box pays the GL-to-ES shim.
@@ -56,8 +47,8 @@ class TestServing:
         base_ratio = shield.spec.cpu.perf_index / DELL_M4600.cpu.perf_index
         assert x86_cpu == pytest.approx(arm_cpu * base_ratio + expected_extra)
 
-    def test_priority_order_action_overtakes_tolerant(self):
-        sim, node, done = make_node()
+    def test_priority_order_action_overtakes_tolerant(self, make_fleet_node):
+        sim, node, done = make_fleet_node()
         node.submit(frame(0, priority=2.0))
         sim.run(until=0.5)            # s0 is on the GPU
         # Queue behind it while it renders.
@@ -66,8 +57,8 @@ class TestServing:
         sim.run(until=5_000.0)
         assert [t.session_id for t in done] == ["s0", "action", "tolerant"]
 
-    def test_state_replay_overtakes_everything(self):
-        sim, node, done = make_node()
+    def test_state_replay_overtakes_everything(self, make_fleet_node):
+        sim, node, done = make_fleet_node()
         node.submit(frame(0, priority=0.0))
         sim.run(until=0.5)            # s0 is on the GPU
         node.submit(frame(1, priority=0.0, session="later"))
@@ -82,8 +73,8 @@ class TestServing:
 
 
 class TestCrash:
-    def test_submissions_to_a_dead_node_are_stranded(self):
-        sim, node, done = make_node()
+    def test_submissions_to_a_dead_node_are_stranded(self, make_fleet_node):
+        sim, node, done = make_fleet_node()
         node.fail()
         task = frame(0)
         node.submit(task)
@@ -91,8 +82,8 @@ class TestCrash:
         assert not task.completed
         assert node.strand_all() == [task]
 
-    def test_strand_all_collects_queue_and_current(self):
-        sim, node, _ = make_node()
+    def test_strand_all_collects_queue_and_current(self, make_fleet_node):
+        sim, node, _ = make_fleet_node()
         first, second = frame(0), frame(1)
         node.submit(first)
         node.submit(second)
@@ -102,10 +93,10 @@ class TestCrash:
         assert set(t.seq for t in stranded) == {0, 1}
         assert node.queued_workload_mp == 0.0
 
-    def test_mid_render_frame_survives_until_detection(self):
+    def test_mid_render_frame_survives_until_detection(self, make_fleet_node):
         """The crash drops the in-flight frame into the stranded list even
         when its service period elapses before anyone calls strand_all."""
-        sim, node, done = make_node()
+        sim, node, done = make_fleet_node()
         task = frame(0)
         node.submit(task)
         sim.run(until=0.5)
@@ -115,8 +106,8 @@ class TestCrash:
         assert done == []
         assert node.strand_all() == [task]
 
-    def test_short_glitch_requeues_stranded_work_locally(self):
-        sim, node, done = make_node()
+    def test_short_glitch_requeues_stranded_work_locally(self, make_fleet_node):
+        sim, node, done = make_fleet_node()
         node.fail()
         task = frame(0)
         node.submit(task)
@@ -126,8 +117,8 @@ class TestCrash:
         assert task.completed
         assert done == [task]
 
-    def test_migrated_task_is_not_double_served(self):
-        sim, node, done = make_node()
+    def test_migrated_task_is_not_double_served(self, make_fleet_node):
+        sim, node, done = make_fleet_node()
         task = frame(0)
         node.submit(task)
         sim.run(until=0.5)

@@ -9,14 +9,6 @@ from repro.fleet import (
     SessionPlacer,
     SessionRequest,
 )
-from repro.sim.kernel import Simulator
-
-
-def make_world(specs, **overrides):
-    sim = Simulator(seed=0)
-    config = FleetConfig(**overrides)
-    nodes = [FleetNode(sim, spec, config) for spec in specs]
-    return sim, config, SessionPlacer(sim, config), nodes
 
 
 def session(sim, config, i, app=MODERN_COMBAT):
@@ -25,7 +17,7 @@ def session(sim, config, i, app=MODERN_COMBAT):
 
 
 class TestPlace:
-    def test_prefers_the_most_capable_idle_device(self):
+    def test_prefers_the_most_capable_idle_device(self, make_world):
         sim, config, placer, nodes = make_world(
             [MINIX_NEO_U1, DELL_OPTIPLEX_9010]
         )
@@ -35,7 +27,7 @@ class TestPlace:
         )
         assert chosen.name == DELL_OPTIPLEX_9010.name
 
-    def test_committed_demand_steers_away_from_hot_devices(self):
+    def test_committed_demand_steers_away_from_hot_devices(self, make_world):
         sim, config, placer, nodes = make_world(
             [NVIDIA_SHIELD, DELL_OPTIPLEX_9010]
         )
@@ -46,7 +38,7 @@ class TestPlace:
         )
         assert chosen.name == NVIDIA_SHIELD.name
 
-    def test_failed_nodes_are_never_chosen(self):
+    def test_failed_nodes_are_never_chosen(self, make_world):
         sim, config, placer, nodes = make_world(
             [NVIDIA_SHIELD, MINIX_NEO_U1]
         )
@@ -57,7 +49,7 @@ class TestPlace:
         )
         assert chosen.name == MINIX_NEO_U1.name
 
-    def test_rtt_breaks_capacity_ties(self):
+    def test_rtt_breaks_capacity_ties(self, make_world):
         sim, config, placer, nodes = make_world([NVIDIA_SHIELD])
         import dataclasses
 
@@ -72,7 +64,7 @@ class TestPlace:
 
 
 class TestRebalance:
-    def test_no_moves_when_balanced(self):
+    def test_no_moves_when_balanced(self, make_world):
         sim, config, placer, nodes = make_world(
             [NVIDIA_SHIELD, NVIDIA_SHIELD], rebalance_threshold=0.35
         )
@@ -86,7 +78,7 @@ class TestRebalance:
         moves = placer.plan_rebalance({}, nodes, committed)
         assert moves == []
 
-    def test_moves_tolerant_sessions_from_hot_to_cool(self):
+    def test_moves_tolerant_sessions_from_hot_to_cool(self, make_world):
         sim, config, placer, nodes = make_world(
             [NVIDIA_SHIELD, DELL_OPTIPLEX_9010]
         )
@@ -108,7 +100,7 @@ class TestRebalance:
         assert first.source is shield
         assert first.target is desktop
 
-    def test_cooldown_protects_recent_migrants(self):
+    def test_cooldown_protects_recent_migrants(self, make_world):
         sim, config, placer, nodes = make_world(
             [NVIDIA_SHIELD, DELL_OPTIPLEX_9010],
             migration_cooldown_ms=2_000.0,
@@ -124,7 +116,7 @@ class TestRebalance:
         )
         assert moves == []
 
-    def test_moves_per_cycle_are_bounded(self):
+    def test_moves_per_cycle_are_bounded(self, make_world):
         sim, config, placer, nodes = make_world(
             [NVIDIA_SHIELD, DELL_OPTIPLEX_9010], max_moves_per_cycle=1
         )

@@ -1,18 +1,10 @@
 """Device registry: heartbeats, liveness, membership hooks."""
 
 from repro.devices.profiles import MINIX_NEO_U1, NVIDIA_SHIELD
-from repro.fleet import DeviceRegistry, FleetConfig
-from repro.sim.kernel import Simulator
-
-
-def make_registry(seed=0, **overrides):
-    sim = Simulator(seed=seed)
-    config = FleetConfig(**overrides)
-    return sim, DeviceRegistry(sim, config)
 
 
 class TestHeartbeats:
-    def test_heartbeat_carries_real_workload(self):
+    def test_heartbeat_carries_real_workload(self, make_registry):
         sim, registry = make_registry()
         workload = [12.5]
         registry.register(NVIDIA_SHIELD, rtt_ms=3.0,
@@ -25,7 +17,7 @@ class TestHeartbeats:
         sim.run(until=900.0)
         assert dev.last_heartbeat.queued_workload_mp == 99.0
 
-    def test_registration_is_idempotent(self):
+    def test_registration_is_idempotent(self, make_registry):
         sim, registry = make_registry()
         first = registry.register(NVIDIA_SHIELD, rtt_ms=3.0,
                                   probe=lambda: (0.0, 0))
@@ -36,7 +28,7 @@ class TestHeartbeats:
 
 
 class TestLiveness:
-    def test_silent_device_is_declared_down(self):
+    def test_silent_device_is_declared_down(self, make_registry):
         sim, registry = make_registry()
         alive = [True]
         lost = []
@@ -51,7 +43,7 @@ class TestLiveness:
         assert [d.name for d in lost] == [NVIDIA_SHIELD.name]
         assert registry.up_devices() == []
 
-    def test_detection_needs_the_full_timeout(self):
+    def test_detection_needs_the_full_timeout(self, make_registry):
         sim, registry = make_registry()
         alive = [True]
         registry.register(NVIDIA_SHIELD, rtt_ms=3.0,
@@ -62,7 +54,7 @@ class TestLiveness:
         sim.run(until=sim.now + registry.config.heartbeat_interval_ms + 1)
         assert registry.devices[NVIDIA_SHIELD.name].state == "up"
 
-    def test_resumed_heartbeats_bring_the_device_back(self):
+    def test_resumed_heartbeats_bring_the_device_back(self, make_registry):
         sim, registry = make_registry()
         alive = [True]
         joins = []
@@ -81,7 +73,7 @@ class TestLiveness:
         # on_join fired at registration and again at recovery.
         assert len(joins) == 2
 
-    def test_devices_monitored_independently(self):
+    def test_devices_monitored_independently(self, make_registry):
         sim, registry = make_registry()
         alive = {NVIDIA_SHIELD.name: True, MINIX_NEO_U1.name: True}
 

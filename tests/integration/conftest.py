@@ -1,0 +1,17 @@
+"""Integration fixtures: fault-laden session configs built one way."""
+
+import pytest
+
+from repro.core.config import GBoosterConfig
+
+
+@pytest.fixture
+def failure_config():
+    """Factory for the recurring 'tight watchdog + fault schedule' config."""
+
+    def make(timeout_ms=600.0, faults=None, **overrides):
+        return GBoosterConfig(
+            frame_timeout_ms=timeout_ms, faults=faults, **overrides
+        )
+
+    return make

@@ -10,14 +10,16 @@ session config — the public API — rather than by patching internals.
 import pytest
 
 from repro.apps.games import GTA_SAN_ANDREAS
-from repro.core.config import GBoosterConfig
 from repro.core.session import run_offload_session
 from repro.devices.profiles import DELL_OPTIPLEX_9010, LG_NEXUS_5, NVIDIA_SHIELD
 from repro.faults import FaultSchedule
 from repro.metrics.fps import fps_timeline
 
+pytestmark = pytest.mark.slow
+
 
 def run_with_failure(
+    failure_config,
     service_devices,
     fail_at_ms,
     fail_index=0,
@@ -25,8 +27,8 @@ def run_with_failure(
     timeout_ms=600.0,
 ):
     """Run an offload session with one node crashing mid-way."""
-    config = GBoosterConfig(
-        frame_timeout_ms=timeout_ms,
+    config = failure_config(
+        timeout_ms=timeout_ms,
         faults=FaultSchedule().crash(at_ms=fail_at_ms, node=fail_index),
     )
     return run_offload_session(
@@ -37,8 +39,9 @@ def run_with_failure(
     )
 
 
-def test_single_node_failure_falls_back_to_local():
-    result = run_with_failure([NVIDIA_SHIELD], fail_at_ms=15_000.0)
+def test_single_node_failure_falls_back_to_local(failure_config):
+    result = run_with_failure(failure_config, [NVIDIA_SHIELD],
+                              fail_at_ms=15_000.0)
     stats = result.client_stats
     assert stats.nodes_failed == 1
     assert stats.failovers > 10
@@ -52,9 +55,9 @@ def test_single_node_failure_falls_back_to_local():
     assert max(presented) > 35_000.0
 
 
-def test_fps_degrades_to_local_rate_after_failure():
-    result = run_with_failure([NVIDIA_SHIELD], fail_at_ms=20_000.0,
-                              duration_ms=45_000.0)
+def test_fps_degrades_to_local_rate_after_failure(failure_config):
+    result = run_with_failure(failure_config, [NVIDIA_SHIELD],
+                              fail_at_ms=20_000.0, duration_ms=45_000.0)
     times = [
         f.presented_at
         for f in result.engine.frames
@@ -67,19 +70,20 @@ def test_fps_degrades_to_local_rate_after_failure():
     assert sum(after) / len(after) < 30.0   # back near the 23 FPS local rate
 
 
-def test_no_frame_is_lost_forever():
+def test_no_frame_is_lost_forever(failure_config):
     """Every issued frame is eventually presented (remote or failover)."""
-    result = run_with_failure([NVIDIA_SHIELD], fail_at_ms=10_000.0,
-                              duration_ms=30_000.0)
+    result = run_with_failure(failure_config, [NVIDIA_SHIELD],
+                              fail_at_ms=10_000.0, duration_ms=30_000.0)
     unpresented = [
         f for f in result.engine.frames if f.presented_at is None
     ]
     assert len(unpresented) == 0
 
 
-def test_surviving_node_takes_over_in_multi_device_pool():
+def test_surviving_node_takes_over_in_multi_device_pool(failure_config):
     result = run_with_failure(
-        [NVIDIA_SHIELD, DELL_OPTIPLEX_9010], fail_at_ms=15_000.0,
+        failure_config, [NVIDIA_SHIELD, DELL_OPTIPLEX_9010],
+        fail_at_ms=15_000.0,
         fail_index=0, duration_ms=40_000.0,
     )
     stats = result.client_stats
@@ -98,16 +102,16 @@ def test_surviving_node_takes_over_in_multi_device_pool():
     assert survivor.stats.frames_rendered > 100
 
 
-def test_healthy_session_has_no_failovers():
+def test_healthy_session_has_no_failovers(failure_config):
     result = run_offload_session(
         GTA_SAN_ANDREAS, LG_NEXUS_5, duration_ms=20_000.0,
-        config=GBoosterConfig(frame_timeout_ms=1_000.0),
+        config=failure_config(timeout_ms=1_000.0),
     )
     assert result.client_stats.failovers == 0
     assert result.client_stats.nodes_failed == 0
 
 
-def test_acceptance_scenario_crash_plus_lossy_link():
+def test_acceptance_scenario_crash_plus_lossy_link(failure_config):
     """The ISSUE acceptance scenario: a node crash at t=15 s layered with a
     lossy-link burst, scripted purely through the public config API."""
     schedule = (
@@ -118,7 +122,7 @@ def test_acceptance_scenario_crash_plus_lossy_link():
     result = run_offload_session(
         GTA_SAN_ANDREAS, LG_NEXUS_5,
         service_devices=[NVIDIA_SHIELD],
-        config=GBoosterConfig(frame_timeout_ms=600.0, faults=schedule),
+        config=failure_config(faults=schedule),
         duration_ms=35_000.0,
     )
     assert result.client_stats.nodes_failed == 1
@@ -138,13 +142,13 @@ def test_acceptance_scenario_crash_plus_lossy_link():
     )
 
 
-def test_rejoin_restores_boosted_rate():
+def test_rejoin_restores_boosted_rate(failure_config):
     """A crashed node that rejoins is picked up again by the scheduler."""
     schedule = FaultSchedule().crash(at_ms=10_000.0, rejoin_at_ms=20_000.0)
     result = run_offload_session(
         GTA_SAN_ANDREAS, LG_NEXUS_5,
         service_devices=[NVIDIA_SHIELD],
-        config=GBoosterConfig(frame_timeout_ms=600.0, faults=schedule),
+        config=failure_config(faults=schedule),
         duration_ms=40_000.0,
     )
     times = [
