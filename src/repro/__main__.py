@@ -18,6 +18,10 @@ Commands:
 * ``fuzz``            — seeded property fuzzing over codecs, caches,
                         transports, chaos sessions and fleet arrivals;
                         shrinks failures to minimal reproductions
+* ``slo``             — telemetry-armed scenarios (clean session, loss
+                        burst, fleet overload) with burn-rate SLO
+                        evaluation; writes BENCH_SLO.json and diffs it
+                        against the committed baseline
 
 Each prints the same rows the corresponding benchmark asserts on.
 """
@@ -248,6 +252,55 @@ def _cmd_fuzz(args: argparse.Namespace) -> None:
         print("fuzz smoke: ok")
 
 
+def _cmd_slo(args: argparse.Namespace) -> None:
+    import json
+    import os
+
+    from repro.experiments.slo import (
+        diff_against_baseline,
+        format_bench,
+        load_bench,
+        run_slo_bench,
+        validate_bench,
+        write_bench,
+    )
+
+    bench = run_slo_bench(seed=args.seed, smoke=args.smoke)
+    problems = validate_bench(bench)
+    write_bench(args.out, bench)
+    print(format_bench(bench))
+    print(f"wrote {args.out}")
+    if problems:
+        raise SystemExit(
+            "slo: benchmark schema drift:\n  " + "\n  ".join(problems)
+        )
+    if args.smoke:
+        # CI gate 1: the artifact must be a pure function of the seed —
+        # not just the digest, the whole serialized file.
+        again = run_slo_bench(seed=args.seed, smoke=True)
+        if json.dumps(again, sort_keys=True) != json.dumps(
+            bench, sort_keys=True
+        ):
+            raise SystemExit("slo smoke: same seed, different artifact")
+    if args.baseline and os.path.exists(args.baseline):
+        regressions, skip = diff_against_baseline(
+            bench, load_bench(args.baseline)
+        )
+        if skip is not None:
+            print(f"baseline diff skipped: {skip}")
+        elif regressions:
+            raise SystemExit(
+                "slo: performance regression vs "
+                f"{args.baseline}:\n  " + "\n  ".join(regressions)
+            )
+        else:
+            print(f"baseline diff vs {args.baseline}: ok")
+    elif args.baseline:
+        print(f"no baseline at {args.baseline} — diff skipped")
+    if args.smoke:
+        print("slo smoke: ok")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -271,6 +324,7 @@ def main(argv=None) -> int:
         "fleet": _cmd_fleet,
         "profile": _cmd_profile,
         "fuzz": _cmd_fuzz,
+        "slo": _cmd_slo,
     }
     for name in commands:
         p = sub.add_parser(name)
@@ -308,6 +362,17 @@ def main(argv=None) -> int:
             p.add_argument("--smoke", action="store_true",
                            help="CI gate: short run + schema validation "
                                 "+ same-seed digest check")
+        if name == "slo":
+            p.add_argument("--seed", type=int, default=0)
+            p.add_argument("--out", default="BENCH_SLO.json",
+                           help="SLO benchmark artifact path")
+            p.add_argument("--baseline",
+                           default="benchmarks/baselines/BENCH_SLO.json",
+                           help="committed baseline to diff against "
+                                "(empty string disables the gate)")
+            p.add_argument("--smoke", action="store_true",
+                           help="CI gate: short run + schema validation + "
+                                "same-seed byte-identity + baseline diff")
         if name == "fuzz":
             p.add_argument("--seed", type=int, default=0)
             p.add_argument("--rounds", type=int, default=1,

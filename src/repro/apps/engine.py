@@ -304,6 +304,11 @@ class GameEngine:
             self.device.surface.attach_back(None)
             if root_span is not None:
                 root_span.end(response_ms=record.response_time_ms)
+            if self.sim.telemetry is not None:
+                self.sim.telemetry.observe(
+                    "engine.response_ms", record.response_time_ms,
+                    genre=self.spec.genre,
+                )
 
         self.sim.spawn(_watch(), name=f"present.{record.frame_id}")
 

@@ -223,6 +223,10 @@ class GBoosterClient:
             max(0, egress.commands - egress.cache_hits)
         )
         metrics.gauge("cache.hit_rate").set(self.pipeline.cache.hit_rate)
+        if self.sim.telemetry is not None:
+            self.sim.telemetry.observe(
+                "cache.hit_rate", self.pipeline.cache.hit_rate, agg="last",
+            )
 
         # 2. Choose the execution node (Eq. 4 over live, healthy estimates).
         healthy = [
@@ -451,6 +455,15 @@ class GBoosterClient:
             self.sim.metrics.histogram("client.frame_response_ms").observe(
                 self.sim.now - req.issued_at
             )
+            if self.sim.telemetry is not None:
+                self.sim.telemetry.observe(
+                    "frame_response_ms", self.sim.now - req.issued_at,
+                    device=self.device.spec.name,
+                )
+                self.sim.telemetry.observe(
+                    "frames_presented", 1.0, agg="count",
+                    device=self.device.spec.name,
+                )
             if self.config.adaptive_quality:
                 submitted = req.metadata.get("submitted_at")
                 if submitted is not None:

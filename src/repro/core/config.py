@@ -77,6 +77,17 @@ class GBoosterConfig:
     #: where the two paths pace frames differently.
     deterministic_content: bool = False
 
+    # -- telemetry / SLOs (repro.obs.telemetry) ------------------------------------------
+    #: arm a :class:`~repro.obs.telemetry.TelemetryHub` on the session's
+    #: simulator: streaming time-series, burn-rate SLO evaluation and
+    #: prediction-drift alerts.  Off by default; feeds cost one attribute
+    #: load each when unarmed.
+    telemetry: bool = False
+    #: override the default session SLO set (a sequence of
+    #: :class:`~repro.obs.slo.SloSpec`); ``None`` arms
+    #: :func:`~repro.obs.telemetry.default_session_slos`.
+    slos: Optional[object] = None
+
     # -- multi-user service scheduling (§VIII future work, implemented) --------------
     #: "fcfs" is the paper's prototype; "priority" serves time-critical
     #: applications (fast-paced games) ahead of queued requests from

@@ -28,6 +28,7 @@ from repro.metrics.fps import FpsMetrics, compute_fps_metrics
 from repro.net.link import LAN_BLUETOOTH, LAN_WIFI, LinkSpec, NetworkLink
 from repro.net.multicast import MulticastGroup
 from repro.net.transport import ReliableUdpTransport, TcpTransport, Transport
+from repro.obs.telemetry import TelemetryHub, default_session_slos
 from repro.sim.kernel import Simulator
 from repro.switching.controller import SwitchingController, SwitchingStats
 from repro.switching.policies import (
@@ -78,6 +79,9 @@ class SessionResult:
     faults: Optional[FaultInjector] = None
     #: digests + invariant monitor when ``config.check`` was set.
     check: Optional[SessionCheck] = None
+    #: the armed :class:`~repro.obs.telemetry.TelemetryHub` (series, SLO
+    #: trackers, alerts) when ``config.telemetry`` was set.
+    telemetry: Optional[TelemetryHub] = None
 
     @property
     def response_time_ms(self) -> float:
@@ -192,6 +196,16 @@ def run_offload_session(
         monitor = InvariantMonitor(sim)
         monitor.watch_timers()
         check = SessionCheck(digests=sim.digests, monitor=monitor)
+    telemetry: Optional[TelemetryHub] = None
+    if config.telemetry:
+        telemetry = TelemetryHub(
+            sim,
+            slos=(
+                config.slos
+                if config.slos is not None
+                else default_session_slos()
+            ),
+        )
     device = UserDeviceRuntime(
         sim, user_device,
         render_width=app.render_width, render_height=app.render_height,
@@ -324,6 +338,8 @@ def run_offload_session(
     sim.run_until_process(engine._proc, limit=duration_ms * 4)
     if monitor is not None:
         monitor.finalize()
+    if telemetry is not None:
+        telemetry.finalize()
     frames = engine.presented_frames()
 
     # t_p (Eq. 5): mean uplink delivery + mean downlink delivery + mean
@@ -361,4 +377,5 @@ def run_offload_session(
         nodes=nodes,
         faults=injector,
         check=check,
+        telemetry=telemetry,
     )

@@ -1,0 +1,300 @@
+"""The SLO harness behind ``python -m repro slo``.
+
+Runs three telemetry-armed scenarios — a clean offload session, the same
+session with a mid-run loss burst, and an oversubscribed fleet wave —
+evaluates every armed SLO's burn-rate state machine, and writes
+``BENCH_SLO.json``: attainments, alert logs, drift-detector state and
+per-frame critical-path attribution, all in simulated time so the
+artifact is byte-identical across same-seed runs (it carries a sha256
+digest over itself).
+
+The harness doubles as the CI perf-regression gate:
+``diff_against_baseline`` compares the artifact against the committed
+baseline (``benchmarks/baselines/BENCH_SLO.json``) and reports
+regressions — frame p99 latency beyond the tolerance, SLO attainment
+drops, newly breached objectives — which fail the build.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.apps.games import GAMES
+from repro.core.config import GBoosterConfig
+from repro.core.session import run_offload_session
+from repro.devices.profiles import LG_NEXUS_5, NVIDIA_SHIELD
+from repro.experiments.fleet import run_fleet_point
+from repro.faults.schedule import FaultSchedule
+from repro.metrics.spans import dominant_stage, pipeline_critical_path
+from repro.obs.telemetry import TelemetryHub, default_fleet_slos
+from repro.sim.kernel import Simulator
+
+#: artifact schema identifier, bumped on incompatible changes
+BENCH_SLO_SCHEMA = "repro.bench_slo/1"
+
+#: the committed baseline the CI gate diffs against
+DEFAULT_BASELINE = "benchmarks/baselines/BENCH_SLO.json"
+
+#: objectives the artifact must always evaluate (acceptance-gated)
+REQUIRED_SESSION_SLOS = (
+    "frame_p99_latency",
+    "fps_floor",
+    "switch_flap_rate",
+    "retransmission_rate",
+)
+REQUIRED_FLEET_SLOS = ("admission_reject_rate", "admission_wait")
+
+#: frame p99 latency may grow this fraction over the baseline before the
+#: gate fails (plus an absolute 1 ms floor so micro-jitter never trips it)
+P99_TOLERANCE = 0.10
+P99_FLOOR_MS = 1.0
+
+#: per-SLO attainment may drop this much below the baseline
+ATTAINMENT_TOLERANCE = 0.05
+
+
+# -- scenarios ---------------------------------------------------------------
+
+
+def _session_scenario(
+    duration_ms: float, seed: int, faults: Optional[FaultSchedule] = None
+) -> Dict[str, Any]:
+    """One telemetry-armed offload session -> deterministic summary."""
+    config = GBoosterConfig(telemetry=True, faults=faults)
+    result = run_offload_session(
+        GAMES["G3"], LG_NEXUS_5, [NVIDIA_SHIELD],
+        config=config, duration_ms=duration_ms, seed=seed,
+    )
+    sim = result.engine.sim
+    critical = pipeline_critical_path(sim.spans)
+    return {
+        "frames_presented": result.fps.frame_count,
+        "median_fps": round(result.fps.median_fps, 4),
+        "frame_response": sim.metrics.histogram(
+            "client.frame_response_ms"
+        ).summary(),
+        "critical_path": critical,
+        "dominant_stage": dominant_stage(critical),
+        "telemetry": result.telemetry.report(),
+    }
+
+
+def run_slo_session(duration_ms: float, seed: int) -> Dict[str, Any]:
+    """The clean run: every session SLO should hold."""
+    return _session_scenario(duration_ms, seed)
+
+
+def run_slo_faulted(duration_ms: float, seed: int) -> Dict[str, Any]:
+    """The same session through a mid-run loss burst.
+
+    The burst inflates retransmissions and frame latency, so the
+    burn-rate machines must leave ``ok`` — this scenario is what proves
+    the alerting pipeline actually fires, and it shifts critical-path
+    attribution toward the network stages.
+    """
+    faults = FaultSchedule().loss_burst(
+        at_ms=duration_ms * 0.4,
+        duration_ms=duration_ms * 0.35,
+        loss_probability=0.35,
+    )
+    return _session_scenario(duration_ms, seed, faults=faults)
+
+
+def run_slo_fleet(
+    duration_ms: float,
+    seed: int,
+    n_sessions: int = 96,
+    n_devices: int = 2,
+) -> Dict[str, Any]:
+    """An oversubscribed fleet wave with the fleet SLOs armed.
+
+    More sessions than the pool can admit, so the reject-rate objective
+    sees real rejections and the admission-wait distribution is fed by
+    every admitted session.
+    """
+    sim = Simulator(seed=seed)
+    hub = TelemetryHub(sim, slos=default_fleet_slos())
+    point, _report = run_fleet_point(
+        n_sessions=n_sessions, n_devices=n_devices,
+        duration_ms=duration_ms, seed=seed, crash=False, sim=sim,
+    )
+    hub.finalize()
+    return {
+        "sessions": n_sessions,
+        "devices": n_devices,
+        "admitted": point.admitted,
+        "rejected": point.rejected,
+        "telemetry": hub.report(),
+    }
+
+
+# -- the artifact ------------------------------------------------------------
+
+
+def run_slo_bench(seed: int = 0, smoke: bool = False) -> Dict[str, Any]:
+    """Run every scenario and assemble the BENCH_SLO artifact.
+
+    Everything in the artifact is simulated time — no wall-clock section
+    — so two same-seed runs produce byte-identical files.
+    """
+    session_ms = 8_000.0 if smoke else 30_000.0
+    fleet_ms = 2_500.0 if smoke else 8_000.0
+    bench: Dict[str, Any] = {
+        "seed": seed,
+        "smoke": smoke,
+        "session": run_slo_session(session_ms, seed),
+        "faulted_session": run_slo_faulted(session_ms, seed),
+        "fleet": run_slo_fleet(fleet_ms, seed),
+    }
+    blob = json.dumps(bench, sort_keys=True).encode()
+    bench["digest"] = hashlib.sha256(blob).hexdigest()
+    return {"schema": BENCH_SLO_SCHEMA, "deterministic": bench}
+
+
+def validate_bench(bench: Any) -> List[str]:
+    """Schema + semantic gate for BENCH_SLO.json; empty list == valid."""
+    problems: List[str] = []
+    if not isinstance(bench, dict):
+        return [f"top level must be an object, got {type(bench).__name__}"]
+    if bench.get("schema") != BENCH_SLO_SCHEMA:
+        problems.append(f"'schema' must be {BENCH_SLO_SCHEMA!r}")
+    det = bench.get("deterministic")
+    if not isinstance(det, dict):
+        return problems + ["missing 'deterministic' section"]
+    if not isinstance(det.get("digest"), str):
+        problems.append("missing 'deterministic.digest'")
+    for scenario, required in (
+        ("session", REQUIRED_SESSION_SLOS),
+        ("faulted_session", REQUIRED_SESSION_SLOS),
+        ("fleet", REQUIRED_FLEET_SLOS),
+    ):
+        summary = det.get(scenario)
+        if not isinstance(summary, dict):
+            problems.append(f"missing scenario {scenario!r}")
+            continue
+        slos = summary.get("telemetry", {}).get("slos", {})
+        for name in required:
+            if name not in slos:
+                problems.append(f"{scenario}: SLO {name!r} not evaluated")
+        if not summary.get("telemetry", {}).get("windows_evaluated"):
+            problems.append(f"{scenario}: no windows evaluated")
+    faulted = det.get("faulted_session", {})
+    if isinstance(faulted, dict):
+        telemetry = faulted.get("telemetry", {})
+        frame_slo = telemetry.get("slos", {}).get("frame_p99_latency", {})
+        if not frame_slo.get("bad"):
+            problems.append(
+                "faulted_session: loss burst produced no bad frame samples"
+            )
+        if not telemetry.get("alerts"):
+            problems.append("faulted_session: loss burst raised no alerts")
+    fleet = det.get("fleet", {})
+    if isinstance(fleet, dict) and not fleet.get("rejected"):
+        problems.append("fleet: overload wave produced no rejections")
+    return problems
+
+
+# -- the regression gate -----------------------------------------------------
+
+
+def diff_against_baseline(
+    current: Dict[str, Any], baseline: Dict[str, Any]
+) -> Tuple[List[str], Optional[str]]:
+    """Compare an artifact against the committed baseline.
+
+    Returns ``(regressions, skip_reason)``; a non-``None`` skip reason
+    means the artifacts are not comparable (seed or scale mismatch) and
+    the gate should be skipped, not failed.
+    """
+    cur = current.get("deterministic", {})
+    base = baseline.get("deterministic", {})
+    if baseline.get("schema") != current.get("schema"):
+        return [], "baseline schema differs — regenerate the baseline"
+    if (cur.get("seed"), cur.get("smoke")) != (
+        base.get("seed"), base.get("smoke")
+    ):
+        return [], (
+            f"baseline is seed={base.get('seed')} smoke={base.get('smoke')}, "
+            f"run is seed={cur.get('seed')} smoke={cur.get('smoke')} — "
+            "not comparable"
+        )
+    regressions: List[str] = []
+    for scenario in ("session", "faulted_session"):
+        cur_p99 = cur.get(scenario, {}).get("frame_response", {}).get("p99")
+        base_p99 = base.get(scenario, {}).get("frame_response", {}).get("p99")
+        if cur_p99 is None or base_p99 is None:
+            continue
+        limit = base_p99 * (1.0 + P99_TOLERANCE) + P99_FLOOR_MS
+        if cur_p99 > limit:
+            regressions.append(
+                f"{scenario}: frame p99 {cur_p99:.2f} ms exceeds baseline "
+                f"{base_p99:.2f} ms by more than {P99_TOLERANCE:.0%}"
+            )
+    for scenario in ("session", "fleet"):
+        cur_slos = cur.get(scenario, {}).get("telemetry", {}).get("slos", {})
+        base_slos = base.get(scenario, {}).get("telemetry", {}).get("slos", {})
+        for name in sorted(cur_slos):
+            if name not in base_slos:
+                continue
+            cur_att = cur_slos[name].get("attainment", 1.0)
+            base_att = base_slos[name].get("attainment", 1.0)
+            if cur_att < base_att - ATTAINMENT_TOLERANCE:
+                regressions.append(
+                    f"{scenario}: SLO {name} attainment fell "
+                    f"{base_att:.4f} -> {cur_att:.4f}"
+                )
+            if (
+                cur_slos[name].get("state") == "breached"
+                and base_slos[name].get("state") != "breached"
+            ):
+                regressions.append(
+                    f"{scenario}: SLO {name} newly breached "
+                    f"(was {base_slos[name].get('state')})"
+                )
+    return regressions, None
+
+
+# -- output ------------------------------------------------------------------
+
+
+def write_bench(path: str, bench: Dict[str, Any]) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(bench, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+
+
+def load_bench(path: str) -> Dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def format_bench(bench: Dict[str, Any]) -> str:
+    """The terminal SLO dashboard: one row per objective per scenario."""
+    det = bench["deterministic"]
+    lines = [
+        f"{'scenario':<16} {'slo':<22} {'state':<9} {'attain':>7} "
+        f"{'good':>6} {'bad':>5} {'burn_s':>7} {'burn_l':>7}"
+    ]
+    for scenario in ("session", "faulted_session", "fleet"):
+        summary = det.get(scenario, {})
+        telemetry = summary.get("telemetry", {})
+        for name in sorted(telemetry.get("slos", {})):
+            s = telemetry["slos"][name]
+            lines.append(
+                f"{scenario:<16} {name:<22} {s['state']:<9} "
+                f"{s['attainment']:7.4f} {s['good']:6d} {s['bad']:5d} "
+                f"{s['burn_short']:7.2f} {s['burn_long']:7.2f}"
+            )
+        alerts = telemetry.get("alerts", [])
+        pages = sum(1 for a in alerts if a.get("severity") == "page")
+        extra = ""
+        if "dominant_stage" in summary:
+            extra = f"   critical path: {summary['dominant_stage']}"
+        lines.append(
+            f"{scenario:<16} alerts: {len(alerts)} ({pages} page)"
+            f"{extra}"
+        )
+    lines.append(f"digest: {det['digest'][:16]}…")
+    return "\n".join(lines)

@@ -187,7 +187,15 @@ class FleetController:
             committed_mp_per_ms=self.total_committed_mp_per_ms,
             capacity_mp_per_ms=self.up_capacity_mp_per_ms,
         )
-        self.sim.metrics.counter(f"fleet.admission.{outcome}").inc()
+        self.sim.metrics.counter("fleet.admission", outcome=outcome).inc()
+        if self.sim.telemetry is not None:
+            # Each decision contributes one 0/1 sample: the reject-rate SLO
+            # classifies them directly against its error budget.
+            self.sim.telemetry.observe(
+                "fleet.rejected",
+                1.0 if outcome == "reject" else 0.0,
+                tier=request.tier,
+            )
         self.sim.spans.mark(
             "fleet.admission", outcome, track="fleet",
             session=request.session_id, tier=request.tier,
@@ -221,6 +229,12 @@ class FleetController:
             session=session.session_id, node=node.name, tier=session.tier,
         )
         session.start(node)
+        if self.sim.telemetry is not None:
+            self.sim.telemetry.observe(
+                "fleet.admission_wait_ms",
+                self.sim.now - request.arrival_ms,
+                tier=request.tier,
+            )
         self.sim.spawn(
             self._watch_session(session),
             name=f"fleet.watch.{session.session_id}",
@@ -353,7 +367,11 @@ class FleetController:
             self.crash_migrations += 1
         else:
             self.rebalance_migrations += 1
-        self.sim.metrics.counter(f"fleet.migrations.{reason}").inc()
+        self.sim.metrics.counter("fleet.migrations", reason=reason).inc()
+        if self.sim.telemetry is not None:
+            self.sim.telemetry.observe(
+                "fleet.migrations", 1.0, agg="count", reason=reason,
+            )
         self.sim.spans.mark(
             "fleet.migration", reason, track="fleet",
             session=session.session_id, source=old, target=target.name,

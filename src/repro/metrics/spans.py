@@ -9,7 +9,7 @@ JSON-able shape shared with ``MetricsRegistry.snapshot()``.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Optional
+from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 from repro.obs.registry import percentile
 from repro.obs.spans import Span, SpanRecorder
@@ -65,6 +65,63 @@ def aggregate_spans(
             continue
         groups.setdefault(getattr(span, by), []).append(span.duration_ms)
     return {key: _summarize(groups[key]) for key in sorted(groups)}
+
+
+def pipeline_critical_path(
+    spans: "SpanRecorder | Iterable[Span]",
+    stages: Sequence[str] = PIPELINE_STAGES,
+) -> Dict[str, Any]:
+    """Per-frame dominant-stage attribution, aggregated over the run.
+
+    For each frame (spans sharing a ``frame_id``), the *dominant* stage
+    is the single pipeline stage that spent the most time — the stage
+    that bounds that frame's latency.  The aggregate answers "which
+    stage is the bottleneck on the critical path, and for what share of
+    frames": a healthy offload session is intercept-dominated (the
+    engine's own CPU stage), and a lossy link shifts the distribution
+    toward transmit/return.
+
+    Returns ``{"frames": N, "stages": {stage: {frames, share,
+    mean_dominant_ms, max_dominant_ms}}}`` with every canonical stage
+    present (zero-filled) so the benchmark schema is stable.  Instant
+    marks and frameless spans are excluded; ties break toward the
+    earlier pipeline stage, deterministically.
+    """
+    rows = spans.spans if isinstance(spans, SpanRecorder) else spans
+    order = {stage: i for i, stage in enumerate(stages)}
+    #: frame_id -> {stage: total duration}
+    frames: Dict[int, Dict[str, float]] = {}
+    for span in rows:
+        if span.instant or span.frame_id is None or span.name not in order:
+            continue
+        frames.setdefault(span.frame_id, {}).setdefault(span.name, 0.0)
+        frames[span.frame_id][span.name] += span.duration_ms
+    dominants: Dict[str, List[float]] = {stage: [] for stage in stages}
+    for frame_id in sorted(frames):
+        per_stage = frames[frame_id]
+        winner = max(per_stage, key=lambda s: (per_stage[s], -order[s]))
+        dominants[winner].append(per_stage[winner])
+    n_frames = len(frames)
+    out: Dict[str, Any] = {"frames": n_frames, "stages": {}}
+    for stage in stages:
+        durations = dominants[stage]
+        out["stages"][stage] = {
+            "frames": len(durations),
+            "share": round(len(durations) / n_frames, 4) if n_frames else 0.0,
+            "mean_dominant_ms": (
+                round(sum(durations) / len(durations), 4) if durations else 0.0
+            ),
+            "max_dominant_ms": round(max(durations), 4) if durations else 0.0,
+        }
+    return out
+
+
+def dominant_stage(critical_path: Dict[str, Any]) -> str:
+    """The stage that dominates the most frames (``""`` when empty)."""
+    stages = critical_path.get("stages", {})
+    if not stages or not critical_path.get("frames"):
+        return ""
+    return max(stages, key=lambda s: (stages[s]["frames"], s))
 
 
 def pipeline_breakdown(

@@ -157,10 +157,23 @@ class Transport:
                 transport=self.name, seq=seq,
             )
             self.sim.metrics.counter("transport.give_ups").inc()
+            if self.sim.telemetry is not None:
+                self.sim.telemetry.observe(
+                    "transport.give_ups", 1.0, agg="count",
+                    transport=self.name,
+                )
             self._rto_timers.pop(seq, None)
             return
         self.stats.retransmissions += 1
         self.sim.metrics.counter("transport.retransmissions").inc()
+        self.sim.metrics.counter(
+            "transport.retransmissions", transport=self.name
+        ).inc()
+        if self.sim.telemetry is not None:
+            self.sim.telemetry.observe(
+                "transport.retransmissions", 1.0, agg="count",
+                transport=self.name,
+            )
         self.sim.tracer.record(
             self.sim.now, "transport", "retransmit",
             transport=self.name, seq=seq, attempt=attempt + 1,
@@ -207,6 +220,10 @@ class Transport:
             self.stats.bytes_delivered += message.framed_bytes
             latency = self.sim.now - message.metadata["transport_send_at"]
             self.stats.delivery_latencies_ms.append(latency)
+            if self.sim.telemetry is not None:
+                self.sim.telemetry.observe(
+                    "transport.delivery_ms", latency, transport=self.name,
+                )
             self._record_delivery_span(message)
             delivered: Optional[Event] = message.metadata.get("delivered_event")
             if delivered is not None and not delivered.triggered:

@@ -10,9 +10,14 @@ reports into:
   Chrome trace-event JSON by :func:`chrome_trace`;
 * :class:`MetricsRegistry` — counters, gauges and histograms
   (``sim.metrics``) wired into transport retransmissions, switching
-  decisions, cache hit rates and fleet admission/migration outcomes.
+  decisions, cache hit rates and fleet admission/migration outcomes;
+* :class:`TelemetryHub` (``sim.telemetry``, armed on demand) — labeled
+  :class:`TimeSeries` windows on the sim clock, declarative
+  :class:`SloSpec` objectives with multi-window burn-rate alerting, and
+  ARMAX-residual drift detection (:class:`ResidualDriftDetector`).
 """
 
+from repro.obs.anomaly import EwmaStats, ResidualDriftDetector
 from repro.obs.export import (
     TRACE_SCHEMA,
     chrome_trace,
@@ -25,23 +30,43 @@ from repro.obs.registry import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    metric_key,
     percentile,
 )
 from repro.obs.ring import RingTracer
+from repro.obs.slo import Alert, SloSpec, SloTracker
 from repro.obs.spans import OpenSpan, Span, SpanRecorder
+from repro.obs.telemetry import (
+    TelemetryHub,
+    default_fleet_slos,
+    default_session_slos,
+)
+from repro.obs.timeseries import TimeSeries, TimeSeriesBank, series_key
 
 __all__ = [
+    "Alert",
     "TRACE_SCHEMA",
     "Counter",
+    "EwmaStats",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "OpenSpan",
+    "ResidualDriftDetector",
     "RingTracer",
+    "SloSpec",
+    "SloTracker",
     "Span",
     "SpanRecorder",
+    "TelemetryHub",
+    "TimeSeries",
+    "TimeSeriesBank",
     "chrome_trace",
+    "default_fleet_slos",
+    "default_session_slos",
+    "metric_key",
     "percentile",
+    "series_key",
     "trace_categories",
     "validate_chrome_trace",
     "write_chrome_trace",

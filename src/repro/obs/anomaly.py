@@ -1,0 +1,146 @@
+"""ARMAX residual anomaly detection.
+
+The predictive switching policy's forecast quality is load-bearing: the
+paper's energy savings come from waking WiFi *before* a traffic surge,
+and a drifting model misfires the radio either way (flaps that burn
+energy, or missed surges that stall frames).  The model itself reports
+one number per epoch that tells us how healthy it is — the RLS
+innovation (one-step-ahead residual) from
+:meth:`repro.predict.armax.ARMAXModel.observe`.
+
+:class:`ResidualDriftDetector` watches that stream with an EWMA
+mean/variance estimate (`EwmaStats`): each residual gets a z-score
+against the smoothed statistics *before* they absorb it, and a run of
+``sustain`` consecutive out-of-band epochs raises a ``prediction_drift``
+alert — sustained forecast error surfaces before the switching policy
+has misfired for long, rather than after the session post-mortem.
+
+Deterministic by construction: pure arithmetic on the residual stream,
+no clocks or randomness of its own.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from repro.obs.slo import Alert
+
+
+class EwmaStats:
+    """Exponentially weighted running mean/variance with z-scores."""
+
+    __slots__ = ("alpha", "mean", "var", "count")
+
+    def __init__(self, alpha: float = 0.05):
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha {alpha} outside (0, 1]")
+        self.alpha = alpha
+        self.mean = 0.0
+        self.var = 0.0
+        self.count = 0
+
+    def zscore(self, value: float) -> float:
+        """Deviation of ``value`` from the *current* smoothed statistics."""
+        if self.count < 2:
+            return 0.0
+        std = math.sqrt(self.var)
+        if std <= 1e-12:
+            return 0.0
+        return (value - self.mean) / std
+
+    def update(self, value: float) -> float:
+        """Score ``value`` against the pre-update stats, then absorb it."""
+        z = self.zscore(value)
+        if self.count == 0:
+            self.mean = value
+        else:
+            delta = value - self.mean
+            self.mean += self.alpha * delta
+            self.var = (1.0 - self.alpha) * (self.var + self.alpha * delta * delta)
+        self.count += 1
+        return z
+
+
+class ResidualDriftDetector:
+    """Raises ``prediction_drift`` on sustained out-of-band residuals.
+
+    ``warmup`` epochs are scored but never alerted (the RLS estimate is
+    still converging); after that, ``sustain`` consecutive epochs with
+    ``|z| >= z_threshold`` fire one alert, and the detector re-arms only
+    once the residuals come back in band — a 200-epoch drift episode is
+    one alert, not 195.
+    """
+
+    def __init__(
+        self,
+        z_threshold: float = 3.0,
+        sustain: int = 5,
+        warmup: int = 30,
+        alpha: float = 0.05,
+        name: str = "prediction_drift",
+    ):
+        if z_threshold <= 0:
+            raise ValueError(f"z_threshold must be positive, got {z_threshold}")
+        if sustain < 1:
+            raise ValueError(f"sustain must be >= 1, got {sustain}")
+        self.name = name
+        self.z_threshold = z_threshold
+        self.sustain = sustain
+        self.warmup = warmup
+        self.stats = EwmaStats(alpha=alpha)
+        self.updates = 0
+        self.out_of_band = 0            # current consecutive run
+        self.firing = False
+        self.alerts: List[Alert] = []
+        self.zscores: List[float] = []
+
+    def update(self, residual: float, at_ms: float) -> Optional[Alert]:
+        """Feed one epoch's residual; returns the alert if one fires."""
+        z = self.stats.update(residual)
+        self.updates += 1
+        self.zscores.append(z)
+        if self.updates <= self.warmup:
+            return None
+        if abs(z) >= self.z_threshold:
+            self.out_of_band += 1
+        else:
+            self.out_of_band = 0
+            if self.firing:
+                self.firing = False
+                recovered = Alert(
+                    at_ms=at_ms,
+                    source=self.name,
+                    severity="info",
+                    state="ok",
+                    message=(
+                        f"{self.name}: residuals back in band "
+                        f"(|z| < {self.z_threshold})"
+                    ),
+                )
+                self.alerts.append(recovered)
+                return recovered
+            return None
+        if self.out_of_band >= self.sustain and not self.firing:
+            self.firing = True
+            alert = Alert(
+                at_ms=at_ms,
+                source=self.name,
+                severity="warn",
+                state="drifting",
+                message=(
+                    f"{self.name}: {self.out_of_band} consecutive epochs "
+                    f"with |z| >= {self.z_threshold} (last z={z:.2f})"
+                ),
+            )
+            self.alerts.append(alert)
+            return alert
+        return None
+
+    def summary(self) -> dict:
+        return {
+            "updates": self.updates,
+            "alerts": len([a for a in self.alerts if a.severity != "info"]),
+            "firing": self.firing,
+            "max_abs_z": round(max((abs(z) for z in self.zscores), default=0.0), 4),
+        }

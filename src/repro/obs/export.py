@@ -4,7 +4,11 @@
 as the Trace Event Format consumed by Perfetto / ``chrome://tracing``:
 completed spans become ``"X"`` (complete) events, zero-duration marks
 become ``"I"`` (instant) events, and every distinct span track gets a
-``thread_name`` metadata record so the viewer labels its rows.
+``thread_name`` metadata record so the viewer labels its rows.  Two
+optional overlays ride along: telemetry time-series render as ``"C"``
+(counter) tracks — one sample per window — and structured SLO/drift
+alerts render as instant events on an ``alerts`` track, so Perfetto
+shows burn-rate breaches inline with the frame spans that caused them.
 
 ``validate_chrome_trace`` is the schema gate CI runs: any drift in the
 exported shape (missing keys, bad phase codes, negative durations, lost
@@ -25,7 +29,61 @@ TRACE_SCHEMA = "repro.chrome_trace/1"
 REQUIRED_EVENT_KEYS = ("name", "cat", "ph", "ts", "pid", "tid")
 
 #: phase codes this exporter may legally produce
-ALLOWED_PHASES = {"X", "I", "M"}
+ALLOWED_PHASES = {"X", "I", "M", "C"}
+
+#: tid carrying counter tracks (Perfetto keys counters by pid+name)
+COUNTER_TID = 0
+
+
+def _counter_events(series_source: Any) -> List[Dict[str, Any]]:
+    """One ``"C"`` sample per populated window of each time-series.
+
+    Accepts a :class:`~repro.obs.timeseries.TimeSeriesBank` or any
+    iterable of :class:`~repro.obs.timeseries.TimeSeries`.
+    """
+    all_series = (
+        series_source.all()
+        if hasattr(series_source, "all")
+        else list(series_source)
+    )
+    events: List[Dict[str, Any]] = []
+    for series in all_series:
+        for window, value in series.points():
+            events.append(
+                {
+                    "name": series.key,
+                    "cat": "telemetry",
+                    "ph": "C",
+                    "ts": round(series.window_start_ms(window) * 1000.0, 3),
+                    "pid": 1,
+                    "tid": COUNTER_TID,
+                    "args": {series.name: round(value, 4)},
+                }
+            )
+    return events
+
+
+def _alert_events(alerts: Iterable[Any]) -> List[Dict[str, Any]]:
+    """Structured alerts as process-scoped instant events."""
+    events: List[Dict[str, Any]] = []
+    for alert in alerts:
+        events.append(
+            {
+                "name": alert.source,
+                "cat": "alert",
+                "ph": "I",
+                "s": "p",                         # process-scoped instant
+                "ts": round(alert.at_ms * 1000.0, 3),
+                "pid": 1,
+                "tid": COUNTER_TID,
+                "args": {
+                    "severity": alert.severity,
+                    "state": alert.state,
+                    "message": alert.message,
+                },
+            }
+        )
+    return events
 
 
 def _span_events(
@@ -60,8 +118,15 @@ def _span_events(
 def chrome_trace(
     spans: SpanRecorder,
     metadata: Optional[Dict[str, Any]] = None,
+    series: Optional[Any] = None,
+    alerts: Optional[Iterable[Any]] = None,
 ) -> Dict[str, Any]:
-    """Render the recorder's spans as a Chrome trace-event JSON object."""
+    """Render the recorder's spans as a Chrome trace-event JSON object.
+
+    ``series`` (a ``TimeSeriesBank`` or iterable of ``TimeSeries``) adds
+    counter tracks; ``alerts`` (``repro.obs.slo.Alert`` objects) adds
+    instant alert events.
+    """
     tracks = sorted({s.track for s in spans.spans})
     tid_for = {track: i + 1 for i, track in enumerate(tracks)}
     events: List[Dict[str, Any]] = [
@@ -76,11 +141,13 @@ def chrome_trace(
         }
         for track, tid in sorted(tid_for.items(), key=lambda kv: kv[1])
     ]
+    timed = _span_events(spans.spans, tid_for)
+    if series is not None:
+        timed.extend(_counter_events(series))
+    if alerts is not None:
+        timed.extend(_alert_events(alerts))
     events.extend(
-        sorted(
-            _span_events(spans.spans, tid_for),
-            key=lambda e: (e["ts"], e["tid"], e["name"]),
-        )
+        sorted(timed, key=lambda e: (e["ts"], e["tid"], e["name"]))
     )
     other: Dict[str, Any] = {
         "schema": TRACE_SCHEMA,
@@ -141,6 +208,14 @@ def validate_chrome_trace(trace: Any) -> List[str]:
             dur = event.get("dur")
             if not isinstance(dur, (int, float)) or dur < 0:
                 problems.append(f"event {i}: 'X' event needs dur >= 0")
+        if ph == "C":
+            args = event.get("args")
+            if not isinstance(args, dict) or not args or not all(
+                isinstance(v, (int, float)) for v in args.values()
+            ):
+                problems.append(
+                    f"event {i}: 'C' event needs numeric args values"
+                )
         if "args" in event and not isinstance(event["args"], dict):
             problems.append(f"event {i}: args must be an object")
     return problems
@@ -150,13 +225,15 @@ def write_chrome_trace(
     path: str,
     spans: SpanRecorder,
     metadata: Optional[Dict[str, Any]] = None,
+    series: Optional[Any] = None,
+    alerts: Optional[Iterable[Any]] = None,
 ) -> Dict[str, Any]:
     """Export, validate, and write a trace file; returns the trace object.
 
     Raises ``ValueError`` on schema drift so callers (the CLI smoke gate)
     fail loudly instead of uploading a broken artifact.
     """
-    trace = chrome_trace(spans, metadata=metadata)
+    trace = chrome_trace(spans, metadata=metadata, series=series, alerts=alerts)
     problems = validate_chrome_trace(trace)
     if problems:
         raise ValueError(

@@ -15,10 +15,18 @@ checks the way the fleet report already does.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Mapping, Optional
 
 #: histograms keep at most this many raw samples (count/sum keep running)
 DEFAULT_HISTOGRAM_SAMPLES = 65_536
+
+
+def metric_key(name: str, labels: Optional[Mapping[str, Any]] = None) -> str:
+    """Canonical ``name{k=v,...}`` key with labels sorted by name."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
 
 
 def percentile(sorted_values: List[float], q: float) -> float:
@@ -43,10 +51,11 @@ def percentile(sorted_values: List[float], q: float) -> float:
 class Counter:
     """A monotonically increasing total."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "labels", "value")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, labels: Optional[Mapping[str, Any]] = None):
         self.name = name
+        self.labels: Dict[str, Any] = dict(labels or {})
         self.value = 0.0
 
     def inc(self, amount: float = 1.0) -> None:
@@ -58,10 +67,11 @@ class Counter:
 class Gauge:
     """A last-written value."""
 
-    __slots__ = ("name", "value", "updates")
+    __slots__ = ("name", "labels", "value", "updates")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, labels: Optional[Mapping[str, Any]] = None):
         self.name = name
+        self.labels: Dict[str, Any] = dict(labels or {})
         self.value = 0.0
         self.updates = 0
 
@@ -73,27 +83,52 @@ class Gauge:
 class Histogram:
     """Streaming observations with deterministic percentiles.
 
-    Keeps every sample up to ``max_samples`` (newest dropped beyond that —
-    count and sum keep running, so means stay exact).
+    The raw-sample reservoir is bounded by deterministic *stride
+    decimation*: whenever it fills to ``max_samples`` it is compacted to
+    every second sample and the keep-stride doubles, so the retained
+    samples always cover the whole run uniformly (observation ordinals
+    ``0, k, 2k, ...``).  The old policy kept the *first* N samples and
+    dropped everything after, which made long-run percentiles describe
+    only the start of the run.  Count and sum keep running regardless,
+    so means stay exact; ``dropped`` counts observations not retained in
+    the reservoir.
     """
 
-    __slots__ = ("name", "count", "sum", "max_samples", "_samples", "dropped")
+    __slots__ = (
+        "name", "labels", "count", "sum", "max_samples", "_samples",
+        "_stride", "dropped",
+    )
 
-    def __init__(self, name: str, max_samples: int = DEFAULT_HISTOGRAM_SAMPLES):
+    def __init__(
+        self,
+        name: str,
+        max_samples: int = DEFAULT_HISTOGRAM_SAMPLES,
+        labels: Optional[Mapping[str, Any]] = None,
+    ):
+        if max_samples < 2:
+            raise ValueError(f"max_samples must be >= 2, got {max_samples}")
         self.name = name
+        self.labels: Dict[str, Any] = dict(labels or {})
         self.count = 0
         self.sum = 0.0
         self.max_samples = max_samples
         self._samples: List[float] = []
+        self._stride = 1
         self.dropped = 0
 
     def observe(self, value: float) -> None:
-        self.count += 1
-        self.sum += value
-        if len(self._samples) < self.max_samples:
+        # The reservoir keeps observations whose ordinal is a multiple of
+        # the current stride; compaction preserves that invariant, so the
+        # retained set is a uniform decimation of the entire stream.
+        if self.count % self._stride == 0:
             self._samples.append(float(value))
+            if len(self._samples) >= self.max_samples:
+                self._samples = self._samples[::2]
+                self._stride *= 2
         else:
             self.dropped += 1
+        self.count += 1
+        self.sum += value
 
     @property
     def mean(self) -> float:
@@ -116,38 +151,63 @@ class Histogram:
 
 
 class MetricsRegistry:
-    """Get-or-create registry keyed by metric name."""
+    """Get-or-create registry keyed by metric name + sorted labels.
+
+    ``counter("fleet.admission", outcome="reject")`` and
+    ``counter("fleet.admission", outcome="admit")`` are distinct series
+    of one metric family; the label set rides into ``snapshot()`` as the
+    canonical ``name{k=v,...}`` key.  Label-free calls behave exactly as
+    before.
+    """
 
     def __init__(self) -> None:
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
 
-    def counter(self, name: str) -> Counter:
-        if name not in self._counters:
-            self._check_free(name, self._counters)
-            self._counters[name] = Counter(name)
-        return self._counters[name]
+    def counter(self, name: str, **labels: Any) -> Counter:
+        key = metric_key(name, labels)
+        if key not in self._counters:
+            self._check_free(key, self._counters)
+            self._counters[key] = Counter(name, labels=labels)
+        return self._counters[key]
 
-    def gauge(self, name: str) -> Gauge:
-        if name not in self._gauges:
-            self._check_free(name, self._gauges)
-            self._gauges[name] = Gauge(name)
-        return self._gauges[name]
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        key = metric_key(name, labels)
+        if key not in self._gauges:
+            self._check_free(key, self._gauges)
+            self._gauges[key] = Gauge(name, labels=labels)
+        return self._gauges[key]
 
     def histogram(
-        self, name: str, max_samples: int = DEFAULT_HISTOGRAM_SAMPLES
+        self,
+        name: str,
+        max_samples: int = DEFAULT_HISTOGRAM_SAMPLES,
+        **labels: Any,
     ) -> Histogram:
-        if name not in self._histograms:
-            self._check_free(name, self._histograms)
-            self._histograms[name] = Histogram(name, max_samples=max_samples)
-        return self._histograms[name]
+        key = metric_key(name, labels)
+        if key not in self._histograms:
+            self._check_free(key, self._histograms)
+            self._histograms[key] = Histogram(
+                name, max_samples=max_samples, labels=labels
+            )
+        return self._histograms[key]
 
-    def _check_free(self, name: str, own: Dict[str, Any]) -> None:
+    def family(self, name: str) -> List[Any]:
+        """Every instrument with this base name, any labels, sorted by key."""
+        out = []
+        for store in (self._counters, self._gauges, self._histograms):
+            out.extend(
+                store[key] for key in sorted(store)
+                if store[key].name == name
+            )
+        return out
+
+    def _check_free(self, key: str, own: Dict[str, Any]) -> None:
         for family in (self._counters, self._gauges, self._histograms):
-            if family is not own and name in family:
+            if family is not own and key in family:
                 raise ValueError(
-                    f"metric {name!r} already registered with another type"
+                    f"metric {key!r} already registered with another type"
                 )
 
     def snapshot(self) -> Dict[str, Any]:

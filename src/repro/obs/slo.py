@@ -1,0 +1,223 @@
+"""Declarative SLOs with multi-window burn-rate alerting.
+
+An :class:`SloSpec` states an objective over one telemetry series —
+"frame latency stays under the budget for 99% of frames", "window FPS
+stays above the floor in 95% of windows" — and a :class:`SloTracker`
+evaluates it the way an SRE error-budget policy would:
+
+* every observation (``threshold`` mode) or every completed window
+  (``window`` mode) is classified *good* or *bad* against the threshold;
+* the **burn rate** over a trailing window is the bad fraction divided
+  by the error budget — burn 1.0 means the budget exactly lasts the
+  period, burn 10 means it is gone in a tenth of it;
+* alerting is multi-window: a *short* window catches fast burns, a
+  *long* window confirms they are sustained.  The tracker's state walks
+  ``ok -> burning -> breached`` (and recovers), emitting a structured
+  :class:`Alert` on every transition.
+
+Everything runs on the simulation clock and is deterministic: the same
+seeded run produces the same transitions at the same windows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+#: tracker states, in escalation order
+STATE_OK = "ok"
+STATE_BURNING = "burning"
+STATE_BREACHED = "breached"
+
+#: severity attached to the alert announcing each state
+SEVERITY_FOR_STATE = {
+    STATE_OK: "info",
+    STATE_BURNING: "warn",
+    STATE_BREACHED: "page",
+}
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One structured alert: a state transition or detector firing."""
+
+    at_ms: float
+    source: str                 # SLO name, or detector name
+    severity: str               # "info" | "warn" | "page"
+    state: str                  # the state being entered
+    message: str
+    burn_short: float = 0.0
+    burn_long: float = 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "at_ms": round(self.at_ms, 4),
+            "source": self.source,
+            "severity": self.severity,
+            "state": self.state,
+            "message": self.message,
+            "burn_short": round(self.burn_short, 4),
+            "burn_long": round(self.burn_long, 4),
+        }
+
+
+@dataclass(frozen=True)
+class SloSpec:
+    """One declarative objective over a telemetry series.
+
+    ``threshold`` mode classifies each raw observation on the series;
+    ``window`` mode classifies each completed window's aggregated value
+    (missing windows count with ``fill``, so a silent second can violate
+    an FPS floor).  ``comparison`` states what *good* looks like:
+    ``"le"`` — value must stay at or under the threshold (latency
+    budgets, flap/retransmission caps); ``"ge"`` — value must stay at or
+    over it (FPS floors).
+    """
+
+    name: str
+    series: str
+    threshold: float
+    comparison: str = "le"          # good when value <= / >= threshold
+    mode: str = "threshold"         # "threshold" | "window"
+    labels: Dict[str, object] = field(default_factory=dict)
+    error_budget: float = 0.01      # allowed bad fraction
+    short_windows: int = 4
+    long_windows: int = 24
+    warn_burn: float = 1.0          # short burn that opens "burning"
+    breach_burn: float = 4.0        # short+long burn that pages "breached"
+    fill: float = 0.0               # window-mode value for empty windows
+    description: str = ""
+
+    def validate(self) -> None:
+        if self.comparison not in ("le", "ge"):
+            raise ValueError(f"unknown comparison {self.comparison!r}")
+        if self.mode not in ("threshold", "window"):
+            raise ValueError(f"unknown mode {self.mode!r}")
+        if not 0.0 < self.error_budget <= 1.0:
+            raise ValueError(
+                f"error budget {self.error_budget} outside (0, 1]"
+            )
+        if self.short_windows < 1 or self.long_windows < self.short_windows:
+            raise ValueError(
+                f"need 1 <= short_windows <= long_windows, got "
+                f"{self.short_windows}/{self.long_windows}"
+            )
+        if self.warn_burn <= 0 or self.breach_burn < self.warn_burn:
+            raise ValueError(
+                f"need 0 < warn_burn <= breach_burn, got "
+                f"{self.warn_burn}/{self.breach_burn}"
+            )
+
+    def is_good(self, value: float) -> bool:
+        if self.comparison == "le":
+            return value <= self.threshold
+        return value >= self.threshold
+
+
+class SloTracker:
+    """Evaluates one :class:`SloSpec`: good/bad ledger + state machine."""
+
+    def __init__(self, spec: SloSpec):
+        spec.validate()
+        self.spec = spec
+        #: window index -> [good, bad]
+        self._ledger: Dict[int, List[int]] = {}
+        self.state = STATE_OK
+        self.transitions: List[Alert] = []
+        self.good = 0
+        self.bad = 0
+
+    # -- feeding -------------------------------------------------------------
+
+    def observe(self, window: int, value: float) -> None:
+        """Classify one observation into its window's good/bad ledger."""
+        cell = self._ledger.setdefault(window, [0, 0])
+        if self.spec.is_good(value):
+            cell[0] += 1
+            self.good += 1
+        else:
+            cell[1] += 1
+            self.bad += 1
+
+    # -- burn rates ----------------------------------------------------------
+
+    def burn_rate(self, upto_window: int, n_windows: int) -> float:
+        """Bad fraction over the trailing ``n_windows``, over the budget."""
+        good = bad = 0
+        for w in range(max(0, upto_window - n_windows + 1), upto_window + 1):
+            cell = self._ledger.get(w)
+            if cell is not None:
+                good += cell[0]
+                bad += cell[1]
+        total = good + bad
+        if total == 0:
+            return 0.0
+        return (bad / total) / self.spec.error_budget
+
+    # -- evaluation ----------------------------------------------------------
+
+    def evaluate(self, window: int, at_ms: float) -> Optional[Alert]:
+        """Run the state machine at a completed window's boundary.
+
+        Returns the transition alert when the state changed, else ``None``.
+        """
+        burn_s = self.burn_rate(window, self.spec.short_windows)
+        burn_l = self.burn_rate(window, self.spec.long_windows)
+        if burn_s >= self.spec.breach_burn and burn_l >= self.spec.breach_burn:
+            new_state = STATE_BREACHED
+        elif burn_s >= self.spec.warn_burn:
+            new_state = STATE_BURNING
+        else:
+            new_state = STATE_OK
+        if new_state == self.state:
+            return None
+        old = self.state
+        self.state = new_state
+        alert = Alert(
+            at_ms=at_ms,
+            source=self.spec.name,
+            severity=SEVERITY_FOR_STATE[new_state],
+            state=new_state,
+            message=(
+                f"slo {self.spec.name}: {old} -> {new_state} "
+                f"(burn short={burn_s:.2f} long={burn_l:.2f}, "
+                f"budget={self.spec.error_budget})"
+            ),
+            burn_short=burn_s,
+            burn_long=burn_l,
+        )
+        self.transitions.append(alert)
+        return alert
+
+    # -- reporting -----------------------------------------------------------
+
+    @property
+    def attainment(self) -> float:
+        """Overall good fraction (1.0 when nothing was observed)."""
+        total = self.good + self.bad
+        return self.good / total if total else 1.0
+
+    def summary(self, upto_window: Optional[int] = None) -> Dict[str, object]:
+        if upto_window is None:
+            upto_window = max(self._ledger) if self._ledger else 0
+        return {
+            "series": self.spec.series,
+            "labels": {k: self.spec.labels[k] for k in sorted(self.spec.labels)},
+            "mode": self.spec.mode,
+            "comparison": self.spec.comparison,
+            "threshold": self.spec.threshold,
+            "error_budget": self.spec.error_budget,
+            "state": self.state,
+            "attainment": round(self.attainment, 6),
+            "good": self.good,
+            "bad": self.bad,
+            "burn_short": round(
+                self.burn_rate(upto_window, self.spec.short_windows), 4
+            ),
+            "burn_long": round(
+                self.burn_rate(upto_window, self.spec.long_windows), 4
+            ),
+            "transitions": [
+                [a.state, round(a.at_ms, 4)] for a in self.transitions
+            ],
+        }

@@ -1,0 +1,200 @@
+"""Labeled time-series sampled on the simulation clock.
+
+A :class:`TimeSeries` folds observations into fixed windows of the sim
+clock (``window_ms``) under one aggregation — mean, sum, last, max, min
+or count — so the telemetry layer can ask "what was the offered load /
+frame latency / switch count in window *w*" without keeping every raw
+sample.  Series carry labels (``device=...``, ``link=...``,
+``genre=...``) and live in a :class:`TimeSeriesBank` keyed by name plus
+sorted labels, mirroring the labeled-metric convention of
+:class:`~repro.obs.registry.MetricsRegistry`.
+
+Everything is deterministic: windows are pure functions of timestamps,
+snapshots sort by key and round values, so a seeded run produces a
+byte-identical dump.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Tuple
+
+#: default window width; one second of simulated time
+DEFAULT_WINDOW_MS = 1_000.0
+
+#: aggregations a series may fold its windows under
+WINDOW_AGGS = ("mean", "sum", "last", "max", "min", "count")
+
+
+def series_key(name: str, labels: Optional[Mapping[str, object]] = None) -> str:
+    """Canonical ``name{k=v,...}`` key with labels sorted by name."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class TimeSeries:
+    """One labeled series: fixed sim-clock windows under one aggregation."""
+
+    __slots__ = ("name", "labels", "window_ms", "agg", "_windows", "observations")
+
+    def __init__(
+        self,
+        name: str,
+        window_ms: float = DEFAULT_WINDOW_MS,
+        agg: str = "mean",
+        labels: Optional[Mapping[str, object]] = None,
+    ):
+        if window_ms <= 0:
+            raise ValueError(f"window_ms must be positive, got {window_ms}")
+        if agg not in WINDOW_AGGS:
+            raise ValueError(f"unknown aggregation {agg!r}, want one of {WINDOW_AGGS}")
+        self.name = name
+        self.labels: Dict[str, object] = dict(labels or {})
+        self.window_ms = window_ms
+        self.agg = agg
+        #: window index -> [sum, count, last, max, min]
+        self._windows: Dict[int, List[float]] = {}
+        self.observations = 0
+
+    @property
+    def key(self) -> str:
+        return series_key(self.name, self.labels)
+
+    def window_of(self, t_ms: float) -> int:
+        if t_ms < 0:
+            raise ValueError(f"negative timestamp {t_ms}")
+        return int(t_ms // self.window_ms)
+
+    def window_start_ms(self, window: int) -> float:
+        return window * self.window_ms
+
+    def record(self, t_ms: float, value: float = 1.0) -> int:
+        """Fold one observation into its window; returns the window index."""
+        w = self.window_of(t_ms)
+        value = float(value)
+        cell = self._windows.get(w)
+        if cell is None:
+            self._windows[w] = [value, 1.0, value, value, value]
+        else:
+            cell[0] += value
+            cell[1] += 1.0
+            cell[2] = value
+            if value > cell[3]:
+                cell[3] = value
+            if value < cell[4]:
+                cell[4] = value
+        self.observations += 1
+        return w
+
+    def _fold(self, cell: List[float]) -> float:
+        if self.agg == "mean":
+            return cell[0] / cell[1]
+        if self.agg == "sum":
+            return cell[0]
+        if self.agg == "last":
+            return cell[2]
+        if self.agg == "max":
+            return cell[3]
+        if self.agg == "min":
+            return cell[4]
+        return cell[1]                      # count
+
+    def value_at(self, window: int) -> Optional[float]:
+        """The window's aggregated value, or ``None`` when nothing landed."""
+        cell = self._windows.get(window)
+        return None if cell is None else self._fold(cell)
+
+    def count_at(self, window: int) -> int:
+        cell = self._windows.get(window)
+        return 0 if cell is None else int(cell[1])
+
+    def last_window(self) -> int:
+        """Index of the newest populated window (``-1`` when empty)."""
+        return max(self._windows) if self._windows else -1
+
+    def points(self) -> List[Tuple[int, float]]:
+        """Sorted ``(window, value)`` pairs for populated windows only."""
+        return [(w, self._fold(self._windows[w])) for w in sorted(self._windows)]
+
+    def values(
+        self, first: int = 0, last: Optional[int] = None, fill: float = 0.0
+    ) -> List[float]:
+        """Dense window values from ``first`` to ``last`` (gaps -> ``fill``)."""
+        if last is None:
+            last = self.last_window()
+        if last < first:
+            return []
+        out = []
+        for w in range(first, last + 1):
+            v = self.value_at(w)
+            out.append(fill if v is None else v)
+        return out
+
+    def __len__(self) -> int:
+        return len(self._windows)
+
+    def snapshot(self) -> Dict[str, object]:
+        """Deterministic JSON-able dump (sorted windows, rounded values)."""
+        return {
+            "name": self.name,
+            "labels": {k: self.labels[k] for k in sorted(self.labels)},
+            "window_ms": self.window_ms,
+            "agg": self.agg,
+            "observations": self.observations,
+            "points": [[w, round(v, 4)] for w, v in self.points()],
+        }
+
+
+class TimeSeriesBank:
+    """Get-or-create registry of series keyed by name + sorted labels."""
+
+    def __init__(self, window_ms: float = DEFAULT_WINDOW_MS):
+        if window_ms <= 0:
+            raise ValueError(f"window_ms must be positive, got {window_ms}")
+        self.window_ms = window_ms
+        self._series: Dict[str, TimeSeries] = {}
+
+    def series(
+        self,
+        name: str,
+        agg: str = "mean",
+        window_ms: Optional[float] = None,
+        **labels: object,
+    ) -> TimeSeries:
+        key = series_key(name, labels)
+        existing = self._series.get(key)
+        if existing is None:
+            existing = TimeSeries(
+                name,
+                window_ms=window_ms or self.window_ms,
+                agg=agg,
+                labels=labels,
+            )
+            self._series[key] = existing
+        elif existing.agg != agg:
+            raise ValueError(
+                f"series {key!r} already registered with agg "
+                f"{existing.agg!r}, not {agg!r}"
+            )
+        return existing
+
+    def get(self, name: str, **labels: object) -> Optional[TimeSeries]:
+        return self._series.get(series_key(name, labels))
+
+    def matching(self, name: str) -> List[TimeSeries]:
+        """All series with this base name, any labels, sorted by key."""
+        return [
+            self._series[k]
+            for k in sorted(self._series)
+            if self._series[k].name == name
+        ]
+
+    def all(self) -> List[TimeSeries]:
+        return [self._series[k] for k in sorted(self._series)]
+
+    def __len__(self) -> int:
+        return len(self._series)
+
+    def snapshot(self) -> Dict[str, object]:
+        return {k: self._series[k].snapshot() for k in sorted(self._series)}

@@ -243,6 +243,9 @@ class Simulator:
         self.digests: Optional[Any] = None
         #: optional repro.check.InvariantMonitor; notified of new timers
         self.monitor: Optional[Any] = None
+        #: optional repro.obs.telemetry.TelemetryHub; substrates stream
+        #: labeled time-series observations here when armed
+        self.telemetry: Optional[Any] = None
         self._queue: List[Tuple[float, int, Process, Any]] = []
         self._counter = itertools.count()
         self._streams: dict = {}

@@ -63,6 +63,15 @@ class SwitchingController:
             seen = len(samples)
             exo = list(self.exogenous_source())
             decision = self.policy.decide(mbps, exo, self.manager.active_name)
+            telemetry = self.sim.telemetry
+            if telemetry is not None:
+                telemetry.observe(
+                    "net.offered_mbps", mbps,
+                    link=self.manager.active_name,
+                )
+                residual = getattr(self.policy, "last_residual", None)
+                if residual is not None:
+                    telemetry.track_residual(residual)
             self.stats.epochs += 1
             if self.manager.active_name == "wifi":
                 self.stats.epochs_on_wifi += 1
@@ -76,6 +85,10 @@ class SwitchingController:
                 self.manager.use("wifi")
                 self.stats.switches_to_wifi += 1
                 self.sim.metrics.counter("switching.to_wifi").inc()
+                if telemetry is not None:
+                    telemetry.observe(
+                        "switching.switches", 1.0, agg="count", to="wifi",
+                    )
                 self.sim.spans.mark(
                     "switching", "switch", track="radio",
                     to="wifi", offered_mbps=round(mbps, 3),
@@ -86,6 +99,10 @@ class SwitchingController:
                 self.manager.use("bluetooth")
                 self.stats.switches_to_bluetooth += 1
                 self.sim.metrics.counter("switching.to_bluetooth").inc()
+                if telemetry is not None:
+                    telemetry.observe(
+                        "switching.switches", 1.0, agg="count", to="bluetooth",
+                    )
                 self.sim.spans.mark(
                     "switching", "switch", track="radio",
                     to="bluetooth", offered_mbps=round(mbps, 3),

@@ -113,11 +113,14 @@ class PredictivePolicy:
         self.warmup_epochs = warmup_epochs
         self._quiet_epochs = 0
         self.forecasts: List[List[float]] = []
+        #: latest one-step-ahead RLS residual; the telemetry layer's
+        #: drift detector reads this after every epoch
+        self.last_residual: Optional[float] = None
 
     def decide(
         self, epoch_mbps: float, exogenous: Sequence[float], current: str
     ) -> SwitchDecision:
-        self.model.observe(epoch_mbps, list(exogenous))
+        self.last_residual = self.model.observe(epoch_mbps, list(exogenous))
         if self.model.observations < self.warmup_epochs:
             # Cold model: be conservative, keep WiFi up.
             return (

@@ -1,0 +1,90 @@
+"""Per-frame critical-path attribution over pipeline spans."""
+
+import pytest
+
+from repro.metrics.spans import (
+    PIPELINE_STAGES,
+    dominant_stage,
+    pipeline_critical_path,
+)
+from repro.obs.spans import SpanRecorder
+
+
+def frame(rec, frame_id, **stage_ms):
+    t = 0.0
+    for stage, ms in stage_ms.items():
+        rec.add("pipe", stage, t, t + ms, frame_id=frame_id)
+        t += ms
+
+
+class TestCriticalPath:
+    def test_dominant_stage_per_frame(self):
+        rec = SpanRecorder()
+        frame(rec, 1, intercept=8.0, transmit=2.0, execute=3.0)
+        frame(rec, 2, intercept=2.0, transmit=9.0, execute=3.0)
+        frame(rec, 3, intercept=2.0, transmit=1.0, execute=7.0)
+        cp = pipeline_critical_path(rec)
+        assert cp["frames"] == 3
+        assert cp["stages"]["intercept"]["frames"] == 1
+        assert cp["stages"]["transmit"]["frames"] == 1
+        assert cp["stages"]["execute"]["frames"] == 1
+        assert cp["stages"]["transmit"]["share"] == pytest.approx(
+            1 / 3, abs=1e-4
+        )
+        assert cp["stages"]["transmit"]["mean_dominant_ms"] == 9.0
+        assert cp["stages"]["transmit"]["max_dominant_ms"] == 9.0
+
+    def test_repeated_stage_spans_sum_before_comparison(self):
+        """Two 3 ms transmits beat one 5 ms intercept."""
+        rec = SpanRecorder()
+        rec.add("pipe", "intercept", 0.0, 5.0, frame_id=1)
+        rec.add("pipe", "transmit", 5.0, 8.0, frame_id=1)
+        rec.add("pipe", "transmit", 9.0, 12.0, frame_id=1)   # retransmit
+        cp = pipeline_critical_path(rec)
+        assert cp["stages"]["transmit"]["frames"] == 1
+        assert cp["stages"]["transmit"]["mean_dominant_ms"] == 6.0
+
+    def test_ties_break_toward_earlier_stage(self):
+        rec = SpanRecorder()
+        frame(rec, 1, intercept=5.0, execute=5.0)
+        frame(rec, 2, transmit=4.0, present=4.0)
+        cp = pipeline_critical_path(rec)
+        assert cp["stages"]["intercept"]["frames"] == 1
+        assert cp["stages"]["execute"]["frames"] == 0
+        assert cp["stages"]["transmit"]["frames"] == 1
+        assert cp["stages"]["present"]["frames"] == 0
+
+    def test_instant_frameless_and_foreign_spans_excluded(self):
+        rec = SpanRecorder()
+        frame(rec, 1, intercept=3.0)
+        rec.mark("pipe", "transmit", frame_id=1)             # instant
+        rec.add("pipe", "execute", 0.0, 90.0)                # no frame_id
+        rec.add("fleet", "queue_wait", 0.0, 50.0, frame_id=1)  # not a stage
+        cp = pipeline_critical_path(rec)
+        assert cp["frames"] == 1
+        assert dominant_stage(cp) == "intercept"
+
+    def test_schema_zero_filled_and_stable(self):
+        cp = pipeline_critical_path(SpanRecorder())
+        assert cp["frames"] == 0
+        assert list(cp["stages"]) == list(PIPELINE_STAGES)
+        for summary in cp["stages"].values():
+            assert summary == {
+                "frames": 0, "share": 0.0,
+                "mean_dominant_ms": 0.0, "max_dominant_ms": 0.0,
+            }
+        assert dominant_stage(cp) == ""
+
+    def test_shares_sum_to_one(self):
+        rec = SpanRecorder()
+        for i in range(10):
+            frame(rec, i, intercept=5.0 + i, transmit=float(i))
+        cp = pipeline_critical_path(rec)
+        assert sum(
+            s["share"] for s in cp["stages"].values()
+        ) == pytest.approx(1.0)
+
+    def test_accepts_plain_span_iterable(self):
+        rec = SpanRecorder()
+        frame(rec, 1, intercept=3.0)
+        assert pipeline_critical_path(list(rec.spans))["frames"] == 1

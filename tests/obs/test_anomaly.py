@@ -1,0 +1,127 @@
+"""EWMA residual drift detection: z-scores, sustain, re-arming."""
+
+import pytest
+
+from repro.obs.anomaly import EwmaStats, ResidualDriftDetector
+
+
+class TestEwmaStats:
+    def test_first_samples_score_zero(self):
+        s = EwmaStats()
+        assert s.update(5.0) == 0.0
+        assert s.update(100.0) == 0.0       # count < 2 at scoring time
+
+    def test_constant_stream_scores_zero(self):
+        s = EwmaStats()
+        for _ in range(20):
+            assert s.update(3.0) == 0.0     # zero variance guarded
+
+    def test_outlier_scores_high_after_stable_stream(self):
+        s = EwmaStats(alpha=0.1)
+        for i in range(50):
+            s.update(1.0 if i % 2 else -1.0)
+        assert abs(s.update(25.0)) > 3.0
+
+    def test_scores_against_pre_update_stats(self):
+        """The outlier must not soften its own z-score."""
+        a, b = EwmaStats(alpha=0.1), EwmaStats(alpha=0.1)
+        for i in range(50):
+            v = 1.0 if i % 2 else -1.0
+            a.update(v)
+            b.update(v)
+        z = a.update(25.0)
+        assert z == pytest.approx(b.zscore(25.0))
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ValueError):
+            EwmaStats(alpha=0.0)
+        with pytest.raises(ValueError):
+            EwmaStats(alpha=1.5)
+
+
+def noise(i):
+    return 0.5 if i % 2 else -0.5
+
+
+class TestResidualDriftDetector:
+    def make(self, **kw):
+        kw.setdefault("z_threshold", 3.0)
+        kw.setdefault("sustain", 3)
+        kw.setdefault("warmup", 10)
+        kw.setdefault("alpha", 0.01)
+        return ResidualDriftDetector(**kw)
+
+    def test_clean_stream_never_alerts(self):
+        d = self.make()
+        for i in range(100):
+            assert d.update(noise(i), at_ms=float(i)) is None
+        assert d.alerts == []
+        assert not d.firing
+
+    def test_warmup_suppresses_even_wild_residuals(self):
+        d = self.make(warmup=50, sustain=1)
+        for i in range(50):
+            assert d.update(1000.0 * (i % 7), at_ms=float(i)) is None
+
+    def test_sustained_drift_fires_once_then_rearms(self):
+        d = self.make()
+        for i in range(50):
+            d.update(noise(i), at_ms=float(i))
+        # Drift episode: residuals escalating faster than the EWMA can
+        # absorb -> exactly one warn alert, not one per epoch.
+        fired = [
+            d.update(30.0 * (1.5 ** i), at_ms=100.0 + i) for i in range(15)
+        ]
+        warns = [a for a in fired if a is not None]
+        assert len(warns) == 1
+        assert warns[0].state == "drifting"
+        assert warns[0].severity == "warn"
+        assert d.firing
+        # Recovery: back in band -> one info alert, detector re-armed.
+        recovered = None
+        for i in range(30):
+            a = d.update(d.stats.mean + noise(i), at_ms=200.0 + i)
+            if a is not None:
+                recovered = a
+        assert recovered is not None and recovered.state == "ok"
+        assert not d.firing
+        # A second escalating episode fires again.
+        again = [
+            d.update(
+                d.stats.mean + d.stats.var ** 0.5 * 10 * (1.2 ** i),
+                at_ms=300.0 + i,
+            )
+            for i in range(15)
+        ]
+        assert any(a is not None and a.state == "drifting" for a in again)
+
+    def test_blips_shorter_than_sustain_do_not_fire(self):
+        d = self.make(sustain=5)
+        for i in range(50):
+            d.update(noise(i), at_ms=float(i))
+        for burst in range(5):
+            for i in range(3):                  # 3 < sustain
+                assert d.update(50.0, at_ms=100.0 + burst * 10 + i) is None
+            for i in range(5):
+                d.update(noise(i), at_ms=105.0 + burst * 10 + i)
+        assert d.alerts == []
+
+    def test_summary_counts_only_drift_alerts(self):
+        d = self.make()
+        for i in range(50):
+            d.update(noise(i), at_ms=float(i))
+        for i in range(10):
+            d.update(30.0 * (1.5 ** i), at_ms=100.0 + i)
+        for i in range(30):
+            d.update(d.stats.mean + noise(i), at_ms=200.0 + i)
+        s = d.summary()
+        assert s["alerts"] == 1                 # recovery info not counted
+        assert s["updates"] == 90
+        assert s["firing"] is False
+        assert s["max_abs_z"] > 3.0
+
+    def test_rejects_bad_construction(self):
+        with pytest.raises(ValueError):
+            ResidualDriftDetector(z_threshold=0.0)
+        with pytest.raises(ValueError):
+            ResidualDriftDetector(sustain=0)

@@ -120,3 +120,91 @@ class TestWrite:
         with pytest.raises(ValueError):
             write_chrome_trace(str(path), SpanRecorder())
         assert not path.exists()
+
+
+class TestCounterTracks:
+    def bank(self):
+        from repro.obs.timeseries import TimeSeriesBank
+
+        bank = TimeSeriesBank(window_ms=1000.0)
+        s = bank.series("net.offered_mbps", agg="mean", link="wifi")
+        s.record(100.0, 12.0)
+        s.record(1500.0, 18.0)
+        bank.series("cache.hit_rate", agg="last").record(500.0, 0.75)
+        return bank
+
+    def test_series_render_as_counter_events(self):
+        trace = chrome_trace(recorder_with_spans(), series=self.bank())
+        assert validate_chrome_trace(trace) == []
+        counters = [e for e in trace["traceEvents"] if e["ph"] == "C"]
+        assert len(counters) == 3
+        (hit_rate,) = [
+            e for e in counters if e["name"] == "cache.hit_rate"
+        ]
+        assert hit_rate["cat"] == "telemetry"
+        assert hit_rate["args"] == {"cache.hit_rate": 0.75}
+        offered = [
+            e for e in counters
+            if e["name"] == "net.offered_mbps{link=wifi}"
+        ]
+        assert [e["ts"] for e in offered] == [0.0, 1_000_000.0]
+        assert offered[0]["args"]["net.offered_mbps"] == 12.0
+
+    def test_plain_iterable_of_series_accepted(self):
+        from repro.obs.timeseries import TimeSeries
+
+        ts = TimeSeries("fps", window_ms=1000.0, agg="count")
+        ts.record(100.0)
+        trace = chrome_trace(recorder_with_spans(), series=[ts])
+        assert any(e["ph"] == "C" for e in trace["traceEvents"])
+
+    def test_counter_event_with_bad_args_rejected(self):
+        trace = chrome_trace(recorder_with_spans())
+        trace["traceEvents"].append(
+            {"name": "bad", "cat": "telemetry", "ph": "C", "ts": 0,
+             "pid": 1, "tid": 0, "args": {"v": "not-a-number"}}
+        )
+        assert validate_chrome_trace(trace)
+
+
+class TestAlertEvents:
+    def test_alerts_render_as_process_instants(self):
+        from repro.obs.slo import Alert
+
+        alerts = [
+            Alert(at_ms=1000.0, source="frame_p99_latency",
+                  severity="page", state="breached", message="burning hot",
+                  burn_short=8.0, burn_long=5.0),
+            Alert(at_ms=2000.0, source="prediction_drift",
+                  severity="warn", state="drifting", message="model off"),
+        ]
+        trace = chrome_trace(recorder_with_spans(), alerts=alerts)
+        assert validate_chrome_trace(trace) == []
+        events = [
+            e for e in trace["traceEvents"] if e.get("cat") == "alert"
+        ]
+        assert [e["name"] for e in events] == [
+            "frame_p99_latency", "prediction_drift"
+        ]
+        assert all(e["ph"] == "I" and e["s"] == "p" for e in events)
+        assert events[0]["args"]["severity"] == "page"
+        assert events[0]["ts"] == 1_000_000.0
+        assert "alert" in trace_categories(trace)
+
+    def test_write_round_trip_with_overlays(self, tmp_path):
+        from repro.obs.slo import Alert
+        from repro.obs.timeseries import TimeSeries
+
+        ts = TimeSeries("fps", window_ms=1000.0, agg="count")
+        ts.record(100.0)
+        path = tmp_path / "trace.json"
+        write_chrome_trace(
+            str(path), recorder_with_spans(),
+            series=[ts],
+            alerts=[Alert(at_ms=1.0, source="s", severity="info",
+                          state="ok", message="m")],
+        )
+        loaded = json.loads(path.read_text())
+        assert validate_chrome_trace(loaded) == []
+        phases = {e["ph"] for e in loaded["traceEvents"]}
+        assert {"X", "I", "M", "C"} <= phases

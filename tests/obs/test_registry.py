@@ -94,3 +94,83 @@ class TestRegistry:
         assert snap["gauges"]["rate"] == 0.5
         assert snap["histograms"]["lat"]["count"] == 1
         assert snap == reg.snapshot()
+
+
+class TestHistogramDecimation:
+    def test_late_tail_still_moves_percentiles(self):
+        """Regression for the first-N reservoir: a latency spike arriving
+        late in a long run must still be visible in p99."""
+        h = Histogram("lat", max_samples=64)
+        for _ in range(10_000):
+            h.observe(10.0)
+        for _ in range(2_000):                  # late-run regression
+            h.observe(500.0)
+        assert h.percentile(99.0) == 500.0
+        assert h.percentile(50.0) == 10.0
+
+    def test_reservoir_stays_bounded(self):
+        h = Histogram("lat", max_samples=8)
+        for i in range(10_000):
+            h.observe(float(i))
+        assert len(h._samples) < 8
+        assert h.count == 10_000
+        # dropped counts observations never sampled into the reservoir;
+        # compaction discards are not re-counted.
+        assert h.count - h.dropped >= len(h._samples)
+        assert h.dropped > 9_000
+
+    def test_retained_samples_cover_whole_run_uniformly(self):
+        h = Histogram("lat", max_samples=8)
+        n = 1024
+        for i in range(n):
+            h.observe(float(i))
+        # Stride decimation keeps ordinals 0, k, 2k, ...: the retained
+        # samples span the run instead of clustering at the start.
+        assert h._samples == [float(i) for i in range(0, n, h._stride)]
+        assert h._samples[-1] >= n - h._stride
+
+    def test_mean_exact_despite_decimation(self):
+        h = Histogram("lat", max_samples=4)
+        values = [float(i) for i in range(1, 101)]
+        for v in values:
+            h.observe(v)
+        assert h.mean == pytest.approx(sum(values) / len(values))
+
+    def test_max_samples_under_two_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("lat", max_samples=1)
+
+
+class TestLabels:
+    def test_labels_key_distinct_instruments(self):
+        reg = MetricsRegistry()
+        up = reg.counter("retx", transport="up")
+        down = reg.counter("retx", transport="down")
+        assert up is not down
+        assert reg.counter("retx", transport="up") is up
+        up.inc(3)
+        snap = reg.snapshot()
+        assert snap["counters"]["retx{transport=up}"] == 3
+        assert snap["counters"]["retx{transport=down}"] == 0
+
+    def test_label_order_does_not_matter(self):
+        reg = MetricsRegistry()
+        a = reg.gauge("load", node="n1", radio="wifi")
+        b = reg.gauge("load", radio="wifi", node="n1")
+        assert a is b
+
+    def test_family_collects_all_label_variants(self):
+        reg = MetricsRegistry()
+        reg.counter("admission", outcome="admit").inc(5)
+        reg.counter("admission", outcome="reject").inc(2)
+        reg.counter("other").inc()
+        family = reg.family("admission")
+        assert [c.labels["outcome"] for c in family] == ["admit", "reject"]
+        assert sum(c.value for c in family) == 7
+
+    def test_cross_type_collision_includes_labels(self):
+        reg = MetricsRegistry()
+        reg.counter("x", a=1)
+        reg.gauge("x", a=2)                     # different key: fine
+        with pytest.raises(ValueError):
+            reg.histogram("x", a=1)             # same key, other type

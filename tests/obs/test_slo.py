@@ -1,0 +1,154 @@
+"""SLO burn-rate tracking: specs, ledgers, the state machine."""
+
+import pytest
+
+from repro.obs.slo import Alert, SloSpec, SloTracker
+
+
+def spec(**overrides):
+    base = dict(
+        name="lat",
+        series="frame_response_ms",
+        threshold=50.0,
+        comparison="le",
+        error_budget=0.10,
+        short_windows=2,
+        long_windows=6,
+        warn_burn=1.0,
+        breach_burn=4.0,
+    )
+    base.update(overrides)
+    return SloSpec(**base)
+
+
+class TestSloSpec:
+    def test_validate_rejects_bad_specs(self):
+        with pytest.raises(ValueError):
+            spec(comparison="eq").validate()
+        with pytest.raises(ValueError):
+            spec(mode="rolling").validate()
+        with pytest.raises(ValueError):
+            spec(error_budget=0.0).validate()
+        with pytest.raises(ValueError):
+            spec(short_windows=4, long_windows=2).validate()
+        with pytest.raises(ValueError):
+            spec(warn_burn=2.0, breach_burn=1.0).validate()
+
+    def test_is_good_both_comparisons(self):
+        le = spec(comparison="le", threshold=50.0)
+        assert le.is_good(50.0) and not le.is_good(50.1)
+        ge = spec(comparison="ge", threshold=30.0)
+        assert ge.is_good(30.0) and not ge.is_good(29.9)
+
+
+class TestBurnRate:
+    def test_burn_is_bad_fraction_over_budget(self):
+        t = SloTracker(spec(error_budget=0.10))
+        for _ in range(9):
+            t.observe(0, 10.0)          # good
+        t.observe(0, 99.0)              # bad: 10% of samples
+        assert t.burn_rate(0, 1) == pytest.approx(1.0)
+
+    def test_burn_windowed_to_trailing_range(self):
+        t = SloTracker(spec())
+        t.observe(0, 99.0)              # old bad window
+        t.observe(5, 10.0)
+        t.observe(6, 10.0)
+        assert t.burn_rate(6, 2) == 0.0             # bad aged out
+        assert t.burn_rate(6, 24) == pytest.approx(
+            (1 / 3) / 0.10
+        )
+
+    def test_empty_range_burns_nothing(self):
+        t = SloTracker(spec())
+        assert t.burn_rate(10, 4) == 0.0
+        assert t.attainment == 1.0
+
+
+class TestStateMachine:
+    def feed(self, tracker, window, good, bad):
+        for _ in range(good):
+            tracker.observe(window, 10.0)
+        for _ in range(bad):
+            tracker.observe(window, 99.0)
+
+    def test_full_transition_cycle(self):
+        """ok -> burning -> breached -> ok, one alert per transition."""
+        t = SloTracker(spec())
+        # Window 0: clean -> stays ok, no alert.
+        self.feed(t, 0, good=10, bad=0)
+        assert t.evaluate(0, at_ms=1000.0) is None
+        assert t.state == "ok"
+        # Window 1: 20% bad = burn 2.0 short, but long burn stays under
+        # the breach bar only if... (2 bad / 20 over 6 windows) = 1.0.
+        self.feed(t, 1, good=8, bad=2)
+        alert = t.evaluate(1, at_ms=2000.0)
+        assert alert is not None and alert.state == "burning"
+        assert alert.severity == "warn"
+        assert alert.burn_short >= 1.0
+        # Windows 2-3: hard burn -> breached (short AND long over 4.0).
+        self.feed(t, 2, good=2, bad=8)
+        self.feed(t, 3, good=2, bad=8)
+        states = [t.evaluate(2, at_ms=3000.0), t.evaluate(3, at_ms=4000.0)]
+        fired = [a for a in states if a is not None]
+        assert fired and fired[-1].state == "breached"
+        assert fired[-1].severity == "page"
+        assert t.state == "breached"
+        # Windows 4-9: clean again -> de-escalates (possibly via burning
+        # while the short window drains first) and recovers to ok.
+        recovery = None
+        for w in range(4, 10):
+            self.feed(t, w, good=10, bad=0)
+            a = t.evaluate(w, at_ms=(w + 1) * 1000.0)
+            if a is not None:
+                recovery = a
+        assert recovery is not None and recovery.state == "ok"
+        assert recovery.severity == "info"
+        assert t.state == "ok"
+        states_seq = [a.state for a in t.transitions]
+        assert states_seq[0] == "burning"
+        assert "breached" in states_seq
+        assert states_seq[-1] == "ok"
+
+    def test_short_burn_alone_cannot_breach(self):
+        """A fast burn with a clean history pages only after the long
+        window confirms it (multi-window alerting's whole point)."""
+        t = SloTracker(spec())
+        for w in range(4):
+            self.feed(t, w, good=10, bad=0)
+            t.evaluate(w, at_ms=(w + 1) * 1000.0)
+        self.feed(t, 4, good=0, bad=10)       # catastrophic single window
+        alert = t.evaluate(4, at_ms=5000.0)
+        assert alert is not None and alert.state == "burning"
+        assert t.state != "breached"
+
+    def test_no_alert_without_transition(self):
+        t = SloTracker(spec())
+        self.feed(t, 0, good=10, bad=0)
+        assert t.evaluate(0, at_ms=1000.0) is None
+        assert t.evaluate(0, at_ms=1000.0) is None
+        assert t.transitions == []
+
+
+class TestSummary:
+    def test_summary_shape_and_determinism(self):
+        t = SloTracker(spec())
+        t.observe(0, 10.0)
+        t.observe(0, 99.0)
+        t.evaluate(0, at_ms=1000.0)
+        s = t.summary(0)
+        assert s["good"] == 1 and s["bad"] == 1
+        assert s["attainment"] == pytest.approx(0.5)
+        assert s["state"] == "breached"     # 50% bad vs 10% budget
+        assert s == t.summary(0)
+
+    def test_alert_as_dict_rounds(self):
+        a = Alert(
+            at_ms=1000.123456, source="lat", severity="page",
+            state="breached", message="m", burn_short=5.55555,
+            burn_long=4.44444,
+        )
+        d = a.as_dict()
+        assert d["at_ms"] == 1000.1235
+        assert d["burn_short"] == 5.5556
+        assert d["burn_long"] == 4.4444

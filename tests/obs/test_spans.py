@@ -123,3 +123,76 @@ def test_simulator_spans_follow_sim_clock():
     sim.run()
     assert sealed[0].start_ms == pytest.approx(0.0)
     assert sealed[0].duration_ms == pytest.approx(4.0)
+
+
+class TestOpenSpanEdgeCases:
+    def clock(self):
+        state = {"now": 0.0}
+        rec = SpanRecorder(clock=lambda: state["now"])
+        return rec, state
+
+    def test_double_end_records_once(self):
+        rec, state = self.clock()
+        handle = rec.begin("app", "stage")
+        state["now"] = 5.0
+        first = handle.end()
+        second = handle.end(extra="ignored")
+        assert first is not None and second is None
+        assert len(rec) == 1
+        assert rec.spans[0].duration_ms == pytest.approx(5.0)
+        assert "extra" not in rec.spans[0].args
+
+    def test_end_args_merge_over_begin_args(self):
+        rec, state = self.clock()
+        handle = rec.begin("app", "stage", a=1, b=2)
+        state["now"] = 1.0
+        span = handle.end(b=3, c=4)
+        assert span.args == {"a": 1, "b": 3, "c": 4}
+
+    def test_out_of_order_end_clamps_to_zero_duration(self):
+        """end(at_ms) before the recorded start must not produce a
+        negative-duration span (the Chrome exporter rejects those)."""
+        rec, state = self.clock()
+        state["now"] = 10.0
+        handle = rec.begin("app", "stage")
+        span = handle.end(at_ms=4.0)
+        assert span.start_ms == 4.0
+        assert span.end_ms == 4.0
+        assert span.duration_ms == 0.0
+
+    def test_explicit_end_timestamp_overrides_clock(self):
+        rec, state = self.clock()
+        handle = rec.begin("app", "stage")
+        state["now"] = 100.0
+        span = handle.end(at_ms=7.5)
+        assert span.end_ms == 7.5
+
+    def test_clear_with_open_spans_keeps_handles_usable(self):
+        """clear() mid-session: an open handle sealed afterwards lands in
+        the fresh ring instead of crashing or resurrecting old spans."""
+        rec, state = self.clock()
+        handle = rec.begin("app", "stage")
+        rec.add("app", "done", 0.0, 1.0)
+        rec.clear()
+        assert len(rec) == 0
+        state["now"] = 3.0
+        span = handle.end()
+        assert span is not None
+        assert len(rec) == 1
+        assert rec.spans[0].name == "stage"
+
+    def test_mark_after_clear_records_fresh(self):
+        rec, state = self.clock()
+        rec.mark("a", "x")
+        rec.clear()
+        state["now"] = 2.0
+        span = rec.mark("a", "y")
+        assert span.instant and span.start_ms == 2.0
+        assert [s.name for s in rec.spans] == ["y"]
+
+    def test_disabled_recorder_drops_ended_spans(self):
+        rec, state = self.clock()
+        handle = rec.begin("app", "stage")
+        rec.enabled = False
+        assert handle.end() is None
+        assert len(rec) == 0

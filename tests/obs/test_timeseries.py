@@ -1,0 +1,102 @@
+"""Labeled time-series: window folding, aggregations, the bank."""
+
+import pytest
+
+from repro.obs.timeseries import TimeSeries, TimeSeriesBank, series_key
+
+
+class TestSeriesKey:
+    def test_no_labels_is_bare_name(self):
+        assert series_key("fps") == "fps"
+        assert series_key("fps", {}) == "fps"
+
+    def test_labels_sorted_into_key(self):
+        key = series_key("retx", {"transport": "uplink", "dir": "up"})
+        assert key == "retx{dir=up,transport=uplink}"
+
+
+class TestTimeSeries:
+    def test_observations_fold_into_windows(self):
+        ts = TimeSeries("lat", window_ms=1000.0, agg="mean")
+        assert ts.record(0.0, 10.0) == 0
+        assert ts.record(999.9, 30.0) == 0
+        assert ts.record(1000.0, 5.0) == 1
+        assert ts.value_at(0) == pytest.approx(20.0)
+        assert ts.value_at(1) == pytest.approx(5.0)
+        assert ts.value_at(2) is None
+        assert ts.count_at(0) == 2
+        assert ts.observations == 3
+
+    @pytest.mark.parametrize(
+        "agg,expected",
+        [
+            ("mean", 20.0),
+            ("sum", 60.0),
+            ("last", 45.0),
+            ("max", 45.0),
+            ("min", 5.0),
+            ("count", 3.0),
+        ],
+    )
+    def test_aggregations(self, agg, expected):
+        ts = TimeSeries("x", window_ms=100.0, agg=agg)
+        for v in (10.0, 5.0, 45.0):
+            ts.record(50.0, v)
+        assert ts.value_at(0) == pytest.approx(expected)
+
+    def test_values_fills_gaps(self):
+        ts = TimeSeries("fps", window_ms=1000.0, agg="count")
+        ts.record(100.0)
+        ts.record(3500.0)
+        ts.record(3600.0)
+        assert ts.last_window() == 3
+        assert ts.values(fill=0.0) == [1.0, 0.0, 0.0, 2.0]
+        assert ts.points() == [(0, 1.0), (3, 2.0)]
+
+    def test_rejects_bad_construction(self):
+        with pytest.raises(ValueError):
+            TimeSeries("x", window_ms=0.0)
+        with pytest.raises(ValueError):
+            TimeSeries("x", agg="p99")
+        with pytest.raises(ValueError):
+            TimeSeries("x").record(-1.0, 1.0)
+
+    def test_snapshot_is_deterministic(self):
+        ts = TimeSeries("lat", window_ms=500.0, labels={"b": 1, "a": 2})
+        ts.record(0.0, 3.33333)
+        ts.record(600.0, 1.0)
+        snap = ts.snapshot()
+        assert list(snap["labels"]) == ["a", "b"]
+        assert snap["points"] == [[0, 3.3333], [1, 1.0]]
+        assert snap == ts.snapshot()
+
+
+class TestTimeSeriesBank:
+    def test_get_or_create_keyed_by_name_and_labels(self):
+        bank = TimeSeriesBank(window_ms=1000.0)
+        a = bank.series("retx", agg="count", transport="up")
+        b = bank.series("retx", agg="count", transport="down")
+        assert a is not b
+        assert bank.series("retx", agg="count", transport="up") is a
+        assert bank.get("retx", transport="down") is b
+        assert bank.get("retx") is None
+
+    def test_agg_mismatch_rejected(self):
+        bank = TimeSeriesBank()
+        bank.series("lat", agg="mean")
+        with pytest.raises(ValueError):
+            bank.series("lat", agg="max")
+
+    def test_matching_returns_all_labeled_variants(self):
+        bank = TimeSeriesBank()
+        bank.series("retx", agg="count", transport="up")
+        bank.series("retx", agg="count", transport="down")
+        bank.series("other", agg="count")
+        keys = [s.key for s in bank.matching("retx")]
+        assert keys == ["retx{transport=down}", "retx{transport=up}"]
+
+    def test_snapshot_sorted_by_key(self):
+        bank = TimeSeriesBank()
+        bank.series("z").record(0.0, 1.0)
+        bank.series("a").record(0.0, 2.0)
+        assert list(bank.snapshot()) == ["a", "z"]
