@@ -1,0 +1,60 @@
+"""Sharded fleet sweep: the R2 workload over K kernels and N workers.
+
+The acceptance bar for the sharded kernel: the 1000-session sweep
+completes with zero frame loss and a worker-count-independent merged
+digest, and a one-shard run reproduces the legacy single-kernel digest.
+Wall-clock speedup is hardware-dependent (worker processes only help on
+multi-core runners), so the digest contract — not the clock — is what
+this benchmark asserts.
+"""
+
+import multiprocessing
+
+from conftest import print_table
+
+from repro.experiments.fleet import run_fleet_point
+from repro.experiments.fleet_shard import (
+    format_sharded_points,
+    run_sharded_fleet_point,
+)
+
+BIG_POINT = dict(
+    n_sessions=1000, n_devices=100, duration_ms=10_000.0, seed=0,
+    shards=4, crash=True,
+)
+
+
+def test_sharded_sweep_scales_with_zero_loss(run_once):
+    workers = min(4, multiprocessing.cpu_count())
+    point, _ = run_once(
+        run_sharded_fleet_point, workers=workers, **BIG_POINT
+    )
+    header, *rows = format_sharded_points([point]).splitlines()
+    print_table(
+        f"Sharded fleet (1000 sessions, 4 shards, {workers} workers)",
+        header, rows,
+    )
+    assert point.zero_loss
+    assert point.invariant_violations == 0
+    assert point.finished == point.admitted + point.queued
+    assert point.crash_migrations >= 1
+
+
+def test_sharded_digest_is_worker_count_independent(run_once):
+    serial, _ = run_sharded_fleet_point(workers=1, **BIG_POINT)
+    fanned, _ = run_once(run_sharded_fleet_point, workers=2, **BIG_POINT)
+    assert fanned.digest == serial.digest
+    assert fanned.session_digests == serial.session_digests
+
+
+def test_one_shard_reproduces_legacy_kernel(run_once):
+    _, legacy = run_fleet_point(
+        n_sessions=64, n_devices=8, duration_ms=10_000.0, seed=0,
+        crash=True,
+    )
+    _, report = run_once(
+        run_sharded_fleet_point,
+        n_sessions=64, n_devices=8, duration_ms=10_000.0, seed=0,
+        shards=1, workers=1, crash=True,
+    )
+    assert report["per_shard_digests"]["0"] == legacy["digest"]

@@ -154,6 +154,9 @@ def _cmd_fleet(args: argparse.Namespace) -> None:
         run_fleet_sweep,
     )
 
+    if args.workers is not None:
+        _cmd_fleet_sharded(args)
+        return
     if args.smoke:
         # CI gate: one 64-session point on 8 devices, run twice.  Asserts
         # the subsystem's headline invariants rather than printing a table.
@@ -198,6 +201,82 @@ def _cmd_fleet(args: argparse.Namespace) -> None:
     print(format_points(points))
     if any(not p.zero_loss for p in points):
         raise SystemExit("fleet sweep lost frames — migration regression")
+
+
+def _cmd_fleet_sharded(args: argparse.Namespace) -> None:
+    """``fleet --workers N``: the sharded kernel path.
+
+    The determinism contract asserted here is the one ``repro.sim.shard``
+    guarantees: at fixed ``(seed, shards)``, the merged report digest is
+    byte-identical for every worker count — parallelism is transport, not
+    semantics.
+    """
+    from repro.experiments.fleet_shard import (
+        format_sharded_points,
+        run_sharded_fleet_point,
+        run_sharded_fleet_sweep,
+    )
+
+    if args.smoke:
+        # CI gate (fleet-parallel-smoke): one 64-session point at the
+        # requested worker count, diffed byte-for-byte against the same
+        # point pushed through a single worker.
+        point, report = run_sharded_fleet_point(
+            n_sessions=64, n_devices=8, duration_ms=10_000.0,
+            seed=args.seed, shards=args.shards, workers=args.workers,
+            crash=not args.no_crash, window_ms=args.window * 1000.0,
+        )
+        serial, serial_report = run_sharded_fleet_point(
+            n_sessions=64, n_devices=8, duration_ms=10_000.0,
+            seed=args.seed, shards=args.shards, workers=1,
+            crash=not args.no_crash, window_ms=args.window * 1000.0,
+        )
+        print(format_sharded_points([point]))
+        if point.digest != serial.digest:
+            raise SystemExit(
+                f"fleet parallel smoke: workers={args.workers} digest "
+                f"{point.digest[:16]} != workers=1 digest "
+                f"{serial.digest[:16]}"
+            )
+        if report["session_digests"] != serial_report["session_digests"]:
+            raise SystemExit(
+                "fleet parallel smoke: per-session frame digests differ "
+                "across worker counts"
+            )
+        if point.finished < 64:
+            raise SystemExit(
+                f"fleet parallel smoke: only {point.finished} sessions "
+                "finished (need 64)"
+            )
+        if not point.zero_loss:
+            raise SystemExit(
+                f"fleet parallel smoke: {point.frames_lost} frames lost"
+            )
+        if not args.no_crash and point.crash_migrations < 1:
+            raise SystemExit(
+                "fleet parallel smoke: crash caused no migrations"
+            )
+        print(
+            f"fleet parallel smoke: ok "
+            f"(shards={args.shards}, workers={args.workers}, "
+            f"digest {point.digest[:16]})"
+        )
+        return
+    points = run_sharded_fleet_sweep(
+        session_counts=args.sessions,
+        n_devices=args.devices,
+        duration_ms=args.duration * 1000.0,
+        seed=args.seed,
+        shards=args.shards,
+        workers=args.workers,
+        crash=not args.no_crash,
+        window_ms=args.window * 1000.0,
+    )
+    print(format_sharded_points(points))
+    if any(not p.zero_loss for p in points):
+        raise SystemExit("fleet sweep lost frames — migration regression")
+    if any(p.invariant_violations for p in points):
+        raise SystemExit("fleet sweep tripped runtime invariants")
 
 
 def _cmd_profile(args: argparse.Namespace) -> None:
@@ -265,7 +344,9 @@ def _cmd_slo(args: argparse.Namespace) -> None:
         write_bench,
     )
 
-    bench = run_slo_bench(seed=args.seed, smoke=args.smoke)
+    bench = run_slo_bench(
+        seed=args.seed, smoke=args.smoke, workers=args.workers
+    )
     problems = validate_bench(bench)
     write_bench(args.out, bench)
     print(format_bench(bench))
@@ -276,8 +357,10 @@ def _cmd_slo(args: argparse.Namespace) -> None:
         )
     if args.smoke:
         # CI gate 1: the artifact must be a pure function of the seed —
-        # not just the digest, the whole serialized file.
-        again = run_slo_bench(seed=args.seed, smoke=True)
+        # not just the digest, the whole serialized file.  The rerun is
+        # always serial, so with --workers > 1 this doubles as the
+        # parallel-equals-serial byte-identity check.
+        again = run_slo_bench(seed=args.seed, smoke=True, workers=1)
         if json.dumps(again, sort_keys=True) != json.dumps(
             bench, sort_keys=True
         ):
@@ -353,6 +436,18 @@ def main(argv=None) -> int:
             p.add_argument("--smoke", action="store_true",
                            help="CI gate: assert fleet invariants on one "
                                 "64-session point")
+            p.add_argument("--workers", type=int, default=None,
+                           help="fan shards across N worker processes "
+                                "(enables the sharded kernel; digests are "
+                                "byte-identical for any N at fixed "
+                                "--shards)")
+            p.add_argument("--shards", type=int, default=4,
+                           help="kernel shards for --workers runs "
+                                "(default 4; 1 reproduces the legacy "
+                                "single-kernel digest)")
+            p.add_argument("--window", type=float, default=1.0,
+                           help="barrier window in simulated seconds for "
+                                "--workers runs (default 1.0)")
         if name == "profile":
             p.add_argument("--seed", type=int, default=0)
             p.add_argument("--out", default="BENCH_PIPELINE.json",
@@ -373,6 +468,10 @@ def main(argv=None) -> int:
             p.add_argument("--smoke", action="store_true",
                            help="CI gate: short run + schema validation + "
                                 "same-seed byte-identity + baseline diff")
+            p.add_argument("--workers", type=int, default=1,
+                           help="fan the independent scenarios across N "
+                                "processes (artifact stays byte-identical "
+                                "for any N)")
         if name == "fuzz":
             p.add_argument("--seed", type=int, default=0)
             p.add_argument("--rounds", type=int, default=1,

@@ -1,0 +1,359 @@
+"""Experiment R3: sharded fleet sweeps — many kernels, many cores.
+
+The sharded twin of ``repro.experiments.fleet``: the same launch wave,
+device pool and crash schedule, but partitioned over K independently
+clocked kernels (``repro.sim.shard``) synchronized at control-plane
+barriers and optionally fanned across worker processes.
+
+Determinism contract (asserted by tests and the CI parallel-smoke job):
+
+* at fixed ``(seed, shards)`` the merged report — and every per-session
+  frame digest inside it — is **byte-identical for any** ``--workers N``;
+* ``shards=1`` reproduces the legacy single-kernel
+  :func:`~repro.experiments.fleet.run_fleet_point` report digest exactly;
+* per-session *frame-content* digests are additionally shard-count
+  invariant whenever the pool is provisioned (no backpressure), since
+  what a session renders does not depend on who else shares its kernel.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.apps.base import ApplicationSpec
+from repro.apps.games import GAMES
+from repro.experiments.fleet import (
+    CRASH_AT_FRACTION,
+    REJOIN_AT_FRACTION,
+    make_fleet_pool,
+)
+from repro.fleet import FleetConfig
+from repro.obs.merge import merge_metric_snapshots, merge_span_banks
+from repro.sim.shard import (
+    DEFAULT_WINDOW_MS,
+    CoordinatorSummary,
+    ShardError,
+    ShardJob,
+    ShardPlan,
+    ShardResult,
+    ShardSessionSpec,
+    run_shards,
+)
+
+
+@dataclass
+class ShardedFleetPoint:
+    """Merged outcome of one sharded fleet run."""
+
+    sessions_requested: int
+    devices: int
+    shards: int
+    workers: int
+    seed: int
+    crash: bool
+    admitted: int
+    queued: int
+    rejected: int
+    finished: int
+    frames: int
+    frames_lost: int
+    frames_redispatched: int
+    migrations: int
+    crash_migrations: int
+    peak_concurrent_observed: int
+    barriers: int
+    window_ms: float
+    mean_wait_ms: float
+    tier_response_ms: Dict[str, float] = field(default_factory=dict)
+    #: sha256 over the merged report (workers-independent by construction)
+    digest: str = ""
+    #: per-session frame-content digests, sorted by (shard, session)
+    session_digests: Dict[str, str] = field(default_factory=dict)
+    invariant_violations: int = 0
+    #: wall-clock seconds spent driving the shards (NOT part of the digest)
+    wall_clock_s: float = 0.0
+
+    @property
+    def zero_loss(self) -> bool:
+        return self.frames_lost == 0
+
+
+def plan_fleet_shards(
+    n_sessions: int,
+    n_devices: int,
+    shards: int,
+    seed: int,
+    duration_ms: float,
+    crash: bool = True,
+    arrival_spread_ms: float = 1_000.0,
+    config: Optional[FleetConfig] = None,
+    apps: Optional[Sequence[ApplicationSpec]] = None,
+) -> List[ShardJob]:
+    """Partition one fleet point into per-shard jobs, round-robin by index.
+
+    Sessions keep their global ids (``s000``, ``s001``, ...), apps keep
+    the global Table II cycle, devices keep their global pool names, and
+    the crash lands on whichever shard owns global device 0 — so the
+    union of the shard jobs is exactly the single-kernel point.
+    """
+    if n_sessions < 1:
+        raise ShardError(f"need at least one session, got {n_sessions}")
+    if shards > n_devices:
+        raise ShardError(
+            f"{shards} shards need at least as many devices, got {n_devices}"
+        )
+    if shards > n_sessions:
+        raise ShardError(
+            f"{shards} shards need at least as many sessions, got "
+            f"{n_sessions}"
+        )
+    plan = ShardPlan(shards)
+    pool = make_fleet_pool(n_devices)
+    apps = list(apps or GAMES.values())
+    gap_ms = arrival_spread_ms / n_sessions
+    jobs: List[ShardJob] = []
+    for shard in range(shards):
+        sessions = [
+            ShardSessionSpec(
+                session_id=f"s{i:03d}",
+                app_index=i % len(apps),
+                wave_index=i,
+            )
+            for i in plan.indices(shard, n_sessions)
+        ]
+        device_indices = plan.indices(shard, n_devices)
+        crashes: List[Tuple[float, int, Optional[float]]] = []
+        if crash and 0 in device_indices:
+            crashes.append(
+                (
+                    duration_ms * CRASH_AT_FRACTION,
+                    device_indices.index(0),
+                    duration_ms * REJOIN_AT_FRACTION,
+                )
+            )
+        jobs.append(
+            ShardJob(
+                shard_id=shard,
+                shards=shards,
+                seed=seed,
+                pool=[pool[j] for j in device_indices],
+                apps=apps,
+                sessions=sessions,
+                gap_ms=gap_ms,
+                duration_ms=duration_ms,
+                arrival_spread_ms=arrival_spread_ms,
+                crashes=crashes,
+                config=config,
+            )
+        )
+    return jobs
+
+
+def merge_shard_results(
+    results: Sequence[ShardResult], summary: CoordinatorSummary
+) -> Dict[str, Any]:
+    """Fold per-shard reports into the fleet-level report, deterministically.
+
+    Everything here is a pure function of the shard results and the
+    coordinator summary — consumed in shard order, keyed sorted — so the
+    digest at the bottom is stable across transports and worker counts.
+    """
+    ordered = sorted(results, key=lambda r: r.shard_id)
+    tiers: Dict[str, Dict[str, float]] = {}
+    for result in ordered:
+        for tier, bucket in result.report["tiers"].items():
+            agg = tiers.setdefault(
+                tier,
+                {
+                    "sessions": 0, "frames": 0, "frames_lost": 0,
+                    "migrations": 0, "response_weighted": 0.0,
+                },
+            )
+            agg["sessions"] += bucket["sessions"]
+            agg["frames"] += bucket["frames"]
+            agg["frames_lost"] += bucket["frames_lost"]
+            agg["migrations"] += bucket["migrations"]
+            agg["response_weighted"] += (
+                bucket["mean_response_ms"] * bucket["frames"]
+            )
+    per_tier = {
+        tier: {
+            "sessions": int(agg["sessions"]),
+            "frames": int(agg["frames"]),
+            "frames_lost": int(agg["frames_lost"]),
+            "migrations": int(agg["migrations"]),
+            "mean_response_ms": round(
+                agg["response_weighted"] / agg["frames"], 4
+            ) if agg["frames"] else 0.0,
+        }
+        for tier, agg in sorted(tiers.items())
+    }
+    admissions = [r.report["admission"] for r in ordered]
+    wait_weights = [
+        a["admitted"] + a["queued"] for a in admissions
+    ]
+    total_waits = sum(wait_weights)
+    mean_wait_ms = round(
+        sum(
+            a["mean_wait_ms"] * w
+            for a, w in zip(admissions, wait_weights)
+        ) / total_waits,
+        4,
+    ) if total_waits else 0.0
+    # Session digests keyed in (shard, session) merge order.
+    session_digests: Dict[str, str] = {}
+    for result in ordered:
+        for sid in sorted(result.session_digests):
+            session_digests[sid] = result.session_digests[sid]
+    merged: Dict[str, Any] = {
+        "shards": len(ordered),
+        "pool_devices": sum(r.report["pool_devices"] for r in ordered),
+        "registered_devices": sum(
+            r.report["registered_devices"] for r in ordered
+        ),
+        "capacity_mp_per_ms": round(
+            sum(r.report["capacity_mp_per_ms"] for r in ordered), 4
+        ),
+        "admission": {
+            "admitted": sum(a["admitted"] for a in admissions),
+            "queued": sum(a["queued"] for a in admissions),
+            "rejected": sum(a["rejected"] for a in admissions),
+            "mean_wait_ms": mean_wait_ms,
+        },
+        "sessions": {
+            "finished": sum(
+                r.report["sessions"]["finished"] for r in ordered
+            ),
+            "active": sum(r.report["sessions"]["active"] for r in ordered),
+            "peak_concurrent_observed": summary.peak_concurrent_observed,
+        },
+        "migrations": {
+            "total": sum(r.report["migrations"]["total"] for r in ordered),
+            "crash": sum(r.report["migrations"]["crash"] for r in ordered),
+            "rebalance": sum(
+                r.report["migrations"]["rebalance"] for r in ordered
+            ),
+            "frames_redispatched": sum(
+                r.report["migrations"]["frames_redispatched"]
+                for r in ordered
+            ),
+        },
+        "tiers": per_tier,
+        "barrier": {
+            "count": summary.barriers,
+            "window_ms": summary.window_ms,
+        },
+        "metrics": merge_metric_snapshots([r.metrics for r in ordered]),
+        "spans": merge_span_banks([r.span_bank for r in ordered]),
+        "session_digests": session_digests,
+        "per_shard_digests": {
+            str(r.shard_id): r.report["digest"] for r in ordered
+        },
+    }
+    blob = json.dumps(merged, sort_keys=True).encode()
+    merged["digest"] = hashlib.sha256(blob).hexdigest()
+    return merged
+
+
+def run_sharded_fleet_point(
+    n_sessions: int = 64,
+    n_devices: int = 8,
+    duration_ms: float = 10_000.0,
+    seed: int = 0,
+    shards: int = 4,
+    workers: int = 1,
+    crash: bool = True,
+    window_ms: float = DEFAULT_WINDOW_MS,
+    config: Optional[FleetConfig] = None,
+    arrival_spread_ms: float = 1_000.0,
+) -> Tuple[ShardedFleetPoint, Dict[str, Any]]:
+    """One sharded fleet point; returns the merged point and report."""
+    jobs = plan_fleet_shards(
+        n_sessions=n_sessions, n_devices=n_devices, shards=shards,
+        seed=seed, duration_ms=duration_ms, crash=crash,
+        arrival_spread_ms=arrival_spread_ms, config=config,
+    )
+    started = time.perf_counter()
+    results, summary = run_shards(
+        jobs, workers=workers, window_ms=window_ms
+    )
+    wall_clock_s = time.perf_counter() - started
+    report = merge_shard_results(results, summary)
+    point = ShardedFleetPoint(
+        sessions_requested=n_sessions,
+        devices=n_devices,
+        shards=shards,
+        workers=workers,
+        seed=seed,
+        crash=crash,
+        admitted=report["admission"]["admitted"],
+        queued=report["admission"]["queued"],
+        rejected=report["admission"]["rejected"],
+        finished=report["sessions"]["finished"],
+        frames=sum(t["frames"] for t in report["tiers"].values()),
+        frames_lost=sum(
+            t["frames_lost"] for t in report["tiers"].values()
+        ),
+        frames_redispatched=report["migrations"]["frames_redispatched"],
+        migrations=report["migrations"]["total"],
+        crash_migrations=report["migrations"]["crash"],
+        peak_concurrent_observed=(
+            report["sessions"]["peak_concurrent_observed"]
+        ),
+        barriers=report["barrier"]["count"],
+        window_ms=window_ms,
+        mean_wait_ms=report["admission"]["mean_wait_ms"],
+        tier_response_ms={
+            tier: t["mean_response_ms"]
+            for tier, t in report["tiers"].items()
+        },
+        digest=report["digest"],
+        session_digests=dict(report["session_digests"]),
+        invariant_violations=sum(
+            r.invariant_violations for r in results
+        ),
+        wall_clock_s=wall_clock_s,
+    )
+    return point, report
+
+
+def run_sharded_fleet_sweep(
+    session_counts: Sequence[int] = (16, 32, 64, 96),
+    n_devices: int = 8,
+    duration_ms: float = 10_000.0,
+    seed: int = 0,
+    shards: int = 4,
+    workers: int = 1,
+    crash: bool = True,
+    window_ms: float = DEFAULT_WINDOW_MS,
+) -> List[ShardedFleetPoint]:
+    """Sweep session count over a fixed pool, sharded."""
+    return [
+        run_sharded_fleet_point(
+            n_sessions=n, n_devices=n_devices, duration_ms=duration_ms,
+            seed=seed, shards=shards, workers=workers, crash=crash,
+            window_ms=window_ms,
+        )[0]
+        for n in session_counts
+    ]
+
+
+def format_sharded_points(points: Sequence[ShardedFleetPoint]) -> str:
+    header = (
+        f"{'sessions':>8} {'devices':>7} {'shards':>6} {'workers':>7} "
+        f"{'admit':>5} {'queue':>5} {'reject':>6} {'migr':>4} {'lost':>4} "
+        f"{'barriers':>8} {'wall s':>7} {'digest':>16}"
+    )
+    lines = [header]
+    for p in points:
+        lines.append(
+            f"{p.sessions_requested:8d} {p.devices:7d} {p.shards:6d} "
+            f"{p.workers:7d} {p.admitted:5d} {p.queued:5d} "
+            f"{p.rejected:6d} {p.migrations:4d} {p.frames_lost:4d} "
+            f"{p.barriers:8d} {p.wall_clock_s:7.2f} {p.digest[:16]:>16}"
+        )
+    return "\n".join(lines)

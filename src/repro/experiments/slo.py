@@ -133,20 +133,36 @@ def run_slo_fleet(
 # -- the artifact ------------------------------------------------------------
 
 
-def run_slo_bench(seed: int = 0, smoke: bool = False) -> Dict[str, Any]:
+def run_slo_bench(
+    seed: int = 0, smoke: bool = False, workers: int = 1
+) -> Dict[str, Any]:
     """Run every scenario and assemble the BENCH_SLO artifact.
 
     Everything in the artifact is simulated time — no wall-clock section
-    — so two same-seed runs produce byte-identical files.
+    — so two same-seed runs produce byte-identical files.  The scenarios
+    are self-contained sims, so ``workers > 1`` fans them across
+    processes via :func:`~repro.sim.shard.run_parallel_jobs`; results
+    come back in job order, so the artifact stays byte-identical for any
+    worker count.
     """
+    from repro.sim.shard import run_parallel_jobs
+
     session_ms = 8_000.0 if smoke else 30_000.0
     fleet_ms = 2_500.0 if smoke else 8_000.0
+    session, faulted, fleet = run_parallel_jobs(
+        [
+            (run_slo_session, (session_ms, seed)),
+            (run_slo_faulted, (session_ms, seed)),
+            (run_slo_fleet, (fleet_ms, seed)),
+        ],
+        workers=workers,
+    )
     bench: Dict[str, Any] = {
         "seed": seed,
         "smoke": smoke,
-        "session": run_slo_session(session_ms, seed),
-        "faulted_session": run_slo_faulted(session_ms, seed),
-        "fleet": run_slo_fleet(fleet_ms, seed),
+        "session": session,
+        "faulted_session": faulted,
+        "fleet": fleet,
     }
     blob = json.dumps(bench, sort_keys=True).encode()
     bench["digest"] = hashlib.sha256(blob).hexdigest()

@@ -14,6 +14,7 @@ role-playing "standard" (1), puzzle and non-game apps "tolerant" (2).
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, Generator, List, Optional
 
@@ -155,3 +156,31 @@ class FleetSession:
         if not self.response_times_ms:
             return 0.0
         return sum(self.response_times_ms) / len(self.response_times_ms)
+
+    def frame_digest(self) -> str:
+        """Content digest of the session's frame stream.
+
+        Covers what was rendered — identity, tier, frame geometry, command
+        volume, the contiguous sequence of issued frames and how many were
+        answered — but deliberately *not* when: response times depend on
+        pool contention, which the shard-count determinism contract does
+        not (and cannot) pin.  Under the sharded kernel this is the
+        per-session unit the coordinator merges and the CI parallel-smoke
+        job diffs across ``--workers`` counts.
+        """
+        h = hashlib.sha256()
+        h.update(
+            f"{self.session_id}|{self.app.short_name}|{self.tier}".encode()
+        )
+        h.update(
+            f"|{self.app.render_width}x{self.app.render_height}"
+            f"|{self.app.nominal_commands_per_frame}"
+            f"|{self.app.fill_mp_per_frame:.6f}".encode()
+        )
+        h.update(
+            f"|issued={self.frames_issued}"
+            f"|answered={len(self.response_times_ms)}"
+            f"|lost={self.frames_lost}"
+            f"|redispatched={sum(t.redispatches for t in self.outstanding.values())}".encode()
+        )
+        return h.hexdigest()

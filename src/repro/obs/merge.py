@@ -1,0 +1,121 @@
+"""Merging per-shard observability banks into one fleet-level view.
+
+Each shard of a partitioned fleet run owns a private
+:class:`~repro.obs.registry.MetricsRegistry` and
+:class:`~repro.obs.spans.SpanRecorder`; after the run the coordinator
+merges their pickled snapshots post-hoc.  Merging is deterministic —
+inputs are consumed in shard order, keys come out sorted — so merged
+banks participate in the same byte-identity digest checks the fleet
+report does.
+
+Merge semantics per instrument:
+
+* **counters** — summed (totals are additive across shards);
+* **gauges** — high-water merge (max), since a last-written value has no
+  meaningful cross-shard "last";
+* **histograms** — ``count``/``mean``/``min``/``max`` merge exactly;
+  ``p50``/``p95``/``p99`` are count-weighted means of the per-shard
+  percentiles, an approximation (exact percentile merge needs the raw
+  reservoirs, which stay shard-local by design) — good enough for
+  dashboards, clearly labeled by ``"approx": true``;
+* **span banks** — per-category and per-name counts summed, along with
+  totals and drops.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Sequence
+
+from repro.obs.spans import SpanRecorder
+
+
+def merge_metric_snapshots(
+    snapshots: Sequence[Mapping[str, Any]],
+) -> Dict[str, Any]:
+    """Fold per-shard ``MetricsRegistry.snapshot()`` dicts into one."""
+    counters: Dict[str, float] = {}
+    gauges: Dict[str, float] = {}
+    merged_hists: Dict[str, List[Mapping[str, float]]] = {}
+    for snap in snapshots:
+        for key, value in snap.get("counters", {}).items():
+            counters[key] = round(counters.get(key, 0.0) + value, 4)
+        for key, value in snap.get("gauges", {}).items():
+            gauges[key] = max(gauges.get(key, float("-inf")), value)
+        for key, summary in snap.get("histograms", {}).items():
+            merged_hists.setdefault(key, []).append(summary)
+    histograms: Dict[str, Dict[str, Any]] = {}
+    for key in sorted(merged_hists):
+        histograms[key] = _merge_histogram_summaries(merged_hists[key])
+    return {
+        "counters": {k: counters[k] for k in sorted(counters)},
+        "gauges": {k: round(gauges[k], 4) for k in sorted(gauges)},
+        "histograms": histograms,
+    }
+
+
+def _merge_histogram_summaries(
+    summaries: Sequence[Mapping[str, float]],
+) -> Dict[str, Any]:
+    populated = [s for s in summaries if s.get("count")]
+    if not populated:
+        return {
+            "count": 0, "mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0,
+            "min": 0.0, "max": 0.0, "approx": True,
+        }
+    total = sum(s["count"] for s in populated)
+    merged: Dict[str, Any] = {
+        "count": int(total),
+        "mean": round(
+            sum(s["mean"] * s["count"] for s in populated) / total, 4
+        ),
+        "min": round(min(s["min"] for s in populated), 4),
+        "max": round(max(s["max"] for s in populated), 4),
+        "approx": True,
+    }
+    for q in ("p50", "p95", "p99"):
+        merged[q] = round(
+            sum(s[q] * s["count"] for s in populated) / total, 4
+        )
+    return merged
+
+
+def span_bank(recorder: SpanRecorder) -> Dict[str, Any]:
+    """Compact, picklable summary of one shard's span ring.
+
+    Raw spans stay shard-local (a 1000-session sweep emits millions);
+    the bank carries what fleet-level reporting needs: how many spans of
+    which kind, and how many the bounded ring had to drop.
+    """
+    by_category: Dict[str, int] = {}
+    by_name: Dict[str, int] = {}
+    for span in recorder.spans:
+        by_category[span.category] = by_category.get(span.category, 0) + 1
+        key = span.qualified_name
+        by_name[key] = by_name.get(key, 0) + 1
+    return {
+        "total": len(recorder.spans),
+        "dropped": recorder.dropped,
+        "by_category": {k: by_category[k] for k in sorted(by_category)},
+        "by_name": {k: by_name[k] for k in sorted(by_name)},
+    }
+
+
+def merge_span_banks(banks: Sequence[Mapping[str, Any]]) -> Dict[str, Any]:
+    """Sum per-shard span banks into the fleet-wide bank."""
+    by_category: Dict[str, int] = {}
+    by_name: Dict[str, int] = {}
+    total = 0
+    dropped = 0
+    for bank in banks:
+        total += bank.get("total", 0)
+        dropped += bank.get("dropped", 0)
+        for key, count in bank.get("by_category", {}).items():
+            by_category[key] = by_category.get(key, 0) + count
+        for key, count in bank.get("by_name", {}).items():
+            by_name[key] = by_name.get(key, 0) + count
+    return {
+        "total": total,
+        "dropped": dropped,
+        "by_category": {k: by_category[k] for k in sorted(by_category)},
+        "by_name": {k: by_name[k] for k in sorted(by_name)},
+    }

@@ -113,6 +113,38 @@ class TimerEvent(Event):
             self._timer.kill()
 
 
+class CompositeEvent(Event):
+    """An event combined from other events (``any_of`` / ``all_of``).
+
+    Besides behaving like a plain :class:`Event`, it keeps handles on its
+    watcher processes and source events so it can be *abandoned*:
+    :meth:`abandon` kills watchers still parked on sources that may never
+    fire (they would otherwise sit in waiter lists forever, pinning the
+    partially-filled values of an ``all_of``) and reaps orphaned pending
+    timeouts, mirroring the reaping ``any_of`` performs when a winner
+    fires.  :meth:`Simulator.teardown` abandons every still-pending
+    composite, so a discarded simulator never leaks watcher processes.
+    """
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event], name: str = ""):
+        super().__init__(sim, name=name)
+        self._sources: List[Event] = list(events)
+        self._watchers: List["Process"] = []
+
+    def abandon(self) -> None:
+        """Reap the watcher processes; the composite will never be waited on."""
+        for watcher in self._watchers:
+            if watcher.alive:
+                watcher.kill()
+        for evt in self._sources:
+            if (
+                isinstance(evt, TimerEvent)
+                and not evt.triggered
+                and not evt._waiters
+            ):
+                evt.cancel()
+
+
 class Process:
     """A running coroutine on the simulator.
 
@@ -136,6 +168,13 @@ class Process:
         self.alive = True
         self._waiting_on: Optional[Event] = None
         self._pending_interrupt: Optional[Interrupt] = None
+        #: resume generation.  Every queue entry is stamped with the
+        #: generation current when it was scheduled; interrupting or
+        #: killing the process bumps it, so a resumption that was already
+        #: sitting in the queue (a delay sleep has no ``_waiting_on`` to
+        #: detach from) is recognized as stale and discarded instead of
+        #: waking the process a second time with a spurious ``None``.
+        self._gen = 0
 
     @property
     def result(self) -> Any:
@@ -150,6 +189,9 @@ class Process:
         if self._waiting_on is not None:
             self._waiting_on.remove_waiter(self)
             self._waiting_on = None
+        # Invalidate whatever resumption is already queued (a plain delay
+        # sleep keeps one there); only the interrupt resume below is live.
+        self._gen += 1
         self._pending_interrupt = Interrupt(cause)
         self.sim._schedule_resume(self, None)
 
@@ -169,6 +211,7 @@ class Process:
             self._waiting_on.remove_waiter(self)
             self._waiting_on = None
         self.alive = False
+        self._gen += 1
         self._pending_interrupt = None
         self.gen.close()
         if not self.done.triggered:
@@ -224,14 +267,25 @@ class Process:
 class Simulator:
     """The event loop: a clock plus a priority queue of resumptions."""
 
-    def __init__(self, seed: int = 0, tracer: Optional[Tracer] = None):
+    def __init__(
+        self,
+        seed: int = 0,
+        tracer: Optional[Tracer] = None,
+        shard_id: int = 0,
+    ):
         # Deferred import: repro.obs sits above repro.sim in the layer
         # diagram; importing it at module scope would be circular.
         from repro.obs.registry import MetricsRegistry
         from repro.obs.ring import RingTracer
         from repro.obs.spans import SpanRecorder
 
+        if shard_id < 0:
+            raise SimulationError(f"negative shard_id {shard_id}")
         self.seed = seed
+        #: which shard of a partitioned fleet this kernel simulates; random
+        #: streams are namespaced by it so sibling shards never share draws
+        #: (shard 0 keeps the legacy single-kernel derivation exactly)
+        self.shard_id = shard_id
         self.now = 0.0
         self.tracer = tracer or RingTracer()
         #: frame/stage span recorder; substrates emit hierarchical spans here
@@ -246,17 +300,26 @@ class Simulator:
         #: optional repro.obs.telemetry.TelemetryHub; substrates stream
         #: labeled time-series observations here when armed
         self.telemetry: Optional[Any] = None
-        self._queue: List[Tuple[float, int, Process, Any]] = []
+        self._queue: List[Tuple[float, int, Process, int, Any]] = []
         self._counter = itertools.count()
         self._streams: dict = {}
         self._processes: List[Process] = []
+        self._composites: List[CompositeEvent] = []
 
     # -- randomness ---------------------------------------------------------
 
     def stream(self, name: str) -> RandomStream:
-        """Return the named random stream, creating it deterministically."""
+        """Return the named random stream, creating it deterministically.
+
+        The stream is a pure function of ``(seed, shard_id, name)`` —
+        never of creation order — so two runs that create their streams in
+        different orders draw identical sequences per name, and sibling
+        shards of a partitioned fleet draw from disjoint namespaces.
+        """
         if name not in self._streams:
-            self._streams[name] = RandomStream(self.seed, name)
+            self._streams[name] = RandomStream(
+                self.seed, name, shard_id=self.shard_id
+            )
         return self._streams[name]
 
     # -- process / event management ----------------------------------------
@@ -269,6 +332,9 @@ class Simulator:
         # keep the registry from growing without bound.
         if len(self._processes) > 8192:
             self._processes = [p for p in self._processes if p.alive]
+            self._composites = [
+                c for c in self._composites if not c.triggered
+            ]
         self._schedule_resume(proc, None)
         return proc
 
@@ -309,8 +375,8 @@ class Simulator:
         for 10 seconds after the data arrived.
         """
         events = list(events)
-        combined = Event(self, name=name)
-        watchers: List[Process] = []
+        combined = CompositeEvent(self, events, name=name)
+        watchers = combined._watchers
 
         def _watch(idx: int, evt: Event) -> Generator:
             value = yield evt
@@ -330,12 +396,20 @@ class Simulator:
 
         for idx, evt in enumerate(events):
             watchers.append(self.spawn(_watch(idx, evt), name=f"_anyof.{name}.{idx}"))
+        self._composites.append(combined)
         return combined
 
     def all_of(self, events: Iterable[Event], name: str = "all") -> Event:
-        """An event that fires when every one of ``events`` has fired."""
+        """An event that fires when every one of ``events`` has fired.
+
+        The returned :class:`CompositeEvent` gets the same reaping
+        discipline ``any_of`` has: if one of the sources never triggers,
+        ``abandon()`` (or :meth:`teardown`) kills the watcher processes so
+        they do not sit in waiter lists forever pinning the partially
+        filled values list.
+        """
         events = list(events)
-        combined = Event(self, name=name)
+        combined = CompositeEvent(self, events, name=name)
         remaining = [len(events)]
         values: List[Any] = [None] * len(events)
         if not events:
@@ -349,8 +423,31 @@ class Simulator:
                 combined.trigger(list(values))
 
         for idx, evt in enumerate(events):
-            self.spawn(_watch(idx, evt), name=f"_allof.{name}.{idx}")
+            combined._watchers.append(
+                self.spawn(_watch(idx, evt), name=f"_allof.{name}.{idx}")
+            )
+        self._composites.append(combined)
         return combined
+
+    def teardown(self) -> None:
+        """Dispose of the simulation: reap watchers, close every process.
+
+        Abandons still-pending composite events (their watchers would
+        otherwise wait forever on sources that never fire), closes the
+        generators of all remaining live processes, and clears the event
+        queue.  After teardown the simulator holds no live coroutines, so
+        a shard worker can discard thousands of finished kernels without
+        leaking suspended generator frames.
+        """
+        for composite in self._composites:
+            if not composite.triggered:
+                composite.abandon()
+        self._composites = []
+        for proc in list(self._processes):
+            if proc.alive:
+                proc.kill()
+        self._processes = []
+        self._queue.clear()
 
     def call_at(self, when: float, fn: Callable[[], None], name: str = "") -> None:
         """Run a plain callable at absolute time ``when``."""
@@ -367,7 +464,8 @@ class Simulator:
 
     def _schedule_resume(self, proc: Process, value: Any, delay: float = 0.0) -> None:
         heapq.heappush(
-            self._queue, (self.now + delay, next(self._counter), proc, value)
+            self._queue,
+            (self.now + delay, next(self._counter), proc, proc._gen, value),
         )
 
     # -- running --------------------------------------------------------------
@@ -378,14 +476,15 @@ class Simulator:
         Returns the final simulation time.
         """
         while self._queue:
-            when, _order, proc, value = self._queue[0]
-            if not proc.alive:
+            when, _order, proc, gen, value = self._queue[0]
+            if not proc.alive or gen != proc._gen:
                 # Stale resumption of a killed process (e.g. a cancelled
-                # retransmission timer): discard without touching the clock.
+                # retransmission timer) or of an interrupted delay sleep:
+                # discard without touching the clock.
                 heapq.heappop(self._queue)
                 continue
             if until is not None and when > until:
-                self.now = until
+                self.now = max(self.now, until)
                 return self.now
             heapq.heappop(self._queue)
             if when < self.now - 1e-9:
@@ -404,12 +503,12 @@ class Simulator:
         would otherwise keep the queue alive forever.
         """
         while self._queue and not event.triggered:
-            when, _order, proc, value = heapq.heappop(self._queue)
-            if not proc.alive:
+            when, _order, proc, gen, value = heapq.heappop(self._queue)
+            if not proc.alive or gen != proc._gen:
                 continue
             if when > limit:
-                heapq.heappush(self._queue, (when, _order, proc, value))
-                self.now = limit
+                heapq.heappush(self._queue, (when, _order, proc, gen, value))
+                self.now = max(self.now, limit)
                 break
             if when < self.now - 1e-9:
                 raise SimulationError("event queue went backwards in time")

@@ -14,18 +14,32 @@ from typing import List, Sequence, TypeVar
 T = TypeVar("T")
 
 
-def _derive_seed(run_seed: int, name: str) -> int:
-    digest = hashlib.sha256(f"{run_seed}:{name}".encode("utf-8")).digest()
+def _derive_seed(run_seed: int, name: str, shard_id: int = 0) -> int:
+    """Seed for stream ``name`` — a pure function of its coordinates.
+
+    Derivation depends only on ``(run_seed, shard_id, name)``, never on
+    the order streams are created in, so adding a consumer of randomness
+    (or creating streams in a different order across shards or runs)
+    never perturbs the draws of an existing one.  Shard 0 keeps the
+    legacy ``run_seed:name`` keying so a one-shard run reproduces the
+    historical single-kernel draws bit for bit.
+    """
+    if shard_id == 0:
+        key = f"{run_seed}:{name}"
+    else:
+        key = f"{run_seed}:shard{shard_id}:{name}"
+    digest = hashlib.sha256(key.encode("utf-8")).digest()
     return int.from_bytes(digest[:8], "big")
 
 
 class RandomStream:
     """A deterministic random source for one named subsystem."""
 
-    def __init__(self, run_seed: int, name: str):
+    def __init__(self, run_seed: int, name: str, shard_id: int = 0):
         self.run_seed = run_seed
         self.name = name
-        self._rng = random.Random(_derive_seed(run_seed, name))
+        self.shard_id = shard_id
+        self._rng = random.Random(_derive_seed(run_seed, name, shard_id))
 
     def uniform(self, low: float = 0.0, high: float = 1.0) -> float:
         return self._rng.uniform(low, high)
@@ -70,7 +84,12 @@ class RandomStream:
 
     def fork(self, name: str) -> "RandomStream":
         """A child stream, still fully determined by the run seed."""
-        return RandomStream(self.run_seed, f"{self.name}/{name}")
+        return RandomStream(
+            self.run_seed, f"{self.name}/{name}", shard_id=self.shard_id
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<RandomStream {self.name!r} seed={self.run_seed}>"
+        return (
+            f"<RandomStream {self.name!r} seed={self.run_seed} "
+            f"shard={self.shard_id}>"
+        )

@@ -1,0 +1,589 @@
+"""Sharded parallel simulation: many kernels, one deterministic fleet.
+
+The fleet, SLO and chaos experiments used to funnel every session through
+one single-threaded :class:`~repro.sim.kernel.Simulator`, which capped
+both wall-clock speed and the believable fleet size.  This module
+partitions a fleet run into **K shards** — each with its own kernel, its
+own ``(seed, shard_id)``-namespaced random streams and its own event
+queue — and fans them across worker processes, in the style of
+conservative parallel discrete-event simulation:
+
+* **Partition** — :class:`ShardPlan` assigns sessions and pool devices to
+  shards round-robin by index, so the decomposition is a pure function of
+  ``(n_sessions, n_devices, shards)`` and never of dict or completion
+  order.
+* **Free-running windows** — each :class:`ShardWorker` advances its
+  kernel independently inside a conservative time window
+  (``window_ms`` of simulated time).
+* **Control-plane barriers** — at each window boundary every shard
+  reports a :class:`BarrierReport` (heartbeats, placements, admission
+  pressure); the coordinator merges them **sorted by (shard, session)**
+  and broadcasts the next window.  Window length is the only thing the
+  coordinator tunes (it stretches windows when the merged report shows
+  the launch wave has drained), so merged results are independent of both
+  the barrier cadence and the worker count.
+* **Transports** — ``workers <= 1`` steps every shard inline in this
+  process; ``workers > 1`` hosts shards in ``multiprocessing`` processes
+  connected by pipes, exchanging pickled barrier reports and final
+  results.  Both transports drive identical worker code with identical
+  coordinator decisions, which is what makes ``--workers N`` a pure
+  execution detail: same ``(seed, shards)`` in, byte-identical digests
+  out, for any N.
+
+``shards=1`` degenerates to exactly the legacy single-kernel run — same
+stream derivations, same event interleaving, same report digest — so the
+sharded path is a strict superset of the old one.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, List, Optional, Sequence, Tuple
+
+from repro.sim.kernel import Simulator
+
+#: default conservative window between control-plane barriers (sim ms)
+DEFAULT_WINDOW_MS = 1_000.0
+
+#: window stretch applied once the merged barrier shows a drained fleet
+IDLE_WINDOW_STRETCH = 4.0
+
+#: hard ceiling on barriers per run — a coordinator bug must fail loudly,
+#: not spin forever
+MAX_BARRIERS = 100_000
+
+
+class ShardError(RuntimeError):
+    """Raised for shard-plan misuse (bad counts, undrained coordinators)."""
+
+
+# -- partitioning -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """Deterministic round-robin partition of a fleet into ``shards``."""
+
+    shards: int
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ShardError(f"need at least one shard, got {self.shards}")
+
+    def shard_of(self, index: int) -> int:
+        """Shard owning global session/device ``index``."""
+        return index % self.shards
+
+    def indices(self, shard: int, count: int) -> List[int]:
+        """Global indices (ascending) owned by ``shard`` out of ``count``."""
+        if not 0 <= shard < self.shards:
+            raise ShardError(f"shard {shard} outside plan of {self.shards}")
+        return list(range(shard, count, self.shards))
+
+
+# -- job / report / result payloads (all picklable) ---------------------------
+
+
+@dataclass(frozen=True)
+class ShardSessionSpec:
+    """One session as assigned to a shard.
+
+    ``wave_index`` is the session's position in the *global* launch wave;
+    arrival time stays ``wave_index * gap`` after bootstrap regardless of
+    how many shards the wave was split over.
+    """
+
+    session_id: str
+    app_index: int
+    wave_index: int
+
+
+@dataclass
+class ShardJob:
+    """Everything one worker process needs to simulate its shard."""
+
+    shard_id: int
+    shards: int
+    seed: int
+    pool: List[Any]                     # DeviceSpec slice (globally named)
+    apps: List[Any]                     # ApplicationSpec cycle
+    sessions: List[ShardSessionSpec]
+    gap_ms: float
+    duration_ms: float
+    arrival_spread_ms: float
+    #: (at_ms, local_node_index, rejoin_at_ms|None) crash injections that
+    #: land on devices owned by this shard
+    crashes: List[Tuple[float, int, Optional[float]]] = field(
+        default_factory=list
+    )
+    config: Optional[Any] = None        # FleetConfig; defaulted in-worker
+
+
+@dataclass
+class BarrierReport:
+    """What one shard tells the coordinator at a window boundary."""
+
+    shard_id: int
+    now_ms: float
+    done: bool
+    active: int
+    finished: int
+    admission_queued: int
+    committed_mp_per_ms: float
+    capacity_mp_per_ms: float
+    #: (session_id, frames_answered) for every active session, ascending
+    heartbeats: List[Tuple[str, int]] = field(default_factory=list)
+    #: (session_id, node_name) for every active session, ascending
+    placements: List[Tuple[str, str]] = field(default_factory=list)
+
+
+@dataclass
+class ShardResult:
+    """Final pickled payload of one shard."""
+
+    shard_id: int
+    report: Dict[str, Any]
+    session_digests: Dict[str, str]
+    metrics: Dict[str, Any]
+    span_bank: Dict[str, Any]
+    invariant_violations: int = 0
+
+
+@dataclass
+class MergedBarrier:
+    """Coordinator-side deterministic merge of one barrier round."""
+
+    barrier_index: int
+    until_ms: float
+    active: int
+    finished: int
+    admission_queued: int
+    committed_mp_per_ms: float
+    capacity_mp_per_ms: float
+    #: (shard, session_id, frames_answered), sorted by (shard, session)
+    heartbeats: List[Tuple[int, str, int]] = field(default_factory=list)
+    #: (shard, session_id, node), sorted by (shard, session)
+    placements: List[Tuple[int, str, str]] = field(default_factory=list)
+
+
+def merge_barrier(
+    reports: Sequence[BarrierReport], barrier_index: int, until_ms: float
+) -> MergedBarrier:
+    """Merge per-shard barrier reports, sorted by (shard, session).
+
+    Never dict order, never completion order — the merged view is a pure
+    function of the reports' contents, so every transport (and every
+    worker count) produces the same coordinator inputs.
+    """
+    ordered = sorted(reports, key=lambda r: r.shard_id)
+    heartbeats = [
+        (r.shard_id, sid, frames)
+        for r in ordered
+        for sid, frames in sorted(r.heartbeats)
+    ]
+    placements = [
+        (r.shard_id, sid, node)
+        for r in ordered
+        for sid, node in sorted(r.placements)
+    ]
+    return MergedBarrier(
+        barrier_index=barrier_index,
+        until_ms=until_ms,
+        active=sum(r.active for r in ordered),
+        finished=sum(r.finished for r in ordered),
+        admission_queued=sum(r.admission_queued for r in ordered),
+        committed_mp_per_ms=round(
+            sum(r.committed_mp_per_ms for r in ordered), 6
+        ),
+        capacity_mp_per_ms=round(
+            sum(r.capacity_mp_per_ms for r in ordered), 6
+        ),
+        heartbeats=heartbeats,
+        placements=placements,
+    )
+
+
+# -- the per-shard worker -----------------------------------------------------
+
+
+class ShardWorker:
+    """One shard: its own kernel, fleet controller and launch wave.
+
+    Mirrors ``repro.experiments.fleet.run_fleet_point`` step for step so a
+    one-shard worker replays the legacy single-kernel run exactly: build
+    the controller, run to the bootstrap event, spawn the arrival wave,
+    then serve until the horizon — except the serving phase is chopped
+    into coordinator-driven windows, which a discrete-event kernel cannot
+    observe (stopping at ``t`` and resuming changes nothing).
+    """
+
+    def __init__(self, job: ShardJob):
+        # Imported here, not at module scope: repro.sim must stay
+        # importable below repro.fleet in the layer diagram.
+        from repro.faults.schedule import FaultSchedule
+        from repro.fleet import FleetConfig, FleetController
+
+        self.job = job
+        config = job.config if job.config is not None else FleetConfig()
+        if job.crashes:
+            schedule = FaultSchedule()
+            for at_ms, local_node, rejoin_at_ms in job.crashes:
+                schedule.crash(
+                    at_ms=at_ms, node=local_node, rejoin_at_ms=rejoin_at_ms
+                )
+            from dataclasses import replace
+
+            config = replace(config, faults=schedule)
+        self.sim = Simulator(seed=job.seed, shard_id=job.shard_id)
+        self.controller = FleetController(self.sim, job.pool, config)
+        self.controller.set_session_duration(job.duration_ms)
+        self.sim.run_until_event(self.controller.bootstrapped, limit=60_000.0)
+        self._arrivals_done = False
+        self.sim.spawn(self._arrivals(), name="fleet.arrivals")
+        # Same horizon rule as the legacy runner: launch wave, two full
+        # session lengths, detection slack.  A quiescent shard stops
+        # exactly here, so a one-shard run reports the same state the
+        # legacy runner does.
+        self.horizon_ms = (
+            self.sim.now
+            + job.arrival_spread_ms
+            + 2.0 * job.duration_ms
+            + 5_000.0
+        )
+        # Partitioned admission can serialize a shard's sessions far more
+        # than the global pool would (a shard that drew the weak devices
+        # re-admits its queue one generation at a time), so a shard that
+        # still owns active or queued sessions at the horizon keeps
+        # serving — bounded by the fully-serialized worst case.
+        self.hard_cap_ms = (
+            self.sim.now
+            + job.arrival_spread_ms
+            + (2.0 + len(job.sessions)) * job.duration_ms
+            + 5_000.0
+        )
+
+    def _arrivals(self) -> Generator:
+        """The shard's slice of the global launch wave.
+
+        Session ``wave_index`` arrives ``wave_index * gap`` after
+        bootstrap — the identical absolute schedule the single-kernel wave
+        produces, just with the foreign sessions' submits elided.  For a
+        one-shard plan this generator is event-for-event the legacy
+        ``arrivals()`` loop.
+        """
+        from repro.fleet import SessionRequest
+
+        previous = 0
+        for spec in self.job.sessions:
+            delay = (spec.wave_index - previous) * self.job.gap_ms
+            if delay > 0:
+                yield delay
+            previous = spec.wave_index
+            self.controller.submit(
+                SessionRequest(
+                    session_id=spec.session_id,
+                    app=self.job.apps[spec.app_index],
+                    arrival_ms=self.sim.now,
+                )
+            )
+        self._arrivals_done = True
+        yield self.job.gap_ms
+
+    @property
+    def quiesced(self) -> bool:
+        """Every owned session reached a terminal state."""
+        return (
+            self._arrivals_done
+            and not self.controller.active
+            and not len(self.controller.admission)
+        )
+
+    @property
+    def done(self) -> bool:
+        if self.sim.now < self.horizon_ms:
+            return False
+        return self.quiesced or self.sim.now >= self.hard_cap_ms
+
+    def run_window(self, until_ms: float) -> BarrierReport:
+        """Advance freely to ``min(until, horizon)``; report at the barrier.
+
+        Past the horizon, a shard with live sessions keeps going (clamped
+        to the hard cap instead); a quiescent one holds at the horizon so
+        its final state matches the legacy runner's.
+        """
+        cap = self.horizon_ms
+        if self.sim.now >= self.horizon_ms and not self.done:
+            cap = self.hard_cap_ms
+        target = min(until_ms, cap)
+        if target > self.sim.now:
+            self.sim.run(until=target)
+        controller = self.controller
+        active = sorted(controller.active)
+        return BarrierReport(
+            shard_id=self.job.shard_id,
+            now_ms=self.sim.now,
+            done=self.done,
+            active=len(active),
+            finished=len(controller.finished),
+            admission_queued=len(controller.admission),
+            committed_mp_per_ms=round(
+                controller.total_committed_mp_per_ms, 6
+            ),
+            capacity_mp_per_ms=round(controller.up_capacity_mp_per_ms, 6),
+            heartbeats=[
+                (sid, len(controller.active[sid].response_times_ms))
+                for sid in active
+            ],
+            placements=[
+                (sid, controller.active[sid].node.name)
+                for sid in active
+                if controller.active[sid].node is not None
+            ],
+        )
+
+    def finish(self) -> ShardResult:
+        """Seal the shard: final report, digests, banks; tear the sim down."""
+        from repro.obs.merge import span_bank
+
+        controller = self.controller
+        if controller.monitor is not None:
+            controller.monitor.finalize()
+        report = controller.report()
+        sessions = sorted(
+            controller.finished + list(controller.active.values()),
+            key=lambda s: s.session_id,
+        )
+        digests = {s.session_id: s.frame_digest() for s in sessions}
+        result = ShardResult(
+            shard_id=self.job.shard_id,
+            report=report,
+            session_digests=digests,
+            metrics=self.sim.metrics.snapshot(),
+            span_bank=span_bank(self.sim.spans),
+            invariant_violations=(
+                len(controller.monitor.violations)
+                if controller.monitor is not None
+                else 0
+            ),
+        )
+        # Reap watchers and close generators: a sweep discards hundreds of
+        # kernels and must not accumulate suspended frames.
+        self.sim.teardown()
+        return result
+
+
+# -- transports ---------------------------------------------------------------
+
+
+class InlineShardPool:
+    """All shards stepped in this process (``--workers 1``)."""
+
+    def __init__(self, jobs: Sequence[ShardJob]):
+        self._workers = [ShardWorker(job) for job in jobs]
+
+    def step(self, until_ms: float) -> List[BarrierReport]:
+        return [w.run_window(until_ms) for w in self._workers]
+
+    def finish(self) -> List[ShardResult]:
+        return [w.finish() for w in self._workers]
+
+    def close(self) -> None:
+        self._workers = []
+
+
+def _shard_host_main(conn, jobs: List[ShardJob]) -> None:
+    """Entry point of one worker process hosting one or more shards."""
+    try:
+        workers = [ShardWorker(job) for job in jobs]
+        conn.send(("ready", [job.shard_id for job in jobs]))
+        while True:
+            cmd, payload = conn.recv()
+            if cmd == "window":
+                conn.send(
+                    ("reports", [w.run_window(payload) for w in workers])
+                )
+            elif cmd == "finish":
+                conn.send(("results", [w.finish() for w in workers]))
+                break
+            else:  # pragma: no cover - protocol misuse
+                raise ShardError(f"unknown shard-host command {cmd!r}")
+    except EOFError:  # coordinator died; exit quietly
+        pass
+    finally:
+        conn.close()
+
+
+class ProcessShardPool:
+    """Shards fanned across ``workers`` OS processes, piped barriers.
+
+    Shard-to-host assignment is round-robin by shard id.  Because hosts
+    only ever execute :class:`ShardWorker` code and the coordinator only
+    ever sees the concatenation of barrier reports in shard order, the
+    number of hosts is invisible to the results.
+    """
+
+    def __init__(self, jobs: Sequence[ShardJob], workers: int):
+        if workers < 1:
+            raise ShardError(f"need at least one worker, got {workers}")
+        ctx = multiprocessing.get_context()
+        self._hosts: List[Tuple[Any, Any]] = []  # (process, pipe)
+        assignments: List[List[ShardJob]] = [
+            [] for _ in range(min(workers, len(jobs)))
+        ]
+        for index, job in enumerate(jobs):
+            assignments[index % len(assignments)].append(job)
+        for hosted in assignments:
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_shard_host_main, args=(child_conn, hosted),
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            self._hosts.append((proc, parent_conn))
+        for _proc, conn in self._hosts:
+            tag, _shards = conn.recv()
+            if tag != "ready":  # pragma: no cover - protocol misuse
+                raise ShardError(f"shard host failed to start: {tag!r}")
+
+    def step(self, until_ms: float) -> List[BarrierReport]:
+        for _proc, conn in self._hosts:
+            conn.send(("window", until_ms))
+        reports: List[BarrierReport] = []
+        for _proc, conn in self._hosts:
+            tag, payload = conn.recv()
+            if tag != "reports":  # pragma: no cover - protocol misuse
+                raise ShardError(f"expected barrier reports, got {tag!r}")
+            reports.extend(payload)
+        return sorted(reports, key=lambda r: r.shard_id)
+
+    def finish(self) -> List[ShardResult]:
+        for _proc, conn in self._hosts:
+            conn.send(("finish", None))
+        results: List[ShardResult] = []
+        for proc, conn in self._hosts:
+            tag, payload = conn.recv()
+            if tag != "results":  # pragma: no cover - protocol misuse
+                raise ShardError(f"expected shard results, got {tag!r}")
+            results.extend(payload)
+            proc.join(timeout=30.0)
+        return sorted(results, key=lambda r: r.shard_id)
+
+    def close(self) -> None:
+        for proc, conn in self._hosts:
+            conn.close()
+            if proc.is_alive():
+                proc.terminate()
+            proc.join(timeout=5.0)
+        self._hosts = []
+
+
+# -- the coordinator ----------------------------------------------------------
+
+
+@dataclass
+class CoordinatorSummary:
+    """What the barrier protocol observed, for reports and tests."""
+
+    barriers: int
+    window_ms: float
+    #: max over barriers of fleet-wide concurrently-active sessions; a
+    #: lower bound on the true global peak (sampled at barriers only)
+    peak_concurrent_observed: int
+    final_until_ms: float
+
+
+def run_shards(
+    jobs: Sequence[ShardJob],
+    workers: int = 1,
+    window_ms: float = DEFAULT_WINDOW_MS,
+    on_barrier: Optional[Callable[[MergedBarrier], None]] = None,
+) -> Tuple[List[ShardResult], CoordinatorSummary]:
+    """Drive every shard window-by-window to completion and collect results.
+
+    The coordinator's only decisions — the barrier cadence and when to
+    stop — are pure functions of the deterministically merged barrier
+    reports, so results are byte-identical for any ``workers`` at fixed
+    ``(seed, shards)``.
+    """
+    jobs = list(jobs)
+    if not jobs:
+        raise ShardError("no shard jobs to run")
+    ids = [job.shard_id for job in jobs]
+    if len(set(ids)) != len(ids):
+        raise ShardError(f"duplicate shard ids: {sorted(ids)}")
+    if window_ms <= 0:
+        raise ShardError(f"window_ms must be positive, got {window_ms}")
+    pool: Any
+    if workers <= 1 or len(jobs) == 1:
+        pool = InlineShardPool(jobs)
+    else:
+        pool = ProcessShardPool(jobs, workers=workers)
+    try:
+        until = window_ms
+        step = window_ms
+        peak = 0
+        barriers = 0
+        while True:
+            reports = pool.step(until)
+            merged = merge_barrier(reports, barriers, until)
+            barriers += 1
+            peak = max(peak, merged.active)
+            if on_barrier is not None:
+                on_barrier(merged)
+            if all(r.done for r in reports):
+                break
+            if barriers >= MAX_BARRIERS:
+                raise ShardError(
+                    f"barrier protocol did not converge in {MAX_BARRIERS} "
+                    "rounds"
+                )
+            # Conservative window tuning, broadcast for the next round:
+            # while sessions are live the fleet advances one base window
+            # at a time; once the merged heartbeat shows the wave fully
+            # drained (no active sessions, nothing queued) only control
+            # loops remain, so stretch the window to race to the horizon.
+            if merged.active == 0 and merged.admission_queued == 0:
+                step = window_ms * IDLE_WINDOW_STRETCH
+            else:
+                step = window_ms
+            until += step
+        results = pool.finish()
+        summary = CoordinatorSummary(
+            barriers=barriers,
+            window_ms=window_ms,
+            peak_concurrent_observed=peak,
+            final_until_ms=until,
+        )
+        return results, summary
+    finally:
+        pool.close()
+
+
+# -- generic deterministic job fan-out ---------------------------------------
+
+
+def _call_job(payload: Tuple[Callable[..., Any], tuple]) -> Any:
+    fn, args = payload
+    return fn(*args)
+
+
+def run_parallel_jobs(
+    jobs: Sequence[Tuple[Callable[..., Any], tuple]], workers: int = 1
+) -> List[Any]:
+    """Run independent simulation jobs, results in submission order.
+
+    The coarse-grained sibling of :func:`run_shards` for workloads that
+    decompose into self-contained sims (the SLO bench's scenarios): each
+    job is a top-level callable plus args, each runs its own kernel, and
+    results come back in job order regardless of worker count or
+    completion order — so artifacts stay byte-identical for any
+    ``workers``.
+    """
+    jobs = list(jobs)
+    if workers <= 1 or len(jobs) <= 1:
+        return [fn(*args) for fn, args in jobs]
+    ctx = multiprocessing.get_context()
+    with ctx.Pool(processes=min(workers, len(jobs))) as pool:
+        return pool.map(_call_job, jobs)

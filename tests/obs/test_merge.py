@@ -1,0 +1,80 @@
+"""Tests for repro.obs.merge: deterministic per-shard bank merging."""
+
+from repro.obs.merge import (
+    merge_metric_snapshots,
+    merge_span_banks,
+    span_bank,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.obs.spans import SpanRecorder
+
+
+def _registry_snapshot(counter=0.0, gauge=0.0, samples=()):
+    reg = MetricsRegistry()
+    if counter:
+        reg.counter("frames.total").inc(counter)
+    if gauge:
+        reg.gauge("queue.depth").set(gauge)
+    hist = reg.histogram("frame.response_ms")
+    for s in samples:
+        hist.observe(s)
+    return reg.snapshot()
+
+
+class TestMergeMetricSnapshots:
+    def test_counters_sum(self):
+        merged = merge_metric_snapshots(
+            [_registry_snapshot(counter=3), _registry_snapshot(counter=5)]
+        )
+        assert merged["counters"]["frames.total"] == 8
+
+    def test_gauges_high_water(self):
+        merged = merge_metric_snapshots(
+            [_registry_snapshot(gauge=2), _registry_snapshot(gauge=9)]
+        )
+        assert merged["gauges"]["queue.depth"] == 9
+
+    def test_histogram_count_and_extrema_exact(self):
+        merged = merge_metric_snapshots([
+            _registry_snapshot(samples=[1.0, 2.0, 3.0]),
+            _registry_snapshot(samples=[10.0]),
+        ])
+        hist = merged["histograms"]["frame.response_ms"]
+        assert hist["count"] == 4
+        assert hist["min"] == 1.0
+        assert hist["max"] == 10.0
+        assert hist["mean"] == 4.0
+        assert hist["approx"] is True
+
+    def test_merge_is_input_order_independent(self):
+        snaps = [
+            _registry_snapshot(counter=1, gauge=4, samples=[1.0, 5.0]),
+            _registry_snapshot(counter=2, gauge=3, samples=[2.0]),
+        ]
+        assert merge_metric_snapshots(snaps) == merge_metric_snapshots(
+            list(reversed(snaps))
+        )
+
+    def test_empty_input(self):
+        merged = merge_metric_snapshots([])
+        assert merged == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+class TestSpanBanks:
+    def _bank(self, n):
+        rec = SpanRecorder()
+        for _ in range(n):
+            rec.begin("pipeline", "frame.render").end()
+        return span_bank(rec)
+
+    def test_span_bank_counts(self):
+        bank = self._bank(3)
+        assert bank["total"] == 3
+        assert bank["by_category"] == {"pipeline": 3}
+        assert bank["by_name"] == {"pipeline.frame.render": 3}
+
+    def test_merge_sums(self):
+        merged = merge_span_banks([self._bank(2), self._bank(5)])
+        assert merged["total"] == 7
+        assert merged["by_category"]["pipeline"] == 7
+        assert merged["dropped"] == 0

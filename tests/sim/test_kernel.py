@@ -487,3 +487,147 @@ class TestCancellableTimeouts:
             if p.alive and p.name.startswith("_timer")
         ]
         assert leftovers == []
+
+
+class TestSpuriousWakeups:
+    """Regression tests: interrupting a process that sleeps on a plain
+    ``yield delay`` used to leave the original delayed resumption in the
+    queue, waking the process a second time with a spurious ``None``."""
+
+    def test_interrupt_delay_sleep_resumes_exactly_once(self):
+        sim = Simulator()
+        never = sim.event("never")
+        resumes = []
+
+        def sleeper():
+            try:
+                yield 100.0
+                resumes.append(("timeout", sim.now))
+            except Interrupt as exc:
+                resumes.append(("interrupt", sim.now, exc.cause))
+            # Park forever: a stale resumption would wake this yield with
+            # a spurious None instead of the event's value.
+            value = yield never
+            resumes.append(("spurious", sim.now, value))
+
+        proc = sim.spawn(sleeper())
+
+        def poker():
+            yield 5.0
+            proc.interrupt("stop")
+
+        sim.spawn(poker())
+        end = sim.run()
+        assert resumes == [("interrupt", 5.0, "stop")]
+        # The stale entry must neither wake anyone nor drag the clock to
+        # the old wake time.
+        assert end == 5.0
+
+    def test_interrupted_then_resleeping_process_keeps_clean_timeline(self):
+        sim = Simulator()
+        log = []
+
+        def sleeper():
+            try:
+                yield 50.0
+            except Interrupt:
+                pass
+            yield 10.0  # a fresh sleep after the interrupt
+            log.append(sim.now)
+
+        proc = sim.spawn(sleeper())
+        sim.call_at(5.0, lambda: proc.interrupt())
+        sim.run()
+        # Pre-fix the stale 50 ms resumption fired mid-second-sleep.
+        assert log == [15.0]
+
+    def test_back_to_back_interrupts_deliver_each_once(self):
+        sim = Simulator()
+        causes = []
+
+        def sleeper():
+            while True:
+                try:
+                    yield 1_000.0
+                except Interrupt as exc:
+                    causes.append((sim.now, exc.cause))
+                    if exc.cause == "second":
+                        return
+
+        proc = sim.spawn(sleeper())
+        sim.call_at(2.0, lambda: proc.interrupt("first"))
+        sim.call_at(4.0, lambda: proc.interrupt("second"))
+        end = sim.run()
+        assert causes == [(2.0, "first"), (4.0, "second")]
+        assert end == 4.0
+
+
+class TestAllOfReaping:
+    """Regression tests: ``all_of`` watchers must be reapable when one of
+    the source events never triggers (the leak ``any_of`` already fixed)."""
+
+    def _alive_watchers(self, sim):
+        return [
+            p for p in sim._processes
+            if p.alive and p.name.startswith("_allof.")
+        ]
+
+    def test_abandon_reaps_watchers_and_waiter_lists(self):
+        sim = Simulator()
+        never = sim.event("never")
+        fast = sim.timeout(1.0, value="fast")
+        combined = sim.all_of([fast, never], name="stuck")
+        sim.run()
+        assert not combined.triggered
+        assert len(self._alive_watchers(sim)) == 1  # parked on `never`
+        combined.abandon()
+        assert never._waiters == []
+        assert self._alive_watchers(sim) == []
+
+    def test_abandon_reaps_orphaned_pending_timeout(self):
+        sim = Simulator()
+        never = sim.event("never")
+
+        def proc():
+            yield 1.0
+
+        sim.spawn(proc())
+        combined = sim.all_of([sim.timeout(60_000.0), never])
+        combined.abandon()
+        end = sim.run()
+        # The orphaned 60 s timer was cancelled with its watcher, so the
+        # run drains at the last real event.
+        assert end == 1.0
+
+    def test_teardown_reaps_pending_all_of_watchers(self):
+        sim = Simulator()
+        never = sim.event("never")
+        other = sim.event("other")
+        sim.all_of([never, other], name="leaky")
+        sim.run()
+        assert len(self._alive_watchers(sim)) == 2
+        sim.teardown()
+        assert never._waiters == []
+        assert other._waiters == []
+        assert not any(p.alive for p in sim._processes)
+        assert sim._queue == []
+
+    def test_completed_all_of_unaffected_by_teardown(self):
+        sim = Simulator()
+        events = [sim.timeout(t, value=t) for t in (1.0, 2.0)]
+        combined = sim.all_of(events)
+        sim.run()
+        assert combined.triggered
+        assert combined.value == [1.0, 2.0]
+        sim.teardown()
+        assert combined.value == [1.0, 2.0]
+
+    def test_any_of_composite_abandon_also_reaps(self):
+        sim = Simulator()
+        never_a = sim.event("never_a")
+        never_b = sim.event("never_b")
+        combined = sim.any_of([never_a, never_b], name="undecided")
+        sim.run()
+        combined.abandon()
+        assert never_a._waiters == []
+        assert never_b._waiters == []
