@@ -22,6 +22,11 @@ Commands:
                         burst, fleet overload) with burn-rate SLO
                         evaluation; writes BENCH_SLO.json and diffs it
                         against the committed baseline
+* ``replay``          — record-once / replay-many bench: a cold session
+                        records intervals into the fleet store, a warm
+                        session is delta-served from it; writes
+                        BENCH_REPLAY.json and diffs it against the
+                        committed baseline
 
 Each prints the same rows the corresponding benchmark asserts on.
 """
@@ -384,6 +389,55 @@ def _cmd_slo(args: argparse.Namespace) -> None:
         print("slo smoke: ok")
 
 
+def _cmd_replay(args: argparse.Namespace) -> None:
+    import json
+    import os
+
+    from repro.experiments.replay import (
+        diff_against_baseline,
+        format_bench,
+        load_bench,
+        run_replay_bench,
+        validate_bench,
+        write_bench,
+    )
+
+    bench = run_replay_bench(seed=args.seed, smoke=args.smoke)
+    problems = validate_bench(bench)
+    write_bench(args.out, bench)
+    print(format_bench(bench))
+    print(f"wrote {args.out}")
+    if problems:
+        raise SystemExit(
+            "replay: acceptance gate failed:\n  " + "\n  ".join(problems)
+        )
+    if args.smoke:
+        # CI gate 1: the artifact must be a pure function of the seed —
+        # the whole serialized file, not just the digest.
+        again = run_replay_bench(seed=args.seed, smoke=True)
+        if json.dumps(again, sort_keys=True) != json.dumps(
+            bench, sort_keys=True
+        ):
+            raise SystemExit("replay smoke: same seed, different artifact")
+    if args.baseline and os.path.exists(args.baseline):
+        regressions, skip = diff_against_baseline(
+            bench, load_bench(args.baseline)
+        )
+        if skip is not None:
+            print(f"baseline diff skipped: {skip}")
+        elif regressions:
+            raise SystemExit(
+                "replay: performance regression vs "
+                f"{args.baseline}:\n  " + "\n  ".join(regressions)
+            )
+        else:
+            print(f"baseline diff vs {args.baseline}: ok")
+    elif args.baseline:
+        print(f"no baseline at {args.baseline} — diff skipped")
+    if args.smoke:
+        print("replay smoke: ok")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -408,6 +462,7 @@ def main(argv=None) -> int:
         "profile": _cmd_profile,
         "fuzz": _cmd_fuzz,
         "slo": _cmd_slo,
+        "replay": _cmd_replay,
     }
     for name in commands:
         p = sub.add_parser(name)
@@ -472,6 +527,17 @@ def main(argv=None) -> int:
                            help="fan the independent scenarios across N "
                                 "processes (artifact stays byte-identical "
                                 "for any N)")
+        if name == "replay":
+            p.add_argument("--seed", type=int, default=0)
+            p.add_argument("--out", default="BENCH_REPLAY.json",
+                           help="replay benchmark artifact path")
+            p.add_argument("--baseline",
+                           default="benchmarks/baselines/BENCH_REPLAY.json",
+                           help="committed baseline to diff against "
+                                "(empty string disables the gate)")
+            p.add_argument("--smoke", action="store_true",
+                           help="CI gate: short run + acceptance gates + "
+                                "same-seed byte-identity + baseline diff")
         if name == "fuzz":
             p.add_argument("--seed", type=int, default=0)
             p.add_argument("--rounds", type=int, default=1,

@@ -29,7 +29,7 @@ demand to keep ``repro.core`` free of import cycles.
 
 from __future__ import annotations
 
-from repro.check.digest import DigestLog, command_digest
+from repro.check.digest import DigestLog, IntervalDigest, command_digest
 from repro.check.invariants import (
     InvariantError,
     InvariantMonitor,
@@ -51,6 +51,7 @@ _LAZY = {
 
 __all__ = [
     "DigestLog",
+    "IntervalDigest",
     "command_digest",
     "InvariantError",
     "InvariantMonitor",

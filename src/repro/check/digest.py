@@ -41,6 +41,44 @@ def command_digest(commands: Iterable) -> str:
     return h.hexdigest()
 
 
+class IntervalDigest:
+    """Incremental :func:`command_digest` over a growing command interval.
+
+    The replay recorder digests a rolling window of the stream; re-hashing
+    the whole window per frame is quadratic in interval length, so this
+    streams the same blake2b the batch digest uses.  ``hexdigest()`` is
+    non-destructive (it hashes a copy), so the digest after *k* commands
+    equals ``command_digest`` of those first *k* commands — the property
+    the test suite pins down on every prefix.
+    """
+
+    def __init__(self) -> None:
+        self._h = hashlib.blake2b(digest_size=16)
+        self.count = 0
+
+    def update(self, cmd) -> "IntervalDigest":
+        """Feed one command (or a raw key, for foreign test objects)."""
+        key = cmd.key() if hasattr(cmd, "key") else cmd
+        self._h.update(repr(key).encode("utf-8"))
+        self._h.update(b"\x00")
+        self.count += 1
+        return self
+
+    def update_sequence(self, commands: Iterable) -> "IntervalDigest":
+        for cmd in commands:
+            self.update(cmd)
+        return self
+
+    def hexdigest(self) -> str:
+        return self._h.copy().hexdigest()
+
+    def copy(self) -> "IntervalDigest":
+        clone = IntervalDigest.__new__(IntervalDigest)
+        clone._h = self._h.copy()
+        clone.count = self.count
+        return clone
+
+
 class DigestLog:
     """Issue-side and execution-side digests for one session."""
 

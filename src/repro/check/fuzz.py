@@ -16,6 +16,9 @@ Properties cover the layers the ISSUE names:
   sender/receiver cache pair;
 * ``transport_delivery`` — randomized message batches over a lossy link,
   checked against the transport conservation laws;
+* ``replay_coherence`` — interleaved record/evict/delta-serve steps from
+  two sessions sharing one replay store always execute exactly the
+  issued command stream;
 * ``session_chaos`` — short offloaded sessions under randomized fault
   schedules with the invariant monitor armed;
 * ``fleet_arrivals`` — randomized fleet arrival patterns with the fleet
@@ -492,6 +495,128 @@ class FleetArrivals(Property):
             yield {**case, "n_devices": case["n_devices"] - 1}
 
 
+class ReplayCoherence(Property):
+    """Replay-cache coherence across two sessions sharing one store.
+
+    Any interleaving of record / bypass / delta-serve / evict steps must
+    execute exactly what was issued: a served interval's reconstruction
+    digests equal to the live command stream, and the store's byte
+    accounting never drifts.  Tiny capacities force evictions mid-stream;
+    served entries are pinned, so a serve must never lose its baseline.
+    """
+
+    name = "replay_coherence"
+
+    def generate(self, rng: random.Random) -> Dict[str, Any]:
+        n_templates = rng.randint(1, 6)
+        steps = []
+        for _ in range(rng.randint(1, 40)):
+            if rng.random() < 0.1:
+                steps.append(["evict", rng.randrange(n_templates), 0.0])
+            else:
+                steps.append([
+                    "frame",
+                    rng.randrange(n_templates),
+                    round(rng.uniform(0.0, 4.0), 3),
+                    rng.randrange(2),            # which session issues it
+                ])
+        return {
+            "capacity": rng.choice([512, 2_048, 1 << 20]),
+            "templates": n_templates,
+            "steps": steps,
+        }
+
+    @staticmethod
+    def _batch(template: int, value: float):
+        from repro.gles import enums as gl
+        from repro.gles.commands import make_command
+
+        return [
+            make_command("glUseProgram", template + 1),
+            make_command("glUniform1f", 7, float(value)),
+            make_command(
+                "glUniform4f", 8,
+                float(value) * 0.5, 0.25, float(template), 1.0,
+            ),
+            make_command("glDrawArrays", gl.GL_TRIANGLES, 0,
+                         3 * (template + 1)),
+        ]
+
+    def check(self, case: Dict[str, Any]) -> Optional[str]:
+        from repro.check.digest import command_digest
+        from repro.replay import ReplaySession, ReplayStore
+        from repro.replay.session import (
+            interval_content_digest,
+            reconstruct_interval,
+        )
+
+        store = ReplayStore("fuzz", capacity_bytes=case["capacity"])
+        sessions = [
+            ReplaySession(store, session_id=f"s{i}") for i in range(2)
+        ]
+        for step in case["steps"]:
+            if step[0] == "evict":
+                digest = interval_content_digest(
+                    self._batch(int(step[1]), 0.0)
+                )
+                store.demote(digest)
+                continue
+            _, template, value, who = step
+            commands = self._batch(int(template), float(value))
+            session = sessions[int(who)]
+            decision = session.classify(commands)
+            if decision.action == "record":
+                session.commit_record(
+                    decision, wire_bytes=400, raw_bytes=800,
+                    nominal_commands=len(commands),
+                )
+                executed = commands
+            elif decision.action == "bypass":
+                executed = commands
+            else:
+                try:
+                    executed = reconstruct_interval(
+                        decision.entry, decision.patch, decision.variant
+                    )
+                except Exception as exc:
+                    return (
+                        f"serve failed to reconstruct: "
+                        f"{type(exc).__name__}: {exc}"
+                    )
+                if decision.promote:
+                    store.promote(decision.digest)
+            if command_digest(executed) != command_digest(commands):
+                return (
+                    f"{decision.action} executed a different stream for "
+                    f"template {template}"
+                )
+        expected = sum(e.byte_size for e in store.entries())
+        if store.bytes_stored != expected:
+            return (
+                f"byte accounting drifted: stored={store.bytes_stored}, "
+                f"entries sum to {expected}"
+            )
+        if store.bytes_stored > store.capacity_bytes:
+            return "store exceeded its byte budget"
+        for session in sessions:
+            session.close()
+        if any(e.refcount for e in store.entries()):
+            return "closed sessions left entries pinned"
+        return None
+
+    def shrink_candidates(self, case):
+        steps = case["steps"]
+        n = len(steps)
+        for piece in (steps[: n // 2], steps[n // 2:], steps[1:], steps[:-1]):
+            if len(piece) < n:
+                yield {**case, "steps": piece}
+        if n <= 10:
+            for i in range(n):
+                yield {**case, "steps": steps[:i] + steps[i + 1:]}
+        if case["capacity"] < (1 << 20):
+            yield {**case, "capacity": 1 << 20}
+
+
 # ---------------------------------------------------------------------------
 # corpus
 
@@ -541,6 +666,7 @@ def default_properties() -> List[Property]:
         DeltaRoundTrip(),
         CacheLockstep(),
         TransportDelivery(),
+        ReplayCoherence(),
         SessionChaos(),
         FleetArrivals(),
     ]
@@ -576,6 +702,7 @@ FULL_CASES = {
     "delta_roundtrip": 120,
     "cache_lockstep": 40,
     "transport_delivery": 16,
+    "replay_coherence": 40,
     "session_chaos": 4,
     "fleet_arrivals": 2,
 }
@@ -584,6 +711,7 @@ SMOKE_CASES = {
     "delta_roundtrip": 24,
     "cache_lockstep": 12,
     "transport_delivery": 6,
+    "replay_coherence": 12,
     "session_chaos": 2,
     "fleet_arrivals": 1,
 }

@@ -27,6 +27,9 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    #: re-inserts of an already-cached key (recency/bytes refresh, not a
+    #: miss) — policies reading hits/misses alone would misread churn
+    refreshes: int = 0
 
     @property
     def lookups(self) -> int:
@@ -71,6 +74,7 @@ class LRUCommandCache:
             # desync the receiver's replay.
             self._entries[key] = wire
             self._entries.move_to_end(key)
+            self.stats.refreshes += 1
             return
         self._entries[key] = wire
         if len(self._entries) > self.capacity:
@@ -80,6 +84,10 @@ class LRUCommandCache:
     def keys_in_order(self) -> Tuple[Tuple, ...]:
         """Oldest-to-newest key order (exposed for consistency checks)."""
         return tuple(self._entries.keys())
+
+    def byte_size(self) -> int:
+        """Total bytes of cached wire payloads (admission accounting)."""
+        return sum(len(wire) for wire in self._entries.values())
 
 
 class CachePair:

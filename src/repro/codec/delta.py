@@ -1,0 +1,213 @@
+"""Dynamic-delta patches for replay hits.
+
+A replay hit ships the recorded interval's content digest plus a *patch*:
+the dynamic slots (uniform values, animated float arrays — see
+:mod:`repro.gles.intervals`) that differ from the recorded baseline.  The
+service device recombines ``decode_delta(baseline, patch)`` with the
+stored skeleton and executes the reconstruction, so the codec must be
+**exact**: frame digests compare ``repr`` of argument values, and any
+rounding (e.g. through 32-bit floats) would flag a fidelity mismatch.
+Floats therefore travel as IEEE-754 doubles — a Python float round-trips
+bit-for-bit — and booleans carry their own tag so ``True`` never decays
+to ``1``.
+
+Wire format (little-endian)::
+
+    u32 baseline_slot_count     # sanity check against the stored interval
+    u32 changed_count
+    changed_count * (u32 slot_index + tagged value)
+
+Tagged values: ``f`` float64, ``i`` int64, ``n`` big int (decimal ascii),
+``b`` bool, ``y`` bytes, ``s`` str, ``z`` None, ``t`` tuple (full
+replacement), ``d`` sparse tuple diff against the baseline tuple (changed
+elements only — a rotating 4x4 matrix patches 4 of 16 elements).
+
+An unchanged interval encodes to the 8-byte empty patch; malformed or
+truncated patches raise :class:`DeltaError`, which the replay path treats
+like digest divergence (demote + full-pipeline fallback).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, List, Sequence, Tuple
+
+_U32 = struct.Struct("<I")
+_F64 = struct.Struct("<d")
+_I64 = struct.Struct("<q")
+
+_I64_MIN, _I64_MAX = -(1 << 63), (1 << 63) - 1
+
+
+class DeltaError(ValueError):
+    """Patch cannot be applied to this baseline."""
+
+
+# -- value encoding ----------------------------------------------------------
+
+
+def _encode_value(value: Any, out: List[bytes]) -> None:
+    if isinstance(value, bool):  # before int: bool is an int subclass
+        out.append(b"b" + (b"\x01" if value else b"\x00"))
+    elif isinstance(value, float):
+        out.append(b"f" + _F64.pack(value))
+    elif isinstance(value, int):
+        if _I64_MIN <= value <= _I64_MAX:
+            out.append(b"i" + _I64.pack(value))
+        else:
+            digits = repr(value).encode("ascii")
+            out.append(b"n" + _U32.pack(len(digits)) + digits)
+    elif isinstance(value, bytes):
+        out.append(b"y" + _U32.pack(len(value)) + value)
+    elif isinstance(value, str):
+        blob = value.encode("utf-8")
+        out.append(b"s" + _U32.pack(len(blob)) + blob)
+    elif value is None:
+        out.append(b"z")
+    elif isinstance(value, tuple):
+        out.append(b"t" + _U32.pack(len(value)))
+        for item in value:
+            _encode_value(item, out)
+    else:
+        raise DeltaError(
+            f"unsupported dynamic value type {type(value).__name__!r}"
+        )
+
+
+def _encode_tuple_diff(
+    baseline: Tuple[Any, ...], live: Tuple[Any, ...], out: List[bytes]
+) -> None:
+    changed = [i for i, (a, b) in enumerate(zip(baseline, live)) if a != b]
+    out.append(b"d" + _U32.pack(len(live)) + _U32.pack(len(changed)))
+    for i in changed:
+        out.append(_U32.pack(i))
+        _encode_value(live[i], out)
+
+
+def _encode_slot(baseline: Any, live: Any, out: List[bytes]) -> None:
+    if (
+        isinstance(baseline, tuple)
+        and isinstance(live, tuple)
+        and len(baseline) == len(live)
+        and len(live) >= 4
+    ):
+        # Sparse element diff beats full replacement for long arrays with
+        # few moving elements; both encodings are deterministic, so pick
+        # by a fixed rule (same-length tuples always diff).
+        _encode_tuple_diff(baseline, live, out)
+    else:
+        _encode_value(live, out)
+
+
+class _Reader:
+    __slots__ = ("data", "pos")
+
+    def __init__(self, data: bytes):
+        self.data = data
+        self.pos = 0
+
+    def take(self, n: int) -> bytes:
+        if self.pos + n > len(self.data):
+            raise DeltaError("truncated patch")
+        chunk = self.data[self.pos : self.pos + n]
+        self.pos += n
+        return chunk
+
+    def u32(self) -> int:
+        return _U32.unpack(self.take(4))[0]
+
+
+def _decode_value(r: _Reader) -> Any:
+    tag = r.take(1)
+    if tag == b"b":
+        return r.take(1) == b"\x01"
+    if tag == b"f":
+        return _F64.unpack(r.take(8))[0]
+    if tag == b"i":
+        return _I64.unpack(r.take(8))[0]
+    if tag == b"n":
+        return int(r.take(r.u32()).decode("ascii"))
+    if tag == b"y":
+        return r.take(r.u32())
+    if tag == b"s":
+        return r.take(r.u32()).decode("utf-8")
+    if tag == b"z":
+        return None
+    if tag == b"t":
+        return tuple(_decode_value(r) for _ in range(r.u32()))
+    raise DeltaError(f"unknown value tag {tag!r}")
+
+
+def _decode_slot(baseline: Any, r: _Reader) -> Any:
+    if r.pos >= len(r.data):
+        raise DeltaError("truncated patch")
+    tag = r.data[r.pos : r.pos + 1]
+    if tag != b"d":
+        return _decode_value(r)
+    r.take(1)
+    total = r.u32()
+    if not isinstance(baseline, tuple) or len(baseline) != total:
+        raise DeltaError("sparse tuple diff against non-matching baseline")
+    items = list(baseline)
+    for _ in range(r.u32()):
+        idx = r.u32()
+        if idx >= total:
+            raise DeltaError("sparse diff index out of range")
+        items[idx] = _decode_value(r)
+    return tuple(items)
+
+
+# -- public API --------------------------------------------------------------
+
+
+def changed_slots(
+    baseline: Sequence[Any], live: Sequence[Any]
+) -> List[int]:
+    """Indices of dynamic slots whose live value differs from baseline."""
+    if len(baseline) != len(live):
+        raise DeltaError(
+            f"slot count mismatch: baseline {len(baseline)}, "
+            f"live {len(live)}"
+        )
+    return [i for i, (a, b) in enumerate(zip(baseline, live)) if a != b]
+
+
+def encode_delta(baseline: Sequence[Any], live: Sequence[Any]) -> bytes:
+    """Patch turning the baseline dynamics into the live dynamics."""
+    changed = changed_slots(baseline, live)
+    out: List[bytes] = [_U32.pack(len(baseline)), _U32.pack(len(changed))]
+    for i in changed:
+        out.append(_U32.pack(i))
+        _encode_slot(baseline[i], live[i], out)
+    return b"".join(out)
+
+
+def decode_delta(baseline: Sequence[Any], patch: bytes) -> Tuple[Any, ...]:
+    """Apply a patch to recorded baseline dynamics; exact inverse of
+    :func:`encode_delta` (``decode_delta(b, encode_delta(b, live)) ==
+    tuple(live)``)."""
+    r = _Reader(patch)
+    count = r.u32()
+    if count != len(baseline):
+        raise DeltaError(
+            f"patch was built against {count} slots, store has "
+            f"{len(baseline)}"
+        )
+    live = list(baseline)
+    n_changed = r.u32()
+    for _ in range(n_changed):
+        idx = r.u32()
+        if idx >= len(live):
+            raise DeltaError("changed slot index out of range")
+        live[idx] = _decode_slot(live[idx], r)
+    if r.pos != len(r.data):
+        raise DeltaError("trailing bytes after patch")
+    return tuple(live)
+
+
+def encode_values(values: Sequence[Any]) -> bytes:
+    """Standalone encoding of a dynamics tuple (store size accounting)."""
+    out: List[bytes] = [_U32.pack(len(values))]
+    for value in values:
+        _encode_value(value, out)
+    return b"".join(out)

@@ -22,6 +22,15 @@ from repro.gles.serialization import CommandSerializer
 from repro.obs.spans import OpenSpan, SpanRecorder
 
 
+# Replay-hit frame framing: 2-byte marker + 8-byte interval address +
+# 8-byte expected stream digest + 1-byte dynamics-variant index + u16
+# patch length.  The header does not grow with interval length — that is
+# the whole point of the fast path — so only the patch portion is
+# subject to nominal-stream scaling.
+REPLAY_HIT_MARKER = b"\xCA\xFD"
+REPLAY_HEADER_BYTES = 2 + 8 + 8 + 1 + 2
+
+
 def _key_digest(key: Tuple) -> bytes:
     """Stable 8-byte digest of a cache key for the wire reference.
 
@@ -60,6 +69,7 @@ class FrameEgress:
     commands: int
     cache_hits: int
     payload: Optional[bytes] = None
+    kind: str = "full"        # "full" | "replay_hit"
 
 
 class CommandPipeline:
@@ -89,8 +99,23 @@ class CommandPipeline:
         commands: List[GLCommand],
         frame_id: Optional[int] = None,
         parent: Optional[OpenSpan] = None,
+        replay_patch: Optional[bytes] = None,
+        replay_digest: str = "",
+        replay_expect: str = "",
+        replay_variant: int = 0,
     ) -> FrameEgress:
-        """Run one frame's command batch through the pipeline."""
+        """Run one frame's command batch through the pipeline.
+
+        With ``replay_patch`` set the frame travels as a replay hit: the
+        serializer/cache/compressor are bypassed and the wire carries only
+        the interval address, the expected stream digest, and the
+        dynamic-delta patch (see :mod:`repro.replay`).
+        """
+        if replay_patch is not None:
+            return self._emit_replay_hit(
+                replay_patch, replay_digest, replay_expect, replay_variant,
+                frame_id, parent,
+            )
         wires: List[bytes] = []
         originals: List[GLCommand] = []
         for cmd in commands:
@@ -182,6 +207,45 @@ class CommandPipeline:
             commands=len(wires),
             cache_hits=cache_hits,
             payload=payload,
+        )
+
+    def _emit_replay_hit(
+        self,
+        patch: bytes,
+        digest: str,
+        expect: str,
+        variant: int,
+        frame_id: Optional[int],
+        parent: Optional[OpenSpan],
+    ) -> FrameEgress:
+        header = (
+            REPLAY_HIT_MARKER
+            + bytes.fromhex(digest)[:8].ljust(8, b"\x00")
+            + bytes.fromhex(expect)[:8].ljust(8, b"\x00")
+            + (variant & 0xFF).to_bytes(1, "little")
+            + len(patch).to_bytes(2, "little")
+        )
+        wire_bytes = len(header) + len(patch)
+        self.total_wire += wire_bytes
+        self.frames += 1
+        if self.spans is not None:
+            now = self.clock() if self.clock is not None else 0.0
+            self.spans.add(
+                "codec", "encode", now, now,
+                track="client", frame_id=frame_id,
+                parent=parent.qualified_name if parent is not None else None,
+                depth=parent.depth + 1 if parent is not None else 0,
+                raw_bytes=0, wire_bytes=wire_bytes,
+                cache_hits=0, kind="replay_hit",
+            )
+        return FrameEgress(
+            raw_bytes=0,
+            after_cache_bytes=wire_bytes,
+            wire_bytes=wire_bytes,
+            commands=0,
+            cache_hits=0,
+            payload=header + patch,
+            kind="replay_hit",
         )
 
     @property

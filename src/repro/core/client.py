@@ -19,8 +19,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro.check.digest import command_digest
 from repro.codec.frames import FrameImage
-from repro.codec.pipeline import CommandPipeline, PipelineConfig
+from repro.codec.pipeline import (
+    REPLAY_HEADER_BYTES,
+    CommandPipeline,
+    PipelineConfig,
+)
 from repro.core.config import GBoosterConfig
 from repro.core.server import ServiceNode
 from repro.devices.runtime import UserDeviceRuntime
@@ -69,6 +74,8 @@ class GBoosterClient:
         config: Optional[GBoosterConfig] = None,
         multicast: Optional[MulticastGroup] = None,
         nominal_commands_per_frame: int = 0,
+        replay_store=None,
+        replay_session_id: str = "",
     ):
         if not nodes:
             raise ValueError("GBooster needs at least one service device")
@@ -97,6 +104,16 @@ class GBoosterClient:
         else:
             self.scheduler = RoundRobinScheduler(on_assign=self._on_assign)
         self.reorder = ReorderBuffer(max_held=64)
+        # Record-once / replay-many fast path (repro.replay).  Multi-device
+        # mode keeps the full pipeline: the state-replication split needs
+        # the real command batch on the wire for every node.
+        self.replay = None
+        if replay_store is not None and len(self.nodes) == 1:
+            from repro.replay.session import ReplaySession
+
+            self.replay = ReplaySession(
+                replay_store, session_id=replay_session_id or "session"
+            )
         self.stats = ClientStats()
         self._completions: Dict[int, Event] = {}
         self._failed_nodes: set = set()
@@ -206,18 +223,80 @@ class GBoosterClient:
             len(request.commands),
         )
         request.metadata["nominal_commands"] = nominal
-
-        # 1. Egress pipeline on the real (subsampled) command batch.
-        egress = self.pipeline.process_frame(
-            list(request.commands),
-            frame_id=request.frame_id,
-            parent=request.metadata.get("frame_span"),
-        )
-        scale = nominal / max(1, egress.commands)
-        wire_bytes = max(64, int(egress.wire_bytes * scale))
-        raw_bytes = int(egress.raw_bytes * scale)
-        self.stats.raw_command_bytes += raw_bytes
         metrics = self.sim.metrics
+
+        # 0. Replay fast path: a known interval ships as digest + delta.
+        decision = None
+        if self.replay is not None:
+            decision = self.replay.classify(request.commands)
+
+        if decision is not None and decision.action == "serve":
+            entry = decision.entry
+            expect = command_digest(request.commands)
+            egress = self.pipeline.process_frame(
+                [],
+                frame_id=request.frame_id,
+                parent=request.metadata.get("frame_span"),
+                replay_patch=decision.patch,
+                replay_digest=decision.digest,
+                replay_expect=expect,
+                replay_variant=decision.variant,
+            )
+            # The header is interval-length-invariant; only the patch
+            # grows with the nominal stream.
+            scale = nominal / max(1, len(request.commands))
+            wire_bytes = max(
+                64,
+                REPLAY_HEADER_BYTES + int(len(decision.patch) * scale),
+            )
+            raw_bytes = entry.raw_bytes
+            nominal = max(1, int(decision.changed_commands * scale))
+            request.metadata["nominal_commands"] = nominal
+            request.metadata["replay"] = {
+                "digest": decision.digest,
+                "patch": decision.patch,
+                "expect": expect,
+                "promote": decision.promote,
+                "variant": decision.variant,
+                "full_wire_bytes": entry.wire_bytes,
+                "full_nominal": entry.nominal_commands,
+            }
+            self.replay.stats.saved_wire_bytes += max(
+                0, entry.wire_bytes - wire_bytes
+            )
+            metrics.counter("replay.hits").inc()
+            metrics.counter("replay.bytes_saved").inc(
+                max(0, entry.wire_bytes - wire_bytes)
+            )
+            if self.sim.telemetry is not None:
+                self.sim.telemetry.observe(
+                    "replay.hits", 1.0, agg="count",
+                )
+        else:
+            # 1. Egress pipeline on the real (subsampled) command batch.
+            egress = self.pipeline.process_frame(
+                list(request.commands),
+                frame_id=request.frame_id,
+                parent=request.metadata.get("frame_span"),
+            )
+            scale = nominal / max(1, egress.commands)
+            wire_bytes = max(64, int(egress.wire_bytes * scale))
+            raw_bytes = int(egress.raw_bytes * scale)
+            if decision is not None and decision.action == "record":
+                self.replay.commit_record(
+                    decision,
+                    wire_bytes=wire_bytes,
+                    raw_bytes=raw_bytes,
+                    nominal_commands=nominal,
+                )
+                metrics.counter("replay.records").inc()
+                metrics.gauge("replay.store_bytes").set(
+                    self.replay.store.bytes_stored
+                )
+                metrics.gauge("replay.cache_bytes").set(
+                    self.pipeline.cache.sender.byte_size()
+                )
+        self.stats.raw_command_bytes += raw_bytes
         metrics.counter("cache.hits").inc(egress.cache_hits)
         metrics.counter("cache.misses").inc(
             max(0, egress.commands - egress.cache_hits)
@@ -441,6 +520,22 @@ class GBoosterClient:
             if event is not None and not event.triggered:
                 event.trigger(req)
             self.stats.frames_presented += 1
+            outcome = req.metadata.pop("replay_outcome", None)
+            if outcome is not None and self.replay is not None:
+                if outcome == "promoted":
+                    self.replay.note_promotion()
+                    self.sim.metrics.counter("replay.promotions").inc()
+                elif outcome == "diverged":
+                    # The fast path failed for this frame: the full batch
+                    # was (re)transmitted, so re-pay its uplink bytes.
+                    self.replay.note_divergence()
+                    full = req.metadata.get("replay", {}).get(
+                        "full_wire_bytes", 0
+                    )
+                    self.stats.uplink_bytes += full
+                    self.device.network.account(full)
+                    self.sim.metrics.counter("replay.demotions").inc()
+                    self.sim.metrics.counter("replay.fallbacks").inc()
             self.device.surface.attach_back(None)
             # "present": downlink arrival -> in-order release; zero for
             # frames already in order, the reorder-buffer wait otherwise.

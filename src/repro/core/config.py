@@ -88,6 +88,18 @@ class GBoosterConfig:
     #: :func:`~repro.obs.telemetry.default_session_slos`.
     slos: Optional[object] = None
 
+    # -- record-once / replay-many fast path (repro.replay) -----------------------------
+    #: serve recurring command intervals from the content-addressed replay
+    #: store: recording sessions deposit intervals, later sessions of the
+    #: same title ship only the interval digest + a dynamic-delta patch.
+    replay: bool = False
+    #: per-title byte budget of the replay store (LRU + refcount eviction)
+    replay_store_bytes: int = 4 << 20
+    #: service-side cost of serving one replay hit (pinned-stack lookup +
+    #: patch apply + interval enqueue) — replaces decompress + per-command
+    #: replay for the unchanged part of the interval
+    replay_hit_ms: float = 0.12
+
     # -- multi-user service scheduling (§VIII future work, implemented) --------------
     #: "fcfs" is the paper's prototype; "priority" serves time-critical
     #: applications (fast-paced games) ahead of queued requests from
@@ -135,5 +147,9 @@ class GBoosterConfig:
             )
         if self.cache_capacity <= 0:
             raise ValueError("cache_capacity must be positive")
+        if self.replay_store_bytes <= 0:
+            raise ValueError("replay_store_bytes must be positive")
+        if self.replay_hit_ms < 0:
+            raise ValueError("replay_hit_ms must be non-negative")
         if self.faults is not None:
             self.faults.validate()

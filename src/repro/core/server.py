@@ -55,6 +55,10 @@ class NodeStats:
     encode_ms_total: float = 0.0
     gpu_ms_total: float = 0.0
     bytes_returned: int = 0
+    # record-once / replay-many fast path (repro.replay)
+    replay_hits: int = 0
+    replay_fallbacks: int = 0
+    replay_ms_saved: float = 0.0
 
 
 class ServiceNode:
@@ -68,6 +72,7 @@ class ServiceNode:
         downlink: Transport,
         rtt_ms: float,
         account_downlink: Optional[Callable[[int], None]] = None,
+        replay_store=None,
     ):
         self.sim = sim
         self.runtime = runtime
@@ -75,6 +80,9 @@ class ServiceNode:
         self.downlink = downlink
         self.rtt_ms = rtt_ms
         self.account_downlink = account_downlink
+        #: shared per-title ReplayStore (the controller-distributed copy);
+        #: lets this node serve replay-hit frames from recorded intervals
+        self.replay_store = replay_store
         self.name = runtime.spec.name
         if config.service_queue_policy == "priority":
             self.queue = PriorityStore(sim, name=f"{self.name}.work")
@@ -198,6 +206,70 @@ class ServiceNode:
             return float("inf")
         return request.fill_megapixels / stage
 
+    # -- replay fast path -----------------------------------------------------------------
+
+    def _full_replay_ms(self, nominal_commands: int, perf: float) -> float:
+        """What the full decompress+replay pipeline would have charged."""
+        cfg = self.config
+        ms = cfg.decompress_ms / perf
+        ms += nominal_commands * cfg.replay_us_per_command / 1000.0 / perf
+        if not self.runtime.spec.cpu.is_arm:
+            ms += (
+                nominal_commands
+                * cfg.es_translate_us_per_command
+                / 1000.0
+                / perf
+            )
+        return ms
+
+    def _resolve_replay(self, request: RenderRequest, info: dict):
+        """Reconstruct a replay-hit interval and differentially verify it.
+
+        Returns ``(commands, outcome)``.  The reconstruction's digest must
+        equal the digest of the live stream the client issued; equality on
+        a promote-serve is the ``run_replay_pair``-style verification that
+        upgrades the entry to VERIFIED.  Any mismatch — corrupt patch,
+        corrupt store entry, or the entry having been evicted while the
+        hit was in flight — demotes the entry and falls back to the live
+        commands the request carries (simulation bookkeeping standing in
+        for the client's retransmission, which the client re-accounts as
+        uplink bytes when it sees the ``diverged`` outcome).
+        """
+        from repro.check.digest import command_digest
+        from repro.codec.delta import DeltaError
+        from repro.gles.intervals import IntervalError
+        from repro.replay.session import reconstruct_interval
+
+        entry = (
+            self.replay_store.get(info["digest"])
+            if self.replay_store is not None
+            else None
+        )
+        reconstructed = None
+        if entry is not None:
+            try:
+                reconstructed = reconstruct_interval(
+                    entry, info["patch"], info.get("variant", 0)
+                )
+            except (DeltaError, IntervalError):
+                reconstructed = None
+        if (
+            reconstructed is not None
+            and command_digest(reconstructed) == info["expect"]
+        ):
+            outcome = "ok"
+            if info.get("promote") and self.replay_store is not None:
+                if self.replay_store.promote(info["digest"]):
+                    outcome = "promoted"
+            return reconstructed, outcome
+        if self.replay_store is not None:
+            self.replay_store.demote(info["digest"])
+        self.sim.tracer.record(
+            self.sim.now, "replay", "divergence",
+            node=self.name, digest=info["digest"][:16],
+        )
+        return list(request.commands), "diverged"
+
     # -- the daemon loop ------------------------------------------------------------------
 
     def _run(self) -> Generator:
@@ -211,18 +283,36 @@ class ServiceNode:
                 continue
             dequeued_at = self.sim.now
             self.runtime.cpu.set_load("daemon", 0.6)
-            # Decompress + replay the command batch.
-            replay_ms = cfg.decompress_ms / perf
-            replay_ms += (
-                item.commands_nominal * cfg.replay_us_per_command / 1000.0 / perf
-            )
-            if not self.runtime.spec.cpu.is_arm:
+            replay_info = None
+            if item.kind == "frame" and item.request is not None:
+                replay_info = item.request.metadata.get("replay")
+            if replay_info is not None:
+                # Replay hit: the recorded interval is already resident —
+                # no stream decompress, no ES translation (paid once at
+                # record time); just look up, patch and enqueue.
+                replay_ms = cfg.replay_hit_ms / perf
                 replay_ms += (
                     item.commands_nominal
-                    * cfg.es_translate_us_per_command
+                    * cfg.replay_us_per_command
                     / 1000.0
                     / perf
                 )
+            else:
+                # Decompress + replay the command batch.
+                replay_ms = cfg.decompress_ms / perf
+                replay_ms += (
+                    item.commands_nominal
+                    * cfg.replay_us_per_command
+                    / 1000.0
+                    / perf
+                )
+                if not self.runtime.spec.cpu.is_arm:
+                    replay_ms += (
+                        item.commands_nominal
+                        * cfg.es_translate_us_per_command
+                        / 1000.0
+                        / perf
+                    )
             yield replay_ms
             self.stats.replay_ms_total += replay_ms
 
@@ -232,12 +322,36 @@ class ServiceNode:
                 continue
 
             request = item.request
-            # Replay the real (subsampled) commands through the context so
-            # state consistency is observable, then render.
-            self.runtime.context.execute_sequence(request.commands)
+            commands = request.commands
+            if replay_info is not None:
+                commands, outcome = self._resolve_replay(
+                    request, replay_info
+                )
+                request.metadata["replay_outcome"] = outcome
+                if outcome == "diverged":
+                    # Fallback re-runs the full pipeline for this frame:
+                    # charge what the fast path thought it was skipping.
+                    penalty_ms = self._full_replay_ms(
+                        replay_info.get("full_nominal", 0), perf
+                    )
+                    yield penalty_ms
+                    self.stats.replay_ms_total += penalty_ms
+                    self.stats.replay_fallbacks += 1
+                else:
+                    self.stats.replay_hits += 1
+                    self.stats.replay_ms_saved += max(
+                        0.0,
+                        self._full_replay_ms(
+                            replay_info.get("full_nominal", 0), perf
+                        )
+                        - replay_ms,
+                    )
+            # Replay the (reconstructed or subsampled live) commands through
+            # the context so state consistency is observable, then render.
+            self.runtime.context.execute_sequence(commands)
             if self.sim.digests is not None:
                 self.sim.digests.record_execution(
-                    request.frame_id, request.commands, site=self.name
+                    request.frame_id, commands, site=self.name
                 )
             completion = self.sim.event(
                 name=f"{self.name}.gpu.{request.request_id}"

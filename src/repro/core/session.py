@@ -82,6 +82,9 @@ class SessionResult:
     #: the armed :class:`~repro.obs.telemetry.TelemetryHub` (series, SLO
     #: trackers, alerts) when ``config.telemetry`` was set.
     telemetry: Optional[TelemetryHub] = None
+    #: the client's :class:`~repro.replay.ReplaySession` when
+    #: ``config.replay`` was set (protocol stats + the title store).
+    replay: Optional[object] = None
 
     @property
     def response_time_ms(self) -> float:
@@ -183,11 +186,30 @@ def run_offload_session(
     config: Optional[GBoosterConfig] = None,
     duration_ms: float = 60_000.0,
     seed: int = 0,
+    replay_hub=None,
+    replay_session_id: str = "",
 ) -> SessionResult:
-    """A GBooster session against one or more service devices."""
+    """A GBooster session against one or more service devices.
+
+    ``replay_hub`` (a :class:`~repro.replay.ReplayHub`) is the shared
+    fleet-wide replay store; passing the same hub to several sessions of
+    one title is what makes later sessions replay warm.  With
+    ``config.replay`` set and no hub given, the session gets a private
+    one (records, but nothing to replay from).  ``replay_session_id``
+    distinguishes sessions sharing a hub — a recorder never replays its
+    own unverified intervals.
+    """
     config = config or GBoosterConfig()
     config.validate()
     service_devices = list(service_devices or [NVIDIA_SHIELD])
+    replay_store = None
+    if config.replay:
+        from repro.replay import ReplayHub
+
+        hub = replay_hub if replay_hub is not None else ReplayHub(
+            capacity_bytes_per_title=config.replay_store_bytes
+        )
+        replay_store = hub.namespace(app.name)
     sim = Simulator(seed=seed)
     check: Optional[SessionCheck] = None
     monitor: Optional[InvariantMonitor] = None
@@ -236,6 +258,7 @@ def run_offload_session(
             downlink=downlink,
             rtt_ms=rtt_ms,
             account_downlink=device.network.account,
+            replay_store=replay_store,
         )
         # Give repeated specs unique names so routing keys stay distinct.
         if spec.name in uplinks:
@@ -279,6 +302,8 @@ def run_offload_session(
         config=config,
         multicast=multicast,
         nominal_commands_per_frame=app.nominal_commands_per_frame,
+        replay_store=replay_store,
+        replay_session_id=replay_session_id or f"session-{seed}",
     )
     downlink.bind(
         device.network.radio_provider,
@@ -340,6 +365,8 @@ def run_offload_session(
         monitor.finalize()
     if telemetry is not None:
         telemetry.finalize()
+    if client.replay is not None:
+        client.replay.close()   # release this session's store pins
     frames = engine.presented_frames()
 
     # t_p (Eq. 5): mean uplink delivery + mean downlink delivery + mean
@@ -378,4 +405,5 @@ def run_offload_session(
         faults=injector,
         check=check,
         telemetry=telemetry,
+        replay=client.replay,
     )

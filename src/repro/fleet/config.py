@@ -68,6 +68,20 @@ class FleetConfig:
     #: (textures, buffers, programs — a bounded working set)
     migration_state_factor: float = 1.5
 
+    # -- record-once / replay-many (repro.replay) ----------------------------
+    #: arm a controller-owned :class:`~repro.replay.ReplayHub`: the first
+    #: session of a title records its intervals, every later session of
+    #: the same title is served warm from the shared store (replay is
+    #: incompatible with kernel sharding — per-shard hubs would break the
+    #: content-address invariance — so sharded sweeps leave this off)
+    replay: bool = False
+    #: per-title store budget for the controller's hub
+    replay_store_bytes: int = 4 << 20
+    #: fraction of the nominal per-frame command work a warm (replay-served)
+    #: session still costs its node; calibrated against the single-session
+    #: warm/cold server-time ratio of the R4 bench (~20x cheaper)
+    replay_warm_factor: float = 0.05
+
     # -- correctness checking (repro.check) ----------------------------------
     #: arm a runtime :class:`~repro.check.InvariantMonitor` on the
     #: controller's simulator (session ownership, frame conservation,
@@ -104,5 +118,9 @@ class FleetConfig:
             raise ValueError("pipeline_depth must be at least 1")
         if self.migration_state_factor < 0:
             raise ValueError("migration_state_factor must be non-negative")
+        if self.replay_store_bytes <= 0:
+            raise ValueError("replay_store_bytes must be positive")
+        if not 0.0 < self.replay_warm_factor <= 1.0:
+            raise ValueError("replay_warm_factor must be in (0, 1]")
         if self.faults is not None:
             self.faults.validate()

@@ -69,6 +69,17 @@ class FleetController:
         self.registry = DeviceRegistry(sim, self.config)
         self.registry.on_lost = self._on_device_lost
         self.registry.on_join = self._on_device_join
+        #: controller-owned fleet-wide replay store: the first session of
+        #: a title records, every later one of that title serves warm
+        self.replay_hub = None
+        self.warm_sessions = 0
+        self.cold_sessions = 0
+        if self.config.replay:
+            from repro.replay import ReplayHub
+
+            self.replay_hub = ReplayHub(
+                capacity_bytes_per_title=self.config.replay_store_bytes
+            )
         self.admission = AdmissionController(sim, self.config)
         self.placer = SessionPlacer(sim, self.config)
 
@@ -174,6 +185,10 @@ class FleetController:
                 1 for s in self.active.values()
                 if s.node is not None and s.node.name == node.name
             )
+            if self.replay_hub is not None:
+                # Advertise the replay-store generation the device serves
+                # from, so the controller can tell stale views apart.
+                return payload, active, self.replay_hub.generation()
             return payload, active
 
         return probe
@@ -211,6 +226,18 @@ class FleetController:
             self.sim, request, self.config,
             duration_ms=self._session_duration_ms,
         )
+        if self.replay_hub is not None:
+            session.replay_warm = self.replay_hub.session_started(
+                request.app.name
+            )
+            if session.replay_warm:
+                self.warm_sessions += 1
+            else:
+                self.cold_sessions += 1
+            self.sim.metrics.counter(
+                "fleet.replay.sessions",
+                kind="warm" if session.replay_warm else "cold",
+            ).inc()
         node = self.placer.place(
             session,
             nodes=self._up_nodes(),
@@ -503,6 +530,13 @@ class FleetController:
             "tiers": per_tier,
             "devices": devices,
         }
+        if self.replay_hub is not None:
+            report["replay"] = {
+                "warm_sessions": self.warm_sessions,
+                "cold_sessions": self.cold_sessions,
+                "warm_factor": self.config.replay_warm_factor,
+                "hub_generation": self.replay_hub.generation(),
+            }
         blob = json.dumps(report, sort_keys=True).encode()
         report["digest"] = hashlib.sha256(blob).hexdigest()
         return report

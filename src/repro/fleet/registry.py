@@ -22,9 +22,11 @@ from repro.devices.profiles import DeviceSpec
 from repro.fleet.config import FleetConfig
 from repro.sim.kernel import Simulator
 
-#: answers (queued_workload_mp, active_sessions) — or None when the
-#: device is silent (crashed, unplugged, off the network)
-HeartbeatProbe = Callable[[], Optional[Tuple[float, int]]]
+#: answers (queued_workload_mp, active_sessions) — optionally extended
+#: to (queued_workload_mp, active_sessions, replay_generation) by
+#: replay-enabled fleets — or None when the device is silent (crashed,
+#: unplugged, off the network)
+HeartbeatProbe = Callable[[], Optional[Tuple]]
 
 
 @dataclass
@@ -34,6 +36,9 @@ class Heartbeat:
     time_ms: float
     queued_workload_mp: float
     active_sessions: int
+    #: the replay-store generation this device's serving view reflects
+    #: (0 when the fleet runs without the replay hub)
+    replay_generation: int = 0
 
 
 @dataclass
@@ -105,8 +110,11 @@ class DeviceRegistry:
             answer = dev.probe()
             if answer is None:
                 continue  # silence; the monitor draws the conclusion
-            workload, sessions = answer
-            dev.last_heartbeat = Heartbeat(self.sim.now, workload, sessions)
+            workload, sessions = answer[0], answer[1]
+            generation = answer[2] if len(answer) > 2 else 0
+            dev.last_heartbeat = Heartbeat(
+                self.sim.now, workload, sessions, generation
+            )
             if dev.state == "down":
                 dev.state = "up"
                 dev.joins += 1

@@ -73,6 +73,9 @@ class FleetSession:
         self.tier = request.tier
         self.node: Optional[FleetNode] = None
         self.started_at_ms: Optional[float] = None
+        #: set by a replay-enabled controller when an earlier session of
+        #: this title already recorded: frames cost the warm factor only
+        self.replay_warm = False
         self.migrations = 0
         self.last_migration_ms = -float("inf")
         self.response_times_ms: List[float] = []
@@ -124,11 +127,18 @@ class FleetSession:
                 )
                 yield self._gate
                 self._gate = None
+            commands = self.app.nominal_commands_per_frame
+            if self.replay_warm:
+                # Delta-served interval: the node patches the recorded
+                # skeleton instead of decoding + translating the stream.
+                commands = max(
+                    1, int(commands * self.config.replay_warm_factor)
+                )
             task = FrameTask(
                 session_id=self.session_id,
                 seq=self._seq,
                 fill_megapixels=self.app.fill_mp_per_frame,
-                commands_nominal=self.app.nominal_commands_per_frame,
+                commands_nominal=commands,
                 width=self.app.render_width,
                 height=self.app.render_height,
                 priority=self.priority,

@@ -1,0 +1,182 @@
+"""Interval framing and skeleton/dynamics splitting for record-and-replay.
+
+GPUReplay-style replay caching needs a *content address* for a command
+interval that survives the per-frame drift real streams exhibit: the
+structure of a frame (which entry points, which objects, which draw
+layout) recurs across frames and across sessions of the same title, while
+a handful of argument slots — uniform values, animated float arrays —
+change every frame.  This module splits an interval into:
+
+* the **skeleton**: the per-command structural keys with dynamic argument
+  slots masked out.  Digesting the skeleton (via
+  :class:`repro.check.IntervalDigest`) yields the interval's content
+  address; two frames with the same skeleton can share one recorded
+  interval.
+* the **dynamics**: the masked slot values in stream order.  A replay hit
+  ships only the *delta* of these against the recorded interval's
+  dynamics (see :mod:`repro.codec.delta`).
+
+Dynamic slots are the float-valued parameter kinds (``FLOAT``,
+``FLOAT_ARRAY`` — uniforms, attrib constants, clear colors).  Bulk
+payloads (``BLOB``/``DEFERRED_POINTER`` vertex data) stay *structural*:
+they are content-addressed with the interval, which is exactly the
+record-once / replay-many economics — a recorded interval carries its
+buffers, and a repeat session replays them without re-uploading.
+
+``iter_intervals`` frames a flat command stream (e.g. a
+:class:`~repro.gles.trace_file.TraceReader`) into per-frame intervals at
+``glClear`` boundaries, the same boundary the engine uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, List, Sequence, Tuple
+
+from repro.gles.commands import (
+    GLCommand,
+    ParamType,
+    _freeze,
+    command_spec,
+)
+
+#: argument kinds masked out of the skeleton and shipped as deltas
+DYNAMIC_KINDS = frozenset({ParamType.FLOAT, ParamType.FLOAT_ARRAY})
+
+#: default interval boundary: the engine opens every frame with a clear
+BOUNDARY_COMMAND = "glClear"
+
+
+class IntervalError(ValueError):
+    """A skeleton/dynamics pair that cannot be recombined."""
+
+
+class _DynamicSlot:
+    """Placeholder for a masked argument; repr is stable for digesting."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "<dyn>"
+
+
+DYN = _DynamicSlot()
+
+
+@dataclass(frozen=True)
+class IntervalSplit:
+    """One interval factored into structural skeleton + dynamic values."""
+
+    #: per-command ``(name, masked_args)`` structural keys
+    skeleton: Tuple[Tuple[str, Tuple[Any, ...]], ...]
+    #: masked slot values in stream order (frozen, digest-stable)
+    dynamics: Tuple[Any, ...]
+    #: index into ``skeleton`` owning each dynamic slot
+    slot_commands: Tuple[int, ...]
+
+    def changed_commands(self, changed_slots: Iterable[int]) -> int:
+        """Distinct commands touched by a set of changed dynamic slots."""
+        return len({self.slot_commands[i] for i in changed_slots})
+
+
+def _dynamic_mask(cmd: GLCommand) -> Tuple[bool, ...]:
+    """Per-argument dynamic flags; unknown/misshapen commands are all
+    structural (foreign test objects digest like ``command_digest``)."""
+    try:
+        spec = command_spec(cmd.name)
+    except KeyError:
+        return (False,) * len(cmd.args)
+    if len(spec.params) != len(cmd.args):
+        return (False,) * len(cmd.args)
+    return tuple(p.kind in DYNAMIC_KINDS for p in spec.params)
+
+
+def structural_key(cmd: GLCommand) -> Tuple[str, Tuple[Any, ...]]:
+    """``cmd.key()`` with dynamic argument slots masked to ``<dyn>``."""
+    mask = _dynamic_mask(cmd)
+    args = tuple(
+        DYN if dynamic else _freeze(arg)
+        for arg, dynamic in zip(cmd.args, mask)
+    )
+    return (cmd.name, args)
+
+
+def split_interval(commands: Sequence[GLCommand]) -> IntervalSplit:
+    """Factor an interval into its skeleton and dynamic slot values."""
+    skeleton: List[Tuple[str, Tuple[Any, ...]]] = []
+    dynamics: List[Any] = []
+    slot_commands: List[int] = []
+    for idx, cmd in enumerate(commands):
+        mask = _dynamic_mask(cmd)
+        masked = []
+        for arg, dynamic in zip(cmd.args, mask):
+            frozen = _freeze(arg)
+            if dynamic:
+                masked.append(DYN)
+                dynamics.append(frozen)
+                slot_commands.append(idx)
+            else:
+                masked.append(frozen)
+        skeleton.append((cmd.name, tuple(masked)))
+    return IntervalSplit(
+        skeleton=tuple(skeleton),
+        dynamics=tuple(dynamics),
+        slot_commands=tuple(slot_commands),
+    )
+
+
+def reconstruct(
+    skeleton: Sequence[Tuple[str, Tuple[Any, ...]]],
+    dynamics: Sequence[Any],
+) -> List[GLCommand]:
+    """Recombine a skeleton with dynamic values into executable commands.
+
+    The inverse of :func:`split_interval`:
+    ``reconstruct(s.skeleton, s.dynamics)`` executes (and digests)
+    identically to the original interval.  Raises :class:`IntervalError`
+    when the slot counts disagree — the store-corruption case the
+    replay verifier demotes on.
+    """
+    out: List[GLCommand] = []
+    cursor = 0
+    for name, masked in skeleton:
+        args: List[Any] = []
+        for slot in masked:
+            if slot is DYN:
+                if cursor >= len(dynamics):
+                    raise IntervalError(
+                        f"skeleton wants more dynamic slots than provided "
+                        f"({len(dynamics)})"
+                    )
+                args.append(dynamics[cursor])
+                cursor += 1
+            else:
+                args.append(slot)
+        out.append(GLCommand(name=name, args=tuple(args)))
+    if cursor != len(dynamics):
+        raise IntervalError(
+            f"interval used {cursor} dynamic slots but patch carries "
+            f"{len(dynamics)}"
+        )
+    return out
+
+
+def iter_intervals(
+    commands: Iterable[GLCommand],
+    boundary: str = BOUNDARY_COMMAND,
+) -> Iterator[List[GLCommand]]:
+    """Frame a flat command stream into intervals at ``boundary`` calls.
+
+    Each yielded interval starts with a ``boundary`` command (commands
+    before the first boundary form a setup prelude, yielded first).  This
+    is how the recorder frames a :class:`~repro.gles.trace_file.TraceReader`
+    stream back into per-frame intervals.
+    """
+    current: List[GLCommand] = []
+    for cmd in commands:
+        if cmd.name == boundary and current:
+            yield current
+            current = []
+        current.append(cmd)
+    if current:
+        yield current

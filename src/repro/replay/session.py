@@ -1,0 +1,241 @@
+"""The record → verify → replay protocol, client and server halves.
+
+Client side (:class:`ReplaySession`): for every frame interval, compute
+the skeleton digest (streaming :class:`~repro.check.IntervalDigest` over
+the structural keys) and decide:
+
+* ``record`` — unknown interval: run the full pipeline, then deposit the
+  split interval plus its observed wire cost into the store.
+* ``bypass`` — the store holds *this session's own* unverified
+  recording: run the full pipeline (a recorder cannot verify itself).
+* ``serve`` — another session recorded it (``promote=True`` on first
+  re-encounter, the differential-verification serve) or it is already
+  ``VERIFIED``: ship digest + dynamic-delta patch only.
+
+Server side (:func:`reconstruct_interval`): recombine the stored
+skeleton with the patched dynamics; the caller digest-compares the
+reconstruction against the digest of the live stream the client issued
+(``expect``).  Equality on a promote-serve proves recorded and live
+execution agree — the entry is promoted.  Any mismatch (or a corrupt
+patch/skeleton) demotes the entry and the frame falls back to the full
+pipeline, so divergence costs a round of bytes but never fidelity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.check.digest import IntervalDigest
+from repro.codec.delta import (
+    DeltaError,
+    changed_slots,
+    decode_delta,
+    encode_delta,
+)
+from repro.gles.intervals import (
+    IntervalError,
+    IntervalSplit,
+    reconstruct,
+    split_interval,
+    structural_key,
+)
+from repro.replay.store import RECORDED, RecordedInterval, ReplayStore
+
+
+@dataclass
+class ReplayStats:
+    """Client-side protocol outcomes for one session."""
+
+    records: int = 0
+    rejected: int = 0        # store admission refusals
+    own_skips: int = 0       # full pipeline on own unverified recording
+    hits: int = 0            # delta-serves (includes verify-serves)
+    verifies: int = 0        # delta-serves that attempt promotion
+    promotions: int = 0
+    demotions: int = 0
+    fallbacks: int = 0       # serves that diverged and re-paid full bytes
+    patch_bytes: int = 0
+    saved_wire_bytes: int = 0
+    saved_server_commands: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "records": self.records,
+            "rejected": self.rejected,
+            "own_skips": self.own_skips,
+            "hits": self.hits,
+            "verifies": self.verifies,
+            "promotions": self.promotions,
+            "demotions": self.demotions,
+            "fallbacks": self.fallbacks,
+            "patch_bytes": self.patch_bytes,
+            "saved_wire_bytes": self.saved_wire_bytes,
+            "saved_server_commands": self.saved_server_commands,
+        }
+
+
+@dataclass
+class ReplayDecision:
+    """What the client should do with one frame interval."""
+
+    action: str                      # "record" | "bypass" | "serve"
+    digest: str
+    split: IntervalSplit
+    entry: Optional[RecordedInterval] = None
+    promote: bool = False            # serve doubles as verification
+    patch: bytes = b""
+    changed_commands: int = 0
+    variant: int = 0                 # which recorded variant the patch diffs
+
+
+def interval_content_digest(commands: Sequence[Any]) -> str:
+    """Rolling content digest over the interval's structural keys."""
+    digest = IntervalDigest()
+    for cmd in commands:
+        digest.update(structural_key(cmd))
+    return digest.hexdigest()
+
+
+class ReplaySession:
+    """Client half of the protocol, bound to one title store."""
+
+    def __init__(self, store: ReplayStore, session_id: str):
+        self.store = store
+        self.session_id = session_id
+        self.stats = ReplayStats()
+        self._retained: List[str] = []
+
+    # -- decisions -----------------------------------------------------------
+
+    def classify(self, commands: Sequence[Any]) -> ReplayDecision:
+        split = split_interval(commands)
+        digest = IntervalDigest()
+        for key in split.skeleton:
+            digest.update(key)
+        address = digest.hexdigest()
+        entry = self.store.get(address)
+        if entry is None:
+            return ReplayDecision(
+                action="record", digest=address, split=split
+            )
+        if entry.state == RECORDED and entry.recorded_by == self.session_id:
+            # A recorder cannot verify itself — but re-executing its own
+            # recording is a chance to deposit this occurrence's dynamics
+            # as one more diff target for later sessions.
+            self.store.add_variant(address, split.dynamics)
+            self.stats.own_skips += 1
+            return ReplayDecision(
+                action="bypass", digest=address, split=split, entry=entry
+            )
+        try:
+            # Diff against the closest recorded variant: for stable
+            # content one of the recorder's deposits matches exactly and
+            # the patch is empty.
+            patch, variant = min(
+                (
+                    (encode_delta(base, split.dynamics), idx)
+                    for idx, base in enumerate(entry.variants)
+                ),
+                key=lambda pair: (len(pair[0]), pair[1]),
+            )
+            changed = changed_slots(entry.variants[variant], split.dynamics)
+        except DeltaError:
+            # Slot-count drift between live interval and stored baseline
+            # (e.g. a corrupted entry): treat like divergence up front.
+            self.store.demote(address)
+            self.stats.demotions += 1
+            return ReplayDecision(
+                action="record", digest=address, split=split
+            )
+        if len(patch) > 0xFFFF or len(patch) >= entry.wire_bytes > 0:
+            # The delta is no smaller than the full frame (or would not
+            # fit the u16 length field): serving buys nothing.
+            return ReplayDecision(
+                action="bypass", digest=address, split=split, entry=entry
+            )
+        promote = entry.state == RECORDED
+        self.stats.hits += 1
+        if promote:
+            self.stats.verifies += 1
+        self.stats.patch_bytes += len(patch)
+        self.stats.saved_server_commands += max(
+            0, entry.nominal_commands - split.changed_commands(changed)
+        )
+        self.store.mark_hit(address)
+        self._retain(address)
+        return ReplayDecision(
+            action="serve",
+            digest=address,
+            split=split,
+            entry=entry,
+            promote=promote,
+            patch=patch,
+            changed_commands=split.changed_commands(changed),
+            variant=variant,
+        )
+
+    def commit_record(
+        self,
+        decision: ReplayDecision,
+        *,
+        wire_bytes: int,
+        raw_bytes: int,
+        nominal_commands: int,
+    ) -> None:
+        """After the full pipeline ran a ``record`` frame, deposit it."""
+        entry = self.store.record(
+            decision.digest,
+            decision.split,
+            wire_bytes=wire_bytes,
+            raw_bytes=raw_bytes,
+            nominal_commands=nominal_commands,
+            recorded_by=self.session_id,
+        )
+        if entry is None:
+            self.stats.rejected += 1
+        else:
+            self.stats.records += 1
+            self._retain(decision.digest)
+
+    # -- outcome accounting --------------------------------------------------
+
+    def note_promotion(self) -> None:
+        self.stats.promotions += 1
+
+    def note_divergence(self) -> None:
+        self.stats.demotions += 1
+        self.stats.fallbacks += 1
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _retain(self, digest: str) -> None:
+        if digest not in self._retained:
+            self.store.retain(digest)
+            self._retained.append(digest)
+
+    def close(self) -> None:
+        """Release every pin this session holds (end of session)."""
+        for digest in self._retained:
+            self.store.release(digest)
+        self._retained.clear()
+
+
+def reconstruct_interval(
+    entry: RecordedInterval, patch: bytes, variant: int = 0
+) -> List[Any]:
+    """Server half: patched dynamics + stored skeleton -> command list.
+
+    ``variant`` names the recorded dynamics the client diffed against.
+    Raises :class:`~repro.codec.delta.DeltaError` or
+    :class:`~repro.gles.intervals.IntervalError` on a corrupt patch, an
+    out-of-range variant, or a corrupt store entry; callers treat any of
+    these as divergence (demote + fallback).
+    """
+    if not 0 <= variant < len(entry.variants):
+        raise DeltaError(
+            f"variant {variant} out of range "
+            f"(entry has {len(entry.variants)})"
+        )
+    dynamics = decode_delta(entry.variants[variant], patch)
+    return reconstruct(entry.skeleton, dynamics)

@@ -89,3 +89,40 @@ class TestDigestLog:
         assert summary["frames_issued"] == 1
         assert summary["frames_executed"] == 2
         assert summary["fidelity_mismatches"] == 1
+
+
+class TestIntervalDigest:
+    """The streaming digest must agree with ``command_digest`` on every
+    prefix — it is the replay store's content address."""
+
+    def test_prefix_equality_with_command_digest(self):
+        from repro.check import IntervalDigest
+
+        cmds = frame(n_draws=6)
+        rolling = IntervalDigest()
+        for i, cmd in enumerate(cmds):
+            rolling.update(cmd)
+            assert rolling.hexdigest() == command_digest(cmds[: i + 1])
+
+    def test_update_sequence_matches_item_updates(self):
+        from repro.check import IntervalDigest
+
+        cmds = frame()
+        assert (
+            IntervalDigest().update_sequence(cmds).hexdigest()
+            == command_digest(cmds)
+        )
+
+    def test_copy_is_independent(self):
+        from repro.check import IntervalDigest
+
+        a = IntervalDigest().update_sequence(frame())
+        b = a.copy()
+        b.update(make_command("glFlush"))
+        assert a.hexdigest() != b.hexdigest()
+        assert a.hexdigest() == command_digest(frame())
+
+    def test_empty_digest_matches_empty_batch(self):
+        from repro.check import IntervalDigest
+
+        assert IntervalDigest().hexdigest() == command_digest([])

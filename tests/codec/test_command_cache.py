@@ -178,3 +178,31 @@ def test_property_lookup_returns_last_inserted_bytes(ops):
     for key, wire in latest.items():
         if key in cache:
             assert cache.lookup(key) == wire
+
+
+class TestStatsAndFootprint:
+    def test_refreshes_counter(self):
+        cache = LRUCommandCache(capacity=4)
+        cache.insert(("k",), b"old")
+        assert cache.stats.refreshes == 0
+        cache.insert(("k",), b"new")
+        cache.insert(("k",), b"newer")
+        assert cache.stats.refreshes == 2
+        cache.insert(("other",), b"x")     # fresh key: not a refresh
+        assert cache.stats.refreshes == 2
+
+    def test_byte_size_tracks_stored_wire_bytes(self):
+        cache = LRUCommandCache(capacity=4)
+        assert cache.byte_size() == 0
+        cache.insert(("a",), b"12345")
+        cache.insert(("b",), b"678")
+        assert cache.byte_size() == 8
+
+    def test_byte_size_after_refresh_and_eviction(self):
+        cache = LRUCommandCache(capacity=2)
+        cache.insert(("a",), b"aaaa")
+        cache.insert(("a",), b"aa")        # refresh shrinks the entry
+        assert cache.byte_size() == 2
+        cache.insert(("b",), b"bb")
+        cache.insert(("c",), b"cccc")      # evicts a
+        assert cache.byte_size() == len(b"bb") + len(b"cccc")

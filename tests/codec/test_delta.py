@@ -1,0 +1,100 @@
+"""The dynamic-delta codec: exactness is the whole contract."""
+
+import pytest
+
+from repro.codec.delta import (
+    DeltaError,
+    changed_slots,
+    decode_delta,
+    encode_delta,
+    encode_values,
+)
+
+
+def roundtrip(baseline, live):
+    return decode_delta(baseline, encode_delta(baseline, live))
+
+
+class TestRoundTrip:
+    def test_empty_patch_is_eight_bytes(self):
+        base = (1.0, 2.0, (0.0,) * 16)
+        patch = encode_delta(base, base)
+        assert len(patch) == 8
+        assert decode_delta(base, patch) == base
+
+    def test_float_exactness(self):
+        base = (0.1,)
+        live = (0.1 + 1e-16, )
+        assert repr(roundtrip(base, live)[0]) == repr(live[0])
+
+    @pytest.mark.parametrize("value", [
+        True, False, 0, -1, 2**62, 2**80, -(2**90), 0.5, float("inf"),
+        b"\x00\xff", "uniform", None, (1.0, 2.0), ((1, 2), (3.0, "x")),
+    ])
+    def test_value_types(self, value):
+        base = (0,)
+        assert roundtrip(base, (value,)) == (value,)
+
+    def test_bool_never_decays_to_int(self):
+        out = roundtrip((0,), (True,))
+        assert out[0] is True
+
+    def test_sparse_matrix_diff_is_small(self):
+        base = tuple(float(i) for i in range(16))
+        live = tuple(
+            v + 1.0 if i in (0, 5, 10, 15) else v
+            for i, v in enumerate(base)
+        )
+        patch = encode_delta((base,), (live,))
+        full = encode_delta(((),), (live,))
+        assert decode_delta((base,), patch) == (live,)
+        assert len(patch) < len(full)
+
+    def test_tuple_length_change_is_full_replacement(self):
+        base = ((1.0, 2.0, 3.0, 4.0),)
+        live = ((1.0, 2.0),)
+        assert roundtrip(base, live) == live
+
+
+class TestErrors:
+    def test_slot_count_mismatch(self):
+        with pytest.raises(DeltaError):
+            encode_delta((1, 2), (1, 2, 3))
+        with pytest.raises(DeltaError):
+            changed_slots((1,), (1, 2))
+
+    def test_patch_against_wrong_baseline_size(self):
+        patch = encode_delta((1, 2), (3, 2))
+        with pytest.raises(DeltaError):
+            decode_delta((1, 2, 3), patch)
+
+    def test_truncated_patch(self):
+        patch = encode_delta((1.0,), (2.0,))
+        with pytest.raises(DeltaError):
+            decode_delta((1.0,), patch[:-3])
+
+    def test_trailing_bytes(self):
+        patch = encode_delta((1.0,), (2.0,))
+        with pytest.raises(DeltaError):
+            decode_delta((1.0,), patch + b"\x00")
+
+    def test_unknown_tag(self):
+        patch = encode_delta((1,), (2,))
+        broken = patch[:8] + patch[8:12] + b"Q" + patch[13:]
+        with pytest.raises(DeltaError):
+            decode_delta((1,), broken)
+
+    def test_unsupported_type(self):
+        with pytest.raises(DeltaError):
+            encode_delta((1,), (object(),))
+
+
+class TestChangedSlots:
+    def test_reports_exact_indices(self):
+        base = (1.0, 2.0, 3.0)
+        live = (1.0, 9.0, 3.5)
+        assert changed_slots(base, live) == [1, 2]
+
+    def test_encode_values_standalone(self):
+        blob = encode_values((1.0, "x", (2, 3)))
+        assert isinstance(blob, bytes) and len(blob) > 4

@@ -1,0 +1,106 @@
+"""Skeleton/dynamics interval splitting (the replay content address)."""
+
+import pytest
+
+from repro.check.digest import command_digest
+from repro.gles import enums as gl
+from repro.gles.commands import make_command
+from repro.gles.intervals import (
+    BOUNDARY_COMMAND,
+    DYN,
+    IntervalError,
+    iter_intervals,
+    reconstruct,
+    split_interval,
+    structural_key,
+)
+
+
+def frame(t: float):
+    """A small frame whose floats vary with ``t`` but structure does not."""
+    return [
+        make_command("glClear", gl.GL_COLOR_BUFFER_BIT),
+        make_command("glUseProgram", 3),
+        make_command("glUniform1f", 7, t),
+        make_command(
+            "glUniformMatrix4fv", 4, 1, False,
+            tuple(float(i) * t for i in range(16)),
+        ),
+        make_command("glDrawArrays", gl.GL_TRIANGLES, 0, 36),
+    ]
+
+
+class TestSplit:
+    def test_roundtrip_is_lossless(self):
+        commands = frame(0.5)
+        split = split_interval(commands)
+        back = reconstruct(split.skeleton, split.dynamics)
+        assert command_digest(back) == command_digest(commands)
+
+    def test_same_structure_same_skeleton(self):
+        a = split_interval(frame(0.1))
+        b = split_interval(frame(0.9))
+        assert a.skeleton == b.skeleton
+        assert a.dynamics != b.dynamics
+
+    def test_dynamic_slots_are_floats_only(self):
+        split = split_interval(frame(2.0))
+        # glUniform1f value + the 16-element matrix tuple
+        assert len(split.dynamics) == 2
+        assert split.dynamics[0] == 2.0
+        assert len(split.dynamics[1]) == 16
+
+    def test_blob_payloads_stay_structural(self):
+        upload = make_command(
+            "glBufferData", gl.GL_ARRAY_BUFFER, 4, b"\x01\x02\x03\x04",
+            gl.GL_STATIC_DRAW,
+        )
+        split = split_interval([upload])
+        assert split.dynamics == ()
+        assert b"\x01\x02\x03\x04" in split.skeleton[0][1]
+
+    def test_structural_key_masks_dynamics(self):
+        key = structural_key(make_command("glUniform1f", 7, 0.25))
+        assert key[0] == "glUniform1f"
+        assert key[1][0] == 7
+        assert key[1][1] is DYN
+
+    def test_foreign_commands_are_all_structural(self):
+        cmd = make_command("glFlush")
+        assert structural_key(cmd) == ("glFlush", ())
+
+    def test_slot_commands_attribute_changed_slots(self):
+        split = split_interval(frame(1.0))
+        # both dynamic slots belong to different commands
+        assert split.changed_commands([0, 1]) == 2
+        assert split.changed_commands([1]) == 1
+        assert split.changed_commands([]) == 0
+
+
+class TestReconstructErrors:
+    def test_too_few_dynamics(self):
+        split = split_interval(frame(1.0))
+        with pytest.raises(IntervalError):
+            reconstruct(split.skeleton, split.dynamics[:-1])
+
+    def test_too_many_dynamics(self):
+        split = split_interval(frame(1.0))
+        with pytest.raises(IntervalError):
+            reconstruct(split.skeleton, split.dynamics + (1.0,))
+
+
+class TestFraming:
+    def test_intervals_split_at_boundary(self):
+        stream = frame(0.1) + frame(0.2) + frame(0.3)
+        intervals = list(iter_intervals(stream))
+        assert len(intervals) == 3
+        assert all(iv[0].name == BOUNDARY_COMMAND for iv in intervals)
+
+    def test_setup_prelude_is_first_interval(self):
+        prelude = [make_command("glViewport", 0, 0, 640, 480)]
+        intervals = list(iter_intervals(prelude + frame(0.5)))
+        assert intervals[0][0].name == "glViewport"
+        assert intervals[1][0].name == BOUNDARY_COMMAND
+
+    def test_empty_stream(self):
+        assert list(iter_intervals([])) == []

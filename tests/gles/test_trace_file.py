@@ -128,3 +128,76 @@ class TestTracingInterceptor:
         reader = TraceReader(interceptor.writer.to_bytes())
         names = [r.command.name for r in reader]
         assert names == ["glViewport", "glEnable"]
+
+
+def stateful_commands():
+    """A sequence whose replay must carry GL state, including BLOB
+    uploads — the payloads the replay store keeps structural."""
+    return [
+        make_command("glUseProgram", 3),
+        make_command(
+            "glBufferData", gl.GL_ARRAY_BUFFER, 8,
+            b"\x00\x01\x02\x03\x04\x05\x06\x07", gl.GL_STATIC_DRAW,
+        ),
+        make_command(
+            "glTexImage2D", gl.GL_TEXTURE_2D, 0, gl.GL_RGBA, 2, 2, 0,
+            gl.GL_RGBA, gl.GL_UNSIGNED_BYTE, b"\xff" * 16,
+        ),
+        make_command("glUniform1f", 7, 0.125),
+        make_command(
+            "glUniformMatrix4fv", 4, 1, False,
+            tuple(float(i) for i in range(16)),
+        ),
+        make_command("glDrawArrays", gl.GL_TRIANGLES, 0, 36),
+    ]
+
+
+class TestStatefulRoundTrip:
+    def test_empty_frame_roundtrips(self):
+        """A frame with zero commands between boundaries must survive
+        capture/replay without phantom records or state drift."""
+        writer = TraceWriter()
+        writer.record_sequence([], timestamp_ms=0.0)
+        reader = TraceReader(writer.to_bytes())
+        assert reader.count == 0
+        replayed = reader.replay_onto(GLContext("replayed"))
+        assert replayed.state_digest() == GLContext("direct").state_digest()
+
+    def test_state_carrying_sequence_roundtrips(self):
+        writer = TraceWriter()
+        writer.record_sequence(stateful_commands())
+        reader = TraceReader(writer.to_bytes())
+        assert reader.count == len(stateful_commands())
+        direct = GLContext("direct")
+        direct.execute_sequence(stateful_commands())
+        replayed = reader.replay_onto(GLContext("replayed"))
+        assert replayed.state_digest() == direct.state_digest()
+
+    def test_blob_payload_bytes_survive_serialisation(self):
+        writer = TraceWriter()
+        writer.record_sequence(stateful_commands())
+        records = list(TraceReader(writer.to_bytes()))
+        blobs = [
+            arg
+            for record in records
+            for arg in record.command.args
+            if isinstance(arg, bytes)
+        ]
+        assert b"\x00\x01\x02\x03\x04\x05\x06\x07" in blobs
+        assert b"\xff" * 16 in blobs
+
+    def test_mixed_empty_and_full_frames(self, tmp_path):
+        writer = TraceWriter()
+        writer.record_sequence([], timestamp_ms=0.0)
+        writer.record_sequence(stateful_commands(), timestamp_ms=16.0)
+        writer.record_sequence([], timestamp_ms=32.0)
+        path = tmp_path / "mixed.gbtrace"
+        writer.save(path)
+        reader = TraceReader.load(path)
+        assert reader.count == len(stateful_commands())
+        direct = GLContext("direct")
+        direct.execute_sequence(stateful_commands())
+        assert (
+            reader.replay_onto(GLContext("replayed")).state_digest()
+            == direct.state_digest()
+        )

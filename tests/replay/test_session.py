@@ -1,0 +1,190 @@
+"""ReplaySession protocol: record / bypass / serve, promotion, fallback."""
+
+import pytest
+
+from repro.apps import GAMES
+from repro.check.digest import command_digest
+from repro.codec.delta import DeltaError
+from repro.core.config import GBoosterConfig
+from repro.core.session import run_offload_session
+from repro.devices import LG_G5, NVIDIA_SHIELD
+from repro.gles import enums as gl
+from repro.gles.commands import make_command
+from repro.replay import (
+    VERIFIED,
+    ReplayHub,
+    ReplaySession,
+    ReplayStore,
+    reconstruct_interval,
+)
+
+
+def frame(t: float):
+    return [
+        make_command("glUseProgram", 3),
+        make_command("glUniform1f", 7, t),
+        make_command("glUniform4f", 8, t * 0.5, 0.25, 1.0, 1.0),
+        make_command("glDrawArrays", gl.GL_TRIANGLES, 0, 36),
+    ]
+
+
+def record_frame(session, commands, wire_bytes=400):
+    decision = session.classify(commands)
+    assert decision.action == "record"
+    session.commit_record(
+        decision, wire_bytes=wire_bytes, raw_bytes=800, nominal_commands=30
+    )
+    return decision
+
+
+class TestProtocol:
+    def test_record_then_own_bypass(self):
+        store = ReplayStore("g5")
+        rec = ReplaySession(store, "s-a")
+        record_frame(rec, frame(0.1))
+        again = rec.classify(frame(0.2))
+        assert again.action == "bypass"
+        assert rec.stats.own_skips == 1
+        # The bypass occurrence's dynamics became one more variant.
+        assert len(again.entry.variants) == 2
+
+    def test_cross_session_serve_promotes_once(self):
+        store = ReplayStore("g5")
+        rec = ReplaySession(store, "s-a")
+        record_frame(rec, frame(0.1))
+        other = ReplaySession(store, "s-b")
+        first = other.classify(frame(0.1))
+        assert first.action == "serve"
+        assert first.promote is True  # differential verification serve
+        store.promote(first.digest)
+        other.note_promotion()
+        second = other.classify(frame(0.1))
+        assert second.action == "serve"
+        assert second.promote is False  # already VERIFIED
+        assert store.get(first.digest).state == VERIFIED
+        assert other.stats.hits == 2
+        assert other.stats.verifies == 1
+        assert other.stats.promotions == 1
+
+    def test_serve_picks_closest_variant(self):
+        store = ReplayStore("g5")
+        rec = ReplaySession(store, "s-a")
+        record_frame(rec, frame(0.1))
+        rec.classify(frame(0.7))  # bypass deposits variant 1
+        decision = ReplaySession(store, "s-b").classify(frame(0.7))
+        assert decision.action == "serve"
+        assert decision.variant == 1
+        assert len(decision.patch) == 8  # exact match -> empty patch
+
+    def test_reconstruction_matches_live_stream(self):
+        store = ReplayStore("g5")
+        record_frame(ReplaySession(store, "s-a"), frame(0.1))
+        live = frame(0.9)
+        decision = ReplaySession(store, "s-b").classify(live)
+        rebuilt = reconstruct_interval(
+            decision.entry, decision.patch, decision.variant
+        )
+        assert command_digest(rebuilt) == command_digest(live)
+
+    def test_corrupt_entry_demotes_to_record(self):
+        store = ReplayStore("g5")
+        record_frame(ReplaySession(store, "s-a"), frame(0.1))
+        entry = store.entries()[0]
+        entry.variants[0] = entry.variants[0] + (0.0,)  # slot-count drift
+        decision = ReplaySession(store, "s-b").classify(frame(0.1))
+        assert decision.action == "record"
+        assert entry.digest not in store
+        assert store.stats.demotions == 1
+
+    def test_worthless_patch_bypasses(self):
+        store = ReplayStore("g5")
+        # Record with a tiny wire cost so any non-empty patch is as big
+        # as the full frame.
+        record_frame(ReplaySession(store, "s-a"), frame(0.1), wire_bytes=2)
+        decision = ReplaySession(store, "s-b").classify(frame(0.9))
+        assert decision.action == "bypass"
+
+    def test_divergence_accounting(self):
+        session = ReplaySession(ReplayStore("g5"), "s-a")
+        session.note_divergence()
+        assert session.stats.demotions == 1
+        assert session.stats.fallbacks == 1
+
+
+class TestLifecycle:
+    def test_close_releases_pins(self):
+        store = ReplayStore("g5")
+        rec = ReplaySession(store, "s-a")
+        record_frame(rec, frame(0.1))
+        other = ReplaySession(store, "s-b")
+        other.classify(frame(0.2))  # serve retains the entry
+        entry = store.entries()[0]
+        assert entry.refcount == 2  # recorder pin + server pin
+        rec.close()
+        other.close()
+        assert entry.refcount == 0
+
+    def test_retain_is_deduped_per_session(self):
+        store = ReplayStore("g5")
+        record_frame(ReplaySession(store, "s-a"), frame(0.1))
+        other = ReplaySession(store, "s-b")
+        for t in (0.2, 0.3, 0.4):
+            other.classify(frame(t))
+        entry = store.entries()[0]
+        assert entry.refcount == 2  # one pin per session, not per serve
+        other.close()
+        assert entry.refcount == 1
+
+
+class TestReconstructErrors:
+    def test_variant_out_of_range(self):
+        store = ReplayStore("g5")
+        record_frame(ReplaySession(store, "s-a"), frame(0.1))
+        entry = store.entries()[0]
+        patch = ReplaySession(store, "s-b").classify(frame(0.1)).patch
+        with pytest.raises(DeltaError):
+            reconstruct_interval(entry, patch, variant=5)
+        with pytest.raises(DeltaError):
+            reconstruct_interval(entry, patch, variant=-1)
+
+
+class TestEndToEnd:
+    def test_cold_warm_pair_replays_with_fidelity(self):
+        hub = ReplayHub()
+        config = GBoosterConfig(
+            replay=True, check=True, deterministic_content=True
+        )
+
+        def one(session_id):
+            return run_offload_session(
+                GAMES["G5"], LG_G5, [NVIDIA_SHIELD],
+                config=config, duration_ms=1500.0, seed=3,
+                replay_hub=hub, replay_session_id=session_id,
+            )
+
+        cold = one("cold")
+        warm = one("warm")
+        assert cold.nodes[0].stats.replay_hits == 0  # recorder never serves
+        assert warm.nodes[0].stats.replay_hits > 0
+        assert warm.nodes[0].stats.replay_fallbacks == 0
+        assert warm.replay.stats.promotions > 0
+        assert cold.check.digests.fidelity_mismatches() == []
+        assert warm.check.digests.fidelity_mismatches() == []
+        # Deterministic content: both sessions issue the same stream.
+        shared = min(
+            len(cold.check.digests.stream()), len(warm.check.digests.stream())
+        )
+        assert (
+            cold.check.digests.stream()[:shared]
+            == warm.check.digests.stream()[:shared]
+        )
+        assert warm.client_stats.uplink_bytes < cold.client_stats.uplink_bytes
+
+    def test_replay_off_has_no_replay_state(self):
+        result = run_offload_session(
+            GAMES["G5"], LG_G5, [NVIDIA_SHIELD],
+            config=GBoosterConfig(deterministic_content=True),
+            duration_ms=1000.0, seed=3,
+        )
+        assert result.replay is None
+        assert result.nodes[0].stats.replay_hits == 0

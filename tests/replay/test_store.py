@@ -1,0 +1,192 @@
+"""ReplayStore / ReplayHub: admission, eviction, state transitions."""
+
+import pytest
+
+from repro.gles import enums as gl
+from repro.gles.commands import make_command
+from repro.gles.intervals import split_interval
+from repro.replay import RECORDED, VERIFIED, ReplayHub, ReplayStore
+from repro.replay.store import MAX_VARIANTS
+
+
+def interval(tag: int, t: float = 0.0):
+    """A split whose skeleton varies with ``tag`` and dynamics with ``t``."""
+    return split_interval([
+        make_command("glUseProgram", tag),
+        make_command("glUniform1f", 7, t),
+        make_command("glDrawArrays", gl.GL_TRIANGLES, 0, 3 * (tag + 1)),
+    ])
+
+
+def deposit(store, digest, tag, t=0.0, **kw):
+    kw.setdefault("wire_bytes", 400)
+    kw.setdefault("raw_bytes", 800)
+    kw.setdefault("nominal_commands", 30)
+    return store.record(digest, interval(tag, t), **kw)
+
+
+class TestAdmission:
+    def test_record_and_lookup(self):
+        store = ReplayStore("g5")
+        entry = deposit(store, "d1", 1, recorded_by="s-a")
+        assert entry is not None
+        assert entry.state == RECORDED
+        assert entry.baseline == entry.variants[0]
+        assert "d1" in store
+        assert store.get("d1") is entry
+        assert store.bytes_stored == entry.byte_size
+        assert store.stats.records == 1
+
+    def test_duplicate_record_first_copy_wins(self):
+        store = ReplayStore("g5")
+        first = deposit(store, "d1", 1, recorded_by="s-a")
+        again = deposit(store, "d1", 1, recorded_by="s-b")
+        assert again is first
+        assert again.recorded_by == "s-a"
+        assert store.stats.records == 1
+
+    def test_oversized_interval_rejected(self):
+        store = ReplayStore("g5", capacity_bytes=16)
+        assert deposit(store, "d1", 1) is None
+        assert store.stats.rejected == 1
+        assert store.bytes_stored == 0
+
+    def test_zero_capacity_raises(self):
+        with pytest.raises(ValueError):
+            ReplayStore("g5", capacity_bytes=0)
+
+
+class TestEviction:
+    def test_lru_evicts_oldest_unreferenced(self):
+        store = ReplayStore("g5")
+        deposit(store, "d1", 1)
+        deposit(store, "d2", 2)
+        # Room for exactly one more entry after one eviction.
+        size3 = ReplayStore.entry_byte_size(interval(3))
+        store.capacity_bytes = store.bytes_stored + size3 - 1
+        store.mark_hit("d1")  # d1 becomes most recent; d2 is LRU
+        deposit(store, "d3", 3)
+        assert "d2" not in store
+        assert "d1" in store and "d3" in store
+        assert store.stats.evictions == 1
+
+    def test_retained_entry_never_evicted(self):
+        store = ReplayStore("g5")
+        deposit(store, "d1", 1)
+        store.retain("d1")
+        store.capacity_bytes = store.bytes_stored
+        assert deposit(store, "d2", 2) is None
+        assert "d1" in store
+        assert store.stats.rejected == 1
+        store.release("d1")
+        assert deposit(store, "d2", 2) is not None
+        assert "d1" not in store
+
+    def test_byte_accounting_survives_churn(self):
+        store = ReplayStore("g5", capacity_bytes=4 * 200)
+        for i in range(12):
+            deposit(store, f"d{i}", i)
+        assert store.bytes_stored == sum(
+            e.byte_size for e in store.entries()
+        )
+        assert store.bytes_stored <= store.capacity_bytes
+
+
+class TestStateTransitions:
+    def test_promote_once(self):
+        store = ReplayStore("g5")
+        deposit(store, "d1", 1)
+        assert store.promote("d1") is True
+        assert store.get("d1").state == VERIFIED
+        assert store.promote("d1") is False  # already verified
+        assert store.stats.promotions == 1
+
+    def test_demote_drops_entry(self):
+        store = ReplayStore("g5")
+        entry = deposit(store, "d1", 1)
+        assert store.demote("d1") is True
+        assert "d1" not in store
+        assert store.bytes_stored == 0
+        assert store.demote("d1") is False
+        assert store.stats.demotions == 1
+        del entry
+
+    def test_generation_bumps_on_every_transition(self):
+        store = ReplayStore("g5")
+        g0 = store.generation
+        deposit(store, "d1", 1)
+        assert store.generation > g0
+        g1 = store.generation
+        store.promote("d1")
+        assert store.generation > g1
+        g2 = store.generation
+        store.demote("d1")
+        assert store.generation > g2
+
+
+class TestVariants:
+    def test_add_variant_extends_and_accounts(self):
+        store = ReplayStore("g5")
+        entry = deposit(store, "d1", 1, t=0.0)
+        before = store.bytes_stored
+        assert store.add_variant("d1", interval(1, 0.5).dynamics) is True
+        assert len(entry.variants) == 2
+        assert store.bytes_stored > before
+        assert store.bytes_stored == entry.byte_size
+        assert store.stats.variants == 1
+
+    def test_duplicate_variant_refused(self):
+        store = ReplayStore("g5")
+        deposit(store, "d1", 1, t=0.25)
+        assert store.add_variant("d1", interval(1, 0.25).dynamics) is False
+        assert store.stats.variants == 0
+
+    def test_variant_cap(self):
+        store = ReplayStore("g5")
+        entry = deposit(store, "d1", 1, t=0.0)
+        for i in range(1, MAX_VARIANTS + 5):
+            store.add_variant("d1", interval(1, float(i)).dynamics)
+        assert len(entry.variants) == MAX_VARIANTS
+
+    def test_variant_for_missing_entry_refused(self):
+        store = ReplayStore("g5")
+        assert store.add_variant("nope", (1.0,)) is False
+
+    def test_variant_never_evicts_its_own_entry(self):
+        store = ReplayStore("g5")
+        entry = deposit(store, "d1", 1)
+        store.capacity_bytes = store.bytes_stored  # no headroom at all
+        assert store.add_variant("d1", interval(1, 9.0).dynamics) is False
+        assert "d1" in store
+        assert entry.refcount == 0  # pin released on the failure path
+
+
+class TestHub:
+    def test_namespaces_are_per_title_and_stable(self):
+        hub = ReplayHub(capacity_bytes_per_title=1 << 16)
+        g5 = hub.namespace("G5")
+        assert hub.namespace("G5") is g5
+        assert hub.namespace("G2") is not g5
+        assert g5.capacity_bytes == 1 << 16
+
+    def test_session_started_warmth(self):
+        hub = ReplayHub()
+        assert hub.session_started("G5") is False  # first session: cold
+        assert hub.session_started("G5") is True
+        assert hub.session_started("G2") is False  # per-title warmth
+
+    def test_generation_aggregates_titles(self):
+        hub = ReplayHub()
+        hub.session_started("G5")
+        g = hub.generation()
+        deposit(hub.namespace("G5"), "d1", 1)
+        deposit(hub.namespace("G2"), "d2", 2)
+        assert hub.generation() == g + 2
+
+    def test_report_shape(self):
+        hub = ReplayHub()
+        deposit(hub.namespace("G5"), "d1", 1)
+        report = hub.report()
+        assert set(report) == {"generation", "titles"}
+        assert report["titles"]["G5"]["entries"] == 1
+        assert report["titles"]["G5"]["records"] == 1
