@@ -326,9 +326,34 @@ class InvariantMonitor:
                     )
             return None
 
+        def admission_reconciliation() -> Optional[Tuple[str, Dict[str, Any]]]:
+            stats = controller.admission.stats
+            waiting = len(controller.admission)
+            if not stats.reconciles(waiting):
+                return (
+                    "offered sessions != admitted + rejected + waiting",
+                    {
+                        "offered": stats.offered,
+                        "admitted": stats.admitted,
+                        "rejected": stats.rejected,
+                        "waiting": waiting,
+                    },
+                )
+            if stats.dequeued + waiting != stats.queued:
+                return (
+                    "ever-queued sessions != dequeued + still waiting",
+                    {
+                        "queued": stats.queued,
+                        "dequeued": stats.dequeued,
+                        "waiting": waiting,
+                    },
+                )
+            return None
+
         self.register("fleet.session_ownership", ownership)
         self.register("fleet.frame_conservation", session_frames)
         self.register("fleet.capacity_accounting", accounting)
+        self.register("fleet.admission_reconciliation", admission_reconciliation)
 
     def watch_timers(self) -> None:
         """Timer hygiene: hook the kernel so every ``timeout()`` registers

@@ -60,9 +60,12 @@ class FleetPoint:
     devices: int
     seed: int
     crash: bool
+    offered: int
     admitted: int
     queued: int
     rejected: int
+    dequeued: int
+    waiting: int
     finished: int
     peak_concurrency: int
     migrations: int
@@ -142,9 +145,12 @@ def run_fleet_point(
         devices=n_devices,
         seed=seed,
         crash=crash,
+        offered=report["admission"]["offered"],
         admitted=report["admission"]["admitted"],
         queued=report["admission"]["queued"],
         rejected=report["admission"]["rejected"],
+        dequeued=report["admission"]["dequeued"],
+        waiting=report["admission"]["waiting"],
         finished=report["sessions"]["finished"],
         peak_concurrency=report["sessions"]["peak_concurrency"],
         migrations=report["migrations"]["total"],

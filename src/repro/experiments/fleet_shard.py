@@ -55,9 +55,12 @@ class ShardedFleetPoint:
     workers: int
     seed: int
     crash: bool
+    offered: int
     admitted: int
     queued: int
     rejected: int
+    dequeued: int
+    waiting: int
     finished: int
     frames: int
     frames_lost: int
@@ -92,6 +95,8 @@ def plan_fleet_shards(
     arrival_spread_ms: float = 1_000.0,
     config: Optional[FleetConfig] = None,
     apps: Optional[Sequence[ApplicationSpec]] = None,
+    arrival_offsets: Optional[Sequence[float]] = None,
+    app_indices: Optional[Sequence[int]] = None,
 ) -> List[ShardJob]:
     """Partition one fleet point into per-shard jobs, round-robin by index.
 
@@ -99,29 +104,64 @@ def plan_fleet_shards(
     the global Table II cycle, devices keep their global pool names, and
     the crash lands on whichever shard owns global device 0 — so the
     union of the shard jobs is exactly the single-kernel point.
+
+    ``arrival_offsets`` replaces the uniform launch wave with an explicit
+    open-ended schedule (``repro.fleet.arrivals`` curves): global session
+    ``i`` arrives ``arrival_offsets[i]`` ms after bootstrap.  Offsets are
+    assigned by global index at plan time, so the schedule — like the
+    app cycle — is a pure function of the point, independent of shard
+    and worker counts.  ``app_indices`` likewise overrides the default
+    app cycle (a capacity-grid genre mix) per global session index.
+
+    A zero-session point is a legitimate degenerate sweep input (capacity
+    grids produce them): it plans empty shards and yields an
+    empty-but-well-formed merged report instead of dividing the launch
+    gap by zero.
     """
-    if n_sessions < 1:
-        raise ShardError(f"need at least one session, got {n_sessions}")
+    if n_sessions < 0:
+        raise ShardError(f"session count must be >= 0, got {n_sessions}")
     if shards > n_devices:
         raise ShardError(
             f"{shards} shards need at least as many devices, got {n_devices}"
         )
-    if shards > n_sessions:
+    if n_sessions and shards > n_sessions:
         raise ShardError(
             f"{shards} shards need at least as many sessions, got "
             f"{n_sessions}"
         )
+    if arrival_offsets is not None:
+        if len(arrival_offsets) != n_sessions:
+            raise ShardError(
+                f"{n_sessions} sessions need {n_sessions} arrival offsets, "
+                f"got {len(arrival_offsets)}"
+            )
+        if any(b < a for a, b in zip(arrival_offsets, arrival_offsets[1:])):
+            raise ShardError("arrival offsets must be sorted ascending")
+        arrival_spread_ms = max([0.0, *arrival_offsets])
+    if app_indices is not None and len(app_indices) != n_sessions:
+        raise ShardError(
+            f"{n_sessions} sessions need {n_sessions} app indices, "
+            f"got {len(app_indices)}"
+        )
     plan = ShardPlan(shards)
     pool = make_fleet_pool(n_devices)
     apps = list(apps or GAMES.values())
-    gap_ms = arrival_spread_ms / n_sessions
+    # Guarded: a zero-session grid point must plan, not ZeroDivisionError.
+    gap_ms = arrival_spread_ms / n_sessions if n_sessions else 0.0
     jobs: List[ShardJob] = []
     for shard in range(shards):
         sessions = [
             ShardSessionSpec(
                 session_id=f"s{i:03d}",
-                app_index=i % len(apps),
+                app_index=(
+                    app_indices[i] if app_indices is not None
+                    else i % len(apps)
+                ),
                 wave_index=i,
+                arrival_offset_ms=(
+                    arrival_offsets[i] if arrival_offsets is not None
+                    else None
+                ),
             )
             for i in plan.indices(shard, n_sessions)
         ]
@@ -193,9 +233,10 @@ def merge_shard_results(
         for tier, agg in sorted(tiers.items())
     }
     admissions = [r.report["admission"] for r in ordered]
-    wait_weights = [
-        a["admitted"] + a["queued"] for a in admissions
-    ]
+    # Wait samples are recorded only when a queued session is dequeued,
+    # so the per-shard mean must be weighted by the dequeue count — not
+    # admitted+queued, which overweights shards that admitted directly.
+    wait_weights = [a["dequeued"] for a in admissions]
     total_waits = sum(wait_weights)
     mean_wait_ms = round(
         sum(
@@ -219,9 +260,12 @@ def merge_shard_results(
             sum(r.report["capacity_mp_per_ms"] for r in ordered), 4
         ),
         "admission": {
+            "offered": sum(a["offered"] for a in admissions),
             "admitted": sum(a["admitted"] for a in admissions),
             "queued": sum(a["queued"] for a in admissions),
             "rejected": sum(a["rejected"] for a in admissions),
+            "dequeued": sum(a["dequeued"] for a in admissions),
+            "waiting": sum(a["waiting"] for a in admissions),
             "mean_wait_ms": mean_wait_ms,
         },
         "sessions": {
@@ -270,12 +314,15 @@ def run_sharded_fleet_point(
     window_ms: float = DEFAULT_WINDOW_MS,
     config: Optional[FleetConfig] = None,
     arrival_spread_ms: float = 1_000.0,
+    arrival_offsets: Optional[Sequence[float]] = None,
+    app_indices: Optional[Sequence[int]] = None,
 ) -> Tuple[ShardedFleetPoint, Dict[str, Any]]:
     """One sharded fleet point; returns the merged point and report."""
     jobs = plan_fleet_shards(
         n_sessions=n_sessions, n_devices=n_devices, shards=shards,
         seed=seed, duration_ms=duration_ms, crash=crash,
         arrival_spread_ms=arrival_spread_ms, config=config,
+        arrival_offsets=arrival_offsets, app_indices=app_indices,
     )
     started = time.perf_counter()
     results, summary = run_shards(
@@ -290,9 +337,12 @@ def run_sharded_fleet_point(
         workers=workers,
         seed=seed,
         crash=crash,
+        offered=report["admission"]["offered"],
         admitted=report["admission"]["admitted"],
         queued=report["admission"]["queued"],
         rejected=report["admission"]["rejected"],
+        dequeued=report["admission"]["dequeued"],
+        waiting=report["admission"]["waiting"],
         finished=report["sessions"]["finished"],
         frames=sum(t["frames"] for t in report["tiers"].values()),
         frames_lost=sum(

@@ -14,9 +14,19 @@ takes the sketch to a serving fleet:
   per-frame costs, sessions with bounded pipelines.
 * :mod:`repro.fleet.controller` — the control loop tying it together,
   including zero-frame-loss live migration off crashed devices.
+* :mod:`repro.fleet.arrivals` — parameterized arrival-curve schedules
+  (steady / diurnal / flash crowd) for capacity planning.
 """
 
 from repro.fleet.admission import AdmissionController, AdmissionStats
+from repro.fleet.arrivals import (
+    STANDARD_CURVES,
+    ArrivalCurve,
+    arrival_offsets,
+    diurnal,
+    flash_crowd,
+    steady,
+)
 from repro.fleet.config import FleetConfig
 from repro.fleet.controller import FleetController
 from repro.fleet.node import STATE_PRIORITY, FleetNode, FrameTask
@@ -32,6 +42,12 @@ from repro.fleet.session import (
 __all__ = [
     "AdmissionController",
     "AdmissionStats",
+    "ArrivalCurve",
+    "STANDARD_CURVES",
+    "arrival_offsets",
+    "steady",
+    "diurnal",
+    "flash_crowd",
     "DeviceRegistry",
     "FleetConfig",
     "FleetController",

@@ -29,9 +29,27 @@ from repro.sim.kernel import Simulator
 
 @dataclass
 class AdmissionStats:
+    """Admission ledger.
+
+    ``admitted`` counts every session that ever *became* admitted —
+    directly at :meth:`AdmissionController.decide` time or later when
+    :meth:`AdmissionController.pop_eligible` dequeued it (``dequeued``
+    counts the latter subset).  ``queued`` counts sessions that ever
+    waited.  The reconciliation identity the ``repro.check`` fleet pack
+    asserts:
+
+        ``offered == admitted + rejected + waiting``
+
+    where ``waiting`` is the controller's current queue length — every
+    offered session is admitted, rejected, or still in line.
+    """
+
+    offered: int = 0
     admitted: int = 0
     queued: int = 0
     rejected: int = 0
+    #: queued sessions later admitted (a subset of both counters above)
+    dequeued: int = 0
     by_tier: Dict[str, Dict[str, int]] = field(default_factory=dict)
     wait_times_ms: List[float] = field(default_factory=list)
 
@@ -41,6 +59,19 @@ class AdmissionStats:
         )
         bucket[outcome] += 1
         setattr(self, outcome, getattr(self, outcome) + 1)
+
+    def count_dequeued(self, tier: str) -> None:
+        """A queued session became admitted: count the transition.
+
+        The session was already counted ``queued`` at decide time, so
+        only the admitted side moves — never ``queued`` again.
+        """
+        self.dequeued += 1
+        self.count(tier, "admitted")
+
+    def reconciles(self, waiting: int) -> bool:
+        """Does the ledger balance against ``waiting`` queued sessions?"""
+        return self.offered == self.admitted + self.rejected + waiting
 
 
 class AdmissionController:
@@ -67,6 +98,7 @@ class AdmissionController:
         capacity_mp_per_ms: float,
     ) -> str:
         """Returns "admit", "queue" or "reject" and records the outcome."""
+        self.stats.offered += 1
         demand = request.demand_mp_per_ms(self.config.serve_rate_hz)
         budget = self.budget_mp_per_ms(capacity_mp_per_ms)
         if capacity_mp_per_ms > 0 and committed_mp_per_ms + demand <= budget:
@@ -123,6 +155,11 @@ class AdmissionController:
                 break
             heapq.heappop(self._waiting)
             committed += demand
+            # The dequeued->admitted transition: without it the ledger
+            # undercounts admissions for every session that waited, and
+            # ``admitted + rejected + len(queue)`` stops reconciling with
+            # the sessions offered.
+            self.stats.count_dequeued(request.tier)
             self.stats.wait_times_ms.append(self.sim.now - request.arrival_ms)
             self.sim.tracer.record(
                 self.sim.now, "fleet", "session_dequeued",

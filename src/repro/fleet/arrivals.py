@@ -1,0 +1,212 @@
+"""Parameterized arrival curves for capacity planning.
+
+The fleet experiments so far launched sessions in one uniform wave; real
+traffic doesn't.  This module generates the arrival *schedules* a
+capacity planner sweeps over — when each of N sessions asks the fleet
+for a device, as millisecond offsets from bootstrap:
+
+* **steady** — a homogeneous Poisson process conditioned on the session
+  count: N sorted uniforms over the span (the standard order-statistics
+  construction, so no thinning and no count drift);
+* **diurnal** — an inhomogeneous process whose intensity follows
+  ``1 + depth * cos(2*pi*(t - peak)/period)``: the evening-peak shape of
+  cloud-gaming traffic, sampled by rejection against the bounded
+  intensity envelope;
+* **flash** — a steady background with a fraction of sessions
+  concentrated into narrow step bursts (a launch event, a patch drop):
+  each session is a Bernoulli draw between the background and one of
+  ``bursts`` evenly spaced burst windows.
+
+Determinism contract: every schedule is a pure function of
+``(curve, n_sessions, seed)``.  Each session draws from its own
+:class:`~repro.sim.random.RandomStream` named by *global* session index
+(``fleet.arrivals.<key>.s<i>``, shard 0 keying), so the schedule is
+invariant to how the fleet run is later partitioned — the same offsets
+come out whether the sweep point runs on one kernel or eight shards
+across four workers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.sim.random import RandomStream
+
+#: intensity-curve kinds understood by :func:`arrival_offsets`
+CURVE_KINDS = ("steady", "diurnal", "flash")
+
+
+@dataclass(frozen=True)
+class ArrivalCurve:
+    """One named arrival-intensity shape over a fixed span.
+
+    ``span_ms`` bounds the schedule: every offset lands in
+    ``[0, span_ms)``.  The remaining fields only apply to their kind and
+    are ignored otherwise (but still participate in :attr:`key`, so two
+    curves that sample identically still compare equal only when fully
+    equal).
+    """
+
+    kind: str = "steady"
+    span_ms: float = 10_000.0
+    #: diurnal: intensity period; one full day compressed into the run
+    period_ms: float = 10_000.0
+    #: diurnal: peak-to-mean excess, in [0, 1); 0 degenerates to steady
+    peak_depth: float = 0.8
+    #: diurnal: where in the period the peak sits, as a fraction [0, 1)
+    peak_phase: float = 0.75
+    #: flash: fraction of sessions that belong to a burst
+    burst_fraction: float = 0.6
+    #: flash: number of evenly spaced burst windows
+    bursts: int = 2
+    #: flash: width of each burst window
+    burst_width_ms: float = 400.0
+
+    def validate(self) -> None:
+        if self.kind not in CURVE_KINDS:
+            raise ValueError(
+                f"unknown arrival curve kind {self.kind!r}; "
+                f"expected one of {CURVE_KINDS}"
+            )
+        if self.span_ms <= 0:
+            raise ValueError(f"span_ms must be positive, got {self.span_ms}")
+        if self.kind == "diurnal":
+            if not 0.0 <= self.peak_depth < 1.0:
+                raise ValueError(
+                    f"peak_depth must be in [0, 1), got {self.peak_depth}"
+                )
+            if self.period_ms <= 0:
+                raise ValueError(
+                    f"period_ms must be positive, got {self.period_ms}"
+                )
+        if self.kind == "flash":
+            if not 0.0 <= self.burst_fraction <= 1.0:
+                raise ValueError(
+                    f"burst_fraction must be in [0, 1], got "
+                    f"{self.burst_fraction}"
+                )
+            if self.bursts < 1:
+                raise ValueError(
+                    f"need at least one burst, got {self.bursts}"
+                )
+            if self.burst_width_ms <= 0:
+                raise ValueError(
+                    f"burst_width_ms must be positive, got "
+                    f"{self.burst_width_ms}"
+                )
+
+    @property
+    def key(self) -> str:
+        """Stable identity used in stream names and report keys."""
+        return self.kind
+
+    def describe(self) -> Dict[str, float]:
+        """The curve's parameters as a JSON-friendly dict."""
+        out: Dict[str, float] = {"span_ms": self.span_ms}
+        if self.kind == "diurnal":
+            out.update(
+                period_ms=self.period_ms,
+                peak_depth=self.peak_depth,
+                peak_phase=self.peak_phase,
+            )
+        elif self.kind == "flash":
+            out.update(
+                burst_fraction=self.burst_fraction,
+                bursts=self.bursts,
+                burst_width_ms=self.burst_width_ms,
+            )
+        return out
+
+
+def steady(span_ms: float = 10_000.0) -> ArrivalCurve:
+    return ArrivalCurve(kind="steady", span_ms=span_ms)
+
+
+def diurnal(
+    span_ms: float = 10_000.0,
+    peak_depth: float = 0.8,
+    peak_phase: float = 0.75,
+) -> ArrivalCurve:
+    """Evening-peak sinusoid: one compressed day across the span."""
+    return ArrivalCurve(
+        kind="diurnal", span_ms=span_ms, period_ms=span_ms,
+        peak_depth=peak_depth, peak_phase=peak_phase,
+    )
+
+
+def flash_crowd(
+    span_ms: float = 10_000.0,
+    burst_fraction: float = 0.6,
+    bursts: int = 2,
+    burst_width_ms: float = 400.0,
+) -> ArrivalCurve:
+    return ArrivalCurve(
+        kind="flash", span_ms=span_ms, burst_fraction=burst_fraction,
+        bursts=bursts, burst_width_ms=burst_width_ms,
+    )
+
+
+#: the three shapes every capacity sweep covers, by key
+STANDARD_CURVES: Tuple[ArrivalCurve, ...] = (
+    steady(), diurnal(), flash_crowd(),
+)
+
+
+def _session_stream(curve: ArrivalCurve, seed: int, index: int) -> RandomStream:
+    # Keyed by *global* session index on shard 0 so the draw is a pure
+    # function of (curve, seed, index) — independent of shard and worker
+    # counts, and of how many other sessions the schedule contains
+    # before it.
+    return RandomStream(seed, f"fleet.arrivals.{curve.key}.s{index:03d}")
+
+
+def _diurnal_offset(curve: ArrivalCurve, stream: RandomStream) -> float:
+    # Rejection sampling against the bounded intensity
+    # 1 + depth*cos(2*pi*(t/period - phase)), envelope 1 + depth.
+    # Acceptance is >= (1-depth)/(1+depth) per trial, so the loop is
+    # short; it terminates deterministically because the stream is.
+    envelope = 1.0 + curve.peak_depth
+    while True:
+        t = stream.uniform(0.0, curve.span_ms)
+        intensity = 1.0 + curve.peak_depth * math.cos(
+            2.0 * math.pi * (t / curve.period_ms - curve.peak_phase)
+        )
+        if stream.uniform(0.0, envelope) <= intensity:
+            return t
+
+
+def _flash_offset(curve: ArrivalCurve, stream: RandomStream) -> float:
+    if stream.bernoulli(curve.burst_fraction):
+        burst = stream.randint(0, curve.bursts - 1)
+        center = curve.span_ms * (burst + 1) / (curve.bursts + 1)
+        half = curve.burst_width_ms / 2.0
+        t = center + stream.uniform(-half, half)
+        return min(max(t, 0.0), math.nextafter(curve.span_ms, 0.0))
+    return stream.uniform(0.0, curve.span_ms)
+
+
+def arrival_offsets(
+    curve: ArrivalCurve, n_sessions: int, seed: int
+) -> List[float]:
+    """Sorted millisecond offsets for ``n_sessions`` arrivals.
+
+    Sorted ascending (the fleet submits in arrival order); global session
+    ``i`` gets the schedule's ``i``-th offset, so identity-to-time
+    assignment is deterministic too.
+    """
+    if n_sessions < 0:
+        raise ValueError(f"session count must be >= 0, got {n_sessions}")
+    curve.validate()
+    offsets: List[float] = []
+    for i in range(n_sessions):
+        stream = _session_stream(curve, seed, i)
+        if curve.kind == "steady":
+            t = stream.uniform(0.0, curve.span_ms)
+        elif curve.kind == "diurnal":
+            t = _diurnal_offset(curve, stream)
+        else:
+            t = _flash_offset(curve, stream)
+        offsets.append(round(t, 4))
+    return sorted(offsets)

@@ -507,9 +507,12 @@ class FleetController:
             "registered_devices": len(self.registry.devices),
             "capacity_mp_per_ms": round(self.up_capacity_mp_per_ms, 4),
             "admission": {
+                "offered": stats.offered,
                 "admitted": stats.admitted,
                 "queued": stats.queued,
                 "rejected": stats.rejected,
+                "dequeued": stats.dequeued,
+                "waiting": len(self.admission),
                 "by_tier": {
                     t: dict(sorted(v.items()))
                     for t, v in sorted(stats.by_tier.items())

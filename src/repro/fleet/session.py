@@ -105,6 +105,12 @@ class FleetSession:
     def on_frame_complete(self, task: FrameTask) -> None:
         self.outstanding.pop(task.seq, None)
         self.response_times_ms.append(task.response_ms)
+        if self.sim.telemetry is not None:
+            # Per-frame response feed for the fleet frame-p99 objective
+            # (the capacity planner's headline SLO).
+            self.sim.telemetry.observe(
+                "fleet.frame_response_ms", task.response_ms, tier=self.tier,
+            )
         if self._gate is not None and not self._gate.triggered:
             self._gate.trigger(None)
 

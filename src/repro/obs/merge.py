@@ -16,8 +16,9 @@ Merge semantics per instrument:
 * **histograms** — ``count``/``mean``/``min``/``max`` merge exactly;
   ``p50``/``p95``/``p99`` are count-weighted means of the per-shard
   percentiles, an approximation (exact percentile merge needs the raw
-  reservoirs, which stay shard-local by design) — good enough for
-  dashboards, clearly labeled by ``"approx": true``;
+  reservoirs, which stay shard-local by design) clamped monotone into
+  ``[min, max]`` — good enough for dashboards, clearly labeled by
+  ``"approx": true``;
 * **span banks** — per-category and per-name counts summed, along with
   totals and drops.
 """
@@ -72,10 +73,18 @@ def _merge_histogram_summaries(
         "max": round(max(s["max"] for s in populated), 4),
         "approx": True,
     }
+    # Count-weighted means of per-shard percentiles can come out
+    # non-monotone when a skewed shard reports a degenerate summary
+    # (reservoir decimation can leave p99 below p50 on tiny counts).
+    # Clamp each quantile into [previous quantile, true max] so the
+    # merged summary always satisfies min <= p50 <= p95 <= p99 <= max;
+    # min/max stay the exact extremes across shards.
+    floor = merged["min"]
     for q in ("p50", "p95", "p99"):
-        merged[q] = round(
-            sum(s[q] * s["count"] for s in populated) / total, 4
-        )
+        weighted = sum(s[q] * s["count"] for s in populated) / total
+        clamped = min(max(weighted, floor), merged["max"])
+        merged[q] = round(clamped, 4)
+        floor = clamped
     return merged
 
 

@@ -338,6 +338,28 @@ class Simulator:
         self._schedule_resume(proc, None)
         return proc
 
+    def spawn_at(self, when: float, gen: Generator, name: str = "") -> Process:
+        """Start a new process at absolute time ``when``, exactly.
+
+        Unlike ``spawn`` + an initial delay yield, the first step is
+        queued at the literal float ``when`` — no ``now + (when - now)``
+        round trip — so processes anchored to a shared epoch wake at
+        bit-identical times regardless of the current clock value.
+        """
+        if when < self.now:
+            raise SimulationError(
+                f"spawn_at({when}) is in the past (now={self.now})"
+            )
+        proc = Process(self, gen, name=name)
+        self._processes.append(proc)
+        if len(self._processes) > 8192:
+            self._processes = [p for p in self._processes if p.alive]
+            self._composites = [
+                c for c in self._composites if not c.triggered
+            ]
+        self._schedule_resume(proc, None, at=when)
+        return proc
+
     def event(self, name: str = "") -> Event:
         return Event(self, name=name)
 
@@ -462,10 +484,17 @@ class Simulator:
 
     # -- scheduling internals ------------------------------------------------
 
-    def _schedule_resume(self, proc: Process, value: Any, delay: float = 0.0) -> None:
+    def _schedule_resume(
+        self,
+        proc: Process,
+        value: Any,
+        delay: float = 0.0,
+        at: Optional[float] = None,
+    ) -> None:
+        when = self.now + delay if at is None else at
         heapq.heappush(
             self._queue,
-            (self.now + delay, next(self._counter), proc, proc._gen, value),
+            (when, next(self._counter), proc, proc._gen, value),
         )
 
     # -- running --------------------------------------------------------------

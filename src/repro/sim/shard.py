@@ -91,12 +91,18 @@ class ShardSessionSpec:
 
     ``wave_index`` is the session's position in the *global* launch wave;
     arrival time stays ``wave_index * gap`` after bootstrap regardless of
-    how many shards the wave was split over.
+    how many shards the wave was split over.  An explicit
+    ``arrival_offset_ms`` (an open-ended schedule from
+    :mod:`repro.fleet.arrivals` — Poisson, diurnal, flash crowd)
+    overrides the uniform wave: the session then arrives exactly that
+    many simulated ms after bootstrap, again shard-count independent
+    because the offset is computed at plan time from the global index.
     """
 
     session_id: str
     app_index: int
     wave_index: int
+    arrival_offset_ms: Optional[float] = None
 
 
 @dataclass
@@ -240,13 +246,35 @@ class ShardWorker:
         self.controller.set_session_duration(job.duration_ms)
         self.sim.run_until_event(self.controller.bootstrapped, limit=60_000.0)
         self._arrivals_done = False
-        self.sim.spawn(self._arrivals(), name="fleet.arrivals")
+        timed = any(s.arrival_offset_ms is not None for s in job.sessions)
+        if timed:
+            # Offset schedules must be partition-invariant, and the
+            # bootstrap completion time is not: each shard's discovery
+            # races only its own devices.  Anchor the wave at a
+            # config-derived epoch past the worst-case bootstrap and
+            # schedule every arrival at the *absolute* float
+            # ``epoch + offset`` (``spawn_at``) — the identical heap key
+            # in every shard, immune to per-shard delta accumulation.
+            wave_start = (
+                config.discovery_rounds * config.discovery_timeout_ms
+                + 500.0
+            )
+            self._pending_arrivals = len(job.sessions)
+            for spec in job.sessions:
+                self.sim.spawn_at(
+                    wave_start + (spec.arrival_offset_ms or 0.0),
+                    self._timed_arrival(spec),
+                    name=f"fleet.arrivals.{spec.session_id}",
+                )
+        else:
+            wave_start = self.sim.now
+            self.sim.spawn(self._arrivals(), name="fleet.arrivals")
         # Same horizon rule as the legacy runner: launch wave, two full
         # session lengths, detection slack.  A quiescent shard stops
         # exactly here, so a one-shard run reports the same state the
         # legacy runner does.
         self.horizon_ms = (
-            self.sim.now
+            wave_start
             + job.arrival_spread_ms
             + 2.0 * job.duration_ms
             + 5_000.0
@@ -257,7 +285,7 @@ class ShardWorker:
         # still owns active or queued sessions at the horizon keeps
         # serving — bounded by the fully-serialized worst case.
         self.hard_cap_ms = (
-            self.sim.now
+            wave_start
             + job.arrival_spread_ms
             + (2.0 + len(job.sessions)) * job.duration_ms
             + 5_000.0
@@ -277,9 +305,9 @@ class ShardWorker:
         previous = 0
         for spec in self.job.sessions:
             delay = (spec.wave_index - previous) * self.job.gap_ms
+            previous = spec.wave_index
             if delay > 0:
                 yield delay
-            previous = spec.wave_index
             self.controller.submit(
                 SessionRequest(
                     session_id=spec.session_id,
@@ -289,6 +317,23 @@ class ShardWorker:
             )
         self._arrivals_done = True
         yield self.job.gap_ms
+
+    def _timed_arrival(self, spec: ShardSessionSpec) -> Generator:
+        """One session's arrival; runs at its ``spawn_at`` epoch slot."""
+        from repro.fleet import SessionRequest
+
+        self.controller.submit(
+            SessionRequest(
+                session_id=spec.session_id,
+                app=self.job.apps[spec.app_index],
+                arrival_ms=self.sim.now,
+            )
+        )
+        self._pending_arrivals -= 1
+        if not self._pending_arrivals:
+            self._arrivals_done = True
+        return
+        yield  # unreachable: marks this function as a generator
 
     @property
     def quiesced(self) -> bool:

@@ -198,6 +198,49 @@ class TestSessionIntegration:
         assert point.invariant_violations == 0
         assert point.zero_loss
 
+    def test_admission_reconciliation_holds_under_overload_and_chaos(self):
+        """Property: the admission ledger reconciles at every monitor
+        sweep of an oversubscribed, crash-injected fleet run — sessions
+        queue, dequeue, reject and migrate, and
+        ``offered == admitted + rejected + waiting`` never breaks."""
+        from repro.experiments.fleet import run_fleet_point
+        from repro.fleet import FleetConfig
+
+        point, report = run_fleet_point(
+            n_sessions=24, n_devices=2, duration_ms=2_500.0, seed=3,
+            crash=True, config=FleetConfig(check=True),
+        )
+        assert point.invariant_violations == 0
+        assert point.queued > 0          # the dequeue path was exercised
+        assert point.dequeued == point.queued
+        adm = report["admission"]
+        assert adm["offered"] == adm["admitted"] + adm["rejected"] + adm["waiting"]
+
+    def test_admission_reconciliation_law_fires_on_a_cooked_ledger(self):
+        """The law actually trips: corrupt the ledger mid-run and the
+        monitor must record a ``fleet.admission_reconciliation``
+        violation."""
+        from repro.experiments.fleet import make_fleet_pool
+        from repro.fleet import FleetConfig, FleetController
+
+        sim = Simulator(seed=0)
+        controller = FleetController(
+            sim, make_fleet_pool(2), FleetConfig(check=True)
+        )
+        sim.run_until_event(controller.bootstrapped, limit=60_000.0)
+        assert controller.monitor is not None
+        assert (
+            "fleet.admission_reconciliation"
+            in controller.monitor.invariant_names
+        )
+        controller.admission.stats.offered += 1     # cook the books
+        run_idle(sim, until=sim.now + 2_000.0)
+        controller.monitor.finalize()
+        assert any(
+            v.invariant == "fleet.admission_reconciliation"
+            for v in controller.monitor.violations
+        )
+
     def test_unchecked_session_pays_nothing(self):
         result = run_offload_session(
             GTA_SAN_ANDREAS, LG_NEXUS_5, [NVIDIA_SHIELD],

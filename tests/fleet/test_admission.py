@@ -86,3 +86,55 @@ class TestDrain:
         out = adm.pop_eligible(0.0, 1e9)
         assert len(out) == 1
         assert adm.mean_wait_ms == 250.0
+
+
+class TestLedger:
+    """The admission ledger and its reconciliation identity."""
+
+    def test_dequeued_session_is_counted_admitted(self, make_admission):
+        """Regression: ``pop_eligible`` used to hand queued sessions to
+        the controller without ever moving them to the admitted side of
+        the ledger, so ``admitted`` undercounted by exactly the number
+        of sessions that waited."""
+        sim, adm = make_admission(admission_oversubscription=1.0)
+        assert adm.decide(request(0), 1e9, 100.0) == "queue"
+        out = adm.pop_eligible(0.0, 1e9)
+        assert [r.session_id for r in out] == ["s000"]
+        assert adm.stats.admitted == 1
+        assert adm.stats.dequeued == 1
+        assert adm.stats.by_tier["action"]["admitted"] == 1
+
+    def test_dequeue_never_double_counts_queued(self, make_admission):
+        sim, adm = make_admission(admission_oversubscription=1.0)
+        adm.decide(request(0), 1e9, 100.0)
+        assert adm.stats.queued == 1
+        adm.pop_eligible(0.0, 1e9)
+        # The decide-time ``queued`` count is the only one: the dequeue
+        # transition moves the admitted side, not the queued side.
+        assert adm.stats.queued == 1
+        assert adm.stats.by_tier["action"]["queued"] == 1
+
+    def test_reconciles_through_every_outcome(self, make_admission):
+        sim, adm = make_admission(admission_oversubscription=1.0,
+                                  max_wait_queue=2)
+        cap = demand(MODERN_COMBAT) * 1.5
+        adm.decide(request(0), 0.0, cap)                    # admit
+        adm.decide(request(1), demand(MODERN_COMBAT), cap)  # queue
+        adm.decide(request(2), demand(MODERN_COMBAT), cap)  # queue
+        adm.decide(request(3), demand(MODERN_COMBAT), cap)  # reject (full)
+        assert adm.stats.reconciles(waiting=len(adm))
+        assert adm.stats.offered == 4
+        adm.pop_eligible(0.0, 1e9)                          # drain both
+        assert adm.stats.reconciles(waiting=len(adm))
+        assert len(adm) == 0
+        assert adm.stats.admitted == 3
+        assert adm.stats.dequeued == 2
+        assert adm.stats.queued == 2
+        assert adm.stats.rejected == 1
+
+    def test_reconciles_is_false_on_an_unbalanced_ledger(self, make_admission):
+        sim, adm = make_admission()
+        adm.stats.offered = 2
+        adm.stats.admitted = 1
+        assert not adm.stats.reconciles(waiting=0)
+        assert adm.stats.reconciles(waiting=1)

@@ -1,0 +1,115 @@
+"""Arrival-curve schedules: shape, determinism, partition invariance."""
+
+import pytest
+
+from repro.fleet.arrivals import (
+    STANDARD_CURVES,
+    ArrivalCurve,
+    arrival_offsets,
+    diurnal,
+    flash_crowd,
+    steady,
+)
+
+
+def by_key():
+    return {c.key: c for c in STANDARD_CURVES}
+
+
+class TestShapes:
+    @pytest.mark.parametrize("curve", STANDARD_CURVES, ids=lambda c: c.key)
+    def test_offsets_are_sorted_and_inside_the_span(self, curve):
+        offsets = arrival_offsets(curve, 64, seed=0)
+        assert len(offsets) == 64
+        assert offsets == sorted(offsets)
+        assert all(0.0 <= t < curve.span_ms for t in offsets)
+
+    def test_zero_sessions_is_an_empty_schedule(self):
+        assert arrival_offsets(steady(), 0, seed=0) == []
+
+    def test_negative_count_is_rejected(self):
+        with pytest.raises(ValueError):
+            arrival_offsets(steady(), -1, seed=0)
+
+    def test_diurnal_concentrates_arrivals_at_the_peak(self):
+        curve = diurnal(span_ms=10_000.0, peak_depth=0.9, peak_phase=0.75)
+        offsets = arrival_offsets(curve, 400, seed=0)
+        # Peak quarter (centered on phase 0.75) vs trough quarter
+        # (centered on 0.25): the sinusoid at depth 0.9 puts many more
+        # arrivals near the peak.
+        peak = sum(1 for t in offsets if 6_250.0 <= t < 8_750.0)
+        trough = sum(1 for t in offsets if 1_250.0 <= t < 3_750.0)
+        assert peak > 2 * trough
+
+    def test_flash_concentrates_a_burst_fraction(self):
+        curve = flash_crowd(
+            span_ms=10_000.0, burst_fraction=0.6, bursts=2,
+            burst_width_ms=400.0,
+        )
+        offsets = arrival_offsets(curve, 300, seed=0)
+        # Burst windows sit at span*(1/3) and span*(2/3), each 400 ms
+        # wide — 8% of the span should hold roughly 60% of arrivals.
+        in_burst = sum(
+            1 for t in offsets
+            if abs(t - 10_000.0 / 3.0) <= 200.0
+            or abs(t - 20_000.0 / 3.0) <= 200.0
+        )
+        assert in_burst > 0.45 * len(offsets)
+
+    def test_steady_spreads_uniformly(self):
+        offsets = arrival_offsets(steady(span_ms=10_000.0), 400, seed=0)
+        halves = sum(1 for t in offsets if t < 5_000.0)
+        assert 0.4 * len(offsets) < halves < 0.6 * len(offsets)
+
+
+class TestValidation:
+    def test_unknown_kind_is_rejected(self):
+        with pytest.raises(ValueError):
+            arrival_offsets(ArrivalCurve(kind="tidal"), 4, seed=0)
+
+    def test_bad_depth_is_rejected(self):
+        with pytest.raises(ValueError):
+            arrival_offsets(
+                ArrivalCurve(kind="diurnal", peak_depth=1.0), 4, seed=0
+            )
+
+    def test_bad_burst_fraction_is_rejected(self):
+        with pytest.raises(ValueError):
+            arrival_offsets(
+                ArrivalCurve(kind="flash", burst_fraction=1.5), 4, seed=0
+            )
+
+    def test_describe_carries_only_relevant_knobs(self):
+        assert set(steady().describe()) == {"span_ms"}
+        assert "peak_depth" in diurnal().describe()
+        assert "burst_fraction" in flash_crowd().describe()
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("curve", STANDARD_CURVES, ids=lambda c: c.key)
+    def test_same_inputs_same_schedule(self, curve):
+        assert arrival_offsets(curve, 32, seed=7) == arrival_offsets(
+            curve, 32, seed=7
+        )
+
+    @pytest.mark.parametrize("curve", STANDARD_CURVES, ids=lambda c: c.key)
+    def test_seed_changes_the_schedule(self, curve):
+        assert arrival_offsets(curve, 32, seed=7) != arrival_offsets(
+            curve, 32, seed=8
+        )
+
+    def test_curves_differ_from_each_other(self):
+        schedules = {
+            c.key: tuple(arrival_offsets(c, 32, seed=0))
+            for c in STANDARD_CURVES
+        }
+        assert len(set(schedules.values())) == len(schedules)
+
+    @pytest.mark.parametrize("curve", STANDARD_CURVES, ids=lambda c: c.key)
+    def test_schedules_nest_as_sessions_are_added(self, curve):
+        """Per-session streams are keyed by global index, so offering
+        more sessions never perturbs the draws of existing ones — the
+        common-random-numbers property capacity sweeps lean on."""
+        small = set(arrival_offsets(curve, 16, seed=0))
+        large = set(arrival_offsets(curve, 48, seed=0))
+        assert small <= large

@@ -60,6 +60,68 @@ class TestMergeMetricSnapshots:
         assert merged == {"counters": {}, "gauges": {}, "histograms": {}}
 
 
+def _hand_snapshot(summary):
+    return {"counters": {}, "gauges": {}, "histograms": {"h": dict(summary)}}
+
+
+class TestPercentileClamp:
+    """Merged percentiles must satisfy min <= p50 <= p95 <= p99 <= max."""
+
+    def test_degenerate_shard_cannot_invert_percentiles(self):
+        """Regression: count-weighting per-shard percentiles used to
+        emit p99 < p95 when a small skewed shard reported a degenerate
+        summary (tiny reservoirs can leave p99 below p50)."""
+        small_skewed = {
+            "count": 3, "mean": 5.0, "min": 1.0, "max": 9.0,
+            "p50": 9.0, "p95": 9.0, "p99": 9.0,
+        }
+        big_clean = {
+            "count": 97, "mean": 2.0, "min": 1.0, "max": 3.0,
+            "p50": 2.0, "p95": 3.0, "p99": 2.5,   # degenerate: p99 < p95
+        }
+        merged = merge_metric_snapshots(
+            [_hand_snapshot(small_skewed), _hand_snapshot(big_clean)]
+        )["histograms"]["h"]
+        assert merged["min"] <= merged["p50"]
+        assert merged["p50"] <= merged["p95"]
+        assert merged["p95"] <= merged["p99"]     # failed pre-fix
+        assert merged["p99"] <= merged["max"]
+
+    def test_percentiles_stay_inside_true_extremes(self):
+        outlier = {
+            "count": 1, "mean": 100.0, "min": 100.0, "max": 100.0,
+            "p50": 100.0, "p95": 100.0, "p99": 100.0,
+        }
+        bulk = {
+            "count": 4, "mean": 1.0, "min": 1.0, "max": 1.0,
+            "p50": 1.0, "p95": 1.0, "p99": 1.0,
+        }
+        merged = merge_metric_snapshots(
+            [_hand_snapshot(outlier), _hand_snapshot(bulk)]
+        )["histograms"]["h"]
+        # min/max stay the exact extremes; every percentile lies within.
+        assert merged["min"] == 1.0 and merged["max"] == 100.0
+        for q in ("p50", "p95", "p99"):
+            assert 1.0 <= merged[q] <= 100.0
+
+    def test_clean_merge_is_unchanged_by_the_clamp(self):
+        a = {
+            "count": 10, "mean": 2.0, "min": 1.0, "max": 4.0,
+            "p50": 2.0, "p95": 3.0, "p99": 4.0,
+        }
+        b = {
+            "count": 10, "mean": 4.0, "min": 2.0, "max": 8.0,
+            "p50": 4.0, "p95": 6.0, "p99": 8.0,
+        }
+        merged = merge_metric_snapshots(
+            [_hand_snapshot(a), _hand_snapshot(b)]
+        )["histograms"]["h"]
+        # Already-monotone weighted means pass through untouched.
+        assert merged["p50"] == 3.0
+        assert merged["p95"] == 4.5
+        assert merged["p99"] == 6.0
+
+
 class TestSpanBanks:
     def _bank(self, n):
         rec = SpanRecorder()
