@@ -31,6 +31,11 @@ Commands:
                         curves × genre mixes reduced to SLO-attainment
                         frontier curves; writes BENCH_CAPACITY.json and
                         diffs it against the committed baseline
+* ``planner``         — auto-boost planner bench: genre-mix matrix where
+                        every static policy loses to probe-and-commit,
+                        measured fusion byte reduction, and a drift-
+                        triggered replan drill; writes BENCH_PLANNER.json
+                        and diffs it against the committed baseline
 
 Each prints the same rows the corresponding benchmark asserts on.
 """
@@ -495,6 +500,59 @@ def _cmd_capacity(args: argparse.Namespace) -> None:
         print("capacity smoke: ok")
 
 
+def _cmd_planner(args: argparse.Namespace) -> None:
+    import json
+    import os
+
+    from repro.experiments.planner import (
+        diff_against_baseline,
+        format_bench,
+        load_bench,
+        run_planner_bench,
+        validate_bench,
+        write_bench,
+    )
+
+    bench = run_planner_bench(
+        seed=args.seed, smoke=args.smoke, workers=args.workers
+    )
+    problems = validate_bench(bench)
+    write_bench(args.out, bench)
+    print(format_bench(bench))
+    print(f"wrote {args.out}")
+    if problems:
+        raise SystemExit(
+            "planner: acceptance gate failed:\n  " + "\n  ".join(problems)
+        )
+    if args.smoke:
+        # CI gate 1: the artifact must be a pure function of the seed —
+        # the whole serialized file, not just the digest.  The rerun is
+        # always serial, so with --workers > 1 this doubles as the
+        # parallel-equals-serial byte-identity check.
+        again = run_planner_bench(seed=args.seed, smoke=True, workers=1)
+        if json.dumps(again, sort_keys=True) != json.dumps(
+            bench, sort_keys=True
+        ):
+            raise SystemExit("planner smoke: same seed, different artifact")
+    if args.baseline and os.path.exists(args.baseline):
+        regressions, skip = diff_against_baseline(
+            bench, load_bench(args.baseline)
+        )
+        if skip is not None:
+            print(f"baseline diff skipped: {skip}")
+        elif regressions:
+            raise SystemExit(
+                "planner: regression vs "
+                f"{args.baseline}:\n  " + "\n  ".join(regressions)
+            )
+        else:
+            print(f"baseline diff vs {args.baseline}: ok")
+    elif args.baseline:
+        print(f"no baseline at {args.baseline} — diff skipped")
+    if args.smoke:
+        print("planner smoke: ok")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -521,6 +579,7 @@ def main(argv=None) -> int:
         "slo": _cmd_slo,
         "replay": _cmd_replay,
         "capacity": _cmd_capacity,
+        "planner": _cmd_planner,
     }
     for name in commands:
         p = sub.add_parser(name)
@@ -610,6 +669,21 @@ def main(argv=None) -> int:
                                 "+ same-seed byte-identity + baseline diff")
             p.add_argument("--workers", type=int, default=1,
                            help="fan grid points across N processes "
+                                "(artifact stays byte-identical for any N)")
+        if name == "planner":
+            p.add_argument("--seed", type=int, default=0)
+            p.add_argument("--out", default="BENCH_PLANNER.json",
+                           help="planner benchmark artifact path")
+            p.add_argument("--baseline",
+                           default="benchmarks/baselines/"
+                                   "BENCH_PLANNER.json",
+                           help="committed baseline to diff against "
+                                "(empty string disables the gate)")
+            p.add_argument("--smoke", action="store_true",
+                           help="CI gate: short probes + acceptance gates "
+                                "+ same-seed byte-identity + baseline diff")
+            p.add_argument("--workers", type=int, default=1,
+                           help="fan matrix cells across N processes "
                                 "(artifact stays byte-identical for any N)")
         if name == "fuzz":
             p.add_argument("--seed", type=int, default=0)

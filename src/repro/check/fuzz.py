@@ -22,7 +22,13 @@ Properties cover the layers the ISSUE names:
 * ``session_chaos`` — short offloaded sessions under randomized fault
   schedules with the invariant monitor armed;
 * ``fleet_arrivals`` — randomized fleet arrival patterns with the fleet
-  invariants armed.
+  invariants armed;
+* ``plan_fusion_equivalence`` — seeded random GLES sessions
+  (``repro.check.glgen``) keep identical render digests through the
+  command-stream fusion pass, and fusion is idempotent;
+* ``planner_determinism`` — two planners over one session context probe
+  to byte-identical decisions, and the commit is always a viable
+  candidate.
 
 The codec and transport properties take injectable subjects
 (``decompress_fn``, ``transport_cls``) so tests can hand them a
@@ -618,6 +624,131 @@ class ReplayCoherence(Property):
 
 
 # ---------------------------------------------------------------------------
+# planner properties
+
+
+class PlanFusionEquivalence(Property):
+    """Fused command streams render exactly what the original renders.
+
+    Seeded random GLES sessions (:mod:`repro.check.glgen`) — redundant
+    state churn, uniform rewrite runs, texture-unit hops, injected
+    invalid calls — are run through the fusion pass; the fused stream
+    must produce identical per-draw and final state digests on a fresh
+    GL context.  This is the law that makes fusion safe to enable on any
+    transmit path.
+    """
+
+    name = "plan_fusion_equivalence"
+
+    def generate(self, rng: random.Random) -> Dict[str, Any]:
+        from repro.check.glgen import generate_case
+
+        return generate_case(rng)
+
+    def check(self, case: Dict[str, Any]) -> Optional[str]:
+        from repro.check.glgen import build_commands
+        from repro.codec.fusion import fuse_commands, render_digest
+
+        commands = build_commands(case)
+        fused, stats = fuse_commands(commands)
+        if render_digest(fused) != render_digest(commands):
+            return (
+                f"fused stream diverged: {len(commands)} commands in, "
+                f"{len(fused)} out ({stats.dropped} dropped)"
+            )
+        refused, restats = fuse_commands(fused)
+        if restats.dropped:
+            return (
+                f"fusion not idempotent: second pass dropped "
+                f"{restats.dropped} more commands"
+            )
+        return None
+
+    def shrink_candidates(self, case):
+        for key in ("frames", "draws_per_frame", "programs", "textures",
+                    "uniform_locations"):
+            if case[key] > 1:
+                yield {**case, key: case[key] - 1}
+                yield {**case, key: 1}
+        for key in ("redundancy", "unit_hops", "error_rate"):
+            if case[key] > 0:
+                yield {**case, key: 0.0}
+                yield {**case, key: round(case[key] / 2, 3)}
+
+
+class PlannerDeterminism(Property):
+    """Same (seed, context) → byte-identical plan decision.
+
+    Two independently constructed planners over the same session context
+    must probe to identical scores and commit to the same backend, and
+    the committed backend must be one of the viable candidates.
+    """
+
+    name = "planner_determinism"
+
+    def generate(self, rng: random.Random) -> Dict[str, Any]:
+        return {
+            "seed": rng.randint(0, 2**31),
+            "app": rng.choice(["G1", "G2", "G3", "G4", "G5"]),
+            "service": rng.random() < 0.85,
+            "wan": rng.random() < 0.5,
+            "replay_warm": rng.random() < 0.4,
+            "viewers": rng.choice([1, 1, 2, 3]),
+            "wifi_mbps": rng.choice([0.0, 6.0, 40.0, 120.0]),
+            "probe_frames": rng.choice([4, 8, 12]),
+        }
+
+    @staticmethod
+    def _context(case: Dict[str, Any]):
+        from repro.apps.games import GAMES
+        from repro.core.config import GBoosterConfig
+        from repro.devices.profiles import LG_NEXUS_5, NVIDIA_SHIELD
+        from repro.net.wan import WAN_BROADBAND
+        from repro.plan import SessionContext
+
+        app = GAMES[case["app"]]
+        return SessionContext(
+            app=app,
+            user_device=LG_NEXUS_5,
+            service_device=NVIDIA_SHIELD if case["service"] else None,
+            wan=WAN_BROADBAND if case["wan"] else None,
+            replay_warm=case["replay_warm"],
+            colocated_viewers=case["viewers"],
+            wifi_mbps=case["wifi_mbps"],
+            config=GBoosterConfig(
+                planner_probe_frames=case["probe_frames"]
+            ),
+        )
+
+    def check(self, case: Dict[str, Any]) -> Optional[str]:
+        from repro.plan import SessionPlanner, enumerate_candidates
+
+        first = SessionPlanner(self._context(case), seed=case["seed"])
+        second = SessionPlanner(self._context(case), seed=case["seed"])
+        a = first.probe_and_commit().to_dict()
+        b = second.probe_and_commit().to_dict()
+        if json.dumps(a, sort_keys=True) != json.dumps(b, sort_keys=True):
+            return "two planners over one context committed differently"
+        viable = {
+            c.backend
+            for c in enumerate_candidates(self._context(case))
+            if c.viable
+        }
+        if a["backend"] not in viable:
+            return f"committed backend {a['backend']!r} was not viable"
+        return None
+
+    def shrink_candidates(self, case):
+        if case["probe_frames"] > 1:
+            yield {**case, "probe_frames": 1}
+        for key in ("wan", "replay_warm", "service"):
+            if case[key]:
+                yield {**case, key: False}
+        if case["viewers"] > 1:
+            yield {**case, "viewers": 1}
+
+
+# ---------------------------------------------------------------------------
 # corpus
 
 
@@ -669,6 +800,8 @@ def default_properties() -> List[Property]:
         ReplayCoherence(),
         SessionChaos(),
         FleetArrivals(),
+        PlanFusionEquivalence(),
+        PlannerDeterminism(),
     ]
 
 
@@ -705,6 +838,8 @@ FULL_CASES = {
     "replay_coherence": 40,
     "session_chaos": 4,
     "fleet_arrivals": 2,
+    "plan_fusion_equivalence": 60,
+    "planner_determinism": 8,
 }
 SMOKE_CASES = {
     "lz77_roundtrip": 24,
@@ -714,6 +849,8 @@ SMOKE_CASES = {
     "replay_coherence": 12,
     "session_chaos": 2,
     "fleet_arrivals": 1,
+    "plan_fusion_equivalence": 16,
+    "planner_determinism": 3,
 }
 
 

@@ -1,0 +1,155 @@
+"""Seeded generator of valid-ish GLES 2.0 command intervals.
+
+The fusion property suite (plan-equivalence, ``repro fuzz``) needs random
+command streams that look like real frames: mostly-valid state setting
+with heavy redundancy (the same ``glUseProgram``/``glBindTexture``/
+``glVertexAttribPointer`` re-issued every frame, uniform locations
+rewritten several times before the draw), plus the occasional invalid
+call so the barrier paths get exercised.
+
+Cases are plain JSON-able dicts so the PR 4 fuzzer can persist them to
+the corpus and shrink them field-by-field; :func:`build_commands`
+deterministically expands a case into the actual :class:`GLCommand`
+list.  Draw calls terminate every frame so the serializer's deferred
+vertex pointers always flush.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from repro.gles import enums as gl
+from repro.gles.commands import GLCommand, make_command
+
+_VS_SRC = "attribute vec4 pos; void main() { gl_Position = pos; }"
+_FS_SRC = "void main() { gl_FragColor = vec4(1.0); }"
+
+_CAPS = (
+    gl.GL_CULL_FACE,
+    gl.GL_BLEND,
+    gl.GL_DITHER,
+    gl.GL_STENCIL_TEST,
+    gl.GL_DEPTH_TEST,
+    gl.GL_SCISSOR_TEST,
+)
+
+
+def generate_case(rng: random.Random) -> Dict:
+    """Draw one case description.  Everything downstream derives from it."""
+    return {
+        "seed": rng.randrange(2 ** 31),
+        "frames": rng.randint(1, 4),
+        "draws_per_frame": rng.randint(1, 5),
+        "programs": rng.randint(1, 3),
+        "textures": rng.randint(1, 4),
+        "uniform_locations": rng.randint(1, 6),
+        # Probability that a state-setter is re-issued redundantly right
+        # away, and that a uniform location is rewritten before the draw.
+        "redundancy": round(rng.uniform(0.0, 0.9), 3),
+        # Probability of hopping the active texture unit between draws.
+        "unit_hops": round(rng.uniform(0.0, 0.5), 3),
+        # Probability of an erroneous call (bad cap, negative viewport,
+        # out-of-range attrib) that must act as a fusion barrier.
+        "error_rate": round(rng.uniform(0.0, 0.15), 3),
+    }
+
+
+def build_commands(case: Dict) -> List[GLCommand]:
+    """Expand a case into a concrete command interval, deterministically."""
+    rng = random.Random(case["seed"])
+    redundancy = case["redundancy"]
+    cmds: List[GLCommand] = []
+    # GL name allocation is sequential, so the generator can predict ids
+    # without executing anything.
+    next_name = 1
+
+    def alloc() -> int:
+        nonlocal next_name
+        name = next_name
+        next_name += 1
+        return name
+
+    programs: List[int] = []
+    for _ in range(case["programs"]):
+        vs, fs, prog = alloc(), alloc(), alloc()
+        cmds.append(make_command("glCreateShader", gl.GL_VERTEX_SHADER))
+        cmds.append(make_command("glShaderSource", vs, _VS_SRC))
+        cmds.append(make_command("glCompileShader", vs))
+        cmds.append(make_command("glCreateShader", gl.GL_FRAGMENT_SHADER))
+        cmds.append(make_command("glShaderSource", fs, _FS_SRC))
+        cmds.append(make_command("glCompileShader", fs))
+        cmds.append(make_command("glCreateProgram"))
+        cmds.append(make_command("glAttachShader", prog, vs))
+        cmds.append(make_command("glAttachShader", prog, fs))
+        cmds.append(make_command("glLinkProgram", prog))
+        programs.append(prog)
+
+    # glBindTexture creates objects for unseen names, so texture ids can
+    # be drawn from a disjoint literal range.
+    textures = [1000 + i for i in range(case["textures"])]
+    for tex in textures:
+        cmds.append(make_command("glBindTexture", gl.GL_TEXTURE_2D, tex))
+        side = rng.choice((16, 32, 64))
+        cmds.append(make_command(
+            "glTexImage2D", gl.GL_TEXTURE_2D, 0, gl.GL_RGBA,
+            side, side, 0, gl.GL_RGBA, gl.GL_UNSIGNED_BYTE,
+            bytes(side),
+        ))
+        cmds.append(make_command(
+            "glTexParameteri", gl.GL_TEXTURE_2D,
+            gl.GL_TEXTURE_MIN_FILTER, gl.GL_LINEAR,
+        ))
+
+    def maybe_again(cmd: GLCommand) -> None:
+        cmds.append(cmd)
+        while rng.random() < redundancy:
+            cmds.append(GLCommand(cmd.name, cmd.args))
+
+    locations = list(range(case["uniform_locations"]))
+    for _ in range(case["frames"]):
+        prog = rng.choice(programs)
+        maybe_again(make_command("glUseProgram", prog))
+        maybe_again(make_command("glViewport", 0, 0, 640, 480))
+        if rng.random() < case["error_rate"]:
+            cmds.append(make_command("glViewport", 0, 0, -1, 480))
+        for cap in rng.sample(_CAPS, rng.randint(0, 2)):
+            maybe_again(make_command(
+                rng.choice(("glEnable", "glDisable")), cap
+            ))
+        if rng.random() < case["error_rate"]:
+            cmds.append(make_command("glEnable", 0xBEEF))
+        for _ in range(rng.randint(0, case["uniform_locations"])):
+            loc = rng.choice(locations)
+            # A run of rewrites to one location: prime last-write-wins bait.
+            for _ in range(1 + (rng.random() < redundancy) * rng.randint(1, 3)):
+                cmds.append(make_command(
+                    "glUniform4f", loc,
+                    round(rng.uniform(0, 1), 3), 0.0, 0.0, 1.0,
+                ))
+        for _ in range(case["draws_per_frame"]):
+            if rng.random() < case["unit_hops"]:
+                unit = rng.randrange(0, 4)
+                maybe_again(make_command(
+                    "glActiveTexture", gl.GL_TEXTURE0 + unit
+                ))
+            maybe_again(make_command(
+                "glBindTexture", gl.GL_TEXTURE_2D, rng.choice(textures)
+            ))
+            attrib = rng.randrange(0, 4)
+            maybe_again(make_command(
+                "glVertexAttribPointer", attrib, 3, gl.GL_FLOAT,
+                False, 20, 0,
+            ))
+            if rng.random() < case["error_rate"]:
+                cmds.append(make_command(
+                    "glVertexAttribPointer", 99, 3, gl.GL_FLOAT,
+                    False, 20, 0,
+                ))
+            maybe_again(make_command("glEnableVertexAttribArray", attrib))
+            cmds.append(make_command(
+                "glDrawArrays", gl.GL_TRIANGLES, 0, rng.choice((3, 6, 12))
+            ))
+    # A terminal draw flushes any deferred pointer still held back.
+    cmds.append(make_command("glDrawArrays", gl.GL_TRIANGLES, 0, 3))
+    return cmds

@@ -11,10 +11,16 @@ settings; the paper attacks both halves of it:
   inter-frame updates, JPEG-compressed (:mod:`repro.codec.turbo`); the
   x264 video-encoder alternative is modelled in :mod:`repro.codec.video`
   to show why its ~1 MP/s ARM throughput rules it out for real time.
+
+The planner (PR 9) adds a third mechanism upstream of both: command-stream
+*fusion* (:mod:`repro.codec.fusion`) drops redundant state setters before
+serialization, so the cache and compressor see a smaller stream to begin
+with.
 """
 
 from repro.codec.command_cache import CachePair, LRUCommandCache
 from repro.codec.frames import FrameImage, SyntheticFrameSource
+from repro.codec.fusion import FusionStats, fuse_commands, render_digest
 from repro.codec.lz77 import compress, decompress
 from repro.codec.pipeline import CommandPipeline, PipelineConfig
 from repro.codec.turbo import TurboEncoder, TurboStats
@@ -24,6 +30,9 @@ __all__ = [
     "CachePair",
     "CommandPipeline",
     "FrameImage",
+    "FusionStats",
+    "fuse_commands",
+    "render_digest",
     "LRUCommandCache",
     "PipelineConfig",
     "SyntheticFrameSource",

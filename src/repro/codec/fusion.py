@@ -1,0 +1,382 @@
+"""Command-stream fusion: drop redundant state-setting GLES calls.
+
+The planner's "compiled" transmit path (ROADMAP "auto-boost" item) runs the
+per-frame batch through a single left-to-right pass before serialization,
+the way nebullvm fuses adjacent model ops.  Two drop rules apply:
+
+* **dedupe** — a state-setter identical to the one that last wrote the same
+  state key, with nothing invalidating in between, is a no-op and is
+  dropped (e.g. re-binding the already-bound texture, re-issuing the same
+  ``glVertexAttribPointer`` every frame).
+* **last-write-wins** — a *pure* setter whose key is overwritten later in
+  the interval with no reader of that key in between is dead and is
+  dropped (e.g. two ``glUniformMatrix4fv`` writes to the same location
+  before the draw).
+
+Safety is the whole design.  Commands are never reordered, only dropped,
+and every rule is gated on what :mod:`repro.gles.context` actually does:
+
+* Bind calls (``glBindTexture``/``glBindBuffer``/``glBindFramebuffer``/
+  ``glBindRenderbuffer``) *create* objects for unseen names and
+  ``glUseProgram`` only takes effect for linked programs, so they are
+  dedupe-only — never elided by a later write.
+* Uniform keys carry a program-epoch token (bumped by every retained
+  ``glUseProgram`` and every barrier) because which program a uniform
+  lands in is not statically knowable; texture-bind keys carry the active
+  unit (a literal once a valid ``glActiveTexture`` is seen, an epoch token
+  otherwise); ``glVertexAttribPointer`` keys carry an array-buffer epoch
+  because the pointer snapshots the bound buffer.
+* Setters whose arguments would raise a GL error (bad capability, negative
+  viewport, out-of-range attrib index, ...) are treated as barriers, as is
+  every command the tables don't know.
+* Draw calls read all pure state, so they pin every pending write; texture
+  uploads pin the active-texture unit; queries pin everything.
+
+The one documented divergence: the context's error *latch* may differ for
+erroneous streams (a dropped duplicate would have re-raised the same
+error).  The latch is not part of ``state_digest`` and the equivalence
+property (:func:`render_digest`) is digest-based, so fusion targets
+non-strict replay; ``repro fuzz`` exercises exactly this contract.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.gles import enums as gl
+from repro.gles.commands import GLCommand, _freeze
+from repro.gles.context import (
+    GLContext,
+    MAX_TEXTURE_UNITS,
+    MAX_VERTEX_ATTRIBS,
+)
+
+
+_DRAW_NAMES = frozenset({"glClear", "glDrawArrays", "glDrawElements"})
+
+#: Commands that mutate the *bound texture object* — they read the active
+#: unit (pinning any pending ``glActiveTexture``) but touch no pure key.
+_TEXTURE_READERS = frozenset({
+    "glTexImage2D",
+    "glTexSubImage2D",
+    "glCompressedTexImage2D",
+    "glTexParameteri",
+    "glTexParameterf",
+    "glGenerateMipmap",
+})
+
+#: Read-only queries: they observe state mid-interval, so every pending
+#: write becomes permanent, but nothing is invalidated.
+_QUERY_NAMES = frozenset({
+    "glGetError",
+    "glGetString",
+    "glGetIntegerv",
+    "glGetFloatv",
+    "glGetBooleanv",
+    "glIsEnabled",
+    "glIsBuffer",
+    "glIsTexture",
+    "glIsProgram",
+    "glIsShader",
+    "glReadPixels",
+    "glCheckFramebufferStatus",
+    "glGetShaderiv",
+    "glGetProgramiv",
+    "glGetShaderInfoLog",
+    "glGetProgramInfoLog",
+    "glGetAttribLocation",
+    "glGetUniformLocation",
+})
+
+_VALID_CAPS = frozenset({
+    gl.GL_CULL_FACE,
+    gl.GL_BLEND,
+    gl.GL_DITHER,
+    gl.GL_STENCIL_TEST,
+    gl.GL_DEPTH_TEST,
+    gl.GL_SCISSOR_TEST,
+})
+
+_TEXTURE_TARGETS = frozenset({gl.GL_TEXTURE_2D, gl.GL_TEXTURE_CUBE_MAP})
+_BUFFER_TARGETS = frozenset({gl.GL_ARRAY_BUFFER, gl.GL_ELEMENT_ARRAY_BUFFER})
+
+#: All ``glUniform*`` entry points write ``uniforms[location]`` wholesale,
+#: so any of them fully overwrites any other at the same location.
+_UNIFORM_NAMES = frozenset({
+    "glUniform1i", "glUniform2i",
+    "glUniform1f", "glUniform2f", "glUniform3f", "glUniform4f",
+    "glUniform1fv", "glUniform2fv", "glUniform3fv", "glUniform4fv",
+    "glUniformMatrix2fv", "glUniformMatrix3fv", "glUniformMatrix4fv",
+})
+
+#: Simple fixed-function setters: one state slot each, no argument
+#: validation in the context, fully overwritten by the next call.
+_SIMPLE_SETTERS = frozenset({
+    "glBlendFunc", "glBlendEquation", "glDepthFunc", "glDepthMask",
+    "glDepthRangef", "glCullFace", "glFrontFace", "glScissor",
+    "glClearColor", "glClearDepthf", "glClearStencil", "glColorMask",
+    "glStencilFunc", "glStencilOp", "glStencilMask", "glPolygonOffset",
+    "glSampleCoverage",
+})
+
+_GENERIC_ATTRIB = frozenset({
+    "glVertexAttrib1f", "glVertexAttrib2f",
+    "glVertexAttrib3f", "glVertexAttrib4f",
+})
+
+
+@dataclass
+class FusionStats:
+    """Accounting for one fusion pass (or a running total of many)."""
+
+    commands_in: int = 0
+    commands_out: int = 0
+    dropped_dedupe: int = 0
+    dropped_overwritten: int = 0
+    dropped_by_name: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def dropped(self) -> int:
+        return self.dropped_dedupe + self.dropped_overwritten
+
+    @property
+    def reduction(self) -> float:
+        """Fraction of the interval's commands eliminated."""
+        if self.commands_in == 0:
+            return 0.0
+        return self.dropped / self.commands_in
+
+    def merge(self, other: "FusionStats") -> None:
+        self.commands_in += other.commands_in
+        self.commands_out += other.commands_out
+        self.dropped_dedupe += other.dropped_dedupe
+        self.dropped_overwritten += other.dropped_overwritten
+        for name, n in other.dropped_by_name.items():
+            self.dropped_by_name[name] = self.dropped_by_name.get(name, 0) + n
+
+
+class _Fuser:
+    """One left-to-right scan over an interval."""
+
+    def __init__(self, commands: List[GLCommand]):
+        self.commands = commands
+        #: retained commands; LWW elision nulls an entry after the fact
+        self.out: List[Optional[GLCommand]] = []
+        #: state key -> (name, frozen args) of the write currently in effect
+        self.last_set: Dict[Tuple, Tuple[str, Any]] = {}
+        #: state key -> index in ``out`` of a retained pure write that no
+        #: reader has observed yet (still elidable)
+        self.pending: Dict[Tuple, int] = {}
+        # Epoch tokens: a token change makes every key built on it unique,
+        # which disables cross-epoch dedupe/elision without any bookkeeping.
+        self._epoch = 0
+        self.unit_token: Tuple = ("epoch", 0)
+        self.prog_token: Tuple = ("epoch", 0)
+        self.abuf_token: Tuple = ("epoch", 0)
+        self.stats = FusionStats(commands_in=len(commands))
+
+    # -- primitive actions ---------------------------------------------------
+
+    def _retain(self, cmd: GLCommand) -> int:
+        self.out.append(cmd)
+        return len(self.out) - 1
+
+    def _drop(self, cmd: GLCommand, rule: str) -> None:
+        if rule == "dedupe":
+            self.stats.dropped_dedupe += 1
+        else:
+            self.stats.dropped_overwritten += 1
+        by = self.stats.dropped_by_name
+        by[cmd.name] = by.get(cmd.name, 0) + 1
+
+    def _bump_epoch(self) -> None:
+        self._epoch += 1
+        token = ("epoch", self._epoch)
+        self.unit_token = token
+        self.prog_token = token
+        self.abuf_token = token
+
+    def _barrier(self, cmd: GLCommand) -> None:
+        self._retain(cmd)
+        self.pending.clear()
+        self.last_set.clear()
+        self._bump_epoch()
+
+    def _pin_all(self, cmd: GLCommand) -> None:
+        """Readers make every pending write permanent; state keeps."""
+        self._retain(cmd)
+        self.pending.clear()
+
+    def _pin(self, key: Tuple) -> None:
+        self.pending.pop(key, None)
+
+    def _write(
+        self, cmd: GLCommand, key: Tuple, elidable: bool = True
+    ) -> bool:
+        """Apply the dedupe + LWW rules for a setter.  Returns True when
+        the command was retained (callers use this for token updates)."""
+        ident = (cmd.name, _freeze(cmd.args))
+        if self.last_set.get(key) == ident:
+            self._drop(cmd, "dedupe")
+            return False
+        if elidable:
+            prev = self.pending.get(key)
+            if prev is not None:
+                dead = self.out[prev]
+                if dead is not None:
+                    self.out[prev] = None
+                    self._drop(dead, "overwritten")
+            idx = self._retain(cmd)
+            self.pending[key] = idx
+        else:
+            self._retain(cmd)
+        self.last_set[key] = ident
+        return True
+
+    # -- per-command classification -----------------------------------------
+
+    def feed(self, cmd: GLCommand) -> None:
+        name = cmd.name
+        args = cmd.args
+        if name in _DRAW_NAMES:
+            self._pin_all(cmd)
+            return
+        if name in _QUERY_NAMES:
+            self._pin_all(cmd)
+            return
+        if name in _TEXTURE_READERS:
+            self._pin(("activetex",))
+            self._retain(cmd)
+            return
+        if name in _UNIFORM_NAMES:
+            self._write(cmd, ("uni", self.prog_token, args[0]))
+            return
+        if name in _SIMPLE_SETTERS:
+            self._write(cmd, (name,))
+            return
+        if name == "glActiveTexture":
+            unit = args[0] - gl.GL_TEXTURE0
+            if not 0 <= unit < MAX_TEXTURE_UNITS:
+                self._barrier(cmd)
+                return
+            if self._write(cmd, ("activetex",)):
+                self.unit_token = ("unit", unit)
+            return
+        if name == "glUseProgram":
+            # Dedupe-only: whether the bind takes effect depends on link
+            # state, which this pass cannot see.
+            if self._write(cmd, ("useprog",), elidable=False):
+                self._epoch += 1
+                self.prog_token = ("epoch", self._epoch)
+            return
+        if name == "glBindTexture":
+            if args[0] not in _TEXTURE_TARGETS:
+                self._barrier(cmd)
+                return
+            # The bind reads the active unit: pin any pending switch.
+            self._pin(("activetex",))
+            self._write(
+                cmd, ("texbind", self.unit_token, args[0]), elidable=False
+            )
+            return
+        if name == "glBindBuffer":
+            if args[0] not in _BUFFER_TARGETS:
+                self._barrier(cmd)
+                return
+            retained = self._write(cmd, ("bufbind", args[0]), elidable=False)
+            if retained and args[0] == gl.GL_ARRAY_BUFFER:
+                self._epoch += 1
+                self.abuf_token = ("epoch", self._epoch)
+            return
+        if name == "glBindFramebuffer":
+            self._write(cmd, ("fbbind", args[0]), elidable=False)
+            return
+        if name == "glBindRenderbuffer":
+            self._write(cmd, ("rbbind", args[0]), elidable=False)
+            return
+        if name == "glVertexAttribPointer":
+            index, size = args[0], args[1]
+            if not 0 <= index < MAX_VERTEX_ATTRIBS or size not in (1, 2, 3, 4):
+                self._barrier(cmd)
+                return
+            self._write(cmd, ("aptr", index, self.abuf_token))
+            return
+        if name in _GENERIC_ATTRIB:
+            if not 0 <= args[0] < MAX_VERTEX_ATTRIBS:
+                self._barrier(cmd)
+                return
+            self._write(cmd, ("agen", args[0]))
+            return
+        if name in ("glEnableVertexAttribArray", "glDisableVertexAttribArray"):
+            if not 0 <= args[0] < MAX_VERTEX_ATTRIBS:
+                self._barrier(cmd)
+                return
+            self._write(cmd, ("aen", args[0]))
+            return
+        if name in ("glEnable", "glDisable"):
+            if args[0] not in _VALID_CAPS:
+                self._barrier(cmd)
+                return
+            self._write(cmd, ("cap", args[0]))
+            return
+        if name == "glViewport":
+            if args[2] < 0 or args[3] < 0:
+                self._barrier(cmd)
+                return
+            self._write(cmd, ("viewport",))
+            return
+        if name == "glLineWidth":
+            if args[0] <= 0:
+                self._barrier(cmd)
+                return
+            self._write(cmd, ("linewidth",))
+            return
+        if name == "glHint":
+            self._write(cmd, ("hint", args[0]))
+            return
+        if name == "glPixelStorei":
+            self._write(cmd, ("pixstore", args[0]))
+            return
+        # Everything else — object lifecycle, shader/program plumbing,
+        # buffer/texture uploads, framebuffer attachment — is a barrier.
+        self._barrier(cmd)
+
+    def result(self) -> List[GLCommand]:
+        fused = [c for c in self.out if c is not None]
+        self.stats.commands_out = len(fused)
+        return fused
+
+
+def fuse_commands(
+    commands: List[GLCommand],
+) -> Tuple[List[GLCommand], FusionStats]:
+    """Fuse one interval.  Returns the retained commands (original order)
+    plus drop accounting.  The fused stream executes to the same
+    ``state_digest`` at every draw and at the end of the interval."""
+    fuser = _Fuser(list(commands))
+    for cmd in fuser.commands:
+        fuser.feed(cmd)
+    return fuser.result(), fuser.stats
+
+
+def render_digest(commands: List[GLCommand]) -> str:
+    """The plan-equivalence oracle: execute on a fresh context and hash the
+    full context state at every draw call plus the final state.
+
+    Two streams with equal render digests put identical state in front of
+    each rasterization point — the strongest observable-equivalence
+    criterion the simulated context offers (the error latch is excluded;
+    see the module docstring).
+    """
+    ctx = GLContext(name="fusion-oracle", strict=False)
+    h = hashlib.sha256()
+    for cmd in commands:
+        ctx.execute(cmd)
+        if cmd.spec.is_draw:
+            h.update(repr((cmd.name, _freeze(cmd.args))).encode())
+            h.update(ctx.state_digest().encode())
+    h.update(b"final:")
+    h.update(ctx.state_digest().encode())
+    return h.hexdigest()

@@ -16,6 +16,7 @@ from typing import Callable, List, Optional, Tuple
 import hashlib
 
 from repro.codec.command_cache import CachePair
+from repro.codec.fusion import FusionStats, fuse_commands
 from repro.codec.lz77 import compress
 from repro.gles.commands import GLCommand
 from repro.gles.serialization import CommandSerializer
@@ -47,6 +48,10 @@ class PipelineConfig:
 
     cache_enabled: bool = True
     cache_capacity: int = 4096
+    #: command-stream "compilation": dedupe/fuse redundant state setters
+    #: before serialization (repro.codec.fusion); off by default so every
+    #: pre-planner benchmark byte count is unchanged
+    fusion_enabled: bool = False
     compression_enabled: bool = True
     compression_max_chain: int = 8
     # Long sessions reuse a measured compression ratio instead of running
@@ -70,6 +75,9 @@ class FrameEgress:
     cache_hits: int
     payload: Optional[bytes] = None
     kind: str = "full"        # "full" | "replay_hit"
+    #: commands the fusion pass removed before serialization; callers that
+    #: extrapolate per-command costs scale by ``commands + fused_dropped``
+    fused_dropped: int = 0
 
 
 class CommandPipeline:
@@ -93,6 +101,7 @@ class CommandPipeline:
         self.total_after_cache = 0
         self.total_wire = 0
         self.frames = 0
+        self.fusion_stats = FusionStats()
 
     def process_frame(
         self,
@@ -116,6 +125,11 @@ class CommandPipeline:
                 replay_patch, replay_digest, replay_expect, replay_variant,
                 frame_id, parent,
             )
+        fused_dropped = 0
+        if self.config.fusion_enabled:
+            commands, fstats = fuse_commands(commands)
+            fused_dropped = fstats.dropped
+            self.fusion_stats.merge(fstats)
         wires: List[bytes] = []
         originals: List[GLCommand] = []
         for cmd in commands:
@@ -207,6 +221,7 @@ class CommandPipeline:
             commands=len(wires),
             cache_hits=cache_hits,
             payload=payload,
+            fused_dropped=fused_dropped,
         )
 
     def _emit_replay_hit(

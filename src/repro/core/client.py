@@ -94,6 +94,7 @@ class GBoosterClient:
                 cache_capacity=self.config.cache_capacity,
                 compression_enabled=self.config.compression_enabled,
                 modelled_compression=self.config.modelled_compression,
+                fusion_enabled=self.config.fusion_enabled,
                 serialize_us_per_command=self.config.serialize_us_per_command,
             ),
             spans=sim.spans,
@@ -279,7 +280,11 @@ class GBoosterClient:
                 frame_id=request.frame_id,
                 parent=request.metadata.get("frame_span"),
             )
-            scale = nominal / max(1, egress.commands)
+            # Extrapolate per-command wire cost over the *emitted* stream:
+            # fusion-dropped commands were part of the frame, so they count
+            # in the denominator or the savings would be scaled away.
+            emitted = egress.commands + egress.fused_dropped
+            scale = nominal / max(1, emitted)
             wire_bytes = max(64, int(egress.wire_bytes * scale))
             raw_bytes = int(egress.raw_bytes * scale)
             if decision is not None and decision.action == "record":

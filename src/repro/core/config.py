@@ -22,6 +22,11 @@ class GBoosterConfig:
     #: long sessions reuse a periodically re-measured compression ratio
     #: instead of compressing every frame's bytes in-process.
     modelled_compression: bool = True
+    #: command-stream "compilation" (repro.codec.fusion): drop redundant
+    #: state setters before serialization.  Off by default so every
+    #: pre-planner benchmark byte count is unchanged; the planner enables
+    #: it on committed offload plans.
+    fusion_enabled: bool = False
 
     # -- transport (§IV-B) ---------------------------------------------------
     transport: str = "rudp"            # "rudp" | "tcp"
@@ -30,9 +35,20 @@ class GBoosterConfig:
     # -- interface switching (§V-B) ---------------------------------------------
     switching_policy: str = "predictive"   # "predictive" | "reactive" |
                                            # "always_wifi" | "always_bluetooth"
+                                           # | "planner"
     bluetooth_threshold_mbps: float = 16.0
     prediction_horizon_ms: float = 500.0
     traffic_epoch_ms: float = 100.0
+
+    # -- multi-backend planner (repro.plan) ----------------------------------------
+    #: probe-window length per candidate backend, in modelled frames
+    planner_probe_frames: int = 12
+    #: epochs a commit is immune to re-planning after a switch
+    planner_cooldown_epochs: int = 20
+    #: relative score weights: measured frame latency, uplink bytes, energy
+    planner_latency_weight: float = 1.0
+    planner_bytes_weight: float = 0.05
+    planner_energy_weight: float = 0.1
 
     # -- SwapBuffer rewriting / pipelining (§VI-A) ----------------------------------
     async_swap: bool = True
@@ -134,11 +150,16 @@ class GBoosterConfig:
         if self.transport not in ("rudp", "tcp"):
             raise ValueError(f"unknown transport {self.transport!r}")
         if self.switching_policy not in (
-            "predictive", "reactive", "always_wifi", "always_bluetooth"
+            "predictive", "reactive", "always_wifi", "always_bluetooth",
+            "planner",
         ):
             raise ValueError(
                 f"unknown switching policy {self.switching_policy!r}"
             )
+        if self.planner_probe_frames <= 0:
+            raise ValueError("planner_probe_frames must be positive")
+        if self.planner_cooldown_epochs < 0:
+            raise ValueError("planner_cooldown_epochs must be non-negative")
         if self.scheduler not in ("eq4", "round_robin"):
             raise ValueError(f"unknown scheduler {self.scheduler!r}")
         if self.service_queue_policy not in ("fcfs", "priority"):

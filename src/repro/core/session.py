@@ -34,6 +34,7 @@ from repro.switching.controller import SwitchingController, SwitchingStats
 from repro.switching.policies import (
     AlwaysBluetoothPolicy,
     AlwaysWifiPolicy,
+    PlannerPolicy,
     PredictivePolicy,
     ReactivePolicy,
 )
@@ -103,6 +104,48 @@ class SessionResult:
 def _make_transport(sim: Simulator, config: GBoosterConfig, name: str) -> Transport:
     cls = ReliableUdpTransport if config.transport == "rudp" else TcpTransport
     return cls(sim, name=name, rto_ms=config.rto_ms)
+
+
+def _make_planner_policy(
+    sim: Simulator,
+    app: ApplicationSpec,
+    user_device: DeviceSpec,
+    service_devices: Sequence[DeviceSpec],
+    config: GBoosterConfig,
+    telemetry: Optional[TelemetryHub],
+    seed: int,
+) -> PlannerPolicy:
+    """Build the plan stack for ``switching_policy="planner"``.
+
+    The planner probes every viable backend for this session's context
+    and the policy keeps the radio on the committed plan, re-probing when
+    the live ``frame_response_ms`` series drifts off the probed baseline.
+    """
+    from repro.plan import SessionContext, SessionPlanner
+
+    ctx = SessionContext(
+        app=app,
+        user_device=user_device,
+        service_device=service_devices[0] if service_devices else None,
+        fusion_enabled=config.fusion_enabled,
+        config=config,
+    )
+    planner = SessionPlanner(ctx, seed=seed, sim=sim)
+
+    def latest_latency() -> Optional[float]:
+        if telemetry is None:
+            return None
+        series = telemetry.bank.series(
+            "frame_response_ms", agg="mean", device=user_device.name
+        )
+        points = series.points()
+        return points[-1][1] if points else None
+
+    return PlannerPolicy(
+        planner,
+        latency_source=latest_latency,
+        epoch_ms=config.traffic_epoch_ms,
+    )
 
 
 def _make_policy(config: GBoosterConfig):
@@ -335,14 +378,23 @@ def run_offload_session(
         recent = engine_holder[0].frames[-1]
         return [float(recent.touches_since_last), float(recent.texture_count)]
 
+    if config.switching_policy == "planner":
+        policy = _make_planner_policy(
+            sim, app, user_device, service_devices, config, telemetry, seed
+        )
+    else:
+        policy = _make_policy(config)
     controller = SwitchingController(
         sim,
         device.network,
-        _make_policy(config),
+        policy,
         exogenous_source=exogenous,
     )
-    # Start on Bluetooth when a policy can raise WiFi on demand.
-    if config.switching_policy in ("predictive", "reactive", "always_bluetooth"):
+    # Start on Bluetooth when a policy can raise WiFi on demand (the
+    # planner raises whichever radio its committed plan rides).
+    if config.switching_policy in (
+        "predictive", "reactive", "always_bluetooth", "planner"
+    ):
         device.network.use("bluetooth")
         device.network.power_down_idle()
 

@@ -25,12 +25,19 @@ class DeviceEstimate:
     queued_workload: float        # w^j, in fill megapixels
     capability: float             # c^j, megapixels per millisecond
     rtt_ms: float                 # l^j
+    #: planner-supplied per-device bias (repro.plan): the predicted
+    #: service-stage cost of *this* title on *this* device, so placement
+    #: prefers the device the committed plan renders fastest on.  Zero
+    #: reproduces plain Eq. 4.
+    plan_bias_ms: float = 0.0
 
     def completion_estimate_ms(self, request_workload: float) -> float:
         if self.capability <= 0:
             return float("inf")
-        return (self.queued_workload + request_workload) / self.capability + (
-            self.rtt_ms
+        return (
+            (self.queued_workload + request_workload) / self.capability
+            + self.rtt_ms
+            + self.plan_bias_ms
         )
 
 

@@ -82,6 +82,12 @@ class FleetConfig:
     #: warm/cold server-time ratio of the R4 bench (~20x cheaper)
     replay_warm_factor: float = 0.05
 
+    # -- plan-aware placement (repro.plan) -----------------------------------
+    #: bias Eq. 4 placement by each device's predicted service-stage cost
+    #: for the session's title, and advertise served titles in heartbeats
+    #: so the planner's multicast candidate can see co-located viewers
+    planner: bool = False
+
     # -- correctness checking (repro.check) ----------------------------------
     #: arm a runtime :class:`~repro.check.InvariantMonitor` on the
     #: controller's simulator (session ownership, frame conservation,

@@ -181,10 +181,24 @@ class FleetController:
             payload = node.heartbeat_payload()
             if payload is None:
                 return None
-            active = sum(
-                1 for s in self.active.values()
-                if s.node is not None and s.node.name == node.name
+            homed = sorted(
+                (
+                    s for s in self.active.values()
+                    if s.node is not None and s.node.name == node.name
+                ),
+                key=lambda s: s.session_id,
             )
+            active = len(homed)
+            if self.config.planner:
+                # Planner fleets advertise the served titles so the
+                # multicast plan candidate can see co-located viewers.
+                titles = tuple(s.app.name for s in homed)
+                generation = (
+                    self.replay_hub.generation()
+                    if self.replay_hub is not None
+                    else 0
+                )
+                return payload, active, generation, titles
             if self.replay_hub is not None:
                 # Advertise the replay-store generation the device serves
                 # from, so the controller can tell stale views apart.
@@ -192,6 +206,31 @@ class FleetController:
             return payload, active
 
         return probe
+
+    def colocation_groups(self) -> Dict[str, int]:
+        """Heartbeat-advertised viewers per title (planner fleets)."""
+        return self.registry.colocation_groups()
+
+    def _plan_bias_ms(self, session: FleetSession) -> Optional[Dict[str, float]]:
+        """Predicted service-stage cost of this title on each live node.
+
+        Only computed for planner fleets: the bias feeds Eq. 4 through
+        :class:`DeviceEstimate.plan_bias_ms`, steering a session toward
+        the device that renders *its* frames fastest, not just the device
+        with the shortest queue.  (FleetConfig mirrors the per-frame cost
+        constants the predictor reads, so it can stand in for the session
+        config here.)
+        """
+        if not self.config.planner:
+            return None
+        from repro.analysis.pipeline_model import predict_service_stage_ms
+
+        return {
+            node.name: predict_service_stage_ms(
+                session.app, node.spec, self.config
+            )
+            for node in self._up_nodes()
+        }
 
     # -- session lifecycle ---------------------------------------------------
 
@@ -243,6 +282,7 @@ class FleetController:
             nodes=self._up_nodes(),
             committed_mp_per_ms=self.committed_mp_per_ms,
             rtt_ms=self.rtt_ms,
+            plan_bias_ms=self._plan_bias_ms(session),
         )
         self.sessions[session.session_id] = session
         self.active[session.session_id] = session
@@ -357,6 +397,7 @@ class FleetController:
             nodes=self._up_nodes(),
             committed_mp_per_ms=self.committed_mp_per_ms,
             rtt_ms=self.rtt_ms,
+            plan_bias_ms=self._plan_bias_ms(session),
         )
         old = session.node.name if session.node is not None else None
         if old is not None and reason != "crash":

@@ -52,11 +52,19 @@ class SessionPlacer:
         nodes: Sequence[FleetNode],
         committed_mp_per_ms: Dict[str, float],
         rtt_ms: Dict[str, float],
+        plan_bias_ms: Optional[Dict[str, float]] = None,
     ) -> FleetNode:
-        """Eq. 4 over per-device committed demand; returns the home node."""
+        """Eq. 4 over per-device committed demand; returns the home node.
+
+        ``plan_bias_ms`` (from a planner-enabled controller) adds each
+        device's predicted service-stage cost for *this* title to its
+        completion estimate, so two devices with equal queues diverge on
+        how fast they actually render this app's frames.
+        """
         candidates = [n for n in nodes if not n.failed]
         if not candidates:
             raise ValueError("no live fleet nodes to place on")
+        bias = plan_bias_ms or {}
         estimates = [
             DeviceEstimate(
                 name=n.name,
@@ -68,6 +76,7 @@ class SessionPlacer:
                 ),
                 capability=n.capacity_mp_per_ms,
                 rtt_ms=rtt_ms.get(n.name, 0.0),
+                plan_bias_ms=bias.get(n.name, 0.0),
             )
             for n in candidates
         ]

@@ -24,8 +24,9 @@ from repro.sim.kernel import Simulator
 
 #: answers (queued_workload_mp, active_sessions) — optionally extended
 #: to (queued_workload_mp, active_sessions, replay_generation) by
-#: replay-enabled fleets — or None when the device is silent (crashed,
-#: unplugged, off the network)
+#: replay-enabled fleets and further to (..., titles) by planner-enabled
+#: fleets advertising which titles the device currently serves — or None
+#: when the device is silent (crashed, unplugged, off the network)
 HeartbeatProbe = Callable[[], Optional[Tuple]]
 
 
@@ -39,6 +40,10 @@ class Heartbeat:
     #: the replay-store generation this device's serving view reflects
     #: (0 when the fleet runs without the replay hub)
     replay_generation: int = 0
+    #: titles of the sessions this device is serving right now, one entry
+    #: per session — the planner's multicast candidate reads co-location
+    #: (two viewers of one title on one LAN segment) from these
+    titles: Tuple[str, ...] = ()
 
 
 @dataclass
@@ -102,6 +107,22 @@ class DeviceRegistry:
     def up_devices(self) -> List[RegisteredDevice]:
         return [d for d in self.devices.values() if d.state == "up"]
 
+    def colocation_groups(self) -> Dict[str, int]:
+        """Viewers per title across the live pool, from heartbeat titles.
+
+        A count of two or more means the planner's multicast candidate is
+        viable: one rendered stream can serve every co-located viewer of
+        that title.  Deterministic: sorted by title.
+        """
+        counts: Dict[str, int] = {}
+        for dev in self.up_devices():
+            hb = dev.last_heartbeat
+            if hb is None:
+                continue
+            for title in hb.titles:
+                counts[title] = counts.get(title, 0) + 1
+        return dict(sorted(counts.items()))
+
     # -- liveness ------------------------------------------------------------
 
     def _heartbeat_loop(self, dev: RegisteredDevice) -> Generator:
@@ -112,8 +133,9 @@ class DeviceRegistry:
                 continue  # silence; the monitor draws the conclusion
             workload, sessions = answer[0], answer[1]
             generation = answer[2] if len(answer) > 2 else 0
+            titles = tuple(answer[3]) if len(answer) > 3 else ()
             dev.last_heartbeat = Heartbeat(
-                self.sim.now, workload, sessions, generation
+                self.sim.now, workload, sessions, generation, titles
             )
             if dev.state == "down":
                 dev.state = "up"

@@ -35,6 +35,12 @@ from repro.net.transport import (
     TcpTransport,
     Transport,
 )
+from repro.net.wan import (
+    WAN_BROADBAND,
+    WAN_CONGESTED,
+    WAN_FIBER,
+    WanProfile,
+)
 
 __all__ = [
     "BLUETOOTH_CLASSIC",
@@ -48,6 +54,10 @@ __all__ = [
     "ReliableUdpTransport",
     "TcpTransport",
     "Transport",
+    "WAN_BROADBAND",
+    "WAN_CONGESTED",
+    "WAN_FIBER",
     "WIFI_80211N",
+    "WanProfile",
     "WirelessInterface",
 ]

@@ -1,0 +1,46 @@
+"""The auto-boost multi-backend planner (ROADMAP item, after nebullvm).
+
+GBooster's original machinery makes three separate decisions — BT-vs-WiFi
+switching, Eq. 4 device placement, and the replay fast path — and the
+paper's baselines (local execution, OnLive WAN cloud) sit outside them
+entirely.  ``repro.plan`` unifies all of it behind one measured optimizer:
+
+* :mod:`repro.plan.candidates` — enumerate every way a session could run
+  (local GPU, BT offload, WiFi offload, WAN cloud, replay-warm serve,
+  multicast shared rendering), gated on what the environment offers;
+* :mod:`repro.plan.probe` — score each candidate on a measured probe
+  window (frame latency, uplink bytes through a *real* egress pipeline
+  with command-stream fusion, radio energy), recorded into ``repro.obs``
+  time-series;
+* :mod:`repro.plan.planner` — commit to the winner and re-plan when the
+  EWMA drift detector sees the committed plan's live latency leave the
+  probed band.
+
+The switching controller delegates its radio decision to the committed
+plan via :class:`~repro.switching.policies.PlannerPolicy`
+(``switching_policy="planner"``), and the fleet placer consumes plan
+scores as per-node bias (:mod:`repro.fleet.placement`).
+"""
+
+from repro.plan.candidates import (
+    BACKEND_RADIO,
+    BACKENDS,
+    PlanCandidate,
+    SessionContext,
+    enumerate_candidates,
+)
+from repro.plan.planner import PlanDecision, ReplanController, SessionPlanner
+from repro.plan.probe import ProbeRunner, ProbeStats
+
+__all__ = [
+    "BACKENDS",
+    "BACKEND_RADIO",
+    "PlanCandidate",
+    "PlanDecision",
+    "ProbeRunner",
+    "ProbeStats",
+    "ReplanController",
+    "SessionContext",
+    "SessionPlanner",
+    "enumerate_candidates",
+]

@@ -1,0 +1,139 @@
+"""Per-session execution-plan candidates.
+
+The planner generalizes GBooster's three hard-wired decisions (BT vs WiFi
+switching, Eq. 4 device placement, the replay fast path) plus the paper's
+two §VII baselines (local execution, OnLive-style WAN cloud) into one
+candidate space, nebullvm-style: every way this session *could* run is a
+:class:`PlanCandidate`, gated on what the environment actually offers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.apps.base import ApplicationSpec
+from repro.core.config import GBoosterConfig
+from repro.devices.profiles import DeviceSpec
+from repro.net.wan import WanProfile
+
+#: Canonical backend order — deterministic iteration and tie-breaks.
+BACKENDS = ("local", "bt", "wifi", "wan", "replay", "multicast")
+
+#: Radio each backend rides; the switching controller applies this once a
+#: plan commits ("local" parks traffic on Bluetooth so WiFi can power down).
+BACKEND_RADIO = {
+    "local": "bluetooth",
+    "bt": "bluetooth",
+    "wifi": "wifi",
+    "wan": "wifi",
+    "replay": "wifi",
+    "multicast": "wifi",
+}
+
+
+@dataclass
+class SessionContext:
+    """Everything the enumerator and probe need to know about one session."""
+
+    app: ApplicationSpec
+    user_device: DeviceSpec
+    service_device: Optional[DeviceSpec] = None
+    #: WAN path to a cloud rendering region; ``None`` means no cloud plan
+    wan: Optional[WanProfile] = None
+    #: the fleet replay store already holds this title's intervals
+    replay_warm: bool = False
+    #: co-located viewers (including this one) watching the same title —
+    #: advertised by fleet heartbeats (:meth:`Registry.colocation_groups`)
+    colocated_viewers: int = 1
+    #: measured link conditions for the probe's transmit model
+    wifi_mbps: float = 120.0
+    bt_mbps: float = 21.0
+    wifi_loss: float = 0.0
+    #: command-stream fusion on the transmit path of offload plans
+    fusion_enabled: bool = True
+    config: GBoosterConfig = field(default_factory=GBoosterConfig)
+
+
+@dataclass(frozen=True)
+class PlanCandidate:
+    """One enumerated way to run the session."""
+
+    backend: str
+    viable: bool
+    reason: str = ""           # why not, when viable is False
+
+    @property
+    def radio(self) -> str:
+        return BACKEND_RADIO[self.backend]
+
+
+def enumerate_candidates(ctx: SessionContext) -> List[PlanCandidate]:
+    """All six backends, each gated on the context.
+
+    The list always covers every backend (non-viable ones carry the
+    reason) so experiment reports can show *why* a plan was out, and the
+    order is canonical for deterministic downstream iteration.
+    """
+    out: List[PlanCandidate] = []
+    for backend in BACKENDS:
+        if backend == "local":
+            out.append(PlanCandidate("local", True))
+        elif backend in ("bt", "wifi"):
+            if ctx.service_device is None:
+                out.append(PlanCandidate(
+                    backend, False, "no service device on the LAN"
+                ))
+            elif backend == "bt" and ctx.bt_mbps <= 0:
+                out.append(PlanCandidate(
+                    backend, False, "bluetooth radio unavailable"
+                ))
+            elif backend == "wifi" and ctx.wifi_mbps <= 0:
+                out.append(PlanCandidate(
+                    backend, False, "wifi radio unavailable"
+                ))
+            else:
+                out.append(PlanCandidate(backend, True))
+        elif backend == "wan":
+            if ctx.wan is None:
+                out.append(PlanCandidate(
+                    "wan", False, "no cloud rendering region reachable"
+                ))
+            elif ctx.wifi_mbps <= 0:
+                # The cloud video stream rides the WiFi radio.
+                out.append(PlanCandidate(
+                    "wan", False, "wifi radio unavailable"
+                ))
+            else:
+                out.append(PlanCandidate("wan", True))
+        elif backend == "replay":
+            if ctx.service_device is None:
+                out.append(PlanCandidate(
+                    "replay", False, "no service device on the LAN"
+                ))
+            elif not ctx.replay_warm:
+                out.append(PlanCandidate(
+                    "replay", False, "replay store cold for this title"
+                ))
+            elif ctx.wifi_mbps <= 0:
+                out.append(PlanCandidate(
+                    "replay", False, "wifi radio unavailable"
+                ))
+            else:
+                out.append(PlanCandidate("replay", True))
+        elif backend == "multicast":
+            if ctx.service_device is None:
+                out.append(PlanCandidate(
+                    "multicast", False, "no service device on the LAN"
+                ))
+            elif ctx.colocated_viewers < 2:
+                out.append(PlanCandidate(
+                    "multicast", False, "no co-located viewers of this title"
+                ))
+            elif ctx.wifi_mbps <= 0:
+                out.append(PlanCandidate(
+                    "multicast", False, "wifi radio unavailable"
+                ))
+            else:
+                out.append(PlanCandidate("multicast", True))
+    return out

@@ -8,13 +8,16 @@ should carry the stream.  Policies:
 * ``ReactivePolicy`` — switch after demand already exceeds Bluetooth,
   paying the WiFi wakeup latency in queued packets;
 * ``PredictivePolicy`` — the paper's design: an online ARMAX forecast over
-  a 500 ms horizon wakes WiFi *before* the surge lands.
+  a 500 ms horizon wakes WiFi *before* the surge lands;
+* ``PlannerPolicy`` — delegates the radio to the committed execution plan
+  from :mod:`repro.plan` and feeds its drift watchdog each epoch.
 """
 
 from repro.switching.controller import SwitchingController, SwitchingStats
 from repro.switching.policies import (
     AlwaysBluetoothPolicy,
     AlwaysWifiPolicy,
+    PlannerPolicy,
     PredictivePolicy,
     ReactivePolicy,
     SwitchDecision,
@@ -24,6 +27,7 @@ from repro.switching.policies import (
 __all__ = [
     "AlwaysBluetoothPolicy",
     "AlwaysWifiPolicy",
+    "PlannerPolicy",
     "PredictivePolicy",
     "ReactivePolicy",
     "SwitchDecision",

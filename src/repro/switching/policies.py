@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import List, Optional, Protocol, Sequence
+from typing import Callable, List, Optional, Protocol, Sequence
 
 from repro.predict.armax import ARMAXModel
 
@@ -82,6 +82,64 @@ class ReactivePolicy:
         if current == "wifi" and self._quiet_epochs >= self.cooldown_epochs:
             return SwitchDecision.BLUETOOTH
         return SwitchDecision.HOLD
+
+
+class PlannerPolicy:
+    """Radio selection delegated to a committed execution plan (repro.plan).
+
+    Where the other policies reason about *traffic*, this one reasons
+    about the whole plan: a :class:`~repro.plan.planner.SessionPlanner`
+    has probed every viable backend and committed to one, and the radio
+    follows the committed backend through ``BACKEND_RADIO``.  Each epoch
+    the policy feeds the session's measured frame latency (from
+    ``latency_source``, typically the telemetry bank's
+    ``frame_response_ms`` series) to the plan's drift watchdog; a
+    sustained departure from the probe-time baseline re-plans, and the
+    radio follows the new commitment on the next epoch.
+    """
+
+    def __init__(
+        self,
+        planner,
+        latency_source: Optional[Callable[[], Optional[float]]] = None,
+        controller=None,
+        epoch_ms: float = 100.0,
+    ):
+        # Local import: repro.switching stays importable without pulling
+        # the planner stack (and its codec/apps dependencies) eagerly.
+        from repro.plan.planner import ReplanController
+
+        self.planner = planner
+        self.controller = controller or ReplanController(planner)
+        self.latency_source = latency_source
+        self.epoch_ms = epoch_ms
+        self._epochs = 0
+        #: latest latency residual vs the committed plan's probed baseline;
+        #: the switching controller forwards it to telemetry.track_residual
+        self.last_residual: Optional[float] = None
+
+    def decide(
+        self, epoch_mbps: float, exogenous: Sequence[float], current: str
+    ) -> SwitchDecision:
+        self._epochs += 1
+        if self.planner.decision is None:
+            self.planner.probe_and_commit()
+        measured = (
+            self.latency_source() if self.latency_source is not None else None
+        )
+        if measured is not None:
+            self.controller.observe_latency(
+                measured, at_ms=self._epochs * self.epoch_ms
+            )
+            self.last_residual = self.controller.last_residual
+        radio = self.planner.decision.radio
+        if radio == current:
+            return SwitchDecision.HOLD
+        return (
+            SwitchDecision.WIFI
+            if radio == "wifi"
+            else SwitchDecision.BLUETOOTH
+        )
 
 
 class PredictivePolicy:

@@ -1,0 +1,165 @@
+"""Command-stream fusion: drop rules, barriers, and the digest oracle."""
+
+import random
+
+from repro.check.glgen import build_commands, generate_case
+from repro.codec.fusion import fuse_commands, render_digest
+from repro.codec.pipeline import CommandPipeline, PipelineConfig
+from repro.gles import enums as gl
+from repro.gles.commands import make_command
+
+
+def _program_setup(prog_id=3):
+    """Minimal compile/link so glUseProgram takes effect."""
+    vs, fs = prog_id - 2, prog_id - 1
+    return [
+        make_command("glCreateShader", gl.GL_VERTEX_SHADER),
+        make_command("glShaderSource", vs, "void main(){}"),
+        make_command("glCompileShader", vs),
+        make_command("glCreateShader", gl.GL_FRAGMENT_SHADER),
+        make_command("glShaderSource", fs, "void main(){}"),
+        make_command("glCompileShader", fs),
+        make_command("glCreateProgram"),
+        make_command("glAttachShader", prog_id, vs),
+        make_command("glAttachShader", prog_id, fs),
+        make_command("glLinkProgram", prog_id),
+        make_command("glUseProgram", prog_id),
+    ]
+
+
+class TestDropRules:
+    def test_identical_repeat_is_deduped(self):
+        cmds = [
+            make_command("glEnable", gl.GL_BLEND),
+            make_command("glEnable", gl.GL_BLEND),
+            make_command("glEnable", gl.GL_BLEND),
+        ]
+        fused, stats = fuse_commands(cmds)
+        assert len(fused) == 1
+        assert stats.dropped_dedupe == 2
+
+    def test_dead_write_is_overwritten(self):
+        cmds = _program_setup() + [
+            make_command("glUniform4f", 0, 0.1, 0.0, 0.0, 1.0),
+            make_command("glUniform4f", 0, 0.9, 0.0, 0.0, 1.0),
+            make_command("glDrawArrays", gl.GL_TRIANGLES, 0, 3),
+        ]
+        fused, stats = fuse_commands(cmds)
+        assert stats.dropped_overwritten == 1
+        kept = [c for c in fused if c.name == "glUniform4f"]
+        assert kept == [cmds[-2]]  # the last write survives
+
+    def test_draw_pins_pending_writes(self):
+        cmds = _program_setup() + [
+            make_command("glUniform4f", 0, 0.1, 0.0, 0.0, 1.0),
+            make_command("glDrawArrays", gl.GL_TRIANGLES, 0, 3),
+            make_command("glUniform4f", 0, 0.9, 0.0, 0.0, 1.0),
+            make_command("glDrawArrays", gl.GL_TRIANGLES, 0, 3),
+        ]
+        fused, stats = fuse_commands(cmds)
+        # Both writes are read by a draw: neither is dead.
+        assert len([c for c in fused if c.name == "glUniform4f"]) == 2
+        assert stats.dropped_overwritten == 0
+
+    def test_query_pins_pending_writes(self):
+        cmds = [
+            make_command("glClearColor", 0.1, 0.1, 0.1, 1.0),
+            make_command("glGetError"),
+            make_command("glClearColor", 0.9, 0.9, 0.9, 1.0),
+        ]
+        fused, _ = fuse_commands(cmds)
+        assert len([c for c in fused if c.name == "glClearColor"]) == 2
+
+    def test_erroneous_setter_is_a_barrier(self):
+        cmds = [
+            make_command("glViewport", 0, 0, 640, 480),
+            make_command("glViewport", 0, 0, -1, 480),  # GL error
+            make_command("glViewport", 0, 0, 320, 240),
+        ]
+        fused, _ = fuse_commands(cmds)
+        # The invalid call blocks last-write-wins across it.
+        assert len(fused) == 3
+
+    def test_bind_is_dedupe_only(self):
+        cmds = [
+            make_command("glBindTexture", gl.GL_TEXTURE_2D, 7),
+            make_command("glBindTexture", gl.GL_TEXTURE_2D, 7),
+            make_command("glBindTexture", gl.GL_TEXTURE_2D, 8),
+        ]
+        fused, stats = fuse_commands(cmds)
+        # The repeat dedupes, but the first bind of 7 is never elided by
+        # the later bind of 8 — binds create objects for unseen names.
+        assert [c.args[1] for c in fused] == [7, 8]
+        assert stats.dropped_dedupe == 1
+        assert stats.dropped_overwritten == 0
+
+    def test_use_program_bumps_uniform_epoch(self):
+        setup_a = _program_setup(prog_id=3)
+        setup_b = _program_setup(prog_id=6)
+        cmds = (
+            setup_a[:-1] + setup_b[:-1]
+            + [
+                make_command("glUseProgram", 3),
+                make_command("glUniform4f", 0, 0.1, 0.0, 0.0, 1.0),
+                make_command("glUseProgram", 6),
+                make_command("glUniform4f", 0, 0.9, 0.0, 0.0, 1.0),
+                make_command("glDrawArrays", gl.GL_TRIANGLES, 0, 3),
+            ]
+        )
+        fused, _ = fuse_commands(cmds)
+        # Same location, different program: distinct state — both stay.
+        assert len([c for c in fused if c.name == "glUniform4f"]) == 2
+
+
+class TestEquivalence:
+    def test_fused_stream_is_digest_equivalent(self):
+        rng = random.Random(1234)
+        for _ in range(25):
+            commands = build_commands(generate_case(rng))
+            fused, _ = fuse_commands(commands)
+            assert render_digest(fused) == render_digest(commands)
+
+    def test_fusion_is_idempotent(self):
+        rng = random.Random(99)
+        for _ in range(10):
+            commands = build_commands(generate_case(rng))
+            fused, _ = fuse_commands(commands)
+            refused, restats = fuse_commands(fused)
+            assert restats.dropped == 0
+            assert refused == fused
+
+    def test_redundant_stream_shrinks(self):
+        case = {
+            "seed": 7, "frames": 4, "draws_per_frame": 3, "programs": 2,
+            "textures": 2, "uniform_locations": 3, "redundancy": 0.8,
+            "unit_hops": 0.2, "error_rate": 0.0,
+        }
+        commands = build_commands(case)
+        fused, stats = fuse_commands(commands)
+        assert stats.dropped > 0
+        assert len(fused) < len(commands)
+        assert len(fused) + stats.dropped == len(commands)
+
+
+class TestPipelineIntegration:
+    def test_pipeline_accounts_fused_drops(self):
+        case = {
+            "seed": 7, "frames": 1, "draws_per_frame": 3, "programs": 1,
+            "textures": 2, "uniform_locations": 3, "redundancy": 0.8,
+            "unit_hops": 0.2, "error_rate": 0.0,
+        }
+        commands = build_commands(case)
+        fused_pipe = CommandPipeline(PipelineConfig(
+            cache_enabled=False, compression_enabled=False,
+            fusion_enabled=True,
+        ))
+        raw_pipe = CommandPipeline(PipelineConfig(
+            cache_enabled=False, compression_enabled=False,
+        ))
+        fused = fused_pipe.process_frame(list(commands), frame_id=0)
+        raw = raw_pipe.process_frame(list(commands), frame_id=0)
+        assert raw.fused_dropped == 0
+        assert fused.fused_dropped > 0
+        # Conservation: transmitted plus dropped equals what came in.
+        assert fused.commands + fused.fused_dropped == len(commands)
+        assert fused.wire_bytes < raw.wire_bytes

@@ -154,3 +154,36 @@ class TestBlockingSwapAblation:
             duration_ms=20_000.0,
         )
         assert async_swap.fps.median_fps > blocking.fps.median_fps
+
+
+class TestPlannerPolicy:
+    def test_planner_session_runs_and_commits(self):
+        result = run_offload_session(
+            GTA_SAN_ANDREAS, LG_NEXUS_5,
+            service_devices=[NVIDIA_SHIELD],
+            config=GBoosterConfig(
+                switching_policy="planner", telemetry=True,
+                fusion_enabled=True, planner_probe_frames=6,
+            ),
+            duration_ms=8_000.0,
+        )
+        # A healthy LAN commits a WiFi-family plan; the session starts on
+        # Bluetooth and the policy raises the committed radio.
+        assert result.switching.switches_to_wifi >= 1
+        assert result.fps.median_fps > 20.0
+
+    def test_planner_session_is_seed_stable(self):
+        def run():
+            return run_offload_session(
+                GTA_SAN_ANDREAS, LG_NEXUS_5,
+                service_devices=[NVIDIA_SHIELD],
+                config=GBoosterConfig(
+                    switching_policy="planner", telemetry=True,
+                    planner_probe_frames=6,
+                ),
+                duration_ms=6_000.0, seed=42,
+            )
+
+        a, b = run(), run()
+        assert a.fps.median_fps == b.fps.median_fps
+        assert a.switching.epochs_on_wifi == b.switching.epochs_on_wifi

@@ -140,3 +140,60 @@ class TestDeterminism:
         # Discovery backoffs shift RTTs, so reports must differ.
         assert (self.run_report(boot_controller, 5)["digest"]
                 != self.run_report(boot_controller, 6)["digest"])
+
+
+class TestPlannerHooks:
+    def test_heartbeats_advertise_served_titles(self, boot_controller):
+        sim, controller = boot_controller(config=FleetConfig(planner=True))
+        controller.set_session_duration(6_000.0)
+        app = GAMES["G1"]
+        for i in range(3):
+            controller.submit(SessionRequest(
+                session_id=f"s{i:03d}", app=app, arrival_ms=sim.now,
+            ))
+        # Sample mid-run: heartbeats need a beat or two to pick the
+        # sessions up, and the groups empty again once sessions finish.
+        sim.run(until=sim.now + 3_000.0)
+        groups = controller.colocation_groups()
+        assert groups.get(app.name, 0) >= 1
+
+    def test_planner_off_means_no_titles_in_heartbeats(self, boot_controller):
+        sim, controller = boot_controller()
+        controller.set_session_duration(6_000.0)
+        controller.submit(SessionRequest(
+            session_id="s000", app=GAMES["G1"], arrival_ms=sim.now,
+        ))
+        sim.run(until=sim.now + 3_000.0)
+        assert controller.colocation_groups() == {}
+
+    def test_plan_bias_covers_every_up_node(self, boot_controller):
+        sim, controller = boot_controller(config=FleetConfig(planner=True))
+        controller.set_session_duration(3_000.0)
+        assert controller.submit(SessionRequest(
+            session_id="s000", app=GAMES["G1"], arrival_ms=sim.now,
+        )) == "admit"
+        session = controller.active["s000"]
+        bias = controller._plan_bias_ms(session)
+        assert bias is not None
+        up = {d.spec.name for d in controller.registry.up_devices()}
+        assert set(bias) == up
+        assert all(v > 0 for v in bias.values())
+
+    def test_plan_bias_disabled_without_planner(self, boot_controller):
+        sim, controller = boot_controller()
+        controller.set_session_duration(3_000.0)
+        controller.submit(SessionRequest(
+            session_id="s000", app=GAMES["G1"], arrival_ms=sim.now,
+        ))
+        session = controller.active["s000"]
+        assert controller._plan_bias_ms(session) is None
+
+    def test_planner_fleet_still_loses_no_frames(self, boot_controller):
+        sim, controller = boot_controller(config=FleetConfig(planner=True))
+        submit_wave(sim, controller, 6)
+        sim.run(until=25_000.0)
+        report = controller.report()
+        assert report["sessions"]["finished"] == 6
+        assert all(
+            t["frames_lost"] == 0 for t in report["tiers"].values()
+        )

@@ -1,0 +1,59 @@
+"""Planner determinism: decisions and artifacts are pure seed functions."""
+
+import json
+
+from repro.apps.games import GAMES
+from repro.core.config import GBoosterConfig
+from repro.devices.profiles import LG_NEXUS_5, NVIDIA_SHIELD
+from repro.experiments.planner import run_planner_bench
+from repro.net.wan import WAN_BROADBAND
+from repro.plan import SessionContext, SessionPlanner
+
+
+def make_ctx():
+    return SessionContext(
+        app=GAMES["G1"],
+        user_device=LG_NEXUS_5,
+        service_device=NVIDIA_SHIELD,
+        wan=WAN_BROADBAND,
+        replay_warm=True,
+        colocated_viewers=3,
+        config=GBoosterConfig(planner_probe_frames=6),
+    )
+
+
+def test_same_seed_byte_identical_decision():
+    blobs = []
+    for _ in range(2):
+        planner = SessionPlanner(make_ctx(), seed=11)
+        decision = planner.probe_and_commit()
+        blobs.append(json.dumps(decision.to_dict(), sort_keys=True))
+    assert blobs[0] == blobs[1]
+
+
+def test_different_seeds_differ_somewhere():
+    a = SessionPlanner(make_ctx(), seed=11).probe_and_commit()
+    b = SessionPlanner(make_ctx(), seed=12).probe_and_commit()
+    assert json.dumps(a.to_dict(), sort_keys=True) != json.dumps(
+        b.to_dict(), sort_keys=True
+    )
+
+
+def test_bench_artifact_identical_across_worker_counts():
+    blobs = [
+        json.dumps(
+            run_planner_bench(seed=3, smoke=True, workers=n), sort_keys=True
+        )
+        for n in (1, 2, 4)
+    ]
+    assert blobs[0] == blobs[1] == blobs[2]
+    digest = json.loads(blobs[0])["deterministic"]["digest"]
+    assert len(digest) == 64
+
+
+def test_bench_seed_changes_the_digest():
+    a = run_planner_bench(seed=3, smoke=True, workers=1)
+    b = run_planner_bench(seed=4, smoke=True, workers=1)
+    assert (
+        a["deterministic"]["digest"] != b["deterministic"]["digest"]
+    )

@@ -1,0 +1,202 @@
+"""The plan layer: candidate gating, probe scoring, commit, replan."""
+
+import json
+
+import pytest
+
+from repro.apps.games import GAMES
+from repro.core.config import GBoosterConfig
+from repro.devices.profiles import LG_NEXUS_5, NVIDIA_SHIELD
+from repro.net.wan import WAN_BROADBAND
+from repro.plan import (
+    BACKENDS,
+    ProbeRunner,
+    ReplanController,
+    SessionContext,
+    SessionPlanner,
+    enumerate_candidates,
+)
+from repro.sim.random import RandomStream
+
+
+def make_ctx(**kwargs):
+    defaults = dict(
+        app=GAMES["G1"],
+        user_device=LG_NEXUS_5,
+        service_device=NVIDIA_SHIELD,
+        wan=WAN_BROADBAND,
+        config=GBoosterConfig(planner_probe_frames=6),
+    )
+    defaults.update(kwargs)
+    return SessionContext(**defaults)
+
+
+class TestCandidates:
+    def test_every_backend_is_always_listed(self):
+        cands = enumerate_candidates(make_ctx())
+        assert tuple(c.backend for c in cands) == BACKENDS
+
+    def test_full_house(self):
+        cands = enumerate_candidates(
+            make_ctx(replay_warm=True, colocated_viewers=3)
+        )
+        assert all(c.viable for c in cands)
+
+    def test_no_service_device_kills_the_lan_family(self):
+        cands = {
+            c.backend: c
+            for c in enumerate_candidates(make_ctx(service_device=None))
+        }
+        for backend in ("bt", "wifi", "replay", "multicast"):
+            assert not cands[backend].viable
+            assert "no service device" in cands[backend].reason
+        assert cands["local"].viable
+        assert cands["wan"].viable
+
+    def test_wan_needs_the_wifi_radio(self):
+        # The cloud video stream rides WiFi: no radio, no cloud plan.
+        cands = {
+            c.backend: c
+            for c in enumerate_candidates(make_ctx(wifi_mbps=0.0))
+        }
+        assert not cands["wan"].viable
+        assert "wifi radio" in cands["wan"].reason
+        assert cands["local"].viable
+        assert cands["bt"].viable
+
+    def test_cold_replay_store(self):
+        cands = {
+            c.backend: c
+            for c in enumerate_candidates(make_ctx(replay_warm=False))
+        }
+        assert not cands["replay"].viable
+        assert "cold" in cands["replay"].reason
+
+    def test_solo_viewer_has_no_multicast(self):
+        cands = {
+            c.backend: c
+            for c in enumerate_candidates(make_ctx(colocated_viewers=1))
+        }
+        assert not cands["multicast"].viable
+
+
+class TestProbe:
+    def test_same_seed_same_stats(self):
+        ctx = make_ctx()
+        cand = next(
+            c for c in enumerate_candidates(ctx) if c.backend == "wifi"
+        )
+        a = ProbeRunner(ctx, seed=5).probe(cand)
+        b = ProbeRunner(ctx, seed=5).probe(cand)
+        assert a.to_dict() == b.to_dict()
+
+    def test_different_seed_different_jitter(self):
+        ctx = make_ctx()
+        cand = next(
+            c for c in enumerate_candidates(ctx) if c.backend == "wifi"
+        )
+        a = ProbeRunner(ctx, seed=5).probe(cand)
+        b = ProbeRunner(ctx, seed=6).probe(cand)
+        assert a.mean_latency_ms != b.mean_latency_ms
+
+    def test_fusion_cuts_probed_uplink(self):
+        cand_of = lambda ctx: next(  # noqa: E731
+            c for c in enumerate_candidates(ctx) if c.backend == "wifi"
+        )
+        fused_ctx = make_ctx(fusion_enabled=True)
+        raw_ctx = make_ctx(fusion_enabled=False)
+        fused = ProbeRunner(fused_ctx, seed=5).probe(cand_of(fused_ctx))
+        raw = ProbeRunner(raw_ctx, seed=5).probe(cand_of(raw_ctx))
+        assert fused.mean_uplink_bytes < raw.mean_uplink_bytes
+
+
+class TestCommit:
+    def test_commits_the_minimum_score(self):
+        planner = SessionPlanner(make_ctx(), seed=3)
+        decision = planner.probe_and_commit()
+        assert decision.backend == min(
+            decision.scores, key=lambda b: (decision.scores[b], b)
+        )
+        assert decision.radio in ("bluetooth", "wifi")
+        assert decision.generation == 0
+
+    def test_rejections_carry_reasons(self):
+        planner = SessionPlanner(make_ctx(service_device=None), seed=3)
+        decision = planner.probe_and_commit()
+        assert set(decision.rejected) == {"bt", "wifi", "replay", "multicast"}
+        assert all(decision.rejected.values())
+
+    def test_no_viable_candidate_raises(self):
+        ctx = make_ctx(
+            service_device=None, wan=None, wifi_mbps=0.0, bt_mbps=0.0
+        )
+        # local always stays viable — strip it by faking the enumeration
+        planner = SessionPlanner(ctx, seed=0)
+        decision = planner.probe_and_commit()
+        assert decision.backend == "local"  # the floor never drops out
+
+    def test_decision_to_dict_is_json_stable(self):
+        planner = SessionPlanner(make_ctx(), seed=3)
+        d = planner.probe_and_commit().to_dict()
+        assert json.loads(json.dumps(d)) == d
+
+
+class TestReplan:
+    def test_quiet_session_never_replans(self):
+        planner = SessionPlanner(make_ctx(replay_warm=True), seed=7)
+        planner.probe_and_commit()
+        controller = ReplanController(planner)
+        rng = RandomStream(7, "test.quiet")
+        for epoch in range(200):
+            measured = planner.committed_latency_ms + rng.normal(0.0, 0.5)
+            assert controller.observe_latency(measured, at_ms=epoch) is None
+        assert controller.replans == 0
+
+    def test_degradation_triggers_replan_to_healthy_backend(self):
+        ctx = make_ctx(replay_warm=True)
+        planner = SessionPlanner(ctx, seed=7)
+        initial = planner.probe_and_commit()
+        assert initial.backend == "replay"
+        controller = ReplanController(planner)
+        rng = RandomStream(7, "test.drift")
+        replanned = None
+        for epoch in range(200):
+            if epoch == 60:
+                ctx.wifi_mbps = 3.0
+                ctx.wifi_loss = 0.05
+                ctx.replay_warm = False
+            base = planner.committed_latency_ms
+            step = 40.0 if epoch >= 60 and controller.replans == 0 else 0.0
+            decision = controller.observe_latency(
+                base + step + rng.normal(0.0, 0.6), at_ms=epoch
+            )
+            if decision is not None:
+                replanned = (epoch, decision)
+        assert replanned is not None
+        epoch, decision = replanned
+        assert epoch >= 60
+        assert decision.generation == 1
+        # The re-probe saw the degraded context: the WiFi family is out.
+        assert decision.backend in ("local", "bt")
+        assert controller.replans == 1
+
+    def test_cooldown_blocks_early_replan(self):
+        planner = SessionPlanner(make_ctx(), seed=7)
+        planner.probe_and_commit()
+        controller = ReplanController(planner, cooldown_epochs=10_000)
+        rng = RandomStream(7, "test.cooldown")
+        for epoch in range(200):
+            measured = (
+                planner.committed_latency_ms
+                + (50.0 if epoch >= 40 else 0.0)
+                + rng.normal(0.0, 0.6)
+            )
+            assert controller.observe_latency(measured, at_ms=epoch) is None
+        assert controller.replans == 0
+
+    def test_first_observation_commits(self):
+        planner = SessionPlanner(make_ctx(), seed=7)
+        controller = ReplanController(planner)
+        decision = controller.observe_latency(25.0)
+        assert decision is not None
+        assert planner.decision is decision

@@ -96,3 +96,35 @@ def test_exogenous_source_consulted():
     drive_traffic(sim, manager, lambda t: 1.0, 1_000.0)
     sim.run(until=1_000.0)
     assert calls and calls[0] == (1.5, 2.5)
+
+
+def test_controller_timer_hygiene_with_planner_policy():
+    """The epoch loop is a plain ``yield epoch`` generator — no timer may
+    outlive its trigger, even when the policy replans mid-run."""
+    from repro.apps.games import GAMES
+    from repro.check import InvariantMonitor
+    from repro.core.config import GBoosterConfig
+    from repro.devices.profiles import LG_NEXUS_5, NVIDIA_SHIELD
+    from repro.plan import SessionContext, SessionPlanner
+    from repro.switching.policies import PlannerPolicy
+
+    sim = Simulator(seed=0)
+    monitor = InvariantMonitor(sim, interval_ms=100.0)
+    monitor.watch_timers()
+    monitor.start()
+    manager = NetworkManager(sim)
+    manager.use("bluetooth")
+    ctx = SessionContext(
+        app=GAMES["G1"],
+        user_device=LG_NEXUS_5,
+        service_device=NVIDIA_SHIELD,
+        config=GBoosterConfig(planner_probe_frames=4),
+    )
+    planner = SessionPlanner(ctx, seed=0)
+    policy = PlannerPolicy(planner, latency_source=lambda: 25.0)
+    SwitchingController(sim, manager, policy)
+    drive_traffic(sim, manager, lambda t: 4.0, 3_000.0)
+    sim.run(until=3_000.0)
+    assert monitor.finalize() == []
+    assert planner.decision is not None
+    assert manager.active_name == planner.decision.radio
