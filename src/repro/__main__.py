@@ -553,6 +553,64 @@ def _cmd_planner(args: argparse.Namespace) -> None:
         print("planner smoke: ok")
 
 
+def _cmd_postmortem(args: argparse.Namespace) -> None:
+    import json
+    import os
+
+    from repro.experiments.postmortem import (
+        diff_against_baseline,
+        format_bench,
+        load_bench,
+        run_postmortem_bench,
+        validate_bench,
+        write_bench,
+        write_bundle,
+        write_chrome,
+    )
+
+    bench = run_postmortem_bench(
+        seed=args.seed, smoke=args.smoke, workers=args.workers
+    )
+    problems = validate_bench(bench)
+    write_bench(args.out, bench)
+    write_bundle(args.bundle_out, bench)
+    write_chrome(args.trace_out, bench)
+    print(format_bench(bench))
+    print(f"wrote {args.out}, {args.bundle_out}, {args.trace_out}")
+    if problems:
+        raise SystemExit(
+            "postmortem: acceptance gate failed:\n  " + "\n  ".join(problems)
+        )
+    if args.smoke:
+        # CI gate 1: the artifact must be a pure function of the seed —
+        # the whole serialized file, not just the digest.  The rerun is
+        # always serial, so with --workers > 1 this doubles as the
+        # parallel-equals-serial byte-identity check (the frozen flight
+        # bundle rides inside the digest, so bundle bytes are gated too).
+        again = run_postmortem_bench(seed=args.seed, smoke=True, workers=1)
+        if json.dumps(again, sort_keys=True) != json.dumps(
+            bench, sort_keys=True
+        ):
+            raise SystemExit("postmortem smoke: same seed, different artifact")
+    if args.baseline and os.path.exists(args.baseline):
+        regressions, skip = diff_against_baseline(
+            bench, load_bench(args.baseline)
+        )
+        if skip is not None:
+            print(f"baseline diff skipped: {skip}")
+        elif regressions:
+            raise SystemExit(
+                "postmortem: regression vs "
+                f"{args.baseline}:\n  " + "\n  ".join(regressions)
+            )
+        else:
+            print(f"baseline diff vs {args.baseline}: ok")
+    elif args.baseline:
+        print(f"no baseline at {args.baseline} — diff skipped")
+    if args.smoke:
+        print("postmortem smoke: ok")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -580,6 +638,7 @@ def main(argv=None) -> int:
         "replay": _cmd_replay,
         "capacity": _cmd_capacity,
         "planner": _cmd_planner,
+        "postmortem": _cmd_postmortem,
     }
     for name in commands:
         p = sub.add_parser(name)
@@ -684,6 +743,25 @@ def main(argv=None) -> int:
                                 "+ same-seed byte-identity + baseline diff")
             p.add_argument("--workers", type=int, default=1,
                            help="fan matrix cells across N processes "
+                                "(artifact stays byte-identical for any N)")
+        if name == "postmortem":
+            p.add_argument("--seed", type=int, default=0)
+            p.add_argument("--out", default="BENCH_POSTMORTEM.json",
+                           help="postmortem benchmark artifact path")
+            p.add_argument("--bundle-out", default="POSTMORTEM_BUNDLE.json",
+                           help="frozen flight-bundle artifact path")
+            p.add_argument("--trace-out", default="POSTMORTEM_TRACE.json",
+                           help="merged Chrome trace (flow events) path")
+            p.add_argument("--baseline",
+                           default="benchmarks/baselines/"
+                                   "BENCH_POSTMORTEM.json",
+                           help="committed baseline to diff against "
+                                "(empty string disables the gate)")
+            p.add_argument("--smoke", action="store_true",
+                           help="CI gate: short run + acceptance gates "
+                                "+ same-seed byte-identity + baseline diff")
+            p.add_argument("--workers", type=int, default=1,
+                           help="fan the scenarios across N processes "
                                 "(artifact stays byte-identical for any N)")
         if name == "fuzz":
             p.add_argument("--seed", type=int, default=0)

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Generator, List, Optional, Protocol
+from typing import Any, Deque, Generator, List, Optional, Protocol
 
 from repro.apps.base import ApplicationSpec, CommandBatchBuilder, SceneState
 from repro.apps.touch import TouchEvent, TouchGenerator
@@ -217,13 +217,31 @@ class GameEngine:
             # *inside* the frame interval (the game thread works while the
             # previous frame displays), so vsync pacing below only delays
             # the issue if CPU work finished early.
+            # Stamp the frame's wire-propagated trace context at intercept:
+            # the id is a pure function of (seed, session, frame), so every
+            # downstream component — codec, transport, server, replay,
+            # planner — attributes its work to the same causal identity.
+            trace = (
+                sim.causal.frame_trace(self._frame_id)
+                if sim.causal is not None
+                else None
+            )
+            trace_args = (
+                {"trace_id": trace.trace_id} if trace is not None else {}
+            )
             root_span = sim.spans.begin(
                 "frame", "frame", track="engine", frame_id=self._frame_id,
+                **trace_args,
             )
             intercept_span = sim.spans.begin(
                 "app", "intercept", track="engine",
-                frame_id=self._frame_id, parent=root_span,
+                frame_id=self._frame_id, parent=root_span, **trace_args,
             )
+            if trace is not None:
+                sim.causal.event(
+                    "client", "intercept", trace=trace,
+                    frame=self._frame_id,
+                )
             stage_ms = self._cpu_stage_ms(frame_desc)
             yield stage_ms
             intercept_span.end()
@@ -269,10 +287,14 @@ class GameEngine:
                 width=spec.render_width,
                 height=spec.render_height,
                 issued_at=sim.now,
-                metadata={"record": record, "frame_span": root_span},
+                metadata={
+                    "record": record,
+                    "frame_span": root_span,
+                    "trace": trace,
+                },
             )
             completion = self.backend.submit(request, frame_desc)
-            self._bind_presentation(completion, record, root_span)
+            self._bind_presentation(completion, record, root_span, trace)
             self._inflight.append(completion)
             # CPU load accounting (§VII-G): busy fraction over the realized
             # frame interval, spread across the device's cores.
@@ -297,6 +319,7 @@ class GameEngine:
         completion: Event,
         record: FrameRecord,
         root_span: Optional["OpenSpan"] = None,
+        trace: Optional[Any] = None,
     ) -> None:
         def _watch() -> Generator:
             yield completion
@@ -304,9 +327,16 @@ class GameEngine:
             self.device.surface.attach_back(None)
             if root_span is not None:
                 root_span.end(response_ms=record.response_time_ms)
+            if trace is not None and self.sim.causal is not None:
+                self.sim.causal.event(
+                    "client", "present", trace=trace,
+                    frame=record.frame_id,
+                    response_ms=round(record.response_time_ms, 4),
+                )
             if self.sim.telemetry is not None:
                 self.sim.telemetry.observe(
                     "engine.response_ms", record.response_time_ms,
+                    trace_id=trace.trace_id if trace is not None else None,
                     genre=self.spec.genre,
                 )
 

@@ -354,6 +354,7 @@ class TransportDelivery(Property):
         )
         for i, size in enumerate(case["sizes"]):
             msg = Message.of_size(size)
+            msg.message_id = sim.next_message_id()
             msg.metadata["n"] = i
             transport.send(msg)
         sim.run(until=120_000.0)

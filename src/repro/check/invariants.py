@@ -430,6 +430,11 @@ class InvariantMonitor:
                 self.sim.now, "check", "violation",
                 invariant=name, message=message,
             )
+            # A fresh conservation-law break is flight-recorder trigger
+            # material: the evidence is still warm in the ring tracer.
+            flight = getattr(self.sim, "flight", None)
+            if flight is not None:
+                flight.on_violation(violation)
         if fresh and self.strict:
             raise InvariantError(fresh)
         return fresh

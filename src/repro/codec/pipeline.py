@@ -20,6 +20,7 @@ from repro.codec.fusion import FusionStats, fuse_commands
 from repro.codec.lz77 import compress
 from repro.gles.commands import GLCommand
 from repro.gles.serialization import CommandSerializer
+from repro.obs.causal import TRACE_WIRE_BYTES, TraceContext
 from repro.obs.spans import OpenSpan, SpanRecorder
 
 
@@ -78,6 +79,11 @@ class FrameEgress:
     #: commands the fusion pass removed before serialization; callers that
     #: extrapolate per-command costs scale by ``commands + fused_dropped``
     fused_dropped: int = 0
+    #: wire-header bytes spent carrying the frame's trace context; kept
+    #: separate from ``wire_bytes`` because the header is fixed-size —
+    #: scaling it by the nominal/emitted stream ratio (the way the client
+    #: scales payload bytes) would silently inflate the accounting
+    trace_bytes: int = 0
 
 
 class CommandPipeline:
@@ -100,6 +106,9 @@ class CommandPipeline:
         self.total_raw = 0
         self.total_after_cache = 0
         self.total_wire = 0
+        #: wire-header bytes spent on trace contexts across the session;
+        #: included in ``total_wire`` (headers really travel on the uplink)
+        self.total_trace = 0
         self.frames = 0
         self.fusion_stats = FusionStats()
 
@@ -112,6 +121,7 @@ class CommandPipeline:
         replay_digest: str = "",
         replay_expect: str = "",
         replay_variant: int = 0,
+        trace: Optional[TraceContext] = None,
     ) -> FrameEgress:
         """Run one frame's command batch through the pipeline.
 
@@ -119,11 +129,16 @@ class CommandPipeline:
         serializer/cache/compressor are bypassed and the wire carries only
         the interval address, the expected stream digest, and the
         dynamic-delta patch (see :mod:`repro.replay`).
+
+        With ``trace`` set the frame carries its causal
+        :class:`~repro.obs.causal.TraceContext` in the wire header —
+        :data:`~repro.obs.causal.TRACE_WIRE_BYTES` extra bytes, reported
+        in ``FrameEgress.trace_bytes`` and charged to the uplink totals.
         """
         if replay_patch is not None:
             return self._emit_replay_hit(
                 replay_patch, replay_digest, replay_expect, replay_variant,
-                frame_id, parent,
+                frame_id, parent, trace,
             )
         fused_dropped = 0
         if self.config.fusion_enabled:
@@ -194,9 +209,11 @@ class CommandPipeline:
             payload = bytes(batch)
             wire_bytes = len(batch)
 
+        trace_bytes = TRACE_WIRE_BYTES if trace is not None else 0
         self.total_raw += raw_bytes
         self.total_after_cache += after_cache
-        self.total_wire += wire_bytes
+        self.total_wire += wire_bytes + trace_bytes
+        self.total_trace += trace_bytes
         self.frames += 1
         if self.spans is not None:
             # The engine's CPU stage already charged this serialization
@@ -206,13 +223,14 @@ class CommandPipeline:
             cost_ms = (
                 len(wires) * self.config.serialize_us_per_command / 1000.0
             )
+            extra = {"trace_id": trace.trace_id} if trace is not None else {}
             self.spans.add(
                 "codec", "encode", now - cost_ms, now,
                 track="client", frame_id=frame_id,
                 parent=parent.qualified_name if parent is not None else None,
                 depth=parent.depth + 1 if parent is not None else 0,
                 raw_bytes=raw_bytes, wire_bytes=wire_bytes,
-                cache_hits=cache_hits,
+                cache_hits=cache_hits, **extra,
             )
         return FrameEgress(
             raw_bytes=raw_bytes,
@@ -222,6 +240,7 @@ class CommandPipeline:
             cache_hits=cache_hits,
             payload=payload,
             fused_dropped=fused_dropped,
+            trace_bytes=trace_bytes,
         )
 
     def _emit_replay_hit(
@@ -232,6 +251,7 @@ class CommandPipeline:
         variant: int,
         frame_id: Optional[int],
         parent: Optional[OpenSpan],
+        trace: Optional[TraceContext] = None,
     ) -> FrameEgress:
         header = (
             REPLAY_HIT_MARKER
@@ -240,18 +260,23 @@ class CommandPipeline:
             + (variant & 0xFF).to_bytes(1, "little")
             + len(patch).to_bytes(2, "little")
         )
-        wire_bytes = len(header) + len(patch)
-        self.total_wire += wire_bytes
+        if trace is not None:
+            header = trace.to_wire() + header
+        trace_bytes = TRACE_WIRE_BYTES if trace is not None else 0
+        wire_bytes = len(header) + len(patch) - trace_bytes
+        self.total_wire += wire_bytes + trace_bytes
+        self.total_trace += trace_bytes
         self.frames += 1
         if self.spans is not None:
             now = self.clock() if self.clock is not None else 0.0
+            extra = {"trace_id": trace.trace_id} if trace is not None else {}
             self.spans.add(
                 "codec", "encode", now, now,
                 track="client", frame_id=frame_id,
                 parent=parent.qualified_name if parent is not None else None,
                 depth=parent.depth + 1 if parent is not None else 0,
                 raw_bytes=0, wire_bytes=wire_bytes,
-                cache_hits=0, kind="replay_hit",
+                cache_hits=0, kind="replay_hit", **extra,
             )
         return FrameEgress(
             raw_bytes=0,
@@ -261,6 +286,7 @@ class CommandPipeline:
             cache_hits=0,
             payload=header + patch,
             kind="replay_hit",
+            trace_bytes=trace_bytes,
         )
 
     @property

@@ -225,6 +225,8 @@ class GBoosterClient:
         )
         request.metadata["nominal_commands"] = nominal
         metrics = self.sim.metrics
+        #: the frame's wire-propagated causal identity (engine-stamped)
+        trace = request.metadata.get("trace")
 
         # 0. Replay fast path: a known interval ships as digest + delta.
         decision = None
@@ -242,13 +244,19 @@ class GBoosterClient:
                 replay_digest=decision.digest,
                 replay_expect=expect,
                 replay_variant=decision.variant,
+                trace=trace,
             )
             # The header is interval-length-invariant; only the patch
-            # grows with the nominal stream.
+            # grows with the nominal stream.  Trace-context bytes are
+            # fixed-size header like the replay marker — added after
+            # scaling, and charged against the fast path's savings.
             scale = nominal / max(1, len(request.commands))
-            wire_bytes = max(
-                64,
-                REPLAY_HEADER_BYTES + int(len(decision.patch) * scale),
+            wire_bytes = (
+                max(
+                    64,
+                    REPLAY_HEADER_BYTES + int(len(decision.patch) * scale),
+                )
+                + egress.trace_bytes
             )
             raw_bytes = entry.raw_bytes
             nominal = max(1, int(decision.changed_commands * scale))
@@ -269,6 +277,13 @@ class GBoosterClient:
             metrics.counter("replay.bytes_saved").inc(
                 max(0, entry.wire_bytes - wire_bytes)
             )
+            if self.sim.causal is not None and trace is not None:
+                self.sim.causal.event(
+                    "replay", "serve", trace=trace,
+                    digest=decision.digest[:16],
+                    wire_bytes=wire_bytes,
+                    saved_bytes=max(0, entry.wire_bytes - wire_bytes),
+                )
             if self.sim.telemetry is not None:
                 self.sim.telemetry.observe(
                     "replay.hits", 1.0, agg="count",
@@ -279,13 +294,16 @@ class GBoosterClient:
                 list(request.commands),
                 frame_id=request.frame_id,
                 parent=request.metadata.get("frame_span"),
+                trace=trace,
             )
             # Extrapolate per-command wire cost over the *emitted* stream:
             # fusion-dropped commands were part of the frame, so they count
-            # in the denominator or the savings would be scaled away.
+            # in the denominator or the savings would be scaled away.  The
+            # trace header is fixed-size and scale-invariant — added after
+            # scaling, never multiplied by nominal/emitted.
             emitted = egress.commands + egress.fused_dropped
             scale = nominal / max(1, emitted)
-            wire_bytes = max(64, int(egress.wire_bytes * scale))
+            wire_bytes = max(64, int(egress.wire_bytes * scale)) + egress.trace_bytes
             raw_bytes = int(egress.raw_bytes * scale)
             if decision is not None and decision.action == "record":
                 self.replay.commit_record(
@@ -294,6 +312,12 @@ class GBoosterClient:
                     raw_bytes=raw_bytes,
                     nominal_commands=nominal,
                 )
+                if self.sim.causal is not None and trace is not None:
+                    self.sim.causal.event(
+                        "replay", "record", trace=trace,
+                        digest=decision.digest[:16],
+                        wire_bytes=wire_bytes,
+                    )
                 metrics.counter("replay.records").inc()
                 metrics.gauge("replay.store_bytes").set(
                     self.replay.store.bytes_stored
@@ -344,6 +368,7 @@ class GBoosterClient:
                 state_bytes, kind="state",
                 nominal_commands=int(nominal * state_fraction),
             )
+            state_msg.message_id = self.sim.next_message_id()
             self.device.network.account(state_bytes)
             self.stats.state_bytes_multicast += state_bytes
             self.multicast.send(state_msg)
@@ -354,6 +379,7 @@ class GBoosterClient:
         completion = self.sim.event(name=f"gbooster.done.{request.request_id}")
         self._completions[request.request_id] = completion
         message = Message.of_size(draw_bytes, kind="frame_request")
+        message.message_id = self.sim.next_message_id()
         message.metadata["request"] = request
         message.metadata["frame_desc"] = frame
         message.metadata["nominal_commands"] = (
@@ -367,6 +393,12 @@ class GBoosterClient:
         self._outstanding[request.request_id] = request
         self.device.network.account(draw_bytes)
         self.stats.uplink_bytes += wire_bytes  # draws + replicated state
+        if self.sim.causal is not None and trace is not None:
+            self.sim.causal.event(
+                "client", "submit", trace=trace,
+                node=node.name, wire_bytes=wire_bytes,
+                trace_bytes=egress.trace_bytes,
+            )
         self.uplinks[node.name].send(message)
         self.stats.frames_submitted += 1
         self._watch_for_timeout(request, node, completion)
@@ -546,18 +578,23 @@ class GBoosterClient:
             # frames already in order, the reorder-buffer wait otherwise.
             arrived = req.metadata.get("arrived_at", self.sim.now)
             root = req.metadata.get("frame_span")
+            trace = req.metadata.get("trace")
+            trace_id = trace.trace_id if trace is not None else None
+            extra = {"trace_id": trace_id} if trace_id else {}
             self.sim.spans.add(
                 "client", "present", arrived, self.sim.now,
                 track="client", frame_id=req.frame_id,
                 parent=root.qualified_name if root is not None else None,
                 depth=root.depth + 1 if root is not None else 0,
+                **extra,
             )
             self.sim.metrics.histogram("client.frame_response_ms").observe(
-                self.sim.now - req.issued_at
+                self.sim.now - req.issued_at, trace_id=trace_id
             )
             if self.sim.telemetry is not None:
                 self.sim.telemetry.observe(
                     "frame_response_ms", self.sim.now - req.issued_at,
+                    trace_id=trace_id,
                     device=self.device.spec.name,
                 )
                 self.sim.telemetry.observe(

@@ -103,6 +103,17 @@ class GBoosterConfig:
     #: :class:`~repro.obs.slo.SloSpec`); ``None`` arms
     #: :func:`~repro.obs.telemetry.default_session_slos`.
     slos: Optional[object] = None
+    #: arm a :class:`~repro.obs.causal.CausalLog` on the session's
+    #: simulator: every frame carries a deterministic wire-propagated
+    #: trace context (8 header bytes, charged to uplink accounting) and
+    #: components record causal events against it.  Off by default —
+    #: untraced runs keep byte-identical wire counts and artifacts.
+    causal_tracing: bool = False
+    #: arm a :class:`~repro.obs.flight.FlightRecorder`: page-severity SLO
+    #: alerts, invariant violations and replans freeze schema-versioned
+    #: postmortem bundles.  Usually armed together with causal tracing so
+    #: bundles carry the triggering frame's causal trace.
+    flight_recorder: bool = False
 
     # -- record-once / replay-many fast path (repro.replay) -----------------------------
     #: serve recurring command intervals from the content-addressed replay

@@ -268,6 +268,12 @@ class ServiceNode:
             self.sim.now, "replay", "divergence",
             node=self.name, digest=info["digest"][:16],
         )
+        if self.sim.causal is not None:
+            self.sim.causal.event(
+                "replay", "demote",
+                trace=request.metadata.get("trace"),
+                node=self.name, digest=info["digest"][:16],
+            )
         return list(request.commands), "diverged"
 
     # -- the daemon loop ------------------------------------------------------------------
@@ -364,13 +370,25 @@ class ServiceNode:
             root = request.metadata.get("frame_span")
             parent_name = root.qualified_name if root is not None else None
             parent_depth = root.depth + 1 if root is not None else 0
+            trace = request.metadata.get("trace")
+            extra = (
+                {"trace_id": trace.trace_id} if trace is not None else {}
+            )
             # "execute" covers decompress + replay + GPU render on this node.
             self.sim.spans.add(
                 "server", "execute", dequeued_at, self.sim.now,
                 track=self.name, frame_id=request.frame_id,
                 parent=parent_name, depth=parent_depth,
                 queue_wait_ms=dequeued_at - item.received_at,
+                **extra,
             )
+            if self.sim.causal is not None and trace is not None:
+                self.sim.causal.event(
+                    "server", "execute", trace=trace,
+                    node=self.name,
+                    queue_wait_ms=round(dequeued_at - item.received_at, 4),
+                    execute_ms=round(self.sim.now - dequeued_at, 4),
+                )
 
             # Encode the rendered frame (Turbo incremental codec).
             encode_start = self.sim.now
@@ -385,6 +403,7 @@ class ServiceNode:
                 track=self.name, frame_id=request.frame_id,
                 parent=parent_name, depth=parent_depth,
                 bytes=encoded.size_bytes,
+                **extra,
             )
             self._queued_fill_mp = max(
                 0.0, self._queued_fill_mp - request.fill_megapixels
@@ -404,6 +423,7 @@ class ServiceNode:
                 request_id=request.request_id,
                 node=self.name,
             )
+            reply.message_id = self.sim.next_message_id()
             reply.metadata["request"] = request
             if self.account_downlink is not None:
                 self.account_downlink(reply.size_bytes)

@@ -86,6 +86,12 @@ class SessionResult:
     #: the client's :class:`~repro.replay.ReplaySession` when
     #: ``config.replay`` was set (protocol stats + the title store).
     replay: Optional[object] = None
+    #: the armed :class:`~repro.obs.causal.CausalLog` when
+    #: ``config.causal_tracing`` was set.
+    causal: Optional[object] = None
+    #: the armed :class:`~repro.obs.flight.FlightRecorder` (frozen
+    #: postmortem bundles) when ``config.flight_recorder`` was set.
+    flight: Optional[object] = None
 
     @property
     def response_time_ms(self) -> float:
@@ -271,6 +277,17 @@ def run_offload_session(
                 else default_session_slos()
             ),
         )
+    session_id = replay_session_id or f"session-{seed}"
+    causal = None
+    if config.causal_tracing:
+        from repro.obs.causal import CausalLog
+
+        causal = CausalLog(sim, session_id=session_id)
+    flight = None
+    if config.flight_recorder:
+        from repro.obs.flight import FlightRecorder
+
+        flight = FlightRecorder(sim, session_id=session_id)
     device = UserDeviceRuntime(
         sim, user_device,
         render_width=app.render_width, render_height=app.render_height,
@@ -404,6 +421,35 @@ def run_offload_session(
         monitor.watch_pipeline(client.pipeline)
         monitor.start()
 
+    # Flight-recorder evidence sources: sampled at trigger time, so the
+    # frozen bundle carries the plan decision log, the replay protocol
+    # ledger and the client's byte accounting as of the trigger instant.
+    if flight is not None:
+        if config.switching_policy == "planner":
+            planner = policy.planner
+
+            def plan_log():
+                return [d.to_dict() for d in planner.history]
+
+            flight.add_source("plan_decisions", plan_log)
+        if client.replay is not None:
+            replay_session = client.replay
+            flight.add_source(
+                "replay_stats", lambda: replay_session.stats.as_dict()
+            )
+        client_stats = client.stats
+        flight.add_source(
+            "client_stats",
+            lambda: {
+                "frames_submitted": client_stats.frames_submitted,
+                "frames_presented": client_stats.frames_presented,
+                "uplink_bytes": client_stats.uplink_bytes,
+                "downlink_bytes": client_stats.downlink_bytes,
+                "trace_header_bytes": client.pipeline.total_trace,
+                "failovers": client_stats.failovers,
+            },
+        )
+
     engine = GameEngine(
         sim, app, device, client,
         EngineConfig(
@@ -458,4 +504,6 @@ def run_offload_session(
         check=check,
         telemetry=telemetry,
         replay=client.replay,
+        causal=causal,
+        flight=flight,
     )

@@ -67,9 +67,52 @@ def aggregate_spans(
     return {key: _summarize(groups[key]) for key in sorted(groups)}
 
 
+def stage_exemplars(
+    spans: "SpanRecorder | Iterable[Span]",
+    stages: Sequence[str] = PIPELINE_STAGES,
+    bound: int = 4,
+) -> Dict[str, List[Dict[str, Any]]]:
+    """Tail exemplar frames per pipeline stage.
+
+    For each stage, the ``bound`` slowest trace-stamped spans — the
+    concrete frames a p95/p99 cell points at.  Retention uses the same
+    deterministic largest-value reservoir the histograms use, so the
+    exemplar set is a pure function of the span stream.  Stages with no
+    trace-stamped spans come back as empty lists (untraced runs report
+    ``{stage: []}`` everywhere, keeping the shape stable).
+    """
+    from repro.obs.causal import ExemplarReservoir
+
+    reservoirs: Dict[str, ExemplarReservoir] = {
+        stage: ExemplarReservoir(bound=bound) for stage in stages
+    }
+    frame_for: Dict[str, Dict[str, int]] = {stage: {} for stage in stages}
+    rows = spans.spans if isinstance(spans, SpanRecorder) else spans
+    for span in rows:
+        if span.instant or span.name not in reservoirs:
+            continue
+        trace_id = span.args.get("trace_id")
+        if not trace_id:
+            continue
+        reservoirs[span.name].offer(span.duration_ms, trace_id)
+        if span.frame_id is not None:
+            frame_for[span.name][trace_id] = span.frame_id
+    out: Dict[str, List[Dict[str, Any]]] = {}
+    for stage in stages:
+        out[stage] = [
+            {
+                **exemplar,
+                "frame_id": frame_for[stage].get(exemplar["trace_id"], -1),
+            }
+            for exemplar in reservoirs[stage].exemplars()
+        ]
+    return out
+
+
 def pipeline_critical_path(
     spans: "SpanRecorder | Iterable[Span]",
     stages: Sequence[str] = PIPELINE_STAGES,
+    exemplars: bool = False,
 ) -> Dict[str, Any]:
     """Per-frame dominant-stage attribution, aggregated over the run.
 
@@ -86,8 +129,13 @@ def pipeline_critical_path(
     present (zero-filled) so the benchmark schema is stable.  Instant
     marks and frameless spans are excluded; ties break toward the
     earlier pipeline stage, deterministically.
+
+    ``exemplars=True`` adds an ``"exemplars"`` section mapping each
+    stage to its slowest trace-stamped frames (opt-in so untraced
+    benchmark artifacts keep their exact historical shape).
     """
     rows = spans.spans if isinstance(spans, SpanRecorder) else spans
+    rows = list(rows)
     order = {stage: i for i, stage in enumerate(stages)}
     #: frame_id -> {stage: total duration}
     frames: Dict[int, Dict[str, float]] = {}
@@ -113,6 +161,8 @@ def pipeline_critical_path(
             ),
             "max_dominant_ms": round(max(durations), 4) if durations else 0.0,
         }
+    if exemplars:
+        out["exemplars"] = stage_exemplars(rows, stages=stages)
     return out
 
 
@@ -126,15 +176,25 @@ def dominant_stage(critical_path: Dict[str, Any]) -> str:
 
 def pipeline_breakdown(
     spans: "SpanRecorder | Iterable[Span]",
+    exemplars: bool = False,
 ) -> Dict[str, Any]:
     """The paper-shaped breakdown: canonical stages first, extras after.
 
     Stages with no recorded spans are present with ``count: 0`` so the
-    benchmark schema is stable across configurations.
+    benchmark schema is stable across configurations.  ``exemplars=True``
+    attaches each stage's slowest trace-stamped frames under an
+    ``"exemplars"`` key inside that stage's cell — the frames its
+    p95/p99 numbers point at (opt-in: the default shape is unchanged).
     """
-    stats = aggregate_spans(spans, by="name")
+    rows = spans.spans if isinstance(spans, SpanRecorder) else spans
+    rows = list(rows)
+    stats = aggregate_spans(rows, by="name")
     breakdown: Dict[str, Any] = {}
     for stage in PIPELINE_STAGES:
         breakdown[stage] = stats.pop(stage, _summarize([]))
     breakdown.update(stats)
+    if exemplars:
+        tails = stage_exemplars(rows, stages=PIPELINE_STAGES)
+        for stage in PIPELINE_STAGES:
+            breakdown[stage]["exemplars"] = tails[stage]
     return breakdown

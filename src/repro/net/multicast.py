@@ -79,6 +79,7 @@ class MulticastGroup:
                         size_bytes=msg.size_bytes,
                         payload=msg.payload,
                         kind=msg.kind,
+                        message_id=msg.message_id,
                         created_at=msg.created_at,
                         metadata={
                             k: v

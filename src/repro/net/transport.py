@@ -165,6 +165,11 @@ class Transport:
             self._rto_timers.pop(seq, None)
             return
         self.stats.retransmissions += 1
+        trace = None
+        request = message.metadata.get("request")
+        if request is not None:
+            trace = request.metadata.get("trace")
+        trace_id = trace.trace_id if trace is not None else None
         self.sim.metrics.counter("transport.retransmissions").inc()
         self.sim.metrics.counter(
             "transport.retransmissions", transport=self.name
@@ -172,16 +177,27 @@ class Transport:
         if self.sim.telemetry is not None:
             self.sim.telemetry.observe(
                 "transport.retransmissions", 1.0, agg="count",
+                trace_id=trace_id,
                 transport=self.name,
             )
         self.sim.tracer.record(
             self.sim.now, "transport", "retransmit",
             transport=self.name, seq=seq, attempt=attempt + 1,
+            **({"trace_id": trace_id} if trace_id else {}),
         )
+        if self.sim.causal is not None and trace is not None:
+            self.sim.causal.event(
+                "net", "retransmit", trace=trace,
+                transport=self.name, seq=seq, attempt=attempt + 1,
+            )
+        # The retransmission is the same wire message going out again, so
+        # it keeps the original's id — trace records of repeated drops
+        # all point at one message.
         clone = Message(
             size_bytes=message.size_bytes,
             payload=message.payload,
             kind=message.kind,
+            message_id=message.message_id,
             created_at=message.created_at,
             metadata=dict(message.metadata),
             transport_overhead_bytes=message.transport_overhead_bytes,
@@ -238,14 +254,18 @@ class Transport:
         frame_id = getattr(request, "frame_id", None)
         parent = None
         depth = 0
+        trace = None
         if request is not None:
             root = request.metadata.get("frame_span")
             if root is not None:
                 parent = root.qualified_name
                 depth = root.depth + 1
+            trace = request.metadata.get("trace")
+        stage = "return" if message.kind == "frame" else "transmit"
+        extra = {"trace_id": trace.trace_id} if trace is not None else {}
         self.sim.spans.add(
             "net",
-            "return" if message.kind == "frame" else "transmit",
+            stage,
             message.metadata["transport_send_at"],
             self.sim.now,
             track=self.name,
@@ -254,7 +274,17 @@ class Transport:
             depth=depth,
             bytes=message.framed_bytes,
             kind=message.kind,
+            **extra,
         )
+        if self.sim.causal is not None and trace is not None:
+            self.sim.causal.event(
+                "net", stage, trace=trace,
+                transport=self.name,
+                bytes=message.framed_bytes,
+                latency_ms=round(
+                    self.sim.now - message.metadata["transport_send_at"], 4
+                ),
+            )
 
     # -- introspection -------------------------------------------------------------------------
 

@@ -14,17 +14,34 @@ reports into:
 * :class:`TelemetryHub` (``sim.telemetry``, armed on demand) — labeled
   :class:`TimeSeries` windows on the sim clock, declarative
   :class:`SloSpec` objectives with multi-window burn-rate alerting, and
-  ARMAX-residual drift detection (:class:`ResidualDriftDetector`).
+  ARMAX-residual drift detection (:class:`ResidualDriftDetector`);
+* :class:`CausalLog` (``sim.causal``, armed on demand) — deterministic
+  wire-propagated :class:`TraceContext` per frame plus cross-component
+  causal events, with :class:`ExemplarReservoir` tail exemplars feeding
+  histograms and SLO alerts;
+* :class:`FlightRecorder` (``sim.flight``, armed on demand) — freezes
+  schema-versioned postmortem bundles on page alerts, invariant
+  violations and replans.
 """
 
 from repro.obs.anomaly import EwmaStats, ResidualDriftDetector
+from repro.obs.causal import (
+    TRACE_WIRE_BYTES,
+    CausalEvent,
+    CausalLog,
+    ExemplarReservoir,
+    TraceContext,
+    derive_trace_id,
+)
 from repro.obs.export import (
     TRACE_SCHEMA,
     chrome_trace,
+    merged_chrome_trace,
     trace_categories,
     validate_chrome_trace,
     write_chrome_trace,
 )
+from repro.obs.flight import FLIGHT_SCHEMA, FlightRecorder, validate_bundle
 from repro.obs.registry import (
     Counter,
     Gauge,
@@ -45,7 +62,14 @@ from repro.obs.timeseries import TimeSeries, TimeSeriesBank, series_key
 
 __all__ = [
     "Alert",
+    "CausalEvent",
+    "CausalLog",
+    "ExemplarReservoir",
+    "FLIGHT_SCHEMA",
+    "FlightRecorder",
     "TRACE_SCHEMA",
+    "TRACE_WIRE_BYTES",
+    "TraceContext",
     "Counter",
     "EwmaStats",
     "Gauge",
@@ -64,10 +88,13 @@ __all__ = [
     "chrome_trace",
     "default_fleet_slos",
     "default_session_slos",
+    "derive_trace_id",
+    "merged_chrome_trace",
     "metric_key",
     "percentile",
     "series_key",
     "trace_categories",
+    "validate_bundle",
     "validate_chrome_trace",
     "write_chrome_trace",
 ]

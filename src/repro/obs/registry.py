@@ -96,7 +96,7 @@ class Histogram:
 
     __slots__ = (
         "name", "labels", "count", "sum", "max_samples", "_samples",
-        "_stride", "dropped",
+        "_stride", "dropped", "exemplars",
     )
 
     def __init__(
@@ -115,8 +115,12 @@ class Histogram:
         self._samples: List[float] = []
         self._stride = 1
         self.dropped = 0
+        #: OpenMetrics-style exemplar reservoir (repro.obs.causal), created
+        #: lazily on the first trace-stamped observation so untraced runs
+        #: pay nothing and their summaries stay byte-identical
+        self.exemplars: Optional[Any] = None
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, trace_id: Optional[str] = None) -> None:
         # The reservoir keeps observations whose ordinal is a multiple of
         # the current stride; compaction preserves that invariant, so the
         # retained set is a uniform decimation of the entire stream.
@@ -129,6 +133,12 @@ class Histogram:
             self.dropped += 1
         self.count += 1
         self.sum += value
+        if trace_id:
+            if self.exemplars is None:
+                from repro.obs.causal import ExemplarReservoir
+
+                self.exemplars = ExemplarReservoir()
+            self.exemplars.offer(value, trace_id)
 
     @property
     def mean(self) -> float:
@@ -148,6 +158,16 @@ class Histogram:
             "min": round(ordered[0], 4) if ordered else 0.0,
             "max": round(ordered[-1], 4) if ordered else 0.0,
         }
+
+    def exemplar_summary(self) -> List[Dict[str, Any]]:
+        """Retained tail exemplars (empty when no traced observations).
+
+        Kept out of :meth:`summary` so untraced benchmark artifacts stay
+        byte-identical; traced harnesses read exemplars explicitly.
+        """
+        if self.exemplars is None:
+            return []
+        return self.exemplars.exemplars()
 
 
 class MetricsRegistry:

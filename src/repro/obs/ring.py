@@ -9,11 +9,18 @@
   tracer without bound (the count is exposed as ``dropped``);
 * each category keeps its own index deque, so ``query(category)`` walks
   only that category's records instead of scanning the whole buffer —
-  the O(n) full scans the flat tracer did on every ``count`` call.
+  the O(n) full scans the flat tracer did on every ``count`` call;
+* records carrying a ``trace_id`` are additionally indexed per trace, so
+  the flight recorder can pull one frame's causal tail without a scan.
 
-Eviction preserves the index invariant for free: records are appended in
-global time order, so the globally oldest record is also the oldest entry
-of its own category index.
+Eviction drains in a loop until the ring is back within capacity and
+reconciles *every* index as it goes.  The old single-step eviction
+(``if`` instead of ``while``) only held the invariant when capacity never
+moved: after a capacity shrink (the flight recorder resizes the ring to
+guarantee its pre-trigger tail) the ring stayed over-full and the
+category indexes kept referencing records that should have been evicted
+— ``count()`` disagreed with ``capacity`` and evicted-due records stayed
+queryable.  ``resize()`` is now the supported way to change capacity.
 """
 
 from __future__ import annotations
@@ -40,6 +47,7 @@ class RingTracer:
         self.capacity = capacity
         self._buf: Deque[TraceRecord] = deque()
         self._by_category: Dict[str, Deque[TraceRecord]] = {}
+        self._by_trace: Dict[str, Deque[TraceRecord]] = {}
         self._categories: Optional[Set[str]] = (
             set(categories) if categories is not None else None
         )
@@ -69,13 +77,38 @@ class RingTracer:
         rec = TraceRecord(time, category, event, data)
         self._buf.append(rec)
         self._by_category.setdefault(category, deque()).append(rec)
-        if len(self._buf) > self.capacity:
+        trace_id = data.get("trace_id")
+        if trace_id:
+            self._by_trace.setdefault(trace_id, deque()).append(rec)
+        self._evict_over_capacity()
+
+    def _evict_over_capacity(self) -> None:
+        """Drain the ring back to capacity, reconciling every index.
+
+        Records are appended in global time order, so the globally oldest
+        record is also the oldest entry of each of its own indexes —
+        popping matched leftmost pairs keeps the invariant exact.
+        """
+        while len(self._buf) > self.capacity:
             old = self._buf.popleft()
             self.dropped += 1
             index = self._by_category[old.category]
             index.popleft()          # global order == per-category order
             if not index:
                 del self._by_category[old.category]
+            trace_id = old.data.get("trace_id")
+            if trace_id:
+                tindex = self._by_trace[trace_id]
+                tindex.popleft()     # global order == per-trace order
+                if not tindex:
+                    del self._by_trace[trace_id]
+
+    def resize(self, capacity: int) -> None:
+        """Change the ring's capacity, evicting oldest records if shrunk."""
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._evict_over_capacity()
 
     # -- queries -------------------------------------------------------------
 
@@ -90,6 +123,10 @@ class RingTracer:
             return [r for r in rows if r.event == event]
         return list(rows)
 
+    def query_trace(self, trace_id: str) -> List[TraceRecord]:
+        """Records stamped with one frame's trace id, oldest first."""
+        return list(self._by_trace.get(trace_id, ()))
+
     def count(
         self, category: Optional[str] = None, event: Optional[str] = None
     ) -> int:
@@ -103,7 +140,14 @@ class RingTracer:
         """Categories currently present in the ring, sorted."""
         return sorted(self._by_category)
 
+    def tail(self, n: int) -> List[TraceRecord]:
+        """The newest ``n`` records, oldest first (flight-recorder tail)."""
+        if n <= 0:
+            return []
+        return list(self._buf)[-n:]
+
     def clear(self) -> None:
         self._buf.clear()
         self._by_category.clear()
+        self._by_trace.clear()
         self.dropped = 0

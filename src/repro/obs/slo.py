@@ -22,7 +22,9 @@ seeded run produces the same transitions at the same windows.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.causal import ExemplarReservoir
 
 #: tracker states, in escalation order
 STATE_OK = "ok"
@@ -48,6 +50,13 @@ class Alert:
     message: str
     burn_short: float = 0.0
     burn_long: float = 0.0
+    #: the watched series + the spec's label selector, so an exported
+    #: alert is self-describing (satellite: full label set in the trace)
+    series: str = ""
+    labels: Tuple[Tuple[str, object], ...] = ()
+    #: deterministic exemplar trace ids of the worst bad observations
+    #: behind this transition — every breach points at concrete frames
+    exemplars: Tuple[str, ...] = ()
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -58,6 +67,9 @@ class Alert:
             "message": self.message,
             "burn_short": round(self.burn_short, 4),
             "burn_long": round(self.burn_long, 4),
+            "series": self.series,
+            "labels": {k: v for k, v in self.labels},
+            "exemplars": list(self.exemplars),
         }
 
 
@@ -126,10 +138,15 @@ class SloTracker:
         self.transitions: List[Alert] = []
         self.good = 0
         self.bad = 0
+        #: deterministic reservoir of the worst *bad* observations' trace
+        #: ids — what a breach alert hands the flight recorder to explain
+        self.exemplars = ExemplarReservoir()
 
     # -- feeding -------------------------------------------------------------
 
-    def observe(self, window: int, value: float) -> None:
+    def observe(
+        self, window: int, value: float, trace_id: Optional[str] = None
+    ) -> None:
         """Classify one observation into its window's good/bad ledger."""
         cell = self._ledger.setdefault(window, [0, 0])
         if self.spec.is_good(value):
@@ -138,6 +155,14 @@ class SloTracker:
         else:
             cell[1] += 1
             self.bad += 1
+            if trace_id:
+                # "le" objectives breach high, "ge" objectives breach low:
+                # rank exemplars by how bad the observation was either way.
+                badness = (
+                    value if self.spec.comparison == "le"
+                    else self.spec.threshold - value
+                )
+                self.exemplars.offer(badness, trace_id)
 
     # -- burn rates ----------------------------------------------------------
 
@@ -185,6 +210,11 @@ class SloTracker:
             ),
             burn_short=burn_s,
             burn_long=burn_l,
+            series=self.spec.series,
+            labels=tuple(
+                (k, self.spec.labels[k]) for k in sorted(self.spec.labels)
+            ),
+            exemplars=tuple(self.exemplars.trace_ids()),
         )
         self.transitions.append(alert)
         return alert
@@ -220,4 +250,5 @@ class SloTracker:
             "transitions": [
                 [a.state, round(a.at_ms, 4)] for a in self.transitions
             ],
+            "exemplars": self.exemplars.trace_ids(),
         }

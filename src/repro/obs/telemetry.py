@@ -163,9 +163,16 @@ class TelemetryHub:
         name: str,
         value: float = 1.0,
         agg: str = "mean",
+        trace_id: Optional[str] = None,
         **labels: object,
     ) -> None:
-        """Push one observation at the current sim time."""
+        """Push one observation at the current sim time.
+
+        ``trace_id`` (from the frame's wire-propagated
+        :class:`~repro.obs.causal.TraceContext`) feeds the SLO trackers'
+        exemplar reservoirs: a later breach alert points at the concrete
+        frames that burned the budget.
+        """
         now = self.sim.now
         series = self.bank.series(name, agg=agg, **labels)
         w = series.record(now, value)
@@ -178,7 +185,7 @@ class TelemetryHub:
                 continue
             if not _labels_match(spec.labels, labels):
                 continue
-            tracker.observe(w, value)
+            tracker.observe(w, value, trace_id=trace_id)
 
     def track_residual(self, residual: float) -> None:
         """Feed one prediction residual (RLS innovation) from the policy."""
@@ -198,11 +205,20 @@ class TelemetryHub:
 
     def _evaluate_window(self, window: int) -> None:
         at_ms = (window + 1) * self.window_ms
+        # Window-scoped objectives have no single offending observation;
+        # their breach exemplars point at the window's witness frame (the
+        # newest frame stamped before the window closed).
+        causal = getattr(self.sim, "causal", None)
+        witness = causal.witness(at_ms) if causal is not None else None
         for tracker in self.trackers.values():
             spec = tracker.spec
             if spec.mode == "window":
                 value = self._window_value(spec, window)
-                tracker.observe(window, spec.fill if value is None else value)
+                tracker.observe(
+                    window,
+                    spec.fill if value is None else value,
+                    trace_id=witness,
+                )
             alert = tracker.evaluate(window, at_ms=at_ms)
             if alert is not None:
                 self._record_alert(alert)
@@ -240,6 +256,11 @@ class TelemetryHub:
             burn_short=round(alert.burn_short, 4),
             burn_long=round(alert.burn_long, 4),
         )
+        # A page-severity alert is a flight-recorder trigger: freeze the
+        # postmortem evidence the instant the budget is declared gone.
+        flight = getattr(self.sim, "flight", None)
+        if flight is not None and alert.severity == "page":
+            flight.on_alert(alert)
 
     def finalize(self, end_ms: Optional[float] = None) -> None:
         """Evaluate every window completed by ``end_ms`` (default: now).

@@ -103,6 +103,13 @@ class SessionPlanner:
                 score=round(scores[backend], 4),
                 probed=len(probes),
             )
+            if self.sim.causal is not None:
+                self.sim.causal.event(
+                    "plan", "commit",
+                    backend=backend, generation=generation,
+                    score=round(scores[backend], 4),
+                    probed=len(probes),
+                )
             if self.sim.telemetry is not None:
                 self.sim.telemetry.observe(
                     "plan.commits", 1.0, agg="count", backend=backend,
@@ -179,10 +186,25 @@ class ReplanController:
             alpha=self.detector.stats.alpha,
         )
         if self.planner.sim is not None:
-            self.planner.sim.metrics.counter("plan.replans").inc()
-            self.planner.sim.spans.mark(
+            sim = self.planner.sim
+            sim.metrics.counter("plan.replans").inc()
+            sim.spans.mark(
                 "plan", "replan", track="planner",
                 from_backend=previous, to_backend=decision.backend,
                 measured_ms=round(measured_ms, 3),
             )
+            if sim.causal is not None:
+                sim.causal.event(
+                    "plan", "replan",
+                    from_backend=previous, to_backend=decision.backend,
+                    measured_ms=round(measured_ms, 3),
+                )
+            # A replan is the planner declaring its committed world model
+            # wrong — exactly the moment a postmortem is worth freezing.
+            if sim.flight is not None:
+                sim.flight.on_replan(
+                    previous, decision.backend,
+                    measured_ms=round(measured_ms, 3),
+                    committed_ms=round(self.planner.committed_latency_ms, 3),
+                )
         return decision

@@ -300,11 +300,28 @@ class Simulator:
         #: optional repro.obs.telemetry.TelemetryHub; substrates stream
         #: labeled time-series observations here when armed
         self.telemetry: Optional[Any] = None
+        #: optional repro.obs.causal.CausalLog; components on a frame's
+        #: path record wire-propagated causal events here when armed
+        self.causal: Optional[Any] = None
+        #: optional repro.obs.flight.FlightRecorder; alert/violation/
+        #: replan triggers freeze postmortem bundles here when armed
+        self.flight: Optional[Any] = None
         self._queue: List[Tuple[float, int, Process, int, Any]] = []
         self._counter = itertools.count()
+        self._message_seq = itertools.count(1)
         self._streams: dict = {}
         self._processes: List[Process] = []
         self._composites: List[CompositeEvent] = []
+
+    def next_message_id(self) -> int:
+        """The next sim-scoped network message id.
+
+        Message ids land in trace records (link drops) and so in frozen
+        flight bundles; drawing them from the sim instead of the
+        process-global fallback counter keeps those artifacts a pure
+        function of the seed no matter how many sims one process ran.
+        """
+        return next(self._message_seq)
 
     # -- randomness ---------------------------------------------------------
 

@@ -93,6 +93,13 @@ class SwitchingController:
                     "switching", "switch", track="radio",
                     to="wifi", offered_mbps=round(mbps, 3),
                 )
+                if self.sim.causal is not None:
+                    # trace=None: the switch attaches to the frame in
+                    # flight — "the radio came up underneath this frame".
+                    self.sim.causal.event(
+                        "switching", "radio_up",
+                        to="wifi", offered_mbps=round(mbps, 3),
+                    )
                 if self.power_down_idle:
                     self.manager.power_down_idle()
             elif decision == SwitchDecision.BLUETOOTH:
@@ -107,5 +114,10 @@ class SwitchingController:
                     "switching", "switch", track="radio",
                     to="bluetooth", offered_mbps=round(mbps, 3),
                 )
+                if self.sim.causal is not None:
+                    self.sim.causal.event(
+                        "switching", "radio_down",
+                        to="bluetooth", offered_mbps=round(mbps, 3),
+                    )
                 if self.power_down_idle:
                     self.manager.power_down_idle()

@@ -1,0 +1,101 @@
+"""Trace-context wire-header overhead is accounted, never scaled away.
+
+The causal trace header really travels on the uplink, so it must be
+charged to the byte totals — but it is fixed-size, so the client's
+nominal/emitted extrapolation must never multiply it, and the replay
+fast path's savings must be computed net of it.
+"""
+
+from repro.apps.base import CommandBatchBuilder, SceneState
+from repro.apps.games import GAMES, GTA_SAN_ANDREAS
+from repro.codec.pipeline import CommandPipeline, PipelineConfig
+from repro.core.config import GBoosterConfig
+from repro.core.session import run_offload_session
+from repro.devices.profiles import LG_NEXUS_5, NVIDIA_SHIELD
+from repro.obs.causal import TRACE_WIRE_BYTES, TraceContext
+from repro.sim.random import RandomStream
+
+
+def make_builder(seed=0):
+    return CommandBatchBuilder(GTA_SAN_ANDREAS, RandomStream(seed, "pipe"))
+
+
+def frame_batch(builder, activity=0.2):
+    return builder.frame_commands(SceneState(activity=activity))
+
+
+class TestPipelineAccounting:
+    def test_traced_frame_charges_exactly_the_header(self):
+        traced = CommandPipeline(PipelineConfig(modelled_compression=False))
+        bare = CommandPipeline(PipelineConfig(modelled_compression=False))
+        b1, b2 = make_builder(1), make_builder(1)
+        traced.process_frame(b1.setup_commands(),
+                             trace=TraceContext.derive(0, "s", 0))
+        bare.process_frame(b2.setup_commands())
+        for frame in range(1, 9):
+            trace = TraceContext.derive(0, "s", frame)
+            e1 = traced.process_frame(frame_batch(b1), trace=trace)
+            e2 = bare.process_frame(frame_batch(b2))
+            # Identical payload bytes; the header rides separately.
+            assert e1.wire_bytes == e2.wire_bytes
+            assert e1.trace_bytes == TRACE_WIRE_BYTES
+            assert e2.trace_bytes == 0
+        assert traced.frames == bare.frames == 9
+        assert traced.total_trace == TRACE_WIRE_BYTES * 9
+        assert bare.total_trace == 0
+        # total_wire includes the headers — they really hit the uplink.
+        assert traced.total_wire == bare.total_wire + traced.total_trace
+
+    def test_replay_hit_payload_carries_header_wire_bytes_exclude_it(self):
+        trace = TraceContext.derive(0, "s", 7)
+        traced = CommandPipeline(PipelineConfig())
+        bare = CommandPipeline(PipelineConfig())
+        kwargs = dict(
+            replay_patch=b"\x01\x02\x03\x04",
+            replay_digest="ab" * 8,
+            replay_expect="cd" * 8,
+        )
+        e1 = traced.process_frame([], trace=trace, **kwargs)
+        e2 = bare.process_frame([], **kwargs)
+        # wire_bytes is the payload-sized figure used by savings math
+        # (header excluded); the payload and totals both include it.
+        assert e1.wire_bytes == e2.wire_bytes
+        assert e1.trace_bytes == TRACE_WIRE_BYTES
+        assert len(e1.payload) == e1.wire_bytes + TRACE_WIRE_BYTES
+        assert len(e2.payload) == e2.wire_bytes
+        assert e1.payload[:TRACE_WIRE_BYTES] == trace.to_wire()
+        assert e1.payload[TRACE_WIRE_BYTES:] == e2.payload
+        assert traced.total_wire == bare.total_wire + TRACE_WIRE_BYTES
+        assert traced.total_trace == TRACE_WIRE_BYTES
+
+
+class TestSessionAccounting:
+    def run(self, tracing):
+        config = GBoosterConfig(
+            deterministic_content=True, causal_tracing=tracing,
+        )
+        return run_offload_session(
+            GAMES["G3"], LG_NEXUS_5, [NVIDIA_SHIELD],
+            config=config, duration_ms=2_000.0, seed=4,
+        )
+
+    def test_session_uplink_includes_one_header_per_frame(self):
+        result = self.run(tracing=True)
+        pipeline = result.engine.backend.pipeline
+        # One fixed-size header per pipeline frame — if the header were
+        # scaled by the nominal/emitted ratio this would blow up by the
+        # subsampling factor (regression guard for the savings math).
+        assert pipeline.total_trace == TRACE_WIRE_BYTES * pipeline.frames
+        assert 0 < pipeline.total_trace <= pipeline.total_wire
+        assert pipeline.total_trace <= result.client_stats.uplink_bytes
+
+    def test_untraced_session_pays_nothing(self):
+        result = self.run(tracing=False)
+        assert result.engine.backend.pipeline.total_trace == 0
+
+    def test_header_overhead_stays_marginal(self):
+        # The per-frame uplink figure the client reports equals the
+        # scaled payload plus exactly one header — never header * scale.
+        result = self.run(tracing=True)
+        pipeline = result.engine.backend.pipeline
+        assert pipeline.total_trace < 0.05 * result.client_stats.uplink_bytes

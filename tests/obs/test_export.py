@@ -7,6 +7,7 @@ import pytest
 from repro.obs.export import (
     TRACE_SCHEMA,
     chrome_trace,
+    merged_chrome_trace,
     trace_categories,
     validate_chrome_trace,
     write_chrome_trace,
@@ -191,6 +192,36 @@ class TestAlertEvents:
         assert events[0]["ts"] == 1_000_000.0
         assert "alert" in trace_categories(trace)
 
+    def test_alert_args_carry_full_label_set(self):
+        # A breach instant must be self-describing in the Perfetto UI:
+        # burn rates, the breached series, label selector, and exemplar
+        # trace ids all ride in args.
+        from repro.obs.slo import Alert
+
+        alert = Alert(
+            at_ms=1500.0, source="frame_p99_latency", severity="page",
+            state="breached", message="hot",
+            burn_short=8.125, burn_long=5.0,
+            series="client.frame_response_ms",
+            labels=(("device", "nexus5"), ("backend", "wifi_remote")),
+            exemplars=("aabb", "ccdd"),
+        )
+        trace = chrome_trace(recorder_with_spans(), alerts=[alert])
+        assert validate_chrome_trace(trace) == []
+        (event,) = [
+            e for e in trace["traceEvents"] if e.get("cat") == "alert"
+        ]
+        assert event["args"] == {
+            "severity": "page",
+            "state": "breached",
+            "message": "hot",
+            "burn_short": 8.125,
+            "burn_long": 5.0,
+            "series": "client.frame_response_ms",
+            "labels": {"backend": "wifi_remote", "device": "nexus5"},
+            "exemplars": ["aabb", "ccdd"],
+        }
+
     def test_write_round_trip_with_overlays(self, tmp_path):
         from repro.obs.slo import Alert
         from repro.obs.timeseries import TimeSeries
@@ -208,3 +239,118 @@ class TestAlertEvents:
         assert validate_chrome_trace(loaded) == []
         phases = {e["ph"] for e in loaded["traceEvents"]}
         assert {"X", "I", "M", "C"} <= phases
+
+
+def recorder_with_traced_frame(trace_id="aa11"):
+    """One frame whose spans all carry the same wire trace id."""
+    rec = SpanRecorder()
+    rec.add("app", "intercept", 0.0, 2.0, track="client",
+            frame_id=1, trace_id=trace_id)
+    rec.add("net", "transmit", 2.0, 6.0, track="uplink",
+            frame_id=1, trace_id=trace_id)
+    rec.add("server", "execute", 6.0, 9.0, track="server",
+            frame_id=1, trace_id=trace_id)
+    rec.add("app", "present", 9.0, 9.5, track="client",
+            frame_id=1, trace_id=trace_id)
+    return rec
+
+
+class TestFlowEvents:
+    def test_flow_chain_spans_open_step_finish(self):
+        trace = chrome_trace(recorder_with_traced_frame(), flows=True)
+        assert validate_chrome_trace(trace) == []
+        flows = [
+            e for e in trace["traceEvents"] if e["ph"] in ("s", "t", "f")
+        ]
+        # 4 traced spans chain as s, t, t, f in time order.
+        assert [e["ph"] for e in sorted(flows, key=lambda e: e["ts"])] == [
+            "s", "t", "t", "f",
+        ]
+        assert all(e["id"] == "aa11" for e in flows)
+        assert all(e["name"] == "frame_flow" for e in flows)
+        finish = [e for e in flows if e["ph"] == "f"]
+        assert finish[0]["bp"] == "e"
+
+    def test_flow_events_require_binding_id(self):
+        trace = chrome_trace(recorder_with_traced_frame(), flows=True)
+        for event in trace["traceEvents"]:
+            if event["ph"] in ("s", "t", "f"):
+                event.pop("id", None)
+        problems = validate_chrome_trace(trace)
+        assert any("binding 'id'" in p for p in problems)
+
+    def test_single_span_trace_emits_no_flow(self):
+        rec = SpanRecorder()
+        rec.add("app", "intercept", 0.0, 2.0, track="client",
+                trace_id="lonely")
+        trace = chrome_trace(rec, flows=True)
+        assert not any(
+            e["ph"] in ("s", "t", "f") for e in trace["traceEvents"]
+        )
+
+    def test_flows_off_preserves_historical_bytes(self):
+        # flows defaults to False, and the flag must not perturb the
+        # untraced export: historical artifacts stay byte-identical.
+        rec = recorder_with_spans()
+        base = json.dumps(chrome_trace(rec), sort_keys=True)
+        off = json.dumps(chrome_trace(rec, flows=False), sort_keys=True)
+        assert base == off
+
+
+class TestMergedTrace:
+    def parts(self):
+        from repro.obs.slo import Alert
+
+        return [
+            {"shard": 1, "session": "s0",
+             "spans": recorder_with_traced_frame("bb22")},
+            {"shard": 0, "session": "s1",
+             "spans": recorder_with_traced_frame("cc33"),
+             "alerts": [Alert(at_ms=1.0, source="fps_floor",
+                              severity="page", state="breached",
+                              message="m", exemplars=("cc33",))]},
+            {"shard": 0, "session": "s0",
+             "spans": recorder_with_spans()},
+        ]
+
+    def test_pids_assigned_in_sorted_shard_session_order(self):
+        trace = merged_chrome_trace(self.parts(), flows=True)
+        assert validate_chrome_trace(trace) == []
+        # Input order is deliberately scrambled; pids follow
+        # sorted (shard, session) so shard return order can't matter.
+        assert trace["otherData"]["parts"] == [
+            {"pid": 1, "shard": 0, "session": "s0"},
+            {"pid": 2, "shard": 0, "session": "s1"},
+            {"pid": 3, "shard": 1, "session": "s0"},
+        ]
+        names = {
+            e["pid"]: e["args"]["name"]
+            for e in trace["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert names == {
+            1: "shard0/s0", 2: "shard0/s1", 3: "shard1/s0",
+        }
+
+    def test_merge_order_invariant(self):
+        parts = self.parts()
+        a = json.dumps(merged_chrome_trace(parts, flows=True),
+                       sort_keys=True)
+        b = json.dumps(merged_chrome_trace(list(reversed(parts)),
+                                           flows=True), sort_keys=True)
+        assert a == b
+
+    def test_merged_counts_and_per_part_isolation(self):
+        trace = merged_chrome_trace(self.parts(), flows=True)
+        assert trace["otherData"]["span_count"] == 12
+        # Each part's flow chain stays inside its own pid.
+        by_id = {}
+        for e in trace["traceEvents"]:
+            if e["ph"] in ("s", "t", "f"):
+                by_id.setdefault(e["id"], set()).add(e["pid"])
+        assert by_id == {"bb22": {3}, "cc33": {2}}
+        alert_pids = {
+            e["pid"] for e in trace["traceEvents"]
+            if e.get("cat") == "alert"
+        }
+        assert alert_pids == {2}

@@ -93,3 +93,81 @@ class TestTracerCompatibility:
         assert isinstance(sim.tracer, RingTracer)
         sim.tracer.record(sim.now, "boot", "hello")
         assert sim.tracer.count("boot") == 1
+
+
+class TestCapacityShrink:
+    """Eviction must drain, not step: the capacity-shrink regression.
+
+    The old single-step eviction (``if`` instead of ``while``) held the
+    ring invariant only while capacity never moved.  After a shrink —
+    the flight recorder resizes the ring to guarantee its pre-trigger
+    tail — one record() call must drain every over-capacity record and
+    reconcile the per-category indexes, or evicted-due records stay
+    queryable and counts disagree with capacity.
+    """
+
+    def test_record_after_shrink_drains_to_capacity(self):
+        t = RingTracer(capacity=8)
+        fill(t, 8)
+        t.capacity = 3          # shrink without resize(): next record drains
+        t.record(8.0, "cat", "evt", i=8)
+        assert t.count() == 3
+        assert [r.data["i"] for r in t.records] == [6, 7, 8]
+        assert t.dropped == 6
+
+    def test_category_index_consistent_after_shrink(self):
+        t = RingTracer(capacity=8)
+        for i in range(8):
+            t.record(float(i), f"c{i % 2}", "evt", i=i)
+        t.capacity = 3
+        t.record(8.0, "c0", "evt", i=8)
+        # Index totals must agree with the ring — no stale entries.
+        assert sum(t.count(c) for c in t.categories()) == t.count() == 3
+        for category in t.categories():
+            for rec in t.query(category):
+                assert rec in t.records
+
+    def test_resize_evicts_immediately(self):
+        t = RingTracer(capacity=8)
+        fill(t, 8)
+        t.resize(3)
+        assert t.capacity == 3
+        assert t.count() == 3
+        assert [r.data["i"] for r in t.records] == [5, 6, 7]
+
+    def test_resize_grow_keeps_records(self):
+        t = RingTracer(capacity=4)
+        fill(t, 4)
+        t.resize(16)
+        assert t.count() == 4
+        assert t.dropped == 0
+
+    def test_resize_invalid(self):
+        with pytest.raises(ValueError):
+            RingTracer().resize(0)
+
+
+class TestTraceIndex:
+    def test_query_trace_returns_stamped_records(self):
+        t = RingTracer()
+        t.record(0.0, "net", "send", trace_id="aa")
+        t.record(1.0, "net", "send", trace_id="bb")
+        t.record(2.0, "net", "recv", trace_id="aa")
+        assert [r.time for r in t.query_trace("aa")] == [0.0, 2.0]
+        assert t.query_trace("missing") == []
+
+    def test_trace_index_reconciled_on_eviction(self):
+        t = RingTracer(capacity=2)
+        t.record(0.0, "net", "send", trace_id="aa")
+        t.record(1.0, "net", "send", trace_id="aa")
+        t.record(2.0, "net", "send", trace_id="bb")   # evicts the first "aa"
+        assert [r.time for r in t.query_trace("aa")] == [1.0]
+        t.record(3.0, "net", "send", trace_id="bb")   # evicts the last "aa"
+        assert t.query_trace("aa") == []
+
+    def test_tail_returns_newest_oldest_first(self):
+        t = RingTracer(capacity=8)
+        fill(t, 6)
+        assert [r.data["i"] for r in t.tail(3)] == [3, 4, 5]
+        assert t.tail(0) == []
+        assert len(t.tail(100)) == 6
